@@ -1,0 +1,134 @@
+// Package adapt is the public Data Adaptation Engine (paper Section 5.2,
+// Figure 2): it turns raw clickstreams into preference graphs and
+// recommends the Preference Cover variant that fits the data, using the
+// paper's two rules — the >= 90% single-alternative share for Normalized
+// and the < 0.1 average pairwise normalized mutual information for
+// Independent.
+package adapt
+
+import (
+	"prefcover"
+	"prefcover/clickstream"
+	iadapt "prefcover/internal/adapt"
+)
+
+// Options configures BuildGraph.
+type Options = iadapt.Options
+
+// Report describes the constructed graph and, when Options.ComputeFitness
+// is set, the variant-recommendation statistics.
+type Report = iadapt.Report
+
+// Decision thresholds from paper Section 5.2.
+const (
+	// NormalizedFitThreshold is the minimum single-alternative session
+	// share for the Normalized variant to fit.
+	NormalizedFitThreshold = iadapt.NormalizedFitThreshold
+	// IndependentFitThreshold is the maximum average pairwise NMI for the
+	// Independent variant to fit.
+	IndependentFitThreshold = iadapt.IndependentFitThreshold
+)
+
+// BuildGraph drains the clickstream and constructs a preference graph:
+// node weights are purchase shares, an edge A->B carries the fraction of
+// A-purchase sessions that clicked B (fractional 1/t counting under
+// Normalized), and browse-only sessions are ignored.
+func BuildGraph(src clickstream.Source, opts Options) (*prefcover.Graph, *Report, error) {
+	return iadapt.BuildGraph(src, opts)
+}
+
+// Pipeline is the end-to-end flow of the paper's Figure 2: adapt the raw
+// data, choose the variant, run the solver, and return everything a
+// curation decision needs.
+type Pipeline struct {
+	// Variant forces a variant; when nil the recommendation rules decide
+	// (falling back to Independent when neither rule fires).
+	Variant *prefcover.Variant
+	// K and Threshold select budget or minimization mode, as in
+	// prefcover.Options.
+	K         int
+	Threshold float64
+	// Workers and Lazy tune the solver.
+	Workers int
+	Lazy    bool
+	// MinPurchases filters noise edges from rarely purchased items.
+	MinPurchases int
+}
+
+// PipelineResult carries every artifact of a Pipeline run.
+type PipelineResult struct {
+	Graph   *prefcover.Graph
+	Report  *Report
+	Variant prefcover.Variant
+	// VariantConfident is false when neither fitness rule fired and the
+	// Independent default was used.
+	VariantConfident bool
+	Solution         *prefcover.Solution
+}
+
+// Run executes the pipeline on the clickstream.
+func (p *Pipeline) Run(src clickstream.Source) (*PipelineResult, error) {
+	opts := Options{
+		MinPurchases:   p.MinPurchases,
+		ComputeFitness: p.Variant == nil,
+	}
+	if p.Variant != nil {
+		opts.Variant = *p.Variant
+	}
+	g, rep, err := BuildGraph(src, opts)
+	if err != nil {
+		return nil, err
+	}
+	res := &PipelineResult{Graph: g, Report: rep}
+	if p.Variant != nil {
+		res.Variant, res.VariantConfident = *p.Variant, true
+	} else {
+		res.Variant, res.VariantConfident = rep.RecommendVariant()
+		if res.Variant == prefcover.Normalized && opts.Variant != prefcover.Normalized {
+			// The graph was accumulated with whole-click counting; rebuild
+			// with the Normalized fractional counting the recommendation
+			// calls for. Sources backed by a Store can be rewound; other
+			// sources cannot, so surface the requirement.
+			rewinder, ok := src.(interface{ Reset() })
+			if !ok {
+				return nil, &NotRewindableError{}
+			}
+			rewinder.Reset()
+			firstPass := rep
+			g, rep, err = BuildGraph(src, Options{
+				Variant:      prefcover.Normalized,
+				MinPurchases: p.MinPurchases,
+			})
+			if err != nil {
+				return nil, err
+			}
+			// Keep the fitness statistics from the first pass; the rebuild
+			// skipped computing them.
+			rep.SingleAlternativeShare = firstPass.SingleAlternativeShare
+			rep.MeanPairwiseNMI = firstPass.MeanPairwiseNMI
+			rep.FitnessComputed = firstPass.FitnessComputed
+			res.Graph, res.Report = g, rep
+		}
+	}
+	res.Solution, err = prefcover.Solve(g, prefcover.Options{
+		Variant:   res.Variant,
+		K:         p.K,
+		Threshold: p.Threshold,
+		Workers:   p.Workers,
+		Lazy:      p.Lazy,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// NotRewindableError reports that variant auto-selection needed a second
+// pass over a non-rewindable source; buffer the stream into a
+// clickstream.Store (clickstream.ReadAll) or force a Variant.
+type NotRewindableError struct{}
+
+// Error implements error.
+func (*NotRewindableError) Error() string {
+	return "adapt: variant auto-selection requires a rewindable source (buffer with clickstream.ReadAll or set Pipeline.Variant)"
+}

@@ -1,0 +1,171 @@
+package adapt_test
+
+import (
+	"math"
+	"testing"
+
+	"prefcover"
+	"prefcover/adapt"
+	"prefcover/clickstream"
+	"prefcover/synth"
+)
+
+// iphoneSessions is the paper's Figure 3 clickstream through the public
+// packages.
+func iphoneSessions() *clickstream.Store {
+	return clickstream.NewStore([]clickstream.Session{
+		{ID: "s1", Purchase: "silver", Clicks: []string{"gold"}},
+		{ID: "s2", Purchase: "silver", Clicks: []string{"spacegray"}},
+		{ID: "s3", Purchase: "spacegray"},
+		{ID: "s4", Purchase: "spacegray", Clicks: []string{"silver"}},
+		{ID: "s5", Purchase: "gold", Clicks: []string{"spacegray"}},
+	})
+}
+
+func TestPublicBuildGraph(t *testing.T) {
+	g, rep, err := adapt.BuildGraph(iphoneSessions(), adapt.Options{Variant: prefcover.Normalized})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 3 || g.NumEdges() != 4 {
+		t.Fatalf("graph shape: %d nodes %d edges", g.NumNodes(), g.NumEdges())
+	}
+	if rep.PurchaseSessions != 5 {
+		t.Errorf("report = %+v", rep)
+	}
+	silver, _ := g.Lookup("silver")
+	if w := g.NodeWeight(silver); math.Abs(w-0.4) > 1e-9 {
+		t.Errorf("W(silver) = %g", w)
+	}
+}
+
+func TestPipelineForcedVariant(t *testing.T) {
+	v := prefcover.Normalized
+	p := &adapt.Pipeline{Variant: &v, K: 1}
+	res, err := p.Run(iphoneSessions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Variant != prefcover.Normalized || !res.VariantConfident {
+		t.Errorf("variant = %v confident=%v", res.Variant, res.VariantConfident)
+	}
+	if len(res.Solution.Order) != 1 {
+		t.Fatalf("order = %v", res.Solution.Order)
+	}
+	// SpaceGray covers itself (0.4), half of silver's requests (0.2), and
+	// all of gold's (0.2): the best single retain.
+	if got := res.Graph.Label(res.Solution.Order[0]); got != "spacegray" {
+		t.Errorf("retained %s, want spacegray", got)
+	}
+	if math.Abs(res.Solution.Cover-0.8) > 1e-9 {
+		t.Errorf("cover = %g, want 0.8", res.Solution.Cover)
+	}
+}
+
+func TestPipelineAutoVariantNormalized(t *testing.T) {
+	// Figure 3 data is single-alternative: the pipeline must pick
+	// Normalized and rebuild with fractional counting.
+	p := &adapt.Pipeline{K: 1}
+	res, err := p.Run(iphoneSessions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Variant != prefcover.Normalized || !res.VariantConfident {
+		t.Errorf("variant = %v confident=%v", res.Variant, res.VariantConfident)
+	}
+	if !res.Report.FitnessComputed {
+		t.Error("fitness stats lost in the rebuild")
+	}
+	if res.Report.SingleAlternativeShare != 1 {
+		t.Errorf("share = %g", res.Report.SingleAlternativeShare)
+	}
+}
+
+func TestPipelineAutoVariantIndependent(t *testing.T) {
+	cat, err := synth.NewCatalog(synth.CatalogSpec{Items: 300, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sessions, err := synth.GenerateSessions(cat, synth.SessionSpec{
+		Sessions: 3000, PurchaseRate: 1, Regime: synth.RegimeIndependent, Seed: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &adapt.Pipeline{K: 10, Lazy: true}
+	res, err := p.Run(sessions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Variant != prefcover.Independent {
+		t.Errorf("variant = %v, want Independent", res.Variant)
+	}
+	if len(res.Solution.Order) != 10 {
+		t.Errorf("retained %d items", len(res.Solution.Order))
+	}
+}
+
+func TestPipelineThresholdMode(t *testing.T) {
+	v := prefcover.Independent
+	p := &adapt.Pipeline{Variant: &v, Threshold: 0.6}
+	res, err := p.Run(iphoneSessions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Solution.Reached || res.Solution.Cover < 0.6-1e-9 {
+		t.Errorf("threshold run: reached=%v cover=%g", res.Solution.Reached, res.Solution.Cover)
+	}
+}
+
+// nonRewindable wraps a store hiding its Reset method.
+type nonRewindable struct{ src clickstream.Source }
+
+func (n *nonRewindable) Next() (*clickstream.Session, error) { return n.src.Next() }
+
+func TestPipelineNonRewindableError(t *testing.T) {
+	p := &adapt.Pipeline{K: 1}
+	_, err := p.Run(&nonRewindable{src: iphoneSessions()})
+	if err == nil {
+		t.Fatal("want NotRewindableError")
+	}
+	if _, ok := err.(*adapt.NotRewindableError); !ok {
+		t.Errorf("error type = %T", err)
+	}
+}
+
+func TestSimilarityAugmentationFacade(t *testing.T) {
+	// A behavioral graph where the new TV has no alternatives yet.
+	b := prefcover.NewBuilder(0, 0)
+	b.AddLabeledNode("tv-old", 0.7)
+	b.AddLabeledNode("tv-new", 0.3)
+	b.AddLabeledEdge("tv-old", "tv-new", 0.4)
+	g, err := b.Build(prefcover.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := adapt.BuildSimilarityIndex([]adapt.SimilarityDoc{
+		{Label: "tv-old", Text: "42 inch LED television wall mount"},
+		{Label: "tv-new", Text: "43 inch LED television wall mount"},
+	}, adapt.SimilarityIndexOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, rep, err := adapt.AugmentWithSimilarity(g, ix, adapt.AugmentOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.EdgesAdded == 0 {
+		t.Fatal("no edges added")
+	}
+	newTV, _ := out.Lookup("tv-new")
+	oldTV, _ := out.Lookup("tv-old")
+	if _, ok := out.EdgeWeight(newTV, oldTV); !ok {
+		t.Error("tv-new should gain tv-old as an alternative")
+	}
+}
+
+func TestThresholdConstants(t *testing.T) {
+	if adapt.NormalizedFitThreshold != 0.90 || adapt.IndependentFitThreshold != 0.10 {
+		t.Error("paper thresholds changed")
+	}
+}

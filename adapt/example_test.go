@@ -1,0 +1,33 @@
+package adapt_test
+
+import (
+	"fmt"
+	"log"
+
+	"prefcover/adapt"
+	"prefcover/clickstream"
+)
+
+// ExamplePipeline_Run runs the full Figure 2 flow on the paper's Figure 3
+// clickstream: adapt, auto-select the variant, solve.
+func ExamplePipeline_Run() {
+	sessions := clickstream.NewStore([]clickstream.Session{
+		{ID: "s1", Purchase: "silver", Clicks: []string{"gold"}},
+		{ID: "s2", Purchase: "silver", Clicks: []string{"spacegray"}},
+		{ID: "s3", Purchase: "spacegray"},
+		{ID: "s4", Purchase: "spacegray", Clicks: []string{"silver"}},
+		{ID: "s5", Purchase: "gold", Clicks: []string{"spacegray"}},
+	})
+	pipeline := &adapt.Pipeline{K: 1}
+	res, err := pipeline.Run(sessions)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("variant: %s (confident %v)\n", res.Variant, res.VariantConfident)
+	fmt.Printf("keep: %s\n", res.Graph.Label(res.Solution.Order[0]))
+	fmt.Printf("cover: %.0f%%\n", 100*res.Solution.Cover)
+	// Output:
+	// variant: normalized (confident true)
+	// keep: spacegray
+	// cover: 80%
+}

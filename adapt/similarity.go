@@ -1,0 +1,39 @@
+package adapt
+
+import (
+	"prefcover"
+	isim "prefcover/internal/similarity"
+)
+
+// SimilarityDoc is one item's textual description for the cold-start
+// similarity index (label must match the graph's node label).
+type SimilarityDoc = isim.Doc
+
+// SimilarityIndex is a TF-IDF cosine index over item texts.
+type SimilarityIndex = isim.Index
+
+// SimilarityIndexOptions tunes BuildSimilarityIndex.
+type SimilarityIndexOptions = isim.IndexOptions
+
+// SimilarityMatch is one similar item with its cosine score.
+type SimilarityMatch = isim.Match
+
+// AugmentOptions tunes AugmentWithSimilarity.
+type AugmentOptions = isim.AugmentOptions
+
+// AugmentReport describes what an augmentation changed.
+type AugmentReport = isim.AugmentReport
+
+// BuildSimilarityIndex constructs the index from item texts.
+func BuildSimilarityIndex(docs []SimilarityDoc, opts SimilarityIndexOptions) (*SimilarityIndex, error) {
+	return isim.BuildIndex(docs, opts)
+}
+
+// AugmentWithSimilarity adds similarity-derived alternative edges to items
+// with little behavioral signal — the approach the paper's footnote 4
+// sketches for approximating edge weights from semantic similarity.
+// Behavioral edges are never modified and Normalized feasibility is
+// preserved.
+func AugmentWithSimilarity(g *prefcover.Graph, ix *SimilarityIndex, opts AugmentOptions) (*prefcover.Graph, *AugmentReport, error) {
+	return isim.Augment(g, ix, opts)
+}

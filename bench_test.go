@@ -1,0 +1,530 @@
+// Benchmarks regenerating the computational kernel of every table and
+// figure in the paper's evaluation (Section 5.4). Each BenchmarkTableX /
+// BenchmarkFigX corresponds to one exhibit; the cmd/experiments tool prints
+// the full row/series data, these benches measure the work behind it.
+//
+// Run: go test -bench=. -benchmem
+package prefcover_test
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"prefcover"
+	iadapt "prefcover/internal/adapt"
+	"prefcover/internal/approx"
+	"prefcover/internal/baseline"
+	ibudgeted "prefcover/internal/budgeted"
+	"prefcover/internal/cover"
+	idynamic "prefcover/internal/dynamic"
+	"prefcover/internal/experiments"
+	igraph "prefcover/internal/graph"
+	igreedy "prefcover/internal/greedy"
+	isimilarity "prefcover/internal/similarity"
+	isparsify "prefcover/internal/sparsify"
+	isynth "prefcover/internal/synth"
+	iyoochoose "prefcover/internal/yoochoose"
+)
+
+// benchGraph caches generated graphs across benchmark invocations of the
+// same size so -benchtime reruns do not regenerate inputs.
+var benchGraphs = map[string]*igraph.Graph{}
+
+func peBenchGraph(b *testing.B, n int, variant igraph.Variant) *igraph.Graph {
+	b.Helper()
+	key := fmt.Sprintf("pe-%d-%d", n, variant)
+	if g, ok := benchGraphs[key]; ok {
+		return g
+	}
+	spec, err := isynth.PresetGraphSpec(isynth.PE, 1, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec.Nodes = n
+	spec.Variant = variant
+	g, err := isynth.GenerateGraph(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchGraphs[key] = g
+	return g
+}
+
+// BenchmarkTable1ApproxRatio regenerates Table 1 (approximation-ratio
+// formulas per k/n range).
+func BenchmarkTable1ApproxRatio(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := approx.Table1()
+		if len(rows) != 5 {
+			b.Fatal("table 1 shape")
+		}
+	}
+}
+
+// BenchmarkTable2DatasetBuild measures the Table 2 pipeline for one
+// dataset: synthesize a YC-shaped clickstream and adapt it into a
+// preference graph (sessions + purchases + items + edges are its columns).
+func BenchmarkTable2DatasetBuild(b *testing.B) {
+	catSpec, sesSpec, err := isynth.PresetSpecs(isynth.YC, 0.002, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cat, err := isynth.NewCatalog(catSpec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sessions, err := isynth.GenerateSessions(cat, sesSpec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := iadapt.BuildGraph(sessions, iadapt.Options{Variant: igraph.Independent}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// fig4aInstance is the small brute-force-feasible instance of Figures
+// 4a/4b.
+func fig4aInstance(b *testing.B) *igraph.Graph {
+	b.Helper()
+	key := "fig4a"
+	if g, ok := benchGraphs[key]; ok {
+		return g
+	}
+	spec, err := isynth.PresetGraphSpec(isynth.YC, 0.02, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec.CommunitySize = 16
+	full, err := isynth.GenerateGraph(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sub, _, err := full.Induce(full.TopNodesByWeight(16))
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := sub.Renormalize()
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchGraphs[key] = g
+	return g
+}
+
+// BenchmarkFig4aGreedySmall measures greedy on the Figure 4a instance.
+func BenchmarkFig4aGreedySmall(b *testing.B) {
+	g := fig4aInstance(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := igreedy.Solve(g, igreedy.Options{Variant: igraph.Independent, K: 6}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig4aBruteForce measures the exact optimum on the same
+// instance; together with BenchmarkFig4aGreedySmall it is Figure 4a's
+// coverage pair and Figure 4b's timing pair.
+func BenchmarkFig4aBruteForce(b *testing.B) {
+	g := fig4aInstance(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := baseline.BruteForce(g, igraph.Independent, 6, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig4bBruteForceNormalized is Figure 4b's headline measurement:
+// brute force under the Normalized variant (the variant the paper plots).
+func BenchmarkFig4bBruteForceNormalized(b *testing.B) {
+	g := fig4aInstance(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := baseline.BruteForce(g, igraph.Normalized, 6, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig4cCoverageQuality measures one full competitor comparison at
+// k = 0.3n: greedy (lazy), TopK-W, TopK-C and Random.
+func BenchmarkFig4cCoverageQuality(b *testing.B) {
+	g := peBenchGraph(b, 5_000, igraph.Independent)
+	k := g.NumNodes() * 3 / 10
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := igreedy.Solve(g, igreedy.Options{Variant: igraph.Independent, K: k, Lazy: true}); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := baseline.TopKW(g, igraph.Independent, k); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := baseline.TopKC(g, igraph.Independent, k); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := baseline.Random(g, igraph.Independent, k, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig4dScalability measures solver runtime across graph sizes at
+// fixed k (the Figure 4d sweep), for both the paper's scan strategy and
+// the lazy variant.
+func BenchmarkFig4dScalability(b *testing.B) {
+	for _, n := range []int{10_000, 50_000} {
+		g := peBenchGraph(b, n, igraph.Independent)
+		k := 500
+		b.Run(fmt.Sprintf("scan/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := igreedy.Solve(g, igreedy.Options{Variant: igraph.Independent, K: k}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("lazy/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := igreedy.Solve(g, igreedy.Options{Variant: igraph.Independent, K: k, Lazy: true}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig4eParallel measures the parallel scan at several worker
+// counts on a fixed graph (the Figure 4e sweep). On a single-core machine
+// the speedup is flat; the bench still exercises the partitioned-argmax
+// code path.
+func BenchmarkFig4eParallel(b *testing.B) {
+	g := peBenchGraph(b, 50_000, igraph.Independent)
+	for _, workers := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := igreedy.Solve(g, igreedy.Options{Variant: igraph.Independent, K: 200, Workers: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig4fMinCover measures the complementary minimization problem:
+// greedy threshold mode vs the TopK-W binary-search adaptation.
+func BenchmarkFig4fMinCover(b *testing.B) {
+	g := peBenchGraph(b, 5_000, igraph.Independent)
+	b.Run("greedy", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sol, err := igreedy.Solve(g, igreedy.Options{Variant: igraph.Independent, Threshold: 0.7, Lazy: true})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !sol.Reached {
+				b.Fatal("threshold unreachable")
+			}
+		}
+	})
+	b.Run("topkw-binsearch", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := baseline.MinCoverTopKW(g, igraph.Independent, 0.7); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationLazyVsScan is the DESIGN.md ablation: identical
+// selections, orders-of-magnitude different gain-evaluation counts.
+func BenchmarkAblationLazyVsScan(b *testing.B) {
+	g := peBenchGraph(b, 20_000, igraph.Independent)
+	b.Run("scan", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := igreedy.Solve(g, igreedy.Options{Variant: igraph.Independent, K: 500}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("lazy", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := igreedy.Solve(g, igreedy.Options{Variant: igraph.Independent, K: 500, Lazy: true}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("stochastic", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := igreedy.Solve(g, igreedy.Options{
+				Variant: igraph.Independent, K: 500, StochasticEpsilon: 0.1, Seed: int64(i),
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationIncremental compares the engine's O(d_in) incremental
+// gain (the paper's I-array machinery) against recomputing the candidate's
+// contribution from scratch, across one simulated greedy round.
+func BenchmarkAblationIncremental(b *testing.B) {
+	g := peBenchGraph(b, 20_000, igraph.Independent)
+	eng := cover.NewEngine(g, igraph.Independent)
+	for v := int32(0); v < 200; v++ {
+		eng.Add(v * 97 % int32(g.NumNodes()))
+	}
+	retained := make([]bool, g.NumNodes())
+	for v := int32(0); v < 200; v++ {
+		retained[v*97%int32(g.NumNodes())] = true
+	}
+	b.Run("incremental-gain", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			var sum float64
+			for v := int32(0); v < 2_000; v++ {
+				sum += eng.Gain(v)
+			}
+			if sum < 0 {
+				b.Fatal("impossible")
+			}
+		}
+	})
+	b.Run("from-scratch-eval", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			// Re-evaluating C(S ∪ {v}) from scratch for the same 2000
+			// candidates (what dropping the I array costs).
+			base := cover.Evaluate(g, igraph.Independent, retained)
+			var sum float64
+			for v := int32(0); v < 20; v++ { // 100x fewer candidates: it is that much slower
+				retained[v] = true
+				sum += cover.Evaluate(g, igraph.Independent, retained) - base
+				retained[v] = false
+			}
+			if sum < 0 {
+				b.Fatal("impossible")
+			}
+		}
+	})
+}
+
+// BenchmarkGainKernels measures the per-variant marginal-gain kernels, the
+// innermost loop of everything above.
+func BenchmarkGainKernels(b *testing.B) {
+	for _, variant := range []igraph.Variant{igraph.Independent, igraph.Normalized} {
+		g := peBenchGraph(b, 20_000, variant)
+		eng := cover.NewEngine(g, variant)
+		for v := int32(0); v < 500; v++ {
+			eng.Add(v * 37 % int32(g.NumNodes()))
+		}
+		b.Run(variant.String(), func(b *testing.B) {
+			n := int32(g.NumNodes())
+			for i := 0; i < b.N; i++ {
+				if eng.Gain(int32(i)%n) < 0 {
+					b.Fatal("negative gain")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAdaptGraphConstruction measures the Data Adaptation Engine on a
+// preset clickstream (the offline phase of the paper's architecture).
+func BenchmarkAdaptGraphConstruction(b *testing.B) {
+	catSpec, sesSpec, err := isynth.PresetSpecs(isynth.PE, 0.0005, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cat, err := isynth.NewCatalog(catSpec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sessions, err := isynth.GenerateSessions(cat, sesSpec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sessions.Reset()
+		if _, _, err := iadapt.BuildGraph(sessions, iadapt.Options{Variant: igraph.Independent}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExperimentDrivers smoke-measures the full driver behind each
+// printable exhibit at reduced size, ensuring the harness itself stays
+// cheap. Heavyweight drivers (fig4d/fig4e) are covered by their dedicated
+// benches above.
+func BenchmarkExperimentDrivers(b *testing.B) {
+	cfg := experiments.Config{Seed: 42}
+	for _, id := range []string{"table1", "fig4a", "fig4b"} {
+		driver, ok := experiments.Lookup(id)
+		if !ok {
+			b.Fatalf("missing driver %s", id)
+		}
+		b.Run(id, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := driver(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkExtBudgeted measures the revenue/storage extension: the
+// three-strategy budgeted solve on a mid-size graph.
+func BenchmarkExtBudgeted(b *testing.B) {
+	g := peBenchGraph(b, 5_000, igraph.Independent)
+	n := g.NumNodes()
+	rng := rand.New(rand.NewSource(7))
+	revenue := make([]float64, n)
+	costs := make([]float64, n)
+	for i := 0; i < n; i++ {
+		revenue[i] = 2 + 20*rng.Float64()
+		costs[i] = 0.5 + 2*rng.Float64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ibudgeted.Solve(g, ibudgeted.Spec{
+			Variant: igraph.Independent, Revenue: revenue, Cost: costs, Budget: 250,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExtDynamic measures incremental maintenance: per-edit tracker
+// cost and one local exchange, versus a full lazy re-solve.
+func BenchmarkExtDynamic(b *testing.B) {
+	g := peBenchGraph(b, 10_000, igraph.Independent)
+	sol, err := igreedy.Solve(g, igreedy.Options{Variant: igraph.Independent, K: 500, Lazy: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := idynamic.FromGraph(g)
+	tr, err := idynamic.NewTracker(m, igraph.Independent, sol.Order)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	b.Run("set-weight", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			id := int32(rng.Intn(g.NumNodes()))
+			if err := tr.SetWeight(id, rng.Float64()*1e-4); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("best-exchange", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			tr.BestExchange(1e-9)
+		}
+	})
+	b.Run("full-resolve", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := tr.Resolve(500, igreedy.Options{Lazy: true}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkSparsifyPrune measures the preprocessing prune on a mid-size
+// graph.
+func BenchmarkSparsifyPrune(b *testing.B) {
+	g := peBenchGraph(b, 50_000, igraph.Independent)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := isparsify.Prune(g, isparsify.Options{MinWeight: 0.1, MaxOutDegree: 8}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkYooChooseParse measures the RecSys-2015 CSV codec.
+func BenchmarkYooChooseParse(b *testing.B) {
+	var clicks, buys strings.Builder
+	rng := rand.New(rand.NewSource(3))
+	for s := 0; s < 5_000; s++ {
+		for c := 0; c < 3; c++ {
+			fmt.Fprintf(&clicks, "%d,2014-04-07T10:51:09.277Z,%d,0\n", s, rng.Intn(2000))
+		}
+		if s%20 == 0 {
+			fmt.Fprintf(&buys, "%d,2014-04-07T10:58:00.306Z,%d,1000,1\n", s, rng.Intn(2000))
+		}
+	}
+	cs, bs := clicks.String(), buys.String()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := iyoochoose.Parse(strings.NewReader(cs), strings.NewReader(bs)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimilarityIndex measures cold-start index construction and
+// top-k queries over a synthetic catalog's item texts.
+func BenchmarkSimilarityIndex(b *testing.B) {
+	cat, err := isynth.NewCatalog(isynth.CatalogSpec{Items: 5_000, Seed: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	docs := make([]isimilarity.Doc, cat.Len())
+	for i := range docs {
+		docs[i] = isimilarity.Doc{Label: cat.Item(int32(i)).Label, Text: cat.ItemText(int32(i))}
+	}
+	b.Run("build", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := isimilarity.BuildIndex(docs, isimilarity.IndexOptions{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	ix, err := isimilarity.BuildIndex(docs, isimilarity.IndexOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("topk", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := ix.TopK(docs[i%len(docs)].Label, 5); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkPublicSolve measures the public API end to end on the Figure 1
+// fixture-sized problem, the "hello world" cost of the library.
+func BenchmarkPublicSolve(b *testing.B) {
+	bld := prefcover.NewBuilder(5, 6)
+	bld.AddLabeledNode("A", 0.33)
+	bld.AddLabeledNode("B", 0.22)
+	bld.AddLabeledNode("C", 0.22)
+	bld.AddLabeledNode("D", 0.06)
+	bld.AddLabeledNode("E", 0.17)
+	bld.AddLabeledEdge("A", "B", 2.0/3.0)
+	bld.AddLabeledEdge("A", "C", 0.3)
+	bld.AddLabeledEdge("B", "C", 0.8)
+	bld.AddLabeledEdge("C", "B", 1.0)
+	bld.AddLabeledEdge("D", "C", 0.5)
+	bld.AddLabeledEdge("E", "D", 0.9)
+	g, err := bld.Build(prefcover.BuildOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sol, err := prefcover.Solve(g, prefcover.Options{Variant: prefcover.Independent, K: 2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if sol.Cover < 0.87 {
+			b.Fatal("wrong cover")
+		}
+	}
+}

@@ -1,0 +1,33 @@
+// Package budgeted is the public surface of the revenue/storage extension
+// (the paper's stated future work): maximize expected covered revenue
+// subject to a storage-cost budget. See the internal package documentation
+// for the algorithm and its (1-1/e)/2 guarantee.
+package budgeted
+
+import (
+	"prefcover"
+	ibudgeted "prefcover/internal/budgeted"
+)
+
+// Spec configures Solve: variant, optional per-item Revenue and Cost
+// vectors (nil means all-ones), and the Budget capacity.
+type Spec = ibudgeted.Spec
+
+// Result is the budgeted solution: selection order, realized gains, total
+// expected covered revenue, cost used, and the winning strategy.
+type Result = ibudgeted.Result
+
+// Solve runs the budgeted greedy scheme (better of plain-gain and
+// gain/cost-ratio lazy greedy, and the best single affordable item).
+func Solve(g *prefcover.Graph, spec Spec) (*Result, error) {
+	return ibudgeted.Solve(g, spec)
+}
+
+// SolvePartialEnum is the partial-enumeration variant (Khuller-Moss-Naor /
+// Sviridenko): every feasible seed of size <= 3 is completed greedily,
+// lifting the guarantee to (1-1/e) at O(n^3) cost — for small catalogs
+// only. maxSeeds > 0 rejects runs that would exceed that many seed
+// completions.
+func SolvePartialEnum(g *prefcover.Graph, spec Spec, maxSeeds int64) (*Result, error) {
+	return ibudgeted.SolvePartialEnum(g, spec, maxSeeds)
+}

@@ -1,0 +1,41 @@
+package budgeted_test
+
+import (
+	"math"
+	"testing"
+
+	"prefcover"
+	"prefcover/budgeted"
+)
+
+func TestPublicSurface(t *testing.T) {
+	b := prefcover.NewBuilder(3, 1)
+	b.AddLabeledNode("hub", 0.5)
+	b.AddLabeledNode("spoke1", 0.3)
+	b.AddLabeledNode("spoke2", 0.2)
+	b.AddLabeledEdge("spoke1", "hub", 0.9)
+	g, err := b.Build(prefcover.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := budgeted.Solve(g, budgeted.Spec{
+		Variant: prefcover.Independent,
+		Revenue: []float64{10, 1, 1},
+		Cost:    []float64{2, 1, 1},
+		Budget:  2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CostUsed > 2+1e-9 {
+		t.Errorf("cost used %g", res.CostUsed)
+	}
+	// Retaining the hub alone yields revenue 10*0.5 + 0.9*1*0.3 = 5.27,
+	// far above any cheap pair.
+	if len(res.Order) != 1 || res.Order[0] != 0 {
+		t.Errorf("order = %v (strategy %s)", res.Order, res.Strategy)
+	}
+	if math.Abs(res.Revenue-(10*0.5+0.9*0.3)) > 1e-9 {
+		t.Errorf("revenue = %g", res.Revenue)
+	}
+}

@@ -1,0 +1,39 @@
+package budgeted_test
+
+import (
+	"fmt"
+	"log"
+
+	"prefcover"
+	"prefcover/budgeted"
+)
+
+// Example solves a three-item store with one pricey shelf hog: under a
+// budget of 2 shelf units the solver prefers the two cheap items whose
+// combined demand beats the big one.
+func Example() {
+	b := prefcover.NewBuilder(3, 0)
+	b.AddLabeledNode("fridge", 0.4) // 2 shelf units
+	b.AddLabeledNode("kettle", 0.3) // 1 unit
+	b.AddLabeledNode("toaster", 0.3)
+	g, err := b.Build(prefcover.BuildOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := budgeted.Solve(g, budgeted.Spec{
+		Variant: prefcover.Independent,
+		Cost:    []float64{2, 1, 1},
+		Budget:  2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, v := range res.Order {
+		fmt.Println(g.Label(v))
+	}
+	fmt.Printf("revenue %.1f using %.0f of 2 units (%s)\n", res.Revenue, res.CostUsed, res.Strategy)
+	// Output:
+	// kettle
+	// toaster
+	// revenue 0.6 using 2 of 2 units (ratio)
+}

@@ -1,0 +1,67 @@
+// Package clickstream is the public session-data surface of the library:
+// browsing sessions (clicks plus at most one purchase) and streaming codecs
+// for them. It mirrors the minimal tracking data the paper's Data
+// Adaptation Engine consumes (Section 5.2): "clicks and purchases grouped
+// by sessions".
+package clickstream
+
+import (
+	"io"
+
+	ics "prefcover/internal/clickstream"
+)
+
+// Session is one consumer browsing session; Purchase is empty for
+// browse-only sessions.
+type Session = ics.Session
+
+// Source yields sessions one at a time; Next returns ErrEOF when the
+// stream is exhausted.
+type Source = ics.Source
+
+// ErrEOF is returned by Source.Next at end of stream.
+var ErrEOF = ics.ErrEOF
+
+// Stats summarizes a clickstream (the Sessions/Purchases/Items columns of
+// the paper's Table 2, plus alternative-click structure).
+type Stats = ics.Stats
+
+// CollectStats drains a source and accumulates Stats.
+func CollectStats(src Source) (Stats, error) { return ics.CollectStats(src) }
+
+// Store is an in-memory clickstream implementing Source.
+type Store = ics.Store
+
+// NewStore wraps the given sessions (taking ownership of the slice).
+func NewStore(sessions []Session) *Store { return ics.NewStore(sessions) }
+
+// ReadAll drains a source into a Store.
+func ReadAll(src Source) (*Store, error) { return ics.ReadAll(src) }
+
+// JSONLReader streams sessions from JSON-lines input (one Session document
+// per line).
+type JSONLReader = ics.JSONLReader
+
+// NewJSONLReader wraps r.
+func NewJSONLReader(r io.Reader) *JSONLReader { return ics.NewJSONLReader(r) }
+
+// JSONLWriter streams sessions as JSON lines; call Flush after the last
+// Write.
+type JSONLWriter = ics.JSONLWriter
+
+// NewJSONLWriter wraps w.
+func NewJSONLWriter(w io.Writer) *JSONLWriter { return ics.NewJSONLWriter(w) }
+
+// TSVReader streams sessions from the compact "id<TAB>purchase<TAB>clicks"
+// format.
+type TSVReader = ics.TSVReader
+
+// NewTSVReader wraps r.
+func NewTSVReader(r io.Reader) *TSVReader { return ics.NewTSVReader(r) }
+
+// TSVWriter streams sessions in the TSV format; call Flush after the last
+// Write.
+type TSVWriter = ics.TSVWriter
+
+// NewTSVWriter wraps w.
+func NewTSVWriter(w io.Writer) *TSVWriter { return ics.NewTSVWriter(w) }

@@ -1,0 +1,70 @@
+package clickstream_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"prefcover/clickstream"
+)
+
+func TestFacadeRoundTrip(t *testing.T) {
+	store := clickstream.NewStore([]clickstream.Session{
+		{ID: "s1", Purchase: "a", Clicks: []string{"b"}},
+		{ID: "s2"},
+	})
+	var buf bytes.Buffer
+	w := clickstream.NewJSONLWriter(&buf)
+	for i := range store.Sessions() {
+		if err := w.Write(&store.Sessions()[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	back, err := clickstream.ReadAll(clickstream.NewJSONLReader(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 2 {
+		t.Fatalf("len = %d", back.Len())
+	}
+	stats, err := clickstream.CollectStats(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Sessions != 2 || stats.Purchases != 1 {
+		t.Errorf("stats = %+v", stats)
+	}
+}
+
+func TestFacadeTSV(t *testing.T) {
+	var buf bytes.Buffer
+	w := clickstream.NewTSVWriter(&buf)
+	if err := w.Write(&clickstream.Session{ID: "s", Purchase: "p", Clicks: []string{"c"}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	store, err := clickstream.ReadAll(clickstream.NewTSVReader(&buf))
+	if err != nil || store.Len() != 1 {
+		t.Fatalf("store=%v err=%v", store, err)
+	}
+}
+
+func TestFacadeYooChoose(t *testing.T) {
+	clicks := strings.NewReader("1,t,A,0\n1,t,B,0\n")
+	buys := strings.NewReader("1,t,A,0,1\n")
+	store, stats, err := clickstream.ParseYooChoose(clicks, buys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if store.Len() != 1 || stats.BuySessions != 1 {
+		t.Fatalf("store=%d stats=%+v", store.Len(), stats)
+	}
+	if store.Sessions()[0].Purchase != "A" {
+		t.Errorf("purchase = %s", store.Sessions()[0].Purchase)
+	}
+}

@@ -1,0 +1,19 @@
+package clickstream
+
+import (
+	"io"
+
+	"prefcover/internal/yoochoose"
+)
+
+// YooChooseStats summarizes a parsed RecSys-2015 dataset.
+type YooChooseStats = yoochoose.Stats
+
+// ParseYooChoose reads the RecSys 2015 Challenge CSV pair (the paper's
+// public YC dataset: yoochoose-clicks.dat and yoochoose-buys.dat) into a
+// session store. Either reader may be nil. Sessions purchasing several
+// distinct items are split into one session per item, as the paper's model
+// prescribes.
+func ParseYooChoose(clicks, buys io.Reader) (*Store, YooChooseStats, error) {
+	return yoochoose.Parse(clicks, buys)
+}

@@ -1,0 +1,70 @@
+// Command experiments regenerates the tables and figures of the paper's
+// evaluation section on synthetic stand-ins for its datasets.
+//
+// Usage:
+//
+//	experiments [-exp id] [-seed n] [-full] [-workers n] [-csv]
+//
+// With no -exp flag every registered experiment runs in order. -full
+// switches to paper-scale workloads (minutes to hours); the default scale
+// completes in seconds to a few minutes. -csv prints machine-readable
+// output instead of aligned text.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"prefcover/internal/experiments"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "", "experiment id to run (default: all); one of "+strings.Join(experiments.IDs(), ", "))
+		seed    = flag.Int64("seed", 42, "random seed (same seed, same tables)")
+		full    = flag.Bool("full", false, "run at paper scale (much slower)")
+		workers = flag.Int("workers", 1, "solver worker goroutines where not swept")
+		csvOut  = flag.Bool("csv", false, "emit CSV instead of aligned text")
+	)
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "unexpected arguments: %v\n", flag.Args())
+		flag.Usage()
+		os.Exit(2)
+	}
+	cfg := experiments.Config{Seed: *seed, Full: *full, Workers: *workers}
+	if *exp == "" {
+		if *csvOut {
+			fmt.Fprintln(os.Stderr, "-csv requires a single -exp")
+			os.Exit(2)
+		}
+		if err := experiments.RunAll(cfg, os.Stdout); err != nil {
+			fail(err)
+		}
+		return
+	}
+	driver, ok := experiments.Lookup(*exp)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; available: %s\n", *exp, strings.Join(experiments.IDs(), ", "))
+		os.Exit(2)
+	}
+	table, err := driver(cfg)
+	if err != nil {
+		fail(err)
+	}
+	if *csvOut {
+		err = table.RenderCSV(os.Stdout)
+	} else {
+		err = table.Render(os.Stdout)
+	}
+	if err != nil {
+		fail(err)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

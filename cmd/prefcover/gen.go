@@ -1,0 +1,65 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"prefcover/clickstream"
+	"prefcover/synth"
+)
+
+func runGen(args []string) error {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	var (
+		preset = fs.String("preset", "YC", "dataset preset: PE, PF, PM or YC")
+		scale  = fs.Float64("scale", 0.01, "fraction of the paper-scale dataset size, in (0,1]")
+		seed   = fs.Int64("seed", 42, "random seed")
+		format = fs.String("format", "tsv", "output format: tsv or jsonl")
+		out    = fs.String("out", "-", "output file (default stdout)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	catSpec, sesSpec, err := synth.PresetSpecs(synth.Preset(*preset), *scale, *seed)
+	if err != nil {
+		return err
+	}
+	cat, err := synth.NewCatalog(catSpec)
+	if err != nil {
+		return err
+	}
+	store, err := synth.GenerateSessions(cat, sesSpec)
+	if err != nil {
+		return err
+	}
+	w, closeOut, err := createOut(*out)
+	if err != nil {
+		return err
+	}
+	switch *format {
+	case "tsv":
+		tw := clickstream.NewTSVWriter(w)
+		for _, s := range store.Sessions() {
+			if err := tw.Write(&s); err != nil {
+				return err
+			}
+		}
+		if err := tw.Flush(); err != nil {
+			return err
+		}
+	case "jsonl":
+		jw := clickstream.NewJSONLWriter(w)
+		for _, s := range store.Sessions() {
+			if err := jw.Write(&s); err != nil {
+				return err
+			}
+		}
+		if err := jw.Flush(); err != nil {
+			return err
+		}
+	default:
+		closeOut()
+		return fmt.Errorf("unknown format %q (want tsv or jsonl)", *format)
+	}
+	return closeOut()
+}

@@ -1,0 +1,138 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// figure1TSV is the paper's Figure 1 graph in the CLI's TSV format.
+const figure1TSV = `node	A	0.33
+node	B	0.22
+node	C	0.22
+node	D	0.06
+node	E	0.17
+edge	A	B	0.6666666666666666
+edge	A	C	0.3
+edge	B	C	0.8
+edge	C	B	1
+edge	D	C	0.5
+edge	E	D	0.9
+`
+
+// captureStdout runs f with os.Stdout redirected to a pipe and returns what
+// it printed.
+func captureStdout(t *testing.T, f func() error) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	ferr := f()
+	w.Close()
+	os.Stdout = old
+	var sb strings.Builder
+	buf := make([]byte, 4096)
+	for {
+		n, rerr := r.Read(buf)
+		sb.Write(buf[:n])
+		if rerr != nil {
+			break
+		}
+	}
+	if ferr != nil {
+		t.Fatalf("command failed: %v", ferr)
+	}
+	return sb.String()
+}
+
+// TestSolveGoldenFigure1 pins the operator-facing report for the paper's
+// worked example: B then D, 87.30% cover, the per-item coverages of
+// Figure 2.
+func TestSolveGoldenFigure1(t *testing.T) {
+	dir := t.TempDir()
+	graphPath := filepath.Join(dir, "fig1.tsv")
+	if err := os.WriteFile(graphPath, []byte(figure1TSV), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := captureStdout(t, func() error {
+		return runSolve([]string{"-in", graphPath, "-variant", "i", "-k", "2"})
+	})
+	for _, want := range []string{
+		"cover: 87.30%",
+		"1  B",
+		"2  D",
+		"A     0.3300  66.7%",
+		"E     0.1700  90.0%",
+		"C     0.2200  100.0%",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSolvePinnedFlag(t *testing.T) {
+	dir := t.TempDir()
+	graphPath := filepath.Join(dir, "fig1.tsv")
+	if err := os.WriteFile(graphPath, []byte(figure1TSV), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pinPath := filepath.Join(dir, "pins.txt")
+	if err := os.WriteFile(pinPath, []byte("E\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := captureStdout(t, func() error {
+		return runSolve([]string{"-in", graphPath, "-variant", "i", "-k", "2", "-pin", pinPath})
+	})
+	if !strings.Contains(out, "1  E") {
+		t.Errorf("pinned E not first:\n%s", out)
+	}
+	// Unknown pin label fails.
+	if err := os.WriteFile(pinPath, []byte("nope\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := runSolve([]string{"-in", graphPath, "-variant", "i", "-k", "2", "-pin", pinPath}); err == nil {
+		t.Error("unknown pin should fail")
+	}
+}
+
+func TestGStatsGolden(t *testing.T) {
+	dir := t.TempDir()
+	graphPath := filepath.Join(dir, "fig1.tsv")
+	if err := os.WriteFile(graphPath, []byte(figure1TSV), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := captureStdout(t, func() error {
+		return runGStats([]string{"-in", graphPath, "-variant", "n"})
+	})
+	for _, want := range []string{
+		"items:        5",
+		"edges:        6",
+		"valid normalized preference graph",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("gstats missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestGStatsValidationFailure(t *testing.T) {
+	dir := t.TempDir()
+	graphPath := filepath.Join(dir, "bad.tsv")
+	// Out-weights exceed 1: invalid under Normalized.
+	bad := "node\tx\t0.5\nnode\ty\t0.25\nnode\tz\t0.25\nedge\tx\ty\t0.7\nedge\tx\tz\t0.7\n"
+	if err := os.WriteFile(graphPath, []byte(bad), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := runGStats([]string{"-in", graphPath, "-variant", "n"}); err == nil {
+		t.Fatal("invalid normalized graph should fail validation")
+	}
+	// But it is a fine Independent graph.
+	if err := runGStats([]string{"-in", graphPath, "-variant", "i"}); err != nil {
+		t.Fatalf("independent validation: %v", err)
+	}
+}

@@ -1,0 +1,48 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"prefcover"
+)
+
+func runGStats(args []string) error {
+	fs := flag.NewFlagSet("gstats", flag.ExitOnError)
+	var (
+		in      = fs.String("in", "-", "input graph (default stdin)")
+		variant = fs.String("variant", "", "also validate against a variant (independent/normalized)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	g, err := readGraph(*in)
+	if err != nil {
+		return err
+	}
+	s := prefcover.ComputeStats(g)
+	fmt.Printf("items:        %d\n", s.Nodes)
+	fmt.Printf("edges:        %d (avg degree %.2f, max in %d, max out %d)\n",
+		s.Edges, s.AvgOutDegree, s.MaxInDegree, s.MaxOutDegree)
+	fmt.Printf("total weight: %.6f (max item %.6f, gini %.3f)\n", s.TotalWeight, s.MaxNodeW, s.GiniNodeWeight)
+	fmt.Printf("isolated:     %d items\n", s.Isolated)
+	fmt.Printf("edge weights: mean %.4f, max out-sum %.4f\n", s.MeanEdgeW, s.MaxOutWeightSum)
+	zero, buckets := g.DegreeHistogram()
+	fmt.Printf("in-degree histogram: 0:%d", zero)
+	for i, c := range buckets {
+		fmt.Printf("  %d-%d:%d", 1<<i, 1<<(i+1)-1, c)
+	}
+	fmt.Println()
+	if *variant != "" {
+		v, err := prefcover.ParseVariant(*variant)
+		if err != nil {
+			return err
+		}
+		err = g.Validate(prefcover.ValidateOptions{Variant: v, RequireSimplex: true})
+		if err != nil {
+			return fmt.Errorf("validation (%s): %w", v, err)
+		}
+		fmt.Printf("valid %s preference graph\n", v)
+	}
+	return nil
+}

@@ -1,0 +1,91 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"prefcover/clickstream"
+)
+
+func runImport(args []string) error {
+	fs := flag.NewFlagSet("import", flag.ExitOnError)
+	var (
+		clicks = fs.String("clicks", "", "yoochoose-clicks.dat path (optional, .gz ok)")
+		buys   = fs.String("buys", "", "yoochoose-buys.dat path (optional, .gz ok)")
+		format = fs.String("format", "tsv", "output format: tsv or jsonl")
+		out    = fs.String("out", "-", "output clickstream (default stdout)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *clicks == "" && *buys == "" {
+		return fmt.Errorf("need -clicks and/or -buys")
+	}
+	var closers []func()
+	defer func() {
+		for _, c := range closers {
+			c()
+		}
+	}()
+	open := func(path string) (io.Reader, error) {
+		if path == "" {
+			return nil, nil
+		}
+		f, closeIn, err := openIn(path)
+		if err != nil {
+			return nil, err
+		}
+		closers = append(closers, closeIn)
+		return maybeGzip(f, path)
+	}
+	clicksReader, err := open(*clicks)
+	if err != nil {
+		return err
+	}
+	buysReader, err := open(*buys)
+	if err != nil {
+		return err
+	}
+	store, stats, err := clickstream.ParseYooChoose(clicksReader, buysReader)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "parsed %d click rows, %d buy rows -> %d sessions (%d purchases, %d splits)\n",
+		stats.ClickRows, stats.BuyRows, store.Len(), stats.BuySessions, stats.SplitSessions)
+	w, closeOut, err := createOut(*out)
+	if err != nil {
+		return err
+	}
+	var werr error
+	switch *format {
+	case "tsv":
+		tw := clickstream.NewTSVWriter(w)
+		for i := range store.Sessions() {
+			if werr = tw.Write(&store.Sessions()[i]); werr != nil {
+				break
+			}
+		}
+		if werr == nil {
+			werr = tw.Flush()
+		}
+	case "jsonl":
+		jw := clickstream.NewJSONLWriter(w)
+		for i := range store.Sessions() {
+			if werr = jw.Write(&store.Sessions()[i]); werr != nil {
+				break
+			}
+		}
+		if werr == nil {
+			werr = jw.Flush()
+		}
+	default:
+		werr = fmt.Errorf("unknown format %q (want tsv or jsonl)", *format)
+	}
+	if werr != nil {
+		closeOut()
+		return werr
+	}
+	return closeOut()
+}

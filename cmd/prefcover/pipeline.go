@@ -1,0 +1,337 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"prefcover"
+	"prefcover/adapt"
+	"prefcover/clickstream"
+)
+
+// readClickstream opens and fully buffers a clickstream in the given
+// format (auto-detected from the first byte when format is "auto": JSONL
+// lines start with '{').
+func readClickstream(path, format string) (*clickstream.Store, error) {
+	file, closeIn, err := openIn(path)
+	if err != nil {
+		return nil, err
+	}
+	defer closeIn()
+	f, err := maybeGzip(file, path)
+	if err != nil {
+		return nil, err
+	}
+	var src clickstream.Source
+	switch format {
+	case "tsv":
+		src = clickstream.NewTSVReader(f)
+	case "jsonl":
+		src = clickstream.NewJSONLReader(f)
+	case "auto":
+		br := newPeekReader(f)
+		first, err := br.peekByte()
+		if err != nil {
+			return nil, fmt.Errorf("reading clickstream: %w", err)
+		}
+		if first == '{' {
+			src = clickstream.NewJSONLReader(br)
+		} else {
+			src = clickstream.NewTSVReader(br)
+		}
+	default:
+		return nil, fmt.Errorf("unknown clickstream format %q (want tsv, jsonl or auto)", format)
+	}
+	return clickstream.ReadAll(src)
+}
+
+func runStats(args []string) error {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	var (
+		in     = fs.String("in", "-", "input clickstream (default stdin)")
+		format = fs.String("format", "auto", "input format: tsv, jsonl or auto")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	store, err := readClickstream(*in, *format)
+	if err != nil {
+		return err
+	}
+	st, err := clickstream.CollectStats(store)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("sessions:  %d\n", st.Sessions)
+	fmt.Printf("purchases: %d (%.2f%% of sessions)\n", st.Purchases, pct(st.Purchases, st.Sessions))
+	fmt.Printf("items:     %d\n", st.Items)
+	fmt.Printf("clicks:    %d\n", st.Clicks)
+	fmt.Printf("max alternatives per session: %d\n", st.MaxAlternatives)
+	fmt.Printf("single-alternative share:     %.1f%% (normalized fit needs >= %.0f%%)\n",
+		100*st.SingleAlternativeShare, 100*adapt.NormalizedFitThreshold)
+	return nil
+}
+
+func runAdapt(args []string) error {
+	fs := flag.NewFlagSet("adapt", flag.ExitOnError)
+	var (
+		in      = fs.String("in", "-", "input clickstream (default stdin)")
+		format  = fs.String("format", "auto", "input format: tsv, jsonl or auto")
+		out     = fs.String("out", "-", "output graph file (default stdout)")
+		gformat = fs.String("graph-format", "tsv", "graph output format: tsv, json or binary")
+		variant = fs.String("variant", "", "force variant (independent/normalized); empty = recommend from data")
+		minPur  = fs.Int("min-purchases", 0, "drop outgoing edges of items purchased fewer times than this")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	store, err := readClickstream(*in, *format)
+	if err != nil {
+		return err
+	}
+	opts := adapt.Options{MinPurchases: *minPur, ComputeFitness: *variant == ""}
+	if *variant != "" {
+		v, err := prefcover.ParseVariant(*variant)
+		if err != nil {
+			return err
+		}
+		opts.Variant = v
+	}
+	g, rep, err := adapt.BuildGraph(store, opts)
+	if err != nil {
+		return err
+	}
+	chosen := opts.Variant
+	if *variant == "" {
+		rec, confident := rep.RecommendVariant()
+		chosen = rec
+		if rec == prefcover.Normalized {
+			// Rebuild with fractional click counting.
+			store.Reset()
+			g, _, err = adapt.BuildGraph(store, adapt.Options{Variant: rec, MinPurchases: *minPur})
+			if err != nil {
+				return err
+			}
+		}
+		fmt.Fprintf(os.Stderr, "recommended variant: %s (confident=%v, single-alt=%.1f%%, nmi=%.3f)\n",
+			rec, confident, 100*rep.SingleAlternativeShare, rep.MeanPairwiseNMI)
+	}
+	fmt.Fprintf(os.Stderr, "graph: %d items, %d edges (variant %s)\n", g.NumNodes(), g.NumEdges(), chosen)
+	w, closeOut, err := createOut(*out)
+	if err != nil {
+		return err
+	}
+	switch *gformat {
+	case "tsv":
+		err = prefcover.WriteGraphTSV(w, g)
+	case "json":
+		err = prefcover.WriteGraphJSON(w, g)
+	case "binary":
+		err = prefcover.WriteGraphBinary(w, g)
+	default:
+		err = fmt.Errorf("unknown graph format %q", *gformat)
+	}
+	if err != nil {
+		closeOut()
+		return err
+	}
+	return closeOut()
+}
+
+// readGraph loads a graph in tsv, json or binary format (auto-detected).
+func readGraph(path string) (*prefcover.Graph, error) {
+	file, closeIn, err := openIn(path)
+	if err != nil {
+		return nil, err
+	}
+	defer closeIn()
+	f, err := maybeGzip(file, path)
+	if err != nil {
+		return nil, err
+	}
+	br := newPeekReader(f)
+	first, err := br.peekByte()
+	if err != nil {
+		return nil, fmt.Errorf("reading graph: %w", err)
+	}
+	switch first {
+	case '{':
+		return prefcover.ReadGraphJSON(br, prefcover.BuildOptions{})
+	case 'P':
+		return prefcover.ReadGraphBinary(br)
+	default:
+		return prefcover.ReadGraphTSV(br, prefcover.BuildOptions{})
+	}
+}
+
+func runSolve(args []string) error {
+	fs := flag.NewFlagSet("solve", flag.ExitOnError)
+	var (
+		in         = fs.String("in", "-", "input graph (default stdin)")
+		variant    = fs.String("variant", "independent", "variant: independent or normalized")
+		k          = fs.Int("k", 0, "retained-set budget (budget mode)")
+		threshold  = fs.Float64("threshold", 0, "target cover in (0,1] (minimization mode)")
+		workers    = fs.Int("workers", 1, "parallel scan workers")
+		lazy       = fs.Bool("lazy", true, "use lazy (CELF) evaluation")
+		stochastic = fs.Float64("stochastic", 0, "stochastic-greedy epsilon in (0,1); randomized, overrides -lazy")
+		seed       = fs.Int64("seed", 1, "seed for -stochastic")
+		pruneMinW  = fs.Float64("prune-min-weight", 0, "drop alternative edges below this weight before solving")
+		pruneMaxD  = fs.Int("prune-max-degree", 0, "keep only this many heaviest alternatives per item before solving")
+		pinFile    = fs.String("pin", "", "file with must-stock labels, one per line, retained before the greedy fill")
+		affected   = fs.Int("affected", 10, "how many most-affected non-retained items to report")
+		setOut     = fs.String("set-out", "", "also write the retained labels, one per line, to this file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	v, err := prefcover.ParseVariant(*variant)
+	if err != nil {
+		return err
+	}
+	g, err := readGraph(*in)
+	if err != nil {
+		return err
+	}
+	if *pruneMinW > 0 || *pruneMaxD > 0 {
+		res, err := prefcover.Sparsify(g, prefcover.SparsifyOptions{
+			MinWeight: *pruneMinW, MaxOutDegree: *pruneMaxD,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "pruned %d -> %d edges (certified max cover loss %.5f)\n",
+			res.EdgesBefore, res.EdgesAfter, res.LossBound)
+		g = res.Graph
+	}
+	opts := prefcover.Options{
+		Variant: v, K: *k, Threshold: *threshold, Workers: *workers, Lazy: *lazy,
+	}
+	if *pinFile != "" {
+		data, err := os.ReadFile(*pinFile)
+		if err != nil {
+			return err
+		}
+		var labels []string
+		for _, line := range strings.Split(string(data), "\n") {
+			if line = strings.TrimSpace(line); line != "" {
+				labels = append(labels, line)
+			}
+		}
+		opts.Pinned, err = prefcover.LookupAll(g, labels)
+		if err != nil {
+			return err
+		}
+	}
+	if *stochastic > 0 {
+		opts.Lazy = false
+		opts.StochasticEpsilon = *stochastic
+		opts.Seed = *seed
+	}
+	sol, err := prefcover.Solve(g, opts)
+	if err != nil {
+		return err
+	}
+	if *threshold > 0 && !sol.Reached {
+		fmt.Fprintf(os.Stderr, "warning: threshold %.3f not reachable, best cover %.4f\n", *threshold, sol.Cover)
+	}
+	report := prefcover.NewReport(g, v, sol, *affected)
+	if _, err := report.WriteTo(os.Stdout); err != nil {
+		return err
+	}
+	if *setOut != "" {
+		var sb strings.Builder
+		for _, item := range report.Retained {
+			sb.WriteString(item.Label)
+			sb.WriteByte('\n')
+		}
+		if err := os.WriteFile(*setOut, []byte(sb.String()), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func runEval(args []string) error {
+	fs := flag.NewFlagSet("eval", flag.ExitOnError)
+	var (
+		in      = fs.String("in", "-", "input graph (default stdin)")
+		variant = fs.String("variant", "independent", "variant: independent or normalized")
+		setPath = fs.String("set", "", "file with retained labels, one per line (required)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *setPath == "" {
+		return fmt.Errorf("-set is required")
+	}
+	v, err := prefcover.ParseVariant(*variant)
+	if err != nil {
+		return err
+	}
+	g, err := readGraph(*in)
+	if err != nil {
+		return err
+	}
+	data, err := os.ReadFile(*setPath)
+	if err != nil {
+		return err
+	}
+	var labels []string
+	for _, line := range strings.Split(string(data), "\n") {
+		if line = strings.TrimSpace(line); line != "" {
+			labels = append(labels, line)
+		}
+	}
+	sort.Strings(labels)
+	cover, err := prefcover.EvaluateLabels(g, v, labels)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("retained: %d items\ncover:    %.4f (%.2f%%)\n", len(labels), cover, 100*cover)
+	return nil
+}
+
+func pct(a, b int) float64 {
+	if b == 0 {
+		return 0
+	}
+	return 100 * float64(a) / float64(b)
+}
+
+// peekReader lets the pipeline sniff the first byte of a stream without
+// consuming it.
+type peekReader struct {
+	r      io.Reader
+	peeked []byte
+}
+
+func newPeekReader(r io.Reader) *peekReader { return &peekReader{r: r} }
+
+func (pr *peekReader) peekByte() (byte, error) {
+	if len(pr.peeked) > 0 {
+		return pr.peeked[0], nil
+	}
+	var b [1]byte
+	n, err := pr.r.Read(b[:])
+	for n == 0 && err == nil {
+		n, err = pr.r.Read(b[:])
+	}
+	if err != nil {
+		return 0, err
+	}
+	pr.peeked = append(pr.peeked, b[0])
+	return b[0], nil
+}
+
+func (pr *peekReader) Read(p []byte) (int, error) {
+	if len(pr.peeked) > 0 {
+		n := copy(p, pr.peeked)
+		pr.peeked = pr.peeked[n:]
+		return n, nil
+	}
+	return pr.r.Read(p)
+}

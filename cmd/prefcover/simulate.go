@@ -1,0 +1,62 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"prefcover"
+)
+
+func runSimulate(args []string) error {
+	fs := flag.NewFlagSet("simulate", flag.ExitOnError)
+	var (
+		in       = fs.String("in", "-", "input graph (default stdin)")
+		variant  = fs.String("variant", "independent", "variant: independent or normalized")
+		setPath  = fs.String("set", "", "file with retained labels, one per line (required)")
+		requests = fs.Int("requests", 200000, "simulated consumer requests")
+		seed     = fs.Int64("seed", 1, "simulation seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *setPath == "" {
+		return fmt.Errorf("-set is required")
+	}
+	v, err := prefcover.ParseVariant(*variant)
+	if err != nil {
+		return err
+	}
+	g, err := readGraph(*in)
+	if err != nil {
+		return err
+	}
+	data, err := os.ReadFile(*setPath)
+	if err != nil {
+		return err
+	}
+	var labels []string
+	for _, line := range strings.Split(string(data), "\n") {
+		if line = strings.TrimSpace(line); line != "" {
+			labels = append(labels, line)
+		}
+	}
+	set, err := prefcover.LookupAll(g, labels)
+	if err != nil {
+		return err
+	}
+	est, err := prefcover.Simulate(g, v, set, *requests, *seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("retained:  %d items\n", len(set))
+	fmt.Printf("predicted: %.4f\n", est.Predicted)
+	fmt.Printf("simulated: %.4f ± %.4f (n=%d)\n", est.Rate, est.StdErr, est.Requests)
+	if est.Within(4) {
+		fmt.Println("agreement: within 4 sigma")
+	} else {
+		fmt.Println("agreement: OUTSIDE 4 sigma — model and simulation disagree")
+	}
+	return nil
+}

@@ -1,0 +1,42 @@
+// Command prefcoverd serves the paper's end-to-end system (Figure 2) over
+// HTTP: POST a JSONL clickstream to /v1/pipeline?k=... and receive the
+// retained inventory with coverage metadata; /v1/adapt and /v1/solve
+// expose the two stages separately.
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"prefcover/internal/server"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		maxBody  = flag.Int64("max-body-mb", 64, "maximum request body size in MiB")
+		maxK     = flag.Int("max-k", 0, "maximum solvable budget (0 = unlimited)")
+		logLevel = flag.Bool("quiet", false, "suppress request logging")
+	)
+	flag.Parse()
+	var logger *log.Logger
+	if !*logLevel {
+		logger = log.New(os.Stderr, "prefcoverd ", log.LstdFlags)
+	}
+	srv := server.New(server.Limits{
+		MaxBodyBytes: *maxBody << 20,
+		MaxSolveK:    *maxK,
+	}, logger)
+	httpServer := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	log.Printf("prefcoverd listening on %s", *addr)
+	if err := httpServer.ListenAndServe(); err != nil {
+		log.Fatal(err)
+	}
+}

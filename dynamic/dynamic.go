@@ -1,0 +1,45 @@
+// Package dynamic is the public surface of incremental solution
+// maintenance (the future-work direction the paper's conclusion names):
+// track the cover of a retained set exactly while the catalog changes,
+// accumulate a drift signal, repair locally with exchanges, and re-solve
+// when drift warrants it.
+package dynamic
+
+import (
+	"prefcover"
+	idynamic "prefcover/internal/dynamic"
+)
+
+// MutableGraph is an editable preference graph; freeze it to solve.
+type MutableGraph = idynamic.MutableGraph
+
+// NewMutableGraph returns an empty mutable graph.
+func NewMutableGraph() *MutableGraph { return idynamic.NewMutableGraph() }
+
+// FromGraph copies an immutable graph into mutable form.
+func FromGraph(g *prefcover.Graph) *MutableGraph { return idynamic.FromGraph(g) }
+
+// Tracker maintains the exact cover of a retained set under mutations.
+type Tracker = idynamic.Tracker
+
+// Exchange is a proposed (release, retain) local repair step.
+type Exchange = idynamic.Exchange
+
+// ResolveResult is the outcome of a full re-solve.
+type ResolveResult = idynamic.ResolveResult
+
+// NewTracker starts tracking the given retained set (mutable ids) over m.
+func NewTracker(m *MutableGraph, variant prefcover.Variant, retained []int32) (*Tracker, error) {
+	return idynamic.NewTracker(m, variant, retained)
+}
+
+// TrackSolution is a convenience that freezes nothing: it starts a tracker
+// on a mutable copy of g retaining the solution's items, returning both.
+func TrackSolution(g *prefcover.Graph, variant prefcover.Variant, sol *prefcover.Solution) (*MutableGraph, *Tracker, error) {
+	m := idynamic.FromGraph(g)
+	tr, err := idynamic.NewTracker(m, variant, sol.Order)
+	if err != nil {
+		return nil, nil, err
+	}
+	return m, tr, nil
+}

@@ -1,0 +1,101 @@
+package dynamic_test
+
+import (
+	"math"
+	"testing"
+
+	"prefcover"
+	"prefcover/dynamic"
+)
+
+func figure1(t *testing.T) *prefcover.Graph {
+	t.Helper()
+	b := prefcover.NewBuilder(5, 6)
+	b.AddLabeledNode("A", 0.33)
+	b.AddLabeledNode("B", 0.22)
+	b.AddLabeledNode("C", 0.22)
+	b.AddLabeledNode("D", 0.06)
+	b.AddLabeledNode("E", 0.17)
+	b.AddLabeledEdge("A", "B", 2.0/3.0)
+	b.AddLabeledEdge("A", "C", 0.3)
+	b.AddLabeledEdge("B", "C", 0.8)
+	b.AddLabeledEdge("C", "B", 1.0)
+	b.AddLabeledEdge("D", "C", 0.5)
+	b.AddLabeledEdge("E", "D", 0.9)
+	g, err := b.Build(prefcover.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestPublicSurface exercises the documented flow: solve, track, drift,
+// repair, re-solve.
+func TestPublicSurface(t *testing.T) {
+	g := figure1(t)
+	sol, err := prefcover.Solve(g, prefcover.Options{Variant: prefcover.Independent, K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, tracker, err := dynamic.TrackSolution(g, prefcover.Independent, sol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(tracker.Cover()-sol.Cover) > 1e-9 {
+		t.Fatalf("tracker cover %g != solution %g", tracker.Cover(), sol.Cover)
+	}
+	// Demand shifts: E crashes, A spikes.
+	e, _ := m.Lookup("E")
+	a, _ := m.Lookup("A")
+	if err := tracker.SetWeight(e, 0.01); err != nil {
+		t.Fatal(err)
+	}
+	if err := tracker.SetWeight(a, 0.49); err != nil {
+		t.Fatal(err)
+	}
+	if tracker.Drift() == 0 {
+		t.Error("drift should register")
+	}
+	if ex, ok := tracker.BestExchange(1e-9); ok {
+		before := tracker.Cover()
+		if err := tracker.ApplyExchange(ex); err != nil {
+			t.Fatal(err)
+		}
+		if tracker.Cover() <= before {
+			t.Error("exchange should improve")
+		}
+	}
+	res, err := tracker.Resolve(2, prefcover.Options{Lazy: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.RetainedIDs) != 2 {
+		t.Fatalf("resolve retained %d", len(res.RetainedIDs))
+	}
+	if tracker.Drift() != 0 {
+		t.Error("resolve resets drift")
+	}
+}
+
+func TestNewMutableGraphFromScratch(t *testing.T) {
+	m := dynamic.NewMutableGraph()
+	a, err := m.AddItem("a", 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.AddItem("b", 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetEdge(a, b, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := dynamic.NewTracker(m, prefcover.Normalized, []int32{b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// b covers itself (0.3) plus half of a's requests (0.35).
+	if math.Abs(tr.Cover()-0.65) > 1e-9 {
+		t.Errorf("cover = %g, want 0.65", tr.Cover())
+	}
+}

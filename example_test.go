@@ -1,0 +1,104 @@
+package prefcover_test
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"prefcover"
+)
+
+// ExampleSolve reproduces the paper's running example: of five items, keep
+// two. The best sellers A and B satisfy 77% of requests; the Preference
+// Cover solution {B, D} satisfies 87.3%.
+func ExampleSolve() {
+	b := prefcover.NewBuilder(5, 6)
+	b.AddLabeledNode("A", 0.33)
+	b.AddLabeledNode("B", 0.22)
+	b.AddLabeledNode("C", 0.22)
+	b.AddLabeledNode("D", 0.06)
+	b.AddLabeledNode("E", 0.17)
+	b.AddLabeledEdge("A", "B", 2.0/3.0)
+	b.AddLabeledEdge("A", "C", 0.3)
+	b.AddLabeledEdge("B", "C", 0.8)
+	b.AddLabeledEdge("C", "B", 1.0)
+	b.AddLabeledEdge("D", "C", 0.5)
+	b.AddLabeledEdge("E", "D", 0.9)
+	g, err := b.Build(prefcover.BuildOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	sol, err := prefcover.Solve(g, prefcover.Options{
+		Variant: prefcover.Independent,
+		K:       2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, v := range sol.Order {
+		fmt.Printf("%d. %s (gain %.3f)\n", i+1, g.Label(v), sol.Gains[i])
+	}
+	fmt.Printf("cover: %.1f%%\n", 100*sol.Cover)
+	// Output:
+	// 1. B (gain 0.660)
+	// 2. D (gain 0.213)
+	// cover: 87.3%
+}
+
+// ExampleMinCover solves the complementary minimization problem: the
+// smallest retained set whose cover reaches a target.
+func ExampleMinCover() {
+	b := prefcover.NewBuilder(3, 1)
+	b.AddLabeledNode("umbrella-black", 0.5)
+	b.AddLabeledNode("umbrella-navy", 0.3)
+	b.AddLabeledNode("umbrella-red", 0.2)
+	// Navy buyers settle for black 90% of the time.
+	b.AddLabeledEdge("umbrella-navy", "umbrella-black", 0.9)
+	g, err := b.Build(prefcover.BuildOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	sol, err := prefcover.MinCover(g, prefcover.Normalized, 0.75)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("retain %d item(s) for %.0f%% coverage: %s\n",
+		len(sol.Order), 100*sol.Cover, g.Label(sol.Order[0]))
+	// Output:
+	// retain 1 item(s) for 77% coverage: umbrella-black
+}
+
+// ExampleNewReport renders the merchandiser-facing report of a solved
+// instance (the right-hand panel of the paper's Figure 2).
+func ExampleNewReport() {
+	b := prefcover.NewBuilder(3, 1)
+	b.AddLabeledNode("x", 0.6)
+	b.AddLabeledNode("y", 0.3)
+	b.AddLabeledNode("z", 0.1)
+	b.AddLabeledEdge("y", "x", 0.5)
+	g, err := b.Build(prefcover.BuildOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sol, err := prefcover.Solve(g, prefcover.Options{Variant: prefcover.Independent, K: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	report := prefcover.NewReport(g, prefcover.Independent, sol, 0)
+	if _, err := report.WriteTo(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	// Output:
+	// variant: independent  retained: 1  cover: 75.00%
+	//
+	// retained items (selection order)
+	//   #  item  weight  marginal gain
+	//   1  x     0.6000  0.7500
+	//
+	// most affected non-retained items
+	//   item  weight  coverage  lost demand
+	//   y     0.3000  50.0%     0.1500
+	//   z     0.1000  0.0%      0.1000
+}

@@ -1,0 +1,77 @@
+// Cold start: a newly listed item has demand (preorders, search interest)
+// but no click history, so the behavioral preference graph gives it no
+// alternatives — if it is not retained, the model assumes its demand is
+// simply lost. The similarity index (the paper's footnote-4 direction)
+// proposes alternatives from item text so the solver can reason about the
+// new item like any other.
+//
+// Run: go run ./examples/coldstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"prefcover"
+	"prefcover/adapt"
+)
+
+func main() {
+	// Behavioral graph from historical clickstreams: the established
+	// coffee machines cover each other; "brewmaster-pro-2" launched last
+	// week and has demand but no outgoing edges yet.
+	b := prefcover.NewBuilder(0, 0)
+	b.AddLabeledNode("brewmaster-pro", 0.35)
+	b.AddLabeledNode("brewmaster-lite", 0.25)
+	b.AddLabeledNode("espressino", 0.20)
+	b.AddLabeledNode("brewmaster-pro-2", 0.20) // the new item
+	b.AddLabeledEdge("brewmaster-pro", "brewmaster-lite", 0.5)
+	b.AddLabeledEdge("brewmaster-lite", "brewmaster-pro", 0.7)
+	b.AddLabeledEdge("espressino", "brewmaster-pro", 0.3)
+	g, err := b.Build(prefcover.BuildOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	solve := func(graph *prefcover.Graph, tag string) {
+		sol, err := prefcover.Solve(graph, prefcover.Options{Variant: prefcover.Independent, K: 2})
+		if err != nil {
+			log.Fatal(err)
+		}
+		labels := make([]string, len(sol.Order))
+		for i, v := range sol.Order {
+			labels[i] = graph.Label(v)
+		}
+		fmt.Printf("%-11s keep %v -> %.1f%% of demand covered\n", tag+":", labels, 100*sol.Cover)
+	}
+
+	// Without augmentation the new item looks uncoverable, so the solver
+	// must burn a slot on it.
+	solve(g, "behavioral")
+
+	// Item texts reveal that the new machine is the successor of the pro
+	// model; augment and re-solve.
+	ix, err := adapt.BuildSimilarityIndex([]adapt.SimilarityDoc{
+		{Label: "brewmaster-pro", Text: "BrewMaster Pro espresso machine 15 bar steel"},
+		{Label: "brewmaster-lite", Text: "BrewMaster Lite espresso machine 10 bar compact"},
+		{Label: "espressino", Text: "Espressino capsule coffee maker compact"},
+		{Label: "brewmaster-pro-2", Text: "BrewMaster Pro 2 espresso machine 15 bar steel successor"},
+	}, adapt.SimilarityIndexOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	augmented, rep, err := adapt.AugmentWithSimilarity(g, ix, adapt.AugmentOptions{
+		MinAlternatives: 1, PerItem: 2, Alpha: 0.5,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nsimilarity augmentation: %d sparse item(s), %d edge(s) added\n", rep.SparseItems, rep.EdgesAdded)
+	newItem, _ := augmented.Lookup("brewmaster-pro-2")
+	dsts, ws := augmented.OutEdges(newItem)
+	for i, u := range dsts {
+		fmt.Printf("  brewmaster-pro-2 -> %s (%.2f)\n", augmented.Label(u), ws[i])
+	}
+	fmt.Println()
+	solve(augmented, "augmented")
+}

@@ -1,0 +1,3 @@
+module prefcover
+
+go 1.22

@@ -1,0 +1,334 @@
+package adapt_test
+
+import (
+	"math"
+	"testing"
+
+	. "prefcover/internal/adapt"
+	"prefcover/internal/clickstream"
+	"prefcover/internal/fixture"
+	"prefcover/internal/graph"
+)
+
+const tol = 1e-9
+
+// TestFigure3Construction reproduces the paper's Figure 3 end to end: the
+// 5-session iPhone clickstream must yield exactly the preference graph of
+// Figure 3b.
+func TestFigure3Construction(t *testing.T) {
+	g, rep, err := BuildGraph(fixture.Figure3Sessions(), Options{Variant: graph.Normalized})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Sessions != 5 || rep.PurchaseSessions != 5 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if g.NumNodes() != 3 {
+		t.Fatalf("nodes = %d", g.NumNodes())
+	}
+	wantW := map[string]float64{
+		fixture.Fig3Silver:    0.4,
+		fixture.Fig3Gold:      0.2,
+		fixture.Fig3SpaceGray: 0.4,
+	}
+	for label, w := range wantW {
+		v, ok := g.Lookup(label)
+		if !ok {
+			t.Fatalf("missing node %s", label)
+		}
+		if got := g.NodeWeight(v); math.Abs(got-w) > tol {
+			t.Errorf("W(%s) = %g, want %g", label, got, w)
+		}
+	}
+	wantE := []struct {
+		src, dst string
+		w        float64
+	}{
+		{fixture.Fig3Silver, fixture.Fig3Gold, 0.5},
+		{fixture.Fig3Silver, fixture.Fig3SpaceGray, 0.5},
+		{fixture.Fig3SpaceGray, fixture.Fig3Silver, 0.5},
+		{fixture.Fig3Gold, fixture.Fig3SpaceGray, 1.0},
+	}
+	if g.NumEdges() != len(wantE) {
+		t.Fatalf("edges = %d, want %d", g.NumEdges(), len(wantE))
+	}
+	for _, e := range wantE {
+		s, _ := g.Lookup(e.src)
+		d, _ := g.Lookup(e.dst)
+		w, ok := g.EdgeWeight(s, d)
+		if !ok {
+			t.Errorf("missing edge %s->%s", e.src, e.dst)
+			continue
+		}
+		if math.Abs(w-e.w) > tol {
+			t.Errorf("W(%s->%s) = %g, want %g", e.src, e.dst, w, e.w)
+		}
+	}
+	// The paper notes Figure 3 is a clear Normalized fit: every session
+	// implies at most one alternative.
+	if rep.SingleAlternativeShare != 1 {
+		t.Errorf("single-alternative share = %g, want 1", rep.SingleAlternativeShare)
+	}
+	if err := g.Validate(graph.ValidateOptions{Variant: graph.Normalized, RequireSimplex: true}); err != nil {
+		t.Errorf("figure 3 graph invalid: %v", err)
+	}
+}
+
+func TestNormalizedFractionalClicks(t *testing.T) {
+	// One purchase of x with two alternative clicks: under Normalized each
+	// edge gets weight 1/2, keeping the out-sum at 1; under Independent
+	// both get 1.
+	sessions := clickstream.NewStore([]clickstream.Session{
+		{ID: "s1", Purchase: "x", Clicks: []string{"y", "z"}},
+	})
+	gN, _, err := BuildGraph(sessions, Options{Variant: graph.Normalized})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, _ := gN.Lookup("x")
+	y, _ := gN.Lookup("y")
+	z, _ := gN.Lookup("z")
+	if w, _ := gN.EdgeWeight(x, y); math.Abs(w-0.5) > tol {
+		t.Errorf("normalized W(x->y) = %g, want 0.5", w)
+	}
+	if err := gN.Validate(graph.ValidateOptions{Variant: graph.Normalized, RequireSimplex: true}); err != nil {
+		t.Errorf("normalized graph invalid: %v", err)
+	}
+
+	sessions.Reset()
+	gI, _, err := BuildGraph(sessions, Options{Variant: graph.Independent})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, _ = gI.Lookup("x")
+	y, _ = gI.Lookup("y")
+	z, _ = gI.Lookup("z")
+	if w, _ := gI.EdgeWeight(x, y); math.Abs(w-1) > tol {
+		t.Errorf("independent W(x->y) = %g, want 1", w)
+	}
+	if w, _ := gI.EdgeWeight(x, z); math.Abs(w-1) > tol {
+		t.Errorf("independent W(x->z) = %g, want 1", w)
+	}
+}
+
+// TestAdaptEdgeDirection pins the paper's Section 5.2 design choice: edges
+// run purchased -> clicked, never the reverse.
+func TestAdaptEdgeDirection(t *testing.T) {
+	sessions := clickstream.NewStore([]clickstream.Session{
+		{ID: "s1", Purchase: "bought", Clicks: []string{"considered"}},
+	})
+	g, _, err := BuildGraph(sessions, Options{Variant: graph.Independent})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := g.Lookup("bought")
+	c, _ := g.Lookup("considered")
+	if _, ok := g.EdgeWeight(b, c); !ok {
+		t.Error("missing purchased->clicked edge")
+	}
+	if _, ok := g.EdgeWeight(c, b); ok {
+		t.Error("clicked->purchased edge must not exist")
+	}
+}
+
+func TestBrowseOnlySessionsIgnored(t *testing.T) {
+	sessions := clickstream.NewStore([]clickstream.Session{
+		{ID: "s1", Purchase: "x", Clicks: []string{"y"}},
+		{ID: "s2", Clicks: []string{"y", "x"}}, // browse-only: no effect on weights or edges
+		{ID: "s3", Clicks: []string{"w"}},      // introduces item w as a node only
+	})
+	g, rep, err := BuildGraph(sessions, Options{Variant: graph.Independent})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Sessions != 3 || rep.PurchaseSessions != 1 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if g.NumNodes() != 3 { // x, y, w
+		t.Fatalf("nodes = %d", g.NumNodes())
+	}
+	x, _ := g.Lookup("x")
+	if w := g.NodeWeight(x); math.Abs(w-1) > tol {
+		t.Errorf("W(x) = %g, want 1", w)
+	}
+	wNode, _ := g.Lookup("w")
+	if g.NodeWeight(wNode) != 0 {
+		t.Error("browse-only item should have weight 0")
+	}
+	if g.NumEdges() != 1 {
+		t.Errorf("edges = %d, want 1", g.NumEdges())
+	}
+}
+
+func TestSelfClickIgnored(t *testing.T) {
+	sessions := clickstream.NewStore([]clickstream.Session{
+		{ID: "s1", Purchase: "x", Clicks: []string{"x", "y"}},
+	})
+	g, _, err := BuildGraph(sessions, Options{Variant: graph.Normalized})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, _ := g.Lookup("x")
+	y, _ := g.Lookup("y")
+	// Only y counts as an alternative, so the edge weight is a whole 1.0.
+	if w, _ := g.EdgeWeight(x, y); math.Abs(w-1) > tol {
+		t.Errorf("W(x->y) = %g, want 1", w)
+	}
+	if g.NumEdges() != 1 {
+		t.Errorf("edges = %d", g.NumEdges())
+	}
+}
+
+func TestMinPurchasesFilter(t *testing.T) {
+	sessions := clickstream.NewStore([]clickstream.Session{
+		{ID: "s1", Purchase: "popular", Clicks: []string{"alt"}},
+		{ID: "s2", Purchase: "popular", Clicks: []string{"alt"}},
+		{ID: "s3", Purchase: "rare", Clicks: []string{"alt"}},
+	})
+	g, _, err := BuildGraph(sessions, Options{Variant: graph.Independent, MinPurchases: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pop, _ := g.Lookup("popular")
+	rare, _ := g.Lookup("rare")
+	alt, _ := g.Lookup("alt")
+	if _, ok := g.EdgeWeight(pop, alt); !ok {
+		t.Error("popular item's edge should survive the filter")
+	}
+	if _, ok := g.EdgeWeight(rare, alt); ok {
+		t.Error("rare item's edge should be filtered")
+	}
+	// The rare item keeps its node and weight.
+	if g.NodeWeight(rare) == 0 {
+		t.Error("rare item weight lost")
+	}
+}
+
+func TestClickDiscount(t *testing.T) {
+	sessions := clickstream.NewStore([]clickstream.Session{
+		{ID: "s1", Purchase: "x", Clicks: []string{"y"}},
+	})
+	g, _, err := BuildGraph(sessions, Options{Variant: graph.Independent, ClickDiscount: 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, _ := g.Lookup("x")
+	y, _ := g.Lookup("y")
+	if w, _ := g.EdgeWeight(x, y); math.Abs(w-0.4) > tol {
+		t.Errorf("discounted W(x->y) = %g, want 0.4", w)
+	}
+	sessions.Reset()
+	if _, _, err := BuildGraph(sessions, Options{ClickDiscount: 1.5}); err == nil {
+		t.Error("discount > 1 should fail")
+	}
+	sessions.Reset()
+	if _, _, err := BuildGraph(sessions, Options{ClickDiscount: -0.1}); err == nil {
+		t.Error("negative discount should fail")
+	}
+}
+
+func TestNoPurchasesError(t *testing.T) {
+	sessions := clickstream.NewStore([]clickstream.Session{
+		{ID: "s1", Clicks: []string{"x"}},
+	})
+	if _, _, err := BuildGraph(sessions, Options{}); err == nil {
+		t.Error("purchase-free clickstream should fail")
+	}
+}
+
+func TestNodeWeightsFormSimplex(t *testing.T) {
+	g, _, err := BuildGraph(fixture.Figure3Sessions(), Options{Variant: graph.Independent})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(graph.ValidateOptions{RequireSimplex: true}); err != nil {
+		t.Errorf("node weights not a simplex: %v", err)
+	}
+}
+
+func TestFitnessIndependentData(t *testing.T) {
+	// Construct sessions where two alternatives are clicked independently:
+	// all four combinations appear with product frequencies.
+	var sessions []clickstream.Session
+	id := 0
+	add := func(n int, clicks ...string) {
+		for i := 0; i < n; i++ {
+			sessions = append(sessions, clickstream.Session{
+				ID: string(rune('a' + id)), Purchase: "x", Clicks: clicks,
+			})
+			id++
+		}
+	}
+	// P(click y)=0.5, P(click z)=0.5, independent over 40 sessions.
+	add(10, "y", "z")
+	add(10, "y")
+	add(10, "z")
+	add(10)
+	g, rep, err := BuildGraph(clickstream.NewStore(sessions), Options{Variant: graph.Independent, ComputeFitness: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.FitnessComputed {
+		t.Fatal("fitness not computed")
+	}
+	if rep.MeanPairwiseNMI > 1e-9 {
+		t.Errorf("NMI = %g, want ~0 for independent clicks", rep.MeanPairwiseNMI)
+	}
+	variant, ok := rep.RecommendVariant()
+	if !ok || variant != graph.Independent {
+		t.Errorf("recommendation = %v,%v want Independent", variant, ok)
+	}
+	_ = g
+}
+
+func TestFitnessNormalizedData(t *testing.T) {
+	var sessions []clickstream.Session
+	for i := 0; i < 50; i++ {
+		alt := "y"
+		if i%2 == 0 {
+			alt = "z"
+		}
+		sessions = append(sessions, clickstream.Session{ID: "s", Purchase: "x", Clicks: []string{alt}})
+	}
+	_, rep, err := BuildGraph(clickstream.NewStore(sessions), Options{Variant: graph.Normalized, ComputeFitness: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SingleAlternativeShare != 1 {
+		t.Fatalf("share = %g", rep.SingleAlternativeShare)
+	}
+	variant, ok := rep.RecommendVariant()
+	if !ok || variant != graph.Normalized {
+		t.Errorf("recommendation = %v,%v want Normalized", variant, ok)
+	}
+}
+
+func TestFitnessDependentData(t *testing.T) {
+	// y and z are always clicked together: NMI 1, and two alternatives per
+	// session (share 0), so neither rule fires.
+	var sessions []clickstream.Session
+	for i := 0; i < 30; i++ {
+		clicks := []string{"y", "z"}
+		if i%3 == 0 {
+			clicks = nil
+		}
+		sessions = append(sessions, clickstream.Session{ID: "s", Purchase: "x", Clicks: clicks})
+	}
+	_, rep, err := BuildGraph(clickstream.NewStore(sessions), Options{Variant: graph.Independent, ComputeFitness: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.MeanPairwiseNMI < 0.5 {
+		t.Errorf("NMI = %g, want high for coupled clicks", rep.MeanPairwiseNMI)
+	}
+	if _, ok := rep.RecommendVariant(); ok {
+		t.Error("neither variant should be a confident fit")
+	}
+}
+
+func TestRecommendWithoutFitness(t *testing.T) {
+	rep := &Report{}
+	if _, ok := rep.RecommendVariant(); ok {
+		t.Error("recommendation without fitness stats should not be confident")
+	}
+}

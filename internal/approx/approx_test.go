@@ -1,0 +1,100 @@
+package approx_test
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	. "prefcover/internal/approx"
+)
+
+func TestGreedyRatioVC(t *testing.T) {
+	e := 1 - 1/math.E
+	if got := GreedyRatioVC(0); math.Abs(got-e) > 1e-12 {
+		t.Errorf("ratio(0) = %g, want %g", got, e)
+	}
+	// Below the crossover the constant dominates.
+	if got := GreedyRatioVC(0.2); got != e {
+		t.Errorf("ratio(0.2) = %g, want 1-1/e", got)
+	}
+	// Above the crossover the quadratic takes over.
+	if got := GreedyRatioVC(0.74); got <= 0.93 {
+		t.Errorf("ratio(0.74) = %g, want > 0.93 (paper: exceeds 0.93 for k >= 0.74n)", got)
+	}
+	if got := GreedyRatioVC(1); got != 1 {
+		t.Errorf("ratio(1) = %g, want 1", got)
+	}
+}
+
+func TestCrossoverFraction(t *testing.T) {
+	x := CrossoverFraction()
+	if math.Abs(x-0.3935) > 0.001 {
+		t.Errorf("crossover = %g, want ~0.3935 (the ~0.39 in Table 1)", x)
+	}
+	// At the crossover the two terms coincide.
+	quad := 1 - (1-x)*(1-x)
+	if math.Abs(quad-(1-1/math.E)) > 1e-12 {
+		t.Errorf("terms differ at crossover: %g vs %g", quad, 1-1/math.E)
+	}
+}
+
+func TestGreedyRatioMonotoneProperty(t *testing.T) {
+	prop := func(a, b float64) bool {
+		x := math.Abs(math.Mod(a, 1))
+		y := math.Abs(math.Mod(b, 1))
+		if x > y {
+			x, y = y, x
+		}
+		return GreedyRatioVC(x) <= GreedyRatioVC(y)+1e-12
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGreedyRatioBounds(t *testing.T) {
+	prop := func(a float64) bool {
+		x := math.Abs(math.Mod(a, 1))
+		r := GreedyRatioVC(x)
+		return r >= 1-1/math.E-1e-12 && r <= 1
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGreedyRatioPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("want panic for k/n > 1")
+		}
+	}()
+	GreedyRatioVC(1.5)
+}
+
+func TestGreedyRatioIPC(t *testing.T) {
+	if got := GreedyRatioIPC(); math.Abs(got-(1-1/math.E)) > 1e-12 {
+		t.Errorf("IPC ratio = %g", got)
+	}
+}
+
+func TestTable1(t *testing.T) {
+	rows := Table1()
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d, want 5", len(rows))
+	}
+	// First two ranges quote the constant; last three the quadratic.
+	for i, row := range rows {
+		if row.GreedyAt < 1-1/math.E-1e-12 || row.GreedyAt > 1 {
+			t.Errorf("row %d greedy ratio %g out of range", i, row.GreedyAt)
+		}
+		if row.Range == "" || row.BestKnown == "" || row.Greedy == "" {
+			t.Errorf("row %d has empty fields: %+v", i, row)
+		}
+	}
+	// The [0.74, 1] row is where greedy IS the best known.
+	last := rows[len(rows)-1]
+	if last.GreedyAt <= 0.93 {
+		t.Errorf("last row greedy %g should exceed 0.93", last.GreedyAt)
+	}
+}

@@ -1,0 +1,284 @@
+// Package baseline implements the four comparison algorithms of the paper's
+// experimental study (Section 5.3): BF (exact brute force), TopK-W (top-k
+// by weight), TopK-C (top-k by individual coverage), and Random — plus the
+// sorted-prefix binary-search adaptations used for the complementary
+// minimization problem (Figure 4f).
+package baseline
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"prefcover/internal/cover"
+	"prefcover/internal/graph"
+)
+
+// Result is a baseline's selected set and its cover.
+type Result struct {
+	Set   []int32
+	Cover float64
+}
+
+// TopKW returns the k heaviest nodes — the paper's naive baseline that
+// "considers each item individually without taking alternatives into
+// account". Ties break toward smaller id.
+func TopKW(g *graph.Graph, variant graph.Variant, k int) (*Result, error) {
+	if err := checkK(g, k); err != nil {
+		return nil, err
+	}
+	ids := g.TopNodesByWeight(k)
+	set := append([]int32(nil), ids...)
+	c, err := cover.EvaluateSet(g, variant, set)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Set: set, Cover: c}, nil
+}
+
+// IndividualCoverage returns, for every node, the cover it would achieve
+// alone: its own weight plus the weight of requests for its in-neighbors it
+// matches. This equals the greedy marginal gain w.r.t. the empty set and is
+// identical under both variants.
+func IndividualCoverage(g *graph.Graph) []float64 {
+	out := make([]float64, g.NumNodes())
+	for v := int32(0); v < int32(g.NumNodes()); v++ {
+		c := g.NodeWeight(v)
+		srcs, ws := g.InEdges(v)
+		for i, u := range srcs {
+			if u == v {
+				continue
+			}
+			c += g.NodeWeight(u) * ws[i]
+		}
+		out[v] = c
+	}
+	return out
+}
+
+// TopKC returns the k nodes with the highest individual coverage — the
+// paper's refined baseline that "takes alternatives into account, however
+// not from a global viewpoint": it ignores overlaps between the selected
+// items' covers.
+func TopKC(g *graph.Graph, variant graph.Variant, k int) (*Result, error) {
+	if err := checkK(g, k); err != nil {
+		return nil, err
+	}
+	set := topKBy(IndividualCoverage(g), k)
+	c, err := cover.EvaluateSet(g, variant, set)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Set: set, Cover: c}, nil
+}
+
+// Random selects k nodes uniformly at random using rng. The paper reports
+// the best of 10 executions; see BestRandom.
+func Random(g *graph.Graph, variant graph.Variant, k int, rng *rand.Rand) (*Result, error) {
+	if err := checkK(g, k); err != nil {
+		return nil, err
+	}
+	perm := rng.Perm(g.NumNodes())
+	set := make([]int32, k)
+	for i := 0; i < k; i++ {
+		set[i] = int32(perm[i])
+	}
+	sort.Slice(set, func(i, j int) bool { return set[i] < set[j] })
+	c, err := cover.EvaluateSet(g, variant, set)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Set: set, Cover: c}, nil
+}
+
+// BestRandom runs Random `runs` times and keeps the best cover, matching
+// the paper's "best across 10 executions" protocol.
+func BestRandom(g *graph.Graph, variant graph.Variant, k, runs int, rng *rand.Rand) (*Result, error) {
+	if runs <= 0 {
+		return nil, fmt.Errorf("baseline: runs must be positive, got %d", runs)
+	}
+	var best *Result
+	for i := 0; i < runs; i++ {
+		r, err := Random(g, variant, k, rng)
+		if err != nil {
+			return nil, err
+		}
+		if best == nil || r.Cover > best.Cover {
+			best = r
+		}
+	}
+	return best, nil
+}
+
+// BruteForce enumerates all subsets of size k and returns one maximizing
+// C(S); among ties it returns the lexicographically smallest subset. It is
+// exponential (C(n,k) evaluations) and exists as the optimality oracle for
+// the Figure 4a/4b experiments and the approximation-ratio tests.
+type BruteForceStats struct {
+	SubsetsEvaluated int64
+}
+
+// BruteForce runs the exhaustive search. maxSubsets > 0 aborts with an
+// error once that many subsets were evaluated, protecting callers from
+// accidentally launching an infeasible enumeration.
+func BruteForce(g *graph.Graph, variant graph.Variant, k int, maxSubsets int64) (*Result, *BruteForceStats, error) {
+	if err := checkK(g, k); err != nil {
+		return nil, nil, err
+	}
+	n := g.NumNodes()
+	if c := binomial(n, k); maxSubsets > 0 && (c < 0 || c > maxSubsets) {
+		return nil, nil, fmt.Errorf("baseline: brute force over C(%d,%d) subsets exceeds budget %d", n, k, maxSubsets)
+	}
+	idx := make([]int32, k)
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	retained := make([]bool, n)
+	stats := &BruteForceStats{}
+	best := &Result{Cover: -1}
+	for {
+		for i := range retained {
+			retained[i] = false
+		}
+		for _, v := range idx {
+			retained[v] = true
+		}
+		c := cover.Evaluate(g, variant, retained)
+		stats.SubsetsEvaluated++
+		// Strictly-greater keeps the first (lexicographically smallest)
+		// maximizer, since enumeration is in lexicographic order.
+		if c > best.Cover+graph.Eps {
+			best.Cover = c
+			best.Set = append(best.Set[:0], idx...)
+		}
+		if !nextCombination(idx, n) {
+			break
+		}
+	}
+	return best, stats, nil
+}
+
+// nextCombination advances idx to the next k-combination of [0,n) in
+// lexicographic order, returning false after the last one.
+func nextCombination(idx []int32, n int) bool {
+	k := len(idx)
+	for i := k - 1; i >= 0; i-- {
+		if idx[i] < int32(n-k+i) {
+			idx[i]++
+			for j := i + 1; j < k; j++ {
+				idx[j] = idx[j-1] + 1
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// binomial returns C(n,k), or -1 on overflow.
+func binomial(n, k int) int64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	if k > n-k {
+		k = n - k
+	}
+	var c float64 = 1
+	for i := 0; i < k; i++ {
+		c *= float64(n-i) / float64(i+1)
+		if c > math.MaxInt64/2 {
+			return -1
+		}
+	}
+	return int64(math.Round(c))
+}
+
+// MinCoverResult is the output of a threshold-mode baseline.
+type MinCoverResult struct {
+	Set     []int32
+	Size    int
+	Cover   float64
+	Reached bool
+}
+
+// MinCoverTopKW finds, by binary search over prefixes of the weight-sorted
+// node list, the smallest k whose TopK-W set covers at least threshold.
+// This is exactly the adaptation the paper describes for Figure 4f. Note
+// the cover of a sorted prefix is monotone in its length, so binary search
+// is valid.
+func MinCoverTopKW(g *graph.Graph, variant graph.Variant, threshold float64) (*MinCoverResult, error) {
+	order := g.TopNodesByWeight(g.NumNodes())
+	return minCoverPrefix(g, variant, threshold, order)
+}
+
+// MinCoverTopKC is MinCoverTopKW with the individual-coverage ranking.
+func MinCoverTopKC(g *graph.Graph, variant graph.Variant, threshold float64) (*MinCoverResult, error) {
+	order := topKBy(IndividualCoverage(g), g.NumNodes())
+	return minCoverPrefix(g, variant, threshold, order)
+}
+
+func minCoverPrefix(g *graph.Graph, variant graph.Variant, threshold float64, order []int32) (*MinCoverResult, error) {
+	if threshold <= 0 || threshold > 1 {
+		return nil, fmt.Errorf("baseline: threshold %g outside (0,1]", threshold)
+	}
+	full, err := cover.EvaluateSet(g, variant, order)
+	if err != nil {
+		return nil, err
+	}
+	if full < threshold-graph.Eps {
+		return &MinCoverResult{Set: order, Size: len(order), Cover: full, Reached: false}, nil
+	}
+	lo, hi := 1, len(order) // smallest prefix length meeting threshold is in [lo,hi]
+	var hiCover float64 = full
+	for lo < hi {
+		mid := (lo + hi) / 2
+		c, err := cover.EvaluateSet(g, variant, order[:mid])
+		if err != nil {
+			return nil, err
+		}
+		if c >= threshold-graph.Eps {
+			hi, hiCover = mid, c
+		} else {
+			lo = mid + 1
+		}
+	}
+	c := hiCover
+	if lo != hi {
+		if c, err = cover.EvaluateSet(g, variant, order[:lo]); err != nil {
+			return nil, err
+		}
+	}
+	set := append([]int32(nil), order[:lo]...)
+	return &MinCoverResult{Set: set, Size: lo, Cover: c, Reached: true}, nil
+}
+
+// topKBy returns the indices of the k largest scores, ties toward smaller
+// id, in descending-score order.
+func topKBy(scores []float64, k int) []int32 {
+	ids := make([]int32, len(scores))
+	for i := range ids {
+		ids[i] = int32(i)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		si, sj := scores[ids[i]], scores[ids[j]]
+		if si != sj {
+			return si > sj
+		}
+		return ids[i] < ids[j]
+	})
+	if k > len(ids) {
+		k = len(ids)
+	}
+	return ids[:k]
+}
+
+func checkK(g *graph.Graph, k int) error {
+	if k <= 0 {
+		return errors.New("baseline: k must be positive")
+	}
+	if k > g.NumNodes() {
+		return fmt.Errorf("baseline: k=%d exceeds node count %d", k, g.NumNodes())
+	}
+	return nil
+}

@@ -1,0 +1,290 @@
+package budgeted_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	. "prefcover/internal/budgeted"
+	"prefcover/internal/cover"
+	"prefcover/internal/fixture"
+	"prefcover/internal/graph"
+	"prefcover/internal/graphtest"
+	"prefcover/internal/greedy"
+)
+
+const tol = 1e-9
+
+func TestUnitCostMatchesPlainGreedy(t *testing.T) {
+	// With unit costs and unit revenue, budget B equals cardinality k, and
+	// the benefit pass is exactly the paper's greedy.
+	g := fixture.Figure1Graph()
+	res, err := Solve(g, Spec{Variant: graph.Independent, Budget: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := greedy.Solve(g, greedy.Options{Variant: graph.Independent, K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Revenue-plain.Cover) > tol {
+		t.Errorf("budgeted %g != plain %g", res.Revenue, plain.Cover)
+	}
+	if len(res.Order) != 2 || res.Order[0] != plain.Order[0] || res.Order[1] != plain.Order[1] {
+		t.Errorf("order = %v, want %v", res.Order, plain.Order)
+	}
+	if res.CostUsed != 2 {
+		t.Errorf("cost used = %g", res.CostUsed)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	g := fixture.Figure1Graph()
+	cases := map[string]Spec{
+		"zero budget":      {Variant: graph.Independent},
+		"revenue len":      {Variant: graph.Independent, Budget: 1, Revenue: []float64{1}},
+		"cost len":         {Variant: graph.Independent, Budget: 1, Cost: []float64{1}},
+		"negative revenue": {Variant: graph.Independent, Budget: 1, Revenue: []float64{1, 1, -1, 1, 1}},
+		"zero cost":        {Variant: graph.Independent, Budget: 1, Cost: []float64{1, 0, 1, 1, 1}},
+	}
+	for name, spec := range cases {
+		if _, err := Solve(g, spec); err == nil {
+			t.Errorf("%s: want error", name)
+		}
+	}
+}
+
+func TestRevenueScalingChangesSelection(t *testing.T) {
+	// Make item E's revenue enormous: retaining D (which covers E at 0.9)
+	// or E itself must become the first pick.
+	g := fixture.Figure1Graph()
+	e, _ := g.Lookup("E")
+	d, _ := g.Lookup("D")
+	revenue := []float64{1, 1, 1, 1, 1}
+	revenue[e] = 50
+	res, err := Solve(g, Spec{Variant: graph.Independent, Budget: 1, Revenue: revenue})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Order) != 1 || (res.Order[0] != e && res.Order[0] != d) {
+		t.Errorf("first pick = %v, want E or D", res.Order)
+	}
+	// E itself (full revenue) beats D (0.9 of it plus D's own).
+	wantE := 50 * g.NodeWeight(e)
+	wantD := 0.9*50*g.NodeWeight(e) + g.NodeWeight(d)
+	wantBest := math.Max(wantE, wantD)
+	if math.Abs(res.Revenue-wantBest) > tol {
+		t.Errorf("revenue = %g, want %g", res.Revenue, wantBest)
+	}
+}
+
+func TestCostsForceCheapSubstitutes(t *testing.T) {
+	// B is the strongest item but exorbitantly expensive; the budget only
+	// fits the cheap ones, so the solution must avoid B entirely.
+	g := fixture.Figure1Graph()
+	b, _ := g.Lookup("B")
+	cost := []float64{1, 1, 1, 1, 1}
+	cost[b] = 100
+	res, err := Solve(g, Spec{Variant: graph.Independent, Budget: 2, Cost: cost})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range res.Order {
+		if v == b {
+			t.Fatal("unaffordable item selected")
+		}
+	}
+	if res.CostUsed > 2+tol {
+		t.Errorf("cost used %g exceeds budget", res.CostUsed)
+	}
+}
+
+func TestRatioPassWinsWhenCheapItemsCoverMore(t *testing.T) {
+	// Two clusters: one high-gain expensive item vs several cheap items
+	// whose total gain under the same budget is larger. The ratio pass
+	// must find the cheap plan.
+	bld := graph.NewBuilder(4, 0)
+	bld.AddNode(0.4) // expensive hub, cost 10
+	bld.AddNode(0.2) // cheap, cost 1
+	bld.AddNode(0.2) // cheap, cost 1
+	bld.AddNode(0.2) // cheap, cost 1
+	g, err := bld.Build(graph.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Solve(g, Spec{
+		Variant: graph.Independent,
+		Budget:  10,
+		Cost:    []float64{10, 1, 1, 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Benefit pass grabs node 0 (gain 0.4, cost 10) and exhausts the
+	// budget for 0.4; the cheap trio yields 0.6.
+	if math.Abs(res.Revenue-0.6) > tol {
+		t.Errorf("revenue = %g, want 0.6 (strategy %s)", res.Revenue, res.Strategy)
+	}
+	if res.Strategy != "ratio" {
+		t.Errorf("strategy = %s, want ratio", res.Strategy)
+	}
+}
+
+func TestSingleStrategyWhenBudgetTiny(t *testing.T) {
+	// Budget fits exactly one specific expensive item whose gain exceeds
+	// anything the cheap items can assemble.
+	bld := graph.NewBuilder(3, 0)
+	bld.AddNode(0.9)
+	bld.AddNode(0.05)
+	bld.AddNode(0.05)
+	g, err := bld.Build(graph.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Solve(g, Spec{
+		Variant: graph.Independent,
+		Budget:  3,
+		Cost:    []float64{3, 1, 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Revenue-0.9) > tol {
+		t.Errorf("revenue = %g, want 0.9", res.Revenue)
+	}
+	if len(res.Order) != 1 || res.Order[0] != 0 {
+		t.Errorf("order = %v", res.Order)
+	}
+}
+
+func TestNothingAffordable(t *testing.T) {
+	g := fixture.Figure1Graph()
+	res, err := Solve(g, Spec{
+		Variant: graph.Independent,
+		Budget:  0.5,
+		Cost:    []float64{1, 1, 1, 1, 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Order) != 0 || res.Revenue != 0 {
+		t.Errorf("unaffordable instance returned %+v", res)
+	}
+}
+
+// TestBudgetedInvariants: the solution respects the budget, its revenue
+// matches a from-scratch evaluation on the revenue-scaled graph, and it is
+// at least as good as the best single affordable item (the (1-1/e)/2
+// scheme's floor).
+func TestBudgetedInvariants(t *testing.T) {
+	for _, variant := range []graph.Variant{graph.Independent, graph.Normalized} {
+		prop := func(seed int64) bool {
+			rng := rand.New(rand.NewSource(seed))
+			g := graphtest.Random(rng, 3+rng.Intn(20), 4, variant)
+			n := g.NumNodes()
+			revenue := make([]float64, n)
+			costs := make([]float64, n)
+			for i := range revenue {
+				revenue[i] = rng.Float64() * 3
+				costs[i] = 0.1 + rng.Float64()*2
+			}
+			budget := 0.5 + rng.Float64()*3
+			res, err := Solve(g, Spec{Variant: variant, Revenue: revenue, Cost: costs, Budget: budget})
+			if err != nil {
+				return false
+			}
+			if res.CostUsed > budget+tol {
+				return false
+			}
+			// Objective matches a from-scratch evaluation on the scaled
+			// graph.
+			bld := graph.NewBuilder(n, g.NumEdges())
+			for v := int32(0); v < int32(n); v++ {
+				bld.AddNode(g.NodeWeight(v) * revenue[v])
+			}
+			for _, e := range g.Edges() {
+				bld.AddEdge(e.Src, e.Dst, e.W)
+			}
+			scaled, err := bld.Build(graph.BuildOptions{})
+			if err != nil {
+				return false
+			}
+			fresh, err := cover.EvaluateSet(scaled, variant, res.Order)
+			if err != nil {
+				return false
+			}
+			if math.Abs(fresh-res.Revenue) > 1e-9 {
+				return false
+			}
+			// At least the best affordable single item.
+			bestSingle := 0.0
+			for v := int32(0); v < int32(n); v++ {
+				if costs[v] > budget {
+					continue
+				}
+				single, err := cover.EvaluateSet(scaled, variant, []int32{v})
+				if err != nil {
+					return false
+				}
+				if single > bestSingle {
+					bestSingle = single
+				}
+			}
+			return res.Revenue >= bestSingle-tol
+		}
+		if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+			t.Errorf("variant %v: %v", variant, err)
+		}
+	}
+}
+
+// TestBudgetedNearExhaustive compares against exhaustive search on tiny
+// instances; the scheme must stay within its (1-1/e)/2 guarantee (and in
+// practice does far better).
+func TestBudgetedNearExhaustive(t *testing.T) {
+	floor := (1 - 1/math.E) / 2
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		g := graphtest.Random(rng, 4+rng.Intn(5), 3, graph.Independent)
+		n := g.NumNodes()
+		costs := make([]float64, n)
+		for i := range costs {
+			costs[i] = 0.5 + rng.Float64()
+		}
+		budget := 1.0 + rng.Float64()*2
+		res, err := Solve(g, Spec{Variant: graph.Independent, Cost: costs, Budget: budget})
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt := exhaustiveBudgeted(g, costs, budget)
+		if res.Revenue < floor*opt-tol {
+			t.Errorf("seed %d: budgeted %g < %g * optimum %g", seed, res.Revenue, floor, opt)
+		}
+		if res.Revenue > opt+tol {
+			t.Errorf("seed %d: budgeted %g exceeds optimum %g", seed, res.Revenue, opt)
+		}
+	}
+}
+
+func exhaustiveBudgeted(g *graph.Graph, costs []float64, budget float64) float64 {
+	n := g.NumNodes()
+	best := 0.0
+	retained := make([]bool, n)
+	for mask := 0; mask < 1<<n; mask++ {
+		var cost float64
+		for v := 0; v < n; v++ {
+			retained[v] = mask&(1<<v) != 0
+			if retained[v] {
+				cost += costs[v]
+			}
+		}
+		if cost > budget {
+			continue
+		}
+		if c := cover.Evaluate(g, graph.Independent, retained); c > best {
+			best = c
+		}
+	}
+	return best
+}

@@ -1,0 +1,110 @@
+package budgeted_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	. "prefcover/internal/budgeted"
+	"prefcover/internal/graph"
+	"prefcover/internal/graphtest"
+)
+
+func TestPartialEnumNeverWorseThanGreedy(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		g := graphtest.Random(rng, 5+rng.Intn(5), 3, graph.Independent)
+		n := g.NumNodes()
+		costs := make([]float64, n)
+		for i := range costs {
+			costs[i] = 0.5 + rng.Float64()
+		}
+		spec := Spec{Variant: graph.Independent, Cost: costs, Budget: 1 + 2*rng.Float64()}
+		base, err := Solve(g, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		enum, err := SolvePartialEnum(g, spec, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if enum.Revenue < base.Revenue-1e-9 {
+			t.Errorf("seed %d: enum %g < greedy %g", seed, enum.Revenue, base.Revenue)
+		}
+		if enum.CostUsed > spec.Budget+1e-9 {
+			t.Errorf("seed %d: budget violated", seed)
+		}
+	}
+}
+
+// TestPartialEnumMeetsOneMinusInvE: against exhaustive search the
+// enumeration variant must reach the (1-1/e) factor.
+func TestPartialEnumMeetsOneMinusInvE(t *testing.T) {
+	ratio := 1 - 1/math.E
+	for seed := int64(0); seed < 15; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		g := graphtest.Random(rng, 4+rng.Intn(5), 3, graph.Independent)
+		n := g.NumNodes()
+		costs := make([]float64, n)
+		for i := range costs {
+			costs[i] = 0.5 + rng.Float64()
+		}
+		budget := 1.0 + rng.Float64()*2
+		spec := Spec{Variant: graph.Independent, Cost: costs, Budget: budget}
+		res, err := SolvePartialEnum(g, spec, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt := exhaustiveBudgeted(g, costs, budget)
+		if res.Revenue < ratio*opt-1e-9 {
+			t.Errorf("seed %d: enum %g < %g * optimum %g", seed, res.Revenue, ratio, opt)
+		}
+	}
+}
+
+func TestPartialEnumSeedBudgetGuard(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := graphtest.Random(rng, 30, 3, graph.Independent)
+	if _, err := SolvePartialEnum(g, Spec{Variant: graph.Independent, Budget: 3}, 100); err == nil {
+		t.Fatal("seed budget should trip")
+	}
+}
+
+// TestPartialEnumBeatsGreedyOnHardInstance constructs the classic trap:
+// greedy-by-ratio grabs a cheap high-ratio item that blocks the optimal
+// expensive pair.
+func TestPartialEnumBeatsGreedyOnHardInstance(t *testing.T) {
+	b := graph.NewBuilder(3, 0)
+	b.AddNode(0.34) // cheap decoy
+	b.AddNode(0.33)
+	b.AddNode(0.33)
+	g, err := b.Build(graph.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := Spec{
+		Variant: graph.Independent,
+		Cost:    []float64{1, 2, 2},
+		Budget:  4,
+	}
+	// Ratio pass picks the decoy (0.34) then can afford only one of the
+	// others: 0.67. Benefit pass picks 0.34 first too. Optimal: both
+	// expensive items, 0.66... which loses to 0.67 here; make the decoy
+	// cheaper in value instead.
+	spec.Revenue = []float64{1, 2, 2} // expensive items worth double
+	enum, err := SolvePartialEnum(g, spec, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := Solve(g, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if enum.Revenue < base.Revenue {
+		t.Fatalf("enum %g < greedy %g", enum.Revenue, base.Revenue)
+	}
+	// The optimum is the two expensive items: 2*(0.33+0.33) = 1.32.
+	if math.Abs(enum.Revenue-1.32) > 1e-9 {
+		t.Errorf("enum revenue = %g, want 1.32", enum.Revenue)
+	}
+}

@@ -1,0 +1,174 @@
+// Package clickstream provides the raw-data substrate of the paper's Data
+// Adaptation Engine (Section 5.2): browsing sessions with clicks and at most
+// one purchase each, streaming codecs for them, and aggregate statistics.
+//
+// The paper assumes only minimal tracking information — "clicks and
+// purchases grouped by sessions" — which is exactly what Session captures.
+// Sessions in which several items are bought are modeled upstream as
+// separate sessions (paper Section 2.1).
+package clickstream
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Session is one consumer browsing session. Purchase is the label of the
+// purchased item ("" for browse-only sessions, which carry no purchase
+// intent signal and are ignored by the adaptation engine, paper footnote 5).
+// Clicks are labels of other items viewed during the session; a click equal
+// to the purchased item is redundant and dropped during adaptation.
+type Session struct {
+	ID       string   `json:"id,omitempty"`
+	Purchase string   `json:"purchase,omitempty"`
+	Clicks   []string `json:"clicks,omitempty"`
+}
+
+// HasPurchase reports whether the session ended in a purchase.
+func (s *Session) HasPurchase() bool { return s.Purchase != "" }
+
+// AlternativeClicks returns the clicks that can be interpreted as
+// alternatives: distinct clicked labels different from the purchased item,
+// in first-seen order. The scratch slice, if non-nil, is reused.
+func (s *Session) AlternativeClicks(scratch []string) []string {
+	out := scratch[:0]
+	for _, c := range s.Clicks {
+		if c == "" || c == s.Purchase {
+			continue
+		}
+		dup := false
+		for _, seen := range out {
+			if seen == c {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Validate checks structural sanity (non-empty clicked labels).
+func (s *Session) Validate() error {
+	for i, c := range s.Clicks {
+		if c == "" {
+			return fmt.Errorf("clickstream: session %q: empty click label at index %d", s.ID, i)
+		}
+	}
+	return nil
+}
+
+// ErrStop can be returned by a visitor passed to an iteration helper to end
+// iteration early without error.
+var ErrStop = errors.New("clickstream: stop iteration")
+
+// Source yields sessions one at a time; implemented by Store and the
+// streaming readers. Next returns io.EOF (wrapped by the codec) when
+// exhausted.
+type Source interface {
+	Next() (*Session, error)
+}
+
+// Stats summarizes a clickstream; Sessions/Purchases/Items are the columns
+// of the paper's Table 2 (the edge count is a property of the adapted
+// graph, reported by the adaptation engine).
+type Stats struct {
+	Sessions         int
+	Purchases        int
+	Items            int // distinct labels appearing as purchase or click
+	Clicks           int // total click events
+	PurchaseSessions int // sessions with a purchase (== Purchases: one per session)
+	// MaxAlternatives is the largest number of distinct alternative clicks
+	// in any purchase session.
+	MaxAlternatives int
+	// SingleAlternativeShare is the fraction of purchase sessions with at
+	// most one alternative click: the paper's >= 90% rule decides whether
+	// the Normalized variant fits the data.
+	SingleAlternativeShare float64
+}
+
+// CollectStats drains src and accumulates Stats.
+func CollectStats(src Source) (Stats, error) {
+	var st Stats
+	items := make(map[string]struct{})
+	singleAlt := 0
+	var scratch []string
+	for {
+		s, err := src.Next()
+		if err != nil {
+			if errors.Is(err, ErrEOF) {
+				break
+			}
+			return Stats{}, err
+		}
+		st.Sessions++
+		st.Clicks += len(s.Clicks)
+		for _, c := range s.Clicks {
+			items[c] = struct{}{}
+		}
+		if s.HasPurchase() {
+			st.Purchases++
+			st.PurchaseSessions++
+			items[s.Purchase] = struct{}{}
+			scratch = s.AlternativeClicks(scratch)
+			if len(scratch) > st.MaxAlternatives {
+				st.MaxAlternatives = len(scratch)
+			}
+			if len(scratch) <= 1 {
+				singleAlt++
+			}
+		}
+	}
+	st.Items = len(items)
+	if st.PurchaseSessions > 0 {
+		st.SingleAlternativeShare = float64(singleAlt) / float64(st.PurchaseSessions)
+	}
+	return st, nil
+}
+
+// ErrEOF is returned by Source.Next when the stream is exhausted.
+var ErrEOF = errors.New("clickstream: end of stream")
+
+// Store is an in-memory clickstream.
+type Store struct {
+	sessions []Session
+	pos      int
+}
+
+// NewStore wraps the given sessions (taking ownership of the slice).
+func NewStore(sessions []Session) *Store { return &Store{sessions: sessions} }
+
+// Append adds a session to the store.
+func (st *Store) Append(s Session) { st.sessions = append(st.sessions, s) }
+
+// Len returns the number of sessions.
+func (st *Store) Len() int { return len(st.sessions) }
+
+// Sessions exposes the backing slice (read-only by convention).
+func (st *Store) Sessions() []Session { return st.sessions }
+
+// Next implements Source. Iteration state is internal; call Reset to rewind.
+func (st *Store) Next() (*Session, error) {
+	if st.pos >= len(st.sessions) {
+		return nil, ErrEOF
+	}
+	s := &st.sessions[st.pos]
+	st.pos++
+	return s, nil
+}
+
+// Reset rewinds the store's iteration cursor.
+func (st *Store) Reset() { st.pos = 0 }
+
+// FilterPurchases returns a new Store containing only purchase sessions.
+func (st *Store) FilterPurchases() *Store {
+	out := make([]Session, 0, len(st.sessions))
+	for _, s := range st.sessions {
+		if s.HasPurchase() {
+			out = append(out, s)
+		}
+	}
+	return NewStore(out)
+}

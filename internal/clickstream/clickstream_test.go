@@ -1,0 +1,216 @@
+package clickstream_test
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	. "prefcover/internal/clickstream"
+)
+
+func sampleSessions() []Session {
+	return []Session{
+		{ID: "s1", Purchase: "a", Clicks: []string{"b", "c"}},
+		{ID: "s2", Purchase: "b", Clicks: []string{"a"}},
+		{ID: "s3", Purchase: "a", Clicks: nil},
+		{ID: "s4", Clicks: []string{"a", "d"}}, // browse-only
+		{ID: "s5", Purchase: "c", Clicks: []string{"c", "b", "b"}},
+	}
+}
+
+func TestAlternativeClicks(t *testing.T) {
+	s := Session{Purchase: "x", Clicks: []string{"x", "y", "y", "z", ""}}
+	alts := s.AlternativeClicks(nil)
+	if len(alts) != 2 || alts[0] != "y" || alts[1] != "z" {
+		t.Fatalf("alts = %v", alts)
+	}
+	// Scratch reuse keeps the same backing array.
+	alts2 := s.AlternativeClicks(alts)
+	if len(alts2) != 2 {
+		t.Fatalf("reused alts = %v", alts2)
+	}
+}
+
+func TestSessionValidate(t *testing.T) {
+	good := Session{ID: "s", Clicks: []string{"a"}}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid session rejected: %v", err)
+	}
+	bad := Session{ID: "s", Clicks: []string{""}}
+	if err := bad.Validate(); err == nil {
+		t.Error("empty click should fail")
+	}
+}
+
+func TestStoreIteration(t *testing.T) {
+	st := NewStore(sampleSessions())
+	if st.Len() != 5 {
+		t.Fatalf("Len = %d", st.Len())
+	}
+	count := 0
+	for {
+		_, err := st.Next()
+		if err == ErrEOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		count++
+	}
+	if count != 5 {
+		t.Fatalf("iterated %d", count)
+	}
+	// Exhausted until Reset.
+	if _, err := st.Next(); err != ErrEOF {
+		t.Fatal("want ErrEOF after exhaustion")
+	}
+	st.Reset()
+	if _, err := st.Next(); err != nil {
+		t.Fatal("reset should rewind")
+	}
+}
+
+func TestFilterPurchases(t *testing.T) {
+	st := NewStore(sampleSessions())
+	p := st.FilterPurchases()
+	if p.Len() != 4 {
+		t.Fatalf("purchases = %d, want 4", p.Len())
+	}
+	for _, s := range p.Sessions() {
+		if !s.HasPurchase() {
+			t.Fatal("browse-only session leaked")
+		}
+	}
+}
+
+func TestCollectStats(t *testing.T) {
+	st := NewStore(sampleSessions())
+	stats, err := CollectStats(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Sessions != 5 || stats.Purchases != 4 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	// Items: a,b,c,d.
+	if stats.Items != 4 {
+		t.Errorf("Items = %d, want 4", stats.Items)
+	}
+	if stats.Clicks != 8 {
+		t.Errorf("Clicks = %d, want 8", stats.Clicks)
+	}
+	// Alternatives per purchase session: s1 has 2 (b,c); s2 has 1; s3 has
+	// 0; s5 has 1 (b; c==purchase). So 3/4 have <= 1.
+	if stats.MaxAlternatives != 2 {
+		t.Errorf("MaxAlternatives = %d", stats.MaxAlternatives)
+	}
+	if math.Abs(stats.SingleAlternativeShare-0.75) > 1e-12 {
+		t.Errorf("SingleAlternativeShare = %g, want 0.75", stats.SingleAlternativeShare)
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewJSONLWriter(&buf)
+	st := NewStore(sampleSessions())
+	if err := WriteAll(st, w.Write); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadAll(NewJSONLReader(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameSessions(t, st.Sessions(), back.Sessions())
+}
+
+func TestJSONLSkipsBlankLines(t *testing.T) {
+	input := "\n{\"id\":\"s1\",\"purchase\":\"a\"}\n\n{\"id\":\"s2\"}\n"
+	st, err := ReadAll(NewJSONLReader(strings.NewReader(input)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Len() != 2 {
+		t.Fatalf("Len = %d", st.Len())
+	}
+}
+
+func TestJSONLErrors(t *testing.T) {
+	if _, err := ReadAll(NewJSONLReader(strings.NewReader("{bad json"))); err == nil {
+		t.Error("bad json should fail")
+	}
+	if _, err := ReadAll(NewJSONLReader(strings.NewReader(`{"clicks":[""]}`))); err == nil {
+		t.Error("invalid session should fail")
+	}
+}
+
+func TestTSVRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewTSVWriter(&buf)
+	st := NewStore(sampleSessions())
+	if err := WriteAll(st, w.Write); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadAll(NewTSVReader(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameSessions(t, st.Sessions(), back.Sessions())
+}
+
+func TestTSVErrors(t *testing.T) {
+	if _, err := ReadAll(NewTSVReader(strings.NewReader("only\ttwo\n"))); err == nil {
+		t.Error("wrong field count should fail")
+	}
+	w := NewTSVWriter(&bytes.Buffer{})
+	if err := w.Write(&Session{ID: "s", Purchase: "has,comma"}); err == nil {
+		t.Error("comma in purchase should fail")
+	}
+	if err := w.Write(&Session{ID: "s", Clicks: []string{"has\ttab"}}); err == nil {
+		t.Error("tab in click should fail")
+	}
+}
+
+func TestTSVSkipsComments(t *testing.T) {
+	input := "# comment\ns1\ta\tb,c\n\ns2\t\t\n"
+	st, err := ReadAll(NewTSVReader(strings.NewReader(input)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Len() != 2 {
+		t.Fatalf("Len = %d", st.Len())
+	}
+	if st.Sessions()[0].Purchase != "a" || len(st.Sessions()[0].Clicks) != 2 {
+		t.Errorf("first session = %+v", st.Sessions()[0])
+	}
+	if st.Sessions()[1].HasPurchase() || st.Sessions()[1].Clicks != nil {
+		t.Errorf("second session = %+v", st.Sessions()[1])
+	}
+}
+
+func assertSameSessions(t *testing.T, want, got []Session) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("count: want %d got %d", len(want), len(got))
+	}
+	for i := range want {
+		if want[i].ID != got[i].ID || want[i].Purchase != got[i].Purchase {
+			t.Fatalf("session %d differs: %+v vs %+v", i, want[i], got[i])
+		}
+		if len(want[i].Clicks) != len(got[i].Clicks) {
+			t.Fatalf("session %d clicks differ: %v vs %v", i, want[i].Clicks, got[i].Clicks)
+		}
+		for j := range want[i].Clicks {
+			if want[i].Clicks[j] != got[i].Clicks[j] {
+				t.Fatalf("session %d click %d differs", i, j)
+			}
+		}
+	}
+}

@@ -1,0 +1,151 @@
+// Package domset implements the directed Max Dominating Set problem (DS_k,
+// paper Definition 2.7) and the Theorem 4.1 reduction DS_k -> IPC_k that
+// establishes the (1 - 1/e) inapproximability of the Independent variant.
+// A vertex is dominated by S if it is in S or has an incoming edge from a
+// node in S.
+package domset
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"prefcover/internal/graph"
+)
+
+// Instance is an unweighted directed graph given as adjacency lists:
+// Out[v] lists the nodes v points to.
+type Instance struct {
+	Out [][]int32
+}
+
+// N returns the number of vertices.
+func (in *Instance) N() int { return len(in.Out) }
+
+// Validate checks edge endpoints.
+func (in *Instance) Validate() error {
+	n := int32(in.N())
+	if n == 0 {
+		return errors.New("domset: empty instance")
+	}
+	for v, outs := range in.Out {
+		for _, u := range outs {
+			if u < 0 || u >= n {
+				return fmt.Errorf("domset: edge (%d,%d) out of range", v, u)
+			}
+		}
+	}
+	return nil
+}
+
+// Dominated returns how many vertices the set dominates.
+func (in *Instance) Dominated(set []int32) int {
+	dom := make([]bool, in.N())
+	for _, v := range set {
+		dom[v] = true
+		for _, u := range in.Out[v] {
+			dom[u] = true
+		}
+	}
+	count := 0
+	for _, d := range dom {
+		if d {
+			count++
+		}
+	}
+	return count
+}
+
+// Greedy selects k vertices maximizing newly dominated vertices at each
+// step (ties toward the smaller id) and returns the set (sorted) and the
+// total dominated count. The (1-1/e) guarantee follows from submodularity
+// of the domination count.
+func Greedy(in *Instance, k int) ([]int32, int, error) {
+	if err := in.Validate(); err != nil {
+		return nil, 0, err
+	}
+	n := in.N()
+	if k <= 0 || k > n {
+		return nil, 0, fmt.Errorf("domset: k=%d outside [1,%d]", k, n)
+	}
+	// Dedupe adjacency so duplicate edges cannot inflate gains.
+	out := make([][]int32, n)
+	seen := make([]int32, n)
+	for i := range seen {
+		seen[i] = -1
+	}
+	for v, outs := range in.Out {
+		for _, u := range outs {
+			if seen[u] != int32(v) {
+				seen[u] = int32(v)
+				out[v] = append(out[v], u)
+			}
+		}
+	}
+	dom := make([]bool, n)
+	selected := make([]bool, n)
+	gain := func(v int32) int {
+		g := 0
+		if !dom[v] {
+			g++
+		}
+		for _, u := range out[v] {
+			if !dom[u] && u != v {
+				g++
+			}
+		}
+		return g
+	}
+	var set []int32
+	total := 0
+	for step := 0; step < k; step++ {
+		best, bestGain := int32(-1), -1
+		for v := int32(0); v < int32(n); v++ {
+			if selected[v] {
+				continue
+			}
+			if g := gain(v); g > bestGain {
+				best, bestGain = v, g
+			}
+		}
+		if best < 0 {
+			break
+		}
+		selected[best] = true
+		dom[best] = true
+		for _, u := range out[best] {
+			dom[u] = true
+		}
+		total += bestGain
+		set = append(set, best)
+	}
+	sort.Slice(set, func(i, j int) bool { return set[i] < set[j] })
+	return set, total, nil
+}
+
+// ToIPC reduces a DS_k instance to an IPC_k preference graph (Theorem 4.1):
+// same nodes, every edge reversed, all edge weights 1, all node weights
+// 1/n. For every set S: Dominated(S) == n * C(S) in the produced graph.
+// Duplicate edges in the instance are collapsed (they do not affect
+// domination).
+func ToIPC(in *Instance) (*graph.Graph, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	n := in.N()
+	b := graph.NewBuilder(n, 0)
+	for v := 0; v < n; v++ {
+		b.AddNode(1 / float64(n))
+	}
+	for v, outs := range in.Out {
+		for _, u := range outs {
+			if u == int32(v) {
+				// A self edge dominates only its own node, which membership
+				// in S already achieves; IPC has no self edges.
+				continue
+			}
+			b.AddEdge(u, int32(v), 1) // reversed orientation
+		}
+	}
+	return b.Build(graph.BuildOptions{Duplicates: graph.DupKeepMax})
+}

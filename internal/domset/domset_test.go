@@ -1,0 +1,162 @@
+package domset_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"prefcover/internal/cover"
+	. "prefcover/internal/domset"
+	"prefcover/internal/graph"
+	"prefcover/internal/greedy"
+)
+
+const tol = 1e-9
+
+func TestValidate(t *testing.T) {
+	ok := &Instance{Out: [][]int32{{1}, {0}}}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid instance rejected: %v", err)
+	}
+	if err := (&Instance{}).Validate(); err == nil {
+		t.Error("empty instance should fail")
+	}
+	bad := &Instance{Out: [][]int32{{5}}}
+	if err := bad.Validate(); err == nil {
+		t.Error("out-of-range edge should fail")
+	}
+}
+
+func TestDominated(t *testing.T) {
+	// 0 -> 1, 0 -> 2, 3 isolated.
+	in := &Instance{Out: [][]int32{{1, 2}, nil, nil, nil}}
+	if d := in.Dominated([]int32{0}); d != 3 {
+		t.Errorf("Dominated({0}) = %d, want 3", d)
+	}
+	if d := in.Dominated([]int32{3}); d != 1 {
+		t.Errorf("Dominated({3}) = %d, want 1", d)
+	}
+	if d := in.Dominated(nil); d != 0 {
+		t.Errorf("Dominated({}) = %d", d)
+	}
+}
+
+func TestGreedyStar(t *testing.T) {
+	in := &Instance{Out: [][]int32{{1, 2, 3}, nil, nil, nil, nil}}
+	set, total, err := Greedy(in, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set) != 1 || set[0] != 0 || total != 4 {
+		t.Fatalf("set=%v total=%d", set, total)
+	}
+}
+
+func TestGreedyValidation(t *testing.T) {
+	in := &Instance{Out: [][]int32{{1}, nil}}
+	if _, _, err := Greedy(in, 0); err == nil {
+		t.Error("k=0 should fail")
+	}
+	if _, _, err := Greedy(in, 3); err == nil {
+		t.Error("k>n should fail")
+	}
+}
+
+// TestToIPCEquivalence is the Theorem 4.1 identity: for every S,
+// Dominated_{DS}(S) == n * C_{IPC}(S) on the reduced graph.
+func TestToIPCEquivalence(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(25)
+		in := randomInstance(rng, n)
+		g, err := ToIPC(in)
+		if err != nil {
+			return false
+		}
+		if err := g.Validate(graph.ValidateOptions{RequireSimplex: true}); err != nil {
+			return false
+		}
+		for trial := 0; trial < 5; trial++ {
+			set := randomSet(rng, n)
+			c, err := cover.EvaluateSet(g, graph.Independent, set)
+			if err != nil {
+				return false
+			}
+			if math.Abs(float64(in.Dominated(set))-float64(n)*c) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestGreedyDSMatchesGreedyIPC: running DS greedy directly and running the
+// IPC greedy solver on the reduced graph must dominate the same number of
+// vertices (the selections may differ on ties, the objective values not).
+func TestGreedyDSMatchesGreedyIPC(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(20)
+		in := randomInstance(rng, n)
+		k := 1 + rng.Intn(n)
+		_, dsTotal, err := Greedy(in, k)
+		if err != nil {
+			return false
+		}
+		g, err := ToIPC(in)
+		if err != nil {
+			return false
+		}
+		sol, err := greedy.Solve(g, greedy.Options{Variant: graph.Independent, K: k})
+		if err != nil {
+			return false
+		}
+		return math.Abs(float64(dsTotal)-float64(n)*sol.Cover) < 1e-6
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestToIPCDropsSelfAndDuplicateEdges(t *testing.T) {
+	in := &Instance{Out: [][]int32{{0, 1, 1}, nil}}
+	g, err := ToIPC(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 1 {
+		t.Fatalf("edges = %d, want 1 (self dropped, duplicate collapsed)", g.NumEdges())
+	}
+	// Equivalence still holds.
+	for _, set := range [][]int32{{0}, {1}, {0, 1}, {}} {
+		c, _ := cover.EvaluateSet(g, graph.Independent, set)
+		if math.Abs(float64(in.Dominated(set))-2*c) > tol {
+			t.Errorf("set %v: dominated=%d cover=%g", set, in.Dominated(set), c)
+		}
+	}
+}
+
+func randomInstance(rng *rand.Rand, n int) *Instance {
+	in := &Instance{Out: make([][]int32, n)}
+	for v := 0; v < n; v++ {
+		deg := rng.Intn(4)
+		for e := 0; e < deg; e++ {
+			in.Out[v] = append(in.Out[v], int32(rng.Intn(n)))
+		}
+	}
+	return in
+}
+
+func randomSet(rng *rand.Rand, n int) []int32 {
+	perm := rng.Perm(n)
+	k := rng.Intn(n + 1)
+	set := make([]int32, k)
+	for i := 0; i < k; i++ {
+		set[i] = int32(perm[i])
+	}
+	return set
+}

@@ -1,0 +1,538 @@
+package dynamic_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"prefcover/internal/cover"
+	. "prefcover/internal/dynamic"
+	"prefcover/internal/fixture"
+	"prefcover/internal/graph"
+	"prefcover/internal/graphtest"
+	"prefcover/internal/greedy"
+)
+
+const tol = 1e-9
+
+func TestMutableGraphBasics(t *testing.T) {
+	m := NewMutableGraph()
+	a, err := m.AddItem("a", 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.AddItem("b", 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetEdge(a, b, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if m.NumAlive() != 2 || m.NumEdges() != 1 {
+		t.Fatalf("counts: %d alive %d edges", m.NumAlive(), m.NumEdges())
+	}
+	if w, ok := m.EdgeWeight(a, b); !ok || w != 0.5 {
+		t.Fatalf("edge = %g,%v", w, ok)
+	}
+	if id, ok := m.Lookup("b"); !ok || id != b {
+		t.Fatalf("lookup = %d,%v", id, ok)
+	}
+	if w, err := m.Weight(a); err != nil || w != 0.6 {
+		t.Fatalf("weight = %g,%v", w, err)
+	}
+}
+
+func TestMutableGraphErrors(t *testing.T) {
+	m := NewMutableGraph()
+	a, _ := m.AddItem("a", 0.5)
+	if _, err := m.AddItem("a", 0.5); err == nil {
+		t.Error("duplicate label should fail")
+	}
+	if _, err := m.AddItem("neg", -1); err == nil {
+		t.Error("negative weight should fail")
+	}
+	if err := m.SetEdge(a, a, 0.5); err == nil {
+		t.Error("self edge should fail")
+	}
+	if err := m.SetEdge(a, 99, 0.5); err == nil {
+		t.Error("edge to unknown should fail")
+	}
+	if err := m.SetEdge(a, a+0, 1.5); err == nil {
+		t.Error("bad weight should fail")
+	}
+	if err := m.RemoveEdge(a, 99); err == nil {
+		t.Error("removing from dead should fail")
+	}
+	if err := m.SetWeight(99, 0.5); err == nil {
+		t.Error("weight on unknown should fail")
+	}
+	if err := m.RemoveItem(99); err == nil {
+		t.Error("removing unknown should fail")
+	}
+	if _, err := m.Weight(99); err == nil {
+		t.Error("weight of unknown should fail")
+	}
+}
+
+func TestMutableEdgeUpdateAndRemove(t *testing.T) {
+	m := NewMutableGraph()
+	a, _ := m.AddItem("a", 0.5)
+	b, _ := m.AddItem("b", 0.5)
+	if err := m.SetEdge(a, b, 0.3); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetEdge(a, b, 0.7); err != nil { // update in place
+		t.Fatal(err)
+	}
+	if m.NumEdges() != 1 {
+		t.Fatalf("edges = %d after update", m.NumEdges())
+	}
+	if w, _ := m.EdgeWeight(a, b); w != 0.7 {
+		t.Fatalf("updated weight = %g", w)
+	}
+	if err := m.RemoveEdge(a, b); err != nil {
+		t.Fatal(err)
+	}
+	if m.NumEdges() != 0 {
+		t.Fatal("edge not removed")
+	}
+	if err := m.RemoveEdge(a, b); err == nil {
+		t.Error("double remove should fail")
+	}
+}
+
+func TestRemoveItemDropsIncidentEdges(t *testing.T) {
+	m := NewMutableGraph()
+	a, _ := m.AddItem("a", 0.4)
+	b, _ := m.AddItem("b", 0.3)
+	c, _ := m.AddItem("c", 0.3)
+	m.SetEdge(a, b, 0.5)
+	m.SetEdge(b, c, 0.5)
+	m.SetEdge(c, b, 0.5)
+	if err := m.RemoveItem(b); err != nil {
+		t.Fatal(err)
+	}
+	if m.NumAlive() != 2 || m.NumEdges() != 0 {
+		t.Fatalf("after removal: %d alive %d edges", m.NumAlive(), m.NumEdges())
+	}
+	if _, ok := m.Lookup("b"); ok {
+		t.Error("dead label still resolves")
+	}
+	// The label can be reused afterwards.
+	if _, err := m.AddItem("b", 0.1); err != nil {
+		t.Errorf("label reuse after removal: %v", err)
+	}
+	_ = a
+	_ = c
+}
+
+func TestFreezeRoundTrip(t *testing.T) {
+	g := fixture.Figure1Graph()
+	m := FromGraph(g)
+	frozen, mapping, err := m.Freeze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frozen.NumNodes() != g.NumNodes() || frozen.NumEdges() != g.NumEdges() {
+		t.Fatal("freeze changed shape")
+	}
+	for i, id := range mapping {
+		if int32(i) != id {
+			t.Fatal("identity mapping expected without removals")
+		}
+	}
+	for v := int32(0); v < int32(g.NumNodes()); v++ {
+		if frozen.NodeWeight(v) != g.NodeWeight(v) || frozen.Label(v) != g.Label(v) {
+			t.Fatal("node data changed")
+		}
+	}
+}
+
+func TestFreezeAfterRemovalCompacts(t *testing.T) {
+	g := fixture.Figure1Graph()
+	m := FromGraph(g)
+	c, _ := m.Lookup("C")
+	if err := m.RemoveItem(c); err != nil {
+		t.Fatal(err)
+	}
+	frozen, mapping, err := m.Freeze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frozen.NumNodes() != 4 {
+		t.Fatalf("nodes = %d", frozen.NumNodes())
+	}
+	// Edges incident to C (A->C, B->C, C->B, D->C) are gone: 6-4 = 2 left.
+	if frozen.NumEdges() != 2 {
+		t.Fatalf("edges = %d", frozen.NumEdges())
+	}
+	for dense, id := range mapping {
+		if m.Label(id) != frozen.Label(int32(dense)) {
+			t.Fatal("mapping/label mismatch")
+		}
+	}
+}
+
+func trackerOn(t *testing.T, variant graph.Variant) (*MutableGraph, *Tracker, *graph.Graph) {
+	t.Helper()
+	g := fixture.Figure1Graph()
+	m := FromGraph(g)
+	b, _ := m.Lookup("B")
+	d, _ := m.Lookup("D")
+	tr, err := NewTracker(m, variant, []int32{b, d})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, tr, g
+}
+
+func TestTrackerInitialCover(t *testing.T) {
+	for _, variant := range []graph.Variant{graph.Independent, graph.Normalized} {
+		_, tr, _ := trackerOn(t, variant)
+		if math.Abs(tr.Cover()-fixture.Fig1CoverBD) > tol {
+			t.Errorf("variant %v: cover = %g, want %g", variant, tr.Cover(), fixture.Fig1CoverBD)
+		}
+		if tr.Drift() != 0 {
+			t.Errorf("fresh tracker drift = %g", tr.Drift())
+		}
+	}
+}
+
+// trackerMatchesOracle freezes the mutable graph and compares the tracked
+// cover against a from-scratch evaluation.
+func trackerMatchesOracle(t *testing.T, m *MutableGraph, tr *Tracker, variant graph.Variant) {
+	t.Helper()
+	g, mapping, err := m.Freeze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	inverse := make(map[int32]int32, len(mapping))
+	for dense, id := range mapping {
+		inverse[id] = int32(dense)
+	}
+	var set []int32
+	for _, id := range tr.RetainedSet() {
+		set = append(set, inverse[id])
+	}
+	want, err := cover.EvaluateSet(g, variant, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(want-tr.Cover()) > 1e-9 {
+		t.Fatalf("tracked cover %g != oracle %g", tr.Cover(), want)
+	}
+}
+
+func TestTrackerWeightUpdate(t *testing.T) {
+	m, tr, _ := trackerOn(t, graph.Independent)
+	a, _ := m.Lookup("A")
+	if err := tr.SetWeight(a, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	trackerMatchesOracle(t, m, tr, graph.Independent)
+	if tr.Drift() <= 0 {
+		t.Error("weight change should register drift")
+	}
+}
+
+func TestTrackerEdgeUpdates(t *testing.T) {
+	m, tr, _ := trackerOn(t, graph.Independent)
+	a, _ := m.Lookup("A")
+	d, _ := m.Lookup("D")
+	e, _ := m.Lookup("E")
+	if err := tr.SetEdge(a, d, 0.9); err != nil { // new alternative into retained D
+		t.Fatal(err)
+	}
+	trackerMatchesOracle(t, m, tr, graph.Independent)
+	if err := tr.RemoveEdge(e, d); err != nil { // E loses its only alternative
+		t.Fatal(err)
+	}
+	trackerMatchesOracle(t, m, tr, graph.Independent)
+}
+
+func TestTrackerAddRemoveItem(t *testing.T) {
+	m, tr, _ := trackerOn(t, graph.Normalized)
+	f, err := tr.AddItem("F", 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := m.Lookup("B")
+	if err := tr.SetEdge(f, b, 0.8); err != nil {
+		t.Fatal(err)
+	}
+	trackerMatchesOracle(t, m, tr, graph.Normalized)
+	// Remove a retained item: D leaves the set, E loses its coverage.
+	d, _ := m.Lookup("D")
+	if err := tr.RemoveItem(d); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Retained(d) {
+		t.Error("removed item still retained")
+	}
+	trackerMatchesOracle(t, m, tr, graph.Normalized)
+}
+
+func TestTrackerRetainRelease(t *testing.T) {
+	m, tr, _ := trackerOn(t, graph.Independent)
+	a, _ := m.Lookup("A")
+	before := tr.Cover()
+	if err := tr.Retain(a); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Cover() <= before {
+		t.Error("retaining A must increase cover")
+	}
+	trackerMatchesOracle(t, m, tr, graph.Independent)
+	if err := tr.Release(a); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(tr.Cover()-before) > tol {
+		t.Errorf("release did not restore cover: %g vs %g", tr.Cover(), before)
+	}
+	// Idempotency.
+	if err := tr.Release(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Retain(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Retain(a); err != nil {
+		t.Fatal(err)
+	}
+	trackerMatchesOracle(t, m, tr, graph.Independent)
+}
+
+func TestTrackerRandomEditScript(t *testing.T) {
+	// Property: after any random edit script, the tracked cover equals a
+	// from-scratch evaluation of the frozen graph.
+	for _, variant := range []graph.Variant{graph.Independent, graph.Normalized} {
+		prop := func(seed int64) bool {
+			rng := rand.New(rand.NewSource(seed))
+			g := graphtest.Random(rng, 5+rng.Intn(20), 4, variant)
+			m := FromGraph(g)
+			var retained []int32
+			for v := int32(0); v < int32(g.NumNodes()); v += 3 {
+				retained = append(retained, v)
+			}
+			tr, err := NewTracker(m, variant, retained)
+			if err != nil {
+				return false
+			}
+			for step := 0; step < 30; step++ {
+				ids := m.IDs()
+				if len(ids) < 2 {
+					break
+				}
+				a := ids[rng.Intn(len(ids))]
+				b := ids[rng.Intn(len(ids))]
+				switch rng.Intn(6) {
+				case 0:
+					if err := tr.SetWeight(a, rng.Float64()); err != nil {
+						return false
+					}
+				case 1:
+					if a != b {
+						// Keep Normalized feasible: small weights.
+						_ = tr.SetEdge(a, b, 0.01+0.05*rng.Float64())
+					}
+				case 2:
+					if _, ok := m.EdgeWeight(a, b); ok {
+						if err := tr.RemoveEdge(a, b); err != nil {
+							return false
+						}
+					}
+				case 3:
+					if _, err := tr.AddItem("", rng.Float64()*0.1); err != nil {
+						return false
+					}
+				case 4:
+					if m.NumAlive() > 3 {
+						if err := tr.RemoveItem(a); err != nil {
+							return false
+						}
+					}
+				case 5:
+					if tr.Retained(a) {
+						_ = tr.Release(a)
+					} else {
+						_ = tr.Retain(a)
+					}
+				}
+			}
+			// Oracle comparison.
+			frozen, mapping, err := m.Freeze()
+			if err != nil {
+				return false
+			}
+			inverse := make(map[int32]int32)
+			for dense, id := range mapping {
+				inverse[id] = int32(dense)
+			}
+			var set []int32
+			for _, id := range tr.RetainedSet() {
+				set = append(set, inverse[id])
+			}
+			want, err := cover.EvaluateSet(frozen, variant, set)
+			if err != nil {
+				return false
+			}
+			return math.Abs(want-tr.Cover()) < 1e-9
+		}
+		if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+			t.Errorf("variant %v: %v", variant, err)
+		}
+	}
+}
+
+// TestExchangeDeltaExactProperty: whenever BestExchange proposes a swap,
+// applying it changes the cover by exactly the promised Delta and the
+// tracked state still matches the from-scratch oracle.
+func TestExchangeDeltaExactProperty(t *testing.T) {
+	for _, variant := range []graph.Variant{graph.Independent, graph.Normalized} {
+		variant := variant
+		prop := func(seed int64) bool {
+			rng := rand.New(rand.NewSource(seed))
+			g := graphtest.Random(rng, 5+rng.Intn(20), 4, variant)
+			m := FromGraph(g)
+			var retained []int32
+			for v := int32(0); v < int32(g.NumNodes()); v += 2 {
+				retained = append(retained, v)
+			}
+			tr, err := NewTracker(m, variant, retained)
+			if err != nil {
+				return false
+			}
+			// Perturb weights so the initial set is no longer greedy.
+			for i := 0; i < 5; i++ {
+				if err := tr.SetWeight(int32(rng.Intn(g.NumNodes())), rng.Float64()); err != nil {
+					return false
+				}
+			}
+			ex, ok := tr.BestExchange(1e-9)
+			if !ok {
+				return true // nothing to verify
+			}
+			before := tr.Cover()
+			if err := tr.ApplyExchange(ex); err != nil {
+				return false
+			}
+			if math.Abs(tr.Cover()-(before+ex.Delta)) > 1e-9 {
+				return false
+			}
+			// Oracle cross-check.
+			frozen, mapping, err := m.Freeze()
+			if err != nil {
+				return false
+			}
+			inverse := make(map[int32]int32)
+			for dense, id := range mapping {
+				inverse[id] = int32(dense)
+			}
+			var set []int32
+			for _, id := range tr.RetainedSet() {
+				set = append(set, inverse[id])
+			}
+			want, err := cover.EvaluateSet(frozen, variant, set)
+			return err == nil && math.Abs(want-tr.Cover()) < 1e-9
+		}
+		if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+			t.Errorf("variant %v: %v", variant, err)
+		}
+	}
+}
+
+func TestBestExchangeRepairsAfterCrash(t *testing.T) {
+	// Start from the optimal {B,D}; crash D's only covered demand (E's
+	// weight shifts to A), so a swap should fire.
+	m, tr, _ := trackerOn(t, graph.Independent)
+	e, _ := m.Lookup("E")
+	a, _ := m.Lookup("A")
+	if err := tr.SetWeight(e, 0.01); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.SetWeight(a, 0.49); err != nil {
+		t.Fatal(err)
+	}
+	before := tr.Cover()
+	ex, ok := tr.BestExchange(1e-9)
+	if !ok {
+		t.Fatal("expected an improving exchange")
+	}
+	if err := tr.ApplyExchange(ex); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Cover() <= before {
+		t.Errorf("exchange did not improve: %g -> %g", before, tr.Cover())
+	}
+	if math.Abs(tr.Cover()-(before+ex.Delta)) > tol {
+		t.Errorf("delta mismatch: promised %g, got %g", ex.Delta, tr.Cover()-before)
+	}
+	trackerMatchesOracle(t, m, tr, graph.Independent)
+	// Applying the same exchange twice must fail.
+	if err := tr.ApplyExchange(ex); err == nil {
+		t.Error("stale exchange should fail")
+	}
+}
+
+func TestBestExchangeNoImprovementAtOptimum(t *testing.T) {
+	// {B,D} is the true optimum on Figure 1; no single swap can improve.
+	_, tr, _ := trackerOn(t, graph.Independent)
+	if ex, ok := tr.BestExchange(1e-9); ok {
+		t.Errorf("unexpected exchange %+v at the optimum", ex)
+	}
+}
+
+func TestResolveRecovers(t *testing.T) {
+	m, tr, _ := trackerOn(t, graph.Independent)
+	// Shift demand radically: E becomes the top item with no alternatives.
+	e, _ := m.Lookup("E")
+	d, _ := m.Lookup("D")
+	if err := tr.RemoveEdge(e, d); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.SetWeight(e, 0.6); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Drift() <= 0 {
+		t.Fatal("drift should accumulate")
+	}
+	res, err := tr.Resolve(0, greedy.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CoverAfter < res.CoverBefore {
+		t.Errorf("resolve regressed cover: %g -> %g", res.CoverBefore, res.CoverAfter)
+	}
+	if tr.Drift() != 0 {
+		t.Error("resolve must reset drift")
+	}
+	// E must now be retained.
+	if !tr.Retained(e) {
+		t.Error("resolve missed the new top item")
+	}
+	trackerMatchesOracle(t, m, tr, graph.Independent)
+	_ = d
+}
+
+func TestResolveWithNewK(t *testing.T) {
+	_, tr, _ := trackerOn(t, graph.Independent)
+	res, err := tr.Resolve(3, greedy.Options{Lazy: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.RetainedIDs) != 3 {
+		t.Fatalf("retained = %d, want 3", len(res.RetainedIDs))
+	}
+	if res.CoverAfter <= res.CoverBefore {
+		t.Error("larger budget should increase cover")
+	}
+}
+
+func TestNewTrackerRejectsDeadRetained(t *testing.T) {
+	g := fixture.Figure1Graph()
+	m := FromGraph(g)
+	if _, err := NewTracker(m, graph.Independent, []int32{99}); err == nil {
+		t.Error("dead retained item should fail")
+	}
+}

@@ -1,0 +1,293 @@
+// Package dynamic implements incremental maintenance of a Preference Cover
+// solution under catalog changes over time — the future-work direction the
+// paper's conclusion names ("incremental maintenance in response to
+// changes over time"). It provides:
+//
+//   - MutableGraph: an editable preference graph (add/remove items, set
+//     weights and edges) that freezes into the immutable CSR form the
+//     solver consumes;
+//   - Tracker: maintains the cover of a retained set exactly while the
+//     graph mutates, accounts the demand drift since the last solve, and
+//     offers cheap local repair (best single exchange) as well as full
+//     re-solve triggers.
+package dynamic
+
+import (
+	"fmt"
+	"sort"
+
+	"prefcover/internal/graph"
+)
+
+// edge is one directed adjacency entry.
+type edge struct {
+	other int32
+	w     float64
+}
+
+// nodeRec is the mutable per-item state.
+type nodeRec struct {
+	label   string
+	w       float64
+	out, in []edge
+	alive   bool
+}
+
+// MutableGraph is an editable preference graph. It is not safe for
+// concurrent use. Node ids are stable across removals (removed ids are
+// never reused), so external references stay valid.
+type MutableGraph struct {
+	nodes  []nodeRec
+	byName map[string]int32
+	nAlive int
+	mEdges int
+}
+
+// NewMutableGraph returns an empty mutable graph.
+func NewMutableGraph() *MutableGraph {
+	return &MutableGraph{byName: make(map[string]int32)}
+}
+
+// FromGraph copies an immutable graph into mutable form.
+func FromGraph(g *graph.Graph) *MutableGraph {
+	m := NewMutableGraph()
+	for v := int32(0); v < int32(g.NumNodes()); v++ {
+		label := ""
+		if g.Labeled() {
+			label = g.Label(v)
+		}
+		id := m.addNode(label, g.NodeWeight(v))
+		if id != v {
+			panic("dynamic: id drift while copying")
+		}
+	}
+	for v := int32(0); v < int32(g.NumNodes()); v++ {
+		dsts, ws := g.OutEdges(v)
+		for i, u := range dsts {
+			m.nodes[v].out = append(m.nodes[v].out, edge{other: u, w: ws[i]})
+			m.nodes[u].in = append(m.nodes[u].in, edge{other: v, w: ws[i]})
+			m.mEdges++
+		}
+	}
+	return m
+}
+
+// NumAlive returns the number of live items.
+func (m *MutableGraph) NumAlive() int { return m.nAlive }
+
+// IDs returns the ids of all live items in ascending order.
+func (m *MutableGraph) IDs() []int32 {
+	out := make([]int32, 0, m.nAlive)
+	for id := range m.nodes {
+		if m.nodes[id].alive {
+			out = append(out, int32(id))
+		}
+	}
+	return out
+}
+
+// NumEdges returns the number of live edges.
+func (m *MutableGraph) NumEdges() int { return m.mEdges }
+
+// Alive reports whether id refers to a live item.
+func (m *MutableGraph) Alive(id int32) bool {
+	return id >= 0 && int(id) < len(m.nodes) && m.nodes[id].alive
+}
+
+// Weight returns the item's weight.
+func (m *MutableGraph) Weight(id int32) (float64, error) {
+	if !m.Alive(id) {
+		return 0, fmt.Errorf("dynamic: no live item %d", id)
+	}
+	return m.nodes[id].w, nil
+}
+
+// Label returns the item's label ("" for unlabeled graphs).
+func (m *MutableGraph) Label(id int32) string {
+	if !m.Alive(id) {
+		return ""
+	}
+	return m.nodes[id].label
+}
+
+// Lookup resolves a label.
+func (m *MutableGraph) Lookup(label string) (int32, bool) {
+	id, ok := m.byName[label]
+	if !ok || !m.nodes[id].alive {
+		return 0, false
+	}
+	return id, true
+}
+
+func (m *MutableGraph) addNode(label string, w float64) int32 {
+	id := int32(len(m.nodes))
+	m.nodes = append(m.nodes, nodeRec{label: label, w: w, alive: true})
+	if label != "" {
+		m.byName[label] = id
+	}
+	m.nAlive++
+	return id
+}
+
+// AddItem adds a new item and returns its id. The label may be empty only
+// if no labeled items exist.
+func (m *MutableGraph) AddItem(label string, w float64) (int32, error) {
+	if w < 0 {
+		return 0, fmt.Errorf("dynamic: negative weight %g", w)
+	}
+	if label != "" {
+		if prev, ok := m.byName[label]; ok && m.nodes[prev].alive {
+			return 0, fmt.Errorf("dynamic: duplicate label %q", label)
+		}
+	}
+	return m.addNode(label, w), nil
+}
+
+// RemoveItem deletes an item and all its incident edges.
+func (m *MutableGraph) RemoveItem(id int32) error {
+	if !m.Alive(id) {
+		return fmt.Errorf("dynamic: no live item %d", id)
+	}
+	n := &m.nodes[id]
+	for _, e := range n.out {
+		m.dropIn(e.other, id)
+		m.mEdges--
+	}
+	for _, e := range n.in {
+		m.dropOut(e.other, id)
+		m.mEdges--
+	}
+	n.out, n.in = nil, nil
+	n.alive = false
+	if n.label != "" {
+		delete(m.byName, n.label)
+	}
+	m.nAlive--
+	return nil
+}
+
+func (m *MutableGraph) dropIn(v, src int32) {
+	in := m.nodes[v].in
+	for i, e := range in {
+		if e.other == src {
+			m.nodes[v].in = append(in[:i], in[i+1:]...)
+			return
+		}
+	}
+}
+
+func (m *MutableGraph) dropOut(v, dst int32) {
+	out := m.nodes[v].out
+	for i, e := range out {
+		if e.other == dst {
+			m.nodes[v].out = append(out[:i], out[i+1:]...)
+			return
+		}
+	}
+}
+
+// SetWeight updates an item's request probability.
+func (m *MutableGraph) SetWeight(id int32, w float64) error {
+	if !m.Alive(id) {
+		return fmt.Errorf("dynamic: no live item %d", id)
+	}
+	if w < 0 {
+		return fmt.Errorf("dynamic: negative weight %g", w)
+	}
+	m.nodes[id].w = w
+	return nil
+}
+
+// SetEdge inserts or updates the edge (src,dst). Weight must be in (0,1];
+// use RemoveEdge to delete.
+func (m *MutableGraph) SetEdge(src, dst int32, w float64) error {
+	if !m.Alive(src) || !m.Alive(dst) {
+		return fmt.Errorf("dynamic: edge (%d,%d) references a dead item", src, dst)
+	}
+	if src == dst {
+		return fmt.Errorf("dynamic: self edge on %d", src)
+	}
+	if w <= 0 || w > 1 {
+		return fmt.Errorf("dynamic: edge weight %g outside (0,1]", w)
+	}
+	for i, e := range m.nodes[src].out {
+		if e.other == dst {
+			m.nodes[src].out[i].w = w
+			for j, ie := range m.nodes[dst].in {
+				if ie.other == src {
+					m.nodes[dst].in[j].w = w
+					break
+				}
+			}
+			return nil
+		}
+	}
+	m.nodes[src].out = append(m.nodes[src].out, edge{other: dst, w: w})
+	m.nodes[dst].in = append(m.nodes[dst].in, edge{other: src, w: w})
+	m.mEdges++
+	return nil
+}
+
+// EdgeWeight returns the weight of (src,dst) if present.
+func (m *MutableGraph) EdgeWeight(src, dst int32) (float64, bool) {
+	if !m.Alive(src) {
+		return 0, false
+	}
+	for _, e := range m.nodes[src].out {
+		if e.other == dst {
+			return e.w, true
+		}
+	}
+	return 0, false
+}
+
+// RemoveEdge deletes the edge (src,dst) if present.
+func (m *MutableGraph) RemoveEdge(src, dst int32) error {
+	if !m.Alive(src) || !m.Alive(dst) {
+		return fmt.Errorf("dynamic: edge (%d,%d) references a dead item", src, dst)
+	}
+	if _, ok := m.EdgeWeight(src, dst); !ok {
+		return fmt.Errorf("dynamic: no edge (%d,%d)", src, dst)
+	}
+	m.dropOut(src, dst)
+	m.dropIn(dst, src)
+	m.mEdges--
+	return nil
+}
+
+// Freeze builds the immutable CSR graph plus the mapping from frozen dense
+// ids back to mutable ids (frozen id i corresponds to mapping[i]).
+// Weights are not renormalized; call graph.Renormalize on the result if a
+// probability simplex is required.
+func (m *MutableGraph) Freeze() (*graph.Graph, []int32, error) {
+	ids := make([]int32, 0, m.nAlive)
+	for id := range m.nodes {
+		if m.nodes[id].alive {
+			ids = append(ids, int32(id))
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	dense := make(map[int32]int32, len(ids))
+	for i, id := range ids {
+		dense[id] = int32(i)
+	}
+	b := graph.NewBuilder(len(ids), m.mEdges)
+	labeled := len(ids) > 0 && m.nodes[ids[0]].label != ""
+	for _, id := range ids {
+		if labeled {
+			b.AddLabeledNode(m.nodes[id].label, m.nodes[id].w)
+		} else {
+			b.AddNode(m.nodes[id].w)
+		}
+	}
+	for _, id := range ids {
+		for _, e := range m.nodes[id].out {
+			b.AddEdge(dense[id], dense[e.other], e.w)
+		}
+	}
+	g, err := b.Build(graph.BuildOptions{})
+	if err != nil {
+		return nil, nil, err
+	}
+	return g, ids, nil
+}

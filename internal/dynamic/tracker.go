@@ -1,0 +1,403 @@
+package dynamic
+
+import (
+	"fmt"
+	"math"
+
+	"prefcover/internal/graph"
+	"prefcover/internal/greedy"
+)
+
+// Tracker maintains the exact cover of a retained set while the underlying
+// MutableGraph changes, so an operator can watch solution quality decay in
+// real time and decide when to re-curate. All mutations must go through
+// the Tracker (not the MutableGraph directly) once tracking starts.
+//
+// Costs per operation are O(degree of the touched item); the cover is
+// recomputed only for items whose matching probability actually changed.
+type Tracker struct {
+	m       *MutableGraph
+	variant graph.Variant
+	// retained marks the current retained set by mutable id.
+	retained map[int32]bool
+	// contrib[v] is v's current contribution to the cover: W(v) times its
+	// matching probability. Dead items carry no entry.
+	contrib map[int32]float64
+	cover   float64
+	// drift accumulates |delta cover| since the last Resolve; the re-solve
+	// policy compares it against a threshold.
+	drift float64
+}
+
+// NewTracker starts tracking the given retained set (mutable ids) over m.
+func NewTracker(m *MutableGraph, variant graph.Variant, retained []int32) (*Tracker, error) {
+	t := &Tracker{
+		m:        m,
+		variant:  variant,
+		retained: make(map[int32]bool, len(retained)),
+		contrib:  make(map[int32]float64, m.NumAlive()),
+	}
+	for _, id := range retained {
+		if !m.Alive(id) {
+			return nil, fmt.Errorf("dynamic: retained item %d is not alive", id)
+		}
+		t.retained[id] = true
+	}
+	for id := range m.nodes {
+		if m.nodes[id].alive {
+			t.recompute(int32(id), false)
+		}
+	}
+	t.drift = 0
+	return t, nil
+}
+
+// Cover returns the exact current cover of the retained set.
+func (t *Tracker) Cover() float64 { return t.cover }
+
+// Drift returns the accumulated |delta cover| since the last Resolve (or
+// construction). It is a conservative staleness signal: the optimal
+// solution for the mutated graph can beat the tracked one by at most the
+// total positive drift plus new greedy opportunity, and in practice
+// re-solving is warranted when Drift crosses a few percent.
+func (t *Tracker) Drift() float64 { return t.drift }
+
+// Retained reports membership.
+func (t *Tracker) Retained(id int32) bool { return t.retained[id] }
+
+// Weight returns an item's current weight.
+func (t *Tracker) Weight(id int32) (float64, error) { return t.m.Weight(id) }
+
+// RetainedSet returns the retained mutable ids (unordered).
+func (t *Tracker) RetainedSet() []int32 {
+	out := make([]int32, 0, len(t.retained))
+	for id := range t.retained {
+		out = append(out, id)
+	}
+	return out
+}
+
+// matchProb returns the probability a request for v is matched by the
+// current retained set.
+func (t *Tracker) matchProb(v int32) float64 {
+	if t.retained[v] {
+		return 1
+	}
+	switch t.variant {
+	case graph.Normalized:
+		var p float64
+		for _, e := range t.m.nodes[v].out {
+			if t.retained[e.other] {
+				p += e.w
+			}
+		}
+		if p > 1 {
+			p = 1
+		}
+		return p
+	default:
+		miss := 1.0
+		for _, e := range t.m.nodes[v].out {
+			if t.retained[e.other] {
+				miss *= 1 - e.w
+			}
+		}
+		return 1 - miss
+	}
+}
+
+// recompute refreshes contrib[v] and the cover total; accountDrift adds
+// the absolute change to the drift counter.
+func (t *Tracker) recompute(v int32, accountDrift bool) {
+	old := t.contrib[v]
+	var now float64
+	if t.m.Alive(v) {
+		now = t.m.nodes[v].w * t.matchProb(v)
+		t.contrib[v] = now
+	} else {
+		delete(t.contrib, v)
+	}
+	t.cover += now - old
+	if accountDrift {
+		t.drift += math.Abs(now - old)
+	}
+}
+
+// SetWeight updates an item's weight, maintaining the cover.
+func (t *Tracker) SetWeight(id int32, w float64) error {
+	if err := t.m.SetWeight(id, w); err != nil {
+		return err
+	}
+	t.recompute(id, true)
+	return nil
+}
+
+// SetEdge inserts or updates an alternative edge, maintaining the cover
+// (only the source item's matching probability can change).
+func (t *Tracker) SetEdge(src, dst int32, w float64) error {
+	if err := t.m.SetEdge(src, dst, w); err != nil {
+		return err
+	}
+	t.recompute(src, true)
+	return nil
+}
+
+// RemoveEdge deletes an edge, maintaining the cover.
+func (t *Tracker) RemoveEdge(src, dst int32) error {
+	if err := t.m.RemoveEdge(src, dst); err != nil {
+		return err
+	}
+	t.recompute(src, true)
+	return nil
+}
+
+// AddItem introduces a new item (not retained). Edges are added separately
+// with SetEdge.
+func (t *Tracker) AddItem(label string, w float64) (int32, error) {
+	id, err := t.m.AddItem(label, w)
+	if err != nil {
+		return 0, err
+	}
+	t.recompute(id, true)
+	return id, nil
+}
+
+// RemoveItem deletes an item entirely (a delisted product). If it was
+// retained it leaves the retained set; every item it covered is
+// recomputed.
+func (t *Tracker) RemoveItem(id int32) error {
+	if !t.m.Alive(id) {
+		return fmt.Errorf("dynamic: no live item %d", id)
+	}
+	affected := make([]int32, 0, len(t.m.nodes[id].in))
+	for _, e := range t.m.nodes[id].in {
+		affected = append(affected, e.other)
+	}
+	if err := t.m.RemoveItem(id); err != nil {
+		return err
+	}
+	delete(t.retained, id)
+	t.recompute(id, true)
+	for _, v := range affected {
+		t.recompute(v, true)
+	}
+	return nil
+}
+
+// Retain adds an item to the retained set (e.g. after a manual override),
+// maintaining the cover for it and everything it newly covers.
+func (t *Tracker) Retain(id int32) error {
+	if !t.m.Alive(id) {
+		return fmt.Errorf("dynamic: no live item %d", id)
+	}
+	if t.retained[id] {
+		return nil
+	}
+	t.retained[id] = true
+	t.recompute(id, true)
+	for _, e := range t.m.nodes[id].in {
+		t.recompute(e.other, true)
+	}
+	return nil
+}
+
+// Release removes an item from the retained set (it stays in the
+// catalog).
+func (t *Tracker) Release(id int32) error {
+	if !t.m.Alive(id) {
+		return fmt.Errorf("dynamic: no live item %d", id)
+	}
+	if !t.retained[id] {
+		return nil
+	}
+	delete(t.retained, id)
+	t.recompute(id, true)
+	for _, e := range t.m.nodes[id].in {
+		t.recompute(e.other, true)
+	}
+	return nil
+}
+
+// Exchange describes one local-search swap.
+type Exchange struct {
+	Out, In int32
+	// Delta is the exact cover improvement of applying the swap.
+	Delta float64
+}
+
+// BestExchange proposes a (release u, retain v) swap: it selects the
+// retained item with the smallest release loss and the non-retained item
+// with the largest retain gain — each measured against the current set —
+// and then evaluates that one candidate pair exactly. It returns ok=false
+// when the candidate does not improve the cover by more than eps.
+//
+// This is a heuristic repair step, not an exhaustive pair search: when
+// loss and gain interact through shared in-neighbors a different pair
+// could be better, but the proposed swap's Delta is always exact and
+// nonnegative improvements are never misreported. Cost is
+// O((|S| + n) * avgDeg) per call; intended as cheap local repair between
+// full re-solves.
+func (t *Tracker) BestExchange(eps float64) (Exchange, bool) {
+	if eps <= 0 {
+		eps = 1e-12
+	}
+	// Loss of releasing u, and gain of retaining v, are interdependent
+	// only when u and v share in-neighbors; evaluating the top candidate
+	// pair exactly afterwards keeps the search honest.
+	type scored struct {
+		id    int32
+		delta float64
+	}
+	var bestOut scored
+	first := true
+	for u := range t.retained {
+		loss := t.releaseLoss(u)
+		if first || loss < bestOut.delta || (loss == bestOut.delta && u < bestOut.id) {
+			bestOut = scored{id: u, delta: loss}
+			first = false
+		}
+	}
+	if first {
+		return Exchange{}, false // nothing retained
+	}
+	var bestIn scored
+	first = true
+	for id := range t.m.nodes {
+		v := int32(id)
+		if !t.m.Alive(v) || t.retained[v] || v == bestOut.id {
+			continue
+		}
+		gain := t.retainGain(v)
+		if first || gain > bestIn.delta || (gain == bestIn.delta && v < bestIn.id) {
+			bestIn = scored{id: v, delta: gain}
+			first = false
+		}
+	}
+	if first {
+		return Exchange{}, false // nothing to bring in
+	}
+	// Exact evaluation of the candidate swap.
+	delta := t.exchangeDelta(bestOut.id, bestIn.id)
+	if delta <= eps {
+		return Exchange{}, false
+	}
+	return Exchange{Out: bestOut.id, In: bestIn.id, Delta: delta}, true
+}
+
+// releaseLoss is C(S) - C(S \ {u}).
+func (t *Tracker) releaseLoss(u int32) float64 {
+	delete(t.retained, u)
+	loss := t.contrib[u] - t.m.nodes[u].w*t.matchProb(u)
+	for _, e := range t.m.nodes[u].in {
+		v := e.other
+		loss += t.contrib[v] - t.m.nodes[v].w*t.matchProb(v)
+	}
+	t.retained[u] = true
+	return loss
+}
+
+// retainGain is C(S ∪ {v}) - C(S).
+func (t *Tracker) retainGain(v int32) float64 {
+	t.retained[v] = true
+	gain := t.m.nodes[v].w*t.matchProb(v) - t.contrib[v]
+	for _, e := range t.m.nodes[v].in {
+		u := e.other
+		if u == v {
+			continue
+		}
+		gain += t.m.nodes[u].w*t.matchProb(u) - t.contrib[u]
+	}
+	delete(t.retained, v)
+	return gain
+}
+
+// exchangeDelta computes the exact cover change of (release out, retain
+// in) without mutating tracked state.
+func (t *Tracker) exchangeDelta(out, in int32) float64 {
+	delete(t.retained, out)
+	t.retained[in] = true
+	// Affected items: out, in, and their in-neighbors.
+	touched := map[int32]bool{out: true, in: true}
+	for _, e := range t.m.nodes[out].in {
+		touched[e.other] = true
+	}
+	for _, e := range t.m.nodes[in].in {
+		touched[e.other] = true
+	}
+	var delta float64
+	for v := range touched {
+		delta += t.m.nodes[v].w*t.matchProb(v) - t.contrib[v]
+	}
+	delete(t.retained, in)
+	t.retained[out] = true
+	return delta
+}
+
+// ApplyExchange commits a swap returned by BestExchange.
+func (t *Tracker) ApplyExchange(ex Exchange) error {
+	if !t.retained[ex.Out] || t.retained[ex.In] {
+		return fmt.Errorf("dynamic: stale exchange %+v", ex)
+	}
+	if err := t.Release(ex.Out); err != nil {
+		return err
+	}
+	return t.Retain(ex.In)
+}
+
+// ResolveResult is the outcome of a full re-solve.
+type ResolveResult struct {
+	// Solution is the fresh greedy solution over the frozen graph.
+	Solution *greedy.Solution
+	// RetainedIDs are the new retained items as mutable ids.
+	RetainedIDs []int32
+	// CoverBefore and CoverAfter compare the tracked and fresh covers on
+	// the current (possibly unnormalized) graph.
+	CoverBefore, CoverAfter float64
+}
+
+// Resolve freezes the current graph, runs the greedy solver at the same
+// retained-set size (or newK if positive), swaps the tracker onto the new
+// solution, and resets the drift counter.
+func (t *Tracker) Resolve(newK int, opts greedy.Options) (*ResolveResult, error) {
+	g, mapping, err := t.m.Freeze()
+	if err != nil {
+		return nil, err
+	}
+	k := newK
+	if k <= 0 {
+		k = len(t.retained)
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("dynamic: nothing to resolve (k=0)")
+	}
+	opts.Variant = t.variant
+	opts.K = k
+	opts.Threshold = 0
+	sol, err := greedy.Solve(g, opts)
+	if err != nil {
+		return nil, err
+	}
+	before := t.cover
+	ids := make([]int32, len(sol.Order))
+	for i, dense := range sol.Order {
+		ids[i] = mapping[dense]
+	}
+	t.retained = make(map[int32]bool, len(ids))
+	for _, id := range ids {
+		t.retained[id] = true
+	}
+	t.cover = 0
+	t.contrib = make(map[int32]float64, t.m.NumAlive())
+	for id := range t.m.nodes {
+		if t.m.nodes[id].alive {
+			t.recompute(int32(id), false)
+		}
+	}
+	t.drift = 0
+	return &ResolveResult{
+		Solution:    sol,
+		RetainedIDs: ids,
+		CoverBefore: before,
+		CoverAfter:  t.cover,
+	}, nil
+}

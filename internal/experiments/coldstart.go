@@ -1,0 +1,162 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"prefcover/internal/adapt"
+	"prefcover/internal/cover"
+	"prefcover/internal/graph"
+	"prefcover/internal/greedy"
+	"prefcover/internal/similarity"
+	"prefcover/internal/synth"
+)
+
+func init() {
+	register("ext-coldstart", ExtColdStart)
+}
+
+// ExtColdStart evaluates the footnote-4 direction: when a fraction of the
+// catalog is new (no behavioral sessions yet), how much coverage does
+// similarity-based edge augmentation recover? Three graphs are built from
+// the same world — full knowledge (oracle), behavioral-only with the cold
+// items' sessions removed, and the behavioral graph augmented from item
+// texts — and each one's greedy selection is scored on the oracle graph.
+func ExtColdStart(cfg Config) (*Table, error) {
+	catSpec, sesSpec, err := synth.PresetSpecs(synth.YC, datasetScale(cfg, synth.YC), cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	cat, err := synth.NewCatalog(catSpec)
+	if err != nil {
+		return nil, err
+	}
+	sessions, err := synth.GenerateSessions(cat, sesSpec)
+	if err != nil {
+		return nil, err
+	}
+	oracle, _, err := adapt.BuildGraph(sessions, adapt.Options{Variant: graph.Independent})
+	if err != nil {
+		return nil, err
+	}
+	// Item texts for every label the oracle graph knows.
+	docs := make([]similarity.Doc, 0, cat.Len())
+	for id := int32(0); id < int32(cat.Len()); id++ {
+		docs = append(docs, similarity.Doc{Label: cat.Item(id).Label, Text: cat.ItemText(id)})
+	}
+	ix, err := similarity.BuildIndex(docs, similarity.IndexOptions{})
+	if err != nil {
+		return nil, err
+	}
+
+	t := &Table{
+		ID:      "ext-coldstart",
+		Title:   "Extension: similarity augmentation for cold-start items (YC, Independent)",
+		Columns: []string{"cold fraction", "k", "total: behavioral / augmented / oracle", "cold demand: behavioral / augmented / oracle"},
+		Notes: []string{
+			"cold items keep their demand but lose their outgoing behavioral edges (as if newly listed); all selections scored on the full-knowledge graph",
+			"the cold-demand columns isolate the coverage of the cold items' own requests — the mass augmentation targets",
+			"expected shape: effects are real but small — losing cold items' out-edges costs a fraction of a point of total cover (the solver compensates by retaining more cold items directly), and augmentation closes part of that gap; Zipf demand means popular-item retention dominates either way",
+		},
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 21))
+	for _, coldFrac := range []float64{0.2, 0.4, 0.6} {
+		cold := pickCold(rng, oracle, coldFrac)
+		behavioral, err := stripOutEdges(oracle, cold)
+		if err != nil {
+			return nil, err
+		}
+		augmented, _, err := similarity.Augment(behavioral, ix, similarity.AugmentOptions{
+			MinAlternatives: 1, PerItem: 3, Alpha: 0.4,
+		})
+		if err != nil {
+			return nil, err
+		}
+		k := oracle.NumNodes() / 10
+		if k < 1 {
+			k = 1
+		}
+		scores := make(map[string][2]float64, 3)
+		for name, solveOn := range map[string]*graph.Graph{
+			"behavioral": behavioral, "augmented": augmented, "oracle": oracle,
+		} {
+			total, coldCover, err := solveAndScore(solveOn, oracle, k, cold)
+			if err != nil {
+				return nil, err
+			}
+			scores[name] = [2]float64{total, coldCover}
+		}
+		t.AddRow(
+			fmt.Sprintf("%.1f", coldFrac), k,
+			fmt.Sprintf("%.4f / %.4f / %.4f", scores["behavioral"][0], scores["augmented"][0], scores["oracle"][0]),
+			fmt.Sprintf("%.4f / %.4f / %.4f", scores["behavioral"][1], scores["augmented"][1], scores["oracle"][1]),
+		)
+	}
+	return t, nil
+}
+
+// pickCold selects the given fraction of items uniformly as "new".
+func pickCold(rng *rand.Rand, g *graph.Graph, frac float64) map[int32]bool {
+	n := g.NumNodes()
+	count := int(frac * float64(n))
+	cold := make(map[int32]bool, count)
+	for _, idx := range rng.Perm(n)[:count] {
+		cold[int32(idx)] = true
+	}
+	return cold
+}
+
+// stripOutEdges removes the outgoing edges of cold items: without observed
+// sessions their alternatives are unknown. (Their incoming edges survive:
+// other items' purchasers did click them.)
+func stripOutEdges(g *graph.Graph, cold map[int32]bool) (*graph.Graph, error) {
+	b := graph.NewBuilder(g.NumNodes(), g.NumEdges())
+	for v := int32(0); v < int32(g.NumNodes()); v++ {
+		b.AddLabeledNode(g.Label(v), g.NodeWeight(v))
+	}
+	for v := int32(0); v < int32(g.NumNodes()); v++ {
+		if cold[v] {
+			continue
+		}
+		dsts, ws := g.OutEdges(v)
+		for i, u := range dsts {
+			b.AddEdge(v, u, ws[i])
+		}
+	}
+	return b.Build(graph.BuildOptions{})
+}
+
+// solveAndScore runs greedy on solveOn and evaluates the selection on
+// scoreOn (same label space by construction), returning the total cover
+// and the cover restricted to the cold items' demand (normalized by the
+// cold demand mass).
+func solveAndScore(solveOn, scoreOn *graph.Graph, k int, cold map[int32]bool) (float64, float64, error) {
+	sol, err := greedy.Solve(solveOn, greedy.Options{Variant: graph.Independent, K: k, Lazy: true})
+	if err != nil {
+		return 0, 0, err
+	}
+	set := make([]int32, 0, len(sol.Order))
+	for _, v := range sol.Order {
+		if u, ok := scoreOn.Lookup(solveOn.Label(v)); ok {
+			set = append(set, u)
+		}
+	}
+	total, err := cover.EvaluateSet(scoreOn, graph.Independent, set)
+	if err != nil {
+		return 0, 0, err
+	}
+	perItem, err := cover.PerItemCoverage(scoreOn, graph.Independent, set)
+	if err != nil {
+		return 0, 0, err
+	}
+	var coldCovered, coldMass float64
+	for v := range cold {
+		w := scoreOn.NodeWeight(v)
+		coldMass += w
+		coldCovered += w * perItem[v]
+	}
+	if coldMass == 0 {
+		return total, 0, nil
+	}
+	return total, coldCovered / coldMass, nil
+}

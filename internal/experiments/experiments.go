@@ -1,0 +1,160 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section 5.4) on synthetic stand-ins for the paper's datasets:
+// one driver function per exhibit, each returning a rendered Table. The
+// package is shared by cmd/experiments (human-readable runs) and the
+// repository's top-level benchmarks.
+//
+// Absolute numbers differ from the paper (different data, hardware and
+// implementation language); the experiment *shapes* are what must and do
+// hold — see EXPERIMENTS.md for the side-by-side reading.
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"text/tabwriter"
+	"time"
+)
+
+// Config parameterizes all experiment drivers.
+type Config struct {
+	// Seed drives every random choice; same seed, same tables.
+	Seed int64
+	// Full switches to paper-scale workloads (millions of items). The
+	// default small scale keeps every driver in seconds on a laptop.
+	Full bool
+	// Workers is the solver parallelism for drivers that do not sweep it.
+	Workers int
+}
+
+func (c Config) workers() int {
+	if c.Workers <= 0 {
+		return 1
+	}
+	return c.Workers
+}
+
+// Table is a rendered experiment result.
+type Table struct {
+	ID      string // e.g. "table2", "fig4c"
+	Title   string
+	Columns []string
+	Rows    [][]string
+	// Notes explain scale substitutions and what shape to expect.
+	Notes []string
+}
+
+// AddRow appends a row, formatting each cell with %v.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.4f", v)
+		case time.Duration:
+			row[i] = v.Round(time.Microsecond).String()
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title); err != nil {
+		return err
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	for i, col := range t.Columns {
+		if i > 0 {
+			fmt.Fprint(tw, "\t")
+		}
+		fmt.Fprint(tw, col)
+	}
+	fmt.Fprintln(tw)
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i > 0 {
+				fmt.Fprint(tw, "\t")
+			}
+			fmt.Fprint(tw, cell)
+		}
+		fmt.Fprintln(tw)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	for _, n := range t.Notes {
+		if _, err := fmt.Fprintf(w, "note: %s\n", n); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// RenderCSV writes the table as CSV (columns first).
+func (t *Table) RenderCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Columns); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Driver is an experiment entry point.
+type Driver func(Config) (*Table, error)
+
+// registry maps experiment ids to drivers, populated by the per-exhibit
+// files in this package.
+var registry = map[string]Driver{}
+
+func register(id string, d Driver) { registry[id] = d }
+
+// Lookup returns the driver for an experiment id.
+func Lookup(id string) (Driver, bool) {
+	d, ok := registry[id]
+	return d, ok
+}
+
+// IDs lists all registered experiment ids in stable order.
+func IDs() []string {
+	ids := make([]string, 0, len(registry))
+	for id := range registry {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// RunAll executes every registered experiment and renders each to w,
+// stopping at the first failure.
+func RunAll(cfg Config, w io.Writer) error {
+	for _, id := range IDs() {
+		d, _ := Lookup(id)
+		tab, err := d(cfg)
+		if err != nil {
+			return fmt.Errorf("experiments: %s: %w", id, err)
+		}
+		if err := tab.Render(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// timeIt measures one invocation of f.
+func timeIt(f func() error) (time.Duration, error) {
+	start := time.Now()
+	err := f()
+	return time.Since(start), err
+}

@@ -1,0 +1,288 @@
+package experiments_test
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+
+	. "prefcover/internal/experiments"
+)
+
+var smallCfg = Config{Seed: 42}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"ablation-direction", "ablation-lazy", "ablation-sparsify",
+		"ext-budgeted", "ext-coldstart", "ext-dynamic", "ext-quota",
+		"fig4a", "fig4b", "fig4c", "fig4d", "fig4e", "fig4f",
+		"table1", "table2", "validation",
+	}
+	ids := IDs()
+	if len(ids) != len(want) {
+		t.Fatalf("ids = %v", ids)
+	}
+	for i, id := range want {
+		if ids[i] != id {
+			t.Fatalf("ids = %v, want %v", ids, want)
+		}
+	}
+	for _, id := range want {
+		if _, ok := Lookup(id); !ok {
+			t.Errorf("missing driver %s", id)
+		}
+	}
+	if _, ok := Lookup("nope"); ok {
+		t.Error("unknown id resolved")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := &Table{
+		ID:      "x",
+		Title:   "demo",
+		Columns: []string{"a", "b"},
+		Notes:   []string{"a note"},
+	}
+	tab.AddRow(1, 2.5)
+	tab.AddRow("s", 0.125)
+	var buf bytes.Buffer
+	if err := tab.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"== x: demo ==", "a note", "2.5000", "0.1250"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	buf.Reset()
+	if err := tab.RenderCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 || lines[0] != "a,b" {
+		t.Errorf("csv = %q", buf.String())
+	}
+}
+
+func TestTable1Driver(t *testing.T) {
+	tab, err := Table1(smallCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 5 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// Greedy ratios must be nondecreasing down the table (k/n grows).
+	prev := 0.0
+	for _, row := range tab.Rows {
+		v, err := strconv.ParseFloat(row[2], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v < prev-1e-9 {
+			t.Errorf("ratio decreased: %v", tab.Rows)
+		}
+		prev = v
+	}
+}
+
+func TestTable2Driver(t *testing.T) {
+	tab, err := Table2(smallCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4 datasets", len(tab.Rows))
+	}
+	// Shape: PE > PF > PM item counts; YC has far fewer purchases than
+	// sessions; PM is the normalized dataset.
+	items := func(i int) int {
+		v, err := strconv.Atoi(tab.Rows[i][3])
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	if !(items(0) > items(1) && items(1) > items(2)) {
+		t.Errorf("item counts not PE > PF > PM: %v", tab.Rows)
+	}
+	if tab.Rows[2][5] != "normalized" {
+		t.Errorf("PM variant = %s", tab.Rows[2][5])
+	}
+	ycSessions, _ := strconv.Atoi(tab.Rows[3][1])
+	ycPurchases, _ := strconv.Atoi(tab.Rows[3][2])
+	if ycPurchases*10 > ycSessions {
+		t.Errorf("YC purchase rate too high: %d/%d", ycPurchases, ycSessions)
+	}
+}
+
+func TestFig4aDriverShape(t *testing.T) {
+	tab, err := Fig4a(smallCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 10 { // 2 variants x 5 budgets
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		ratio, err := strconv.ParseFloat(row[4], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Greedy never exceeds the optimum and never drops below 1-1/e.
+		if ratio < 0.632 || ratio > 1.0+1e-9 {
+			t.Errorf("ratio %g out of [0.632, 1]: %v", ratio, row)
+		}
+	}
+}
+
+func TestFig4fDriverShape(t *testing.T) {
+	tab, err := Fig4f(smallCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 10 { // 2 datasets x 5 thresholds
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	prevSize, prevDataset := 0, ""
+	for _, row := range tab.Rows {
+		gsize, _ := strconv.Atoi(row[2])
+		kcsize, _ := strconv.Atoi(row[3])
+		kwsize, _ := strconv.Atoi(row[4])
+		// Greedy needs the smallest set at every threshold.
+		if gsize > kcsize || gsize > kwsize {
+			t.Errorf("greedy %d not smallest (kc=%d kw=%d)", gsize, kcsize, kwsize)
+		}
+		// Sizes grow with the threshold within a dataset.
+		if row[0] != prevDataset {
+			prevSize, prevDataset = 0, row[0]
+		}
+		if gsize < prevSize {
+			t.Errorf("greedy size decreased: %v", tab.Rows)
+		}
+		prevSize = gsize
+	}
+}
+
+func TestFig4cDriverShape(t *testing.T) {
+	tab, err := Fig4c(smallCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 10 { // 2 datasets x 5 budgets
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		greedy, _ := strconv.ParseFloat(row[3], 64)
+		kc, _ := strconv.ParseFloat(row[4], 64)
+		kw, _ := strconv.ParseFloat(row[5], 64)
+		rd, _ := strconv.ParseFloat(row[6], 64)
+		if greedy < kc-1e-9 || greedy < kw-1e-9 || greedy < rd-1e-9 {
+			t.Errorf("greedy not dominant in row %v", row)
+		}
+	}
+}
+
+func TestExtBudgetedDriverShape(t *testing.T) {
+	tab, err := ExtBudgeted(smallCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prevRevenue := 0.0
+	for _, row := range tab.Rows {
+		budget, _ := strconv.ParseFloat(row[0], 64)
+		costUsed, _ := strconv.ParseFloat(row[2], 64)
+		revenue, _ := strconv.ParseFloat(row[3], 64)
+		if costUsed > budget+1e-9 {
+			t.Errorf("cost %g exceeds budget %g", costUsed, budget)
+		}
+		if revenue < prevRevenue-1e-9 {
+			t.Errorf("revenue decreased with a larger budget: %v", tab.Rows)
+		}
+		prevRevenue = revenue
+	}
+}
+
+func TestExtDynamicDriverShape(t *testing.T) {
+	tab, err := ExtDynamic(smallCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tab.Rows {
+		still, _ := strconv.ParseFloat(row[1], 64)
+		repair, _ := strconv.ParseFloat(row[2], 64)
+		if repair < still-1e-9 {
+			t.Errorf("exchange maintenance below no-maintenance: %v", row)
+		}
+	}
+}
+
+func TestExtColdStartDriverShape(t *testing.T) {
+	tab, err := ExtColdStart(smallCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		// "behavioral / augmented / oracle" triple: oracle must be the
+		// best total cover.
+		parts := strings.Split(row[2], " / ")
+		if len(parts) != 3 {
+			t.Fatalf("bad triple %q", row[2])
+		}
+		beh, _ := strconv.ParseFloat(parts[0], 64)
+		oracle, _ := strconv.ParseFloat(parts[2], 64)
+		if beh > oracle+1e-9 {
+			t.Errorf("behavioral %g beats oracle %g", beh, oracle)
+		}
+	}
+}
+
+func TestValidationDriverShape(t *testing.T) {
+	tab, err := Validation(smallCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 6 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		if row[5] != "true" {
+			t.Errorf("simulation outside confidence band: %v", row)
+		}
+	}
+}
+
+func TestAblationSparsifyDriverShape(t *testing.T) {
+	tab, err := AblationSparsify(smallCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tab.Rows {
+		bound, _ := strconv.ParseFloat(row[2], 64)
+		actual, _ := strconv.ParseFloat(row[3], 64)
+		if actual > bound+1e-9 {
+			t.Errorf("actual loss %g exceeds certified bound %g", actual, bound)
+		}
+	}
+}
+
+func TestRunAllSmallIsRenderable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every driver; skipped in -short")
+	}
+	var buf bytes.Buffer
+	if err := RunAll(Config{Seed: 7}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, id := range IDs() {
+		if !strings.Contains(out, "== "+id+":") {
+			t.Errorf("output missing %s", id)
+		}
+	}
+}

@@ -1,0 +1,72 @@
+// Package fixture provides the paper's worked examples as reusable test and
+// demo data: the Figure 1 preference graph (Examples 1.1 and 3.2) and the
+// Figure 3 iPhone clickstream.
+package fixture
+
+import (
+	"prefcover/internal/clickstream"
+	"prefcover/internal/graph"
+)
+
+// Figure 1 facts, hard-coded from the paper:
+//
+//	weights:  A=0.33  B=0.22  C=0.22  D=0.06  E=0.17   (sum 1)
+//	edges:    A->B 2/3, A->C 0.3, B->C 0.8, C->B 1.0, D->C 0.5, E->D 0.9
+//
+// The paper pins W(A), W(D), W(A->B), W(C->B), W(E->D) and the derived
+// facts (TopK {A,B} covers 77%, greedy picks B with gain 66% then D with
+// gain 21.3%, optimum {B,D} covers 87.3%); the remaining weights are free
+// as long as those facts hold, and the values above satisfy all of them
+// under both variants.
+const (
+	Fig1CoverBD   = 0.873 // C({B,D}), the optimum for k=2
+	Fig1CoverTopK = 0.77  // C({A,B}), the naive top-seller choice
+	Fig1GainB     = 0.66  // first greedy gain
+	Fig1GainD     = 0.213 // second greedy gain
+	Fig1CoverageA = 2.0 / 3.0
+	Fig1CoverageE = 0.9
+	Fig1K         = 2
+)
+
+// Figure1Graph builds the Figure 1 preference graph with labels A-E.
+func Figure1Graph() *graph.Graph {
+	b := graph.NewBuilder(5, 6)
+	b.AddLabeledNode("A", 0.33)
+	b.AddLabeledNode("B", 0.22)
+	b.AddLabeledNode("C", 0.22)
+	b.AddLabeledNode("D", 0.06)
+	b.AddLabeledNode("E", 0.17)
+	b.AddLabeledEdge("A", "B", 2.0/3.0)
+	b.AddLabeledEdge("A", "C", 0.3)
+	b.AddLabeledEdge("B", "C", 0.8)
+	b.AddLabeledEdge("C", "B", 1.0)
+	b.AddLabeledEdge("D", "C", 0.5)
+	b.AddLabeledEdge("E", "D", 0.9)
+	g, err := b.Build(graph.BuildOptions{})
+	if err != nil {
+		panic("fixture: figure 1 graph must build: " + err.Error())
+	}
+	return g
+}
+
+// Figure 3 item labels.
+const (
+	Fig3Silver    = "iphone8-256-silver"
+	Fig3Gold      = "iphone8-256-gold"
+	Fig3SpaceGray = "iphone8-256-spacegray"
+)
+
+// Figure3Sessions reproduces the paper's Figure 3a clickstream: five
+// sessions over the three iPhone 8 256GB color variants. The adapted graph
+// must have node weights 0.4/0.2/0.4 (Silver/Gold/SpaceGray) and edges
+// Silver->Gold 1/2, Silver->SpaceGray 1/2, SpaceGray->Silver 1/2,
+// Gold->SpaceGray 1.
+func Figure3Sessions() *clickstream.Store {
+	return clickstream.NewStore([]clickstream.Session{
+		{ID: "s1", Purchase: Fig3Silver, Clicks: []string{Fig3Gold}},
+		{ID: "s2", Purchase: Fig3Silver, Clicks: []string{Fig3SpaceGray}},
+		{ID: "s3", Purchase: Fig3SpaceGray},
+		{ID: "s4", Purchase: Fig3SpaceGray, Clicks: []string{Fig3Silver}},
+		{ID: "s5", Purchase: Fig3Gold, Clicks: []string{Fig3SpaceGray}},
+	})
+}

@@ -1,0 +1,250 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Binary codec for large graphs (millions of nodes). Layout, all
+// little-endian:
+//
+//	magic   [4]byte  "PCG1"
+//	flags   uint32   bit 0: labeled
+//	n       uint64   node count
+//	m       uint64   edge count
+//	nodeW   n * float64
+//	outStart (n+1) * int64
+//	outDst  m * int32
+//	outW    m * float64
+//	labels  (if labeled) n * (uvarint length + bytes)
+//
+// The incoming CSR is rebuilt on load; it is cheaper to recompute than to
+// double the file size.
+
+var binaryMagic = [4]byte{'P', 'C', 'G', '1'}
+
+const flagLabeled = 1 << 0
+
+// WriteBinary serializes g in the compact binary format.
+func WriteBinary(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := bw.Write(binaryMagic[:]); err != nil {
+		return err
+	}
+	var flags uint32
+	if g.Labeled() {
+		flags |= flagLabeled
+	}
+	if err := writeLE(bw, flags, uint64(g.NumNodes()), uint64(g.NumEdges())); err != nil {
+		return err
+	}
+	for _, x := range g.nodeW {
+		if err := writeLE(bw, math.Float64bits(x)); err != nil {
+			return err
+		}
+	}
+	for _, x := range g.outStart {
+		if err := writeLE(bw, uint64(x)); err != nil {
+			return err
+		}
+	}
+	for _, x := range g.outDst {
+		if err := writeLE(bw, uint32(x)); err != nil {
+			return err
+		}
+	}
+	for _, x := range g.outW {
+		if err := writeLE(bw, math.Float64bits(x)); err != nil {
+			return err
+		}
+	}
+	if g.Labeled() {
+		var buf [binary.MaxVarintLen64]byte
+		for _, label := range g.labels {
+			n := binary.PutUvarint(buf[:], uint64(len(label)))
+			if _, err := bw.Write(buf[:n]); err != nil {
+				return err
+			}
+			if _, err := bw.WriteString(label); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+func writeLE(w io.Writer, values ...interface{}) error {
+	for _, v := range values {
+		if err := binary.Write(w, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// maxBinaryCount bounds node/edge counts to catch corrupt headers before
+// attempting a huge allocation.
+const maxBinaryCount = 1 << 33
+
+// binaryChunk is how many array elements are read per allocation step, so
+// a header claiming billions of entries cannot force a giant allocation
+// before the (truncated) stream runs dry.
+const binaryChunk = 1 << 16
+
+// ReadBinary parses the binary format and reconstructs the incoming CSR.
+func ReadBinary(r io.Reader) (*Graph, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("graph: reading binary magic: %w", err)
+	}
+	if magic != binaryMagic {
+		return nil, fmt.Errorf("graph: bad magic %q (want %q)", magic[:], binaryMagic[:])
+	}
+	var flags uint32
+	var n, m uint64
+	if err := readLE(br, &flags, &n, &m); err != nil {
+		return nil, err
+	}
+	if n == 0 || n > maxBinaryCount || m > maxBinaryCount {
+		return nil, fmt.Errorf("graph: implausible binary header n=%d m=%d", n, m)
+	}
+	g := &Graph{}
+	var err error
+	if g.nodeW, err = readFloat64s(br, n); err != nil {
+		return nil, err
+	}
+	if g.outStart, err = readInt64s(br, n+1); err != nil {
+		return nil, err
+	}
+	if g.outDst, err = readInt32s(br, m); err != nil {
+		return nil, err
+	}
+	if g.outW, err = readFloat64s(br, m); err != nil {
+		return nil, err
+	}
+	if g.outStart[0] != 0 || g.outStart[n] != int64(m) {
+		return nil, fmt.Errorf("graph: corrupt CSR offsets (start=%d end=%d m=%d)", g.outStart[0], g.outStart[n], m)
+	}
+	for i := uint64(0); i < n; i++ {
+		if g.outStart[i] > g.outStart[i+1] {
+			return nil, fmt.Errorf("graph: corrupt CSR offsets at node %d", i)
+		}
+	}
+	for _, d := range g.outDst {
+		if d < 0 || uint64(d) >= n {
+			return nil, fmt.Errorf("graph: edge destination %d out of range", d)
+		}
+	}
+	if flags&flagLabeled != 0 {
+		g.labels = make([]string, n)
+		g.byName = make(map[string]int32, n)
+		for i := uint64(0); i < n; i++ {
+			l, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, fmt.Errorf("graph: reading label %d: %w", i, err)
+			}
+			if l > 1<<20 {
+				return nil, fmt.Errorf("graph: implausible label length %d", l)
+			}
+			buf := make([]byte, l)
+			if _, err := io.ReadFull(br, buf); err != nil {
+				return nil, fmt.Errorf("graph: reading label %d: %w", i, err)
+			}
+			g.labels[i] = string(buf)
+			if _, dup := g.byName[g.labels[i]]; dup {
+				return nil, fmt.Errorf("graph: duplicate label %q", g.labels[i])
+			}
+			g.byName[g.labels[i]] = int32(i)
+		}
+	}
+	g.buildIncoming()
+	return g, nil
+}
+
+func readLE(r io.Reader, targets ...interface{}) error {
+	for _, t := range targets {
+		if err := binary.Read(r, binary.LittleEndian, t); err != nil {
+			return fmt.Errorf("graph: reading binary body: %w", err)
+		}
+	}
+	return nil
+}
+
+// readFloat64s reads count float64 values, growing the slice chunk by
+// chunk so truncated input fails before large allocations.
+func readFloat64s(r io.Reader, count uint64) ([]float64, error) {
+	out := make([]float64, 0, min64(count, binaryChunk))
+	for uint64(len(out)) < count {
+		step := min64(count-uint64(len(out)), binaryChunk)
+		chunk := make([]float64, step)
+		if err := readLE(r, &chunk); err != nil {
+			return nil, err
+		}
+		out = append(out, chunk...)
+	}
+	return out, nil
+}
+
+func readInt64s(r io.Reader, count uint64) ([]int64, error) {
+	out := make([]int64, 0, min64(count, binaryChunk))
+	for uint64(len(out)) < count {
+		step := min64(count-uint64(len(out)), binaryChunk)
+		chunk := make([]int64, step)
+		if err := readLE(r, &chunk); err != nil {
+			return nil, err
+		}
+		out = append(out, chunk...)
+	}
+	return out, nil
+}
+
+func readInt32s(r io.Reader, count uint64) ([]int32, error) {
+	out := make([]int32, 0, min64(count, binaryChunk))
+	for uint64(len(out)) < count {
+		step := min64(count-uint64(len(out)), binaryChunk)
+		chunk := make([]int32, step)
+		if err := readLE(r, &chunk); err != nil {
+			return nil, err
+		}
+		out = append(out, chunk...)
+	}
+	return out, nil
+}
+
+func min64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// buildIncoming recomputes the incoming CSR from the outgoing one.
+func (g *Graph) buildIncoming() {
+	n := g.NumNodes()
+	m := len(g.outDst)
+	g.inStart = make([]int64, n+1)
+	g.inSrc = make([]int32, m)
+	g.inW = make([]float64, m)
+	for _, d := range g.outDst {
+		g.inStart[d+1]++
+	}
+	for i := 1; i <= n; i++ {
+		g.inStart[i] += g.inStart[i-1]
+	}
+	next := make([]int64, n)
+	copy(next, g.inStart[:n])
+	for v := int32(0); v < int32(n); v++ {
+		lo, hi := g.outStart[v], g.outStart[v+1]
+		for i := lo; i < hi; i++ {
+			d := g.outDst[i]
+			pos := next[d]
+			next[d]++
+			g.inSrc[pos] = v
+			g.inW[pos] = g.outW[i]
+		}
+	}
+}

@@ -1,0 +1,79 @@
+package graph_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	. "prefcover/internal/graph"
+)
+
+// FuzzReadTSV ensures the TSV parser never panics and that anything it
+// accepts re-serializes to a parseable document.
+func FuzzReadTSV(f *testing.F) {
+	f.Add("node\ta\t0.5\nnode\tb\t0.5\nedge\ta\tb\t0.5\n")
+	f.Add("# comment\n\nnode\tx\t1\n")
+	f.Add("edge\ta\tb\t0.5\n")
+	f.Add("node\ta\tNaN\n")
+	f.Add("node\ta\t1e309\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		g, err := ReadTSV(strings.NewReader(input), BuildOptions{})
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteTSV(&buf, g); err != nil {
+			t.Fatalf("accepted graph failed to serialize: %v", err)
+		}
+		back, err := ReadTSV(&buf, BuildOptions{})
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if back.NumNodes() != g.NumNodes() || back.NumEdges() != g.NumEdges() {
+			t.Fatal("round trip changed shape")
+		}
+	})
+}
+
+// FuzzReadBinary ensures the binary decoder rejects corrupt input without
+// panicking or over-allocating.
+func FuzzReadBinary(f *testing.F) {
+	g := mustTiny()
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("PCG1"))
+	f.Add([]byte("PCG1\x00\x00\x00\x00\xff\xff\xff\xff\xff\xff\xff\xff"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := ReadBinary(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Anything accepted must be internally consistent.
+		if g.NumNodes() <= 0 {
+			t.Fatal("accepted graph with no nodes")
+		}
+		edges := 0
+		for v := int32(0); v < int32(g.NumNodes()); v++ {
+			dsts, _ := g.OutEdges(v)
+			edges += len(dsts)
+		}
+		if edges != g.NumEdges() {
+			t.Fatal("edge count mismatch")
+		}
+	})
+}
+
+func mustTiny() *Graph {
+	b := NewBuilder(2, 1)
+	b.AddLabeledNode("a", 0.5)
+	b.AddLabeledNode("b", 0.5)
+	b.AddLabeledEdge("a", "b", 0.5)
+	g, err := b.Build(BuildOptions{})
+	if err != nil {
+		panic(err)
+	}
+	return g
+}

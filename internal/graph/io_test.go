@@ -1,0 +1,212 @@
+package graph_test
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	. "prefcover/internal/graph"
+	"prefcover/internal/graphtest"
+)
+
+func labeledSample(t *testing.T) *Graph {
+	t.Helper()
+	b := NewBuilder(0, 0)
+	b.AddLabeledNode("alpha", 0.5)
+	b.AddLabeledNode("beta", 0.3)
+	b.AddLabeledNode("gamma", 0.2)
+	b.AddLabeledEdge("alpha", "beta", 0.75)
+	b.AddLabeledEdge("beta", "gamma", 0.5)
+	b.AddLabeledEdge("gamma", "alpha", 0.125)
+	g, err := b.Build(BuildOptions{})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return g
+}
+
+func TestTSVRoundTrip(t *testing.T) {
+	g := labeledSample(t)
+	var buf bytes.Buffer
+	if err := WriteTSV(&buf, g); err != nil {
+		t.Fatalf("WriteTSV: %v", err)
+	}
+	back, err := ReadTSV(&buf, BuildOptions{})
+	if err != nil {
+		t.Fatalf("ReadTSV: %v", err)
+	}
+	assertSameGraph(t, g, back)
+	if back.Label(0) != "alpha" {
+		t.Errorf("label lost: %q", back.Label(0))
+	}
+}
+
+func TestTSVErrors(t *testing.T) {
+	cases := map[string]string{
+		"unknown record":   "bogus\tx\t1\n",
+		"short node":       "node\tx\n",
+		"bad node weight":  "node\tx\tnope\n",
+		"short edge":       "node\tx\t0.5\nedge\tx\tx\n",
+		"bad edge weight":  "node\tx\t0.5\nedge\tx\tx\tnope\n",
+		"undeclared node":  "node\tx\t0.5\nedge\tx\ty\t0.5\n",
+		"undeclared node2": "node\tx\t0.5\nedge\ty\tx\t0.5\n",
+	}
+	for name, input := range cases {
+		if _, err := ReadTSV(strings.NewReader(input), BuildOptions{}); err == nil {
+			t.Errorf("%s: want error", name)
+		}
+	}
+}
+
+func TestTSVIgnoresCommentsAndBlanks(t *testing.T) {
+	input := "# header\n\nnode\tx\t0.6\nnode\ty\t0.4\n# mid comment\nedge\tx\ty\t0.5\n"
+	g, err := ReadTSV(strings.NewReader(input), BuildOptions{})
+	if err != nil {
+		t.Fatalf("ReadTSV: %v", err)
+	}
+	if g.NumNodes() != 2 || g.NumEdges() != 1 {
+		t.Errorf("counts: %d nodes %d edges", g.NumNodes(), g.NumEdges())
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	g := labeledSample(t)
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, g); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	back, err := ReadJSON(&buf, BuildOptions{})
+	if err != nil {
+		t.Fatalf("ReadJSON: %v", err)
+	}
+	assertSameGraph(t, g, back)
+}
+
+func TestJSONUnlabeledRoundTrip(t *testing.T) {
+	g := buildTiny(t)
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, g); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	back, err := ReadJSON(&buf, BuildOptions{})
+	if err != nil {
+		t.Fatalf("ReadJSON: %v", err)
+	}
+	assertSameGraph(t, g, back)
+	if back.Labeled() {
+		t.Error("unlabeled graph became labeled")
+	}
+}
+
+func TestJSONErrors(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("{"), BuildOptions{}); err == nil {
+		t.Error("truncated json should fail")
+	}
+	bad := `{"nodes":[{"weight":1}],"edges":[{"src":0,"dst":9,"weight":0.5}]}`
+	if _, err := ReadJSON(strings.NewReader(bad), BuildOptions{}); err == nil {
+		t.Error("out-of-range edge should fail")
+	}
+}
+
+func TestBinaryRoundTripLabeled(t *testing.T) {
+	g := labeledSample(t)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatalf("WriteBinary: %v", err)
+	}
+	back, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatalf("ReadBinary: %v", err)
+	}
+	assertSameGraph(t, g, back)
+	if v, ok := back.Lookup("gamma"); !ok || v != 2 {
+		t.Errorf("Lookup after binary round trip: %d,%v", v, ok)
+	}
+}
+
+func TestBinaryRoundTripProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := graphtest.Random(rng, 2+rng.Intn(60), 5, Independent)
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, g); err != nil {
+			return false
+		}
+		back, err := ReadBinary(&buf)
+		if err != nil {
+			return false
+		}
+		if g.NumNodes() != back.NumNodes() || g.NumEdges() != back.NumEdges() {
+			return false
+		}
+		// In-CSR is rebuilt on load; verify it matches the original.
+		for v := int32(0); v < int32(g.NumNodes()); v++ {
+			gs, gw := g.InEdges(v)
+			bs, bw := back.InEdges(v)
+			if len(gs) != len(bs) {
+				return false
+			}
+			for i := range gs {
+				if gs[i] != bs[i] || gw[i] != bw[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBinaryRejectsGarbage(t *testing.T) {
+	if _, err := ReadBinary(strings.NewReader("XXXXgarbage")); err == nil {
+		t.Error("bad magic should fail")
+	}
+	if _, err := ReadBinary(strings.NewReader("PCG1")); err == nil {
+		t.Error("truncated header should fail")
+	}
+}
+
+func TestBinaryRejectsCorruptOffsets(t *testing.T) {
+	g := labeledSample(t)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatalf("WriteBinary: %v", err)
+	}
+	data := buf.Bytes()
+	// Header: magic(4) flags(4) n(8) m(8), then nodeW (3*8), then
+	// outStart (4*8). Corrupt the final outStart entry.
+	off := 4 + 4 + 8 + 8 + 3*8 + 3*8
+	data[off] = 0xFF
+	if _, err := ReadBinary(bytes.NewReader(data)); err == nil {
+		t.Error("corrupt offsets should fail")
+	}
+}
+
+func assertSameGraph(t *testing.T, want, got *Graph) {
+	t.Helper()
+	if want.NumNodes() != got.NumNodes() {
+		t.Fatalf("nodes: want %d got %d", want.NumNodes(), got.NumNodes())
+	}
+	if want.NumEdges() != got.NumEdges() {
+		t.Fatalf("edges: want %d got %d", want.NumEdges(), got.NumEdges())
+	}
+	for v := int32(0); v < int32(want.NumNodes()); v++ {
+		if want.NodeWeight(v) != got.NodeWeight(v) {
+			t.Fatalf("node %d weight: want %g got %g", v, want.NodeWeight(v), got.NodeWeight(v))
+		}
+		wd, ww := want.OutEdges(v)
+		gd, gw := got.OutEdges(v)
+		if len(wd) != len(gd) {
+			t.Fatalf("node %d out-degree: want %d got %d", v, len(wd), len(gd))
+		}
+		for i := range wd {
+			if wd[i] != gd[i] || ww[i] != gw[i] {
+				t.Fatalf("node %d edge %d mismatch", v, i)
+			}
+		}
+	}
+}

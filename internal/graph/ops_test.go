@@ -1,0 +1,303 @@
+package graph_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	. "prefcover/internal/graph"
+	"prefcover/internal/graphtest"
+)
+
+func TestReverse(t *testing.T) {
+	g := buildTiny(t)
+	r := g.Reverse()
+	if r.NumNodes() != g.NumNodes() || r.NumEdges() != g.NumEdges() {
+		t.Fatal("reverse changed counts")
+	}
+	// 0->1 in g becomes 1->0 in r.
+	if w, ok := r.EdgeWeight(1, 0); !ok || w != 0.5 {
+		t.Errorf("reverse EdgeWeight(1,0) = %g,%v", w, ok)
+	}
+	if _, ok := r.EdgeWeight(0, 1); ok {
+		t.Error("reverse should not keep original direction")
+	}
+	// Double reverse is the original.
+	rr := r.Reverse()
+	for v := int32(0); v < int32(g.NumNodes()); v++ {
+		gd, gw := g.OutEdges(v)
+		rd, rw := rr.OutEdges(v)
+		if len(gd) != len(rd) {
+			t.Fatalf("double reverse degree mismatch at %d", v)
+		}
+		for i := range gd {
+			if gd[i] != rd[i] || gw[i] != rw[i] {
+				t.Fatalf("double reverse edge mismatch at %d", v)
+			}
+		}
+	}
+}
+
+func TestReverseProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := graphtest.Random(rng, 2+rng.Intn(30), 4, Independent)
+		r := g.Reverse()
+		for _, e := range g.Edges() {
+			if w, ok := r.EdgeWeight(e.Dst, e.Src); !ok || w != e.W {
+				return false
+			}
+		}
+		return r.NumEdges() == g.NumEdges()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInduce(t *testing.T) {
+	g := buildTiny(t)
+	sub, mapping, err := g.Induce([]int32{0, 1, 2})
+	if err != nil {
+		t.Fatalf("Induce: %v", err)
+	}
+	if sub.NumNodes() != 3 {
+		t.Fatalf("induced nodes = %d", sub.NumNodes())
+	}
+	// Edge 3->0 crosses the cut and must be dropped; 0->1, 0->2, 1->2 stay.
+	if sub.NumEdges() != 3 {
+		t.Fatalf("induced edges = %d, want 3", sub.NumEdges())
+	}
+	for newID, oldID := range mapping {
+		if sub.NodeWeight(int32(newID)) != g.NodeWeight(oldID) {
+			t.Errorf("weight mismatch at new id %d", newID)
+		}
+	}
+}
+
+func TestInduceReordersIDs(t *testing.T) {
+	g := buildTiny(t)
+	sub, mapping, err := g.Induce([]int32{2, 0})
+	if err != nil {
+		t.Fatalf("Induce: %v", err)
+	}
+	if mapping[0] != 2 || mapping[1] != 0 {
+		t.Fatalf("mapping = %v", mapping)
+	}
+	// Original 0->2 becomes 1->0.
+	if w, ok := sub.EdgeWeight(1, 0); !ok || w != 0.25 {
+		t.Errorf("EdgeWeight(1,0) = %g,%v", w, ok)
+	}
+}
+
+func TestInduceErrors(t *testing.T) {
+	g := buildTiny(t)
+	if _, _, err := g.Induce([]int32{0, 99}); err == nil {
+		t.Error("want unknown-node error")
+	}
+	if _, _, err := g.Induce([]int32{0, 0}); err == nil {
+		t.Error("want duplicate error")
+	}
+}
+
+func TestInduceKeepsLabels(t *testing.T) {
+	b := NewBuilder(0, 0)
+	b.AddLabeledNode("x", 0.5)
+	b.AddLabeledNode("y", 0.3)
+	b.AddLabeledNode("z", 0.2)
+	b.AddLabeledEdge("x", "z", 0.4)
+	g, err := b.Build(BuildOptions{})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	sub, _, err := g.Induce([]int32{2, 0})
+	if err != nil {
+		t.Fatalf("Induce: %v", err)
+	}
+	if sub.Label(0) != "z" || sub.Label(1) != "x" {
+		t.Errorf("labels = %q,%q", sub.Label(0), sub.Label(1))
+	}
+	if w, ok := sub.EdgeWeight(1, 0); !ok || w != 0.4 {
+		t.Errorf("edge x->z lost: %g,%v", w, ok)
+	}
+}
+
+func TestTopNodesByWeight(t *testing.T) {
+	g := buildTiny(t) // weights 0.4 0.3 0.2 0.05 0.05
+	top := g.TopNodesByWeight(3)
+	want := []int32{0, 1, 2}
+	for i := range want {
+		if top[i] != want[i] {
+			t.Fatalf("top = %v, want %v", top, want)
+		}
+	}
+	// Tie at 0.05 breaks toward smaller id.
+	all := g.TopNodesByWeight(5)
+	if all[3] != 3 || all[4] != 4 {
+		t.Errorf("tie-break wrong: %v", all)
+	}
+	if got := g.TopNodesByWeight(99); len(got) != 5 {
+		t.Errorf("overlong request should clamp, got %d", len(got))
+	}
+}
+
+func TestRenormalize(t *testing.T) {
+	b := NewBuilder(0, 0)
+	b.AddNode(2)
+	b.AddNode(2)
+	g, err := b.Build(BuildOptions{})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	rn, err := g.Renormalize()
+	if err != nil {
+		t.Fatalf("Renormalize: %v", err)
+	}
+	if w := rn.NodeWeight(0); math.Abs(w-0.5) > 1e-12 {
+		t.Errorf("renormalized weight = %g", w)
+	}
+	if g.NodeWeight(0) != 2 {
+		t.Error("original mutated")
+	}
+	b2 := NewBuilder(0, 0)
+	b2.AddNode(0)
+	g2, _ := b2.Build(BuildOptions{})
+	if _, err := g2.Renormalize(); err == nil {
+		t.Error("zero-weight renormalize should fail")
+	}
+}
+
+func TestClosureAddsTwoHopEdges(t *testing.T) {
+	b := NewBuilder(3, 2)
+	b.AddNode(0.5)
+	b.AddNode(0.3)
+	b.AddNode(0.2)
+	b.AddEdge(0, 1, 0.8)
+	b.AddEdge(1, 2, 0.5)
+	g, err := b.Build(BuildOptions{})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	closed, err := g.Closure(ClosureOptions{Variant: Independent, MaxDepth: 1})
+	if err != nil {
+		t.Fatalf("Closure: %v", err)
+	}
+	w, ok := closed.EdgeWeight(0, 2)
+	if !ok {
+		t.Fatal("closure missing composed edge 0->2")
+	}
+	if math.Abs(w-0.4) > 1e-12 {
+		t.Errorf("composed weight = %g, want 0.4", w)
+	}
+	// Direct edges unchanged.
+	if w, _ := closed.EdgeWeight(0, 1); w != 0.8 {
+		t.Errorf("direct edge changed: %g", w)
+	}
+}
+
+func TestClosureCombinesWithDirectEdge(t *testing.T) {
+	b := NewBuilder(3, 3)
+	b.AddNode(0.5)
+	b.AddNode(0.3)
+	b.AddNode(0.2)
+	b.AddEdge(0, 1, 0.5)
+	b.AddEdge(1, 2, 0.5)
+	b.AddEdge(0, 2, 0.5)
+	g, _ := b.Build(BuildOptions{})
+	closed, err := g.Closure(ClosureOptions{Variant: Independent, MaxDepth: 1})
+	if err != nil {
+		t.Fatalf("Closure: %v", err)
+	}
+	// OR-combination: 1-(1-0.5)(1-0.25) = 0.625.
+	w, _ := closed.EdgeWeight(0, 2)
+	if math.Abs(w-0.625) > 1e-12 {
+		t.Errorf("combined weight = %g, want 0.625", w)
+	}
+}
+
+func TestClosureNormalizedCapsOutSum(t *testing.T) {
+	b := NewBuilder(3, 3)
+	b.AddNode(0.5)
+	b.AddNode(0.3)
+	b.AddNode(0.2)
+	b.AddEdge(0, 1, 0.9)
+	b.AddEdge(1, 2, 0.9)
+	b.AddEdge(0, 2, 0.9) // direct + composed would exceed 1
+	g, _ := b.Build(BuildOptions{})
+	closed, err := g.Closure(ClosureOptions{Variant: Normalized, MaxDepth: 1})
+	if err != nil {
+		t.Fatalf("Closure: %v", err)
+	}
+	if err := closed.Validate(ValidateOptions{Variant: Normalized}); err != nil {
+		t.Errorf("closure violates normalized invariant: %v", err)
+	}
+}
+
+func TestClosureSkipsCyclesBackToSource(t *testing.T) {
+	b := NewBuilder(2, 2)
+	b.AddNode(0.5)
+	b.AddNode(0.5)
+	b.AddEdge(0, 1, 0.5)
+	b.AddEdge(1, 0, 0.5)
+	g, _ := b.Build(BuildOptions{})
+	closed, err := g.Closure(ClosureOptions{Variant: Independent, MaxDepth: 3})
+	if err != nil {
+		t.Fatalf("Closure: %v", err)
+	}
+	if err := closed.Validate(ValidateOptions{}); err != nil {
+		t.Errorf("closure produced self loops: %v", err)
+	}
+}
+
+func TestStats(t *testing.T) {
+	g := buildTiny(t)
+	s := ComputeStats(g)
+	if s.Nodes != 5 || s.Edges != 4 {
+		t.Fatalf("stats counts wrong: %+v", s)
+	}
+	if math.Abs(s.TotalWeight-1) > 1e-12 {
+		t.Errorf("TotalWeight = %g", s.TotalWeight)
+	}
+	if s.MaxNodeW != 0.4 {
+		t.Errorf("MaxNodeW = %g", s.MaxNodeW)
+	}
+	if s.MaxInDegree != 2 || s.MaxOutDegree != 2 {
+		t.Errorf("degrees: %+v", s)
+	}
+	if s.Isolated != 1 {
+		t.Errorf("Isolated = %d, want 1 (node 4)", s.Isolated)
+	}
+	if s.MaxOutWeightSum != 1.0 { // node 1 has single out-edge weight 1.0
+		t.Errorf("MaxOutWeightSum = %g", s.MaxOutWeightSum)
+	}
+	if s.GiniNodeWeight <= 0 || s.GiniNodeWeight >= 1 {
+		t.Errorf("Gini = %g outside (0,1)", s.GiniNodeWeight)
+	}
+	if s.String() == "" {
+		t.Error("String empty")
+	}
+}
+
+func TestGiniUniform(t *testing.T) {
+	b := NewBuilder(4, 0)
+	for i := 0; i < 4; i++ {
+		b.AddNode(0.25)
+	}
+	g, _ := b.Build(BuildOptions{})
+	if s := ComputeStats(g); math.Abs(s.GiniNodeWeight) > 1e-9 {
+		t.Errorf("uniform Gini = %g, want 0", s.GiniNodeWeight)
+	}
+}
+
+func TestDegreeHistogram(t *testing.T) {
+	g := buildTiny(t)
+	zero, buckets := g.DegreeHistogram()
+	// In-degrees: 1,1,2,0,0 -> zero=2, bucket0 (deg 1)=2, bucket1 (deg 2-3)=1.
+	if zero != 2 {
+		t.Errorf("zero = %d", zero)
+	}
+	if len(buckets) < 2 || buckets[0] != 2 || buckets[1] != 1 {
+		t.Errorf("buckets = %v", buckets)
+	}
+}

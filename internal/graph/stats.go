@@ -1,0 +1,122 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Stats summarizes a preference graph; these are the quantities reported in
+// the paper's Table 2 plus the degree structure that governs the greedy
+// algorithm's O(nkD) complexity.
+type Stats struct {
+	Nodes        int
+	Edges        int
+	TotalWeight  float64
+	MaxNodeW     float64
+	MaxInDegree  int
+	MaxOutDegree int
+	AvgInDegree  float64
+	AvgOutDegree float64
+	// Isolated counts nodes with neither incoming nor outgoing edges:
+	// items that cover nothing and can only be covered by retaining them.
+	Isolated int
+	// GiniNodeWeight measures popularity skew in [0,1]; e-commerce
+	// purchase distributions are heavily skewed (near 1).
+	GiniNodeWeight float64
+	// MeanEdgeW and MaxOutWeightSum characterize the edge-weight scale;
+	// MaxOutWeightSum <= 1 is the Normalized feasibility condition.
+	MeanEdgeW       float64
+	MaxOutWeightSum float64
+}
+
+// ComputeStats scans g once and returns its Stats.
+func ComputeStats(g *Graph) Stats {
+	n := g.NumNodes()
+	s := Stats{Nodes: n, Edges: g.NumEdges()}
+	for v := int32(0); v < int32(n); v++ {
+		w := g.NodeWeight(v)
+		s.TotalWeight += w
+		if w > s.MaxNodeW {
+			s.MaxNodeW = w
+		}
+		in, out := g.InDegree(v), g.OutDegree(v)
+		if in > s.MaxInDegree {
+			s.MaxInDegree = in
+		}
+		if out > s.MaxOutDegree {
+			s.MaxOutDegree = out
+		}
+		if in == 0 && out == 0 {
+			s.Isolated++
+		}
+		if os := g.OutWeightSum(v); os > s.MaxOutWeightSum {
+			s.MaxOutWeightSum = os
+		}
+	}
+	if n > 0 {
+		s.AvgInDegree = float64(g.NumEdges()) / float64(n)
+		s.AvgOutDegree = s.AvgInDegree
+	}
+	if g.NumEdges() > 0 {
+		var ew float64
+		for _, w := range g.outW {
+			ew += w
+		}
+		s.MeanEdgeW = ew / float64(g.NumEdges())
+	}
+	s.GiniNodeWeight = gini(g.nodeW)
+	return s
+}
+
+// gini computes the Gini coefficient of nonnegative values; 0 means
+// perfectly uniform, values near 1 mean extreme concentration.
+func gini(values []float64) float64 {
+	n := len(values)
+	if n == 0 {
+		return 0
+	}
+	sorted := make([]float64, n)
+	copy(sorted, values)
+	sort.Float64s(sorted)
+	var cum, sum float64
+	for i, v := range sorted {
+		cum += v * float64(i+1)
+		sum += v
+	}
+	if sum == 0 {
+		return 0
+	}
+	return (2*cum/(float64(n)*sum) - float64(n+1)/float64(n))
+}
+
+// String renders the stats as an aligned block.
+func (s Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "nodes=%d edges=%d totalW=%.6f\n", s.Nodes, s.Edges, s.TotalWeight)
+	fmt.Fprintf(&b, "degree: in max=%d out max=%d avg=%.2f isolated=%d\n",
+		s.MaxInDegree, s.MaxOutDegree, s.AvgInDegree, s.Isolated)
+	fmt.Fprintf(&b, "weights: maxNode=%.6f gini=%.3f meanEdge=%.4f maxOutSum=%.4f",
+		s.MaxNodeW, s.GiniNodeWeight, s.MeanEdgeW, s.MaxOutWeightSum)
+	return b.String()
+}
+
+// DegreeHistogram returns counts of in-degrees bucketed by powers of two:
+// bucket i counts nodes with in-degree in [2^i, 2^(i+1)), bucket 0 also
+// counting degree-0 nodes separately via the first return value.
+func (g *Graph) DegreeHistogram() (zero int, buckets []int) {
+	for v := int32(0); v < int32(g.NumNodes()); v++ {
+		d := g.InDegree(v)
+		if d == 0 {
+			zero++
+			continue
+		}
+		b := int(math.Log2(float64(d)))
+		for len(buckets) <= b {
+			buckets = append(buckets, 0)
+		}
+		buckets[b]++
+	}
+	return zero, buckets
+}

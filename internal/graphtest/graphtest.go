@@ -1,0 +1,68 @@
+// Package graphtest provides seeded random preference-graph generation for
+// property-based tests across the repository. Unlike internal/synth, which
+// models realistic e-commerce structure, these graphs are adversarially
+// unstructured: arbitrary topology within validity constraints, which is
+// what invariant tests want.
+package graphtest
+
+import (
+	"math/rand"
+
+	"prefcover/internal/graph"
+)
+
+// Random builds a random valid preference graph with n nodes and per-node
+// out-degree up to maxDeg. Node weights form a simplex; edge weights
+// respect the variant's constraints (Normalized keeps per-node outgoing
+// sums below 1).
+func Random(rng *rand.Rand, n, maxDeg int, variant graph.Variant) *graph.Graph {
+	b := graph.NewBuilder(n, n*maxDeg/2)
+	total := 0.0
+	raw := make([]float64, n)
+	for i := range raw {
+		raw[i] = rng.Float64()
+		total += raw[i]
+	}
+	for _, w := range raw {
+		b.AddNode(w / total)
+	}
+	for v := 0; v < n; v++ {
+		deg := rng.Intn(maxDeg + 1)
+		budget := 1.0
+		for e := 0; e < deg; e++ {
+			u := rng.Intn(n)
+			if u == v {
+				continue
+			}
+			var w float64
+			if variant == graph.Normalized {
+				w = rng.Float64() * budget * 0.9
+				budget -= w
+				if w <= 0 {
+					continue
+				}
+			} else {
+				w = rng.Float64()*0.98 + 0.01
+			}
+			b.AddEdge(int32(v), int32(u), w)
+		}
+	}
+	g, err := b.Build(graph.BuildOptions{Duplicates: graph.DupKeepMax, DropZeroEdges: true})
+	if err != nil {
+		panic("graphtest: random graph must build: " + err.Error())
+	}
+	return g
+}
+
+// RandomSet picks a uniformly random subset of size k of g's nodes.
+func RandomSet(rng *rand.Rand, g *graph.Graph, k int) []int32 {
+	perm := rng.Perm(g.NumNodes())
+	if k > len(perm) {
+		k = len(perm)
+	}
+	set := make([]int32, k)
+	for i := 0; i < k; i++ {
+		set[i] = int32(perm[i])
+	}
+	return set
+}

@@ -1,0 +1,235 @@
+package greedy_test
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"prefcover/internal/cover"
+	"prefcover/internal/fixture"
+	"prefcover/internal/graph"
+	. "prefcover/internal/greedy"
+)
+
+// tieGraph builds a graph where several nodes have exactly equal gains at
+// every step: four isolated nodes with identical weights.
+func tieGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	b := graph.NewBuilder(4, 0)
+	for i := 0; i < 4; i++ {
+		b.AddNode(0.25)
+	}
+	g, err := b.Build(graph.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestTieBreakingDeterministic: with exactly equal gains all strategies
+// must pick ascending ids.
+func TestTieBreakingDeterministic(t *testing.T) {
+	g := tieGraph(t)
+	want := []int32{0, 1, 2}
+	for name, opts := range map[string]Options{
+		"scan":     {Variant: graph.Independent, K: 3},
+		"parallel": {Variant: graph.Independent, K: 3, Workers: 3},
+		"lazy":     {Variant: graph.Independent, K: 3, Lazy: true},
+	} {
+		sol, err := Solve(g, opts)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !reflect.DeepEqual(sol.Order, want) {
+			t.Errorf("%s: order = %v, want %v", name, sol.Order, want)
+		}
+	}
+}
+
+// TestSymmetricTies: two symmetric hub pairs with identical structure; the
+// smaller-id hub must be selected first by every strategy.
+func TestSymmetricTies(t *testing.T) {
+	b := graph.NewBuilder(6, 4)
+	// Two identical stars: hub 0 with leaves 2,3 and hub 1 with leaves 4,5.
+	for i := 0; i < 2; i++ {
+		b.AddNode(0.1) // hubs
+	}
+	for i := 0; i < 4; i++ {
+		b.AddNode(0.2) // leaves
+	}
+	b.AddEdge(2, 0, 0.5)
+	b.AddEdge(3, 0, 0.5)
+	b.AddEdge(4, 1, 0.5)
+	b.AddEdge(5, 1, 0.5)
+	g, err := b.Build(graph.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, opts := range map[string]Options{
+		"scan":     {Variant: graph.Normalized, K: 2},
+		"parallel": {Variant: graph.Normalized, K: 2, Workers: 4},
+		"lazy":     {Variant: graph.Normalized, K: 2, Lazy: true},
+	} {
+		sol, err := Solve(g, opts)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if sol.Order[0] != 0 || sol.Order[1] != 1 {
+			t.Errorf("%s: order = %v, want [0 1]", name, sol.Order)
+		}
+	}
+}
+
+// TestPinnedItems: must-stock items are retained first, count toward K,
+// and the greedy fill optimizes around them under every strategy.
+func TestPinnedItems(t *testing.T) {
+	g := fixture.Figure1Graph()
+	a, _ := g.Lookup("A")
+	b, _ := g.Lookup("B")
+	for name, opts := range map[string]Options{
+		"scan":     {Variant: graph.Independent, K: 2, Pinned: []int32{a}},
+		"lazy":     {Variant: graph.Independent, K: 2, Pinned: []int32{a}, Lazy: true},
+		"parallel": {Variant: graph.Independent, K: 2, Pinned: []int32{a}, Workers: 3},
+	} {
+		sol, err := Solve(g, opts)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(sol.Order) != 2 || sol.Order[0] != a {
+			t.Fatalf("%s: order = %v, want A first", name, sol.Order)
+		}
+		// With A pinned the best fill is still B (covers C fully and the
+		// rest of A is already retained).
+		if sol.Order[1] != b {
+			t.Errorf("%s: second pick = %s, want B", name, g.Label(sol.Order[1]))
+		}
+		// Cover equals a fresh evaluation of {A,B}.
+		want, err := cover.EvaluateSet(g, graph.Independent, sol.Order)
+		if err != nil || math.Abs(want-sol.Cover) > tol {
+			t.Errorf("%s: cover %g vs fresh %g (%v)", name, sol.Cover, want, err)
+		}
+	}
+}
+
+func TestPinnedValidation(t *testing.T) {
+	g := fixture.Figure1Graph()
+	for name, opts := range map[string]Options{
+		"too many":     {Variant: graph.Independent, K: 1, Pinned: []int32{0, 1}},
+		"out of range": {Variant: graph.Independent, K: 2, Pinned: []int32{99}},
+		"duplicate":    {Variant: graph.Independent, K: 3, Pinned: []int32{1, 1}},
+	} {
+		if _, err := Solve(g, opts); err == nil {
+			t.Errorf("%s: want error", name)
+		}
+	}
+}
+
+func TestPinnedFillsKExactly(t *testing.T) {
+	g := fixture.Figure1Graph()
+	sol, err := Solve(g, Options{Variant: graph.Independent, K: 3, Pinned: []int32{3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sol.Order) != 3 || sol.Order[0] != 3 || sol.Order[1] != 4 {
+		t.Fatalf("order = %v", sol.Order)
+	}
+}
+
+func TestPinnedThresholdAlreadyMet(t *testing.T) {
+	g := fixture.Figure1Graph()
+	b, _ := g.Lookup("B")
+	d, _ := g.Lookup("D")
+	sol, err := Solve(g, Options{Variant: graph.Independent, Threshold: 0.8, Pinned: []int32{b, d}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sol.Reached || len(sol.Order) != 2 {
+		t.Fatalf("sol = reached=%v order=%v", sol.Reached, sol.Order)
+	}
+}
+
+// TestZeroWeightGraph: a graph whose demand is all zero must not crash;
+// every gain is zero and k nodes are still returned.
+func TestZeroWeightGraph(t *testing.T) {
+	b := graph.NewBuilder(3, 1)
+	for i := 0; i < 3; i++ {
+		b.AddNode(0)
+	}
+	b.AddEdge(0, 1, 0.5)
+	g, err := b.Build(graph.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := Solve(g, Options{Variant: graph.Independent, K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sol.Order) != 2 || sol.Cover != 0 {
+		t.Errorf("sol = %+v", sol)
+	}
+	// Threshold mode cannot reach anything positive.
+	sol, err = Solve(g, Options{Variant: graph.Independent, Threshold: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Reached {
+		t.Error("zero-demand graph cannot reach a positive threshold")
+	}
+}
+
+// TestSingleNodeGraph exercises the smallest possible instance.
+func TestSingleNodeGraph(t *testing.T) {
+	b := graph.NewBuilder(1, 0)
+	b.AddNode(1)
+	g, err := b.Build(graph.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, opts := range []Options{
+		{Variant: graph.Independent, K: 1},
+		{Variant: graph.Normalized, K: 1, Lazy: true},
+		{Variant: graph.Independent, Threshold: 1},
+		{Variant: graph.Independent, K: 1, Workers: 8},
+	} {
+		sol, err := Solve(g, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(sol.Order) != 1 || sol.Order[0] != 0 || sol.Cover != 1 {
+			t.Errorf("opts %+v: sol = %+v", opts, sol)
+		}
+	}
+}
+
+// TestDenseGraphAllPairs: a complete digraph stresses the in-edge loops.
+func TestDenseGraphAllPairs(t *testing.T) {
+	const n = 12
+	b := graph.NewBuilder(n, n*(n-1))
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < n; i++ {
+		b.AddNode(1.0 / n)
+	}
+	for i := int32(0); i < n; i++ {
+		for j := int32(0); j < n; j++ {
+			if i != j {
+				b.AddEdge(i, j, 0.01+0.5*rng.Float64())
+			}
+		}
+	}
+	g, err := b.Build(graph.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := Solve(g, Options{Variant: graph.Independent, K: n / 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lzy, err := Solve(g, Options{Variant: graph.Independent, K: n / 2, Lazy: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq.Order, lzy.Order) {
+		t.Errorf("dense graph: scan %v != lazy %v", seq.Order, lzy.Order)
+	}
+}

@@ -1,0 +1,360 @@
+// Package greedy implements the paper's Algorithm 1: the incremental greedy
+// scheme that solves both Preference Cover variants with approximation
+// guarantees — (1 - 1/e), optimal, for the Independent variant (Theorem
+// 4.1) and max{1 - 1/e, 1 - (1 - k/n)^2} for the Normalized variant
+// (via the VC_k equivalence of Theorem 3.1).
+//
+// Three execution strategies produce identical selections:
+//
+//   - sequential scan: each iteration evaluates Gain for every node outside
+//     S and picks the maximum (the literal Algorithm 1);
+//   - parallel scan: the candidate set is chunked across a goroutine pool,
+//     each worker finds a local argmax, and the results are merged — the
+//     parallelization described in the paper's Performance Analysis
+//     (complexity O(k + nkD/N) for N workers);
+//   - lazy (CELF) evaluation: because C is monotone submodular in both
+//     variants, stale upper bounds stored in a max-heap let most Gain
+//     re-evaluations be skipped without changing the selection.
+//
+// Determinism: ties are broken toward the smaller node id under every
+// strategy, so runs are reproducible and strategies are interchangeable.
+//
+// The solver also directly solves the paper's complementary minimization
+// problem (smallest S with C(S) >= threshold) by running until the
+// threshold is met instead of for k iterations — avoiding the O(log n)
+// binary-search overhead a black-box reduction would cost.
+package greedy
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"prefcover/internal/cover"
+	"prefcover/internal/graph"
+)
+
+// Options configures Solve.
+type Options struct {
+	// Variant selects the cover semantics.
+	Variant graph.Variant
+	// K is the retained-set budget. If K > 0 and Threshold == 0, exactly
+	// min(K, n) nodes are selected.
+	K int
+	// Threshold, when > 0, switches to the complementary minimization
+	// problem: selection stops as soon as C(S) >= Threshold. If K is also
+	// > 0 it acts as a cap. Threshold must be <= 1.
+	Threshold float64
+	// Workers sets the parallel-scan width; <= 1 means sequential. Ignored
+	// when Lazy is set (lazy evaluation is inherently sequential but
+	// usually evaluates far fewer gains).
+	Workers int
+	// Lazy enables CELF lazy evaluation.
+	Lazy bool
+	// StochasticEpsilon, when > 0, selects stochastic greedy ("lazier than
+	// lazy"): each iteration samples ceil((n/K)·ln(1/ε)) candidates and
+	// takes the best, achieving (1 - 1/e - ε) in expectation with O(n
+	// log(1/ε)) total gain evaluations. Randomized: the selection depends
+	// on Seed and generally differs from the deterministic strategies.
+	// Mutually exclusive with Lazy. Must be < 1.
+	StochasticEpsilon float64
+	// Seed drives stochastic greedy's sampling. Ignored by the
+	// deterministic strategies.
+	Seed int64
+	// Pinned lists items that must be retained regardless of gain —
+	// contractual must-stock SKUs, loss leaders, items under promotion.
+	// They are added first (in the given order), count toward K, and the
+	// greedy fill then optimizes around them. Duplicates are rejected.
+	Pinned []int32
+	// OnSelect, if non-nil, is invoked after every selection with the
+	// 1-based step, the chosen node, its marginal gain, and C(S) so far.
+	OnSelect func(step int, v int32, gain, cover float64)
+	// Ctx, if non-nil, allows cancellation; Solve polls it between
+	// iterations and returns ctx.Err().
+	Ctx context.Context
+}
+
+// Solution is the solver output. Order lists retained nodes in selection
+// order; because greedy is incremental, Order[:k'] is the greedy solution
+// for every budget k' <= len(Order) (paper Section 3.2, Additional
+// Advantages).
+type Solution struct {
+	Order []int32
+	// Gains[i] is the marginal gain realized by Order[i].
+	Gains []float64
+	// Cover is C(S) for the full Order.
+	Cover float64
+	// Coverage[v] is the probability a request for v is matched (the
+	// paper's I[v]/W(v) report).
+	Coverage []float64
+	// Reached reports whether the threshold was met (always true in pure
+	// budget mode).
+	Reached bool
+	// GainEvals counts marginal-gain evaluations, the work measure used by
+	// the lazy-vs-scan ablation.
+	GainEvals int64
+}
+
+// Set returns the retained set as a membership slice.
+func (s *Solution) Set(n int) []bool {
+	out := make([]bool, n)
+	for _, v := range s.Order {
+		out[v] = true
+	}
+	return out
+}
+
+// PrefixCover returns C(Order[:k]) for every k in [0, len(Order)] using the
+// recorded gains; PrefixCover()[k] is the cover of the size-k prefix.
+func (s *Solution) PrefixCover() []float64 {
+	out := make([]float64, len(s.Order)+1)
+	for i, g := range s.Gains {
+		out[i+1] = out[i] + g
+	}
+	return out
+}
+
+// Validate checks option sanity.
+func (o *Options) Validate(n int) error {
+	if o.K <= 0 && o.Threshold <= 0 {
+		return errors.New("greedy: need K > 0 or Threshold > 0")
+	}
+	if o.K < 0 {
+		return fmt.Errorf("greedy: negative K %d", o.K)
+	}
+	if o.Threshold < 0 || o.Threshold > 1 {
+		return fmt.Errorf("greedy: threshold %g outside (0,1]", o.Threshold)
+	}
+	if o.StochasticEpsilon < 0 || o.StochasticEpsilon >= 1 {
+		return fmt.Errorf("greedy: stochastic epsilon %g outside [0,1)", o.StochasticEpsilon)
+	}
+	if o.StochasticEpsilon > 0 && o.Lazy {
+		return errors.New("greedy: Lazy and StochasticEpsilon are mutually exclusive")
+	}
+	if n == 0 {
+		return errors.New("greedy: empty graph")
+	}
+	if len(o.Pinned) > 0 {
+		if o.K > 0 && len(o.Pinned) > o.K {
+			return fmt.Errorf("greedy: %d pinned items exceed K=%d", len(o.Pinned), o.K)
+		}
+		seen := make(map[int32]bool, len(o.Pinned))
+		for _, v := range o.Pinned {
+			if v < 0 || int(v) >= n {
+				return fmt.Errorf("greedy: pinned item %d outside [0,%d)", v, n)
+			}
+			if seen[v] {
+				return fmt.Errorf("greedy: pinned item %d listed twice", v)
+			}
+			seen[v] = true
+		}
+	}
+	return nil
+}
+
+// Solve runs Algorithm 1 on g.
+func Solve(g *graph.Graph, opts Options) (*Solution, error) {
+	if err := opts.Validate(g.NumNodes()); err != nil {
+		return nil, err
+	}
+	n := g.NumNodes()
+	maxPicks := opts.K
+	if maxPicks <= 0 || maxPicks > n {
+		maxPicks = n
+	}
+	eng := cover.NewEngine(g, opts.Variant)
+	sol := &Solution{
+		Order: make([]int32, 0, maxPicks),
+		Gains: make([]float64, 0, maxPicks),
+	}
+
+	// Must-stock items come first; pickers are constructed afterwards so
+	// their initial gain snapshots account for what pins already cover.
+	for _, v := range opts.Pinned {
+		gain := eng.Add(v)
+		sol.Order = append(sol.Order, v)
+		sol.Gains = append(sol.Gains, gain)
+		if opts.OnSelect != nil {
+			opts.OnSelect(len(sol.Order), v, gain, eng.Cover())
+		}
+	}
+	reachedEarly := opts.Threshold > 0 && eng.Cover() >= opts.Threshold-graph.Eps
+
+	var pick func() (int32, float64, bool)
+	if opts.StochasticEpsilon > 0 {
+		sp := newStochasticPicker(eng, sol, opts.K, opts.StochasticEpsilon, opts.Seed)
+		pick = sp.pick
+	} else if opts.Lazy {
+		lz := newLazyPicker(eng, sol)
+		pick = lz.pick
+	} else if opts.Workers > 1 {
+		pp := newParallelPicker(eng, sol, opts.Workers)
+		defer pp.close()
+		pick = pp.pick
+	} else {
+		pick = func() (int32, float64, bool) { return scanPick(eng, sol) }
+	}
+
+	for step := len(sol.Order) + 1; step <= maxPicks && !reachedEarly; step++ {
+		if opts.Ctx != nil {
+			select {
+			case <-opts.Ctx.Done():
+				return nil, opts.Ctx.Err()
+			default:
+			}
+		}
+		v, gain, ok := pick()
+		if !ok {
+			break // all nodes retained
+		}
+		eng.Add(v)
+		sol.Order = append(sol.Order, v)
+		sol.Gains = append(sol.Gains, gain)
+		if opts.OnSelect != nil {
+			opts.OnSelect(step, v, gain, eng.Cover())
+		}
+		if opts.Threshold > 0 && eng.Cover() >= opts.Threshold-graph.Eps {
+			reachedEarly = true
+		}
+	}
+	if opts.Threshold <= 0 || reachedEarly {
+		sol.Reached = true
+	}
+	sol.Cover = eng.Cover()
+	sol.Coverage = make([]float64, n)
+	for v := int32(0); v < int32(n); v++ {
+		sol.Coverage[v] = eng.ItemCoverage(v)
+	}
+	return sol, nil
+}
+
+// scanPick is the literal Algorithm 1 inner loop: evaluate every candidate.
+func scanPick(eng *cover.Engine, sol *Solution) (int32, float64, bool) {
+	n := int32(eng.Graph().NumNodes())
+	best := int32(-1)
+	bestGain := -1.0
+	for v := int32(0); v < n; v++ {
+		if eng.Retained(v) {
+			continue
+		}
+		g := eng.Gain(v)
+		sol.GainEvals++
+		if g > bestGain {
+			best, bestGain = v, g
+		}
+	}
+	if best < 0 {
+		return 0, 0, false
+	}
+	return best, bestGain, true
+}
+
+// parallelPicker keeps a pool of workers that each scan a fixed stripe of
+// the node space; pick broadcasts a round and merges local argmaxes. The
+// stripes are static so per-round overhead is two channel operations per
+// worker.
+type parallelPicker struct {
+	eng     *cover.Engine
+	sol     *Solution
+	workers int
+	start   []chan struct{}
+	results chan localBest
+	wg      sync.WaitGroup
+	closed  bool
+}
+
+type localBest struct {
+	v     int32
+	gain  float64
+	evals int64
+}
+
+func newParallelPicker(eng *cover.Engine, sol *Solution, workers int) *parallelPicker {
+	n := eng.Graph().NumNodes()
+	if workers > n {
+		workers = n
+	}
+	if workers > 8*runtime.NumCPU() {
+		// More goroutines than this adds scheduling overhead with no
+		// parallelism left to exploit; keep the requested value only up to
+		// a generous multiple of the core count.
+		workers = 8 * runtime.NumCPU()
+		if workers < 1 {
+			workers = 1
+		}
+	}
+	pp := &parallelPicker{
+		eng:     eng,
+		sol:     sol,
+		workers: workers,
+		start:   make([]chan struct{}, workers),
+		results: make(chan localBest, workers),
+	}
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		pp.start[w] = make(chan struct{})
+		lo := int32(w * chunk)
+		hi := int32((w + 1) * chunk)
+		if hi > int32(n) {
+			hi = int32(n)
+		}
+		pp.wg.Add(1)
+		go pp.worker(lo, hi, pp.start[w])
+	}
+	return pp
+}
+
+func (pp *parallelPicker) worker(lo, hi int32, start <-chan struct{}) {
+	defer pp.wg.Done()
+	for range start {
+		best := localBest{v: -1, gain: -1}
+		for v := lo; v < hi; v++ {
+			if pp.eng.Retained(v) {
+				continue
+			}
+			g := pp.eng.Gain(v)
+			best.evals++
+			if g > best.gain {
+				best.v, best.gain = v, g
+			}
+		}
+		pp.results <- best
+	}
+}
+
+func (pp *parallelPicker) pick() (int32, float64, bool) {
+	for _, c := range pp.start {
+		c <- struct{}{}
+	}
+	overall := localBest{v: -1, gain: -1}
+	for i := 0; i < pp.workers; i++ {
+		lb := <-pp.results
+		pp.sol.GainEvals += lb.evals
+		if lb.v < 0 {
+			continue
+		}
+		// Max gain, ties toward the smaller id: workers own disjoint
+		// ascending stripes, so receiving order does not matter as long as
+		// strictly-greater replaces and equal keeps the smaller id.
+		if lb.gain > overall.gain || (lb.gain == overall.gain && overall.v >= 0 && lb.v < overall.v) {
+			overall = localBest{v: lb.v, gain: lb.gain}
+		}
+	}
+	if overall.v < 0 {
+		return 0, 0, false
+	}
+	return overall.v, overall.gain, true
+}
+
+func (pp *parallelPicker) close() {
+	if pp.closed {
+		return
+	}
+	pp.closed = true
+	for _, c := range pp.start {
+		close(c)
+	}
+	pp.wg.Wait()
+}

@@ -1,0 +1,84 @@
+package greedy
+
+import (
+	"container/heap"
+
+	"prefcover/internal/cover"
+)
+
+// lazyPicker implements CELF lazy evaluation (Leskovec et al. 2007),
+// applicable because C is monotone submodular in both variants: once a
+// node's marginal gain is computed it can only shrink as S grows, so the
+// last computed value is a valid upper bound. The picker keeps all
+// candidates in a max-heap keyed by that bound; a popped candidate whose
+// bound is fresh (computed at the current |S|) is the true argmax and is
+// returned, otherwise it is re-evaluated and pushed back.
+//
+// Selection matches the scan strategies exactly: the heap orders by
+// (gain desc, id asc), every candidate tying the maximum true gain is
+// re-evaluated before acceptance, and among fresh candidates with equal
+// gain the smallest id surfaces first.
+type lazyPicker struct {
+	eng *cover.Engine
+	sol *Solution
+	h   lazyHeap
+}
+
+type lazyEntry struct {
+	v     int32
+	gain  float64 // upper bound on the current marginal gain
+	round int     // |S| at which gain was computed
+}
+
+func newLazyPicker(eng *cover.Engine, sol *Solution) *lazyPicker {
+	n := eng.Graph().NumNodes()
+	lp := &lazyPicker{eng: eng, sol: sol}
+	lp.h = make(lazyHeap, 0, n)
+	round := eng.Size() // nonzero when items were pinned before the fill
+	for v := int32(0); v < int32(n); v++ {
+		if eng.Retained(v) {
+			continue
+		}
+		lp.h = append(lp.h, lazyEntry{v: v, gain: eng.Gain(v), round: round})
+		sol.GainEvals++
+	}
+	heap.Init(&lp.h)
+	return lp
+}
+
+func (lp *lazyPicker) pick() (int32, float64, bool) {
+	round := lp.eng.Size()
+	for lp.h.Len() > 0 {
+		top := lp.h[0]
+		if top.round == round {
+			heap.Pop(&lp.h)
+			return top.v, top.gain, true
+		}
+		// Stale: recompute in place and sift.
+		lp.h[0].gain = lp.eng.Gain(top.v)
+		lp.h[0].round = round
+		lp.sol.GainEvals++
+		heap.Fix(&lp.h, 0)
+	}
+	return 0, 0, false
+}
+
+// lazyHeap is a max-heap on (gain, then smaller id).
+type lazyHeap []lazyEntry
+
+func (h lazyHeap) Len() int { return len(h) }
+func (h lazyHeap) Less(i, j int) bool {
+	if h[i].gain != h[j].gain {
+		return h[i].gain > h[j].gain
+	}
+	return h[i].v < h[j].v
+}
+func (h lazyHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *lazyHeap) Push(x interface{}) { *h = append(*h, x.(lazyEntry)) }
+func (h *lazyHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

@@ -1,0 +1,115 @@
+package greedy_test
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"prefcover/internal/graph"
+	"prefcover/internal/graphtest"
+	. "prefcover/internal/greedy"
+)
+
+func TestStochasticOptionValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := graphtest.Random(rng, 10, 3, graph.Independent)
+	if _, err := Solve(g, Options{Variant: graph.Independent, K: 2, StochasticEpsilon: 1.5}); err == nil {
+		t.Error("epsilon >= 1 should fail")
+	}
+	if _, err := Solve(g, Options{Variant: graph.Independent, K: 2, StochasticEpsilon: -0.1}); err == nil {
+		t.Error("negative epsilon should fail")
+	}
+	if _, err := Solve(g, Options{Variant: graph.Independent, K: 2, StochasticEpsilon: 0.1, Lazy: true}); err == nil {
+		t.Error("lazy + stochastic should fail")
+	}
+}
+
+func TestStochasticSelectsKItems(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := graphtest.Random(rng, 100, 4, graph.Independent)
+	sol, err := Solve(g, Options{Variant: graph.Independent, K: 30, StochasticEpsilon: 0.1, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sol.Order) != 30 {
+		t.Fatalf("selected %d items", len(sol.Order))
+	}
+	seen := map[int32]bool{}
+	for _, v := range sol.Order {
+		if seen[v] {
+			t.Fatal("duplicate selection")
+		}
+		seen[v] = true
+	}
+}
+
+func TestStochasticDeterministicPerSeed(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := graphtest.Random(rng, 200, 4, graph.Independent)
+	opts := Options{Variant: graph.Independent, K: 40, StochasticEpsilon: 0.2, Seed: 11}
+	a, err := Solve(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Solve(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Order, b.Order) {
+		t.Error("same seed must reproduce the selection")
+	}
+}
+
+// TestStochasticQuality: with a modest epsilon the stochastic cover stays
+// close to the exact greedy cover. The theoretical bound is in
+// expectation; the 0.85 factor below leaves generous slack so the test is
+// seed-stable.
+func TestStochasticQuality(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		g := graphtest.Random(rng, 150+rng.Intn(100), 4, graph.Independent)
+		k := 10 + rng.Intn(30)
+		exact, err := Solve(g, Options{Variant: graph.Independent, K: k})
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := Solve(g, Options{Variant: graph.Independent, K: k, StochasticEpsilon: 0.1, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Cover < 0.85*exact.Cover {
+			t.Errorf("seed %d: stochastic %g < 0.85 * exact %g", seed, st.Cover, exact.Cover)
+		}
+	}
+}
+
+// TestStochasticEvaluatesFewerGains verifies the O(n log 1/eps) total work
+// claim against the scan strategy's O(nk).
+func TestStochasticEvaluatesFewerGains(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := graphtest.Random(rng, 500, 4, graph.Independent)
+	k := 100
+	exact, err := Solve(g, Options{Variant: graph.Independent, K: k})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := Solve(g, Options{Variant: graph.Independent, K: k, StochasticEpsilon: 0.1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.GainEvals*10 > exact.GainEvals {
+		t.Errorf("stochastic evals %d not ≪ scan evals %d", st.GainEvals, exact.GainEvals)
+	}
+}
+
+func TestStochasticThresholdMode(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	g := graphtest.Random(rng, 200, 4, graph.Independent)
+	sol, err := Solve(g, Options{Variant: graph.Independent, Threshold: 0.5, K: 150, StochasticEpsilon: 0.2, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Reached && sol.Cover < 0.5-1e-9 {
+		t.Errorf("reached but cover %g", sol.Cover)
+	}
+}

@@ -1,0 +1,151 @@
+package nmi_test
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	. "prefcover/internal/nmi"
+)
+
+const tol = 1e-9
+
+func TestValidate(t *testing.T) {
+	if err := (BinaryJoint{N11: 1}).Validate(); err != nil {
+		t.Errorf("valid table rejected: %v", err)
+	}
+	if err := (BinaryJoint{}).Validate(); err == nil {
+		t.Error("empty table should fail")
+	}
+	if err := (BinaryJoint{N11: -1, N00: 5}).Validate(); err == nil {
+		t.Error("negative cell should fail")
+	}
+}
+
+func TestIndependentVariablesHaveZeroMI(t *testing.T) {
+	// P(X)=1/2, P(Y)=1/2, independent: all four cells equal.
+	j := BinaryJoint{N11: 25, N10: 25, N01: 25, N00: 25}
+	mi, err := MutualInformation(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mi) > tol {
+		t.Errorf("MI = %g, want 0", mi)
+	}
+	v, err := Normalized(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v) > tol {
+		t.Errorf("NMI = %g, want 0", v)
+	}
+}
+
+func TestIdenticalVariablesHaveNMIOne(t *testing.T) {
+	j := BinaryJoint{N11: 30, N00: 70}
+	v, err := Normalized(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v-1) > tol {
+		t.Errorf("NMI = %g, want 1", v)
+	}
+	mi, _ := MutualInformation(j)
+	// I(X;X) = H(X) = H(0.3).
+	want := -(0.3*math.Log2(0.3) + 0.7*math.Log2(0.7))
+	if math.Abs(mi-want) > tol {
+		t.Errorf("MI = %g, want %g", mi, want)
+	}
+}
+
+func TestComplementaryVariablesHaveNMIOne(t *testing.T) {
+	// Y = NOT X is total dependence too.
+	j := BinaryJoint{N10: 40, N01: 60}
+	v, err := Normalized(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v-1) > tol {
+		t.Errorf("NMI = %g, want 1", v)
+	}
+}
+
+func TestConstantVariableConvention(t *testing.T) {
+	// X always 1: no entropy, NMI defined as 0.
+	j := BinaryJoint{N11: 3, N10: 7}
+	v, err := Normalized(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0 {
+		t.Errorf("NMI with constant marginal = %g, want 0", v)
+	}
+}
+
+func TestNMIBoundsProperty(t *testing.T) {
+	prop := func(a, b, c, d uint8) bool {
+		j := BinaryJoint{N11: float64(a), N10: float64(b), N01: float64(c), N00: float64(d)}
+		if j.Total() == 0 {
+			return true
+		}
+		v, err := Normalized(j)
+		if err != nil {
+			return false
+		}
+		return v >= 0 && v <= 1
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMINonnegativeProperty(t *testing.T) {
+	prop := func(a, b, c, d uint8) bool {
+		j := BinaryJoint{N11: float64(a), N10: float64(b), N01: float64(c), N00: float64(d)}
+		if j.Total() == 0 {
+			return true
+		}
+		mi, err := MutualInformation(j)
+		return err == nil && mi >= 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMISymmetryProperty(t *testing.T) {
+	// Swapping the roles of X and Y (transposing the table) preserves MI.
+	prop := func(a, b, c, d uint8) bool {
+		j := BinaryJoint{N11: float64(a), N10: float64(b), N01: float64(c), N00: float64(d)}
+		jt := BinaryJoint{N11: j.N11, N10: j.N01, N01: j.N10, N00: j.N00}
+		if j.Total() == 0 {
+			return true
+		}
+		m1, err1 := MutualInformation(j)
+		m2, err2 := MutualInformation(jt)
+		return err1 == nil && err2 == nil && math.Abs(m1-m2) < tol
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWeightedMean(t *testing.T) {
+	var m WeightedMean
+	if m.Mean() != 0 {
+		t.Error("empty mean should be 0")
+	}
+	m.Add(1.0, 3)
+	m.Add(0.0, 1)
+	if math.Abs(m.Mean()-0.75) > tol {
+		t.Errorf("mean = %g, want 0.75", m.Mean())
+	}
+	if m.Weight() != 4 {
+		t.Errorf("weight = %g", m.Weight())
+	}
+	m.Add(0.5, 0)  // zero weight ignored
+	m.Add(0.5, -1) // negative weight ignored
+	if math.Abs(m.Mean()-0.75) > tol {
+		t.Errorf("mean after ignored adds = %g", m.Mean())
+	}
+}

@@ -1,0 +1,298 @@
+package quota_test
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"prefcover/internal/cover"
+	"prefcover/internal/fixture"
+	"prefcover/internal/graph"
+	"prefcover/internal/graphtest"
+	"prefcover/internal/greedy"
+	. "prefcover/internal/quota"
+)
+
+const tol = 1e-9
+
+func TestValidation(t *testing.T) {
+	g := fixture.Figure1Graph()
+	groups := []int32{0, 0, 1, 1, 1}
+	cases := map[string]Spec{
+		"zero k":         {Variant: graph.Independent, Group: groups, MaxPerGroup: []int{0, 0}},
+		"group len":      {Variant: graph.Independent, K: 2, Group: []int32{0}, MaxPerGroup: []int{0}},
+		"no groups":      {Variant: graph.Independent, K: 2, Group: groups},
+		"unknown group":  {Variant: graph.Independent, K: 2, Group: []int32{0, 0, 9, 1, 1}, MaxPerGroup: []int{0, 0}},
+		"negative cap":   {Variant: graph.Independent, K: 2, Group: groups, MaxPerGroup: []int{-1, 0}},
+		"floor len":      {Variant: graph.Independent, K: 2, Group: groups, MaxPerGroup: []int{0, 0}, MinPerGroup: []int{1}},
+		"negative floor": {Variant: graph.Independent, K: 2, Group: groups, MaxPerGroup: []int{0, 0}, MinPerGroup: []int{-1, 0}},
+		"floor over cap": {Variant: graph.Independent, K: 3, Group: groups, MaxPerGroup: []int{1, 0}, MinPerGroup: []int{2, 0}},
+		"floors over k":  {Variant: graph.Independent, K: 2, Group: groups, MaxPerGroup: []int{0, 0}, MinPerGroup: []int{2, 2}},
+	}
+	for name, spec := range cases {
+		if _, err := Solve(g, spec); err == nil {
+			t.Errorf("%s: want error", name)
+		}
+	}
+}
+
+func TestUnconstrainedMatchesPlainGreedy(t *testing.T) {
+	g := fixture.Figure1Graph()
+	res, err := Solve(g, Spec{
+		Variant:     graph.Independent,
+		K:           2,
+		Group:       []int32{0, 0, 0, 0, 0},
+		MaxPerGroup: []int{0}, // unlimited
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := greedy.Solve(g, greedy.Options{Variant: graph.Independent, K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Order, plain.Order) {
+		t.Errorf("order = %v, want %v", res.Order, plain.Order)
+	}
+	if math.Abs(res.Cover-plain.Cover) > tol {
+		t.Errorf("cover = %g, want %g", res.Cover, plain.Cover)
+	}
+}
+
+func TestCapsAreRespected(t *testing.T) {
+	g := fixture.Figure1Graph()
+	// Put B and C (the strongest pair around the hub) into group 0 with
+	// cap 1: only one of them may be retained.
+	groups := []int32{1, 0, 0, 1, 1} // A,D,E in group 1
+	res, err := Solve(g, Spec{
+		Variant:     graph.Independent,
+		K:           3,
+		Group:       groups,
+		MaxPerGroup: []int{1, 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.GroupCounts[0] > 1 {
+		t.Errorf("group 0 count = %d, cap 1", res.GroupCounts[0])
+	}
+	if len(res.Order) != 3 {
+		t.Errorf("retained %d items", len(res.Order))
+	}
+	// Consistency of the reported cover.
+	fresh, err := cover.EvaluateSet(g, graph.Independent, res.Order)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fresh-res.Cover) > tol {
+		t.Errorf("cover %g != fresh %g", res.Cover, fresh)
+	}
+}
+
+func TestFloorsForceRepresentation(t *testing.T) {
+	g := fixture.Figure1Graph()
+	// D and E form group 1; plain greedy at k=2 picks B and D, but a floor
+	// of 2 on group 1 forces {D,E}.
+	groups := []int32{0, 0, 0, 1, 1}
+	res, err := Solve(g, Spec{
+		Variant:     graph.Independent,
+		K:           2,
+		Group:       groups,
+		MaxPerGroup: []int{0, 0},
+		MinPerGroup: []int{0, 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.FloorsSatisfied {
+		t.Fatal("floors should be satisfiable")
+	}
+	if res.GroupCounts[1] != 2 || res.GroupCounts[0] != 0 {
+		t.Errorf("group counts = %v", res.GroupCounts)
+	}
+}
+
+func TestFloorsUnsatisfiable(t *testing.T) {
+	g := fixture.Figure1Graph()
+	groups := []int32{0, 0, 0, 0, 1} // only E in group 1
+	res, err := Solve(g, Spec{
+		Variant:     graph.Independent,
+		K:           3,
+		Group:       groups,
+		MaxPerGroup: []int{0, 0},
+		MinPerGroup: []int{0, 2}, // group 1 has one item, floor 2
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FloorsSatisfied {
+		t.Error("floor on a 1-item group cannot be 2-satisfied")
+	}
+	// The solver still fills the budget elsewhere.
+	if len(res.Order) != 3 {
+		t.Errorf("retained %d items", len(res.Order))
+	}
+}
+
+func TestAllGroupsFullStopsEarly(t *testing.T) {
+	g := fixture.Figure1Graph()
+	res, err := Solve(g, Spec{
+		Variant:     graph.Independent,
+		K:           5,
+		Group:       []int32{0, 0, 0, 0, 0},
+		MaxPerGroup: []int{2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Order) != 2 {
+		t.Errorf("retained %d items, cap allows 2", len(res.Order))
+	}
+}
+
+// TestQuotaInvariants: caps and floors hold, cover matches a fresh
+// evaluation, and the constrained cover never exceeds the unconstrained
+// greedy cover.
+func TestQuotaInvariants(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		variant := graph.Independent
+		if seed%2 == 0 {
+			variant = graph.Normalized
+		}
+		g := graphtest.Random(rng, 4+rng.Intn(20), 4, variant)
+		n := g.NumNodes()
+		numGroups := 1 + rng.Intn(4)
+		groups := make([]int32, n)
+		for i := range groups {
+			groups[i] = int32(rng.Intn(numGroups))
+		}
+		caps := make([]int, numGroups)
+		for i := range caps {
+			caps[i] = rng.Intn(3) // 0 = unlimited
+		}
+		k := 1 + rng.Intn(n)
+		res, err := Solve(g, Spec{Variant: variant, K: k, Group: groups, MaxPerGroup: caps})
+		if err != nil {
+			return false
+		}
+		if len(res.Order) > k {
+			return false
+		}
+		counts := make([]int, numGroups)
+		for _, v := range res.Order {
+			counts[groups[v]]++
+		}
+		for i := range counts {
+			if counts[i] != res.GroupCounts[i] {
+				return false
+			}
+			if caps[i] > 0 && counts[i] > caps[i] {
+				return false
+			}
+		}
+		fresh, err := cover.EvaluateSet(g, variant, res.Order)
+		if err != nil || math.Abs(fresh-res.Cover) > 1e-9 {
+			return false
+		}
+		plain, err := greedy.Solve(g, greedy.Options{Variant: variant, K: k})
+		if err != nil {
+			return false
+		}
+		return res.Cover <= plain.Cover+1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestHalfApproximationUnderCaps: on tiny instances the constrained greedy
+// stays within 1/2 of the constrained optimum (the matroid-intersection
+// guarantee).
+func TestHalfApproximationUnderCaps(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		g := graphtest.Random(rng, 5+rng.Intn(4), 3, graph.Independent)
+		n := g.NumNodes()
+		groups := make([]int32, n)
+		for i := range groups {
+			groups[i] = int32(i % 2)
+		}
+		caps := []int{1 + rng.Intn(2), 1 + rng.Intn(2)}
+		k := 2 + rng.Intn(3)
+		res, err := Solve(g, Spec{Variant: graph.Independent, K: k, Group: groups, MaxPerGroup: caps})
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt := exhaustiveQuota(g, groups, caps, k)
+		if res.Cover < 0.5*opt-tol {
+			t.Errorf("seed %d: quota greedy %g < 1/2 of optimum %g", seed, res.Cover, opt)
+		}
+		if res.Cover > opt+tol {
+			t.Errorf("seed %d: quota greedy %g exceeds optimum %g", seed, res.Cover, opt)
+		}
+	}
+}
+
+func exhaustiveQuota(g *graph.Graph, groups []int32, caps []int, k int) float64 {
+	n := g.NumNodes()
+	best := 0.0
+	retained := make([]bool, n)
+	counts := make([]int, len(caps))
+	for mask := 0; mask < 1<<n; mask++ {
+		size := 0
+		ok := true
+		for i := range counts {
+			counts[i] = 0
+		}
+		for v := 0; v < n; v++ {
+			retained[v] = mask&(1<<v) != 0
+			if retained[v] {
+				size++
+				grp := groups[v]
+				counts[grp]++
+				if caps[grp] > 0 && counts[grp] > caps[grp] {
+					ok = false
+					break
+				}
+			}
+		}
+		if !ok || size > k {
+			continue
+		}
+		if c := cover.Evaluate(g, graph.Independent, retained); c > best {
+			best = c
+		}
+	}
+	return best
+}
+
+func TestGroupsByLabelPrefix(t *testing.T) {
+	b := graph.NewBuilder(0, 0)
+	b.AddLabeledNode("tv/lg-19", 0.3)
+	b.AddLabeledNode("tv/samsung-21", 0.3)
+	b.AddLabeledNode("phone/iphone", 0.4)
+	g, err := b.Build(graph.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assignment, names, err := GroupsByLabelPrefix(g, '/')
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 2 || names[0] != "tv" || names[1] != "phone" {
+		t.Fatalf("names = %v", names)
+	}
+	if assignment[0] != 0 || assignment[1] != 0 || assignment[2] != 1 {
+		t.Fatalf("assignment = %v", assignment)
+	}
+	// Unlabeled graphs are rejected.
+	b2 := graph.NewBuilder(1, 0)
+	b2.AddNode(1)
+	g2, _ := b2.Build(graph.BuildOptions{})
+	if _, _, err := GroupsByLabelPrefix(g2, '/'); err == nil {
+		t.Error("unlabeled graph should fail")
+	}
+}

@@ -1,0 +1,128 @@
+package replay_test
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"prefcover/internal/cover"
+	"prefcover/internal/fixture"
+	"prefcover/internal/graph"
+	"prefcover/internal/graphtest"
+	. "prefcover/internal/replay"
+)
+
+func TestValidation(t *testing.T) {
+	g := fixture.Figure1Graph()
+	retained := make([]bool, g.NumNodes())
+	if _, err := Run(g, retained, Spec{Requests: 0}, 0); err == nil {
+		t.Error("zero requests should fail")
+	}
+	if _, err := Run(g, []bool{true}, Spec{Requests: 10}, 0); err == nil {
+		t.Error("short mask should fail")
+	}
+	if _, err := RunSet(g, []int32{99}, Spec{Requests: 10}, 0); err == nil {
+		t.Error("bad set should fail")
+	}
+}
+
+func TestFullSetAlwaysPurchases(t *testing.T) {
+	g := fixture.Figure1Graph()
+	set := []int32{0, 1, 2, 3, 4}
+	est, err := RunSet(g, set, Spec{Variant: graph.Independent, Requests: 2000, Seed: 1}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Rate != 1 {
+		t.Errorf("full inventory rate = %g", est.Rate)
+	}
+	if !est.Within(3) {
+		t.Errorf("estimate off: %s", est)
+	}
+}
+
+func TestEmptySetNeverPurchases(t *testing.T) {
+	g := fixture.Figure1Graph()
+	est, err := Run(g, make([]bool, g.NumNodes()), Spec{Variant: graph.Normalized, Requests: 500, Seed: 2}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Rate != 0 || est.Purchases != 0 {
+		t.Errorf("empty inventory rate = %g", est.Rate)
+	}
+}
+
+// TestSimulationConvergesToPrediction is the headline property: the
+// empirical purchase rate converges to the analytic C(S) under both
+// variants.
+func TestSimulationConvergesToPrediction(t *testing.T) {
+	for _, variant := range []graph.Variant{graph.Independent, graph.Normalized} {
+		variant := variant
+		t.Run(variant.String(), func(t *testing.T) {
+			g := fixture.Figure1Graph()
+			b, _ := g.Lookup("B")
+			d, _ := g.Lookup("D")
+			set := []int32{b, d}
+			predicted, err := cover.EvaluateSet(g, variant, set)
+			if err != nil {
+				t.Fatal(err)
+			}
+			est, err := RunSet(g, set, Spec{Variant: variant, Requests: 200_000, Seed: 3}, predicted)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// 4 sigma at n=200k on a ~0.87 rate is about +-0.003.
+			if !est.Within(4) {
+				t.Errorf("simulation disagrees with model: %s", est)
+			}
+		})
+	}
+}
+
+func TestSimulationPropertyRandomGraphs(t *testing.T) {
+	for _, variant := range []graph.Variant{graph.Independent, graph.Normalized} {
+		variant := variant
+		prop := func(seed int64) bool {
+			rng := rand.New(rand.NewSource(seed))
+			g := graphtest.Random(rng, 3+rng.Intn(15), 4, variant)
+			set := graphtest.RandomSet(rng, g, 1+rng.Intn(g.NumNodes()))
+			predicted, err := cover.EvaluateSet(g, variant, set)
+			if err != nil {
+				return false
+			}
+			est, err := RunSet(g, set, Spec{Variant: variant, Requests: 30_000, Seed: seed}, predicted)
+			if err != nil {
+				return false
+			}
+			// Allow 5 sigma to keep the property test flake-free.
+			return est.Within(5)
+		}
+		if err := quick.Check(prop, &quick.Config{MaxCount: 15}); err != nil {
+			t.Errorf("variant %v: %v", variant, err)
+		}
+	}
+}
+
+func TestEstimateString(t *testing.T) {
+	e := Estimate{Requests: 100, Purchases: 50, Rate: 0.5, StdErr: 0.05, Predicted: 0.52}
+	if s := e.String(); !strings.Contains(s, "0.5000") || !strings.Contains(s, "0.5200") {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestDeterministicSeed(t *testing.T) {
+	g := fixture.Figure1Graph()
+	set := []int32{1}
+	a, err := RunSet(g, set, Spec{Variant: graph.Independent, Requests: 10_000, Seed: 7}, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunSet(g, set, Spec{Variant: graph.Independent, Requests: 10_000, Seed: 7}, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Purchases != b.Purchases {
+		t.Error("same seed must reproduce the simulation")
+	}
+}

@@ -1,0 +1,346 @@
+// Package server implements the paper's end-to-end system (Figure 2) as an
+// HTTP service: the Data Adaptation Engine and the Preference Cover Solver
+// behind a small JSON API. cmd/prefcoverd wires it to a listener; the
+// package itself is net/http-handler based and fully testable with
+// httptest.
+//
+// Endpoints:
+//
+//	GET  /healthz                         liveness probe
+//	POST /v1/adapt?variant=auto|i|n       body: JSONL clickstream
+//	                                      -> {graph, report, variant}
+//	POST /v1/solve?variant=i|n&k=K        body: graph JSON
+//	     [&threshold=T&lazy=0|1&workers=W]
+//	                                      -> {order, cover, coverage, gains}
+//	POST /v1/pipeline?k=K[...]            body: JSONL clickstream
+//	                                      -> adapt + recommend + solve
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"strconv"
+
+	"prefcover"
+	"prefcover/adapt"
+	"prefcover/clickstream"
+)
+
+// Limits protects the service from oversized requests.
+type Limits struct {
+	// MaxBodyBytes caps request bodies (default 64 MiB).
+	MaxBodyBytes int64
+	// MaxSolveK caps the solvable budget (default: unlimited).
+	MaxSolveK int
+}
+
+// Server is the HTTP handler set.
+type Server struct {
+	limits Limits
+	logger *log.Logger
+}
+
+// New returns a Server with the given limits; a nil logger discards logs.
+func New(limits Limits, logger *log.Logger) *Server {
+	if limits.MaxBodyBytes <= 0 {
+		limits.MaxBodyBytes = 64 << 20
+	}
+	return &Server{limits: limits, logger: logger}
+}
+
+// Handler returns the routed http.Handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.handleHealth)
+	mux.HandleFunc("/v1/adapt", s.handleAdapt)
+	mux.HandleFunc("/v1/solve", s.handleSolve)
+	mux.HandleFunc("/v1/pipeline", s.handlePipeline)
+	mux.HandleFunc("/v1/stats", s.handleStats)
+	return mux
+}
+
+func (s *Server) logf(format string, args ...interface{}) {
+	if s.logger != nil {
+		s.logger.Printf(format, args...)
+	}
+}
+
+// apiError is the JSON error envelope.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) writeError(w http.ResponseWriter, status int, err error) {
+	s.logf("request failed: %v", err)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(apiError{Error: err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, map[string]string{"status": "ok"})
+}
+
+// adaptResponse is the /v1/adapt reply.
+type adaptResponse struct {
+	Variant          string          `json:"variant"`
+	VariantConfident bool            `json:"variantConfident"`
+	Report           *adapt.Report   `json:"report"`
+	Graph            json.RawMessage `json:"graph"`
+}
+
+func (s *Server) requirePost(w http.ResponseWriter, r *http.Request) bool {
+	if r.Method != http.MethodPost {
+		s.writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
+		return false
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, s.limits.MaxBodyBytes)
+	return true
+}
+
+// readSessions buffers the request clickstream.
+func (s *Server) readSessions(r *http.Request) (*clickstream.Store, error) {
+	store, err := clickstream.ReadAll(clickstream.NewJSONLReader(r.Body))
+	if err != nil {
+		return nil, fmt.Errorf("parsing JSONL clickstream: %w", err)
+	}
+	if store.Len() == 0 {
+		return nil, fmt.Errorf("empty clickstream")
+	}
+	return store, nil
+}
+
+// adaptStore runs the adaptation with optional variant auto-selection.
+func adaptStore(store *clickstream.Store, variantParam string) (*prefcover.Graph, *adapt.Report, prefcover.Variant, bool, error) {
+	if variantParam == "" || variantParam == "auto" {
+		g, rep, err := adapt.BuildGraph(store, adapt.Options{ComputeFitness: true})
+		if err != nil {
+			return nil, nil, 0, false, err
+		}
+		variant, confident := rep.RecommendVariant()
+		if variant == prefcover.Normalized {
+			store.Reset()
+			g2, rep2, err := adapt.BuildGraph(store, adapt.Options{Variant: variant})
+			if err != nil {
+				return nil, nil, 0, false, err
+			}
+			rep2.SingleAlternativeShare = rep.SingleAlternativeShare
+			rep2.MeanPairwiseNMI = rep.MeanPairwiseNMI
+			rep2.FitnessComputed = true
+			return g2, rep2, variant, confident, nil
+		}
+		return g, rep, variant, confident, nil
+	}
+	variant, err := prefcover.ParseVariant(variantParam)
+	if err != nil {
+		return nil, nil, 0, false, err
+	}
+	g, rep, err := adapt.BuildGraph(store, adapt.Options{Variant: variant})
+	return g, rep, variant, true, err
+}
+
+func (s *Server) handleAdapt(w http.ResponseWriter, r *http.Request) {
+	if !s.requirePost(w, r) {
+		return
+	}
+	store, err := s.readSessions(r)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	g, rep, variant, confident, err := adaptStore(store, r.URL.Query().Get("variant"))
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	var buf bytes.Buffer
+	if err := prefcover.WriteGraphJSON(&buf, g); err != nil {
+		s.writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, adaptResponse{
+		Variant:          variant.String(),
+		VariantConfident: confident,
+		Report:           rep,
+		Graph:            json.RawMessage(bytes.TrimSpace(buf.Bytes())),
+	})
+}
+
+// solveResponse is the /v1/solve and /v1/pipeline solver payload.
+type solveResponse struct {
+	Variant  string    `json:"variant"`
+	K        int       `json:"k"`
+	Cover    float64   `json:"cover"`
+	Reached  bool      `json:"reached"`
+	Order    []string  `json:"order"`
+	Gains    []float64 `json:"gains"`
+	Coverage []float64 `json:"coverage"`
+}
+
+// solveParams parses solver query parameters shared by /v1/solve and
+// /v1/pipeline.
+func (s *Server) solveParams(r *http.Request) (prefcover.Options, error) {
+	q := r.URL.Query()
+	opts := prefcover.Options{Lazy: true}
+	if v := q.Get("lazy"); v == "0" || v == "false" {
+		opts.Lazy = false
+	}
+	if v := q.Get("workers"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			return opts, fmt.Errorf("bad workers %q", v)
+		}
+		opts.Workers = n
+	}
+	if v := q.Get("k"); v != "" {
+		k, err := strconv.Atoi(v)
+		if err != nil || k < 0 {
+			return opts, fmt.Errorf("bad k %q", v)
+		}
+		if s.limits.MaxSolveK > 0 && k > s.limits.MaxSolveK {
+			return opts, fmt.Errorf("k %d exceeds server limit %d", k, s.limits.MaxSolveK)
+		}
+		opts.K = k
+	}
+	if v := q.Get("threshold"); v != "" {
+		t, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return opts, fmt.Errorf("bad threshold %q", v)
+		}
+		opts.Threshold = t
+	}
+	if opts.K == 0 && opts.Threshold == 0 {
+		return opts, fmt.Errorf("need k or threshold")
+	}
+	return opts, nil
+}
+
+func solutionPayload(g *prefcover.Graph, variant prefcover.Variant, sol *prefcover.Solution) solveResponse {
+	order := make([]string, len(sol.Order))
+	for i, v := range sol.Order {
+		order[i] = g.Label(v)
+	}
+	return solveResponse{
+		Variant:  variant.String(),
+		K:        len(sol.Order),
+		Cover:    sol.Cover,
+		Reached:  sol.Reached,
+		Order:    order,
+		Gains:    sol.Gains,
+		Coverage: sol.Coverage,
+	}
+}
+
+// readGraphBody parses the request graph: application/octet-stream means
+// the compact binary codec, anything else the JSON document.
+func readGraphBody(r *http.Request) (*prefcover.Graph, error) {
+	if r.Header.Get("Content-Type") == "application/octet-stream" {
+		g, err := prefcover.ReadGraphBinary(r.Body)
+		if err != nil {
+			return nil, fmt.Errorf("parsing binary graph: %w", err)
+		}
+		return g, nil
+	}
+	g, err := prefcover.ReadGraphJSON(r.Body, prefcover.BuildOptions{})
+	if err != nil {
+		return nil, fmt.Errorf("parsing graph JSON: %w", err)
+	}
+	return g, nil
+}
+
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	if !s.requirePost(w, r) {
+		return
+	}
+	variant, err := prefcover.ParseVariant(r.URL.Query().Get("variant"))
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	opts, err := s.solveParams(r)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	opts.Variant = variant
+	g, err := readGraphBody(r)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	sol, err := prefcover.Solve(g, opts)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, solutionPayload(g, variant, sol))
+}
+
+// handleStats summarizes an uploaded graph (Table 2-style columns plus
+// degree structure) without solving anything.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if !s.requirePost(w, r) {
+		return
+	}
+	g, err := readGraphBody(r)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, prefcover.ComputeStats(g))
+}
+
+// pipelineResponse is the /v1/pipeline reply.
+type pipelineResponse struct {
+	Adapt adaptResponse `json:"adapt"`
+	Solve solveResponse `json:"solve"`
+}
+
+func (s *Server) handlePipeline(w http.ResponseWriter, r *http.Request) {
+	if !s.requirePost(w, r) {
+		return
+	}
+	opts, err := s.solveParams(r)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	store, err := s.readSessions(r)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	g, rep, variant, confident, err := adaptStore(store, r.URL.Query().Get("variant"))
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	opts.Variant = variant
+	sol, err := prefcover.Solve(g, opts)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	var buf bytes.Buffer
+	if err := prefcover.WriteGraphJSON(&buf, g); err != nil {
+		s.writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, pipelineResponse{
+		Adapt: adaptResponse{
+			Variant:          variant.String(),
+			VariantConfident: confident,
+			Report:           rep,
+			Graph:            json.RawMessage(bytes.TrimSpace(buf.Bytes())),
+		},
+		Solve: solutionPayload(g, variant, sol),
+	})
+}

@@ -1,0 +1,310 @@
+// Package similarity derives candidate alternative edges from item text.
+// The paper's Data Adaptation Engine estimates edge weights from behavior
+// (clicks next to purchases); its footnote 4 notes that "one may also use
+// semantic similarity between items to approximate edge weights" without
+// pursuing it. This package implements that direction as a cold-start
+// complement: items with little behavioral signal (new listings, tail
+// SKUs) receive candidate alternatives from a TF-IDF cosine index over
+// their titles/attributes, blended into the behavioral graph at a
+// configurable discount so real click evidence always dominates.
+package similarity
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"unicode"
+
+	"prefcover/internal/graph"
+)
+
+// Doc is one item's textual description.
+type Doc struct {
+	// Label must match the preference-graph node label.
+	Label string
+	// Text is the title/attribute bag the index is built from.
+	Text string
+}
+
+// IndexOptions tunes BuildIndex.
+type IndexOptions struct {
+	// MinTokenLength drops shorter tokens (default 2).
+	MinTokenLength int
+	// MaxDocFrequency drops tokens appearing in more than this fraction
+	// of documents (near-stopwords). Default 0.5.
+	MaxDocFrequency float64
+}
+
+func (o *IndexOptions) normalize() {
+	if o.MinTokenLength <= 0 {
+		o.MinTokenLength = 2
+	}
+	if o.MaxDocFrequency <= 0 || o.MaxDocFrequency > 1 {
+		o.MaxDocFrequency = 0.5
+	}
+}
+
+// Index is a TF-IDF inverted index over item texts.
+type Index struct {
+	labels  []string
+	byLabel map[string]int32
+	// postings[token] lists (doc, tf-idf weight).
+	postings map[string][]posting
+	// docTerms[doc] lists the informative tokens of the document with
+	// their weights, so a query touches only its own tokens' postings.
+	docTerms [][]term
+	norms    []float64
+}
+
+type posting struct {
+	doc int32
+	w   float64
+}
+
+type term struct {
+	token string
+	w     float64
+}
+
+// Tokenize lowercases and splits on non-alphanumeric runes.
+func Tokenize(text string, minLen int) []string {
+	fields := strings.FieldsFunc(strings.ToLower(text), func(r rune) bool {
+		return !unicode.IsLetter(r) && !unicode.IsDigit(r)
+	})
+	out := fields[:0]
+	for _, f := range fields {
+		if len(f) >= minLen {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// BuildIndex constructs the index. Labels must be unique and texts
+// non-empty after tokenization for the document to be searchable.
+func BuildIndex(docs []Doc, opts IndexOptions) (*Index, error) {
+	opts.normalize()
+	if len(docs) == 0 {
+		return nil, errors.New("similarity: no documents")
+	}
+	ix := &Index{
+		labels:   make([]string, len(docs)),
+		byLabel:  make(map[string]int32, len(docs)),
+		postings: make(map[string][]posting),
+		docTerms: make([][]term, len(docs)),
+		norms:    make([]float64, len(docs)),
+	}
+	// Term frequencies per document.
+	tfs := make([]map[string]float64, len(docs))
+	df := make(map[string]int)
+	for i, d := range docs {
+		if d.Label == "" {
+			return nil, fmt.Errorf("similarity: document %d has no label", i)
+		}
+		if _, dup := ix.byLabel[d.Label]; dup {
+			return nil, fmt.Errorf("similarity: duplicate label %q", d.Label)
+		}
+		ix.labels[i] = d.Label
+		ix.byLabel[d.Label] = int32(i)
+		tf := make(map[string]float64)
+		for _, tok := range Tokenize(d.Text, opts.MinTokenLength) {
+			tf[tok]++
+		}
+		tfs[i] = tf
+		for tok := range tf {
+			df[tok]++
+		}
+	}
+	n := float64(len(docs))
+	maxDF := int(opts.MaxDocFrequency * n)
+	if maxDF < 2 {
+		// Never treat a token shared by just two documents as a stopword;
+		// tiny corpora would otherwise lose all signal.
+		maxDF = 2
+	}
+	for i, tf := range tfs {
+		var norm float64
+		for tok, count := range tf {
+			if df[tok] > maxDF && len(docs) > 2 {
+				continue // near-stopword
+			}
+			w := (1 + math.Log(count)) * math.Log(1+n/float64(df[tok]))
+			ix.postings[tok] = append(ix.postings[tok], posting{doc: int32(i), w: w})
+			ix.docTerms[i] = append(ix.docTerms[i], term{token: tok, w: w})
+			norm += w * w
+		}
+		ix.norms[i] = math.Sqrt(norm)
+	}
+	return ix, nil
+}
+
+// Match is one similar item.
+type Match struct {
+	Label string
+	// Score is the cosine similarity in [0, 1].
+	Score float64
+}
+
+// TopK returns the k most similar items to the given label (excluding
+// itself), best first; ties break lexicographically. Items whose text
+// shares no informative token score 0 and are omitted.
+func (ix *Index) TopK(label string, k int) ([]Match, error) {
+	q, ok := ix.byLabel[label]
+	if !ok {
+		return nil, fmt.Errorf("similarity: unknown label %q", label)
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("similarity: k must be positive, got %d", k)
+	}
+	if ix.norms[q] == 0 {
+		return nil, nil // no informative tokens
+	}
+	scores := make(map[int32]float64)
+	for _, t := range ix.docTerms[q] {
+		for _, p := range ix.postings[t.token] {
+			if p.doc != q {
+				scores[p.doc] += t.w * p.w
+			}
+		}
+	}
+	matches := make([]Match, 0, len(scores))
+	for doc, dot := range scores {
+		if ix.norms[doc] == 0 {
+			continue
+		}
+		s := dot / (ix.norms[q] * ix.norms[doc])
+		if s > 1 {
+			s = 1 // float noise
+		}
+		matches = append(matches, Match{Label: ix.labels[doc], Score: s})
+	}
+	sort.Slice(matches, func(i, j int) bool {
+		if matches[i].Score != matches[j].Score {
+			return matches[i].Score > matches[j].Score
+		}
+		return matches[i].Label < matches[j].Label
+	})
+	if len(matches) > k {
+		matches = matches[:k]
+	}
+	return matches, nil
+}
+
+// AugmentOptions tunes Augment.
+type AugmentOptions struct {
+	// MinAlternatives: items with fewer outgoing behavioral edges than
+	// this receive similarity-derived candidates. Default 1 (only items
+	// with no alternatives at all).
+	MinAlternatives int
+	// PerItem is how many similarity edges to propose per sparse item.
+	// Default 3.
+	PerItem int
+	// Alpha discounts cosine scores into acceptance probabilities;
+	// similarity is weaker evidence than an observed click. Default 0.3.
+	Alpha float64
+	// MinScore drops weak matches. Default 0.15.
+	MinScore float64
+}
+
+func (o *AugmentOptions) normalize() error {
+	if o.MinAlternatives <= 0 {
+		o.MinAlternatives = 1
+	}
+	if o.PerItem <= 0 {
+		o.PerItem = 3
+	}
+	if o.Alpha == 0 {
+		o.Alpha = 0.3
+	}
+	if o.Alpha < 0 || o.Alpha > 1 {
+		return fmt.Errorf("similarity: alpha %g outside (0,1]", o.Alpha)
+	}
+	if o.MinScore < 0 || o.MinScore >= 1 {
+		if o.MinScore != 0 {
+			return fmt.Errorf("similarity: min score %g outside [0,1)", o.MinScore)
+		}
+	}
+	if o.MinScore == 0 {
+		o.MinScore = 0.15
+	}
+	return nil
+}
+
+// AugmentReport describes what Augment changed.
+type AugmentReport struct {
+	SparseItems int // items below the alternative threshold
+	EdgesAdded  int
+	// Unindexed counts sparse items that had no document in the index.
+	Unindexed int
+}
+
+// Augment returns a copy of g where items with fewer than MinAlternatives
+// outgoing edges gain similarity-derived alternatives. Existing behavioral
+// edges are never modified; a similarity edge is only added where no edge
+// exists. The result preserves Normalized feasibility when alpha times
+// the added scores leaves the out-sums at or below 1 — Augment rescales
+// additions per node if necessary.
+func Augment(g *graph.Graph, ix *Index, opts AugmentOptions) (*graph.Graph, *AugmentReport, error) {
+	if err := opts.normalize(); err != nil {
+		return nil, nil, err
+	}
+	if !g.Labeled() {
+		return nil, nil, errors.New("similarity: augmentation needs a labeled graph")
+	}
+	rep := &AugmentReport{}
+	b := graph.NewBuilder(g.NumNodes(), g.NumEdges())
+	for v := int32(0); v < int32(g.NumNodes()); v++ {
+		b.AddLabeledNode(g.Label(v), g.NodeWeight(v))
+	}
+	for v := int32(0); v < int32(g.NumNodes()); v++ {
+		dsts, ws := g.OutEdges(v)
+		for i, u := range dsts {
+			b.AddEdge(v, u, ws[i])
+		}
+		if len(dsts) >= opts.MinAlternatives {
+			continue
+		}
+		rep.SparseItems++
+		matches, err := ix.TopK(g.Label(v), opts.PerItem+len(dsts))
+		if err != nil {
+			rep.Unindexed++
+			continue
+		}
+		// Budget for additions under the Normalized out-sum invariant.
+		budget := 1 - g.OutWeightSum(v)
+		added := 0
+		for _, m := range matches {
+			if added >= opts.PerItem || budget <= graph.Eps {
+				break
+			}
+			if m.Score < opts.MinScore {
+				break // sorted: everything after is weaker
+			}
+			u, ok := g.Lookup(m.Label)
+			if !ok || u == v {
+				continue
+			}
+			if _, exists := g.EdgeWeight(v, u); exists {
+				continue
+			}
+			w := opts.Alpha * m.Score
+			if w > budget {
+				w = budget
+			}
+			if w <= 0 {
+				continue
+			}
+			b.AddEdge(v, u, w)
+			budget -= w
+			added++
+			rep.EdgesAdded++
+		}
+	}
+	out, err := b.Build(graph.BuildOptions{})
+	if err != nil {
+		return nil, nil, err
+	}
+	return out, rep, nil
+}

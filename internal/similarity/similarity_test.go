@@ -1,0 +1,251 @@
+package similarity_test
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"prefcover/internal/graph"
+	. "prefcover/internal/similarity"
+)
+
+func TestTokenize(t *testing.T) {
+	toks := Tokenize("Apple iPhone-8, 256GB (Space Gray)!", 2)
+	want := []string{"apple", "iphone", "256gb", "space", "gray"}
+	if len(toks) != len(want) {
+		t.Fatalf("tokens = %v", toks)
+	}
+	for i := range want {
+		if toks[i] != want[i] {
+			t.Fatalf("tokens = %v, want %v", toks, want)
+		}
+	}
+	if got := Tokenize("a b c", 2); len(got) != 0 {
+		t.Errorf("min length not applied: %v", got)
+	}
+}
+
+func sampleDocs() []Doc {
+	return []Doc{
+		{Label: "shirt-red", Text: "red cotton shirt slim fit"},
+		{Label: "shirt-blue", Text: "blue cotton shirt slim fit"},
+		{Label: "shirt-wool", Text: "grey wool shirt winter"},
+		{Label: "tv-lg", Text: "LG 42 inch LED television"},
+		{Label: "tv-samsung", Text: "Samsung 42 inch LED television"},
+	}
+}
+
+func TestBuildIndexErrors(t *testing.T) {
+	if _, err := BuildIndex(nil, IndexOptions{}); err == nil {
+		t.Error("empty corpus should fail")
+	}
+	if _, err := BuildIndex([]Doc{{Label: "", Text: "x"}}, IndexOptions{}); err == nil {
+		t.Error("missing label should fail")
+	}
+	if _, err := BuildIndex([]Doc{{Label: "a", Text: "x"}, {Label: "a", Text: "y"}}, IndexOptions{}); err == nil {
+		t.Error("duplicate label should fail")
+	}
+}
+
+func TestTopKFindsSemanticNeighbors(t *testing.T) {
+	ix, err := BuildIndex(sampleDocs(), IndexOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	matches, err := ix.TopK("shirt-red", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) == 0 || matches[0].Label != "shirt-blue" {
+		t.Fatalf("matches = %v, want shirt-blue first", matches)
+	}
+	// The TVs must rank below the other shirts for a shirt query.
+	for _, m := range matches {
+		if m.Label == "tv-lg" || m.Label == "tv-samsung" {
+			t.Errorf("cross-domain match leaked: %v", matches)
+		}
+	}
+	tvMatches, err := ix.TopK("tv-lg", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tvMatches) != 1 || tvMatches[0].Label != "tv-samsung" {
+		t.Fatalf("tv matches = %v", tvMatches)
+	}
+}
+
+func TestTopKErrors(t *testing.T) {
+	ix, _ := BuildIndex(sampleDocs(), IndexOptions{})
+	if _, err := ix.TopK("nope", 2); err == nil {
+		t.Error("unknown label should fail")
+	}
+	if _, err := ix.TopK("shirt-red", 0); err == nil {
+		t.Error("k=0 should fail")
+	}
+}
+
+func TestScoresWithinBounds(t *testing.T) {
+	ix, _ := BuildIndex(sampleDocs(), IndexOptions{})
+	prop := func(which uint8, k uint8) bool {
+		docs := sampleDocs()
+		label := docs[int(which)%len(docs)].Label
+		matches, err := ix.TopK(label, 1+int(k)%5)
+		if err != nil {
+			return false
+		}
+		for i, m := range matches {
+			if m.Score < 0 || m.Score > 1 || m.Label == label {
+				return false
+			}
+			if i > 0 && m.Score > matches[i-1].Score {
+				return false // must be sorted
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIdenticalTextsScoreOne(t *testing.T) {
+	ix, err := BuildIndex([]Doc{
+		{Label: "a", Text: "red cotton shirt"},
+		{Label: "b", Text: "red cotton shirt"},
+		{Label: "c", Text: "something else entirely"},
+	}, IndexOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	matches, err := ix.TopK("a", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != 1 || matches[0].Label != "b" || math.Abs(matches[0].Score-1) > 1e-9 {
+		t.Fatalf("matches = %v", matches)
+	}
+}
+
+func buildSparseGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	b := graph.NewBuilder(0, 0)
+	b.AddLabeledNode("shirt-red", 0.3)
+	b.AddLabeledNode("shirt-blue", 0.3)
+	b.AddLabeledNode("shirt-wool", 0.2)
+	b.AddLabeledNode("tv-lg", 0.1)
+	b.AddLabeledNode("tv-samsung", 0.1)
+	// Only shirt-red has behavioral evidence.
+	b.AddLabeledEdge("shirt-red", "shirt-blue", 0.6)
+	g, err := b.Build(graph.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestAugmentAddsOnlyToSparseItems(t *testing.T) {
+	g := buildSparseGraph(t)
+	ix, err := BuildIndex(sampleDocs(), IndexOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, rep, err := Augment(g, ix, AugmentOptions{MinAlternatives: 1, PerItem: 2, Alpha: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// shirt-red already has an alternative: untouched.
+	red, _ := out.Lookup("shirt-red")
+	if out.OutDegree(red) != 1 {
+		t.Errorf("shirt-red degree = %d, want 1 (behavioral edge only)", out.OutDegree(red))
+	}
+	if w, _ := out.EdgeWeight(red, mustLookup(t, out, "shirt-blue")); w != 0.6 {
+		t.Errorf("behavioral edge weight changed: %g", w)
+	}
+	// tv-lg had nothing: gains tv-samsung.
+	lg := mustLookup(t, out, "tv-lg")
+	if out.OutDegree(lg) == 0 {
+		t.Error("tv-lg gained no alternatives")
+	}
+	if _, ok := out.EdgeWeight(lg, mustLookup(t, out, "tv-samsung")); !ok {
+		t.Error("tv-lg should link to tv-samsung")
+	}
+	if rep.SparseItems != 4 || rep.EdgesAdded == 0 {
+		t.Errorf("report = %+v", rep)
+	}
+	// Result remains a valid graph under both variants.
+	if err := out.Validate(graph.ValidateOptions{Variant: graph.Normalized, RequireSimplex: true}); err != nil {
+		t.Errorf("augmented graph invalid: %v", err)
+	}
+}
+
+func mustLookup(t *testing.T, g *graph.Graph, label string) int32 {
+	t.Helper()
+	v, ok := g.Lookup(label)
+	if !ok {
+		t.Fatalf("missing %s", label)
+	}
+	return v
+}
+
+func TestAugmentValidation(t *testing.T) {
+	g := buildSparseGraph(t)
+	ix, _ := BuildIndex(sampleDocs(), IndexOptions{})
+	if _, _, err := Augment(g, ix, AugmentOptions{Alpha: 2}); err == nil {
+		t.Error("alpha > 1 should fail")
+	}
+	if _, _, err := Augment(g, ix, AugmentOptions{MinScore: 1.5}); err == nil {
+		t.Error("min score >= 1 should fail")
+	}
+	b := graph.NewBuilder(1, 0)
+	b.AddNode(1)
+	unlabeled, _ := b.Build(graph.BuildOptions{})
+	if _, _, err := Augment(unlabeled, ix, AugmentOptions{}); err == nil {
+		t.Error("unlabeled graph should fail")
+	}
+}
+
+func TestAugmentCountsUnindexedItems(t *testing.T) {
+	g := buildSparseGraph(t)
+	// Index missing the TV docs.
+	ix, err := BuildIndex(sampleDocs()[:3], IndexOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, rep, err := Augment(g, ix, AugmentOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Unindexed != 2 {
+		t.Errorf("unindexed = %d, want 2 (both TVs)", rep.Unindexed)
+	}
+}
+
+func TestAugmentRespectsNormalizedBudget(t *testing.T) {
+	// An item already carrying 0.95 outgoing probability can absorb at
+	// most 0.05 more.
+	b := graph.NewBuilder(0, 0)
+	b.AddLabeledNode("a", 0.4)
+	b.AddLabeledNode("b", 0.3)
+	b.AddLabeledNode("c", 0.3)
+	b.AddLabeledEdge("a", "b", 0.95)
+	g, err := b.Build(graph.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := BuildIndex([]Doc{
+		{Label: "a", Text: "green garden hose"},
+		{Label: "b", Text: "green garden hose long"},
+		{Label: "c", Text: "green garden hose short"},
+	}, IndexOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _, err := Augment(g, ix, AugmentOptions{MinAlternatives: 2, PerItem: 2, Alpha: 1, MinScore: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := mustLookup(t, out, "a")
+	if s := out.OutWeightSum(a); s > 1+graph.Eps {
+		t.Errorf("out sum = %g exceeds 1", s)
+	}
+}

@@ -1,0 +1,118 @@
+package sparsify_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"prefcover/internal/cover"
+	"prefcover/internal/fixture"
+	"prefcover/internal/graph"
+	"prefcover/internal/graphtest"
+	. "prefcover/internal/sparsify"
+)
+
+func TestValidation(t *testing.T) {
+	g := fixture.Figure1Graph()
+	if _, err := Prune(g, Options{}); err == nil {
+		t.Error("empty options should fail")
+	}
+	if _, err := Prune(g, Options{MinWeight: 1.5}); err == nil {
+		t.Error("MinWeight > 1 should fail")
+	}
+}
+
+func TestWeightThreshold(t *testing.T) {
+	g := fixture.Figure1Graph()
+	// Edges below 0.5: A->C (0.3). 6 edges -> 5.
+	res, err := Prune(g, Options{MinWeight: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EdgesBefore != 6 || res.EdgesAfter != 5 {
+		t.Fatalf("edges %d -> %d", res.EdgesBefore, res.EdgesAfter)
+	}
+	want := 0.33 * 0.3
+	if math.Abs(res.RemovedWeight-want) > 1e-12 {
+		t.Errorf("removed weight = %g, want %g", res.RemovedWeight, want)
+	}
+	a, _ := res.Graph.Lookup("A")
+	c, _ := res.Graph.Lookup("C")
+	if _, ok := res.Graph.EdgeWeight(a, c); ok {
+		t.Error("A->C should be pruned")
+	}
+	// Labels and node weights survive.
+	if res.Graph.NodeWeight(a) != 0.33 {
+		t.Error("node weight changed")
+	}
+}
+
+func TestTopDegree(t *testing.T) {
+	g := fixture.Figure1Graph()
+	// A has two out-edges (0.667 and 0.3): keep the heaviest one.
+	res, err := Prune(g, Options{MaxOutDegree: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := res.Graph.Lookup("A")
+	if res.Graph.OutDegree(a) != 1 {
+		t.Fatalf("A out-degree = %d", res.Graph.OutDegree(a))
+	}
+	b, _ := res.Graph.Lookup("B")
+	if _, ok := res.Graph.EdgeWeight(a, b); !ok {
+		t.Error("the heavier edge A->B should survive")
+	}
+}
+
+// TestLossBoundSound: for random graphs, sets and prunes, the cover drop
+// never exceeds the reported bound (both variants).
+func TestLossBoundSound(t *testing.T) {
+	for _, variant := range []graph.Variant{graph.Independent, graph.Normalized} {
+		variant := variant
+		prop := func(seed int64) bool {
+			rng := rand.New(rand.NewSource(seed))
+			g := graphtest.Random(rng, 4+rng.Intn(25), 5, variant)
+			opts := Options{}
+			if rng.Intn(2) == 0 {
+				opts.MinWeight = rng.Float64() * 0.5
+			}
+			if opts.MinWeight == 0 || rng.Intn(2) == 0 {
+				opts.MaxOutDegree = 1 + rng.Intn(3)
+			}
+			res, err := Prune(g, opts)
+			if err != nil {
+				return false
+			}
+			for trial := 0; trial < 5; trial++ {
+				set := graphtest.RandomSet(rng, g, rng.Intn(g.NumNodes()+1))
+				before, err1 := cover.EvaluateSet(g, variant, set)
+				after, err2 := cover.EvaluateSet(res.Graph, variant, set)
+				if err1 != nil || err2 != nil {
+					return false
+				}
+				if before-after > res.LossBound+1e-9 {
+					return false
+				}
+				if after > before+1e-9 {
+					return false // pruning can never increase cover
+				}
+			}
+			return true
+		}
+		if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+			t.Errorf("variant %v: %v", variant, err)
+		}
+	}
+}
+
+func TestNoOpPruneKeepsEverything(t *testing.T) {
+	g := fixture.Figure1Graph()
+	res, err := Prune(g, Options{MinWeight: 0.0001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EdgesAfter != g.NumEdges() || res.RemovedWeight != 0 {
+		t.Errorf("no-op prune removed something: %+v", res)
+	}
+}

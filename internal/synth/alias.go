@@ -1,0 +1,91 @@
+package synth
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+)
+
+// Alias is a Walker alias table: O(n) construction, O(1) sampling from an
+// arbitrary discrete distribution. Session simulation draws millions of
+// desired items from a heavy-tailed popularity distribution, which makes
+// the constant-time sampler the difference between seconds and minutes.
+type Alias struct {
+	prob  []float64
+	alias []int32
+}
+
+// NewAlias builds a table for the given nonnegative weights (not
+// necessarily normalized).
+func NewAlias(weights []float64) (*Alias, error) {
+	n := len(weights)
+	if n == 0 {
+		return nil, errors.New("synth: alias table needs at least one weight")
+	}
+	var sum float64
+	for _, w := range weights {
+		if w < 0 {
+			return nil, errors.New("synth: alias table weight is negative")
+		}
+		sum += w
+	}
+	if sum <= 0 {
+		return nil, errors.New("synth: alias table weights sum to zero")
+	}
+	a := &Alias{
+		prob:  make([]float64, n),
+		alias: make([]int32, n),
+	}
+	scaled := make([]float64, n)
+	small := make([]int32, 0, n)
+	large := make([]int32, 0, n)
+	for i, w := range weights {
+		scaled[i] = w * float64(n) / sum
+		if scaled[i] < 1 {
+			small = append(small, int32(i))
+		} else {
+			large = append(large, int32(i))
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		s := small[len(small)-1]
+		small = small[:len(small)-1]
+		l := large[len(large)-1]
+		large = large[:len(large)-1]
+		a.prob[s] = scaled[s]
+		a.alias[s] = l
+		scaled[l] -= 1 - scaled[s]
+		if scaled[l] < 1 {
+			small = append(small, l)
+		} else {
+			large = append(large, l)
+		}
+	}
+	for _, rest := range [][]int32{small, large} {
+		for _, i := range rest {
+			a.prob[i] = 1
+			a.alias[i] = i
+		}
+	}
+	return a, nil
+}
+
+// Sample draws one index.
+func (a *Alias) Sample(rng *rand.Rand) int32 {
+	i := int32(rng.Intn(len(a.prob)))
+	if rng.Float64() < a.prob[i] {
+		return i
+	}
+	return a.alias[i]
+}
+
+// ZipfWeights returns an unnormalized Zipf(s, v) weight vector over n ranks:
+// w[r] = 1/(v+r)^s for r in [0,n). Unlike math/rand.Zipf it permits any
+// s > 0 (purchase popularity in e-commerce is often sub-critical, s ~ 1).
+func ZipfWeights(n int, s, v float64) []float64 {
+	w := make([]float64, n)
+	for r := 0; r < n; r++ {
+		w[r] = math.Pow(v+float64(r), -s)
+	}
+	return w
+}

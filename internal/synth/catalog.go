@@ -1,0 +1,196 @@
+// Package synth generates the synthetic workloads that stand in for the
+// paper's private eBay clickstream (PE/PF/PM) and the YooChoose dataset
+// (YC) — see DESIGN.md for the substitution rationale. It provides:
+//
+//   - a category/brand/price-tier structured item catalog with Zipf
+//     purchase popularity (catalog.go);
+//   - a session simulator producing clickstreams under either dependency
+//     regime — independent alternative clicks or at-most-one-alternative —
+//     that are then fed through the same adaptation engine as real data
+//     (sessions.go);
+//   - a direct preference-graph generator for scalability experiments
+//     where simulating tens of millions of sessions would only add noise
+//     (graphgen.go);
+//   - presets that match the shape of the paper's Table 2 datasets
+//     (presets.go).
+//
+// All generators are fully deterministic given their seed.
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// CatalogSpec configures NewCatalog.
+type CatalogSpec struct {
+	// Items is the catalog size.
+	Items int
+	// Categories partitions items; alternatives only arise within a
+	// category (nobody substitutes a TV with a sneaker).
+	Categories int
+	// BrandsPerCategory controls brand diversity; same-brand items are
+	// stronger alternatives.
+	BrandsPerCategory int
+	// PriceTiers stratifies each category by price; alternative
+	// suitability decays with tier distance ("one-step upgrade" behavior
+	// from the paper's Example 1.1).
+	PriceTiers int
+	// ZipfS and ZipfV shape the popularity distribution 1/(v+rank)^s.
+	ZipfS, ZipfV float64
+	// Seed drives the popularity-rank permutation.
+	Seed int64
+}
+
+func (s *CatalogSpec) normalize() error {
+	if s.Items <= 0 {
+		return fmt.Errorf("synth: catalog needs Items > 0, got %d", s.Items)
+	}
+	if s.Categories <= 0 {
+		s.Categories = 1 + s.Items/50
+	}
+	if s.Categories > s.Items {
+		s.Categories = s.Items
+	}
+	if s.BrandsPerCategory <= 0 {
+		s.BrandsPerCategory = 5
+	}
+	if s.PriceTiers <= 0 {
+		s.PriceTiers = 8
+	}
+	if s.ZipfS <= 0 {
+		s.ZipfS = 1.05
+	}
+	if s.ZipfV <= 0 {
+		s.ZipfV = 2.7
+	}
+	return nil
+}
+
+// Item is one catalog entry.
+type Item struct {
+	Label    string
+	Category int32
+	Brand    int32 // brand id within the category
+	Tier     int32 // price tier within the category
+}
+
+// Catalog is an immutable synthetic item catalog with popularity weights.
+type Catalog struct {
+	spec       CatalogSpec
+	items      []Item
+	popularity []float64 // normalized, sums to 1
+	byCategory [][]int32 // item ids per category, ordered by (tier, id)
+	sampler    *Alias
+}
+
+// NewCatalog builds a catalog. Items are assigned round-robin to
+// categories, then uniformly to brands and tiers; popularity ranks are a
+// seeded permutation so popularity is independent of catalog position.
+func NewCatalog(spec CatalogSpec) (*Catalog, error) {
+	if err := spec.normalize(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	c := &Catalog{
+		spec:       spec,
+		items:      make([]Item, spec.Items),
+		popularity: make([]float64, spec.Items),
+		byCategory: make([][]int32, spec.Categories),
+	}
+	for i := range c.items {
+		cat := int32(i % spec.Categories)
+		c.items[i] = Item{
+			Label:    fmt.Sprintf("item-%07d", i),
+			Category: cat,
+			Brand:    int32(rng.Intn(spec.BrandsPerCategory)),
+			Tier:     int32(rng.Intn(spec.PriceTiers)),
+		}
+		c.byCategory[cat] = append(c.byCategory[cat], int32(i))
+	}
+	// Order within category by (tier, id) so tier-neighborhoods are
+	// contiguous and alternative candidates are a cheap window scan.
+	for _, ids := range c.byCategory {
+		sortByTier(c, ids)
+	}
+	zipf := ZipfWeights(spec.Items, spec.ZipfS, spec.ZipfV)
+	var sum float64
+	for _, w := range zipf {
+		sum += w
+	}
+	perm := rng.Perm(spec.Items)
+	for rank, item := range perm {
+		c.popularity[item] = zipf[rank] / sum
+	}
+	var err error
+	c.sampler, err = NewAlias(c.popularity)
+	if err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+func sortByTier(c *Catalog, ids []int32) {
+	// Insertion-free sort via sort.Slice would be fine; a simple
+	// stable-by-construction counting pass keeps this O(n) per category.
+	buckets := make([][]int32, c.spec.PriceTiers)
+	for _, id := range ids {
+		t := c.items[id].Tier
+		buckets[t] = append(buckets[t], id)
+	}
+	pos := 0
+	for _, b := range buckets {
+		pos += copy(ids[pos:], b)
+	}
+}
+
+// Len returns the catalog size.
+func (c *Catalog) Len() int { return len(c.items) }
+
+// Item returns the item with the given id.
+func (c *Catalog) Item(id int32) Item { return c.items[id] }
+
+// Popularity returns the normalized purchase probability of an item.
+func (c *Catalog) Popularity(id int32) float64 { return c.popularity[id] }
+
+// SamplePurchase draws an item id from the popularity distribution.
+func (c *Catalog) SamplePurchase(rng *rand.Rand) int32 { return c.sampler.Sample(rng) }
+
+// CategoryMembers returns the item ids of a category ordered by price tier.
+// The returned slice is owned by the catalog; treat as read-only.
+func (c *Catalog) CategoryMembers(cat int32) []int32 { return c.byCategory[cat] }
+
+// ItemText renders an item's attributes as a short textual description,
+// the kind of title/attribute bag a similarity index consumes. Same
+// category/brand/tier items share tokens proportionally to their
+// ground-truth affinity.
+func (c *Catalog) ItemText(id int32) string {
+	it := c.items[id]
+	// The coarse tier bucket makes adjacent price tiers share a token, the
+	// way real titles share quality/price descriptors ("premium", "budget").
+	return fmt.Sprintf("category%d brand%d tier%d bucket%d product %s",
+		it.Category, it.Brand, it.Tier, it.Tier/2, it.Label)
+}
+
+// Affinity returns the suitability of item b as an alternative to item a,
+// in [0,1]: zero across categories, otherwise base decayed by tier distance
+// and a penalty for brand mismatch. This is the ground-truth preference
+// signal the session simulator expresses through clicks.
+func (c *Catalog) Affinity(a, b int32, base, tierDecay, brandPenalty float64) float64 {
+	ia, ib := c.items[a], c.items[b]
+	if a == b || ia.Category != ib.Category {
+		return 0
+	}
+	p := base
+	dt := int(ia.Tier - ib.Tier)
+	if dt < 0 {
+		dt = -dt
+	}
+	for i := 0; i < dt; i++ {
+		p *= tierDecay
+	}
+	if ia.Brand != ib.Brand {
+		p *= brandPenalty
+	}
+	return p
+}

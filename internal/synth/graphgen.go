@@ -1,0 +1,230 @@
+package synth
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"prefcover/internal/graph"
+)
+
+// GraphSpec configures GenerateGraph, the direct preference-graph generator
+// used by the scalability experiments (Figures 4d/4e), where graphs of up
+// to millions of nodes are needed and simulating the corresponding tens of
+// millions of sessions would dominate the measurement.
+type GraphSpec struct {
+	// Nodes is the item count.
+	Nodes int
+	// AvgOutDegree is the expected number of alternatives per item;
+	// per-node degrees are Poisson distributed around it (clamped to the
+	// community size).
+	AvgOutDegree float64
+	// CommunitySize groups nodes into blocks; edges stay within a block,
+	// mirroring the category-local substitution structure of real
+	// catalogs. Default 64.
+	CommunitySize int
+	// ZipfS, ZipfV shape node popularity (see ZipfWeights).
+	ZipfS, ZipfV float64
+	// Variant: Normalized rescales each node's outgoing weights to sum to
+	// at most MaxOutSum; Independent leaves raw weights.
+	Variant graph.Variant
+	// EdgeWeightAlpha, EdgeWeightBeta parameterize the Beta(a,b)
+	// distribution edge weights are drawn from. Defaults (2,2) give a
+	// symmetric hump around 0.5, matching click-through-derived
+	// probabilities.
+	EdgeWeightAlpha, EdgeWeightBeta float64
+	// MaxOutSum caps each node's outgoing weight sum under Normalized.
+	// Default 0.95 (real data always leaves some uncoverable mass).
+	MaxOutSum float64
+	// Seed drives all sampling.
+	Seed int64
+}
+
+func (s *GraphSpec) normalize() error {
+	if s.Nodes <= 0 {
+		return fmt.Errorf("synth: need Nodes > 0, got %d", s.Nodes)
+	}
+	if s.AvgOutDegree < 0 {
+		return fmt.Errorf("synth: negative AvgOutDegree %g", s.AvgOutDegree)
+	}
+	if s.AvgOutDegree == 0 {
+		s.AvgOutDegree = 4.8 // PE's edges/items ratio
+	}
+	if s.CommunitySize <= 1 {
+		s.CommunitySize = 64
+	}
+	if s.CommunitySize > s.Nodes {
+		s.CommunitySize = s.Nodes
+	}
+	if s.ZipfS <= 0 {
+		s.ZipfS = 1.05
+	}
+	if s.ZipfV <= 0 {
+		s.ZipfV = 2.7
+	}
+	if s.EdgeWeightAlpha <= 0 {
+		s.EdgeWeightAlpha = 2
+	}
+	if s.EdgeWeightBeta <= 0 {
+		s.EdgeWeightBeta = 2
+	}
+	if s.MaxOutSum <= 0 || s.MaxOutSum > 1 {
+		s.MaxOutSum = 0.95
+	}
+	return nil
+}
+
+// GenerateGraph produces a preference graph with Zipf node popularity,
+// Poisson out-degrees, community-local destinations biased toward popular
+// nodes, and Beta-distributed edge weights; under Normalized the per-node
+// outgoing sums are capped.
+func GenerateGraph(spec GraphSpec) (*graph.Graph, error) {
+	if err := spec.normalize(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	n := spec.Nodes
+
+	zipf := ZipfWeights(n, spec.ZipfS, spec.ZipfV)
+	var sum float64
+	for _, w := range zipf {
+		sum += w
+	}
+	perm := rng.Perm(n)
+	weights := make([]float64, n)
+	for rank, node := range perm {
+		weights[node] = zipf[rank] / sum
+	}
+
+	b := graph.NewBuilder(n, int(float64(n)*spec.AvgOutDegree))
+	for _, w := range weights {
+		b.AddNode(w)
+	}
+
+	block := spec.CommunitySize
+	dsts := make([]int32, 0, 32)
+	ws := make([]float64, 0, 32)
+	for v := 0; v < n; v++ {
+		lo := (v / block) * block
+		hi := lo + block
+		if hi > n {
+			hi = n
+		}
+		maxDeg := hi - lo - 1
+		if maxDeg <= 0 {
+			continue
+		}
+		deg := poisson(rng, spec.AvgOutDegree)
+		if deg > maxDeg {
+			deg = maxDeg
+		}
+		if deg == 0 {
+			continue
+		}
+		dsts = sampleDistinct(rng, int32(lo), int32(hi), int32(v), deg, dsts[:0])
+		ws = ws[:0]
+		var outSum float64
+		for range dsts {
+			w := betaSample(rng, spec.EdgeWeightAlpha, spec.EdgeWeightBeta)
+			// Clamp away from 0 so edge weights stay in (0,1].
+			if w < 1e-6 {
+				w = 1e-6
+			}
+			ws = append(ws, w)
+			outSum += w
+		}
+		if spec.Variant == graph.Normalized && outSum > spec.MaxOutSum {
+			scale := spec.MaxOutSum / outSum
+			for i := range ws {
+				ws[i] *= scale
+			}
+		}
+		for i, d := range dsts {
+			b.AddEdge(int32(v), d, ws[i])
+		}
+	}
+	return b.Build(graph.BuildOptions{})
+}
+
+// poisson draws from Poisson(lambda) via Knuth's method for small lambda
+// and a normal approximation above 30 (degree distributions here are
+// small, the approximation branch is a safety hatch).
+func poisson(rng *rand.Rand, lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	if lambda > 30 {
+		k := int(math.Round(rng.NormFloat64()*math.Sqrt(lambda) + lambda))
+		if k < 0 {
+			k = 0
+		}
+		return k
+	}
+	l := math.Exp(-lambda)
+	k := 0
+	p := 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+// betaSample draws from Beta(a,b) using the ratio of gamma variates.
+func betaSample(rng *rand.Rand, a, b float64) float64 {
+	x := gammaSample(rng, a)
+	y := gammaSample(rng, b)
+	if x+y == 0 {
+		return 0.5
+	}
+	return x / (x + y)
+}
+
+// gammaSample draws from Gamma(shape, 1) via Marsaglia-Tsang, with the
+// standard boost for shape < 1.
+func gammaSample(rng *rand.Rand, shape float64) float64 {
+	if shape < 1 {
+		u := rng.Float64()
+		for u == 0 {
+			u = rng.Float64()
+		}
+		return gammaSample(rng, shape+1) * math.Pow(u, 1/shape)
+	}
+	d := shape - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		x := rng.NormFloat64()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := rng.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v
+		}
+		if u > 0 && math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v
+		}
+	}
+}
+
+// sampleDistinct draws deg distinct values from [lo,hi) excluding self,
+// appending to out. For small windows it uses a partial Fisher-Yates over
+// the window; deg is already capped at the window size minus one.
+func sampleDistinct(rng *rand.Rand, lo, hi, self int32, deg int, out []int32) []int32 {
+	window := make([]int32, 0, hi-lo-1)
+	for v := lo; v < hi; v++ {
+		if v != self {
+			window = append(window, v)
+		}
+	}
+	for i := 0; i < deg; i++ {
+		j := i + rng.Intn(len(window)-i)
+		window[i], window[j] = window[j], window[i]
+		out = append(out, window[i])
+	}
+	return out
+}

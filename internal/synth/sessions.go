@@ -1,0 +1,225 @@
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+
+	"prefcover/internal/clickstream"
+)
+
+// Regime selects the ground-truth dependency structure between alternative
+// clicks in simulated sessions; it corresponds to which Preference Cover
+// variant will fit the resulting data (paper Section 5.2).
+type Regime uint8
+
+const (
+	// RegimeIndependent clicks each candidate alternative independently
+	// with its affinity probability; the resulting clickstream passes the
+	// paper's NMI < 0.1 independence test.
+	RegimeIndependent Regime = iota
+	// RegimeSingleAlternative clicks at most one alternative per session
+	// (chosen with probability proportional to affinity); with the default
+	// contamination it satisfies the paper's >= 90% single-alternative
+	// rule that recommends the Normalized variant.
+	RegimeSingleAlternative
+)
+
+// String implements fmt.Stringer.
+func (r Regime) String() string {
+	switch r {
+	case RegimeIndependent:
+		return "independent"
+	case RegimeSingleAlternative:
+		return "single-alternative"
+	default:
+		return fmt.Sprintf("regime(%d)", uint8(r))
+	}
+}
+
+// SessionSpec configures GenerateSessions.
+type SessionSpec struct {
+	// Sessions is the total session count, purchase and browse-only
+	// combined.
+	Sessions int
+	// PurchaseRate is the fraction of sessions ending in a purchase
+	// (1.0 for the paper's private datasets, ~0.028 for YC).
+	PurchaseRate float64
+	// Regime selects the dependency structure.
+	Regime Regime
+	// CandidateWindow bounds how many tier-adjacent items in the purchased
+	// item's category are considered clickable alternatives.
+	CandidateWindow int
+	// ClickBase, TierDecay, BrandPenalty parameterize Catalog.Affinity.
+	ClickBase, TierDecay, BrandPenalty float64
+	// Contamination is the probability that a single-alternative session
+	// nevertheless clicks one extra alternative, mimicking the ~10% of
+	// real sessions that violate the Normalized assumption.
+	Contamination float64
+	// BrowseClicks is the expected click count of browse-only sessions.
+	BrowseClicks int
+	// Seed drives all sampling.
+	Seed int64
+}
+
+func (s *SessionSpec) normalize() error {
+	if s.Sessions <= 0 {
+		return fmt.Errorf("synth: need Sessions > 0, got %d", s.Sessions)
+	}
+	if s.PurchaseRate <= 0 || s.PurchaseRate > 1 {
+		return fmt.Errorf("synth: PurchaseRate %g outside (0,1]", s.PurchaseRate)
+	}
+	if s.CandidateWindow <= 0 {
+		s.CandidateWindow = 12
+	}
+	if s.ClickBase <= 0 {
+		s.ClickBase = 0.55
+	}
+	if s.TierDecay <= 0 {
+		s.TierDecay = 0.55
+	}
+	if s.BrandPenalty <= 0 {
+		s.BrandPenalty = 0.7
+	}
+	if s.Contamination < 0 {
+		s.Contamination = 0
+	}
+	if s.BrowseClicks <= 0 {
+		s.BrowseClicks = 3
+	}
+	return nil
+}
+
+// GenerateSessions simulates a clickstream over the catalog. Purchase
+// sessions draw the purchased item from the popularity distribution and
+// click alternatives from the item's category neighborhood according to
+// the regime; browse-only sessions click a few neighbors and buy nothing.
+func GenerateSessions(cat *Catalog, spec SessionSpec) (*clickstream.Store, error) {
+	if err := spec.normalize(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	store := clickstream.NewStore(make([]clickstream.Session, 0, spec.Sessions))
+	candidates := make([]int32, 0, 2*spec.CandidateWindow)
+	affinities := make([]float64, 0, 2*spec.CandidateWindow)
+	for i := 0; i < spec.Sessions; i++ {
+		id := fmt.Sprintf("s%08d", i)
+		anchor := cat.SamplePurchase(rng)
+		candidates, affinities = alternativeCandidates(cat, anchor, spec, candidates, affinities)
+		if rng.Float64() >= spec.PurchaseRate {
+			// Browse-only session: a few clicks around a popular anchor,
+			// no purchase. These sessions are ignored by the adaptation
+			// engine but inflate the Sessions column exactly like YC.
+			store.Append(clickstream.Session{
+				ID:     id,
+				Clicks: browseClicks(rng, anchor, candidates, spec.BrowseClicks, cat),
+			})
+			continue
+		}
+		var clicks []string
+		switch spec.Regime {
+		case RegimeSingleAlternative:
+			clicks = singleAltClicks(rng, cat, candidates, affinities, spec.Contamination)
+		default:
+			clicks = independentClicks(rng, cat, candidates, affinities)
+		}
+		store.Append(clickstream.Session{
+			ID:       id,
+			Purchase: cat.Item(anchor).Label,
+			Clicks:   clicks,
+		})
+	}
+	return store, nil
+}
+
+// alternativeCandidates returns the clickable alternatives of anchor: a
+// window of tier-adjacent items in its category, with their affinities.
+func alternativeCandidates(cat *Catalog, anchor int32, spec SessionSpec, ids []int32, affs []float64) ([]int32, []float64) {
+	ids, affs = ids[:0], affs[:0]
+	members := cat.CategoryMembers(cat.Item(anchor).Category)
+	// Locate anchor inside the tier-ordered member list.
+	pos := -1
+	for i, m := range members {
+		if m == anchor {
+			pos = i
+			break
+		}
+	}
+	lo := pos - spec.CandidateWindow
+	if lo < 0 {
+		lo = 0
+	}
+	hi := pos + spec.CandidateWindow + 1
+	if hi > len(members) {
+		hi = len(members)
+	}
+	for i := lo; i < hi; i++ {
+		m := members[i]
+		if m == anchor {
+			continue
+		}
+		a := cat.Affinity(anchor, m, spec.ClickBase, spec.TierDecay, spec.BrandPenalty)
+		if a > 0 {
+			ids = append(ids, m)
+			affs = append(affs, a)
+		}
+	}
+	return ids, affs
+}
+
+func independentClicks(rng *rand.Rand, cat *Catalog, ids []int32, affs []float64) []string {
+	var clicks []string
+	for i, id := range ids {
+		if rng.Float64() < affs[i] {
+			clicks = append(clicks, cat.Item(id).Label)
+		}
+	}
+	return clicks
+}
+
+func singleAltClicks(rng *rand.Rand, cat *Catalog, ids []int32, affs []float64, contamination float64) []string {
+	if len(ids) == 0 {
+		return nil
+	}
+	var total float64
+	for _, a := range affs {
+		total += a
+	}
+	// "No alternative considered" keeps mass proportional to the slack of
+	// the strongest affinity, so popular dense neighborhoods almost always
+	// produce a click while sparse ones often do not.
+	noAlt := 1.0
+	x := rng.Float64() * (total + noAlt)
+	if x >= total {
+		return nil
+	}
+	var clicks []string
+	pick := -1
+	for i, a := range affs {
+		if x < a {
+			pick = i
+			break
+		}
+		x -= a
+	}
+	if pick < 0 {
+		pick = len(ids) - 1
+	}
+	clicks = append(clicks, cat.Item(ids[pick]).Label)
+	if contamination > 0 && len(ids) > 1 && rng.Float64() < contamination {
+		// Violate the single-alternative rule occasionally.
+		extra := rng.Intn(len(ids) - 1)
+		if extra >= pick {
+			extra++
+		}
+		clicks = append(clicks, cat.Item(ids[extra]).Label)
+	}
+	return clicks
+}
+
+func browseClicks(rng *rand.Rand, anchor int32, candidates []int32, expected int, cat *Catalog) []string {
+	clicks := []string{cat.Item(anchor).Label}
+	for i := 0; i < expected && len(candidates) > 0; i++ {
+		clicks = append(clicks, cat.Item(candidates[rng.Intn(len(candidates))]).Label)
+	}
+	return clicks
+}

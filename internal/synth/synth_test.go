@@ -1,0 +1,354 @@
+package synth_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"prefcover/internal/adapt"
+	"prefcover/internal/clickstream"
+	"prefcover/internal/graph"
+	. "prefcover/internal/synth"
+)
+
+func TestAliasMatchesDistribution(t *testing.T) {
+	weights := []float64{1, 2, 3, 4}
+	a, err := NewAlias(weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	const draws = 200000
+	counts := make([]int, len(weights))
+	for i := 0; i < draws; i++ {
+		counts[a.Sample(rng)]++
+	}
+	for i, w := range weights {
+		want := w / 10.0
+		got := float64(counts[i]) / draws
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("index %d: freq %g, want %g", i, got, want)
+		}
+	}
+}
+
+func TestAliasErrors(t *testing.T) {
+	if _, err := NewAlias(nil); err == nil {
+		t.Error("empty weights should fail")
+	}
+	if _, err := NewAlias([]float64{0, 0}); err == nil {
+		t.Error("zero-sum weights should fail")
+	}
+	if _, err := NewAlias([]float64{1, -1}); err == nil {
+		t.Error("negative weight should fail")
+	}
+}
+
+func TestAliasDegenerateSingle(t *testing.T) {
+	a, err := NewAlias([]float64{5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 10; i++ {
+		if a.Sample(rng) != 0 {
+			t.Fatal("single-element alias must always return 0")
+		}
+	}
+}
+
+func TestZipfWeightsShape(t *testing.T) {
+	w := ZipfWeights(100, 1.0, 1.0)
+	for i := 1; i < len(w); i++ {
+		if w[i] > w[i-1] {
+			t.Fatal("zipf weights must be nonincreasing in rank")
+		}
+	}
+	if math.Abs(w[0]/w[1]-2.0) > 1e-9 { // w0/w1 = ((v+1)/v)^s = 2 at v=1, s=1
+		t.Errorf("zipf head ratio = %g, want 2", w[0]/w[1])
+	}
+}
+
+func TestCatalogBasics(t *testing.T) {
+	cat, err := NewCatalog(CatalogSpec{Items: 500, Categories: 10, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cat.Len() != 500 {
+		t.Fatalf("Len = %d", cat.Len())
+	}
+	var sum float64
+	seenLabels := map[string]bool{}
+	for i := int32(0); i < 500; i++ {
+		sum += cat.Popularity(i)
+		item := cat.Item(i)
+		if seenLabels[item.Label] {
+			t.Fatalf("duplicate label %s", item.Label)
+		}
+		seenLabels[item.Label] = true
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("popularity sum = %g", sum)
+	}
+	// Category members are tier-sorted.
+	for c := int32(0); c < 10; c++ {
+		members := cat.CategoryMembers(c)
+		for i := 1; i < len(members); i++ {
+			if cat.Item(members[i]).Tier < cat.Item(members[i-1]).Tier {
+				t.Fatalf("category %d not tier-sorted", c)
+			}
+		}
+	}
+}
+
+func TestCatalogDeterminism(t *testing.T) {
+	a, _ := NewCatalog(CatalogSpec{Items: 100, Seed: 3})
+	b, _ := NewCatalog(CatalogSpec{Items: 100, Seed: 3})
+	for i := int32(0); i < 100; i++ {
+		if a.Popularity(i) != b.Popularity(i) || a.Item(i) != b.Item(i) {
+			t.Fatal("same seed must give identical catalogs")
+		}
+	}
+	c, _ := NewCatalog(CatalogSpec{Items: 100, Seed: 4})
+	same := true
+	for i := int32(0); i < 100; i++ {
+		if a.Popularity(i) != c.Popularity(i) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds should differ")
+	}
+}
+
+func TestCatalogValidation(t *testing.T) {
+	if _, err := NewCatalog(CatalogSpec{Items: 0}); err == nil {
+		t.Error("zero items should fail")
+	}
+}
+
+func TestAffinity(t *testing.T) {
+	cat, _ := NewCatalog(CatalogSpec{Items: 100, Categories: 5, Seed: 1})
+	// Cross-category affinity is zero.
+	var a, b int32 = -1, -1
+	for i := int32(0); i < 100 && (a < 0 || b < 0); i++ {
+		if cat.Item(i).Category == 0 && a < 0 {
+			a = i
+		}
+		if cat.Item(i).Category == 1 && b < 0 {
+			b = i
+		}
+	}
+	if got := cat.Affinity(a, b, 0.5, 0.5, 0.5); got != 0 {
+		t.Errorf("cross-category affinity = %g", got)
+	}
+	if got := cat.Affinity(a, a, 0.5, 0.5, 0.5); got != 0 {
+		t.Errorf("self affinity = %g", got)
+	}
+	// Same-category affinity bounded by base.
+	members := cat.CategoryMembers(0)
+	if len(members) >= 2 {
+		got := cat.Affinity(members[0], members[1], 0.5, 0.5, 0.5)
+		if got <= 0 || got > 0.5 {
+			t.Errorf("same-category affinity = %g", got)
+		}
+	}
+}
+
+func TestGenerateSessionsPurchaseRate(t *testing.T) {
+	cat, _ := NewCatalog(CatalogSpec{Items: 300, Seed: 2})
+	st, err := GenerateSessions(cat, SessionSpec{Sessions: 4000, PurchaseRate: 0.25, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := clickstream.CollectStats(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rate := float64(stats.PurchaseSessions) / float64(stats.Sessions)
+	if math.Abs(rate-0.25) > 0.03 {
+		t.Errorf("purchase rate = %g, want ~0.25", rate)
+	}
+	if stats.Sessions != 4000 {
+		t.Errorf("sessions = %d", stats.Sessions)
+	}
+}
+
+func TestGenerateSessionsRegimes(t *testing.T) {
+	cat, _ := NewCatalog(CatalogSpec{Items: 400, Seed: 3})
+	single, err := GenerateSessions(cat, SessionSpec{
+		Sessions: 3000, PurchaseRate: 1, Regime: RegimeSingleAlternative,
+		Contamination: 0.07, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sStats, _ := clickstream.CollectStats(single)
+	if sStats.SingleAlternativeShare < 0.90 {
+		t.Errorf("single-alternative share = %g, want >= 0.90", sStats.SingleAlternativeShare)
+	}
+	single.Reset()
+	_, rep, err := adapt.BuildGraph(single, adapt.Options{Variant: graph.Normalized, ComputeFitness: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := rep.RecommendVariant(); !ok || v != graph.Normalized {
+		t.Errorf("single-alt data recommendation = %v,%v", v, ok)
+	}
+
+	indep, err := GenerateSessions(cat, SessionSpec{
+		Sessions: 3000, PurchaseRate: 1, Regime: RegimeIndependent, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, rep, err = adapt.BuildGraph(indep, adapt.Options{Variant: graph.Independent, ComputeFitness: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.MeanPairwiseNMI >= 0.1 {
+		t.Errorf("independent regime NMI = %g, want < 0.1", rep.MeanPairwiseNMI)
+	}
+}
+
+func TestGenerateSessionsAdaptsToValidGraph(t *testing.T) {
+	cat, _ := NewCatalog(CatalogSpec{Items: 200, Seed: 11})
+	for _, variant := range []graph.Variant{graph.Independent, graph.Normalized} {
+		regime := RegimeIndependent
+		if variant == graph.Normalized {
+			regime = RegimeSingleAlternative
+		}
+		st, err := GenerateSessions(cat, SessionSpec{Sessions: 2000, PurchaseRate: 1, Regime: regime, Seed: 12})
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, _, err := adapt.BuildGraph(st, adapt.Options{Variant: variant})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := g.Validate(graph.ValidateOptions{Variant: variant, RequireSimplex: true}); err != nil {
+			t.Errorf("variant %v: adapted graph invalid: %v", variant, err)
+		}
+	}
+}
+
+func TestGenerateSessionsValidation(t *testing.T) {
+	cat, _ := NewCatalog(CatalogSpec{Items: 10, Seed: 1})
+	if _, err := GenerateSessions(cat, SessionSpec{Sessions: 0}); err == nil {
+		t.Error("zero sessions should fail")
+	}
+	if _, err := GenerateSessions(cat, SessionSpec{Sessions: 5, PurchaseRate: 2}); err == nil {
+		t.Error("rate > 1 should fail")
+	}
+}
+
+func TestGenerateGraphShape(t *testing.T) {
+	g, err := GenerateGraph(GraphSpec{Nodes: 5000, AvgOutDegree: 4, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 5000 {
+		t.Fatalf("nodes = %d", g.NumNodes())
+	}
+	avg := float64(g.NumEdges()) / 5000
+	if avg < 3 || avg > 5 {
+		t.Errorf("avg degree = %g, want ~4", avg)
+	}
+	if err := g.Validate(graph.ValidateOptions{RequireSimplex: true}); err != nil {
+		t.Errorf("generated graph invalid: %v", err)
+	}
+}
+
+func TestGenerateGraphNormalizedInvariant(t *testing.T) {
+	prop := func(seed int64) bool {
+		g, err := GenerateGraph(GraphSpec{
+			Nodes: 300, AvgOutDegree: 6, Variant: graph.Normalized, Seed: seed,
+		})
+		if err != nil {
+			return false
+		}
+		return g.Validate(graph.ValidateOptions{Variant: graph.Normalized, RequireSimplex: true}) == nil
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGenerateGraphDeterminism(t *testing.T) {
+	a, _ := GenerateGraph(GraphSpec{Nodes: 500, Seed: 33})
+	b, _ := GenerateGraph(GraphSpec{Nodes: 500, Seed: 33})
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatal("same seed, different edge counts")
+	}
+	for v := int32(0); v < 500; v++ {
+		if a.NodeWeight(v) != b.NodeWeight(v) {
+			t.Fatal("same seed, different weights")
+		}
+	}
+}
+
+func TestGenerateGraphValidation(t *testing.T) {
+	if _, err := GenerateGraph(GraphSpec{Nodes: 0}); err == nil {
+		t.Error("zero nodes should fail")
+	}
+	if _, err := GenerateGraph(GraphSpec{Nodes: 10, AvgOutDegree: -1}); err == nil {
+		t.Error("negative degree should fail")
+	}
+}
+
+func TestPresets(t *testing.T) {
+	for _, p := range Presets() {
+		catSpec, sesSpec, err := PresetSpecs(p, 0.001, 42)
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		if catSpec.Items <= 0 || sesSpec.Sessions <= 0 {
+			t.Fatalf("%s: degenerate specs %+v %+v", p, catSpec, sesSpec)
+		}
+		gs, err := PresetGraphSpec(p, 0.001, 42)
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		if gs.Nodes <= 0 {
+			t.Fatalf("%s: degenerate graph spec", p)
+		}
+	}
+	if _, _, err := PresetSpecs("NOPE", 0.5, 1); err == nil {
+		t.Error("unknown preset should fail")
+	}
+	if _, _, err := PresetSpecs(YC, 0, 1); err == nil {
+		t.Error("zero scale should fail")
+	}
+	if _, err := PresetGraphSpec("NOPE", 0.5, 1); err == nil {
+		t.Error("unknown preset should fail")
+	}
+	if _, err := PresetGraphSpec(YC, 2, 1); err == nil {
+		t.Error("scale > 1 should fail")
+	}
+}
+
+func TestPresetPMIsNormalized(t *testing.T) {
+	_, ses, err := PresetSpecs(PM, 0.001, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ses.Regime != RegimeSingleAlternative {
+		t.Error("PM should use the single-alternative regime")
+	}
+	gs, _ := PresetGraphSpec(PM, 0.001, 1)
+	if gs.Variant != graph.Normalized {
+		t.Error("PM graph spec should be Normalized")
+	}
+}
+
+func TestPresetYCPurchaseRate(t *testing.T) {
+	_, ses, err := PresetSpecs(YC, 0.01, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ses.PurchaseRate > 0.05 || ses.PurchaseRate < 0.02 {
+		t.Errorf("YC purchase rate = %g, want ~0.028", ses.PurchaseRate)
+	}
+}

@@ -1,0 +1,59 @@
+package vcover_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"prefcover/internal/graph"
+	"prefcover/internal/graphtest"
+	"prefcover/internal/greedy"
+	. "prefcover/internal/vcover"
+)
+
+// TestGreedyNPCEqualsGreedyVC verifies the paper's remark in Section 3.2:
+// running the greedy directly on the preference graph and running the
+// VC_k greedy on the Theorem 3.1 reduction "would have resulted in
+// choosing the same nodes" — both use max-gain/min-id selection and the
+// reduction preserves marginal gains exactly.
+func TestGreedyNPCEqualsGreedyVC(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := graphtest.Random(rng, 3+rng.Intn(20), 4, graph.Normalized)
+		k := 1 + rng.Intn(g.NumNodes())
+		sol, err := greedy.Solve(g, greedy.Options{Variant: graph.Normalized, K: k})
+		if err != nil {
+			return false
+		}
+		in, err := FromNPC(g)
+		if err != nil {
+			return false
+		}
+		vcSet, vcTotal, err := Greedy(in, k)
+		if err != nil {
+			return false
+		}
+		// Same objective value...
+		if math.Abs(vcTotal-sol.Cover) > 1e-9 {
+			return false
+		}
+		// ...and the same selected nodes.
+		want := map[int32]bool{}
+		for _, v := range sol.Order {
+			want[v] = true
+		}
+		if len(vcSet) != len(sol.Order) {
+			return false
+		}
+		for _, v := range vcSet {
+			if !want[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,200 @@
+// Package vcover implements the weighted Max Vertex Cover problem (VC_k,
+// paper Definition 2.8) and the two approximation-preserving reductions of
+// Theorem 3.1 between VC_k and the Normalized Preference Cover problem
+// (NPC_k). The reductions are used to test the main solver's equivalence
+// claims and to expose the theoretical machinery behind the Normalized
+// variant's approximation guarantee.
+package vcover
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"prefcover/internal/graph"
+)
+
+// Instance is an undirected multigraph with positive edge weights; self
+// edges are allowed (and are produced by the NPC_k reduction, where a self
+// edge carries the request mass no alternative can cover).
+type Instance struct {
+	N     int
+	Edges []WEdge
+}
+
+// WEdge is an undirected weighted edge; U == V encodes a self edge.
+type WEdge struct {
+	U, V int32
+	W    float64
+}
+
+// Validate checks endpoints and weights.
+func (in *Instance) Validate() error {
+	if in.N <= 0 {
+		return errors.New("vcover: empty instance")
+	}
+	for i, e := range in.Edges {
+		if e.U < 0 || int(e.U) >= in.N || e.V < 0 || int(e.V) >= in.N {
+			return fmt.Errorf("vcover: edge %d endpoints (%d,%d) out of range", i, e.U, e.V)
+		}
+		if e.W <= 0 {
+			return fmt.Errorf("vcover: edge %d has non-positive weight %g", i, e.W)
+		}
+	}
+	return nil
+}
+
+// CoverWeight returns the total weight of edges incident to the set.
+func (in *Instance) CoverWeight(set []int32) float64 {
+	inSet := make([]bool, in.N)
+	for _, v := range set {
+		inSet[v] = true
+	}
+	var total float64
+	for _, e := range in.Edges {
+		if inSet[e.U] || inSet[e.V] {
+			total += e.W
+		}
+	}
+	return total
+}
+
+// Greedy is the classical greedy algorithm for VC_k ([16], analyzed in [11]
+// to have ratio max{1-1/e, 1-(1-k/n)^2}): repeatedly select the vertex
+// covering the most yet-uncovered edge weight. Ties break toward the
+// smaller vertex id. The incremental bookkeeping keeps it O((n+m) log n)
+// using a lazy priority queue.
+func Greedy(in *Instance, k int) ([]int32, float64, error) {
+	if err := in.Validate(); err != nil {
+		return nil, 0, err
+	}
+	if k <= 0 || k > in.N {
+		return nil, 0, fmt.Errorf("vcover: k=%d outside [1,%d]", k, in.N)
+	}
+	// Adjacency: for every vertex the incident edge indices.
+	adj := make([][]int32, in.N)
+	for i, e := range in.Edges {
+		adj[e.U] = append(adj[e.U], int32(i))
+		if e.V != e.U {
+			adj[e.V] = append(adj[e.V], int32(i))
+		}
+	}
+	covered := make([]bool, len(in.Edges))
+	selected := make([]bool, in.N)
+	gain := func(v int32) float64 {
+		var g float64
+		for _, ei := range adj[v] {
+			if !covered[ei] {
+				g += in.Edges[ei].W
+			}
+		}
+		return g
+	}
+	var set []int32
+	var total float64
+	for step := 0; step < k; step++ {
+		best, bestGain := int32(-1), -1.0
+		for v := int32(0); v < int32(in.N); v++ {
+			if selected[v] {
+				continue
+			}
+			if g := gain(v); g > bestGain {
+				best, bestGain = v, g
+			}
+		}
+		if best < 0 {
+			break
+		}
+		selected[best] = true
+		for _, ei := range adj[best] {
+			covered[ei] = true
+		}
+		total += bestGain
+		set = append(set, best)
+	}
+	sort.Slice(set, func(i, j int) bool { return set[i] < set[j] })
+	return set, total, nil
+}
+
+// FromNPC reduces an NPC_k preference graph to a VC_k instance (Theorem
+// 3.1, first direction): every node whose outgoing weights sum to s < 1
+// gains a self edge of weight (1-s) (the uncoverable request mass), and
+// every edge (v,u) becomes an undirected edge of weight W(v)*W(v,u). For
+// every set S the VC_k cover weight of S equals C(S) in the original NPC_k
+// instance.
+func FromNPC(g *graph.Graph) (*Instance, error) {
+	if err := g.Validate(graph.ValidateOptions{Variant: graph.Normalized}); err != nil {
+		return nil, fmt.Errorf("vcover: input is not a valid NPC graph: %w", err)
+	}
+	in := &Instance{N: g.NumNodes()}
+	for v := int32(0); v < int32(g.NumNodes()); v++ {
+		wv := g.NodeWeight(v)
+		dsts, ws := g.OutEdges(v)
+		var outSum float64
+		for i, u := range dsts {
+			outSum += ws[i]
+			if w := wv * ws[i]; w > 0 {
+				in.Edges = append(in.Edges, WEdge{U: v, V: u, W: w})
+			}
+		}
+		if slack := 1 - outSum; slack > graph.Eps && wv > 0 {
+			in.Edges = append(in.Edges, WEdge{U: v, V: v, W: wv * slack})
+		}
+	}
+	return in, nil
+}
+
+// ToNPC reduces a VC_k instance to an NPC_k preference graph (Theorem 3.1,
+// second direction): orientations are chosen from the smaller to the larger
+// endpoint (arbitrary per the proof; self edges stay self-referential and
+// are dropped as they contribute to every solution containing the node
+// only), node weights become the normalized incident edge mass, and edge
+// weights are rescaled so each node's outgoing sum is 1.
+//
+// It returns the graph plus the normalization constant Nsum such that for
+// every set S: CoverWeight(S) == Nsum * C(S).
+func ToNPC(in *Instance) (*graph.Graph, float64, error) {
+	if err := in.Validate(); err != nil {
+		return nil, 0, err
+	}
+	// Orient edges; accumulate per-node outgoing mass M_v.
+	type oedge struct {
+		src, dst int32
+		w        float64
+	}
+	oriented := make([]oedge, 0, len(in.Edges))
+	m := make([]float64, in.N)
+	for _, e := range in.Edges {
+		src, dst := e.U, e.V
+		if src > dst {
+			src, dst = dst, src
+		}
+		oriented = append(oriented, oedge{src: src, dst: dst, w: e.W})
+		m[src] += e.W
+	}
+	var nsum float64
+	for _, x := range m {
+		nsum += x
+	}
+	if nsum <= 0 {
+		return nil, 0, errors.New("vcover: instance has no edge weight")
+	}
+	b := graph.NewBuilder(in.N, len(oriented))
+	for v := 0; v < in.N; v++ {
+		b.AddNode(m[v] / nsum) // W(v) = M_v, normalized by N so weights sum to 1
+	}
+	for _, e := range oriented {
+		if e.src == e.dst {
+			// A self edge in VC_k corresponds to request mass for the node
+			// itself with no alternative: in NPC it is simply node weight
+			// with outgoing slack, so no preference edge is emitted.
+			continue
+		}
+		b.AddEdge(e.src, e.dst, e.w/m[e.src])
+	}
+	g, err := b.Build(graph.BuildOptions{Duplicates: graph.DupSum})
+	if err != nil {
+		return nil, 0, err
+	}
+	return g, nsum, nil
+}

@@ -1,0 +1,248 @@
+package vcover_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"prefcover/internal/cover"
+	"prefcover/internal/graph"
+	"prefcover/internal/graphtest"
+	. "prefcover/internal/vcover"
+)
+
+const tol = 1e-9
+
+func TestInstanceValidate(t *testing.T) {
+	ok := &Instance{N: 2, Edges: []WEdge{{0, 1, 0.5}, {1, 1, 0.2}}}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid instance rejected: %v", err)
+	}
+	for name, in := range map[string]*Instance{
+		"empty":           {N: 0},
+		"bad endpoint":    {N: 2, Edges: []WEdge{{0, 5, 0.5}}},
+		"negative weight": {N: 2, Edges: []WEdge{{0, 1, -0.5}}},
+		"zero weight":     {N: 2, Edges: []WEdge{{0, 1, 0}}},
+	} {
+		if err := in.Validate(); err == nil {
+			t.Errorf("%s: want error", name)
+		}
+	}
+}
+
+func TestCoverWeight(t *testing.T) {
+	in := &Instance{N: 3, Edges: []WEdge{{0, 1, 1}, {1, 2, 2}, {2, 2, 4}}}
+	if w := in.CoverWeight([]int32{1}); w != 3 {
+		t.Errorf("CoverWeight({1}) = %g, want 3", w)
+	}
+	if w := in.CoverWeight([]int32{2}); w != 6 {
+		t.Errorf("CoverWeight({2}) = %g, want 6 (incl self edge)", w)
+	}
+	if w := in.CoverWeight(nil); w != 0 {
+		t.Errorf("CoverWeight({}) = %g", w)
+	}
+	if w := in.CoverWeight([]int32{0, 1, 2}); w != 7 {
+		t.Errorf("CoverWeight(all) = %g, want 7", w)
+	}
+}
+
+func TestGreedySimple(t *testing.T) {
+	// Star: center 0 touches 1,2,3 with weight 1 each; greedy k=1 must
+	// take the center.
+	in := &Instance{N: 4, Edges: []WEdge{{0, 1, 1}, {0, 2, 1}, {0, 3, 1}}}
+	set, total, err := Greedy(in, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set) != 1 || set[0] != 0 || total != 3 {
+		t.Fatalf("set=%v total=%g", set, total)
+	}
+}
+
+func TestGreedyValidation(t *testing.T) {
+	in := &Instance{N: 2, Edges: []WEdge{{0, 1, 1}}}
+	if _, _, err := Greedy(in, 0); err == nil {
+		t.Error("k=0 should fail")
+	}
+	if _, _, err := Greedy(in, 5); err == nil {
+		t.Error("k>n should fail")
+	}
+}
+
+// TestFromNPCPreservesCover is the first direction of Theorem 3.1: for any
+// set S, CoverWeight_{G'}(S) == C_{NPC}(S).
+func TestFromNPCPreservesCover(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := graphtest.Random(rng, 2+rng.Intn(25), 4, graph.Normalized)
+		in, err := FromNPC(g)
+		if err != nil {
+			return false
+		}
+		if in.Validate() != nil {
+			return false
+		}
+		for trial := 0; trial < 5; trial++ {
+			set := graphtest.RandomSet(rng, g, rng.Intn(g.NumNodes()+1))
+			want, err := cover.EvaluateSet(g, graph.Normalized, set)
+			if err != nil {
+				return false
+			}
+			if math.Abs(in.CoverWeight(set)-want) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFromNPCRejectsNonNormalized(t *testing.T) {
+	b := graph.NewBuilder(2, 2)
+	b.AddNode(0.5)
+	b.AddNode(0.5)
+	b.AddEdge(0, 1, 0.9)
+	b.AddEdge(1, 0, 0.9)
+	g, err := b.Build(graph.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Out sums are fine here (0.9 <= 1); craft a violating one instead.
+	b2 := graph.NewBuilder(3, 2)
+	b2.AddNode(0.4)
+	b2.AddNode(0.3)
+	b2.AddNode(0.3)
+	b2.AddEdge(0, 1, 0.8)
+	b2.AddEdge(0, 2, 0.8)
+	bad, err := b2.Build(graph.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FromNPC(bad); err == nil {
+		t.Error("out-sum violation should be rejected")
+	}
+	if _, err := FromNPC(g); err != nil {
+		t.Errorf("valid NPC graph rejected: %v", err)
+	}
+}
+
+// TestToNPCPreservesCover is the second direction of Theorem 3.1: for any
+// set S, CoverWeight_{G'}(S) == Nsum * C_{NPC}(S).
+func TestToNPCPreservesCover(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(20)
+		in := randomInstance(rng, n)
+		g, nsum, err := ToNPC(in)
+		if err != nil {
+			return false
+		}
+		if err := g.Validate(graph.ValidateOptions{Variant: graph.Normalized, RequireSimplex: true}); err != nil {
+			return false
+		}
+		for trial := 0; trial < 5; trial++ {
+			set := graphtest.RandomSet(rng, g, rng.Intn(n+1))
+			c, err := cover.EvaluateSet(g, graph.Normalized, set)
+			if err != nil {
+				return false
+			}
+			if math.Abs(in.CoverWeight(set)-nsum*c) > 1e-9*math.Max(1, nsum) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRoundTripReduction: reducing a VC instance to NPC and back (paper's
+// closing argument in Theorem 3.1) must preserve cover weights of all sets.
+func TestRoundTripReduction(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		in := randomInstance(rng, 2+rng.Intn(15))
+		g, nsum, err := ToNPC(in)
+		if err != nil {
+			return false
+		}
+		back, err := FromNPC(g)
+		if err != nil {
+			return false
+		}
+		for trial := 0; trial < 5; trial++ {
+			set := graphtest.RandomSet(rng, g, rng.Intn(g.NumNodes()+1))
+			a := in.CoverWeight(set)
+			b := back.CoverWeight(set) * nsum
+			if math.Abs(a-b) > 1e-9*math.Max(1, nsum) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestToNPCDegenerate(t *testing.T) {
+	if _, _, err := ToNPC(&Instance{N: 2}); err == nil {
+		t.Error("edgeless instance should fail (no weight to normalize)")
+	}
+}
+
+func randomInstance(rng *rand.Rand, n int) *Instance {
+	in := &Instance{N: n}
+	m := 1 + rng.Intn(3*n)
+	for i := 0; i < m; i++ {
+		u := int32(rng.Intn(n))
+		v := int32(rng.Intn(n)) // may equal u: self edges are legal
+		in.Edges = append(in.Edges, WEdge{U: u, V: v, W: 0.05 + rng.Float64()})
+	}
+	return in
+}
+
+// TestGreedyRatioAgainstExhaustive: greedy VC_k achieves >= (1 - 1/e) of
+// the optimum on small instances.
+func TestGreedyRatioAgainstExhaustive(t *testing.T) {
+	ratio := 1 - 1/math.E
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(5)
+		in := randomInstance(rng, n)
+		k := 1 + rng.Intn(3)
+		_, got, err := Greedy(in, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		best := exhaustiveVC(in, k)
+		if got < ratio*best-tol {
+			t.Errorf("seed %d: greedy %g < %g of optimum %g", seed, got, ratio, best)
+		}
+	}
+}
+
+func exhaustiveVC(in *Instance, k int) float64 {
+	best := 0.0
+	set := make([]int32, 0, k)
+	var rec func(start int32)
+	rec = func(start int32) {
+		if len(set) == k {
+			if w := in.CoverWeight(set); w > best {
+				best = w
+			}
+			return
+		}
+		for v := start; v < int32(in.N); v++ {
+			set = append(set, v)
+			rec(v + 1)
+			set = set[:len(set)-1]
+		}
+	}
+	rec(0)
+	return best
+}

@@ -1,0 +1,162 @@
+// Package yoochoose parses the RecSys 2015 Challenge dataset format (the
+// paper's public YC dataset, included there "to allow the reader to
+// reproduce the results") into the library's session model.
+//
+// The dataset ships as two CSV files:
+//
+//	yoochoose-clicks.dat:  SessionID,Timestamp,ItemID,Category
+//	yoochoose-buys.dat:    SessionID,Timestamp,ItemID,Price,Quantity
+//
+// Timestamps are RFC3339-like ("2014-04-07T10:51:09.277Z"); sessions are
+// contiguous by id in the click file but the parser does not rely on it.
+// Matching the paper's protocol, only sessions that end in a purchase of a
+// single item type carry purchase-intent signal; sessions with multiple
+// distinct purchased items are split into one session per purchased item
+// (paper Section 2.1: multi-item purchases are modeled as separate
+// sessions), each inheriting all of the session's clicks.
+package yoochoose
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"prefcover/internal/clickstream"
+)
+
+// Stats summarizes a parsed dataset.
+type Stats struct {
+	ClickRows     int
+	BuyRows       int
+	Sessions      int // distinct session ids seen in either file
+	BuySessions   int // sessions with at least one purchase
+	SplitSessions int // extra sessions created by multi-item purchase splits
+}
+
+// Parse reads the two CSV streams and returns the session store plus
+// statistics. Either stream may be nil (e.g. clicks-only exploration),
+// but building a preference graph requires buys.
+func Parse(clicks, buys io.Reader) (*clickstream.Store, Stats, error) {
+	var stats Stats
+	// sessionClicks preserves first-seen click order per session.
+	sessionClicks := make(map[string][]string)
+	sessionOrder := []string{}
+	seen := make(map[string]struct{})
+	note := func(id string) {
+		if _, ok := seen[id]; !ok {
+			seen[id] = struct{}{}
+			sessionOrder = append(sessionOrder, id)
+		}
+	}
+	if clicks != nil {
+		if err := scanCSV(clicks, 4, func(fields []string, line int) error {
+			id, item := fields[0], fields[2]
+			if id == "" || item == "" {
+				return fmt.Errorf("yoochoose: clicks line %d: empty session or item id", line)
+			}
+			stats.ClickRows++
+			note(id)
+			sessionClicks[id] = append(sessionClicks[id], item)
+			return nil
+		}); err != nil {
+			return nil, Stats{}, err
+		}
+	}
+	sessionBuys := make(map[string][]string)
+	if buys != nil {
+		if err := scanCSV(buys, 5, func(fields []string, line int) error {
+			id, item := fields[0], fields[2]
+			if id == "" || item == "" {
+				return fmt.Errorf("yoochoose: buys line %d: empty session or item id", line)
+			}
+			stats.BuyRows++
+			note(id)
+			if !contains(sessionBuys[id], item) {
+				sessionBuys[id] = append(sessionBuys[id], item)
+			}
+			return nil
+		}); err != nil {
+			return nil, Stats{}, err
+		}
+	}
+	stats.Sessions = len(sessionOrder)
+
+	store := clickstream.NewStore(make([]clickstream.Session, 0, len(sessionOrder)))
+	for _, id := range sessionOrder {
+		purchases := sessionBuys[id]
+		clicksForID := dedupe(sessionClicks[id])
+		if len(purchases) == 0 {
+			store.Append(clickstream.Session{ID: id, Clicks: clicksForID})
+			continue
+		}
+		stats.BuySessions++
+		// Deterministic split order for multi-item purchases.
+		sorted := append([]string(nil), purchases...)
+		sort.Strings(sorted)
+		for i, item := range sorted {
+			sid := id
+			if len(sorted) > 1 {
+				sid = fmt.Sprintf("%s#%d", id, i+1)
+				stats.SplitSessions++
+			}
+			store.Append(clickstream.Session{
+				ID:       sid,
+				Purchase: item,
+				Clicks:   clicksForID,
+			})
+		}
+		if len(sorted) > 1 {
+			stats.SplitSessions-- // n items create n-1 *extra* sessions
+		}
+	}
+	return store, stats, nil
+}
+
+// scanCSV streams simple comma-separated rows (the dataset has no quoting)
+// with at least minFields columns.
+func scanCSV(r io.Reader, minFields int, row func(fields []string, line int) error) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Split(text, ",")
+		if len(fields) < minFields {
+			return fmt.Errorf("yoochoose: line %d: %d fields, want >= %d", line, len(fields), minFields)
+		}
+		if err := row(fields, line); err != nil {
+			return err
+		}
+	}
+	return sc.Err()
+}
+
+func contains(xs []string, x string) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+func dedupe(xs []string) []string {
+	if len(xs) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(xs))
+	seen := make(map[string]struct{}, len(xs))
+	for _, x := range xs {
+		if _, dup := seen[x]; !dup {
+			seen[x] = struct{}{}
+			out = append(out, x)
+		}
+	}
+	return out
+}

@@ -1,0 +1,161 @@
+package yoochoose_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"prefcover/internal/adapt"
+	"prefcover/internal/graph"
+	. "prefcover/internal/yoochoose"
+)
+
+const sampleClicks = `1,2014-04-07T10:51:09.277Z,214536502,0
+1,2014-04-07T10:54:09.868Z,214536500,0
+1,2014-04-07T10:57:00.306Z,214536506,0
+2,2014-04-07T13:56:37.614Z,214662742,0
+2,2014-04-07T13:57:19.373Z,214662742,0
+3,2014-04-02T06:38:04.963Z,214716935,0
+`
+
+const sampleBuys = `1,2014-04-07T10:58:00.306Z,214536506,12462,1
+2,2014-04-07T13:58:37.614Z,214662742,1046,2
+`
+
+func TestParseBasic(t *testing.T) {
+	store, stats, err := Parse(strings.NewReader(sampleClicks), strings.NewReader(sampleBuys))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.ClickRows != 6 || stats.BuyRows != 2 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if stats.Sessions != 3 || stats.BuySessions != 2 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if store.Len() != 3 {
+		t.Fatalf("sessions = %d", store.Len())
+	}
+	sessions := store.Sessions()
+	// Session 1 bought 214536506 and clicked two other items.
+	if sessions[0].Purchase != "214536506" {
+		t.Errorf("session 1 purchase = %s", sessions[0].Purchase)
+	}
+	alts := sessions[0].AlternativeClicks(nil)
+	if len(alts) != 2 {
+		t.Errorf("session 1 alternatives = %v", alts)
+	}
+	// Session 2's repeated clicks on the purchased item are deduped and
+	// then dropped as self-clicks.
+	if len(sessions[1].AlternativeClicks(nil)) != 0 {
+		t.Errorf("session 2 alternatives = %v", sessions[1].AlternativeClicks(nil))
+	}
+	// Session 3 is browse-only.
+	if sessions[2].HasPurchase() {
+		t.Error("session 3 should be browse-only")
+	}
+}
+
+func TestParseMultiItemPurchaseSplits(t *testing.T) {
+	clicks := "9,t,300,0\n9,t,301,0\n9,t,302,0\n"
+	buys := "9,t,301,0,1\n9,t,302,0,1\n"
+	store, stats, err := Parse(strings.NewReader(clicks), strings.NewReader(buys))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if store.Len() != 2 {
+		t.Fatalf("sessions = %d, want 2 (split)", store.Len())
+	}
+	if stats.SplitSessions != 1 {
+		t.Errorf("split = %d, want 1 extra", stats.SplitSessions)
+	}
+	a, b := store.Sessions()[0], store.Sessions()[1]
+	if a.Purchase != "301" || b.Purchase != "302" {
+		t.Errorf("purchases = %s,%s", a.Purchase, b.Purchase)
+	}
+	if a.ID == b.ID {
+		t.Error("split sessions must have distinct ids")
+	}
+	// Both inherit the full click set.
+	if len(a.Clicks) != 3 || len(b.Clicks) != 3 {
+		t.Errorf("click inheritance: %v / %v", a.Clicks, b.Clicks)
+	}
+}
+
+func TestParseBuysOnly(t *testing.T) {
+	store, stats, err := Parse(nil, strings.NewReader(sampleBuys))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if store.Len() != 2 || stats.ClickRows != 0 {
+		t.Fatalf("store=%d stats=%+v", store.Len(), stats)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	if _, _, err := Parse(strings.NewReader("1,2\n"), nil); err == nil {
+		t.Error("short click row should fail")
+	}
+	if _, _, err := Parse(nil, strings.NewReader("1,2,3\n")); err == nil {
+		t.Error("short buy row should fail")
+	}
+	if _, _, err := Parse(strings.NewReader(",t,1,0\n"), nil); err == nil {
+		t.Error("empty session id should fail")
+	}
+	if _, _, err := Parse(nil, strings.NewReader("1,t,,0,1\n")); err == nil {
+		t.Error("empty item id should fail")
+	}
+}
+
+func TestParseSkipsBlanksAndComments(t *testing.T) {
+	in := "# header\n\n1,t,100,0\n"
+	store, stats, err := Parse(strings.NewReader(in), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.ClickRows != 1 || store.Len() != 1 {
+		t.Fatalf("stats=%+v store=%d", stats, store.Len())
+	}
+}
+
+// TestEndToEndAdaptation feeds a synthetic YooChoose-format dataset
+// through the full paper pipeline: parse -> adapt -> preference graph.
+func TestEndToEndAdaptation(t *testing.T) {
+	clicks := `1,t,A,0
+1,t,B,0
+2,t,A,0
+3,t,B,0
+3,t,A,0
+4,t,B,0
+`
+	buys := `1,t,A,0,1
+2,t,A,0,1
+3,t,B,0,1
+`
+	store, _, err := Parse(strings.NewReader(clicks), strings.NewReader(buys))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, rep, err := adapt.BuildGraph(store, adapt.Options{Variant: graph.Normalized})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.PurchaseSessions != 3 {
+		t.Fatalf("purchases = %d", rep.PurchaseSessions)
+	}
+	a, _ := g.Lookup("A")
+	b, _ := g.Lookup("B")
+	// A purchased twice (weight 2/3), B once (1/3).
+	if math.Abs(g.NodeWeight(a)-2.0/3.0) > 1e-9 {
+		t.Errorf("W(A) = %g", g.NodeWeight(a))
+	}
+	// Session 1 clicked B alongside buying A: edge A->B with weight 1/2
+	// (one of two A-purchases saw a B click).
+	if w, ok := g.EdgeWeight(a, b); !ok || math.Abs(w-0.5) > 1e-9 {
+		t.Errorf("W(A->B) = %g,%v", w, ok)
+	}
+	// Session 3 bought B and clicked A: edge B->A weight 1.
+	if w, ok := g.EdgeWeight(b, a); !ok || math.Abs(w-1.0) > 1e-9 {
+		t.Errorf("W(B->A) = %g,%v", w, ok)
+	}
+}

@@ -1,0 +1,273 @@
+package prefcover_test
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"prefcover"
+)
+
+func figure1(t testing.TB) *prefcover.Graph {
+	t.Helper()
+	b := prefcover.NewBuilder(5, 6)
+	b.AddLabeledNode("A", 0.33)
+	b.AddLabeledNode("B", 0.22)
+	b.AddLabeledNode("C", 0.22)
+	b.AddLabeledNode("D", 0.06)
+	b.AddLabeledNode("E", 0.17)
+	b.AddLabeledEdge("A", "B", 2.0/3.0)
+	b.AddLabeledEdge("A", "C", 0.3)
+	b.AddLabeledEdge("B", "C", 0.8)
+	b.AddLabeledEdge("C", "B", 1.0)
+	b.AddLabeledEdge("D", "C", 0.5)
+	b.AddLabeledEdge("E", "D", 0.9)
+	g, err := b.Build(prefcover.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestPublicSolveFigure1(t *testing.T) {
+	g := figure1(t)
+	sol, err := prefcover.Solve(g, prefcover.Options{Variant: prefcover.Independent, K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sol.Cover-0.873) > 1e-9 {
+		t.Errorf("cover = %g, want 0.873", sol.Cover)
+	}
+	if g.Label(sol.Order[0]) != "B" || g.Label(sol.Order[1]) != "D" {
+		t.Errorf("order = [%s %s], want [B D]", g.Label(sol.Order[0]), g.Label(sol.Order[1]))
+	}
+}
+
+func TestPublicMinCover(t *testing.T) {
+	g := figure1(t)
+	sol, err := prefcover.MinCover(g, prefcover.Normalized, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sol.Reached || len(sol.Order) != 2 {
+		t.Errorf("reached=%v size=%d", sol.Reached, len(sol.Order))
+	}
+}
+
+func TestPublicEvaluateLabels(t *testing.T) {
+	g := figure1(t)
+	cover, err := prefcover.EvaluateLabels(g, prefcover.Independent, []string{"A", "B"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(cover-0.77) > 1e-9 {
+		t.Errorf("C({A,B}) = %g, want 0.77", cover)
+	}
+	_, err = prefcover.EvaluateLabels(g, prefcover.Independent, []string{"A", "nope"})
+	var unknown *prefcover.UnknownItemError
+	if err == nil {
+		t.Fatal("want unknown-item error")
+	}
+	if !errorsAs(err, &unknown) || unknown.Label != "nope" {
+		t.Errorf("error = %v, want UnknownItemError{nope}", err)
+	}
+}
+
+// errorsAs avoids importing errors for one call in a test helper.
+func errorsAs(err error, target *(*prefcover.UnknownItemError)) bool {
+	u, ok := err.(*prefcover.UnknownItemError)
+	if ok {
+		*target = u
+	}
+	return ok
+}
+
+func TestPublicBaselines(t *testing.T) {
+	g := figure1(t)
+	set, cover, err := prefcover.SolveBaseline(g, prefcover.Independent, 2, prefcover.BaselineTopKW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set) != 2 || math.Abs(cover-0.77) > 1e-9 {
+		t.Errorf("TopKW = %v %g", set, cover)
+	}
+	_, _, err = prefcover.SolveBaseline(g, prefcover.Independent, 2, prefcover.BaselineTopKC)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicVariantParse(t *testing.T) {
+	v, err := prefcover.ParseVariant("normalized")
+	if err != nil || v != prefcover.Normalized {
+		t.Errorf("ParseVariant = %v, %v", v, err)
+	}
+	if _, err := prefcover.ParseVariant("x"); err == nil {
+		t.Error("want error")
+	}
+}
+
+func TestPublicStats(t *testing.T) {
+	g := figure1(t)
+	s := prefcover.ComputeStats(g)
+	if s.Nodes != 5 || s.Edges != 6 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestPublicCodecs(t *testing.T) {
+	g := figure1(t)
+	var tsv, js, bin bytes.Buffer
+	if err := prefcover.WriteGraphTSV(&tsv, g); err != nil {
+		t.Fatal(err)
+	}
+	if err := prefcover.WriteGraphJSON(&js, g); err != nil {
+		t.Fatal(err)
+	}
+	if err := prefcover.WriteGraphBinary(&bin, g); err != nil {
+		t.Fatal(err)
+	}
+	for name, read := range map[string]func() (*prefcover.Graph, error){
+		"tsv":    func() (*prefcover.Graph, error) { return prefcover.ReadGraphTSV(&tsv, prefcover.BuildOptions{}) },
+		"json":   func() (*prefcover.Graph, error) { return prefcover.ReadGraphJSON(&js, prefcover.BuildOptions{}) },
+		"binary": func() (*prefcover.Graph, error) { return prefcover.ReadGraphBinary(&bin) },
+	} {
+		back, err := read()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if back.NumNodes() != 5 || back.NumEdges() != 6 {
+			t.Errorf("%s: round trip lost data", name)
+		}
+	}
+}
+
+func TestReportRendering(t *testing.T) {
+	g := figure1(t)
+	sol, err := prefcover.Solve(g, prefcover.Options{Variant: prefcover.Independent, K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := prefcover.NewReport(g, prefcover.Independent, sol, 2)
+	if len(rep.Retained) != 2 {
+		t.Fatalf("retained = %d", len(rep.Retained))
+	}
+	if len(rep.Affected) != 2 {
+		t.Fatalf("affected = %d (maxAffected)", len(rep.Affected))
+	}
+	// A loses the most demand (0.33 * 1/3 = 0.11): must sort first.
+	if rep.Affected[0].Label != "A" {
+		t.Errorf("first affected = %s, want A", rep.Affected[0].Label)
+	}
+	var buf bytes.Buffer
+	n, err := rep.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Errorf("WriteTo count = %d, buffer = %d", n, buf.Len())
+	}
+	out := buf.String()
+	for _, want := range []string{"cover: 87.30%", "retained items", "B", "D", "most affected"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// failAfter is a writer failing after n bytes, for the error path of
+// Report.WriteTo.
+type failAfter struct {
+	n       int
+	written int
+}
+
+func (f *failAfter) Write(p []byte) (int, error) {
+	if f.written+len(p) > f.n {
+		allowed := f.n - f.written
+		if allowed < 0 {
+			allowed = 0
+		}
+		f.written += allowed
+		return allowed, bytes.ErrTooLarge
+	}
+	f.written += len(p)
+	return len(p), nil
+}
+
+func TestReportWriteToPropagatesErrors(t *testing.T) {
+	g := figure1(t)
+	sol, err := prefcover.Solve(g, prefcover.Options{Variant: prefcover.Independent, K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := prefcover.NewReport(g, prefcover.Independent, sol, 0)
+	if _, err := rep.WriteTo(&failAfter{n: 10}); err == nil {
+		t.Error("failing writer should surface an error")
+	}
+}
+
+func TestReportAllAffected(t *testing.T) {
+	g := figure1(t)
+	sol, err := prefcover.Solve(g, prefcover.Options{Variant: prefcover.Independent, K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := prefcover.NewReport(g, prefcover.Independent, sol, 0)
+	if len(rep.Affected) != 3 {
+		t.Errorf("affected = %d, want all 3", len(rep.Affected))
+	}
+}
+
+func TestPublicSimulate(t *testing.T) {
+	g := figure1(t)
+	b, _ := g.Lookup("B")
+	d, _ := g.Lookup("D")
+	est, err := prefcover.Simulate(g, prefcover.Independent, []int32{b, d}, 100_000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est.Predicted-0.873) > 1e-9 {
+		t.Errorf("predicted = %g", est.Predicted)
+	}
+	if !est.Within(4) {
+		t.Errorf("simulation disagrees: %s", est)
+	}
+}
+
+func TestPublicSparsify(t *testing.T) {
+	g := figure1(t)
+	res, err := prefcover.Sparsify(g, prefcover.SparsifyOptions{MinWeight: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EdgesAfter >= res.EdgesBefore {
+		t.Errorf("nothing pruned: %d -> %d", res.EdgesBefore, res.EdgesAfter)
+	}
+	sol, err := prefcover.Solve(res.Graph, prefcover.Options{Variant: prefcover.Independent, K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig, err := prefcover.Evaluate(g, prefcover.Independent, sol.Order)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if 0.873-orig > res.LossBound+1e-9 {
+		t.Errorf("loss %g exceeds bound %g", 0.873-orig, res.LossBound)
+	}
+}
+
+func TestPublicPerItemCoverage(t *testing.T) {
+	g := figure1(t)
+	b, _ := g.Lookup("B")
+	d, _ := g.Lookup("D")
+	cov, err := prefcover.PerItemCoverage(g, prefcover.Independent, []int32{b, d})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := g.Lookup("A")
+	if math.Abs(cov[a]-2.0/3.0) > 1e-9 {
+		t.Errorf("coverage(A) = %g", cov[a])
+	}
+}

@@ -1,0 +1,46 @@
+package quota_test
+
+import (
+	"fmt"
+	"log"
+
+	"prefcover"
+	"prefcover/quota"
+)
+
+// Example retains two items under a one-per-category import cap: the
+// unconstrained greedy would take both TVs, the quota forces one TV and
+// one phone.
+func Example() {
+	b := prefcover.NewBuilder(0, 0)
+	b.AddLabeledNode("tv/a", 0.4)
+	b.AddLabeledNode("tv/b", 0.3)
+	b.AddLabeledNode("phone/a", 0.2)
+	b.AddLabeledNode("phone/b", 0.1)
+	g, err := b.Build(prefcover.BuildOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	groups, names, err := quota.GroupsByLabelPrefix(g, '/')
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := quota.Solve(g, quota.Spec{
+		Variant:     prefcover.Independent,
+		K:           2,
+		Group:       groups,
+		MaxPerGroup: []int{1, 1},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, v := range res.Order {
+		fmt.Printf("%s (%s)\n", g.Label(v), names[groups[v]])
+		_ = i
+	}
+	fmt.Printf("cover %.1f%%\n", 100*res.Cover)
+	// Output:
+	// tv/a (tv)
+	// phone/a (phone)
+	// cover 60.0%
+}

@@ -1,0 +1,32 @@
+// Package quota is the public surface of per-group constrained curation:
+// solve the Preference Cover problem with per-category (or brand,
+// supplier, warehouse-zone) caps and floors alongside the global budget —
+// the quota constraints that import regulations and shelf-zone planning
+// impose in the paper's motivating scenarios.
+package quota
+
+import (
+	"prefcover"
+	iquota "prefcover/internal/quota"
+)
+
+// Spec configures Solve: variant, global budget K, per-item group
+// assignment, and per-group caps (MaxPerGroup, 0 = unlimited) and optional
+// floors (MinPerGroup).
+type Spec = iquota.Spec
+
+// Result is the constrained solution with per-group retention counts.
+type Result = iquota.Result
+
+// Solve runs the two-phase quota-constrained greedy (floors first, then a
+// cap-respecting global fill; 1/2-approximation under the matroid
+// intersection).
+func Solve(g *prefcover.Graph, spec Spec) (*Result, error) {
+	return iquota.Solve(g, spec)
+}
+
+// GroupsByLabelPrefix groups items by their label prefix up to the first
+// sep byte — convenient when labels encode "category/item".
+func GroupsByLabelPrefix(g *prefcover.Graph, sep byte) ([]int32, []string, error) {
+	return iquota.GroupsByLabelPrefix(g, sep)
+}

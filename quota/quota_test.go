@@ -1,0 +1,44 @@
+package quota_test
+
+import (
+	"testing"
+
+	"prefcover"
+	"prefcover/quota"
+)
+
+func TestPublicSurface(t *testing.T) {
+	b := prefcover.NewBuilder(0, 0)
+	b.AddLabeledNode("tv/a", 0.4)
+	b.AddLabeledNode("tv/b", 0.3)
+	b.AddLabeledNode("phone/a", 0.2)
+	b.AddLabeledNode("phone/b", 0.1)
+	g, err := b.Build(prefcover.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups, names, err := quota.GroupsByLabelPrefix(g, '/')
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 2 {
+		t.Fatalf("names = %v", names)
+	}
+	res, err := quota.Solve(g, quota.Spec{
+		Variant:     prefcover.Independent,
+		K:           2,
+		Group:       groups,
+		MaxPerGroup: []int{1, 1}, // one per category
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.GroupCounts[0] != 1 || res.GroupCounts[1] != 1 {
+		t.Errorf("group counts = %v, want one per category", res.GroupCounts)
+	}
+	// Unconstrained greedy would take the two TVs (0.4 + 0.3); the quota
+	// forces tv/a + phone/a (0.6).
+	if g.Label(res.Order[0]) != "tv/a" || g.Label(res.Order[1]) != "phone/a" {
+		t.Errorf("order = [%s %s]", g.Label(res.Order[0]), g.Label(res.Order[1]))
+	}
+}

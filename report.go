@@ -1,0 +1,110 @@
+package prefcover
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"text/tabwriter"
+)
+
+// Report renders a solved instance the way the paper's system (Figure 2)
+// presents it: the ordered retained list with marginal gains, the achieved
+// cover, and the per-item coverage of the most-affected non-retained items.
+type Report struct {
+	Variant  Variant
+	K        int
+	Cover    float64
+	Retained []ReportItem
+	// Affected lists non-retained items ordered by lost request mass
+	// (weight times uncovered fraction), the items a merchandiser reviews
+	// before committing to the reduction.
+	Affected []ReportItem
+}
+
+// ReportItem is one row of a Report.
+type ReportItem struct {
+	Label    string
+	Weight   float64
+	Gain     float64 // marginal gain (retained items only)
+	Coverage float64 // probability a request for the item is matched
+}
+
+// NewReport assembles a Report from a solved instance. maxAffected bounds
+// the Affected list (0 means all non-retained items).
+func NewReport(g *Graph, variant Variant, sol *Solution, maxAffected int) *Report {
+	r := &Report{
+		Variant: variant,
+		K:       len(sol.Order),
+		Cover:   sol.Cover,
+	}
+	retained := sol.Set(g.NumNodes())
+	for i, v := range sol.Order {
+		r.Retained = append(r.Retained, ReportItem{
+			Label:    g.Label(v),
+			Weight:   g.NodeWeight(v),
+			Gain:     sol.Gains[i],
+			Coverage: 1,
+		})
+	}
+	for v := int32(0); v < int32(g.NumNodes()); v++ {
+		if retained[v] {
+			continue
+		}
+		r.Affected = append(r.Affected, ReportItem{
+			Label:    g.Label(v),
+			Weight:   g.NodeWeight(v),
+			Coverage: sol.Coverage[v],
+		})
+	}
+	sort.Slice(r.Affected, func(i, j int) bool {
+		li := r.Affected[i].Weight * (1 - r.Affected[i].Coverage)
+		lj := r.Affected[j].Weight * (1 - r.Affected[j].Coverage)
+		if li != lj {
+			return li > lj
+		}
+		return r.Affected[i].Label < r.Affected[j].Label
+	})
+	if maxAffected > 0 && len(r.Affected) > maxAffected {
+		r.Affected = r.Affected[:maxAffected]
+	}
+	return r
+}
+
+// WriteTo renders the report as aligned text. It implements
+// io.WriterTo.
+func (r *Report) WriteTo(w io.Writer) (int64, error) {
+	cw := &countingWriter{w: w}
+	tw := tabwriter.NewWriter(cw, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "variant: %s\tretained: %d\tcover: %.2f%%\n", r.Variant, r.K, 100*r.Cover)
+	fmt.Fprintln(tw, "\nretained items (selection order)")
+	fmt.Fprintln(tw, "  #\titem\tweight\tmarginal gain")
+	for i, it := range r.Retained {
+		fmt.Fprintf(tw, "  %d\t%s\t%.4f\t%.4f\n", i+1, it.Label, it.Weight, it.Gain)
+	}
+	if len(r.Affected) > 0 {
+		fmt.Fprintln(tw, "\nmost affected non-retained items")
+		fmt.Fprintln(tw, "  item\tweight\tcoverage\tlost demand")
+		for _, it := range r.Affected {
+			fmt.Fprintf(tw, "  %s\t%.4f\t%.1f%%\t%.4f\n", it.Label, it.Weight, 100*it.Coverage, it.Weight*(1-it.Coverage))
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		return cw.n, err
+	}
+	return cw.n, cw.err
+}
+
+type countingWriter struct {
+	w   io.Writer
+	n   int64
+	err error
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.n += int64(n)
+	if err != nil && cw.err == nil {
+		cw.err = err
+	}
+	return n, err
+}

@@ -1,0 +1,24 @@
+package prefcover
+
+import "prefcover/internal/replay"
+
+// SimulationEstimate is the outcome of a Monte Carlo replay: the empirical
+// purchase rate with its standard error, next to the analytic prediction.
+type SimulationEstimate = replay.Estimate
+
+// Simulate replays `requests` consumer requests against the retained set
+// under the variant's exact acceptance semantics and returns the empirical
+// purchase rate alongside the analytic C(S). Use it to sanity-check a
+// proposed reduction offline, or to report a confidence interval to
+// stakeholders who distrust closed-form numbers.
+func Simulate(g *Graph, variant Variant, set []int32, requests int, seed int64) (SimulationEstimate, error) {
+	predicted, err := Evaluate(g, variant, set)
+	if err != nil {
+		return SimulationEstimate{}, err
+	}
+	return replay.RunSet(g, set, replay.Spec{
+		Variant:  variant,
+		Requests: requests,
+		Seed:     seed,
+	}, predicted)
+}

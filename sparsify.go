@@ -1,0 +1,20 @@
+package prefcover
+
+import "prefcover/internal/sparsify"
+
+// SparsifyOptions selects a graph prune: drop edges below MinWeight and/or
+// keep only the MaxOutDegree heaviest alternatives per item.
+type SparsifyOptions = sparsify.Options
+
+// SparsifyResult is the pruned graph plus an upper bound (LossBound) on
+// the cover any retained set can lose to the prune, valid for both
+// variants.
+type SparsifyResult = sparsify.Result
+
+// Sparsify prunes negligible alternative edges before solving. At
+// clickstream scale most edges carry probabilities too small to change
+// which items are retained; pruning them shrinks memory and greedy time
+// while LossBound certifies the worst-case cover impact.
+func Sparsify(g *Graph, opts SparsifyOptions) (*SparsifyResult, error) {
+	return sparsify.Prune(g, opts)
+}

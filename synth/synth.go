@@ -1,0 +1,78 @@
+// Package synth is the public synthetic-workload surface: structured item
+// catalogs, clickstream simulation under either dependency regime, direct
+// preference-graph generation, and presets shaped like the paper's Table 2
+// datasets (PE, PF, PM, YC). It exists because the paper's evaluation data
+// is private (eBay) or an external download (YooChoose); see DESIGN.md for
+// the substitution rationale.
+package synth
+
+import (
+	"prefcover"
+	"prefcover/clickstream"
+	isynth "prefcover/internal/synth"
+)
+
+// CatalogSpec configures NewCatalog (catalog size, category/brand/tier
+// structure, Zipf popularity, seed).
+type CatalogSpec = isynth.CatalogSpec
+
+// Catalog is an immutable synthetic item catalog with popularity weights.
+type Catalog = isynth.Catalog
+
+// Item is one catalog entry.
+type Item = isynth.Item
+
+// NewCatalog builds a catalog deterministically from its spec.
+func NewCatalog(spec CatalogSpec) (*Catalog, error) { return isynth.NewCatalog(spec) }
+
+// Regime selects the ground-truth dependency structure between alternative
+// clicks in simulated sessions.
+type Regime = isynth.Regime
+
+// The two regimes, corresponding to the two Preference Cover variants.
+const (
+	RegimeIndependent       = isynth.RegimeIndependent
+	RegimeSingleAlternative = isynth.RegimeSingleAlternative
+)
+
+// SessionSpec configures GenerateSessions.
+type SessionSpec = isynth.SessionSpec
+
+// GenerateSessions simulates a clickstream over the catalog.
+func GenerateSessions(cat *Catalog, spec SessionSpec) (*clickstream.Store, error) {
+	return isynth.GenerateSessions(cat, spec)
+}
+
+// GraphSpec configures GenerateGraph.
+type GraphSpec = isynth.GraphSpec
+
+// GenerateGraph produces a preference graph directly (Zipf popularity,
+// Poisson degrees, community-local edges), for workloads where simulating
+// sessions first would only add noise.
+func GenerateGraph(spec GraphSpec) (*prefcover.Graph, error) { return isynth.GenerateGraph(spec) }
+
+// Preset names one of the paper's Table 2 datasets.
+type Preset = isynth.Preset
+
+// The four datasets of Table 2.
+const (
+	PE = isynth.PE
+	PF = isynth.PF
+	PM = isynth.PM
+	YC = isynth.YC
+)
+
+// Presets lists all presets in Table 2 order.
+func Presets() []Preset { return isynth.Presets() }
+
+// PresetSpecs returns catalog and session specs matching the preset's
+// shape at the given scale in (0, 1].
+func PresetSpecs(p Preset, scale float64, seed int64) (CatalogSpec, SessionSpec, error) {
+	return isynth.PresetSpecs(p, scale, seed)
+}
+
+// PresetGraphSpec returns a direct-graph spec matching the preset at the
+// given scale.
+func PresetGraphSpec(p Preset, scale float64, seed int64) (GraphSpec, error) {
+	return isynth.PresetGraphSpec(p, scale, seed)
+}

@@ -1,0 +1,77 @@
+package synth_test
+
+import (
+	"math"
+	"testing"
+
+	"prefcover"
+	"prefcover/adapt"
+	"prefcover/synth"
+)
+
+func TestFacadeCatalogAndSessions(t *testing.T) {
+	cat, err := synth.NewCatalog(synth.CatalogSpec{Items: 200, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cat.Len() != 200 {
+		t.Fatalf("len = %d", cat.Len())
+	}
+	store, err := synth.GenerateSessions(cat, synth.SessionSpec{
+		Sessions: 500, PurchaseRate: 1, Regime: synth.RegimeIndependent, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, rep, err := adapt.BuildGraph(store, adapt.Options{Variant: prefcover.Independent})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.PurchaseSessions != 500 {
+		t.Errorf("purchases = %d", rep.PurchaseSessions)
+	}
+	var sum float64
+	for v := int32(0); v < int32(g.NumNodes()); v++ {
+		sum += g.NodeWeight(v)
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("weights sum = %g", sum)
+	}
+}
+
+func TestFacadeGenerateGraphAndPresets(t *testing.T) {
+	g, err := synth.GenerateGraph(synth.GraphSpec{Nodes: 500, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 500 {
+		t.Fatalf("nodes = %d", g.NumNodes())
+	}
+	if len(synth.Presets()) != 4 {
+		t.Error("expected 4 presets")
+	}
+	for _, p := range synth.Presets() {
+		if _, _, err := synth.PresetSpecs(p, 0.001, 1); err != nil {
+			t.Errorf("%s: %v", p, err)
+		}
+		if _, err := synth.PresetGraphSpec(p, 0.001, 1); err != nil {
+			t.Errorf("%s: %v", p, err)
+		}
+	}
+	// Presets solve end to end through the public API.
+	spec, err := synth.PresetGraphSpec(synth.YC, 0.005, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	yg, err := synth.GenerateGraph(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := prefcover.Solve(yg, prefcover.Options{Variant: prefcover.Independent, K: 10, Lazy: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sol.Order) != 10 {
+		t.Errorf("order = %d", len(sol.Order))
+	}
+}
