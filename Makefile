@@ -1,0 +1,38 @@
+GO ?= go
+FUZZTIME ?= 10s
+
+# Every fuzz target in the repo, as package:Func pairs. go test allows only
+# one -fuzz pattern per invocation, so fuzz-short loops over them.
+FUZZ_TARGETS := \
+	./internal/graph:FuzzReadTSV \
+	./internal/graph:FuzzReadBinary \
+	./internal/clickstream:FuzzTSVReader \
+	./internal/clickstream:FuzzJSONLReader \
+	./internal/clickstream:FuzzClickstreamParse \
+	./cmd/prefcover:FuzzGraphImport
+
+.PHONY: all build test test-race fuzz-short bench vet
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-race:
+	$(GO) test -race ./...
+
+fuzz-short:
+	@set -e; for t in $(FUZZ_TARGETS); do \
+		pkg=$${t%:*}; fn=$${t#*:}; \
+		echo "--- fuzz $$fn ($$pkg, $(FUZZTIME))"; \
+		$(GO) test -run=NONE -fuzz="^$$fn$$" -fuzztime=$(FUZZTIME) $$pkg; \
+	done
+
+bench:
+	$(GO) test -bench=. -benchmem -run=NONE .

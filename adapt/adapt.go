@@ -7,6 +7,8 @@
 package adapt
 
 import (
+	"context"
+
 	"prefcover"
 	"prefcover/clickstream"
 	iadapt "prefcover/internal/adapt"
@@ -53,6 +55,9 @@ type Pipeline struct {
 	Lazy    bool
 	// MinPurchases filters noise edges from rarely purchased items.
 	MinPurchases int
+	// Progress, if non-nil, receives the solver's per-iteration
+	// ProgressEvent stream (see prefcover.Options.Progress).
+	Progress func(prefcover.ProgressEvent)
 }
 
 // PipelineResult carries every artifact of a Pipeline run.
@@ -68,9 +73,18 @@ type PipelineResult struct {
 
 // Run executes the pipeline on the clickstream.
 func (p *Pipeline) Run(src clickstream.Source) (*PipelineResult, error) {
+	return p.RunContext(context.Background(), src)
+}
+
+// RunContext is Run with cancellation: both the adaptation drain and the
+// solver poll ctx, so a deadline bounds the whole Figure 2 flow. On
+// cancellation the error is ctx.Err(); no partial result is returned
+// (unlike prefcover.SolveContext, the adapt stage has no useful prefix).
+func (p *Pipeline) RunContext(ctx context.Context, src clickstream.Source) (*PipelineResult, error) {
 	opts := Options{
 		MinPurchases:   p.MinPurchases,
 		ComputeFitness: p.Variant == nil,
+		Ctx:            ctx,
 	}
 	if p.Variant != nil {
 		opts.Variant = *p.Variant
@@ -98,6 +112,7 @@ func (p *Pipeline) Run(src clickstream.Source) (*PipelineResult, error) {
 			g, rep, err = BuildGraph(src, Options{
 				Variant:      prefcover.Normalized,
 				MinPurchases: p.MinPurchases,
+				Ctx:          ctx,
 			})
 			if err != nil {
 				return nil, err
@@ -110,12 +125,13 @@ func (p *Pipeline) Run(src clickstream.Source) (*PipelineResult, error) {
 			res.Graph, res.Report = g, rep
 		}
 	}
-	res.Solution, err = prefcover.Solve(g, prefcover.Options{
+	res.Solution, err = prefcover.SolveContext(ctx, g, prefcover.Options{
 		Variant:   res.Variant,
 		K:         p.K,
 		Threshold: p.Threshold,
 		Workers:   p.Workers,
 		Lazy:      p.Lazy,
+		Progress:  p.Progress,
 	})
 	if err != nil {
 		return nil, err

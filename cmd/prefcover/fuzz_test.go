@@ -1,0 +1,100 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"prefcover"
+)
+
+// FuzzGraphImport drives the CLI's auto-detecting graph loader (readGraph)
+// with arbitrary file contents: the first byte routes to the JSON, binary
+// or TSV decoder, and whatever survives decoding must be a structurally
+// sound graph — consistent CSR edge counts, in-range endpoints, resolvable
+// labels — that round-trips through the binary codec with its shape
+// intact. Hostile input may only produce an error, never a panic and never
+// a corrupt graph.
+func FuzzGraphImport(f *testing.F) {
+	f.Add([]byte("node\ta\t0.5\nnode\tb\t0.5\nedge\ta\tb\t0.5\n"))
+	f.Add([]byte(`{"nodes":[{"label":"a","weight":1}],"edges":[]}`))
+	f.Add([]byte("PCG1\x00\x00\x00\x00"))
+	f.Add([]byte("{"))
+	f.Add([]byte(""))
+	seed := mustGenGraph(f)
+	var bin bytes.Buffer
+	if err := prefcover.WriteGraphBinary(&bin, seed); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(bin.Bytes())
+	f.Fuzz(func(t *testing.T, data []byte) {
+		path := filepath.Join(t.TempDir(), "graph.in")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		g, err := readGraph(path)
+		if err != nil {
+			return // rejection is the correct answer for corrupt input
+		}
+		checkGraphSound(t, g)
+
+		// An accepted graph must survive the canonical binary codec with
+		// its shape intact; a decoder that built inconsistent internal
+		// state tends to fail right here.
+		var buf bytes.Buffer
+		if err := prefcover.WriteGraphBinary(&buf, g); err != nil {
+			t.Fatalf("accepted graph failed to serialize: %v", err)
+		}
+		back, err := prefcover.ReadGraphBinary(&buf)
+		if err != nil {
+			t.Fatalf("round trip rejected own output: %v", err)
+		}
+		if back.NumNodes() != g.NumNodes() || back.NumEdges() != g.NumEdges() {
+			t.Fatalf("round trip changed shape: %d/%d nodes, %d/%d edges",
+				g.NumNodes(), back.NumNodes(), g.NumEdges(), back.NumEdges())
+		}
+	})
+}
+
+// checkGraphSound asserts the structural invariants every imported graph
+// must satisfy regardless of weight semantics.
+func checkGraphSound(t *testing.T, g *prefcover.Graph) {
+	t.Helper()
+	n := g.NumNodes()
+	if n <= 0 {
+		t.Fatal("accepted graph with no nodes")
+	}
+	edges := 0
+	for v := int32(0); v < int32(n); v++ {
+		dsts, ws := g.OutEdges(v)
+		if len(dsts) != len(ws) {
+			t.Fatalf("node %d: %d destinations but %d weights", v, len(dsts), len(ws))
+		}
+		for _, u := range dsts {
+			if u < 0 || u >= int32(n) {
+				t.Fatalf("edge (%d,%d) references node outside [0,%d)", v, u, n)
+			}
+		}
+		edges += len(dsts)
+	}
+	if edges != g.NumEdges() {
+		t.Fatalf("CSR holds %d edges, graph claims %d", edges, g.NumEdges())
+	}
+}
+
+// mustGenGraph builds a small valid graph for seeding the corpus.
+func mustGenGraph(f *testing.F) *prefcover.Graph {
+	f.Helper()
+	b := prefcover.NewBuilder(3, 2)
+	b.AddLabeledNode("a", 0.5)
+	b.AddLabeledNode("b", 0.3)
+	b.AddLabeledNode("c", 0.2)
+	b.AddLabeledEdge("a", "b", 0.4)
+	b.AddLabeledEdge("b", "c", 0.6)
+	g, err := b.Build(prefcover.BuildOptions{})
+	if err != nil {
+		f.Fatal(err)
+	}
+	return g
+}

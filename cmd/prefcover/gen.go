@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 
@@ -8,7 +9,7 @@ import (
 	"prefcover/synth"
 )
 
-func runGen(args []string) error {
+func runGen(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("gen", flag.ExitOnError)
 	var (
 		preset = fs.String("preset", "YC", "dataset preset: PE, PF, PM or YC")

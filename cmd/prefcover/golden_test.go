@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -59,7 +60,7 @@ func TestSolveGoldenFigure1(t *testing.T) {
 		t.Fatal(err)
 	}
 	out := captureStdout(t, func() error {
-		return runSolve([]string{"-in", graphPath, "-variant", "i", "-k", "2"})
+		return runSolve(context.Background(), []string{"-in", graphPath, "-variant", "i", "-k", "2"})
 	})
 	for _, want := range []string{
 		"cover: 87.30%",
@@ -86,7 +87,7 @@ func TestSolvePinnedFlag(t *testing.T) {
 		t.Fatal(err)
 	}
 	out := captureStdout(t, func() error {
-		return runSolve([]string{"-in", graphPath, "-variant", "i", "-k", "2", "-pin", pinPath})
+		return runSolve(context.Background(), []string{"-in", graphPath, "-variant", "i", "-k", "2", "-pin", pinPath})
 	})
 	if !strings.Contains(out, "1  E") {
 		t.Errorf("pinned E not first:\n%s", out)
@@ -95,7 +96,7 @@ func TestSolvePinnedFlag(t *testing.T) {
 	if err := os.WriteFile(pinPath, []byte("nope\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := runSolve([]string{"-in", graphPath, "-variant", "i", "-k", "2", "-pin", pinPath}); err == nil {
+	if err := runSolve(context.Background(), []string{"-in", graphPath, "-variant", "i", "-k", "2", "-pin", pinPath}); err == nil {
 		t.Error("unknown pin should fail")
 	}
 }
@@ -107,7 +108,7 @@ func TestGStatsGolden(t *testing.T) {
 		t.Fatal(err)
 	}
 	out := captureStdout(t, func() error {
-		return runGStats([]string{"-in", graphPath, "-variant", "n"})
+		return runGStats(context.Background(), []string{"-in", graphPath, "-variant", "n"})
 	})
 	for _, want := range []string{
 		"items:        5",
@@ -128,11 +129,11 @@ func TestGStatsValidationFailure(t *testing.T) {
 	if err := os.WriteFile(graphPath, []byte(bad), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := runGStats([]string{"-in", graphPath, "-variant", "n"}); err == nil {
+	if err := runGStats(context.Background(), []string{"-in", graphPath, "-variant", "n"}); err == nil {
 		t.Fatal("invalid normalized graph should fail validation")
 	}
 	// But it is a fine Independent graph.
-	if err := runGStats([]string{"-in", graphPath, "-variant", "i"}); err != nil {
+	if err := runGStats(context.Background(), []string{"-in", graphPath, "-variant", "i"}); err != nil {
 		t.Fatalf("independent validation: %v", err)
 	}
 }

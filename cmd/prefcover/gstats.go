@@ -1,13 +1,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 
 	"prefcover"
 )
 
-func runGStats(args []string) error {
+func runGStats(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("gstats", flag.ExitOnError)
 	var (
 		in      = fs.String("in", "-", "input graph (default stdin)")

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -9,7 +10,7 @@ import (
 	"prefcover/clickstream"
 )
 
-func runImport(args []string) error {
+func runImport(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("import", flag.ExitOnError)
 	var (
 		clicks = fs.String("clicks", "", "yoochoose-clicks.dat path (optional, .gz ok)")

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -15,19 +16,19 @@ func TestEndToEndPipeline(t *testing.T) {
 	graphPath := filepath.Join(dir, "graph.tsv")
 	setPath := filepath.Join(dir, "retained.txt")
 
-	if err := runGen([]string{"-preset", "YC", "-scale", "0.004", "-seed", "5", "-out", sessions}); err != nil {
+	if err := runGen(context.Background(), []string{"-preset", "YC", "-scale", "0.004", "-seed", "5", "-out", sessions}); err != nil {
 		t.Fatalf("gen: %v", err)
 	}
 	if fi, err := os.Stat(sessions); err != nil || fi.Size() == 0 {
 		t.Fatalf("gen produced nothing: %v", err)
 	}
-	if err := runStats([]string{"-in", sessions}); err != nil {
+	if err := runStats(context.Background(), []string{"-in", sessions}); err != nil {
 		t.Fatalf("stats: %v", err)
 	}
-	if err := runAdapt([]string{"-in", sessions, "-out", graphPath, "-variant", "i"}); err != nil {
+	if err := runAdapt(context.Background(), []string{"-in", sessions, "-out", graphPath, "-variant", "i"}); err != nil {
 		t.Fatalf("adapt: %v", err)
 	}
-	if err := runSolve([]string{"-in", graphPath, "-variant", "i", "-k", "20", "-set-out", setPath}); err != nil {
+	if err := runSolve(context.Background(), []string{"-in", graphPath, "-variant", "i", "-k", "20", "-set-out", setPath}); err != nil {
 		t.Fatalf("solve: %v", err)
 	}
 	data, err := os.ReadFile(setPath)
@@ -38,19 +39,19 @@ func TestEndToEndPipeline(t *testing.T) {
 	if len(labels) != 20 {
 		t.Fatalf("retained %d labels, want 20", len(labels))
 	}
-	if err := runEval([]string{"-in", graphPath, "-variant", "i", "-set", setPath}); err != nil {
+	if err := runEval(context.Background(), []string{"-in", graphPath, "-variant", "i", "-set", setPath}); err != nil {
 		t.Fatalf("eval: %v", err)
 	}
-	if err := runSimulate([]string{"-in", graphPath, "-variant", "i", "-set", setPath, "-requests", "20000"}); err != nil {
+	if err := runSimulate(context.Background(), []string{"-in", graphPath, "-variant", "i", "-set", setPath, "-requests", "20000"}); err != nil {
 		t.Fatalf("simulate: %v", err)
 	}
 }
 
 func TestSimulateValidation(t *testing.T) {
-	if err := runSimulate([]string{}); err == nil {
+	if err := runSimulate(context.Background(), []string{}); err == nil {
 		t.Error("missing -set should fail")
 	}
-	if err := runSimulate([]string{"-variant", "bogus", "-set", "x"}); err == nil {
+	if err := runSimulate(context.Background(), []string{"-variant", "bogus", "-set", "x"}); err == nil {
 		t.Error("bad variant should fail")
 	}
 }
@@ -62,13 +63,13 @@ func TestAdaptAutoVariantCLI(t *testing.T) {
 	sessions := filepath.Join(dir, "sessions.tsv")
 	graphPath := filepath.Join(dir, "graph.bin")
 	// PM preset fits the Normalized variant.
-	if err := runGen([]string{"-preset", "PM", "-scale", "0.0003", "-seed", "3", "-out", sessions}); err != nil {
+	if err := runGen(context.Background(), []string{"-preset", "PM", "-scale", "0.0003", "-seed", "3", "-out", sessions}); err != nil {
 		t.Fatalf("gen: %v", err)
 	}
-	if err := runAdapt([]string{"-in", sessions, "-out", graphPath, "-graph-format", "binary"}); err != nil {
+	if err := runAdapt(context.Background(), []string{"-in", sessions, "-out", graphPath, "-graph-format", "binary"}); err != nil {
 		t.Fatalf("adapt: %v", err)
 	}
-	if err := runSolve([]string{"-in", graphPath, "-variant", "n", "-threshold", "0.5"}); err != nil {
+	if err := runSolve(context.Background(), []string{"-in", graphPath, "-variant", "n", "-threshold", "0.5"}); err != nil {
 		t.Fatalf("solve: %v", err)
 	}
 }
@@ -86,11 +87,11 @@ func TestImportCLI(t *testing.T) {
 	if err := os.WriteFile(buys, []byte("1,t,A,0,1\n2,t,B,0,1\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := runImport([]string{"-clicks", clicks, "-buys", buys, "-format", "jsonl", "-out", sessions}); err != nil {
+	if err := runImport(context.Background(), []string{"-clicks", clicks, "-buys", buys, "-format", "jsonl", "-out", sessions}); err != nil {
 		t.Fatalf("import: %v", err)
 	}
 	graphPath := filepath.Join(dir, "graph.tsv")
-	if err := runAdapt([]string{"-in", sessions, "-out", graphPath, "-variant", "n"}); err != nil {
+	if err := runAdapt(context.Background(), []string{"-in", sessions, "-out", graphPath, "-variant", "n"}); err != nil {
 		t.Fatalf("adapt: %v", err)
 	}
 	data, err := os.ReadFile(graphPath)
@@ -103,19 +104,19 @@ func TestImportCLI(t *testing.T) {
 }
 
 func TestImportValidation(t *testing.T) {
-	if err := runImport([]string{}); err == nil {
+	if err := runImport(context.Background(), []string{}); err == nil {
 		t.Error("no inputs should fail")
 	}
-	if err := runImport([]string{"-clicks", filepath.Join(t.TempDir(), "nope")}); err == nil {
+	if err := runImport(context.Background(), []string{"-clicks", filepath.Join(t.TempDir(), "nope")}); err == nil {
 		t.Error("missing file should fail")
 	}
 }
 
 func TestGenValidation(t *testing.T) {
-	if err := runGen([]string{"-preset", "NOPE"}); err == nil {
+	if err := runGen(context.Background(), []string{"-preset", "NOPE"}); err == nil {
 		t.Error("unknown preset should fail")
 	}
-	if err := runGen([]string{"-preset", "YC", "-scale", "0.001", "-format", "bogus", "-out", filepath.Join(t.TempDir(), "x")}); err == nil {
+	if err := runGen(context.Background(), []string{"-preset", "YC", "-scale", "0.001", "-format", "bogus", "-out", filepath.Join(t.TempDir(), "x")}); err == nil {
 		t.Error("unknown format should fail")
 	}
 }
@@ -124,29 +125,29 @@ func TestSolveWithPruneAndStochastic(t *testing.T) {
 	dir := t.TempDir()
 	sessions := filepath.Join(dir, "s.tsv")
 	graphPath := filepath.Join(dir, "g.tsv")
-	if err := runGen([]string{"-preset", "YC", "-scale", "0.004", "-seed", "9", "-out", sessions}); err != nil {
+	if err := runGen(context.Background(), []string{"-preset", "YC", "-scale", "0.004", "-seed", "9", "-out", sessions}); err != nil {
 		t.Fatalf("gen: %v", err)
 	}
-	if err := runAdapt([]string{"-in", sessions, "-out", graphPath, "-variant", "i"}); err != nil {
+	if err := runAdapt(context.Background(), []string{"-in", sessions, "-out", graphPath, "-variant", "i"}); err != nil {
 		t.Fatalf("adapt: %v", err)
 	}
-	if err := runSolve([]string{"-in", graphPath, "-variant", "i", "-k", "10",
+	if err := runSolve(context.Background(), []string{"-in", graphPath, "-variant", "i", "-k", "10",
 		"-prune-min-weight", "0.05", "-stochastic", "0.2", "-seed", "3"}); err != nil {
 		t.Fatalf("solve: %v", err)
 	}
 }
 
 func TestSolveValidation(t *testing.T) {
-	if err := runSolve([]string{"-in", filepath.Join(t.TempDir(), "missing"), "-k", "1"}); err == nil {
+	if err := runSolve(context.Background(), []string{"-in", filepath.Join(t.TempDir(), "missing"), "-k", "1"}); err == nil {
 		t.Error("missing graph should fail")
 	}
-	if err := runSolve([]string{"-variant", "bogus", "-k", "1"}); err == nil {
+	if err := runSolve(context.Background(), []string{"-variant", "bogus", "-k", "1"}); err == nil {
 		t.Error("bad variant should fail")
 	}
 }
 
 func TestEvalValidation(t *testing.T) {
-	if err := runEval([]string{}); err == nil {
+	if err := runEval(context.Background(), []string{}); err == nil {
 		t.Error("missing -set should fail")
 	}
 }

@@ -20,16 +20,21 @@ package main
 
 import (
 	"compress/gzip"
+	"context"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 )
 
-// command describes one subcommand.
+// command describes one subcommand. Every subcommand receives the
+// process context, canceled on SIGINT/SIGTERM so long adapts and solves
+// stop promptly instead of needing a kill -9.
 type command struct {
 	name, summary string
-	run           func(args []string) error
+	run           func(ctx context.Context, args []string) error
 }
 
 var commands = []command{
@@ -48,10 +53,12 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	name := os.Args[1]
 	for _, c := range commands {
 		if c.name == name {
-			if err := c.run(os.Args[2:]); err != nil {
+			if err := c.run(ctx, os.Args[2:]); err != nil {
 				fmt.Fprintf(os.Stderr, "prefcover %s: %v\n", name, err)
 				os.Exit(1)
 			}

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -49,7 +50,7 @@ func readClickstream(path, format string) (*clickstream.Store, error) {
 	return clickstream.ReadAll(src)
 }
 
-func runStats(args []string) error {
+func runStats(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("stats", flag.ExitOnError)
 	var (
 		in     = fs.String("in", "-", "input clickstream (default stdin)")
@@ -76,7 +77,7 @@ func runStats(args []string) error {
 	return nil
 }
 
-func runAdapt(args []string) error {
+func runAdapt(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("adapt", flag.ExitOnError)
 	var (
 		in      = fs.String("in", "-", "input clickstream (default stdin)")
@@ -93,7 +94,7 @@ func runAdapt(args []string) error {
 	if err != nil {
 		return err
 	}
-	opts := adapt.Options{MinPurchases: *minPur, ComputeFitness: *variant == ""}
+	opts := adapt.Options{MinPurchases: *minPur, ComputeFitness: *variant == "", Ctx: ctx}
 	if *variant != "" {
 		v, err := prefcover.ParseVariant(*variant)
 		if err != nil {
@@ -112,7 +113,7 @@ func runAdapt(args []string) error {
 		if rec == prefcover.Normalized {
 			// Rebuild with fractional click counting.
 			store.Reset()
-			g, _, err = adapt.BuildGraph(store, adapt.Options{Variant: rec, MinPurchases: *minPur})
+			g, _, err = adapt.BuildGraph(store, adapt.Options{Variant: rec, MinPurchases: *minPur, Ctx: ctx})
 			if err != nil {
 				return err
 			}
@@ -168,7 +169,7 @@ func readGraph(path string) (*prefcover.Graph, error) {
 	}
 }
 
-func runSolve(args []string) error {
+func runSolve(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("solve", flag.ExitOnError)
 	var (
 		in         = fs.String("in", "-", "input graph (default stdin)")
@@ -184,6 +185,8 @@ func runSolve(args []string) error {
 		pinFile    = fs.String("pin", "", "file with must-stock labels, one per line, retained before the greedy fill")
 		affected   = fs.Int("affected", 10, "how many most-affected non-retained items to report")
 		setOut     = fs.String("set-out", "", "also write the retained labels, one per line, to this file")
+		timeout    = fs.Duration("timeout", 0, "abort the solve after this long (0 = no deadline); also canceled by SIGINT/SIGTERM")
+		progress   = fs.Int("progress", 0, "log solver progress to stderr every N selections (0 = off)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -231,8 +234,26 @@ func runSolve(args []string) error {
 		opts.StochasticEpsilon = *stochastic
 		opts.Seed = *seed
 	}
-	sol, err := prefcover.Solve(g, opts)
+	if *progress > 0 {
+		every := *progress
+		opts.Progress = func(ev prefcover.ProgressEvent) {
+			if ev.Step%every == 0 {
+				fmt.Fprintf(os.Stderr, "step %d: %s gain=%.6f cover=%.4f evals=%d (+%d, reeval %d)\n",
+					ev.Step, ev.Strategy, ev.Gain, ev.Cover, ev.TotalEvals, ev.Evaluated, ev.Reevaluated)
+			}
+		}
+	}
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	sol, err := prefcover.SolveContext(ctx, g, opts)
 	if err != nil {
+		if sol != nil && len(sol.Order) > 0 {
+			fmt.Fprintf(os.Stderr, "solve stopped after %d selections (cover %.4f): %v\n",
+				len(sol.Order), sol.Cover, err)
+		}
 		return err
 	}
 	if *threshold > 0 && !sol.Reached {
@@ -255,7 +276,7 @@ func runSolve(args []string) error {
 	return nil
 }
 
-func runEval(args []string) error {
+func runEval(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("eval", flag.ExitOnError)
 	var (
 		in      = fs.String("in", "-", "input graph (default stdin)")

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -9,7 +10,7 @@ import (
 	"prefcover"
 )
 
-func runSimulate(args []string) error {
+func runSimulate(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("simulate", flag.ExitOnError)
 	var (
 		in       = fs.String("in", "-", "input graph (default stdin)")

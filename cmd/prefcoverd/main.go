@@ -1,14 +1,25 @@
 // Command prefcoverd serves the paper's end-to-end system (Figure 2) over
 // HTTP: POST a JSONL clickstream to /v1/pipeline?k=... and receive the
 // retained inventory with coverage metadata; /v1/adapt and /v1/solve
-// expose the two stages separately.
+// expose the two stages separately. GET /metrics exposes Prometheus
+// telemetry (request latencies, solver work counters).
+//
+// The daemon is production-shaped: per-request solve deadlines
+// (-solve-timeout), bounded concurrency with load shedding
+// (-max-concurrent), and graceful shutdown — SIGINT/SIGTERM stops the
+// listener, drains in-flight requests for up to -shutdown-grace, then
+// exits.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"prefcover/internal/server"
@@ -16,27 +27,56 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8080", "listen address")
-		maxBody  = flag.Int64("max-body-mb", 64, "maximum request body size in MiB")
-		maxK     = flag.Int("max-k", 0, "maximum solvable budget (0 = unlimited)")
-		logLevel = flag.Bool("quiet", false, "suppress request logging")
+		addr          = flag.String("addr", ":8080", "listen address")
+		maxBody       = flag.Int64("max-body-mb", 64, "maximum request body size in MiB")
+		maxK          = flag.Int("max-k", 0, "maximum solvable budget (0 = unlimited)")
+		solveTimeout  = flag.Duration("solve-timeout", 0, "per-request deadline for /v1/* work; expired requests get 503 (0 = none)")
+		maxConcurrent = flag.Int("max-concurrent", 0, "maximum concurrently executing /v1/* requests; excess get 429 (0 = unlimited)")
+		shutdownGrace = flag.Duration("shutdown-grace", 30*time.Second, "how long to drain in-flight requests on SIGINT/SIGTERM")
+		quiet         = flag.Bool("quiet", false, "suppress request logging")
 	)
 	flag.Parse()
 	var logger *log.Logger
-	if !*logLevel {
+	if !*quiet {
 		logger = log.New(os.Stderr, "prefcoverd ", log.LstdFlags)
 	}
 	srv := server.New(server.Limits{
-		MaxBodyBytes: *maxBody << 20,
-		MaxSolveK:    *maxK,
+		MaxBodyBytes:  *maxBody << 20,
+		MaxSolveK:     *maxK,
+		SolveTimeout:  *solveTimeout,
+		MaxConcurrent: *maxConcurrent,
 	}, logger)
 	httpServer := &http.Server{
 		Addr:              *addr,
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- httpServer.ListenAndServe() }()
 	log.Printf("prefcoverd listening on %s", *addr)
-	if err := httpServer.ListenAndServe(); err != nil {
+
+	select {
+	case err := <-errc:
+		// Listener failed before any shutdown was requested (port in use,
+		// bad address); ErrServerClosed cannot happen on this path.
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	stop() // restore default signal handling: a second ^C kills immediately
+	log.Printf("prefcoverd shutting down, draining for up to %s", *shutdownGrace)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *shutdownGrace)
+	defer cancel()
+	if err := httpServer.Shutdown(shutdownCtx); err != nil {
+		log.Printf("prefcoverd shutdown incomplete: %v", err)
+		os.Exit(1)
+	}
+	// The ListenAndServe goroutine returns http.ErrServerClosed after a
+	// clean Shutdown; anything else is a real serve error worth surfacing.
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatal(err)
 	}
+	log.Printf("prefcoverd stopped")
 }

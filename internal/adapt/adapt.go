@@ -20,6 +20,7 @@
 package adapt
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -49,6 +50,10 @@ type Options struct {
 	// statistics (single-alternative share and average pairwise NMI).
 	// Costs an extra O(sum t^2) pass over the stored pairs.
 	ComputeFitness bool
+	// Ctx, if non-nil, allows cancellation: the clickstream drain polls it
+	// every ctxCheckSessions sessions and BuildGraph then returns ctx.Err(),
+	// so multi-gigabyte adaptations started with a deadline stop promptly.
+	Ctx context.Context
 }
 
 // Report describes the constructed graph and, when requested, the variant
@@ -125,6 +130,11 @@ func BuildGraph(src clickstream.Source, opts Options) (*graph.Graph, *Report, er
 	var scratch []string
 	singleAlt := 0
 	for {
+		if rep.Sessions%ctxCheckSessions == 0 {
+			if err := ctxErr(opts.Ctx); err != nil {
+				return nil, nil, err
+			}
+		}
 		s, err := src.Next()
 		if err != nil {
 			if err == clickstream.ErrEOF {
@@ -180,10 +190,30 @@ func BuildGraph(src clickstream.Source, opts Options) (*graph.Graph, *Report, er
 	}
 	rep.Edges = g.NumEdges()
 	if opts.ComputeFitness {
+		// The NMI pass is the other superlinear stage; re-check before it.
+		if err := ctxErr(opts.Ctx); err != nil {
+			return nil, nil, err
+		}
 		rep.MeanPairwiseNMI = meanPairwiseNMI(&c, float64(rep.PurchaseSessions))
 		rep.FitnessComputed = true
 	}
 	return g, rep, nil
+}
+
+// ctxCheckSessions is the cancellation poll stride of the drain loop.
+const ctxCheckSessions = 1024
+
+// ctxErr is a non-blocking poll of an optional context.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	default:
+		return nil
+	}
 }
 
 // buildFromCounts converts the accumulated counts to a graph. Labels are

@@ -42,6 +42,57 @@ func FuzzTSVReader(f *testing.F) {
 	})
 }
 
+// FuzzClickstreamParse is the end-to-end parser target for the JSONL
+// session reader: arbitrary input must either be rejected with an error or
+// produce a store of valid sessions that survives a JSONL round trip
+// unchanged — never a panic, never a silently corrupt session.
+func FuzzClickstreamParse(f *testing.F) {
+	f.Add(`{"id":"s1","purchase":"a","clicks":["b","c"]}` + "\n")
+	f.Add(`{"id":"s2"}` + "\n" + `{"id":"s3","clicks":["x"]}` + "\n")
+	f.Add("\n\n" + `{"id":"s4","purchase":"p"}` + "\n")
+	f.Add(`{"id":"_","purchase":"\t","clicks":[""]}` + "\n")
+	f.Add(`{"id":1e309}`)
+	f.Fuzz(func(t *testing.T, input string) {
+		store, err := ReadAll(NewJSONLReader(strings.NewReader(input)))
+		if err != nil {
+			return // rejected input is fine; panics are the bug
+		}
+		for i := range store.Sessions() {
+			if err := store.Sessions()[i].Validate(); err != nil {
+				t.Fatalf("reader accepted invalid session %d: %v", i, err)
+			}
+		}
+		var buf bytes.Buffer
+		w := NewJSONLWriter(&buf)
+		for i := range store.Sessions() {
+			if err := w.Write(&store.Sessions()[i]); err != nil {
+				t.Fatalf("accepted session %d failed to serialize: %v", i, err)
+			}
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		back, err := ReadAll(NewJSONLReader(&buf))
+		if err != nil {
+			t.Fatalf("round trip rejected own output: %v", err)
+		}
+		if back.Len() != store.Len() {
+			t.Fatalf("round trip changed session count %d -> %d", store.Len(), back.Len())
+		}
+		for i := range store.Sessions() {
+			a, b := &store.Sessions()[i], &back.Sessions()[i]
+			if a.ID != b.ID || a.Purchase != b.Purchase || len(a.Clicks) != len(b.Clicks) {
+				t.Fatalf("session %d changed in round trip: %+v -> %+v", i, a, b)
+			}
+			for j := range a.Clicks {
+				if a.Clicks[j] != b.Clicks[j] {
+					t.Fatalf("session %d click %d changed: %q -> %q", i, j, a.Clicks[j], b.Clicks[j])
+				}
+			}
+		}
+	})
+}
+
 // FuzzJSONLReader ensures the JSONL session codec never panics on hostile
 // input.
 func FuzzJSONLReader(f *testing.F) {

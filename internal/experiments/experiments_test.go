@@ -275,6 +275,9 @@ func TestRunAllSmallIsRenderable(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs every driver; skipped in -short")
 	}
+	if raceEnabled {
+		t.Skip("runs every driver; too slow under the race detector (each driver is race-tested individually)")
+	}
 	var buf bytes.Buffer
 	if err := RunAll(Config{Seed: 7}, &buf); err != nil {
 		t.Fatal(err)

@@ -1,0 +1,9 @@
+//go:build race
+
+package experiments_test
+
+// raceEnabled reports whether the race detector is compiled in; the
+// all-drivers test is skipped under it (instrumentation makes the full
+// experiment sweep an order of magnitude slower, and the drivers are each
+// covered individually above).
+const raceEnabled = true

@@ -71,8 +71,17 @@ type Options struct {
 	// OnSelect, if non-nil, is invoked after every selection with the
 	// 1-based step, the chosen node, its marginal gain, and C(S) so far.
 	OnSelect func(step int, v int32, gain, cover float64)
-	// Ctx, if non-nil, allows cancellation; Solve polls it between
-	// iterations and returns ctx.Err().
+	// Progress, if non-nil, receives a ProgressEvent after every selection
+	// (pinned items included). It supersedes OnSelect with per-iteration
+	// work counters; both hooks fire when both are set. The hook is called
+	// synchronously from the solver goroutine and must not block.
+	Progress func(ProgressEvent)
+	// Ctx, if non-nil, allows cancellation. The solver polls it once per
+	// iteration, once per worker chunk in the parallel scan, and
+	// periodically inside lazy-heap rebuilds, so long solves return
+	// promptly. On cancellation Solve returns the partial Solution built
+	// so far (a valid greedy prefix, finalized with Cover and Coverage)
+	// together with ctx.Err(); the partial solution has Reached == false.
 	Ctx context.Context
 }
 
@@ -169,6 +178,10 @@ func Solve(g *graph.Graph, opts Options) (*Solution, error) {
 		Order: make([]int32, 0, maxPicks),
 		Gains: make([]float64, 0, maxPicks),
 	}
+	ctx := opts.Ctx
+	if err := ctxErr(ctx); err != nil {
+		return finalize(sol, eng, n), err
+	}
 
 	// Must-stock items come first; pickers are constructed afterwards so
 	// their initial gain snapshots account for what pins already cover.
@@ -176,45 +189,63 @@ func Solve(g *graph.Graph, opts Options) (*Solution, error) {
 		gain := eng.Add(v)
 		sol.Order = append(sol.Order, v)
 		sol.Gains = append(sol.Gains, gain)
-		if opts.OnSelect != nil {
-			opts.OnSelect(len(sol.Order), v, gain, eng.Cover())
-		}
+		opts.notify(ProgressEvent{
+			Step: len(sol.Order), Node: v, Gain: gain, Cover: eng.Cover(),
+			Strategy: StrategyPinned, TotalEvals: sol.GainEvals,
+		})
 	}
 	reachedEarly := opts.Threshold > 0 && eng.Cover() >= opts.Threshold-graph.Eps
 
-	var pick func() (int32, float64, bool)
-	if opts.StochasticEpsilon > 0 {
+	strategy := opts.strategy()
+	var pick func() (int32, float64, bool, error)
+	var lazyHeapEvals func() int64 // nil unless lazy
+	switch strategy {
+	case StrategyStochastic:
 		sp := newStochasticPicker(eng, sol, opts.K, opts.StochasticEpsilon, opts.Seed)
 		pick = sp.pick
-	} else if opts.Lazy {
-		lz := newLazyPicker(eng, sol)
+	case StrategyLazy:
+		lz := newLazyPicker(ctx, eng, sol)
 		pick = lz.pick
-	} else if opts.Workers > 1 {
-		pp := newParallelPicker(eng, sol, opts.Workers)
+		lazyHeapEvals = func() int64 { return lz.reevals }
+	case StrategyParallel:
+		pp := newParallelPicker(ctx, eng, sol, opts.Workers)
 		defer pp.close()
 		pick = pp.pick
-	} else {
-		pick = func() (int32, float64, bool) { return scanPick(eng, sol) }
+	default:
+		pick = func() (int32, float64, bool, error) { return scanPick(ctx, eng, sol) }
 	}
 
 	for step := len(sol.Order) + 1; step <= maxPicks && !reachedEarly; step++ {
-		if opts.Ctx != nil {
-			select {
-			case <-opts.Ctx.Done():
-				return nil, opts.Ctx.Err()
-			default:
-			}
+		if err := ctxErr(ctx); err != nil {
+			return finalize(sol, eng, n), err
 		}
-		v, gain, ok := pick()
+		evalsBefore := sol.GainEvals
+		var reevalsBefore int64
+		if lazyHeapEvals != nil {
+			reevalsBefore = lazyHeapEvals()
+		}
+		v, gain, ok, err := pick()
+		if err != nil {
+			// Canceled mid-pick: the in-flight round is discarded, so the
+			// selections made so far are exactly the deterministic prefix.
+			return finalize(sol, eng, n), err
+		}
 		if !ok {
 			break // all nodes retained
 		}
 		eng.Add(v)
 		sol.Order = append(sol.Order, v)
 		sol.Gains = append(sol.Gains, gain)
-		if opts.OnSelect != nil {
-			opts.OnSelect(step, v, gain, eng.Cover())
+		ev := ProgressEvent{
+			Step: step, Node: v, Gain: gain, Cover: eng.Cover(),
+			Strategy:   strategy,
+			Evaluated:  sol.GainEvals - evalsBefore,
+			TotalEvals: sol.GainEvals,
 		}
+		if lazyHeapEvals != nil {
+			ev.Reevaluated = lazyHeapEvals() - reevalsBefore
+		}
+		opts.notify(ev)
 		if opts.Threshold > 0 && eng.Cover() >= opts.Threshold-graph.Eps {
 			reachedEarly = true
 		}
@@ -222,20 +253,62 @@ func Solve(g *graph.Graph, opts Options) (*Solution, error) {
 	if opts.Threshold <= 0 || reachedEarly {
 		sol.Reached = true
 	}
+	finalize(sol, eng, n)
+	return sol, nil
+}
+
+// notify dispatches both observation hooks for one selection.
+func (o *Options) notify(ev ProgressEvent) {
+	if o.OnSelect != nil {
+		o.OnSelect(ev.Step, ev.Node, ev.Gain, ev.Cover)
+	}
+	if o.Progress != nil {
+		o.Progress(ev)
+	}
+}
+
+// finalize fills the solution fields derivable from engine state so that
+// both complete and cancellation-truncated solutions report Cover and
+// per-item Coverage for the prefix actually selected.
+func finalize(sol *Solution, eng *cover.Engine, n int) *Solution {
 	sol.Cover = eng.Cover()
 	sol.Coverage = make([]float64, n)
 	for v := int32(0); v < int32(n); v++ {
 		sol.Coverage[v] = eng.ItemCoverage(v)
 	}
-	return sol, nil
+	return sol
 }
 
+// ctxErr is a non-blocking poll of an optional context.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	default:
+		return nil
+	}
+}
+
+// cancelCheckStride bounds how much scan work happens between context
+// polls inside a single pick: one poll per this many candidates keeps the
+// overhead unmeasurable while capping cancellation latency to the cost of
+// a few thousand gain evaluations.
+const cancelCheckStride = 2048
+
 // scanPick is the literal Algorithm 1 inner loop: evaluate every candidate.
-func scanPick(eng *cover.Engine, sol *Solution) (int32, float64, bool) {
+func scanPick(ctx context.Context, eng *cover.Engine, sol *Solution) (int32, float64, bool, error) {
 	n := int32(eng.Graph().NumNodes())
 	best := int32(-1)
 	bestGain := -1.0
 	for v := int32(0); v < n; v++ {
+		if v%cancelCheckStride == 0 {
+			if err := ctxErr(ctx); err != nil {
+				return 0, 0, false, err
+			}
+		}
 		if eng.Retained(v) {
 			continue
 		}
@@ -246,9 +319,9 @@ func scanPick(eng *cover.Engine, sol *Solution) (int32, float64, bool) {
 		}
 	}
 	if best < 0 {
-		return 0, 0, false
+		return 0, 0, false, nil
 	}
-	return best, bestGain, true
+	return best, bestGain, true, nil
 }
 
 // parallelPicker keeps a pool of workers that each scan a fixed stripe of
@@ -256,6 +329,7 @@ func scanPick(eng *cover.Engine, sol *Solution) (int32, float64, bool) {
 // stripes are static so per-round overhead is two channel operations per
 // worker.
 type parallelPicker struct {
+	ctx     context.Context
 	eng     *cover.Engine
 	sol     *Solution
 	workers int
@@ -269,9 +343,12 @@ type localBest struct {
 	v     int32
 	gain  float64
 	evals int64
+	// canceled marks a stripe abandoned because the context fired; the
+	// whole round is then discarded so the selection stays deterministic.
+	canceled bool
 }
 
-func newParallelPicker(eng *cover.Engine, sol *Solution, workers int) *parallelPicker {
+func newParallelPicker(ctx context.Context, eng *cover.Engine, sol *Solution, workers int) *parallelPicker {
 	n := eng.Graph().NumNodes()
 	if workers > n {
 		workers = n
@@ -286,6 +363,7 @@ func newParallelPicker(eng *cover.Engine, sol *Solution, workers int) *parallelP
 		}
 	}
 	pp := &parallelPicker{
+		ctx:     ctx,
 		eng:     eng,
 		sol:     sol,
 		workers: workers,
@@ -311,6 +389,10 @@ func (pp *parallelPicker) worker(lo, hi int32, start <-chan struct{}) {
 	for range start {
 		best := localBest{v: -1, gain: -1}
 		for v := lo; v < hi; v++ {
+			if (v-lo)%cancelCheckStride == 0 && ctxErr(pp.ctx) != nil {
+				best.canceled = true
+				break
+			}
 			if pp.eng.Retained(v) {
 				continue
 			}
@@ -324,14 +406,16 @@ func (pp *parallelPicker) worker(lo, hi int32, start <-chan struct{}) {
 	}
 }
 
-func (pp *parallelPicker) pick() (int32, float64, bool) {
+func (pp *parallelPicker) pick() (int32, float64, bool, error) {
 	for _, c := range pp.start {
 		c <- struct{}{}
 	}
 	overall := localBest{v: -1, gain: -1}
+	canceled := false
 	for i := 0; i < pp.workers; i++ {
 		lb := <-pp.results
 		pp.sol.GainEvals += lb.evals
+		canceled = canceled || lb.canceled
 		if lb.v < 0 {
 			continue
 		}
@@ -342,10 +426,16 @@ func (pp *parallelPicker) pick() (int32, float64, bool) {
 			overall = localBest{v: lb.v, gain: lb.gain}
 		}
 	}
-	if overall.v < 0 {
-		return 0, 0, false
+	if canceled {
+		// At least one stripe was cut short, so the merged argmax is not
+		// trustworthy; every worker has still sent its round result, so the
+		// pool is quiescent and safe to close.
+		return 0, 0, false, pp.ctx.Err()
 	}
-	return overall.v, overall.gain, true
+	if overall.v < 0 {
+		return 0, 0, false, nil
+	}
+	return overall.v, overall.gain, true, nil
 }
 
 func (pp *parallelPicker) close() {

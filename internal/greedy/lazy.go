@@ -2,6 +2,7 @@ package greedy
 
 import (
 	"container/heap"
+	"context"
 
 	"prefcover/internal/cover"
 )
@@ -19,9 +20,17 @@ import (
 // re-evaluated before acceptance, and among fresh candidates with equal
 // gain the smallest id surfaces first.
 type lazyPicker struct {
+	ctx context.Context
 	eng *cover.Engine
 	sol *Solution
 	h   lazyHeap
+	// reevals counts stale-bound recomputations, the quantity the lazy
+	// strategy exists to minimize; Solve diffs it per iteration for the
+	// Progress hook.
+	reevals int64
+	// buildErr is set when the context fired during the initial O(n) heap
+	// build; the first pick then surfaces it instead of a selection.
+	buildErr error
 }
 
 type lazyEntry struct {
@@ -30,12 +39,18 @@ type lazyEntry struct {
 	round int     // |S| at which gain was computed
 }
 
-func newLazyPicker(eng *cover.Engine, sol *Solution) *lazyPicker {
+func newLazyPicker(ctx context.Context, eng *cover.Engine, sol *Solution) *lazyPicker {
 	n := eng.Graph().NumNodes()
-	lp := &lazyPicker{eng: eng, sol: sol}
+	lp := &lazyPicker{ctx: ctx, eng: eng, sol: sol}
 	lp.h = make(lazyHeap, 0, n)
 	round := eng.Size() // nonzero when items were pinned before the fill
 	for v := int32(0); v < int32(n); v++ {
+		if v%cancelCheckStride == 0 {
+			if err := ctxErr(ctx); err != nil {
+				lp.buildErr = err
+				return lp
+			}
+		}
 		if eng.Retained(v) {
 			continue
 		}
@@ -46,21 +61,33 @@ func newLazyPicker(eng *cover.Engine, sol *Solution) *lazyPicker {
 	return lp
 }
 
-func (lp *lazyPicker) pick() (int32, float64, bool) {
+func (lp *lazyPicker) pick() (int32, float64, bool, error) {
+	if lp.buildErr != nil {
+		return 0, 0, false, lp.buildErr
+	}
 	round := lp.eng.Size()
-	for lp.h.Len() > 0 {
+	for steps := 0; lp.h.Len() > 0; steps++ {
+		if steps%cancelCheckStride == 0 {
+			if err := ctxErr(lp.ctx); err != nil {
+				// Abandon the pick: recomputed bounds already sifted into the
+				// heap stay valid (gain recomputation is idempotent), so a
+				// hypothetical resume would still select deterministically.
+				return 0, 0, false, err
+			}
+		}
 		top := lp.h[0]
 		if top.round == round {
 			heap.Pop(&lp.h)
-			return top.v, top.gain, true
+			return top.v, top.gain, true, nil
 		}
 		// Stale: recompute in place and sift.
 		lp.h[0].gain = lp.eng.Gain(top.v)
 		lp.h[0].round = round
 		lp.sol.GainEvals++
+		lp.reevals++
 		heap.Fix(&lp.h, 0)
 	}
-	return 0, 0, false
+	return 0, 0, false, nil
 }
 
 // lazyHeap is a max-heap on (gain, then smaller id).

@@ -1,0 +1,294 @@
+package greedy_test
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"prefcover/internal/graph"
+	"prefcover/internal/graphtest"
+	. "prefcover/internal/greedy"
+)
+
+// TestStrategiesAgreeOnRandomGraphs is the ordered-solution invariant of
+// paper Section 4 as a property test: on 50 randomized synthetic graphs
+// per variant, the sequential scan, the parallel scan and lazy-CELF must
+// produce the identical selection Order (ties broken toward smaller ids
+// make the argmax unique per iteration).
+func TestStrategiesAgreeOnRandomGraphs(t *testing.T) {
+	for _, variant := range []graph.Variant{graph.Independent, graph.Normalized} {
+		variant := variant
+		t.Run(variant.String(), func(t *testing.T) {
+			t.Parallel()
+			rng := rand.New(rand.NewSource(0x5eed ^ int64(variant)))
+			for trial := 0; trial < 50; trial++ {
+				n := 16 + rng.Intn(120)
+				maxDeg := 1 + rng.Intn(8)
+				g := graphtest.Random(rng, n, maxDeg, variant)
+				k := 1 + rng.Intn(n)
+				base := Options{Variant: variant, K: k}
+
+				scan, err := Solve(g, base)
+				if err != nil {
+					t.Fatalf("trial %d: scan: %v", trial, err)
+				}
+				parOpts := base
+				parOpts.Workers = 2 + rng.Intn(6)
+				par, err := Solve(g, parOpts)
+				if err != nil {
+					t.Fatalf("trial %d: parallel: %v", trial, err)
+				}
+				lazyOpts := base
+				lazyOpts.Lazy = true
+				lazy, err := Solve(g, lazyOpts)
+				if err != nil {
+					t.Fatalf("trial %d: lazy: %v", trial, err)
+				}
+
+				assertSameOrder(t, trial, "parallel", scan.Order, par.Order)
+				assertSameOrder(t, trial, "lazy", scan.Order, lazy.Order)
+				if math.Abs(scan.Cover-lazy.Cover) > 1e-9 || math.Abs(scan.Cover-par.Cover) > 1e-9 {
+					t.Fatalf("trial %d: covers diverge: scan %g parallel %g lazy %g",
+						trial, scan.Cover, par.Cover, lazy.Cover)
+				}
+				if lazy.GainEvals > scan.GainEvals {
+					t.Errorf("trial %d: lazy did more work than scan (%d > %d evals)",
+						trial, lazy.GainEvals, scan.GainEvals)
+				}
+			}
+		})
+	}
+}
+
+func assertSameOrder(t *testing.T, trial int, name string, want, got []int32) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("trial %d: %s order length %d != scan %d", trial, name, len(got), len(want))
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("trial %d: %s diverges at step %d: %d != %d", trial, name, i, got[i], want[i])
+		}
+	}
+}
+
+// TestCancellationReturnsPrefix checks the cancellation contract for every
+// deterministic strategy: canceling mid-solve yields exactly a prefix of
+// the uncancelled deterministic order, finalized (Cover/Coverage set) and
+// flagged unreached, together with ctx.Err().
+func TestCancellationReturnsPrefix(t *testing.T) {
+	for _, variant := range []graph.Variant{graph.Independent, graph.Normalized} {
+		rng := rand.New(rand.NewSource(0xabc ^ int64(variant)))
+		for trial := 0; trial < 10; trial++ {
+			n := 40 + rng.Intn(80)
+			g := graphtest.Random(rng, n, 1+rng.Intn(6), variant)
+			k := n/2 + 1
+			full, err := Solve(g, Options{Variant: variant, K: k})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(full.Order) < 4 {
+				continue
+			}
+			stopAfter := 1 + rng.Intn(len(full.Order)-2)
+			for _, tc := range []struct {
+				name string
+				mod  func(*Options)
+			}{
+				{"scan", func(o *Options) {}},
+				{"parallel", func(o *Options) { o.Workers = 4 }},
+				{"lazy", func(o *Options) { o.Lazy = true }},
+			} {
+				ctx, cancel := context.WithCancel(context.Background())
+				opts := Options{Variant: variant, K: k, Ctx: ctx}
+				tc.mod(&opts)
+				opts.OnSelect = func(step int, v int32, gain, cover float64) {
+					if step == stopAfter {
+						cancel()
+					}
+				}
+				partial, err := Solve(g, opts)
+				cancel()
+				if !errors.Is(err, context.Canceled) {
+					t.Fatalf("%s/%s trial %d: err = %v, want context.Canceled", variant, tc.name, trial, err)
+				}
+				if partial == nil {
+					t.Fatalf("%s/%s trial %d: no partial solution returned", variant, tc.name, trial)
+				}
+				if partial.Reached {
+					t.Errorf("%s/%s trial %d: canceled solution claims Reached", variant, tc.name, trial)
+				}
+				if len(partial.Order) < stopAfter || len(partial.Order) >= len(full.Order) {
+					t.Fatalf("%s/%s trial %d: partial has %d selections, canceled at %d of %d",
+						variant, tc.name, trial, len(partial.Order), stopAfter, len(full.Order))
+				}
+				for i, v := range partial.Order {
+					if v != full.Order[i] {
+						t.Fatalf("%s/%s trial %d: partial order diverges at %d: %d != %d",
+							variant, tc.name, trial, i, v, full.Order[i])
+					}
+				}
+				if len(partial.Coverage) != g.NumNodes() {
+					t.Fatalf("%s/%s trial %d: partial solution not finalized (coverage len %d)",
+						variant, tc.name, trial, len(partial.Coverage))
+				}
+				prefix := partial.PrefixCover()
+				if math.Abs(prefix[len(prefix)-1]-partial.Cover) > 1e-9 {
+					t.Errorf("%s/%s trial %d: partial Cover %g != gain prefix sum %g",
+						variant, tc.name, trial, partial.Cover, prefix[len(prefix)-1])
+				}
+			}
+		}
+	}
+}
+
+// TestExpiredDeadlineReturnsPromptly is the acceptance scenario: a solve
+// whose deadline has already passed must come back with a context error
+// essentially immediately, for every strategy, while the identical
+// uncancelled solve still returns the deterministic ordering.
+func TestExpiredDeadlineReturnsPromptly(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := graphtest.Random(rng, 4000, 6, graph.Independent)
+	want, err := Solve(g, Options{Variant: graph.Independent, K: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name string
+		mod  func(*Options)
+	}{
+		{"scan", func(o *Options) {}},
+		{"parallel", func(o *Options) { o.Workers = 4 }},
+		{"lazy", func(o *Options) { o.Lazy = true }},
+		{"stochastic", func(o *Options) { o.StochasticEpsilon = 0.1 }},
+	} {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+		<-ctx.Done() // deadline already expired when the solve starts
+		opts := Options{Variant: graph.Independent, K: 50, Ctx: ctx}
+		tc.mod(&opts)
+		start := time.Now()
+		sol, err := Solve(g, opts)
+		elapsed := time.Since(start)
+		cancel()
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("%s: err = %v, want deadline exceeded", tc.name, err)
+		}
+		if sol == nil || len(sol.Order) != 0 {
+			t.Fatalf("%s: expected an empty prefix from an expired deadline", tc.name)
+		}
+		if elapsed > 2*time.Second {
+			t.Fatalf("%s: cancellation took %s", tc.name, elapsed)
+		}
+	}
+	// The uncancelled control run is untouched by all that cancellation.
+	again, err := Solve(g, Options{Variant: graph.Independent, K: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameOrder(t, 0, "control", want.Order, again.Order)
+}
+
+// TestProgressEvents validates the instrumentation stream: steps are
+// sequential, selections match the returned Order/Gains, the per-iteration
+// work counters reconcile with GainEvals, and pinned selections are
+// labeled as such.
+func TestProgressEvents(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	g := graphtest.Random(rng, 200, 5, graph.Independent)
+	for _, tc := range []struct {
+		name     string
+		strategy string
+		mod      func(*Options)
+	}{
+		{"scan", StrategyScan, func(o *Options) {}},
+		{"parallel", StrategyParallel, func(o *Options) { o.Workers = 3 }},
+		{"lazy", StrategyLazy, func(o *Options) { o.Lazy = true }},
+	} {
+		var events []ProgressEvent
+		opts := Options{
+			Variant: graph.Independent,
+			K:       20,
+			Pinned:  []int32{7, 3},
+			Progress: func(ev ProgressEvent) {
+				events = append(events, ev)
+			},
+		}
+		tc.mod(&opts)
+		sol, err := Solve(g, opts)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if len(events) != len(sol.Order) {
+			t.Fatalf("%s: %d events for %d selections", tc.name, len(events), len(sol.Order))
+		}
+		var evaluated, reevaluated int64
+		for i, ev := range events {
+			if ev.Step != i+1 {
+				t.Fatalf("%s: event %d has step %d", tc.name, i, ev.Step)
+			}
+			if ev.Node != sol.Order[i] {
+				t.Fatalf("%s: event %d node %d != order %d", tc.name, i, ev.Node, sol.Order[i])
+			}
+			if ev.Gain != sol.Gains[i] {
+				t.Fatalf("%s: event %d gain %g != %g", tc.name, i, ev.Gain, sol.Gains[i])
+			}
+			wantStrategy := tc.strategy
+			if i < 2 {
+				wantStrategy = StrategyPinned
+			}
+			if ev.Strategy != wantStrategy {
+				t.Fatalf("%s: event %d strategy %q, want %q", tc.name, i, ev.Strategy, wantStrategy)
+			}
+			evaluated += ev.Evaluated
+			reevaluated += ev.Reevaluated
+			if ev.Reevaluated > 0 && tc.strategy != StrategyLazy {
+				t.Fatalf("%s: non-lazy event reported heap re-evaluations", tc.name)
+			}
+		}
+		if last := events[len(events)-1]; last.TotalEvals != sol.GainEvals {
+			t.Errorf("%s: final TotalEvals %d != GainEvals %d", tc.name, last.TotalEvals, sol.GainEvals)
+		}
+		if last := events[len(events)-1]; math.Abs(last.Cover-sol.Cover) > 1e-9 {
+			t.Errorf("%s: final event cover %g != solution cover %g", tc.name, last.Cover, sol.Cover)
+		}
+		switch tc.strategy {
+		case StrategyLazy:
+			// Initial heap build evaluates every non-pinned candidate once;
+			// everything after that is a counted re-evaluation.
+			build := int64(g.NumNodes() - 2)
+			if evaluated+build != sol.GainEvals {
+				t.Errorf("lazy: per-event evals %d + build %d != total %d", evaluated, build, sol.GainEvals)
+			}
+			if evaluated != reevaluated {
+				t.Errorf("lazy: evaluated %d != reevaluated %d", evaluated, reevaluated)
+			}
+		default:
+			if evaluated != sol.GainEvals {
+				t.Errorf("%s: per-event evals %d != total %d", tc.name, evaluated, sol.GainEvals)
+			}
+		}
+	}
+}
+
+// TestOnSelectAndProgressBothFire keeps the legacy hook working alongside
+// the new one.
+func TestOnSelectAndProgressBothFire(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := graphtest.Random(rng, 50, 4, graph.Independent)
+	var selects, progresses int
+	_, err := Solve(g, Options{
+		Variant:  graph.Independent,
+		K:        5,
+		OnSelect: func(step int, v int32, gain, cover float64) { selects++ },
+		Progress: func(ProgressEvent) { progresses++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if selects != 5 || progresses != 5 {
+		t.Fatalf("hooks fired %d/%d times, want 5/5", selects, progresses)
+	}
+}

@@ -1,0 +1,53 @@
+package greedy
+
+// Strategy names reported in ProgressEvent and used as metric labels by
+// the serving layer.
+const (
+	StrategyScan       = "scan"
+	StrategyParallel   = "parallel"
+	StrategyLazy       = "lazy"
+	StrategyStochastic = "stochastic"
+	// StrategyPinned marks selections forced by Options.Pinned; they are
+	// reported before the greedy fill begins.
+	StrategyPinned = "pinned"
+)
+
+// ProgressEvent describes one completed solver iteration. It is the
+// observability counterpart of the paper's Performance Analysis section:
+// Evaluated exposes the per-iteration work of the scan strategies (O(n)
+// per pick) and Reevaluated the lazy-CELF heap behavior (how many stale
+// upper bounds had to be recomputed before the true argmax surfaced —
+// usually far fewer than n).
+type ProgressEvent struct {
+	// Step is the 1-based selection index; Node, Gain and Cover mirror the
+	// OnSelect callback (Cover is C(S) after adding Node).
+	Step  int
+	Node  int32
+	Gain  float64
+	Cover float64
+	// Strategy is the Strategy* constant that produced this selection.
+	Strategy string
+	// Evaluated counts marginal-gain evaluations performed during this
+	// iteration's pick (the lazy strategy's initial O(n) heap build is
+	// accounted in TotalEvals, not in any single iteration).
+	Evaluated int64
+	// Reevaluated counts lazy-heap stale-bound recomputations during this
+	// iteration; zero for the other strategies.
+	Reevaluated int64
+	// TotalEvals is Solution.GainEvals so far, cumulative over the run.
+	TotalEvals int64
+}
+
+// strategy names the execution strategy the options select.
+func (o *Options) strategy() string {
+	switch {
+	case o.StochasticEpsilon > 0:
+		return StrategyStochastic
+	case o.Lazy:
+		return StrategyLazy
+	case o.Workers > 1:
+		return StrategyParallel
+	default:
+		return StrategyScan
+	}
+}

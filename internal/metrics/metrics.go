@@ -1,0 +1,367 @@
+// Package metrics is a dependency-free instrumentation core exposing
+// counters, gauges and histograms in the Prometheus text exposition
+// format (version 0.0.4). It implements just the subset the prefcover
+// serving layer needs — integer counters and gauges, float histograms,
+// and a fixed label set per metric family — with lock-free hot paths
+// (atomics) and a mutex only around series creation and scraping.
+//
+// The design follows the usual client-library shape: a Registry owns
+// metric families, a family (CounterVec, GaugeVec, HistogramVec) owns the
+// label schema, and With(labelValues...) returns the concrete series to
+// update. Families with no labels have exactly one series, With().
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// DefBuckets are the default histogram buckets (seconds), matching the
+// Prometheus client defaults so dashboards carry over.
+var DefBuckets = []float64{.005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10}
+
+// Registry owns a set of metric families and renders them for scraping.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]renderable
+}
+
+// renderable is one family's contribution to a scrape.
+type renderable interface {
+	render(w io.Writer) error
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]renderable)}
+}
+
+func (r *Registry) register(name string, f renderable) {
+	if name == "" || strings.ContainsAny(name, " \t\n{}\"") {
+		panic("metrics: invalid metric name " + name)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.families[name]; dup {
+		panic("metrics: duplicate metric " + name)
+	}
+	r.families[name] = f
+}
+
+// WritePrometheus renders every registered family in the text exposition
+// format, families sorted by name and series by label values, so scrapes
+// are deterministic and diffable.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fams := make([]renderable, len(names))
+	for i, name := range names {
+		fams[i] = r.families[name]
+	}
+	r.mu.Unlock()
+	for _, f := range fams {
+		if err := f.render(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Handler serves the registry at GET /metrics semantics: any method is
+// answered (Prometheus only GETs), content type is the 0.0.4 text format.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// family carries the shared naming/labeling machinery of the three vec
+// types. Series are keyed by the joined label values.
+type family struct {
+	name   string
+	help   string
+	typ    string
+	labels []string
+
+	mu     sync.Mutex
+	keys   []string // sorted series keys for deterministic rendering
+	series map[string]interface{}
+}
+
+func newFamily(name, help, typ string, labels []string) *family {
+	return &family{
+		name: name, help: help, typ: typ, labels: labels,
+		series: make(map[string]interface{}),
+	}
+}
+
+// seriesKey joins label values; 0x1f cannot appear in sane label values
+// and keeps the key unambiguous.
+func seriesKey(values []string) string { return strings.Join(values, "\x1f") }
+
+// lookup returns the series for the label values, creating it with make
+// on first use.
+func (f *family) lookup(values []string, make func() interface{}) interface{} {
+	if len(values) != len(f.labels) {
+		panic(fmt.Sprintf("metrics: %s wants %d label values, got %d", f.name, len(f.labels), len(values)))
+	}
+	key := seriesKey(values)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	s, ok := f.series[key]
+	if !ok {
+		s = make()
+		f.series[key] = s
+		f.keys = append(f.keys, key)
+		sort.Strings(f.keys)
+	}
+	return s
+}
+
+// snapshot returns the series in rendering order.
+func (f *family) snapshot() []struct {
+	key string
+	s   interface{}
+} {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]struct {
+		key string
+		s   interface{}
+	}, len(f.keys))
+	for i, key := range f.keys {
+		out[i] = struct {
+			key string
+			s   interface{}
+		}{key, f.series[key]}
+	}
+	return out
+}
+
+func (f *family) header(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, f.typ); err != nil {
+		return err
+	}
+	return nil
+}
+
+// labelString renders {k="v",...} for a series key, with an optional
+// extra label (the histogram "le") appended.
+func (f *family) labelString(key string, extra ...string) string {
+	var parts []string
+	if key != "" || len(f.labels) > 0 {
+		values := strings.Split(key, "\x1f")
+		for i, name := range f.labels {
+			v := ""
+			if i < len(values) {
+				v = values[i]
+			}
+			parts = append(parts, fmt.Sprintf("%s=%q", name, v))
+		}
+	}
+	for i := 0; i+1 < len(extra); i += 2 {
+		parts = append(parts, fmt.Sprintf("%s=%q", extra[i], extra[i+1]))
+	}
+	if len(parts) == 0 {
+		return ""
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// Counter is a monotonically increasing integer.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add increases the counter; negative deltas are ignored (counters are
+// monotone by contract).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value reads the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// CounterVec is a counter family partitioned by labels.
+type CounterVec struct{ f *family }
+
+// NewCounter registers a counter family.
+func (r *Registry) NewCounter(name, help string, labels ...string) *CounterVec {
+	cv := &CounterVec{f: newFamily(name, help, "counter", labels)}
+	r.register(name, cv)
+	return cv
+}
+
+// With returns the series for the label values, creating it on first use.
+func (cv *CounterVec) With(labelValues ...string) *Counter {
+	return cv.f.lookup(labelValues, func() interface{} { return new(Counter) }).(*Counter)
+}
+
+func (cv *CounterVec) render(w io.Writer) error {
+	if err := cv.f.header(w); err != nil {
+		return err
+	}
+	for _, e := range cv.f.snapshot() {
+		c := e.s.(*Counter)
+		if _, err := fmt.Fprintf(w, "%s%s %d\n", cv.f.name, cv.f.labelString(e.key), c.Value()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Gauge is an integer that can go up and down.
+type Gauge struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Add shifts the gauge by delta.
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Set replaces the value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Value reads the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// GaugeVec is a gauge family partitioned by labels.
+type GaugeVec struct{ f *family }
+
+// NewGauge registers a gauge family.
+func (r *Registry) NewGauge(name, help string, labels ...string) *GaugeVec {
+	gv := &GaugeVec{f: newFamily(name, help, "gauge", labels)}
+	r.register(name, gv)
+	return gv
+}
+
+// With returns the series for the label values, creating it on first use.
+func (gv *GaugeVec) With(labelValues ...string) *Gauge {
+	return gv.f.lookup(labelValues, func() interface{} { return new(Gauge) }).(*Gauge)
+}
+
+func (gv *GaugeVec) render(w io.Writer) error {
+	if err := gv.f.header(w); err != nil {
+		return err
+	}
+	for _, e := range gv.f.snapshot() {
+		g := e.s.(*Gauge)
+		if _, err := fmt.Fprintf(w, "%s%s %d\n", gv.f.name, gv.f.labelString(e.key), g.Value()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Histogram accumulates float observations into fixed buckets. Bucket
+// counts are stored non-cumulatively and cumulated at render time; the
+// sum is a CAS loop over float64 bits so Observe never takes a lock.
+type Histogram struct {
+	upper   []float64
+	counts  []atomic.Int64 // len(upper)+1; last is the +Inf overflow
+	count   atomic.Int64
+	sumBits atomic.Uint64
+}
+
+func newHistogram(upper []float64) *Histogram {
+	return &Histogram{upper: upper, counts: make([]atomic.Int64, len(upper)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.upper, v) // first bucket with upper >= v ("le" semantics)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the total of all observations.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// HistogramVec is a histogram family partitioned by labels.
+type HistogramVec struct {
+	f     *family
+	upper []float64
+}
+
+// NewHistogram registers a histogram family with the given bucket upper
+// bounds (nil means DefBuckets). Bounds must be strictly increasing.
+func (r *Registry) NewHistogram(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	for i := 1; i < len(buckets); i++ {
+		if buckets[i] <= buckets[i-1] {
+			panic("metrics: histogram buckets not strictly increasing for " + name)
+		}
+	}
+	upper := append([]float64(nil), buckets...)
+	hv := &HistogramVec{f: newFamily(name, help, "histogram", labels), upper: upper}
+	r.register(name, hv)
+	return hv
+}
+
+// With returns the series for the label values, creating it on first use.
+func (hv *HistogramVec) With(labelValues ...string) *Histogram {
+	return hv.f.lookup(labelValues, func() interface{} { return newHistogram(hv.upper) }).(*Histogram)
+}
+
+func (hv *HistogramVec) render(w io.Writer) error {
+	if err := hv.f.header(w); err != nil {
+		return err
+	}
+	for _, e := range hv.f.snapshot() {
+		h := e.s.(*Histogram)
+		cum := int64(0)
+		for i, ub := range h.upper {
+			cum += h.counts[i].Load()
+			le := formatFloat(ub)
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", hv.f.name, hv.f.labelString(e.key, "le", le), cum); err != nil {
+				return err
+			}
+		}
+		cum += h.counts[len(h.upper)].Load()
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", hv.f.name, hv.f.labelString(e.key, "le", "+Inf"), cum); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", hv.f.name, hv.f.labelString(e.key), formatFloat(h.Sum())); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_count%s %d\n", hv.f.name, hv.f.labelString(e.key), h.Count()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// formatFloat renders floats the way Prometheus expects (shortest
+// round-trip representation).
+func formatFloat(v float64) string {
+	s := fmt.Sprintf("%g", v)
+	return s
+}

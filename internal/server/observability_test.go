@@ -1,0 +1,231 @@
+package server
+
+// Internal-package tests for the observability and admission-control
+// layers: these need the unexported testHookStart hook to hold requests
+// in-flight deterministically, which the black-box server_test cannot do.
+
+import (
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+const tinyClickstream = `{"id":"s1","purchase":"silver","clicks":["gold"]}
+{"id":"s2","purchase":"silver","clicks":["spacegray"]}
+{"id":"s3","purchase":"spacegray"}
+{"id":"s4","purchase":"spacegray","clicks":["silver"]}
+{"id":"s5","purchase":"gold","clicks":["spacegray"]}
+`
+
+func doPipeline(t *testing.T, url string) (*http.Response, string) {
+	t.Helper()
+	resp, err := http.Post(url+"/v1/pipeline?k=2", "application/json",
+		strings.NewReader(tinyClickstream))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, string(body)
+}
+
+func scrapeMetrics(t *testing.T, url string) (*http.Response, string) {
+	t.Helper()
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, string(body)
+}
+
+// TestMetricsContent runs one successful pipeline request and checks the
+// scrape exposes the request counters, the latency histogram and the
+// solver work counters with the documented names.
+func TestMetricsContent(t *testing.T) {
+	srv := New(Limits{}, nil)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	if resp, body := doPipeline(t, ts.URL); resp.StatusCode != http.StatusOK {
+		t.Fatalf("pipeline status %d: %s", resp.StatusCode, body)
+	}
+	resp, text := scrapeMetrics(t, ts.URL)
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain; version=0.0.4") {
+		t.Errorf("content type %q", ct)
+	}
+	for _, want := range []string{
+		`prefcover_http_requests_total{endpoint="/v1/pipeline",code="200"} 1`,
+		`prefcover_http_request_duration_seconds_bucket{endpoint="/v1/pipeline",le="+Inf"} 1`,
+		`prefcover_http_request_duration_seconds_count{endpoint="/v1/pipeline"} 1`,
+		`prefcover_http_in_flight_requests 0`,
+		`prefcover_solver_solves_total{strategy="lazy",outcome="ok"} 1`,
+		"# TYPE prefcover_http_request_duration_seconds histogram",
+		"prefcover_solver_iterations_total{strategy=\"lazy\"}",
+		"prefcover_solver_gain_evaluations_total{strategy=\"lazy\"}",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("scrape is missing %q", want)
+		}
+	}
+	// The scrape itself must not be counted as an instrumented request.
+	if strings.Contains(text, `endpoint="/metrics"`) {
+		t.Error("/metrics counted itself")
+	}
+}
+
+// TestSolveTimeoutReturns503 sets an already-hopeless deadline and expects
+// the documented degradation: 503 with a JSON error envelope, plus a
+// rejected{reason="timeout"} tick.
+func TestSolveTimeoutReturns503(t *testing.T) {
+	srv := New(Limits{SolveTimeout: time.Nanosecond}, nil)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, body := doPipeline(t, ts.URL)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503: %s", resp.StatusCode, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("content type %q", ct)
+	}
+	var e struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal([]byte(body), &e); err != nil {
+		t.Fatalf("error body is not JSON: %v\n%s", err, body)
+	}
+	if !strings.Contains(e.Error, "deadline") {
+		t.Errorf("error %q does not mention the deadline", e.Error)
+	}
+	_, text := scrapeMetrics(t, ts.URL)
+	if !strings.Contains(text, `prefcover_http_rejected_total{endpoint="/v1/pipeline",reason="timeout"} 1`) {
+		t.Errorf("timeout rejection not counted:\n%s", text)
+	}
+	if !strings.Contains(text, `prefcover_http_requests_total{endpoint="/v1/pipeline",code="503"} 1`) {
+		t.Error("503 not counted in requests_total")
+	}
+}
+
+// TestConcurrencyLimitReturns429 holds one request in-flight via the test
+// hook and checks the next one is shed immediately with 429 instead of
+// queued.
+func TestConcurrencyLimitReturns429(t *testing.T) {
+	srv := New(Limits{MaxConcurrent: 1}, nil)
+	admitted := make(chan struct{})
+	release := make(chan struct{})
+	var hooked bool
+	srv.testHookStart = func(endpoint string) {
+		if endpoint != "/v1/pipeline" || hooked {
+			return
+		}
+		hooked = true
+		close(admitted)
+		<-release
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	first := make(chan int, 1)
+	go func() {
+		resp, _ := doPipeline(t, ts.URL)
+		first <- resp.StatusCode
+	}()
+	<-admitted
+
+	resp, body := doPipeline(t, ts.URL)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429: %s", resp.StatusCode, body)
+	}
+	var e struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal([]byte(body), &e); err != nil {
+		t.Fatalf("429 body is not JSON: %v\n%s", err, body)
+	}
+	if !strings.Contains(e.Error, "capacity") {
+		t.Errorf("429 error %q does not mention capacity", e.Error)
+	}
+
+	// Health stays exempt from the limiter while the slot is held.
+	if hresp, err := http.Get(ts.URL + "/healthz"); err != nil || hresp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz while saturated: %v %v", err, hresp)
+	} else {
+		hresp.Body.Close()
+	}
+
+	close(release)
+	if code := <-first; code != http.StatusOK {
+		t.Fatalf("held request finished with %d", code)
+	}
+	_, text := scrapeMetrics(t, ts.URL)
+	if !strings.Contains(text, `prefcover_http_rejected_total{endpoint="/v1/pipeline",reason="capacity"} 1`) {
+		t.Error("capacity rejection not counted")
+	}
+}
+
+// TestGracefulShutdownDrains verifies the handler cooperates with
+// http.Server.Shutdown: a request already executing when shutdown begins
+// runs to completion and gets its 200 before Shutdown returns.
+func TestGracefulShutdownDrains(t *testing.T) {
+	srv := New(Limits{}, nil)
+	admitted := make(chan struct{})
+	release := make(chan struct{})
+	var hooked bool
+	srv.testHookStart = func(endpoint string) {
+		if endpoint != "/v1/pipeline" || hooked {
+			return
+		}
+		hooked = true
+		close(admitted)
+		<-release
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- hs.Serve(ln) }()
+	url := "http://" + ln.Addr().String()
+
+	reqDone := make(chan int, 1)
+	go func() {
+		resp, _ := doPipeline(t, url)
+		reqDone <- resp.StatusCode
+	}()
+	<-admitted
+
+	shutdownDone := make(chan error, 1)
+	go func() { shutdownDone <- hs.Shutdown(t.Context()) }()
+
+	// With the request still blocked in the handler, Shutdown must wait.
+	select {
+	case err := <-shutdownDone:
+		t.Fatalf("Shutdown returned %v with a request in flight", err)
+	case <-time.After(100 * time.Millisecond):
+	}
+
+	close(release)
+	if code := <-reqDone; code != http.StatusOK {
+		t.Fatalf("drained request finished with %d", code)
+	}
+	if err := <-shutdownDone; err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if err := <-serveDone; err != http.ErrServerClosed {
+		t.Fatalf("Serve returned %v", err)
+	}
+}

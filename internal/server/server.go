@@ -7,6 +7,7 @@
 // Endpoints:
 //
 //	GET  /healthz                         liveness probe
+//	GET  /metrics                         Prometheus text exposition
 //	POST /v1/adapt?variant=auto|i|n       body: JSONL clickstream
 //	                                      -> {graph, report, variant}
 //	POST /v1/solve?variant=i|n&k=K        body: graph JSON
@@ -14,33 +15,61 @@
 //	                                      -> {order, cover, coverage, gains}
 //	POST /v1/pipeline?k=K[...]            body: JSONL clickstream
 //	                                      -> adapt + recommend + solve
+//
+// Observability and robustness: every endpoint is instrumented (request
+// counts by status, latency histograms, an in-flight gauge, solver work
+// counters — see newServerMetrics for the full name list), the /v1/*
+// endpoints respect Limits.SolveTimeout (503 on expiry) and
+// Limits.MaxConcurrent (immediate 429 when saturated), and the handler
+// cooperates with http.Server.Shutdown: in-flight requests run to
+// completion because nothing here detaches from the request goroutine.
 package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"log"
 	"net/http"
 	"strconv"
+	"time"
 
 	"prefcover"
 	"prefcover/adapt"
 	"prefcover/clickstream"
+	"prefcover/internal/metrics"
 )
 
-// Limits protects the service from oversized requests.
+// Limits protects the service from oversized or runaway requests.
 type Limits struct {
 	// MaxBodyBytes caps request bodies (default 64 MiB).
 	MaxBodyBytes int64
 	// MaxSolveK caps the solvable budget (default: unlimited).
 	MaxSolveK int
+	// SolveTimeout bounds each /v1/* request end to end — clickstream
+	// parse, adaptation and solve all poll the deadline. On expiry the
+	// request fails with 503 and a JSON error body. 0 disables.
+	SolveTimeout time.Duration
+	// MaxConcurrent caps concurrently executing /v1/* requests; excess
+	// requests are rejected immediately with 429 rather than queued, so
+	// overload sheds load instead of building an invisible backlog.
+	// /healthz and /metrics are exempt. 0 disables.
+	MaxConcurrent int
 }
 
 // Server is the HTTP handler set.
 type Server struct {
 	limits Limits
 	logger *log.Logger
+	met    *serverMetrics
+	// sem is the concurrency limiter; nil when MaxConcurrent == 0.
+	sem chan struct{}
+	// testHookStart, when set (tests only), runs inside the instrumented
+	// handler after limiter admission, letting tests hold a request
+	// in-flight deterministically.
+	testHookStart func(endpoint string)
 }
 
 // New returns a Server with the given limits; a nil logger discards logs.
@@ -48,18 +77,159 @@ func New(limits Limits, logger *log.Logger) *Server {
 	if limits.MaxBodyBytes <= 0 {
 		limits.MaxBodyBytes = 64 << 20
 	}
-	return &Server{limits: limits, logger: logger}
+	s := &Server{limits: limits, logger: logger, met: newServerMetrics()}
+	if limits.MaxConcurrent > 0 {
+		s.sem = make(chan struct{}, limits.MaxConcurrent)
+	}
+	return s
 }
 
-// Handler returns the routed http.Handler.
+// serverMetrics is the instrument set, one per Server so tests and
+// multi-tenant embeddings do not share state.
+type serverMetrics struct {
+	registry *metrics.Registry
+	requests *metrics.CounterVec   // prefcover_http_requests_total{endpoint,code}
+	latency  *metrics.HistogramVec // prefcover_http_request_duration_seconds{endpoint}
+	inFlight *metrics.GaugeVec     // prefcover_http_in_flight_requests
+	rejected *metrics.CounterVec   // prefcover_http_rejected_total{endpoint,reason}
+
+	solverIterations *metrics.CounterVec // prefcover_solver_iterations_total{strategy}
+	solverEvals      *metrics.CounterVec // prefcover_solver_gain_evaluations_total{strategy}
+	solverReevals    *metrics.CounterVec // prefcover_solver_heap_reevaluations_total{strategy}
+	solves           *metrics.CounterVec // prefcover_solver_solves_total{strategy,outcome}
+}
+
+func newServerMetrics() *serverMetrics {
+	r := metrics.NewRegistry()
+	return &serverMetrics{
+		registry: r,
+		requests: r.NewCounter("prefcover_http_requests_total",
+			"HTTP requests served, by endpoint and status code.", "endpoint", "code"),
+		latency: r.NewHistogram("prefcover_http_request_duration_seconds",
+			"End-to-end request latency.", nil, "endpoint"),
+		inFlight: r.NewGauge("prefcover_http_in_flight_requests",
+			"Requests currently executing."),
+		rejected: r.NewCounter("prefcover_http_rejected_total",
+			"Requests rejected before execution, by reason.", "endpoint", "reason"),
+		solverIterations: r.NewCounter("prefcover_solver_iterations_total",
+			"Greedy selections performed, by strategy.", "strategy"),
+		solverEvals: r.NewCounter("prefcover_solver_gain_evaluations_total",
+			"Marginal-gain evaluations performed, by strategy.", "strategy"),
+		solverReevals: r.NewCounter("prefcover_solver_heap_reevaluations_total",
+			"Lazy-heap stale-bound recomputations, by strategy.", "strategy"),
+		solves: r.NewCounter("prefcover_solver_solves_total",
+			"Solver runs, by strategy and outcome (ok/canceled/error).", "strategy", "outcome"),
+	}
+}
+
+// Handler returns the routed, instrumented http.Handler.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/healthz", s.handleHealth)
-	mux.HandleFunc("/v1/adapt", s.handleAdapt)
-	mux.HandleFunc("/v1/solve", s.handleSolve)
-	mux.HandleFunc("/v1/pipeline", s.handlePipeline)
-	mux.HandleFunc("/v1/stats", s.handleStats)
+	mux.HandleFunc("/healthz", s.instrument("/healthz", false, s.handleHealth))
+	mux.Handle("/metrics", s.met.registry.Handler())
+	mux.HandleFunc("/v1/adapt", s.instrument("/v1/adapt", true, s.handleAdapt))
+	mux.HandleFunc("/v1/solve", s.instrument("/v1/solve", true, s.handleSolve))
+	mux.HandleFunc("/v1/pipeline", s.instrument("/v1/pipeline", true, s.handlePipeline))
+	mux.HandleFunc("/v1/stats", s.instrument("/v1/stats", true, s.handleStats))
 	return mux
+}
+
+// statusRecorder captures the response code for the request counter.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (sr *statusRecorder) WriteHeader(code int) {
+	sr.code = code
+	sr.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps an endpoint with the observability and (for limited
+// endpoints) admission-control layers.
+func (s *Server) instrument(endpoint string, limited bool, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		sr := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		start := time.Now()
+		defer func() {
+			s.met.latency.With(endpoint).Observe(time.Since(start).Seconds())
+			s.met.requests.With(endpoint, strconv.Itoa(sr.code)).Inc()
+		}()
+		if limited && s.sem != nil {
+			select {
+			case s.sem <- struct{}{}:
+				defer func() { <-s.sem }()
+			default:
+				s.met.rejected.With(endpoint, "capacity").Inc()
+				s.writeError(sr, http.StatusTooManyRequests,
+					fmt.Errorf("server at capacity (%d concurrent requests)", s.limits.MaxConcurrent))
+				return
+			}
+		}
+		s.met.inFlight.With().Inc()
+		defer s.met.inFlight.With().Dec()
+		if s.testHookStart != nil {
+			s.testHookStart(endpoint)
+		}
+		h(sr, r)
+	}
+}
+
+// requestCtx derives the per-request work context: the client connection
+// context (so disconnects cancel the solve) bounded by SolveTimeout.
+func (s *Server) requestCtx(r *http.Request) (context.Context, context.CancelFunc) {
+	if s.limits.SolveTimeout > 0 {
+		return context.WithTimeout(r.Context(), s.limits.SolveTimeout)
+	}
+	return r.Context(), func() {}
+}
+
+// writeWorkError maps a pipeline/solve failure to a status: deadline and
+// cancellation become 503 (the request was valid, the server gave up),
+// everything else stays a client error.
+func (s *Server) writeWorkError(w http.ResponseWriter, endpoint string, err error) {
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		s.met.rejected.With(endpoint, "timeout").Inc()
+		s.writeError(w, http.StatusServiceUnavailable, fmt.Errorf("request aborted: %w", err))
+		return
+	}
+	s.writeError(w, http.StatusBadRequest, err)
+}
+
+// solve runs the solver with metrics and cancellation attached.
+func (s *Server) solve(ctx context.Context, g *prefcover.Graph, opts prefcover.Options) (*prefcover.Solution, error) {
+	strategy := solveStrategy(opts)
+	var reevals int64
+	opts.Progress = func(ev prefcover.ProgressEvent) { reevals += ev.Reevaluated }
+	sol, err := prefcover.SolveContext(ctx, g, opts)
+	if sol != nil {
+		s.met.solverIterations.With(strategy).Add(int64(len(sol.Order)))
+		s.met.solverEvals.With(strategy).Add(sol.GainEvals)
+		s.met.solverReevals.With(strategy).Add(reevals)
+	}
+	outcome := "ok"
+	switch {
+	case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
+		outcome = "canceled"
+	case err != nil:
+		outcome = "error"
+	}
+	s.met.solves.With(strategy, outcome).Inc()
+	return sol, err
+}
+
+// solveStrategy mirrors the solver's strategy selection for metric labels.
+func solveStrategy(opts prefcover.Options) string {
+	switch {
+	case opts.StochasticEpsilon > 0:
+		return prefcover.StrategyStochastic
+	case opts.Lazy:
+		return prefcover.StrategyLazy
+	case opts.Workers > 1:
+		return prefcover.StrategyParallel
+	default:
+		return prefcover.StrategyScan
+	}
 }
 
 func (s *Server) logf(format string, args ...interface{}) {
@@ -119,16 +289,16 @@ func (s *Server) readSessions(r *http.Request) (*clickstream.Store, error) {
 }
 
 // adaptStore runs the adaptation with optional variant auto-selection.
-func adaptStore(store *clickstream.Store, variantParam string) (*prefcover.Graph, *adapt.Report, prefcover.Variant, bool, error) {
+func adaptStore(ctx context.Context, store *clickstream.Store, variantParam string) (*prefcover.Graph, *adapt.Report, prefcover.Variant, bool, error) {
 	if variantParam == "" || variantParam == "auto" {
-		g, rep, err := adapt.BuildGraph(store, adapt.Options{ComputeFitness: true})
+		g, rep, err := adapt.BuildGraph(store, adapt.Options{ComputeFitness: true, Ctx: ctx})
 		if err != nil {
 			return nil, nil, 0, false, err
 		}
 		variant, confident := rep.RecommendVariant()
 		if variant == prefcover.Normalized {
 			store.Reset()
-			g2, rep2, err := adapt.BuildGraph(store, adapt.Options{Variant: variant})
+			g2, rep2, err := adapt.BuildGraph(store, adapt.Options{Variant: variant, Ctx: ctx})
 			if err != nil {
 				return nil, nil, 0, false, err
 			}
@@ -143,7 +313,7 @@ func adaptStore(store *clickstream.Store, variantParam string) (*prefcover.Graph
 	if err != nil {
 		return nil, nil, 0, false, err
 	}
-	g, rep, err := adapt.BuildGraph(store, adapt.Options{Variant: variant})
+	g, rep, err := adapt.BuildGraph(store, adapt.Options{Variant: variant, Ctx: ctx})
 	return g, rep, variant, true, err
 }
 
@@ -156,9 +326,11 @@ func (s *Server) handleAdapt(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	g, rep, variant, confident, err := adaptStore(store, r.URL.Query().Get("variant"))
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
+	g, rep, variant, confident, err := adaptStore(ctx, store, r.URL.Query().Get("variant"))
 	if err != nil {
-		s.writeError(w, http.StatusBadRequest, err)
+		s.writeWorkError(w, "/v1/adapt", err)
 		return
 	}
 	var buf bytes.Buffer
@@ -276,9 +448,11 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	sol, err := prefcover.Solve(g, opts)
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
+	sol, err := s.solve(ctx, g, opts)
 	if err != nil {
-		s.writeError(w, http.StatusBadRequest, err)
+		s.writeWorkError(w, "/v1/solve", err)
 		return
 	}
 	writeJSON(w, solutionPayload(g, variant, sol))
@@ -318,15 +492,17 @@ func (s *Server) handlePipeline(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	g, rep, variant, confident, err := adaptStore(store, r.URL.Query().Get("variant"))
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
+	g, rep, variant, confident, err := adaptStore(ctx, store, r.URL.Query().Get("variant"))
 	if err != nil {
-		s.writeError(w, http.StatusBadRequest, err)
+		s.writeWorkError(w, "/v1/pipeline", err)
 		return
 	}
 	opts.Variant = variant
-	sol, err := prefcover.Solve(g, opts)
+	sol, err := s.solve(ctx, g, opts)
 	if err != nil {
-		s.writeError(w, http.StatusBadRequest, err)
+		s.writeWorkError(w, "/v1/pipeline", err)
 		return
 	}
 	var buf bytes.Buffer

@@ -46,6 +46,7 @@
 package prefcover
 
 import (
+	"context"
 	"io"
 
 	"prefcover/internal/baseline"
@@ -114,8 +115,35 @@ type Options = greedy.Options
 // marginal gains, the total cover, and per-item coverage.
 type Solution = greedy.Solution
 
+// ProgressEvent describes one completed solver iteration: the selected
+// node, its marginal gain, C(S) so far, and the per-iteration work
+// counters (candidates evaluated; lazy-heap re-evaluations). Subscribe
+// via Options.Progress.
+type ProgressEvent = greedy.ProgressEvent
+
+// Strategy names reported in ProgressEvent.Strategy.
+const (
+	StrategyScan       = greedy.StrategyScan
+	StrategyParallel   = greedy.StrategyParallel
+	StrategyLazy       = greedy.StrategyLazy
+	StrategyStochastic = greedy.StrategyStochastic
+	StrategyPinned     = greedy.StrategyPinned
+)
+
 // Solve runs the greedy Preference Cover algorithm (paper Algorithm 1).
 func Solve(g *Graph, opts Options) (*Solution, error) { return greedy.Solve(g, opts) }
+
+// SolveContext is Solve with cancellation: the solver polls ctx once per
+// iteration (and per worker chunk in the parallel scan) and, when it
+// fires, returns the partial Solution selected so far — a valid greedy
+// prefix with Reached == false — together with ctx.Err(). Because the
+// greedy order is incremental (Section 3.2), that prefix is itself the
+// optimal-within-guarantee solution for its own size, so deadline-bounded
+// serving can use it as a degraded answer.
+func SolveContext(ctx context.Context, g *Graph, opts Options) (*Solution, error) {
+	opts.Ctx = ctx
+	return greedy.Solve(g, opts)
+}
 
 // MinCover solves the complementary minimization problem: the smallest
 // retained set whose cover reaches threshold. It is shorthand for Solve
