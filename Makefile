@@ -11,7 +11,7 @@ FUZZ_TARGETS := \
 	./internal/clickstream:FuzzClickstreamParse \
 	./cmd/prefcover:FuzzGraphImport
 
-.PHONY: all build test test-race fuzz-short bench vet
+.PHONY: all build test test-race fuzz-short bench bench-json vet fmt-check ci
 
 all: build test
 
@@ -36,3 +36,20 @@ fuzz-short:
 
 bench:
 	$(GO) test -bench=. -benchmem -run=NONE .
+
+# bench-json snapshots the curated solver kernels into BENCH_solver.json
+# (ns/op, allocs/op, git SHA) — the perf trajectory future PRs diff against.
+bench-json:
+	$(GO) run ./cmd/benchjson -out BENCH_solver.json
+
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# ci is the pre-merge gate: static checks, full build and tests, plus a
+# smoke run of the benchmark harness (tiny benchtime; result discarded).
+ci: vet fmt-check build test
+	$(GO) run ./cmd/benchjson -quiet -benchtime 1x \
+		-bench '^(BenchmarkGainKernels|BenchmarkFig4aGreedySmall|BenchmarkPublicSolve)$$' \
+		-out $(or $(TMPDIR),/tmp)/prefcover-bench-smoke.json
+	@echo "ci: all gates passed"

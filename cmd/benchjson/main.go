@@ -1,0 +1,133 @@
+// Command benchjson seeds the repository's performance trajectory: it
+// runs the curated solver benchmarks from bench_test.go via `go test
+// -bench`, parses the output, and writes a machine-readable snapshot
+// (BENCH_solver.json by default) stamped with the git revision and Go
+// toolchain — so any future hot-path change can be judged against the
+// recorded ns/op and allocs/op instead of folklore. Driven by
+// `make bench-json`; `make ci` runs a reduced smoke invocation.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"runtime"
+	"runtime/debug"
+	"strings"
+	"time"
+)
+
+// defaultBench curates the kernels worth tracking over time: the
+// per-variant gain kernels (the innermost loop of everything), the
+// lazy-vs-scan and incremental-vs-scratch ablations (Section 5.4's cost
+// accounting), the small greedy end-to-end, the minimization drivers and
+// the public facade.
+const defaultBench = "^(BenchmarkGainKernels|BenchmarkAblationLazyVsScan|BenchmarkAblationIncremental|BenchmarkFig4aGreedySmall|BenchmarkPublicSolve|BenchmarkFig4fMinCover)$"
+
+// File is the BENCH_*.json document.
+type File struct {
+	SchemaVersion int    `json:"schemaVersion"`
+	Generated     string `json:"generated"` // RFC 3339
+	GitSHA        string `json:"gitSHA"`
+	GoVersion     string `json:"goVersion"`
+	GOOS          string `json:"goos"`
+	GOARCH        string `json:"goarch"`
+	CPUs          int    `json:"cpus"`
+	Bench         string `json:"bench"`     // -bench pattern used
+	Benchtime     string `json:"benchtime"` // -benchtime used
+	Package       string `json:"package"`
+
+	Benchmarks []Entry `json:"benchmarks"`
+}
+
+func main() {
+	var (
+		out       = flag.String("out", "BENCH_solver.json", "output JSON file")
+		bench     = flag.String("bench", defaultBench, "benchmark pattern passed to go test -bench")
+		benchtime = flag.String("benchtime", "20x", "value passed to go test -benchtime")
+		pkg       = flag.String("pkg", ".", "package holding the benchmarks")
+		count     = flag.Int("count", 1, "value passed to go test -count")
+		quiet     = flag.Bool("quiet", false, "suppress the go test output relay on stderr")
+	)
+	flag.Parse()
+	if err := run(*out, *bench, *benchtime, *pkg, *count, *quiet); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(out, bench, benchtime, pkg string, count int, quiet bool) error {
+	args := []string{"test", "-run=NONE", "-bench=" + bench, "-benchmem",
+		fmt.Sprintf("-benchtime=%s", benchtime), fmt.Sprintf("-count=%d", count), pkg}
+	cmd := exec.Command("go", args...)
+	var buf bytes.Buffer
+	if quiet {
+		cmd.Stdout = &buf
+	} else {
+		// Relay live so long runs show progress, while keeping a copy to
+		// parse.
+		cmd.Stdout = io.MultiWriter(&buf, os.Stderr)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		return fmt.Errorf("go %s: %w", strings.Join(args, " "), err)
+	}
+	entries, err := parseBench(&buf)
+	if err != nil {
+		return err
+	}
+	if len(entries) == 0 {
+		return fmt.Errorf("no benchmark results matched %q", bench)
+	}
+	doc := File{
+		SchemaVersion: 1,
+		Generated:     time.Now().UTC().Format(time.RFC3339),
+		GitSHA:        gitSHA(),
+		GoVersion:     runtime.Version(),
+		GOOS:          runtime.GOOS,
+		GOARCH:        runtime.GOARCH,
+		CPUs:          runtime.NumCPU(),
+		Bench:         bench,
+		Benchtime:     benchtime,
+		Package:       pkg,
+		Benchmarks:    entries,
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: %d benchmarks -> %s (git %s)\n", len(entries), out, doc.GitSHA)
+	return nil
+}
+
+// gitSHA identifies the benchmarked revision: `git rev-parse` when run in
+// a checkout (the normal `make bench-json` path), the linker's VCS stamp
+// as fallback, "unknown" when neither exists.
+func gitSHA() string {
+	if out, err := exec.Command("git", "rev-parse", "HEAD").Output(); err == nil {
+		if sha := strings.TrimSpace(string(out)); sha != "" {
+			return sha
+		}
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" {
+				return s.Value
+			}
+		}
+	}
+	return "unknown"
+}

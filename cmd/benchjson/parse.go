@@ -1,0 +1,77 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Entry is one parsed benchmark result line.
+type Entry struct {
+	// Name is the benchmark name with the -N GOMAXPROCS suffix stripped
+	// (e.g. "BenchmarkGainKernels/independent").
+	Name string `json:"name"`
+	// Iterations is the b.N the reported averages were taken over.
+	Iterations int64 `json:"iterations"`
+	// NsPerOp is the reported ns/op (fractional for sub-ns kernels).
+	NsPerOp float64 `json:"nsPerOp"`
+	// BytesPerOp and AllocsPerOp come from -benchmem; -1 when absent.
+	BytesPerOp  int64 `json:"bytesPerOp"`
+	AllocsPerOp int64 `json:"allocsPerOp"`
+}
+
+// parseBench extracts benchmark result lines from `go test -bench` output.
+// The format is one line per benchmark:
+//
+//	BenchmarkName-8   1000   1234 ns/op   56 B/op   7 allocs/op
+//
+// Unrelated lines (goos/pkg headers, PASS, ok) are skipped. Parsing stops
+// with an error only on a malformed Benchmark line, never on foreign
+// output, so the parser survives -v noise.
+func parseBench(r io.Reader) ([]Entry, error) {
+	var out []Entry
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// Shortest valid line: name, iterations, value, "ns/op".
+		if len(fields) < 4 || fields[3] != "ns/op" {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad iteration count in %q: %w", line, err)
+		}
+		ns, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad ns/op in %q: %w", line, err)
+		}
+		e := Entry{Name: name, Iterations: iters, NsPerOp: ns, BytesPerOp: -1, AllocsPerOp: -1}
+		for i := 4; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseInt(fields[i], 10, 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "B/op":
+				e.BytesPerOp = v
+			case "allocs/op":
+				e.AllocsPerOp = v
+			}
+		}
+		out = append(out, e)
+	}
+	return out, sc.Err()
+}

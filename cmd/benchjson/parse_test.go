@@ -1,0 +1,69 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleBenchOutput = `goos: linux
+goarch: amd64
+pkg: prefcover
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkFig4aGreedySmall    	      50	      1655 ns/op	     520 B/op	       7 allocs/op
+BenchmarkGainKernels/independent               	      50	        34.34 ns/op	       0 B/op	       0 allocs/op
+BenchmarkAblationLazyVsScan/scan               	      50	 208774460 ns/op	  354480 B/op	       7 allocs/op
+BenchmarkPublicSolve-8                         	      50	       380.4 ns/op	     304 B/op	       7 allocs/op
+BenchmarkNoMem-16	 1000000	     123 ns/op
+PASS
+ok  	prefcover	11.506s
+`
+
+func TestParseBench(t *testing.T) {
+	entries, err := parseBench(strings.NewReader(sampleBenchOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 5 {
+		t.Fatalf("parsed %d entries, want 5: %+v", len(entries), entries)
+	}
+	want := []struct {
+		name   string
+		iters  int64
+		ns     float64
+		bytes  int64
+		allocs int64
+	}{
+		{"BenchmarkFig4aGreedySmall", 50, 1655, 520, 7},
+		{"BenchmarkGainKernels/independent", 50, 34.34, 0, 0},
+		{"BenchmarkAblationLazyVsScan/scan", 50, 208774460, 354480, 7},
+		{"BenchmarkPublicSolve", 50, 380.4, 304, 7},
+		{"BenchmarkNoMem", 1000000, 123, -1, -1},
+	}
+	for i, w := range want {
+		e := entries[i]
+		if e.Name != w.name || e.Iterations != w.iters || e.NsPerOp != w.ns ||
+			e.BytesPerOp != w.bytes || e.AllocsPerOp != w.allocs {
+			t.Errorf("entry %d = %+v, want %+v", i, e, w)
+		}
+	}
+}
+
+func TestParseBenchEmpty(t *testing.T) {
+	entries, err := parseBench(strings.NewReader("PASS\nok prefcover 0.1s\n"))
+	if err != nil || len(entries) != 0 {
+		t.Fatalf("entries=%v err=%v, want none", entries, err)
+	}
+}
+
+// TestParseBenchSubNameWithDash makes sure only a trailing -GOMAXPROCS
+// suffix is stripped, not dashes inside sub-benchmark names.
+func TestParseBenchSubNameWithDash(t *testing.T) {
+	entries, err := parseBench(strings.NewReader(
+		"BenchmarkX/topkw-binsearch-8 \t 10\t 5.0 ns/op\n"))
+	if err != nil || len(entries) != 1 {
+		t.Fatalf("entries=%v err=%v", entries, err)
+	}
+	if entries[0].Name != "BenchmarkX/topkw-binsearch" {
+		t.Errorf("name = %q", entries[0].Name)
+	}
+}

@@ -27,6 +27,8 @@ import (
 	"os/signal"
 	"strings"
 	"syscall"
+
+	"prefcover/internal/version"
 )
 
 // command describes one subcommand. Every subcommand receives the
@@ -46,6 +48,12 @@ var commands = []command{
 	{"solve", "select the retained inventory from a graph", runSolve},
 	{"eval", "score an explicit retained set", runEval},
 	{"simulate", "Monte Carlo-validate a retained set against the graph", runSimulate},
+	{"version", "print the build identity (module version, VCS revision, Go)", runVersion},
+}
+
+func runVersion(ctx context.Context, args []string) error {
+	fmt.Println(version.Get())
+	return nil
 }
 
 func main() {
@@ -56,6 +64,9 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	name := os.Args[1]
+	if name == "-version" || name == "--version" {
+		name = "version"
+	}
 	for _, c := range commands {
 		if c.name == name {
 			if err := c.run(ctx, os.Args[2:]); err != nil {

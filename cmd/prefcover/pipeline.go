@@ -12,6 +12,7 @@ import (
 	"prefcover"
 	"prefcover/adapt"
 	"prefcover/clickstream"
+	"prefcover/internal/trace"
 )
 
 // readClickstream opens and fully buffers a clickstream in the given
@@ -187,6 +188,7 @@ func runSolve(ctx context.Context, args []string) error {
 		setOut     = fs.String("set-out", "", "also write the retained labels, one per line, to this file")
 		timeout    = fs.Duration("timeout", 0, "abort the solve after this long (0 = no deadline); also canceled by SIGINT/SIGTERM")
 		progress   = fs.Int("progress", 0, "log solver progress to stderr every N selections (0 = off)")
+		traceOut   = fs.String("trace", "", "write a Chrome trace-event JSON of this run (parse/solve phases, one span per iteration) to this file; load in Perfetto")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -195,11 +197,28 @@ func runSolve(ctx context.Context, args []string) error {
 	if err != nil {
 		return err
 	}
+	// The flight recorder wraps the whole run; phase spans below only
+	// materialize when -trace is set (root stays nil otherwise).
+	var root *trace.Span
+	if *traceOut != "" {
+		root = trace.New(1).Root("prefcover solve", "")
+		defer func() {
+			root.End()
+			if err := writeTraceFile(*traceOut, root); err != nil {
+				fmt.Fprintf(os.Stderr, "writing trace: %v\n", err)
+			}
+		}()
+	}
+	parseSpan := root.Child("parse")
 	g, err := readGraph(*in)
 	if err != nil {
 		return err
 	}
+	parseSpan.SetAttr("nodes", g.NumNodes())
+	parseSpan.SetAttr("edges", g.NumEdges())
+	parseSpan.End()
 	if *pruneMinW > 0 || *pruneMaxD > 0 {
+		sparsifySpan := root.Child("sparsify")
 		res, err := prefcover.Sparsify(g, prefcover.SparsifyOptions{
 			MinWeight: *pruneMinW, MaxOutDegree: *pruneMaxD,
 		})
@@ -209,6 +228,8 @@ func runSolve(ctx context.Context, args []string) error {
 		fmt.Fprintf(os.Stderr, "pruned %d -> %d edges (certified max cover loss %.5f)\n",
 			res.EdgesBefore, res.EdgesAfter, res.LossBound)
 		g = res.Graph
+		sparsifySpan.SetAttr("edges", g.NumEdges())
+		sparsifySpan.End()
 	}
 	opts := prefcover.Options{
 		Variant: v, K: *k, Threshold: *threshold, Workers: *workers, Lazy: *lazy,
@@ -234,13 +255,22 @@ func runSolve(ctx context.Context, args []string) error {
 		opts.StochasticEpsilon = *stochastic
 		opts.Seed = *seed
 	}
+	solveSpan := root.Child("solve")
+	recordIteration := trace.IterationRecorder(solveSpan)
+	logProgress := func(prefcover.ProgressEvent) {}
 	if *progress > 0 {
 		every := *progress
-		opts.Progress = func(ev prefcover.ProgressEvent) {
+		logProgress = func(ev prefcover.ProgressEvent) {
 			if ev.Step%every == 0 {
 				fmt.Fprintf(os.Stderr, "step %d: %s gain=%.6f cover=%.4f evals=%d (+%d, reeval %d)\n",
 					ev.Step, ev.Strategy, ev.Gain, ev.Cover, ev.TotalEvals, ev.Evaluated, ev.Reevaluated)
 			}
+		}
+	}
+	if *progress > 0 || root != nil {
+		opts.Progress = func(ev prefcover.ProgressEvent) {
+			recordIteration(ev)
+			logProgress(ev)
 		}
 	}
 	if *timeout > 0 {
@@ -249,6 +279,12 @@ func runSolve(ctx context.Context, args []string) error {
 		defer cancel()
 	}
 	sol, err := prefcover.SolveContext(ctx, g, opts)
+	if sol != nil {
+		solveSpan.SetAttr("iterations", len(sol.Order))
+		solveSpan.SetAttr("gainEvals", sol.GainEvals)
+		solveSpan.SetAttr("cover", sol.Cover)
+	}
+	solveSpan.End()
 	if err != nil {
 		if sol != nil && len(sol.Order) > 0 {
 			fmt.Fprintf(os.Stderr, "solve stopped after %d selections (cover %.4f): %v\n",
@@ -259,10 +295,12 @@ func runSolve(ctx context.Context, args []string) error {
 	if *threshold > 0 && !sol.Reached {
 		fmt.Fprintf(os.Stderr, "warning: threshold %.3f not reachable, best cover %.4f\n", *threshold, sol.Cover)
 	}
+	reportSpan := root.Child("report")
 	report := prefcover.NewReport(g, v, sol, *affected)
 	if _, err := report.WriteTo(os.Stdout); err != nil {
 		return err
 	}
+	reportSpan.End()
 	if *setOut != "" {
 		var sb strings.Builder
 		for _, item := range report.Retained {
@@ -313,6 +351,25 @@ func runEval(ctx context.Context, args []string) error {
 		return err
 	}
 	fmt.Printf("retained: %d items\ncover:    %.4f (%.2f%%)\n", len(labels), cover, 100*cover)
+	return nil
+}
+
+// writeTraceFile dumps one completed trace tree as Chrome trace-event
+// JSON and reports where it went.
+func writeTraceFile(path string, root *trace.Span) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := trace.WriteChromeSpan(f, root); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "trace: %d spans written to %s (load in chrome://tracing or ui.perfetto.dev)\n",
+		root.NumSpans(), path)
 	return nil
 }
 

@@ -1,0 +1,107 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestSolveTraceFlag runs the full gen -> adapt -> solve -trace path and
+// validates the flight-recorder output: a loadable Chrome trace-event
+// JSON with the documented phase spans and exactly one iteration span per
+// greedy selection, whose work counters agree with the solve totals.
+func TestSolveTraceFlag(t *testing.T) {
+	dir := t.TempDir()
+	sessions := filepath.Join(dir, "sessions.tsv")
+	graphPath := filepath.Join(dir, "graph.tsv")
+	tracePath := filepath.Join(dir, "trace.json")
+
+	if err := runGen(context.Background(), []string{"-preset", "YC", "-scale", "0.004", "-seed", "5", "-out", sessions}); err != nil {
+		t.Fatalf("gen: %v", err)
+	}
+	if err := runAdapt(context.Background(), []string{"-in", sessions, "-out", graphPath, "-variant", "i"}); err != nil {
+		t.Fatalf("adapt: %v", err)
+	}
+	const k = 12
+	if err := runSolve(context.Background(), []string{"-in", graphPath, "-variant", "i", "-k", "12", "-trace", tracePath}); err != nil {
+		t.Fatalf("solve: %v", err)
+	}
+
+	data, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatalf("trace file: %v", err)
+	}
+	var events []struct {
+		Name string                 `json:"name"`
+		Cat  string                 `json:"cat"`
+		Ph   string                 `json:"ph"`
+		Dur  float64                `json:"dur"`
+		Args map[string]interface{} `json:"args"`
+	}
+	if err := json.Unmarshal(data, &events); err != nil {
+		t.Fatalf("trace is not a Chrome trace-event JSON array: %v", err)
+	}
+
+	names := make(map[string]int)
+	iterations := 0
+	var lastTotalEvals, solveGainEvals, solveIterations float64
+	for _, ev := range events {
+		if ev.Ph != "X" {
+			t.Errorf("event %q ph=%q, want X", ev.Name, ev.Ph)
+		}
+		names[ev.Name]++
+		if len(ev.Name) > len("iteration ") && ev.Name[:len("iteration ")] == "iteration " {
+			iterations++
+			if v, ok := ev.Args["totalEvals"].(float64); ok {
+				lastTotalEvals = v
+			}
+			for _, key := range []string{"node", "gain", "cover", "evaluated", "reevaluated"} {
+				if _, ok := ev.Args[key]; !ok {
+					t.Errorf("%s missing attr %q", ev.Name, key)
+				}
+			}
+		}
+		if ev.Name == "solve" {
+			solveGainEvals, _ = ev.Args["gainEvals"].(float64)
+			solveIterations, _ = ev.Args["iterations"].(float64)
+		}
+	}
+	for _, want := range []string{"prefcover solve", "parse", "solve", "report"} {
+		if names[want] != 1 {
+			t.Errorf("span %q appears %d times, want 1", want, names[want])
+		}
+	}
+	if iterations != k {
+		t.Errorf("%d iteration spans, want %d", iterations, k)
+	}
+	if solveIterations != k {
+		t.Errorf("solve span iterations attr = %v, want %d", solveIterations, k)
+	}
+	// The per-iteration running total must land exactly on the solve
+	// total — the iteration spans really carry the ProgressEvent stream.
+	if lastTotalEvals == 0 || lastTotalEvals != solveGainEvals {
+		t.Errorf("last iteration totalEvals = %v, solve gainEvals = %v", lastTotalEvals, solveGainEvals)
+	}
+}
+
+// TestSolveWithoutTrace keeps the untraced path clean: no trace file, no
+// crash from the nil-span plumbing.
+func TestSolveWithoutTrace(t *testing.T) {
+	dir := t.TempDir()
+	sessions := filepath.Join(dir, "sessions.tsv")
+	graphPath := filepath.Join(dir, "graph.tsv")
+	if err := runGen(context.Background(), []string{"-preset", "YC", "-scale", "0.002", "-seed", "2", "-out", sessions}); err != nil {
+		t.Fatalf("gen: %v", err)
+	}
+	if err := runAdapt(context.Background(), []string{"-in", sessions, "-out", graphPath, "-variant", "i"}); err != nil {
+		t.Fatalf("adapt: %v", err)
+	}
+	if err := runSolve(context.Background(), []string{"-in", graphPath, "-variant", "i", "-k", "3"}); err != nil {
+		t.Fatalf("solve: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "trace.json")); !os.IsNotExist(err) {
+		t.Errorf("unexpected trace file: %v", err)
+	}
+}

@@ -2,30 +2,41 @@
 // HTTP: POST a JSONL clickstream to /v1/pipeline?k=... and receive the
 // retained inventory with coverage metadata; /v1/adapt and /v1/solve
 // expose the two stages separately. GET /metrics exposes Prometheus
-// telemetry (request latencies, solver work counters).
+// telemetry (request latencies, solver work counters, runtime health);
+// GET /version reports the build; GET /debug/traces dumps the
+// flight-recorder ring populated by -trace-sample.
 //
 // The daemon is production-shaped: per-request solve deadlines
 // (-solve-timeout), bounded concurrency with load shedding
 // (-max-concurrent), and graceful shutdown — SIGINT/SIGTERM stops the
 // listener, drains in-flight requests for up to -shutdown-grace, then
-// exits.
+// exits. All logging is structured (log/slog) and every line of a
+// request carries its X-Request-ID.
 package main
 
 import (
 	"context"
 	"errors"
 	"flag"
-	"log"
+	"fmt"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"prefcover/internal/server"
+	"prefcover/internal/version"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+// run holds the real main so deferred cleanups survive the exit path.
+func run() int {
 	var (
 		addr          = flag.String("addr", ":8080", "listen address")
 		maxBody       = flag.Int64("max-body-mb", 64, "maximum request body size in MiB")
@@ -33,50 +44,94 @@ func main() {
 		solveTimeout  = flag.Duration("solve-timeout", 0, "per-request deadline for /v1/* work; expired requests get 503 (0 = none)")
 		maxConcurrent = flag.Int("max-concurrent", 0, "maximum concurrently executing /v1/* requests; excess get 429 (0 = unlimited)")
 		shutdownGrace = flag.Duration("shutdown-grace", 30*time.Second, "how long to drain in-flight requests on SIGINT/SIGTERM")
-		quiet         = flag.Bool("quiet", false, "suppress request logging")
+		quiet         = flag.Bool("quiet", false, "log warnings and errors only (suppresses access logs and lifecycle messages)")
+		traceSample   = flag.Int("trace-sample", 0, "record a flight-recorder trace for every Nth /v1/* request, dumped at /debug/traces (0 = off)")
+		traceCap      = flag.Int("trace-capacity", 256, "how many request traces the flight recorder retains")
+		pprofAddr     = flag.String("pprof", "", "serve net/http/pprof on this extra address (e.g. localhost:6060); empty = disabled")
+		showVersion   = flag.Bool("version", false, "print the build identity and exit")
 	)
 	flag.Parse()
-	var logger *log.Logger
-	if !*quiet {
-		logger = log.New(os.Stderr, "prefcoverd ", log.LstdFlags)
+	if *showVersion {
+		fmt.Println(version.Get())
+		return 0
 	}
+
+	// One handler for everything — daemon lifecycle and per-request
+	// access logs — so -quiet silences the whole process consistently
+	// instead of only the injected half.
+	level := slog.LevelInfo
+	if *quiet {
+		level = slog.LevelWarn
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+
 	srv := server.New(server.Limits{
 		MaxBodyBytes:  *maxBody << 20,
 		MaxSolveK:     *maxK,
 		SolveTimeout:  *solveTimeout,
 		MaxConcurrent: *maxConcurrent,
 	}, logger)
+	if *traceSample > 0 {
+		srv.EnableTracing(*traceSample, *traceCap)
+	}
 	httpServer := &http.Server{
 		Addr:              *addr,
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
+	if *pprofAddr != "" {
+		pprofServer := &http.Server{Addr: *pprofAddr, Handler: pprofMux(), ReadHeaderTimeout: 10 * time.Second}
+		go func() {
+			logger.Info("pprof listening", "addr", *pprofAddr)
+			if err := pprofServer.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("pprof listener failed", "error", err)
+			}
+		}()
+		defer pprofServer.Close()
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	errc := make(chan error, 1)
 	go func() { errc <- httpServer.ListenAndServe() }()
-	log.Printf("prefcoverd listening on %s", *addr)
+	logger.Info("prefcoverd listening", "addr", *addr, "version", version.Get().String())
 
 	select {
 	case err := <-errc:
 		// Listener failed before any shutdown was requested (port in use,
 		// bad address); ErrServerClosed cannot happen on this path.
-		log.Fatal(err)
+		logger.Error("listener failed", "error", err)
+		return 1
 	case <-ctx.Done():
 	}
 	stop() // restore default signal handling: a second ^C kills immediately
-	log.Printf("prefcoverd shutting down, draining for up to %s", *shutdownGrace)
+	logger.Info("prefcoverd shutting down", "drain_grace", *shutdownGrace)
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *shutdownGrace)
 	defer cancel()
 	if err := httpServer.Shutdown(shutdownCtx); err != nil {
-		log.Printf("prefcoverd shutdown incomplete: %v", err)
-		os.Exit(1)
+		logger.Error("shutdown incomplete", "error", err)
+		return 1
 	}
 	// The ListenAndServe goroutine returns http.ErrServerClosed after a
 	// clean Shutdown; anything else is a real serve error worth surfacing.
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
-		log.Fatal(err)
+		logger.Error("serve failed", "error", err)
+		return 1
 	}
-	log.Printf("prefcoverd stopped")
+	logger.Info("prefcoverd stopped")
+	return 0
+}
+
+// pprofMux routes the net/http/pprof handlers on a dedicated mux, so the
+// profiling surface only exists on the opt-in -pprof listener and never
+// leaks onto the public address.
+func pprofMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
 }

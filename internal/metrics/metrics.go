@@ -270,6 +270,55 @@ func (gv *GaugeVec) render(w io.Writer) error {
 	return nil
 }
 
+// FloatGauge is a float64 value that can be set and shifted; the value is
+// stored as raw bits so reads and writes never take a lock.
+type FloatGauge struct{ bits atomic.Uint64 }
+
+// Set replaces the value.
+func (g *FloatGauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add shifts the gauge by delta (CAS loop, like Histogram sums).
+func (g *FloatGauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+delta)) {
+			return
+		}
+	}
+}
+
+// Value reads the current value.
+func (g *FloatGauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// FloatGaugeVec is a float gauge family partitioned by labels.
+type FloatGaugeVec struct{ f *family }
+
+// NewFloatGauge registers a float gauge family — for values that are not
+// naturally integers (seconds of GC pause, uptime).
+func (r *Registry) NewFloatGauge(name, help string, labels ...string) *FloatGaugeVec {
+	gv := &FloatGaugeVec{f: newFamily(name, help, "gauge", labels)}
+	r.register(name, gv)
+	return gv
+}
+
+// With returns the series for the label values, creating it on first use.
+func (gv *FloatGaugeVec) With(labelValues ...string) *FloatGauge {
+	return gv.f.lookup(labelValues, func() interface{} { return new(FloatGauge) }).(*FloatGauge)
+}
+
+func (gv *FloatGaugeVec) render(w io.Writer) error {
+	if err := gv.f.header(w); err != nil {
+		return err
+	}
+	for _, e := range gv.f.snapshot() {
+		g := e.s.(*FloatGauge)
+		if _, err := fmt.Fprintf(w, "%s%s %s\n", gv.f.name, gv.f.labelString(e.key), formatFloat(g.Value())); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Histogram accumulates float observations into fixed buckets. Bucket
 // counts are stored non-cumulatively and cumulated at render time; the
 // sum is a CAS loop over float64 bits so Observe never takes a lock.

@@ -172,3 +172,39 @@ func TestConcurrentUpdates(t *testing.T) {
 		t.Errorf("gauge should settle at 0, got %d", g.With().Value())
 	}
 }
+
+func TestFloatGauge(t *testing.T) {
+	r := NewRegistry()
+	g := r.NewFloatGauge("uptime_seconds", "Uptime.")
+	g.With().Set(1.5)
+	g.With().Add(0.25)
+	if got := g.With().Value(); got != 1.75 {
+		t.Errorf("Value = %v, want 1.75", got)
+	}
+	out := scrape(t, r)
+	if !strings.Contains(out, "# TYPE uptime_seconds gauge\n") {
+		t.Errorf("missing type line:\n%s", out)
+	}
+	if !strings.Contains(out, "uptime_seconds 1.75\n") {
+		t.Errorf("float gauge rendered wrong:\n%s", out)
+	}
+}
+
+func TestFloatGaugeConcurrentAdd(t *testing.T) {
+	r := NewRegistry()
+	g := r.NewFloatGauge("acc_seconds", "Accumulated.", "kind")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				g.With("gc").Add(0.5)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := g.With("gc").Value(); got != 8*1000*0.5 {
+		t.Errorf("Value = %v, want %v", got, 8*1000*0.5)
+	}
+}

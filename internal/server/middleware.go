@@ -1,0 +1,182 @@
+package server
+
+// Request-scoped observability plumbing: request IDs, the flight-recorder
+// root span per /v1/* request, the structured access log, and the runtime
+// telemetry refreshed on every /metrics scrape.
+
+import (
+	"context"
+	crand "crypto/rand"
+	"encoding/hex"
+	"log/slog"
+	"net/http"
+	"runtime"
+	"strconv"
+	"time"
+
+	"prefcover/internal/trace"
+)
+
+// reqIDKey is the context key carrying the request ID.
+type reqIDKey struct{}
+
+// requestIDFrom returns the request ID installed by instrument, or "".
+func requestIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(reqIDKey{}).(string)
+	return id
+}
+
+// ensureRequestID returns the inbound X-Request-ID when usable, otherwise
+// a fresh random ID. Inbound IDs pass through verbatim so callers can
+// correlate their own identifiers across header, logs and error bodies.
+func ensureRequestID(r *http.Request) string {
+	if id := sanitizeRequestID(r.Header.Get("X-Request-ID")); id != "" {
+		return id
+	}
+	var b [8]byte
+	if _, err := crand.Read(b[:]); err != nil {
+		return "unidentified"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// sanitizeRequestID accepts printable-ASCII IDs up to 128 bytes (no
+// quotes or backslashes, which would complicate log and JSON contexts);
+// anything else is discarded so a hostile header cannot inject log lines.
+func sanitizeRequestID(id string) string {
+	if id == "" || len(id) > 128 {
+		return ""
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		if c <= ' ' || c > '~' || c == '"' || c == '\\' {
+			return ""
+		}
+	}
+	return id
+}
+
+// statusRecorder captures the response code and body size for the request
+// counter and the access log.
+type statusRecorder struct {
+	http.ResponseWriter
+	code  int
+	bytes int64
+}
+
+func (sr *statusRecorder) WriteHeader(code int) {
+	sr.code = code
+	sr.ResponseWriter.WriteHeader(code)
+}
+
+func (sr *statusRecorder) Write(p []byte) (int, error) {
+	n, err := sr.ResponseWriter.Write(p)
+	sr.bytes += int64(n)
+	return n, err
+}
+
+// sampleTrace implements -trace-sample: true for every Nth instrumented
+// request (the first request is always sampled when tracing is on).
+func (s *Server) sampleTrace() bool {
+	n := s.traceEvery
+	if n <= 0 {
+		return false
+	}
+	return (s.traceSeq.Add(1)-1)%int64(n) == 0
+}
+
+// instrument wraps an endpoint with the observability layers — request
+// ID, root span, metrics, access log — and (for limited endpoints) the
+// admission control layer.
+func (s *Server) instrument(endpoint string, limited bool, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		reqID := ensureRequestID(r)
+		w.Header().Set("X-Request-ID", reqID)
+		sr := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		ctx := context.WithValue(r.Context(), reqIDKey{}, reqID)
+		var root *trace.Span
+		if limited && s.sampleTrace() {
+			root = s.tracer.Root("request "+endpoint, reqID)
+			root.SetAttr("method", r.Method)
+			ctx = trace.NewContext(ctx, root)
+		}
+		r = r.WithContext(ctx)
+		start := time.Now()
+		defer func() {
+			dur := time.Since(start)
+			s.met.latency.With(endpoint).Observe(dur.Seconds())
+			s.met.requests.With(endpoint, strconv.Itoa(sr.code)).Inc()
+			if root != nil {
+				root.SetAttr("status", sr.code)
+				root.End()
+			}
+			s.accessLog(r, reqID, sr, dur)
+		}()
+		if limited && s.sem != nil {
+			select {
+			case s.sem <- struct{}{}:
+				defer func() { <-s.sem }()
+			default:
+				s.met.rejected.With(endpoint, "capacity").Inc()
+				s.writeError(sr, r, http.StatusTooManyRequests,
+					errCapacity(s.limits.MaxConcurrent))
+				return
+			}
+		}
+		s.met.inFlight.With().Inc()
+		defer s.met.inFlight.With().Dec()
+		if s.testHookStart != nil {
+			s.testHookStart(endpoint)
+		}
+		h(sr, r)
+	}
+}
+
+// accessLog emits the one structured line per request the daemon's
+// operators grep by request_id.
+func (s *Server) accessLog(r *http.Request, reqID string, sr *statusRecorder, dur time.Duration) {
+	if s.logger == nil {
+		return
+	}
+	s.logger.LogAttrs(r.Context(), slog.LevelInfo, "request",
+		slog.String("method", r.Method),
+		slog.String("path", r.URL.Path),
+		slog.Int("status", sr.code),
+		slog.Int64("bytes", sr.bytes),
+		slog.Duration("duration", dur),
+		slog.String("request_id", reqID),
+	)
+}
+
+// handleMetrics refreshes the runtime gauges and serves the scrape.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.met.updateRuntime(s.started)
+	s.met.registry.Handler().ServeHTTP(w, r)
+}
+
+// updateRuntime snapshots process health into the runtime gauge set; it
+// runs once per scrape so the gauges are exactly as fresh as Prometheus
+// sees them.
+func (m *serverMetrics) updateRuntime(started time.Time) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	m.goroutines.With().Set(int64(runtime.NumGoroutine()))
+	m.heapAlloc.With().Set(int64(ms.HeapAlloc))
+	m.heapSys.With().Set(int64(ms.HeapSys))
+	m.gcCycles.With().Set(int64(ms.NumGC))
+	m.gcPause.With().Set(float64(ms.PauseTotalNs) / 1e9)
+	m.uptime.With().Set(time.Since(started).Seconds())
+}
+
+// handleTraces dumps the flight-recorder ring: Chrome trace-event JSON by
+// default (load in chrome://tracing or Perfetto), ?format=tree for the
+// human-readable summary.
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "tree" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_ = s.tracer.WriteTree(w)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = s.tracer.WriteChrome(w)
+}

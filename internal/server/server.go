@@ -8,6 +8,8 @@
 //
 //	GET  /healthz                         liveness probe
 //	GET  /metrics                         Prometheus text exposition
+//	GET  /version                         build identity (module, VCS revision, Go)
+//	GET  /debug/traces[?format=tree]      flight-recorder dump (Chrome trace JSON)
 //	POST /v1/adapt?variant=auto|i|n       body: JSONL clickstream
 //	                                      -> {graph, report, variant}
 //	POST /v1/solve?variant=i|n&k=K        body: graph JSON
@@ -18,11 +20,18 @@
 //
 // Observability and robustness: every endpoint is instrumented (request
 // counts by status, latency histograms, an in-flight gauge, solver work
-// counters — see newServerMetrics for the full name list), the /v1/*
-// endpoints respect Limits.SolveTimeout (503 on expiry) and
-// Limits.MaxConcurrent (immediate 429 when saturated), and the handler
-// cooperates with http.Server.Shutdown: in-flight requests run to
-// completion because nothing here detaches from the request goroutine.
+// counters, runtime telemetry — see newServerMetrics for the full name
+// list). Each request gets an X-Request-ID (generated, or taken verbatim
+// from the inbound header) that is echoed in the response header, stamped
+// on every structured log line, and included in JSON error bodies, so one
+// ID follows a request through every signal. With EnableTracing, every
+// Nth /v1/* request additionally records a flight-recorder span tree
+// (parse → adapt → recommend → solve, with one span per greedy
+// iteration), dumped at /debug/traces. The /v1/* endpoints respect
+// Limits.SolveTimeout (503 on expiry) and Limits.MaxConcurrent (immediate
+// 429 when saturated), and the handler cooperates with
+// http.Server.Shutdown: in-flight requests run to completion because
+// nothing here detaches from the request goroutine.
 package server
 
 import (
@@ -31,15 +40,18 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"prefcover"
 	"prefcover/adapt"
 	"prefcover/clickstream"
 	"prefcover/internal/metrics"
+	"prefcover/internal/trace"
+	"prefcover/internal/version"
 )
 
 // Limits protects the service from oversized or runaway requests.
@@ -62,10 +74,17 @@ type Limits struct {
 // Server is the HTTP handler set.
 type Server struct {
 	limits Limits
-	logger *log.Logger
+	logger *slog.Logger
 	met    *serverMetrics
 	// sem is the concurrency limiter; nil when MaxConcurrent == 0.
 	sem chan struct{}
+	// tracer is the flight recorder; traceEvery selects every Nth /v1/*
+	// request for recording (0 = off).
+	tracer     *trace.Tracer
+	traceEvery int
+	traceSeq   atomic.Int64
+	// started anchors the uptime gauge.
+	started time.Time
 	// testHookStart, when set (tests only), runs inside the instrumented
 	// handler after limiter admission, letting tests hold a request
 	// in-flight deterministically.
@@ -73,16 +92,35 @@ type Server struct {
 }
 
 // New returns a Server with the given limits; a nil logger discards logs.
-func New(limits Limits, logger *log.Logger) *Server {
+func New(limits Limits, logger *slog.Logger) *Server {
 	if limits.MaxBodyBytes <= 0 {
 		limits.MaxBodyBytes = 64 << 20
 	}
-	s := &Server{limits: limits, logger: logger, met: newServerMetrics()}
+	s := &Server{
+		limits:  limits,
+		logger:  logger,
+		met:     newServerMetrics(),
+		tracer:  trace.New(trace.DefaultCapacity),
+		started: time.Now(),
+	}
 	if limits.MaxConcurrent > 0 {
 		s.sem = make(chan struct{}, limits.MaxConcurrent)
 	}
 	return s
 }
+
+// EnableTracing turns the flight recorder on: every sample-th /v1/*
+// request records a span tree into a ring of the given capacity
+// (capacity <= 0 keeps the default). Call before serving traffic.
+func (s *Server) EnableTracing(sample, capacity int) {
+	s.traceEvery = sample
+	if capacity > 0 {
+		s.tracer = trace.New(capacity)
+	}
+}
+
+// Tracer exposes the flight recorder (tests, embedders).
+func (s *Server) Tracer() *trace.Tracer { return s.tracer }
 
 // serverMetrics is the instrument set, one per Server so tests and
 // multi-tenant embeddings do not share state.
@@ -97,6 +135,14 @@ type serverMetrics struct {
 	solverEvals      *metrics.CounterVec // prefcover_solver_gain_evaluations_total{strategy}
 	solverReevals    *metrics.CounterVec // prefcover_solver_heap_reevaluations_total{strategy}
 	solves           *metrics.CounterVec // prefcover_solver_solves_total{strategy,outcome}
+
+	// Runtime telemetry, refreshed per scrape (updateRuntime).
+	goroutines *metrics.GaugeVec      // prefcover_runtime_goroutines
+	heapAlloc  *metrics.GaugeVec      // prefcover_runtime_heap_alloc_bytes
+	heapSys    *metrics.GaugeVec      // prefcover_runtime_heap_sys_bytes
+	gcCycles   *metrics.GaugeVec      // prefcover_runtime_gc_cycles_total
+	gcPause    *metrics.FloatGaugeVec // prefcover_runtime_gc_pause_seconds_total
+	uptime     *metrics.FloatGaugeVec // prefcover_process_uptime_seconds
 }
 
 func newServerMetrics() *serverMetrics {
@@ -119,6 +165,18 @@ func newServerMetrics() *serverMetrics {
 			"Lazy-heap stale-bound recomputations, by strategy.", "strategy"),
 		solves: r.NewCounter("prefcover_solver_solves_total",
 			"Solver runs, by strategy and outcome (ok/canceled/error).", "strategy", "outcome"),
+		goroutines: r.NewGauge("prefcover_runtime_goroutines",
+			"Goroutines at scrape time."),
+		heapAlloc: r.NewGauge("prefcover_runtime_heap_alloc_bytes",
+			"Bytes of allocated heap objects at scrape time."),
+		heapSys: r.NewGauge("prefcover_runtime_heap_sys_bytes",
+			"Bytes of heap obtained from the OS."),
+		gcCycles: r.NewGauge("prefcover_runtime_gc_cycles_total",
+			"Completed GC cycles since process start."),
+		gcPause: r.NewFloatGauge("prefcover_runtime_gc_pause_seconds_total",
+			"Cumulative GC stop-the-world pause seconds."),
+		uptime: r.NewFloatGauge("prefcover_process_uptime_seconds",
+			"Seconds since the server was constructed."),
 	}
 }
 
@@ -126,7 +184,9 @@ func newServerMetrics() *serverMetrics {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", s.instrument("/healthz", false, s.handleHealth))
-	mux.Handle("/metrics", s.met.registry.Handler())
+	mux.HandleFunc("/version", s.instrument("/version", false, s.handleVersion))
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/debug/traces", s.handleTraces)
 	mux.HandleFunc("/v1/adapt", s.instrument("/v1/adapt", true, s.handleAdapt))
 	mux.HandleFunc("/v1/solve", s.instrument("/v1/solve", true, s.handleSolve))
 	mux.HandleFunc("/v1/pipeline", s.instrument("/v1/pipeline", true, s.handlePipeline))
@@ -134,45 +194,9 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
-// statusRecorder captures the response code for the request counter.
-type statusRecorder struct {
-	http.ResponseWriter
-	code int
-}
-
-func (sr *statusRecorder) WriteHeader(code int) {
-	sr.code = code
-	sr.ResponseWriter.WriteHeader(code)
-}
-
-// instrument wraps an endpoint with the observability and (for limited
-// endpoints) admission-control layers.
-func (s *Server) instrument(endpoint string, limited bool, h http.HandlerFunc) http.HandlerFunc {
-	return func(w http.ResponseWriter, r *http.Request) {
-		sr := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
-		start := time.Now()
-		defer func() {
-			s.met.latency.With(endpoint).Observe(time.Since(start).Seconds())
-			s.met.requests.With(endpoint, strconv.Itoa(sr.code)).Inc()
-		}()
-		if limited && s.sem != nil {
-			select {
-			case s.sem <- struct{}{}:
-				defer func() { <-s.sem }()
-			default:
-				s.met.rejected.With(endpoint, "capacity").Inc()
-				s.writeError(sr, http.StatusTooManyRequests,
-					fmt.Errorf("server at capacity (%d concurrent requests)", s.limits.MaxConcurrent))
-				return
-			}
-		}
-		s.met.inFlight.With().Inc()
-		defer s.met.inFlight.With().Dec()
-		if s.testHookStart != nil {
-			s.testHookStart(endpoint)
-		}
-		h(sr, r)
-	}
+// errCapacity is the 429 load-shed error.
+func errCapacity(maxConcurrent int) error {
+	return fmt.Errorf("server at capacity (%d concurrent requests)", maxConcurrent)
 }
 
 // requestCtx derives the per-request work context: the client connection
@@ -187,25 +211,38 @@ func (s *Server) requestCtx(r *http.Request) (context.Context, context.CancelFun
 // writeWorkError maps a pipeline/solve failure to a status: deadline and
 // cancellation become 503 (the request was valid, the server gave up),
 // everything else stays a client error.
-func (s *Server) writeWorkError(w http.ResponseWriter, endpoint string, err error) {
+func (s *Server) writeWorkError(w http.ResponseWriter, r *http.Request, endpoint string, err error) {
 	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
 		s.met.rejected.With(endpoint, "timeout").Inc()
-		s.writeError(w, http.StatusServiceUnavailable, fmt.Errorf("request aborted: %w", err))
+		s.writeError(w, r, http.StatusServiceUnavailable, fmt.Errorf("request aborted: %w", err))
 		return
 	}
-	s.writeError(w, http.StatusBadRequest, err)
+	s.writeError(w, r, http.StatusBadRequest, err)
 }
 
-// solve runs the solver with metrics and cancellation attached.
+// solve runs the solver with metrics, tracing and cancellation attached:
+// when the request is being recorded, a "solve" span wraps the run and
+// the ProgressEvent stream is folded into one child span per greedy
+// iteration (no extra solver plumbing).
 func (s *Server) solve(ctx context.Context, g *prefcover.Graph, opts prefcover.Options) (*prefcover.Solution, error) {
 	strategy := solveStrategy(opts)
+	_, span := trace.StartSpan(ctx, "solve")
+	span.SetAttr("strategy", strategy)
+	defer span.End()
+	recordIteration := trace.IterationRecorder(span)
 	var reevals int64
-	opts.Progress = func(ev prefcover.ProgressEvent) { reevals += ev.Reevaluated }
+	opts.Progress = func(ev prefcover.ProgressEvent) {
+		reevals += ev.Reevaluated
+		recordIteration(ev)
+	}
 	sol, err := prefcover.SolveContext(ctx, g, opts)
 	if sol != nil {
 		s.met.solverIterations.With(strategy).Add(int64(len(sol.Order)))
 		s.met.solverEvals.With(strategy).Add(sol.GainEvals)
 		s.met.solverReevals.With(strategy).Add(reevals)
+		span.SetAttr("iterations", len(sol.Order))
+		span.SetAttr("gainEvals", sol.GainEvals)
+		span.SetAttr("cover", sol.Cover)
 	}
 	outcome := "ok"
 	switch {
@@ -214,6 +251,7 @@ func (s *Server) solve(ctx context.Context, g *prefcover.Graph, opts prefcover.O
 	case err != nil:
 		outcome = "error"
 	}
+	span.SetAttr("outcome", outcome)
 	s.met.solves.With(strategy, outcome).Inc()
 	return sol, err
 }
@@ -232,22 +270,25 @@ func solveStrategy(opts prefcover.Options) string {
 	}
 }
 
-func (s *Server) logf(format string, args ...interface{}) {
-	if s.logger != nil {
-		s.logger.Printf(format, args...)
-	}
-}
-
-// apiError is the JSON error envelope.
+// apiError is the JSON error envelope; RequestID lets a client quote the
+// exact server-side log lines for its failure.
 type apiError struct {
-	Error string `json:"error"`
+	Error     string `json:"error"`
+	RequestID string `json:"requestId,omitempty"`
 }
 
-func (s *Server) writeError(w http.ResponseWriter, status int, err error) {
-	s.logf("request failed: %v", err)
+func (s *Server) writeError(w http.ResponseWriter, r *http.Request, status int, err error) {
+	reqID := requestIDFrom(r.Context())
+	if s.logger != nil {
+		s.logger.LogAttrs(r.Context(), slog.LevelWarn, "request failed",
+			slog.String("error", err.Error()),
+			slog.Int("status", status),
+			slog.String("request_id", reqID),
+		)
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(apiError{Error: err.Error()})
+	_ = json.NewEncoder(w).Encode(apiError{Error: err.Error(), RequestID: reqID})
 }
 
 func writeJSON(w http.ResponseWriter, v interface{}) {
@@ -257,6 +298,12 @@ func writeJSON(w http.ResponseWriter, v interface{}) {
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, map[string]string{"status": "ok"})
+}
+
+// handleVersion reports the build identity, so traces and benchmark
+// trajectories can be tied to an exact revision.
+func (s *Server) handleVersion(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, version.Get())
 }
 
 // adaptResponse is the /v1/adapt reply.
@@ -269,15 +316,18 @@ type adaptResponse struct {
 
 func (s *Server) requirePost(w http.ResponseWriter, r *http.Request) bool {
 	if r.Method != http.MethodPost {
-		s.writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
+		s.writeError(w, r, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
 		return false
 	}
 	r.Body = http.MaxBytesReader(w, r.Body, s.limits.MaxBodyBytes)
 	return true
 }
 
-// readSessions buffers the request clickstream.
+// readSessions buffers the request clickstream (the trace's "parse"
+// phase).
 func (s *Server) readSessions(r *http.Request) (*clickstream.Store, error) {
+	_, span := trace.StartSpan(r.Context(), "parse")
+	defer span.End()
 	store, err := clickstream.ReadAll(clickstream.NewJSONLReader(r.Body))
 	if err != nil {
 		return nil, fmt.Errorf("parsing JSONL clickstream: %w", err)
@@ -285,28 +335,43 @@ func (s *Server) readSessions(r *http.Request) (*clickstream.Store, error) {
 	if store.Len() == 0 {
 		return nil, fmt.Errorf("empty clickstream")
 	}
+	span.SetAttr("sessions", store.Len())
 	return store, nil
 }
 
-// adaptStore runs the adaptation with optional variant auto-selection.
+// adaptStore runs the adaptation with optional variant auto-selection
+// (the trace's "adapt" phase, with "recommend" and "rebuild" sub-spans on
+// the auto path).
 func adaptStore(ctx context.Context, store *clickstream.Store, variantParam string) (*prefcover.Graph, *adapt.Report, prefcover.Variant, bool, error) {
+	ctx, span := trace.StartSpan(ctx, "adapt")
+	defer span.End()
 	if variantParam == "" || variantParam == "auto" {
 		g, rep, err := adapt.BuildGraph(store, adapt.Options{ComputeFitness: true, Ctx: ctx})
 		if err != nil {
 			return nil, nil, 0, false, err
 		}
+		rsp := span.Child("recommend")
 		variant, confident := rep.RecommendVariant()
+		rsp.SetAttr("variant", variant.String())
+		rsp.SetAttr("confident", confident)
+		rsp.End()
 		if variant == prefcover.Normalized {
+			rebuild := span.Child("rebuild")
 			store.Reset()
 			g2, rep2, err := adapt.BuildGraph(store, adapt.Options{Variant: variant, Ctx: ctx})
+			rebuild.End()
 			if err != nil {
 				return nil, nil, 0, false, err
 			}
 			rep2.SingleAlternativeShare = rep.SingleAlternativeShare
 			rep2.MeanPairwiseNMI = rep.MeanPairwiseNMI
 			rep2.FitnessComputed = true
+			span.SetAttr("nodes", g2.NumNodes())
+			span.SetAttr("edges", g2.NumEdges())
 			return g2, rep2, variant, confident, nil
 		}
+		span.SetAttr("nodes", g.NumNodes())
+		span.SetAttr("edges", g.NumEdges())
 		return g, rep, variant, confident, nil
 	}
 	variant, err := prefcover.ParseVariant(variantParam)
@@ -314,6 +379,10 @@ func adaptStore(ctx context.Context, store *clickstream.Store, variantParam stri
 		return nil, nil, 0, false, err
 	}
 	g, rep, err := adapt.BuildGraph(store, adapt.Options{Variant: variant, Ctx: ctx})
+	if g != nil {
+		span.SetAttr("nodes", g.NumNodes())
+		span.SetAttr("edges", g.NumEdges())
+	}
 	return g, rep, variant, true, err
 }
 
@@ -323,19 +392,19 @@ func (s *Server) handleAdapt(w http.ResponseWriter, r *http.Request) {
 	}
 	store, err := s.readSessions(r)
 	if err != nil {
-		s.writeError(w, http.StatusBadRequest, err)
+		s.writeError(w, r, http.StatusBadRequest, err)
 		return
 	}
 	ctx, cancel := s.requestCtx(r)
 	defer cancel()
 	g, rep, variant, confident, err := adaptStore(ctx, store, r.URL.Query().Get("variant"))
 	if err != nil {
-		s.writeWorkError(w, "/v1/adapt", err)
+		s.writeWorkError(w, r, "/v1/adapt", err)
 		return
 	}
 	var buf bytes.Buffer
 	if err := prefcover.WriteGraphJSON(&buf, g); err != nil {
-		s.writeError(w, http.StatusInternalServerError, err)
+		s.writeError(w, r, http.StatusInternalServerError, err)
 		return
 	}
 	writeJSON(w, adaptResponse{
@@ -411,20 +480,23 @@ func solutionPayload(g *prefcover.Graph, variant prefcover.Variant, sol *prefcov
 	}
 }
 
-// readGraphBody parses the request graph: application/octet-stream means
-// the compact binary codec, anything else the JSON document.
+// readGraphBody parses the request graph (the trace's "parse" phase):
+// application/octet-stream means the compact binary codec, anything else
+// the JSON document.
 func readGraphBody(r *http.Request) (*prefcover.Graph, error) {
+	_, span := trace.StartSpan(r.Context(), "parse")
+	defer span.End()
+	var g *prefcover.Graph
+	var err error
 	if r.Header.Get("Content-Type") == "application/octet-stream" {
-		g, err := prefcover.ReadGraphBinary(r.Body)
-		if err != nil {
+		if g, err = prefcover.ReadGraphBinary(r.Body); err != nil {
 			return nil, fmt.Errorf("parsing binary graph: %w", err)
 		}
-		return g, nil
-	}
-	g, err := prefcover.ReadGraphJSON(r.Body, prefcover.BuildOptions{})
-	if err != nil {
+	} else if g, err = prefcover.ReadGraphJSON(r.Body, prefcover.BuildOptions{}); err != nil {
 		return nil, fmt.Errorf("parsing graph JSON: %w", err)
 	}
+	span.SetAttr("nodes", g.NumNodes())
+	span.SetAttr("edges", g.NumEdges())
 	return g, nil
 }
 
@@ -434,25 +506,25 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	}
 	variant, err := prefcover.ParseVariant(r.URL.Query().Get("variant"))
 	if err != nil {
-		s.writeError(w, http.StatusBadRequest, err)
+		s.writeError(w, r, http.StatusBadRequest, err)
 		return
 	}
 	opts, err := s.solveParams(r)
 	if err != nil {
-		s.writeError(w, http.StatusBadRequest, err)
+		s.writeError(w, r, http.StatusBadRequest, err)
 		return
 	}
 	opts.Variant = variant
 	g, err := readGraphBody(r)
 	if err != nil {
-		s.writeError(w, http.StatusBadRequest, err)
+		s.writeError(w, r, http.StatusBadRequest, err)
 		return
 	}
 	ctx, cancel := s.requestCtx(r)
 	defer cancel()
 	sol, err := s.solve(ctx, g, opts)
 	if err != nil {
-		s.writeWorkError(w, "/v1/solve", err)
+		s.writeWorkError(w, r, "/v1/solve", err)
 		return
 	}
 	writeJSON(w, solutionPayload(g, variant, sol))
@@ -466,7 +538,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	g, err := readGraphBody(r)
 	if err != nil {
-		s.writeError(w, http.StatusBadRequest, err)
+		s.writeError(w, r, http.StatusBadRequest, err)
 		return
 	}
 	writeJSON(w, prefcover.ComputeStats(g))
@@ -484,30 +556,30 @@ func (s *Server) handlePipeline(w http.ResponseWriter, r *http.Request) {
 	}
 	opts, err := s.solveParams(r)
 	if err != nil {
-		s.writeError(w, http.StatusBadRequest, err)
+		s.writeError(w, r, http.StatusBadRequest, err)
 		return
 	}
 	store, err := s.readSessions(r)
 	if err != nil {
-		s.writeError(w, http.StatusBadRequest, err)
+		s.writeError(w, r, http.StatusBadRequest, err)
 		return
 	}
 	ctx, cancel := s.requestCtx(r)
 	defer cancel()
 	g, rep, variant, confident, err := adaptStore(ctx, store, r.URL.Query().Get("variant"))
 	if err != nil {
-		s.writeWorkError(w, "/v1/pipeline", err)
+		s.writeWorkError(w, r, "/v1/pipeline", err)
 		return
 	}
 	opts.Variant = variant
 	sol, err := s.solve(ctx, g, opts)
 	if err != nil {
-		s.writeWorkError(w, "/v1/pipeline", err)
+		s.writeWorkError(w, r, "/v1/pipeline", err)
 		return
 	}
 	var buf bytes.Buffer
 	if err := prefcover.WriteGraphJSON(&buf, g); err != nil {
-		s.writeError(w, http.StatusInternalServerError, err)
+		s.writeError(w, r, http.StatusInternalServerError, err)
 		return
 	}
 	writeJSON(w, pipelineResponse{

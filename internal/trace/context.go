@@ -1,0 +1,34 @@
+package trace
+
+import "context"
+
+// ctxKey is the context key carrying the current span.
+type ctxKey struct{}
+
+// NewContext returns ctx carrying s as the current span.
+func NewContext(ctx context.Context, s *Span) context.Context {
+	return context.WithValue(ctx, ctxKey{}, s)
+}
+
+// FromContext returns the current span, or nil when the context carries
+// none — the nil span is safe to use directly.
+func FromContext(ctx context.Context) *Span {
+	s, _ := ctx.Value(ctxKey{}).(*Span)
+	return s
+}
+
+// StartSpan opens a child of the context's current span and installs it as
+// the new current span. When the context carries no span it returns the
+// context unchanged and a nil (no-op) span, so call sites need no tracing
+// branch:
+//
+//	ctx, sp := trace.StartSpan(ctx, "adapt")
+//	defer sp.End()
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	parent := FromContext(ctx)
+	if parent == nil {
+		return ctx, nil
+	}
+	s := parent.Child(name)
+	return NewContext(ctx, s), s
+}

@@ -1,0 +1,167 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// chromeEvent is one Chrome trace-event ("ph":"X" complete event). Times
+// are microseconds relative to the earliest root span, which is what the
+// chrome://tracing and Perfetto loaders expect.
+type chromeEvent struct {
+	Name string                 `json:"name"`
+	Cat  string                 `json:"cat"`
+	Ph   string                 `json:"ph"`
+	TS   float64                `json:"ts"`
+	Dur  float64                `json:"dur"`
+	PID  int                    `json:"pid"`
+	TID  int                    `json:"tid"`
+	Args map[string]interface{} `json:"args,omitempty"`
+}
+
+// WriteChrome renders the completed traces in Chrome trace-event JSON
+// (array form), one event per line. Load the output in chrome://tracing
+// or https://ui.perfetto.dev. Each root trace gets its own tid so
+// concurrent requests render as separate tracks.
+func (t *Tracer) WriteChrome(w io.Writer) error {
+	return writeChromeSpans(w, t.Snapshot())
+}
+
+// WriteChromeSpan renders a single trace tree (CLI one-shot dumps).
+func WriteChromeSpan(w io.Writer, root *Span) error {
+	if root == nil {
+		return writeChromeSpans(w, nil)
+	}
+	return writeChromeSpans(w, []*Span{root})
+}
+
+func writeChromeSpans(w io.Writer, roots []*Span) error {
+	var epoch time.Time
+	for _, r := range roots {
+		if epoch.IsZero() || r.Start().Before(epoch) {
+			epoch = r.Start()
+		}
+	}
+	var events []chromeEvent
+	for i, r := range roots {
+		events = appendChrome(events, r, epoch, i+1)
+	}
+	if _, err := io.WriteString(w, "["); err != nil {
+		return err
+	}
+	for i, ev := range events {
+		sep := ",\n"
+		if i == 0 {
+			sep = ""
+		}
+		b, err := json.Marshal(ev)
+		if err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s%s", sep, b); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "]\n")
+	return err
+}
+
+// effectiveEnd returns the span end, falling back to the latest child end
+// (then the start) for spans still open at export time.
+func (s *Span) effectiveEnd() time.Time {
+	s.mu.Lock()
+	end := s.end
+	s.mu.Unlock()
+	if !end.IsZero() {
+		return end
+	}
+	end = s.start
+	for _, c := range s.Children() {
+		if ce := c.effectiveEnd(); ce.After(end) {
+			end = ce
+		}
+	}
+	return end
+}
+
+func appendChrome(events []chromeEvent, s *Span, epoch time.Time, tid int) []chromeEvent {
+	args := make(map[string]interface{})
+	if id := s.TraceID(); id != "" {
+		args["traceID"] = id
+	}
+	for _, a := range s.Attrs() {
+		args[a.Key] = a.Value
+	}
+	if !s.Ended() {
+		args["unfinished"] = true
+	}
+	if len(args) == 0 {
+		args = nil
+	}
+	events = append(events, chromeEvent{
+		Name: s.Name(),
+		Cat:  "prefcover",
+		Ph:   "X",
+		TS:   micros(s.Start().Sub(epoch)),
+		Dur:  micros(s.effectiveEnd().Sub(s.Start())),
+		PID:  1,
+		TID:  tid,
+		Args: args,
+	})
+	for _, c := range s.Children() {
+		events = appendChrome(events, c, epoch, tid)
+	}
+	return events
+}
+
+func micros(d time.Duration) float64 {
+	if d < 0 {
+		d = 0
+	}
+	return float64(d.Nanoseconds()) / 1e3
+}
+
+// WriteTree renders every completed trace as an indented human-readable
+// summary, newest last.
+func (t *Tracer) WriteTree(w io.Writer) error {
+	for _, r := range t.Snapshot() {
+		if err := WriteTreeSpan(w, r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteTreeSpan renders one trace tree.
+func WriteTreeSpan(w io.Writer, root *Span) error {
+	if root == nil {
+		return nil
+	}
+	return writeTree(w, root, 0)
+}
+
+func writeTree(w io.Writer, s *Span, depth int) error {
+	var sb strings.Builder
+	sb.WriteString(strings.Repeat("  ", depth))
+	sb.WriteString(s.Name())
+	if depth == 0 && s.TraceID() != "" {
+		fmt.Fprintf(&sb, " [%s]", s.TraceID())
+	}
+	fmt.Fprintf(&sb, " %s", s.effectiveEnd().Sub(s.Start()))
+	for _, a := range s.Attrs() {
+		fmt.Fprintf(&sb, " %s=%s", a.Key, a.render())
+	}
+	sb.WriteByte('\n')
+	if _, err := io.WriteString(w, sb.String()); err != nil {
+		return err
+	}
+	for _, c := range s.Children() {
+		if err := writeTree(w, c, depth+1); err != nil {
+			return err
+		}
+	}
+	return nil
+}

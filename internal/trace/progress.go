@@ -1,0 +1,39 @@
+package trace
+
+import (
+	"fmt"
+	"time"
+
+	"prefcover/internal/greedy"
+)
+
+// IterationRecorder adapts the solver's existing ProgressEvent stream into
+// per-iteration child spans of solveSpan, so strategies need no tracing
+// plumbing of their own. Each event closes a span covering the time since
+// the previous event (or since solveSpan started, for the first pick),
+// carrying the Section 5.4 cost accounting as attributes: candidates
+// evaluated this iteration and lazy-heap re-evaluations.
+//
+// The returned hook must be called from a single goroutine, which matches
+// the Options.Progress contract (the solver notifies synchronously from
+// its own goroutine). A nil solveSpan yields a no-op hook.
+func IterationRecorder(solveSpan *Span) func(greedy.ProgressEvent) {
+	if solveSpan == nil {
+		return func(greedy.ProgressEvent) {}
+	}
+	last := solveSpan.Start()
+	return func(ev greedy.ProgressEvent) {
+		now := time.Now()
+		sp := solveSpan.ChildAt(fmt.Sprintf("iteration %d", ev.Step), last)
+		sp.SetAttr("step", ev.Step)
+		sp.SetAttr("node", int64(ev.Node))
+		sp.SetAttr("strategy", ev.Strategy)
+		sp.SetAttr("gain", ev.Gain)
+		sp.SetAttr("cover", ev.Cover)
+		sp.SetAttr("evaluated", ev.Evaluated)
+		sp.SetAttr("reevaluated", ev.Reevaluated)
+		sp.SetAttr("totalEvals", ev.TotalEvals)
+		sp.EndAt(now)
+		last = now
+	}
+}

@@ -1,0 +1,231 @@
+package trace
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"prefcover/internal/graph"
+	"prefcover/internal/graphtest"
+	"prefcover/internal/greedy"
+)
+
+// testGraph builds a seeded random preference graph for recorder tests.
+func testGraph(t *testing.T, n int) *graph.Graph {
+	t.Helper()
+	return graphtest.Random(rand.New(rand.NewSource(7)), n, 4, graph.Independent)
+}
+
+// TestSpanTreeConcurrent exercises the documented thread-safety contract:
+// children and attributes created from many goroutines land exactly once,
+// with unique IDs, while the parent is concurrently queried. Run with
+// -race (make test-race) to validate the locking.
+func TestSpanTreeConcurrent(t *testing.T) {
+	tr := New(4)
+	root := tr.Root("request", "req-1")
+	const workers, perWorker = 8, 50
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c := root.Child(fmt.Sprintf("child-%d-%d", w, i))
+				c.SetAttr("worker", w)
+				g := c.Child("grandchild")
+				g.End()
+				c.End()
+			}
+		}(w)
+	}
+	// Concurrent readers must not race with the writers.
+	for i := 0; i < 100; i++ {
+		_ = root.Children()
+		_ = root.Attrs()
+	}
+	wg.Wait()
+	root.End()
+
+	kids := root.Children()
+	if len(kids) != workers*perWorker {
+		t.Fatalf("%d children, want %d", len(kids), workers*perWorker)
+	}
+	ids := map[int64]bool{root.id: true}
+	for _, c := range kids {
+		if ids[c.id] {
+			t.Fatalf("duplicate span id %d", c.id)
+		}
+		ids[c.id] = true
+		if got := len(c.Children()); got != 1 {
+			t.Fatalf("child has %d grandchildren, want 1", got)
+		}
+		if c.TraceID() != "req-1" {
+			t.Fatalf("child traceID %q", c.TraceID())
+		}
+	}
+	if want := 1 + 2*workers*perWorker; root.NumSpans() != want {
+		t.Errorf("NumSpans = %d, want %d", root.NumSpans(), want)
+	}
+}
+
+// TestRingEviction pins the flight-recorder bound: the ring never holds
+// more than capacity root traces, evicts oldest-first, and counts drops.
+func TestRingEviction(t *testing.T) {
+	tr := New(3)
+	for i := 0; i < 10; i++ {
+		root := tr.Root(fmt.Sprintf("r%d", i), "")
+		root.End()
+	}
+	snap := tr.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("ring holds %d, want 3", len(snap))
+	}
+	for i, want := range []string{"r7", "r8", "r9"} {
+		if snap[i].Name() != want {
+			t.Errorf("ring[%d] = %q, want %q", i, snap[i].Name(), want)
+		}
+	}
+	if tr.Dropped() != 7 {
+		t.Errorf("Dropped = %d, want 7", tr.Dropped())
+	}
+}
+
+// TestRingEvictionConcurrent hammers record from many goroutines and
+// checks the bound still holds (run under -race).
+func TestRingEvictionConcurrent(t *testing.T) {
+	tr := New(5)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				tr.Root("r", "").End()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := len(tr.Snapshot()); got != 5 {
+		t.Fatalf("ring holds %d, want 5", got)
+	}
+	if tr.Dropped() != 8*100-5 {
+		t.Errorf("Dropped = %d, want %d", tr.Dropped(), 8*100-5)
+	}
+}
+
+// TestNilSpanSafety: the whole Span API must be a no-op on nil so
+// untraced code paths need no branches.
+func TestNilSpanSafety(t *testing.T) {
+	var s *Span
+	s.SetAttr("k", "v")
+	s.End()
+	s.EndAt(time.Now())
+	if c := s.Child("x"); c != nil {
+		t.Error("nil.Child != nil")
+	}
+	if s.Name() != "" || s.TraceID() != "" || s.Ended() || s.Duration() != 0 ||
+		s.Children() != nil || s.Attrs() != nil || s.Attr("k") != nil || s.NumSpans() != 0 {
+		t.Error("nil accessors not zero-valued")
+	}
+}
+
+func TestContextPropagation(t *testing.T) {
+	ctx := context.Background()
+	if FromContext(ctx) != nil {
+		t.Fatal("bare context has a span")
+	}
+	// Without a span installed, StartSpan is a transparent no-op.
+	ctx2, sp := StartSpan(ctx, "x")
+	if sp != nil || ctx2 != ctx {
+		t.Fatal("StartSpan on bare context should be a no-op")
+	}
+	tr := New(0)
+	root := tr.Root("root", "id-1")
+	ctx = NewContext(ctx, root)
+	ctx, child := StartSpan(ctx, "phase")
+	if child == nil || FromContext(ctx) != child {
+		t.Fatal("StartSpan did not install the child")
+	}
+	if kids := root.Children(); len(kids) != 1 || kids[0] != child {
+		t.Fatal("child not attached to root")
+	}
+}
+
+func TestEndIdempotentAndRecordOnce(t *testing.T) {
+	tr := New(0)
+	root := tr.Root("r", "")
+	end1 := time.Now()
+	root.EndAt(end1)
+	root.EndAt(end1.Add(time.Hour)) // ignored
+	if got := len(tr.Snapshot()); got != 1 {
+		t.Fatalf("recorded %d times, want 1", got)
+	}
+	if root.effectiveEnd() != end1 {
+		t.Error("second End overwrote the first")
+	}
+}
+
+// TestIterationRecorder feeds a real solve's ProgressEvent stream through
+// the bridge and checks span-per-iteration with matching work counters —
+// the contract the CLI's -trace and the server's flight recorder rely on.
+func TestIterationRecorder(t *testing.T) {
+	g := testGraph(t, 40)
+	tr := New(0)
+	root := tr.Root("solve-run", "")
+	solveSpan := root.Child("solve")
+	record := IterationRecorder(solveSpan)
+	var events []greedy.ProgressEvent
+	sol, err := greedy.Solve(g, greedy.Options{
+		K: 10, Lazy: true,
+		Progress: func(ev greedy.ProgressEvent) {
+			events = append(events, ev)
+			record(ev)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	solveSpan.End()
+	root.End()
+
+	iters := solveSpan.Children()
+	if len(iters) != len(sol.Order) || len(iters) != len(events) {
+		t.Fatalf("%d iteration spans, %d selections, %d events", len(iters), len(sol.Order), len(events))
+	}
+	var spanEvals, spanReevals int64
+	for i, sp := range iters {
+		if want := fmt.Sprintf("iteration %d", i+1); sp.Name() != want {
+			t.Errorf("span %d named %q, want %q", i, sp.Name(), want)
+		}
+		if got := sp.Attr("node"); got != int64(events[i].Node) {
+			t.Errorf("span %d node = %v, want %d", i, got, events[i].Node)
+		}
+		spanEvals += sp.Attr("evaluated").(int64)
+		spanReevals += sp.Attr("reevaluated").(int64)
+		if !sp.Ended() {
+			t.Errorf("span %d not ended", i)
+		}
+	}
+	// The per-span counters must sum to the run's totals (the lazy heap
+	// build is charged to TotalEvals, not any iteration — mirror that).
+	var evEvals, evReevals int64
+	for _, ev := range events {
+		evEvals += ev.Evaluated
+		evReevals += ev.Reevaluated
+	}
+	if spanEvals != evEvals || spanReevals != evReevals {
+		t.Errorf("span totals evals=%d reevals=%d, events evals=%d reevals=%d",
+			spanEvals, spanReevals, evEvals, evReevals)
+	}
+	if last := iters[len(iters)-1].Attr("totalEvals"); last != sol.GainEvals {
+		t.Errorf("last totalEvals attr = %v, want %d", last, sol.GainEvals)
+	}
+}
+
+func TestIterationRecorderNil(t *testing.T) {
+	record := IterationRecorder(nil)
+	record(greedy.ProgressEvent{Step: 1}) // must not panic
+}

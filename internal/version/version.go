@@ -1,0 +1,68 @@
+// Package version reports build identity — module version, VCS revision
+// and Go toolchain — from the build info the Go linker embeds, so traces,
+// benchmark trajectories and running daemons can be tied to an exact
+// build without any -ldflags ceremony.
+package version
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+)
+
+// Info is the build identity surfaced by `prefcover version`,
+// `prefcoverd -version` and GET /version.
+type Info struct {
+	// Module is the main module path (e.g. "prefcover").
+	Module string `json:"module"`
+	// Version is the module version, "(devel)" for source builds.
+	Version string `json:"version"`
+	// Revision is the VCS commit hash, "unknown" when the build carries
+	// no VCS stamp (go test binaries, GOFLAGS=-buildvcs=false).
+	Revision string `json:"revision"`
+	// Dirty reports uncommitted changes at build time.
+	Dirty bool `json:"dirty"`
+	// GoVersion is the toolchain that built the binary.
+	GoVersion string `json:"goVersion"`
+}
+
+// Get assembles the Info for the running binary.
+func Get() Info {
+	info := Info{
+		Module:    "prefcover",
+		Version:   "(devel)",
+		Revision:  "unknown",
+		GoVersion: runtime.Version(),
+	}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return info
+	}
+	if bi.Main.Path != "" {
+		info.Module = bi.Main.Path
+	}
+	if bi.Main.Version != "" {
+		info.Version = bi.Main.Version
+	}
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			info.Revision = s.Value
+		case "vcs.modified":
+			info.Dirty = s.Value == "true"
+		}
+	}
+	return info
+}
+
+// String renders the one-line form used by the -version flags.
+func (i Info) String() string {
+	rev := i.Revision
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	if i.Dirty {
+		rev += "+dirty"
+	}
+	return fmt.Sprintf("%s %s (%s, %s)", i.Module, i.Version, rev, i.GoVersion)
+}

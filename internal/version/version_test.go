@@ -1,0 +1,54 @@
+package version
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestGet(t *testing.T) {
+	info := Get()
+	if info.Module == "" {
+		t.Error("empty module")
+	}
+	if info.Version == "" {
+		t.Error("empty version")
+	}
+	if info.GoVersion == "" || !strings.HasPrefix(info.GoVersion, "go") {
+		t.Errorf("goVersion = %q, want go*", info.GoVersion)
+	}
+	// The JSON shape is part of the /version API contract.
+	b, err := json.Marshal(info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"module"`, `"version"`, `"goVersion"`} {
+		if !strings.Contains(string(b), key) {
+			t.Errorf("JSON missing %s: %s", key, b)
+		}
+	}
+}
+
+func TestString(t *testing.T) {
+	info := Info{Module: "prefcover", Version: "v1.2.3", Revision: "abcdef1234567890", GoVersion: "go1.22.0"}
+	s := info.String()
+	if !strings.Contains(s, "prefcover") || !strings.Contains(s, "v1.2.3") ||
+		!strings.Contains(s, "abcdef123456") || !strings.Contains(s, "go1.22.0") {
+		t.Errorf("String() = %q missing fields", s)
+	}
+	if strings.Contains(s, "+dirty") {
+		t.Errorf("clean build rendered dirty: %q", s)
+	}
+	info.Dirty = true
+	if !strings.Contains(info.String(), "+dirty") {
+		t.Errorf("dirty build not flagged: %q", info.String())
+	}
+}
+
+func TestStringNoRevision(t *testing.T) {
+	info := Info{Module: "prefcover", Version: "(devel)", GoVersion: "go1.22.0"}
+	s := info.String()
+	if !strings.Contains(s, "(devel)") || !strings.Contains(s, "go1.22.0") {
+		t.Errorf("String() = %q", s)
+	}
+}
