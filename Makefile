@@ -9,6 +9,8 @@ FUZZ_TARGETS := \
 	./internal/clickstream:FuzzTSVReader \
 	./internal/clickstream:FuzzJSONLReader \
 	./internal/clickstream:FuzzClickstreamParse \
+	./internal/store:FuzzValidateName \
+	./internal/jobs:FuzzJobRequestJSON \
 	./cmd/prefcover:FuzzGraphImport
 
 .PHONY: all build test test-race fuzz-short bench bench-json vet fmt-check ci
@@ -46,9 +48,10 @@ fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
-# ci is the pre-merge gate: static checks, full build and tests, plus a
-# smoke run of the benchmark harness (tiny benchtime; result discarded).
-ci: vet fmt-check build test
+# ci is the pre-merge gate: static checks, full build and tests (including
+# the race detector — the jobs/cache/store subsystems are concurrency-heavy),
+# plus a smoke run of the benchmark harness (tiny benchtime; result discarded).
+ci: vet fmt-check build test test-race
 	$(GO) run ./cmd/benchjson -quiet -benchtime 1x \
 		-bench '^(BenchmarkGainKernels|BenchmarkFig4aGreedySmall|BenchmarkPublicSolve)$$' \
 		-out $(or $(TMPDIR),/tmp)/prefcover-bench-smoke.json

@@ -23,6 +23,7 @@ import (
 	igraph "prefcover/internal/graph"
 	igreedy "prefcover/internal/greedy"
 	isimilarity "prefcover/internal/similarity"
+	"prefcover/internal/solvecache"
 	isparsify "prefcover/internal/sparsify"
 	isynth "prefcover/internal/synth"
 	iyoochoose "prefcover/internal/yoochoose"
@@ -527,4 +528,57 @@ func BenchmarkPublicSolve(b *testing.B) {
 			b.Fatal("wrong cover")
 		}
 	}
+}
+
+// BenchmarkSolveCacheHitVsMiss quantifies what the prefcoverd solve cache
+// buys on a YC-preset graph: "miss" is the cold path (greedy solve plus
+// packaging the result for the cache), "hit" answers a smaller budget from
+// the cached prefix via the ordered-prefix property (§3.2) with zero
+// solver work. The hit path is expected to be orders of magnitude faster.
+func BenchmarkSolveCacheHitVsMiss(b *testing.B) {
+	key := "yc-cache"
+	g, ok := benchGraphs[key]
+	if !ok {
+		spec, err := isynth.PresetGraphSpec(isynth.YC, 0.02, 42)
+		if err != nil {
+			b.Fatal(err)
+		}
+		g, err = isynth.GenerateGraph(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchGraphs[key] = g
+	}
+	kMax := 200
+	if kMax > g.NumNodes() {
+		kMax = g.NumNodes()
+	}
+	cacheKey := solvecache.Key{
+		GraphHash: "bench", Variant: igraph.Independent, Strategy: igreedy.StrategyLazy,
+	}
+	solveMax := func() *igreedy.Solution {
+		sol, err := igreedy.Solve(g, igreedy.Options{Variant: igraph.Independent, K: kMax, Lazy: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return sol
+	}
+
+	b.Run("miss", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			c := solvecache.New(solvecache.Options{})
+			c.Store(cacheKey, solvecache.NewResult(solveMax(), g.NumNodes(), 0))
+		}
+	})
+	b.Run("hit", func(b *testing.B) {
+		c := solvecache.New(solvecache.Options{})
+		c.Store(cacheKey, solvecache.NewResult(solveMax(), g.NumNodes(), 0))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			hit, ok := c.Lookup(cacheKey, solvecache.Query{K: 1 + i%kMax})
+			if !ok || len(hit.Order) == 0 {
+				b.Fatal("warm lookup missed")
+			}
+		}
+	})
 }

@@ -48,6 +48,7 @@ var commands = []command{
 	{"solve", "select the retained inventory from a graph", runSolve},
 	{"eval", "score an explicit retained set", runEval},
 	{"simulate", "Monte Carlo-validate a retained set against the graph", runSimulate},
+	{"remote", "talk to a prefcoverd: push graphs, solve by reference, run async jobs", runRemote},
 	{"version", "print the build identity (module version, VCS revision, Go)", runVersion},
 }
 

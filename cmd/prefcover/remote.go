@@ -1,0 +1,273 @@
+package main
+
+// The remote subcommand is the thin client for a running prefcoverd: push
+// a graph into the server's registry, solve it by reference through the
+// server's prefix-aware cache, or run the solve as an async job and poll
+// it to completion. Everything speaks the /v1/graphs, /v1/solve and
+// /v1/jobs JSON API; the heavy lifting stays server-side, so the same
+// graph uploaded once serves any number of budget queries with zero
+// re-parsing and (warm cache) zero solver work.
+//
+//	prefcover remote push  -server URL -name yc [-in graph.json] [-format json]
+//	prefcover remote solve -server URL -graph yc -variant i -k 100
+//	prefcover remote job   -server URL -graph yc -variant i -k 100 [-wait]
+//	prefcover remote job   -server URL -status ID | -cancel ID
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+)
+
+func runRemote(ctx context.Context, args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("usage: prefcover remote push|solve|job [flags] (see prefcover remote <verb> -h)")
+	}
+	verb, rest := args[0], args[1:]
+	switch verb {
+	case "push":
+		return runRemotePush(ctx, rest)
+	case "solve":
+		return runRemoteSolve(ctx, rest)
+	case "job":
+		return runRemoteJob(ctx, rest)
+	default:
+		return fmt.Errorf("unknown remote verb %q (want push, solve or job)", verb)
+	}
+}
+
+// remoteDo issues one API request and decodes the JSON reply (or surfaces
+// the server's JSON error envelope as an error).
+func remoteDo(ctx context.Context, method, url string, contentType string, body io.Reader, out any) error {
+	req, err := http.NewRequestWithContext(ctx, method, url, body)
+	if err != nil {
+		return err
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 256<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode >= 400 {
+		var apiErr struct {
+			Error     string `json:"error"`
+			RequestID string `json:"requestId"`
+		}
+		if json.Unmarshal(data, &apiErr) == nil && apiErr.Error != "" {
+			return fmt.Errorf("%s %s: %s (%s, request %s)", method, url, apiErr.Error, resp.Status, apiErr.RequestID)
+		}
+		return fmt.Errorf("%s %s: %s", method, url, resp.Status)
+	}
+	if out == nil || len(bytes.TrimSpace(data)) == 0 {
+		return nil
+	}
+	return json.Unmarshal(data, out)
+}
+
+// printJSON writes v to stdout, indented for humans.
+func printJSON(v any) error {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
+
+func runRemotePush(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("remote push", flag.ExitOnError)
+	var (
+		server = fs.String("server", "http://localhost:8080", "prefcoverd base URL")
+		name   = fs.String("name", "", "registry name for the graph (required)")
+		in     = fs.String("in", "-", "graph file (default stdin)")
+		format = fs.String("format", "json", "wire format of the input: json, binary or tsv")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *name == "" {
+		return fmt.Errorf("remote push: -name is required")
+	}
+	var contentType string
+	switch *format {
+	case "json":
+		contentType = "application/json"
+	case "binary":
+		contentType = "application/octet-stream"
+	case "tsv":
+		contentType = "text/tab-separated-values"
+	default:
+		return fmt.Errorf("remote push: unknown -format %q (want json, binary or tsv)", *format)
+	}
+	f, closeIn, err := openIn(*in)
+	if err != nil {
+		return err
+	}
+	defer closeIn()
+	var info map[string]any
+	url := strings.TrimRight(*server, "/") + "/v1/graphs/" + *name
+	if err := remoteDo(ctx, http.MethodPut, url, contentType, f, &info); err != nil {
+		return err
+	}
+	return printJSON(info)
+}
+
+// solveQuery renders the shared solver parameters as a query string.
+func solveQuery(variant string, k int, threshold float64, lazy bool, workers int, pins []string) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "?variant=%s", variant)
+	if k > 0 {
+		fmt.Fprintf(&sb, "&k=%d", k)
+	}
+	if threshold > 0 {
+		fmt.Fprintf(&sb, "&threshold=%g", threshold)
+	}
+	if !lazy {
+		sb.WriteString("&lazy=0")
+	}
+	if workers > 1 {
+		fmt.Fprintf(&sb, "&workers=%d", workers)
+	}
+	for _, p := range pins {
+		fmt.Fprintf(&sb, "&pin=%s", p)
+	}
+	return sb.String()
+}
+
+// splitPins turns the comma-separated -pins flag into labels.
+func splitPins(flagVal string) []string {
+	if flagVal == "" {
+		return nil
+	}
+	parts := strings.Split(flagVal, ",")
+	out := parts[:0]
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func runRemoteSolve(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("remote solve", flag.ExitOnError)
+	var (
+		server    = fs.String("server", "http://localhost:8080", "prefcoverd base URL")
+		graphRef  = fs.String("graph", "", "registered graph name (required)")
+		variant   = fs.String("variant", "independent", "variant: independent or normalized")
+		k         = fs.Int("k", 0, "retained-set budget (budget mode)")
+		threshold = fs.Float64("threshold", 0, "target cover in (0,1] (minimization mode)")
+		lazy      = fs.Bool("lazy", true, "use lazy (CELF) evaluation")
+		workers   = fs.Int("workers", 1, "parallel scan workers")
+		pins      = fs.String("pins", "", "comma-separated must-stock labels, retained before the greedy fill")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *graphRef == "" {
+		return fmt.Errorf("remote solve: -graph is required")
+	}
+	body, _ := json.Marshal(map[string]string{"graph_ref": *graphRef})
+	url := strings.TrimRight(*server, "/") + "/v1/solve" +
+		solveQuery(*variant, *k, *threshold, *lazy, *workers, splitPins(*pins))
+	var out map[string]any
+	if err := remoteDo(ctx, http.MethodPost, url, "application/json", bytes.NewReader(body), &out); err != nil {
+		return err
+	}
+	return printJSON(out)
+}
+
+func runRemoteJob(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("remote job", flag.ExitOnError)
+	var (
+		server    = fs.String("server", "http://localhost:8080", "prefcoverd base URL")
+		graphRef  = fs.String("graph", "", "registered graph name (submits a new job)")
+		variant   = fs.String("variant", "independent", "variant: independent or normalized")
+		k         = fs.Int("k", 0, "retained-set budget (budget mode)")
+		threshold = fs.Float64("threshold", 0, "target cover in (0,1] (minimization mode)")
+		lazy      = fs.Bool("lazy", true, "use lazy (CELF) evaluation")
+		workers   = fs.Int("workers", 1, "parallel scan workers")
+		pins      = fs.String("pins", "", "comma-separated must-stock labels")
+		wait      = fs.Bool("wait", false, "poll the submitted job until it finishes and print the final state")
+		interval  = fs.Duration("interval", 500*time.Millisecond, "polling interval for -wait")
+		status    = fs.String("status", "", "print the state of this job id and exit")
+		cancel    = fs.String("cancel", "", "cancel this job id and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	base := strings.TrimRight(*server, "/")
+	switch {
+	case *status != "":
+		var out map[string]any
+		if err := remoteDo(ctx, http.MethodGet, base+"/v1/jobs/"+*status, "", nil, &out); err != nil {
+			return err
+		}
+		return printJSON(out)
+	case *cancel != "":
+		var out map[string]any
+		if err := remoteDo(ctx, http.MethodDelete, base+"/v1/jobs/"+*cancel, "", nil, &out); err != nil {
+			return err
+		}
+		return printJSON(out)
+	case *graphRef == "":
+		return fmt.Errorf("remote job: need -graph (submit), -status ID or -cancel ID")
+	}
+
+	payload := map[string]any{"graph_ref": *graphRef, "variant": *variant}
+	if *k > 0 {
+		payload["k"] = *k
+	}
+	if *threshold > 0 {
+		payload["threshold"] = *threshold
+	}
+	if !*lazy {
+		payload["lazy"] = false
+	}
+	if *workers > 1 {
+		payload["workers"] = *workers
+	}
+	if ps := splitPins(*pins); len(ps) > 0 {
+		payload["pins"] = ps
+	}
+	body, _ := json.Marshal(payload)
+	var submitted map[string]any
+	if err := remoteDo(ctx, http.MethodPost, base+"/v1/jobs", "application/json", bytes.NewReader(body), &submitted); err != nil {
+		return err
+	}
+	id, _ := submitted["id"].(string)
+	if !*wait || id == "" {
+		return printJSON(submitted)
+	}
+	for {
+		var snap map[string]any
+		if err := remoteDo(ctx, http.MethodGet, base+"/v1/jobs/"+id, "", nil, &snap); err != nil {
+			return err
+		}
+		switch snap["state"] {
+		case "done", "failed", "canceled":
+			return printJSON(snap)
+		}
+		if state, ok := snap["state"].(string); ok {
+			if prog, ok := snap["progress"].(map[string]any); ok {
+				fmt.Fprintf(os.Stderr, "job %s: %s step=%v cover=%v\n", id, state, prog["step"], prog["cover"])
+			}
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(*interval):
+		}
+	}
+}

@@ -27,7 +27,9 @@ import (
 	"syscall"
 	"time"
 
+	"prefcover/internal/jobs"
 	"prefcover/internal/server"
+	"prefcover/internal/store"
 	"prefcover/internal/version"
 )
 
@@ -49,6 +51,12 @@ func run() int {
 		traceCap      = flag.Int("trace-capacity", 256, "how many request traces the flight recorder retains")
 		pprofAddr     = flag.String("pprof", "", "serve net/http/pprof on this extra address (e.g. localhost:6060); empty = disabled")
 		showVersion   = flag.Bool("version", false, "print the build identity and exit")
+
+		storeDir       = flag.String("store-dir", "", "persist registered graphs to this directory and reload them at startup (empty = in-memory only)")
+		storeMaxGraphs = flag.Int("store-max-graphs", 0, "maximum registered graphs before LRU eviction (0 = default)")
+		storeMaxBytes  = flag.Int64("store-max-bytes-mb", 0, "maximum MiB of registered graph content before LRU eviction (0 = default)")
+		jobWorkers     = flag.Int("job-workers", 1, "async solve workers; they share -max-concurrent slots with synchronous requests")
+		jobQueue       = flag.Int("job-queue", 0, "maximum queued async jobs before submissions get 429 (0 = default)")
 	)
 	flag.Parse()
 	if *showVersion {
@@ -65,12 +73,29 @@ func run() int {
 	}
 	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 
-	srv := server.New(server.Limits{
-		MaxBodyBytes:  *maxBody << 20,
-		MaxSolveK:     *maxK,
-		SolveTimeout:  *solveTimeout,
-		MaxConcurrent: *maxConcurrent,
-	}, logger)
+	srv, err := server.NewWithConfig(server.Config{
+		Limits: server.Limits{
+			MaxBodyBytes:  *maxBody << 20,
+			MaxSolveK:     *maxK,
+			SolveTimeout:  *solveTimeout,
+			MaxConcurrent: *maxConcurrent,
+		},
+		Logger: logger,
+		Store: store.Options{
+			Dir:       *storeDir,
+			MaxGraphs: *storeMaxGraphs,
+			MaxBytes:  *storeMaxBytes << 20,
+		},
+		Jobs: jobs.Options{
+			Workers:    *jobWorkers,
+			QueueDepth: *jobQueue,
+		},
+	})
+	if err != nil {
+		logger.Error("server construction failed", "error", err)
+		return 1
+	}
+	defer srv.Close()
 	if *traceSample > 0 {
 		srv.EnableTracing(*traceSample, *traceCap)
 	}

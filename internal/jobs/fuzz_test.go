@@ -1,0 +1,35 @@
+package jobs
+
+import (
+	"testing"
+)
+
+// FuzzJobRequestJSON feeds arbitrary bytes to ParseRequest: it must never
+// panic, and any request it accepts must re-validate cleanly and carry a
+// parseable variant.
+func FuzzJobRequestJSON(f *testing.F) {
+	f.Add([]byte(`{"graph_ref":"yc","variant":"independent","k":10}`))
+	f.Add([]byte(`{"graph_ref":"yc","variant":"n","threshold":0.9}`))
+	f.Add([]byte(`{"graph_ref":"yc","variant":"i","k":5,"lazy":false,"workers":4,"pins":["a","b"]}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"graph_ref":"x","variant":"i","k":1}{"extra":1}`))
+	f.Add([]byte(`{"graph_ref":"x","variant":"i","k":-1}`))
+	f.Add([]byte(`{"graph_ref":"x","variant":"i","threshold":1.5}`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(``))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := ParseRequest(data)
+		if err != nil {
+			return
+		}
+		if verr := req.Validate(); verr != nil {
+			t.Fatalf("accepted request fails re-validation: %v (input %q)", verr, data)
+		}
+		if _, verr := req.ParseVariant(); verr != nil {
+			t.Fatalf("accepted request has unparseable variant %q", req.Variant)
+		}
+		if req.GraphRef == "" {
+			t.Fatalf("accepted request with empty graph_ref (input %q)", data)
+		}
+	})
+}

@@ -1,0 +1,409 @@
+// Package jobs is prefcoverd's async solve queue. Synchronous /v1/solve
+// holds an HTTP connection for the whole solve, which breaks down exactly
+// where the ROADMAP points — large catalogs where a greedy run takes
+// minutes. A job instead references a registered graph by name, enters a
+// bounded queue (full queue = immediate 429-style rejection, the same
+// load-shedding philosophy as the synchronous limiter), runs on a bounded
+// worker pool that shares the server's concurrency budget, streams
+// per-iteration progress from the solver's Options.Progress events, and
+// can be canceled at any point in its lifecycle. Results are whatever the
+// submitted task returns — the server lands them in the solve cache so a
+// finished job warms every subsequent prefix query.
+//
+// The package is solver-agnostic: Submit takes a Task closure, and the
+// manager owns only lifecycle — queueing, worker dispatch, cancellation,
+// progress snapshots, and bounded retention of finished jobs.
+package jobs
+
+import (
+	"context"
+	crand "crypto/rand"
+	"encoding/hex"
+	"errors"
+	"sync"
+	"time"
+)
+
+// State is a job's lifecycle position.
+type State string
+
+const (
+	StateQueued   State = "queued"
+	StateRunning  State = "running"
+	StateDone     State = "done"
+	StateFailed   State = "failed"
+	StateCanceled State = "canceled"
+)
+
+// Terminal reports whether a job in this state will never change again.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// Progress is the latest solver position, fed by the task via its update
+// callback (one call per greedy iteration).
+type Progress struct {
+	// Step is the number of items selected so far.
+	Step int `json:"step"`
+	// Target is the requested budget (0 in pure threshold mode).
+	Target int `json:"target,omitempty"`
+	// Cover is C(S) after Step selections.
+	Cover float64 `json:"cover"`
+}
+
+// Task is the work a job performs. It must honor ctx (cancellation) and
+// may call update from the solver's progress hook; the returned value is
+// exposed as the job's Result.
+type Task func(ctx context.Context, update func(Progress)) (any, error)
+
+// Snapshot is an immutable copy of a job's externally visible state.
+type Snapshot struct {
+	ID       string
+	State    State
+	Progress Progress
+	// Result is the task's return value; non-nil only when State is done.
+	Result any
+	// Err is the task failure; non-nil only for failed/canceled.
+	Err      error
+	Created  time.Time
+	Started  time.Time
+	Finished time.Time
+}
+
+// Errors returned by Submit.
+var (
+	// ErrQueueFull: the bounded queue is at capacity — shed load, retry
+	// later.
+	ErrQueueFull = errors.New("jobs: queue full")
+	// ErrClosed: the manager is shutting down.
+	ErrClosed = errors.New("jobs: manager closed")
+)
+
+// Options configures a Manager.
+type Options struct {
+	// Workers is the worker-pool width (0 = 1).
+	Workers int
+	// QueueDepth bounds queued-but-not-running jobs (0 = DefaultQueueDepth).
+	QueueDepth int
+	// MaxFinished bounds retained terminal jobs; the oldest are forgotten
+	// first (0 = DefaultMaxFinished).
+	MaxFinished int
+	// Gate, when non-nil, is the server's shared concurrency limiter: a
+	// worker holds one slot for the duration of each task, so async jobs
+	// and synchronous /v1/* requests compete for the same solve budget
+	// instead of oversubscribing the machine.
+	Gate chan struct{}
+	// OnFinish, when non-nil, is called once per job reaching a terminal
+	// state (metrics).
+	OnFinish func(State)
+}
+
+const (
+	DefaultQueueDepth  = 64
+	DefaultMaxFinished = 256
+)
+
+// job is the internal mutable record; all fields are guarded by
+// Manager.mu.
+type job struct {
+	id       string
+	state    State
+	progress Progress
+	result   any
+	err      error
+	created  time.Time
+	started  time.Time
+	finished time.Time
+	task     Task
+	cancel   context.CancelFunc
+	ctx      context.Context
+}
+
+// Manager owns the queue, the worker pool, and the job table.
+type Manager struct {
+	opts Options
+
+	mu       sync.Mutex
+	jobs     map[string]*job
+	doneFIFO []string // terminal job ids, oldest first, for bounded retention
+	queued   int
+	running  int
+	closed   bool
+
+	queue chan *job
+	wg    sync.WaitGroup
+	// base is canceled by Close to tear down queued and running jobs.
+	base     context.Context
+	baseStop context.CancelFunc
+}
+
+// New starts the worker pool.
+func New(opts Options) *Manager {
+	if opts.Workers <= 0 {
+		opts.Workers = 1
+	}
+	if opts.QueueDepth <= 0 {
+		opts.QueueDepth = DefaultQueueDepth
+	}
+	if opts.MaxFinished <= 0 {
+		opts.MaxFinished = DefaultMaxFinished
+	}
+	base, stop := context.WithCancel(context.Background())
+	m := &Manager{
+		opts:     opts,
+		jobs:     make(map[string]*job),
+		queue:    make(chan *job, opts.QueueDepth),
+		base:     base,
+		baseStop: stop,
+	}
+	for i := 0; i < opts.Workers; i++ {
+		m.wg.Add(1)
+		go m.worker()
+	}
+	return m
+}
+
+// Submit enqueues a task and returns its queued snapshot, or ErrQueueFull
+// / ErrClosed without side effects.
+func (m *Manager) Submit(task Task) (Snapshot, error) {
+	ctx, cancel := context.WithCancel(m.base)
+	j := &job{
+		id:      newID(),
+		state:   StateQueued,
+		created: time.Now(),
+		task:    task,
+		ctx:     ctx,
+		cancel:  cancel,
+	}
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		cancel()
+		return Snapshot{}, ErrClosed
+	}
+	select {
+	case m.queue <- j:
+	default:
+		m.mu.Unlock()
+		cancel()
+		return Snapshot{}, ErrQueueFull
+	}
+	m.jobs[j.id] = j
+	m.queued++
+	snap := j.snapshotLocked()
+	m.mu.Unlock()
+	return snap, nil
+}
+
+// Get returns a snapshot of the job.
+func (m *Manager) Get(id string) (Snapshot, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return Snapshot{}, false
+	}
+	return j.snapshotLocked(), true
+}
+
+// List snapshots every retained job, newest first.
+func (m *Manager) List() []Snapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Snapshot, 0, len(m.jobs))
+	for _, j := range m.jobs {
+		out = append(out, j.snapshotLocked())
+	}
+	// Newest first; ties broken by id for determinism.
+	for i := 1; i < len(out); i++ {
+		for k := i; k > 0 && newerFirst(out[k], out[k-1]); k-- {
+			out[k], out[k-1] = out[k-1], out[k]
+		}
+	}
+	return out
+}
+
+func newerFirst(a, b Snapshot) bool {
+	if !a.Created.Equal(b.Created) {
+		return a.Created.After(b.Created)
+	}
+	return a.ID < b.ID
+}
+
+// Cancel requests cancellation. Queued jobs transition to canceled
+// immediately (the worker discards them on dequeue); running jobs get
+// their context canceled and transition when the task returns. Canceling
+// a terminal or unknown job is a no-op returning false.
+func (m *Manager) Cancel(id string) bool {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	if !ok || j.state.Terminal() {
+		m.mu.Unlock()
+		return false
+	}
+	if j.state == StateQueued {
+		m.finishLocked(j, StateCanceled, nil, context.Canceled)
+		m.queued--
+		m.mu.Unlock()
+		j.cancel()
+		return true
+	}
+	m.mu.Unlock()
+	j.cancel() // running: the task observes ctx and returns
+	return true
+}
+
+// Remove forgets a terminal job (DELETE on a finished job). Non-terminal
+// jobs are not removable — cancel first.
+func (m *Manager) Remove(id string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok || !j.state.Terminal() {
+		return false
+	}
+	delete(m.jobs, id)
+	return true
+}
+
+// Depth returns how many jobs are queued but not yet running.
+func (m *Manager) Depth() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.queued
+}
+
+// Running returns how many jobs are executing right now.
+func (m *Manager) Running() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.running
+}
+
+// Close stops intake, cancels every queued and running job, and waits for
+// the workers to drain.
+func (m *Manager) Close() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		m.wg.Wait()
+		return
+	}
+	m.closed = true
+	m.mu.Unlock()
+	m.baseStop() // cancels every job context, queued and running
+	close(m.queue)
+	m.wg.Wait()
+}
+
+// worker drains the queue until Close.
+func (m *Manager) worker() {
+	defer m.wg.Done()
+	for j := range m.queue {
+		m.runOne(j)
+	}
+}
+
+// runOne executes a single job end to end.
+func (m *Manager) runOne(j *job) {
+	m.mu.Lock()
+	if j.state != StateQueued {
+		// Canceled while queued; already terminal.
+		m.mu.Unlock()
+		return
+	}
+	// Admission: hold a slot of the shared limiter before flipping to
+	// running, so "running" always means "occupying a solve slot".
+	if m.opts.Gate != nil {
+		m.mu.Unlock()
+		select {
+		case m.opts.Gate <- struct{}{}:
+			defer func() { <-m.opts.Gate }()
+		case <-j.ctx.Done():
+			m.mu.Lock()
+			if j.state == StateQueued {
+				m.finishLocked(j, StateCanceled, nil, j.ctx.Err())
+				m.queued--
+			}
+			m.mu.Unlock()
+			return
+		}
+		m.mu.Lock()
+		if j.state != StateQueued {
+			m.mu.Unlock()
+			return
+		}
+	}
+	j.state = StateRunning
+	j.started = time.Now()
+	m.queued--
+	m.running++
+	m.mu.Unlock()
+
+	update := func(p Progress) {
+		m.mu.Lock()
+		j.progress = p
+		m.mu.Unlock()
+	}
+	result, err := j.task(j.ctx, update)
+
+	m.mu.Lock()
+	m.running--
+	switch {
+	case err == nil:
+		m.finishLocked(j, StateDone, result, nil)
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		m.finishLocked(j, StateCanceled, nil, err)
+	default:
+		m.finishLocked(j, StateFailed, nil, err)
+	}
+	m.mu.Unlock()
+	j.cancel() // release the context's resources
+}
+
+// finishLocked moves j to a terminal state and enforces the finished-job
+// retention bound. Callers hold m.mu.
+func (m *Manager) finishLocked(j *job, state State, result any, err error) {
+	j.state = state
+	j.result = result
+	j.err = err
+	j.finished = time.Now()
+	m.doneFIFO = append(m.doneFIFO, j.id)
+	for len(m.doneFIFO) > m.opts.MaxFinished {
+		oldest := m.doneFIFO[0]
+		m.doneFIFO = m.doneFIFO[1:]
+		// Remove may already have forgotten it; delete is idempotent.
+		if old, ok := m.jobs[oldest]; ok && old.state.Terminal() {
+			delete(m.jobs, oldest)
+		}
+	}
+	if m.opts.OnFinish != nil {
+		// Fire outside the lock? The hook is metrics-increment cheap by
+		// contract; keep it inline for ordering guarantees.
+		m.opts.OnFinish(state)
+	}
+}
+
+func (j *job) snapshotLocked() Snapshot {
+	return Snapshot{
+		ID:       j.id,
+		State:    j.state,
+		Progress: j.progress,
+		Result:   j.result,
+		Err:      j.err,
+		Created:  j.created,
+		Started:  j.started,
+		Finished: j.finished,
+	}
+}
+
+// newID returns a 16-hex-digit random job id.
+func newID() string {
+	var b [8]byte
+	if _, err := crand.Read(b[:]); err != nil {
+		// Fall back to time-based uniqueness; crypto/rand failing means
+		// the host is in much deeper trouble than job-id collisions.
+		return hex.EncodeToString([]byte(time.Now().Format("150405.000000000")))[:16]
+	}
+	return hex.EncodeToString(b[:])
+}

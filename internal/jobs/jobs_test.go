@@ -1,0 +1,328 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// waitState polls until the job reaches want or the deadline passes.
+func waitState(t *testing.T, m *Manager, id string, want State) Snapshot {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		snap, ok := m.Get(id)
+		if !ok {
+			t.Fatalf("job %s vanished while waiting for %s", id, want)
+		}
+		if snap.State == want {
+			return snap
+		}
+		if snap.State.Terminal() {
+			t.Fatalf("job %s reached terminal %s (err=%v), want %s", id, snap.State, snap.Err, want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("job %s never reached %s", id, want)
+	return Snapshot{}
+}
+
+func TestLifecycleDone(t *testing.T) {
+	m := New(Options{Workers: 1})
+	defer m.Close()
+	snap, err := m.Submit(func(ctx context.Context, update func(Progress)) (any, error) {
+		for step := 1; step <= 3; step++ {
+			update(Progress{Step: step, Target: 3, Cover: float64(step) / 3})
+		}
+		return "payload", nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.State != StateQueued || snap.ID == "" {
+		t.Fatalf("submit snapshot = %+v", snap)
+	}
+	final := waitState(t, m, snap.ID, StateDone)
+	if final.Result != "payload" || final.Err != nil {
+		t.Fatalf("final = %+v", final)
+	}
+	if final.Progress.Step != 3 || final.Progress.Cover != 1 {
+		t.Fatalf("progress = %+v", final.Progress)
+	}
+	if final.Finished.Before(final.Started) || final.Started.Before(final.Created) {
+		t.Fatalf("timestamps out of order: %+v", final)
+	}
+}
+
+func TestLifecycleFailed(t *testing.T) {
+	m := New(Options{Workers: 1})
+	defer m.Close()
+	boom := errors.New("boom")
+	snap, err := m.Submit(func(ctx context.Context, update func(Progress)) (any, error) {
+		return nil, boom
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := waitState(t, m, snap.ID, StateFailed)
+	if !errors.Is(final.Err, boom) || final.Result != nil {
+		t.Fatalf("final = %+v", final)
+	}
+}
+
+func TestCancelRunning(t *testing.T) {
+	m := New(Options{Workers: 1})
+	defer m.Close()
+	started := make(chan struct{})
+	snap, err := m.Submit(func(ctx context.Context, update func(Progress)) (any, error) {
+		close(started)
+		<-ctx.Done()
+		return nil, ctx.Err()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	if !m.Cancel(snap.ID) {
+		t.Fatal("Cancel(running) = false")
+	}
+	final := waitState(t, m, snap.ID, StateCanceled)
+	if !errors.Is(final.Err, context.Canceled) {
+		t.Fatalf("err = %v", final.Err)
+	}
+	// Canceling again is a no-op.
+	if m.Cancel(snap.ID) {
+		t.Fatal("Cancel(terminal) = true")
+	}
+}
+
+func TestCancelQueued(t *testing.T) {
+	m := New(Options{Workers: 1})
+	defer m.Close()
+	release := make(chan struct{})
+	blocker, err := m.Submit(func(ctx context.Context, update func(Progress)) (any, error) {
+		<-release
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, m, blocker.ID, StateRunning)
+	queued, err := m.Submit(func(ctx context.Context, update func(Progress)) (any, error) {
+		return nil, fmt.Errorf("must never run")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Cancel(queued.ID) {
+		t.Fatal("Cancel(queued) = false")
+	}
+	if snap, _ := m.Get(queued.ID); snap.State != StateCanceled {
+		t.Fatalf("state = %s immediately after queued cancel", snap.State)
+	}
+	close(release)
+	waitState(t, m, blocker.ID, StateDone)
+	// The worker must have discarded the canceled job, not run it.
+	if snap, _ := m.Get(queued.ID); snap.State != StateCanceled || snap.Err == nil {
+		t.Fatalf("discarded job = %+v", snap)
+	}
+}
+
+func TestQueueFull(t *testing.T) {
+	m := New(Options{Workers: 1, QueueDepth: 1})
+	defer m.Close()
+	release := make(chan struct{})
+	defer close(release)
+	block := func(ctx context.Context, update func(Progress)) (any, error) {
+		select {
+		case <-release:
+		case <-ctx.Done():
+		}
+		return nil, ctx.Err()
+	}
+	running, err := m.Submit(block)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, m, running.ID, StateRunning)
+	if _, err := m.Submit(block); err != nil { // fills the queue
+		t.Fatal(err)
+	}
+	if _, err := m.Submit(block); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("third Submit err = %v, want ErrQueueFull", err)
+	}
+	if got := m.Depth(); got != 1 {
+		t.Fatalf("Depth = %d", got)
+	}
+}
+
+func TestGateSharing(t *testing.T) {
+	gate := make(chan struct{}, 1)
+	m := New(Options{Workers: 2, Gate: gate})
+	defer m.Close()
+	// Occupy the only slot, as a synchronous request would.
+	gate <- struct{}{}
+	snap, err := m.Submit(func(ctx context.Context, update func(Progress)) (any, error) {
+		return 42, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The job cannot start while the slot is held.
+	time.Sleep(20 * time.Millisecond)
+	if got, _ := m.Get(snap.ID); got.State != StateQueued {
+		t.Fatalf("state = %s while gate held, want queued", got.State)
+	}
+	<-gate // release the synchronous slot
+	final := waitState(t, m, snap.ID, StateDone)
+	if final.Result != 42 {
+		t.Fatalf("result = %v", final.Result)
+	}
+}
+
+func TestCancelWhileWaitingForGate(t *testing.T) {
+	gate := make(chan struct{}, 1)
+	gate <- struct{}{} // never released
+	m := New(Options{Workers: 1, Gate: gate})
+	defer m.Close()
+	snap, err := m.Submit(func(ctx context.Context, update func(Progress)) (any, error) {
+		return nil, fmt.Errorf("must never run")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(10 * time.Millisecond)
+	if !m.Cancel(snap.ID) {
+		t.Fatal("Cancel = false")
+	}
+	final := waitState(t, m, snap.ID, StateCanceled)
+	if final.Result != nil {
+		t.Fatalf("result = %v", final.Result)
+	}
+}
+
+func TestRemove(t *testing.T) {
+	m := New(Options{Workers: 1})
+	defer m.Close()
+	running := make(chan struct{})
+	release := make(chan struct{})
+	snap, _ := m.Submit(func(ctx context.Context, update func(Progress)) (any, error) {
+		close(running)
+		<-release
+		return nil, nil
+	})
+	<-running
+	if m.Remove(snap.ID) {
+		t.Fatal("Remove(running) = true")
+	}
+	close(release)
+	waitState(t, m, snap.ID, StateDone)
+	if !m.Remove(snap.ID) {
+		t.Fatal("Remove(done) = false")
+	}
+	if _, ok := m.Get(snap.ID); ok {
+		t.Fatal("removed job still visible")
+	}
+	if m.Remove(snap.ID) {
+		t.Fatal("second Remove = true")
+	}
+}
+
+func TestFinishedRetentionBound(t *testing.T) {
+	m := New(Options{Workers: 1, MaxFinished: 3})
+	defer m.Close()
+	var ids []string
+	for i := 0; i < 6; i++ {
+		snap, err := m.Submit(func(ctx context.Context, update func(Progress)) (any, error) {
+			return nil, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, snap.ID)
+		waitState(t, m, snap.ID, StateDone)
+	}
+	var retained int
+	for _, id := range ids {
+		if _, ok := m.Get(id); ok {
+			retained++
+		}
+	}
+	if retained != 3 {
+		t.Fatalf("retained %d finished jobs, want 3", retained)
+	}
+	// The newest ones survive.
+	for _, id := range ids[3:] {
+		if _, ok := m.Get(id); !ok {
+			t.Errorf("recent job %s evicted", id)
+		}
+	}
+}
+
+func TestOnFinishHook(t *testing.T) {
+	var mu sync.Mutex
+	counts := map[State]int{}
+	m := New(Options{Workers: 2, OnFinish: func(s State) {
+		mu.Lock()
+		counts[s]++
+		mu.Unlock()
+	}})
+	defer m.Close()
+	ok, _ := m.Submit(func(ctx context.Context, update func(Progress)) (any, error) { return nil, nil })
+	bad, _ := m.Submit(func(ctx context.Context, update func(Progress)) (any, error) { return nil, errors.New("x") })
+	waitState(t, m, ok.ID, StateDone)
+	waitState(t, m, bad.ID, StateFailed)
+	mu.Lock()
+	defer mu.Unlock()
+	if counts[StateDone] != 1 || counts[StateFailed] != 1 {
+		t.Fatalf("counts = %v", counts)
+	}
+}
+
+func TestCloseDrainsAndRejects(t *testing.T) {
+	m := New(Options{Workers: 2})
+	started := make(chan struct{}, 2)
+	for i := 0; i < 2; i++ {
+		if _, err := m.Submit(func(ctx context.Context, update func(Progress)) (any, error) {
+			started <- struct{}{}
+			<-ctx.Done()
+			return nil, ctx.Err()
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	<-started
+	<-started
+	done := make(chan struct{})
+	go func() { m.Close(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close did not drain")
+	}
+	if _, err := m.Submit(func(ctx context.Context, update func(Progress)) (any, error) { return nil, nil }); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Submit after Close = %v", err)
+	}
+}
+
+func TestListNewestFirst(t *testing.T) {
+	m := New(Options{Workers: 1})
+	defer m.Close()
+	for i := 0; i < 3; i++ {
+		snap, _ := m.Submit(func(ctx context.Context, update func(Progress)) (any, error) { return nil, nil })
+		waitState(t, m, snap.ID, StateDone)
+		time.Sleep(time.Millisecond)
+	}
+	list := m.List()
+	if len(list) != 3 {
+		t.Fatalf("List len = %d", len(list))
+	}
+	for i := 1; i < len(list); i++ {
+		if list[i].Created.After(list[i-1].Created) {
+			t.Fatalf("List not newest-first: %v", list)
+		}
+	}
+}

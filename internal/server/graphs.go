@@ -1,0 +1,129 @@
+package server
+
+// The graph registry endpoints. Uploading a graph once and solving it by
+// reference is what makes the solve cache and the async job queue
+// possible: the registry's content hash is the cache partition key, and a
+// job can outlive any single HTTP connection because the graph it needs
+// lives server-side.
+//
+//	GET    /v1/graphs          -> [{name, hash, nodes, edges, ...}]
+//	PUT    /v1/graphs/{name}   body: graph (JSON/TSV/binary by Content-Type)
+//	GET    /v1/graphs/{name}   -> graph (format by Accept), ETag, 304 support
+//	DELETE /v1/graphs/{name}   -> 204; drops cached results for its content
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+
+	"prefcover/internal/store"
+)
+
+// graphName extracts and validates the {name} path element.
+func graphName(path string) (string, error) {
+	name := strings.TrimPrefix(path, "/v1/graphs/")
+	if name == "" || strings.Contains(name, "/") {
+		return "", fmt.Errorf("bad graph path %q", path)
+	}
+	if err := store.ValidateName(name); err != nil {
+		return "", err
+	}
+	return name, nil
+}
+
+// etagFor quotes a content hash per RFC 9110 ETag syntax.
+func etagFor(hash string) string { return `"` + hash + `"` }
+
+func (s *Server) handleGraphList(w http.ResponseWriter, r *http.Request) {
+	if !s.allowMethods(w, r, http.MethodGet) {
+		return
+	}
+	writeJSON(w, map[string]any{
+		"graphs":     s.store.List(),
+		"totalBytes": s.store.TotalBytes(),
+	})
+}
+
+func (s *Server) handleGraph(w http.ResponseWriter, r *http.Request) {
+	name, err := graphName(r.URL.Path)
+	if err != nil {
+		s.writeError(w, r, http.StatusNotFound, err)
+		return
+	}
+	switch r.Method {
+	case http.MethodPut:
+		r.Body = http.MaxBytesReader(w, r.Body, s.limits.MaxBodyBytes)
+		s.putGraph(w, r, name)
+	case http.MethodGet, http.MethodHead:
+		s.getGraph(w, r, name)
+	case http.MethodDelete:
+		s.deleteGraph(w, r, name)
+	default:
+		s.allowMethods(w, r, http.MethodGet, http.MethodHead, http.MethodPut, http.MethodDelete)
+	}
+}
+
+func (s *Server) putGraph(w http.ResponseWriter, r *http.Request, name string) {
+	format, err := graphFormatFromContentType(r.Header.Get("Content-Type"))
+	if err != nil {
+		s.writeError(w, r, http.StatusUnsupportedMediaType, err)
+		return
+	}
+	g, err := decodeGraph(r.Body, format)
+	if err != nil {
+		s.writeError(w, r, http.StatusBadRequest, err)
+		return
+	}
+	entry, replaced, err := s.store.Put(name, g)
+	if err != nil {
+		s.writeError(w, r, http.StatusBadRequest, err)
+		return
+	}
+	w.Header().Set("ETag", etagFor(entry.Hash))
+	info, _ := s.store.Info(name)
+	if !replaced {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusCreated)
+	}
+	writeJSON(w, info)
+}
+
+func (s *Server) getGraph(w http.ResponseWriter, r *http.Request, name string) {
+	entry, ok := s.store.Get(name)
+	if !ok {
+		s.writeError(w, r, http.StatusNotFound, fmt.Errorf("graph %q not found", name))
+		return
+	}
+	etag := etagFor(entry.Hash)
+	w.Header().Set("ETag", etag)
+	// Content-addressed 304: the ETag IS the content hash, so a match means
+	// the client's copy is bit-identical — no body needed.
+	if match := r.Header.Get("If-None-Match"); match != "" {
+		for _, cand := range strings.Split(match, ",") {
+			if strings.TrimSpace(cand) == etag || strings.TrimSpace(cand) == "*" {
+				w.WriteHeader(http.StatusNotModified)
+				return
+			}
+		}
+	}
+	format, err := graphFormatFromAccept(r.Header.Get("Accept"))
+	if err != nil {
+		s.writeError(w, r, http.StatusNotAcceptable, err)
+		return
+	}
+	w.Header().Set("Content-Type", format.contentType())
+	if r.Method == http.MethodHead {
+		return
+	}
+	if err := encodeGraph(w, entry.Graph, format); err != nil && s.logger != nil {
+		s.logger.Warn("graph download write failed", "graph", name, "error", err.Error())
+	}
+}
+
+func (s *Server) deleteGraph(w http.ResponseWriter, r *http.Request, name string) {
+	if !s.store.Delete(name) {
+		s.writeError(w, r, http.StatusNotFound, fmt.Errorf("graph %q not found", name))
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}

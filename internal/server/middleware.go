@@ -148,10 +148,25 @@ func (s *Server) accessLog(r *http.Request, reqID string, sr *statusRecorder, du
 	)
 }
 
-// handleMetrics refreshes the runtime gauges and serves the scrape.
+// handleMetrics refreshes the runtime and serving gauges and serves the
+// scrape.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.met.updateRuntime(s.started)
+	s.updateServing()
 	s.met.registry.Handler().ServeHTTP(w, r)
+}
+
+// updateServing snapshots the registry, cache and job queue into their
+// gauges, once per scrape like the runtime set.
+func (s *Server) updateServing() {
+	s.met.storeGraphs.With().Set(int64(s.store.Len()))
+	s.met.storeBytes.With().Set(s.store.TotalBytes())
+	for _, info := range s.store.List() {
+		s.met.graphSolves.With(info.Name).Set(info.Solves)
+	}
+	s.met.cacheEntries.With().Set(int64(s.cache.Len()))
+	s.met.jobsQueueDepth.With().Set(int64(s.jobs.Depth()))
+	s.met.jobsRunning.With().Set(int64(s.jobs.Running()))
 }
 
 // updateRuntime snapshots process health into the runtime gauge set; it

@@ -1,0 +1,139 @@
+package server
+
+// Solve-by-reference: a /v1/solve body of {"graph_ref": "name"} (or an
+// async job) solves a registered graph through the prefix-aware cache.
+// The cache exploits the greedy solution's ordered-prefix property — one
+// solve at budget k answers every budget k' ≤ k and, via the cover curve,
+// threshold queries — so a warm cache serves these requests with zero
+// solver work.
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+
+	"prefcover"
+	"prefcover/internal/solvecache"
+	"prefcover/internal/store"
+	"prefcover/internal/trace"
+)
+
+// refSolve is a reference solve with its inputs resolved against the
+// registry: the pinned labels looked up on the graph, the cache key built
+// from the content hash, and the query split out of the solver options.
+type refSolve struct {
+	name    string
+	entry   *store.Entry
+	variant prefcover.Variant
+	opts    prefcover.Options
+	key     solvecache.Key
+	query   solvecache.Query
+}
+
+// newRefSolve resolves name and pins; on failure the second return is the
+// HTTP status the error maps to.
+func (s *Server) newRefSolve(name string, variant prefcover.Variant, opts prefcover.Options, pinLabels []string) (*refSolve, int, error) {
+	if err := store.ValidateName(name); err != nil {
+		return nil, http.StatusBadRequest, err
+	}
+	entry, ok := s.store.Get(name)
+	if !ok {
+		return nil, http.StatusNotFound, fmt.Errorf("graph %q not found", name)
+	}
+	pinned, err := prefcover.LookupAll(entry.Graph, pinLabels)
+	if err != nil {
+		return nil, http.StatusBadRequest, err
+	}
+	opts.Variant = variant
+	opts.Pinned = pinned
+	return &refSolve{
+		name:    name,
+		entry:   entry,
+		variant: variant,
+		opts:    opts,
+		key: solvecache.Key{
+			GraphHash: entry.Hash,
+			Variant:   variant,
+			Pins:      solvecache.PinsKey(pinned),
+			Strategy:  solveStrategy(opts),
+		},
+		query: solvecache.Query{K: opts.K, Threshold: opts.Threshold},
+	}, 0, nil
+}
+
+// solveRef answers rs through the cache, running the solver only on a
+// miss. The "cache" span records which way it went.
+func (s *Server) solveRef(ctx context.Context, rs *refSolve) (solveResponse, solvecache.Status, error) {
+	_, span := trace.StartSpan(ctx, "cache")
+	span.SetAttr("graph", rs.name)
+	defer span.End()
+	hit, status, err := s.cache.Do(rs.key, rs.query, func() (*solvecache.Result, error) {
+		sol, serr := s.solve(ctx, rs.entry.Graph, rs.opts)
+		if serr != nil {
+			return nil, serr
+		}
+		s.store.RecordSolve(rs.name)
+		return solvecache.NewResult(sol, rs.entry.Graph.NumNodes(), len(rs.opts.Pinned)), nil
+	})
+	span.SetAttr("status", status.String())
+	s.met.cacheOps.With(status.String()).Inc()
+	if err != nil {
+		return solveResponse{}, status, err
+	}
+	if status == solvecache.StatusMiss {
+		// The graph may have been replaced or deleted while the solver ran,
+		// in which case the invalidation hook fired before Do stored this
+		// result — re-check the name → content mapping and drop the orphan.
+		if cur, ok := s.store.Get(rs.name); !ok || cur.Hash != rs.key.GraphHash {
+			s.cache.InvalidateGraph(rs.key.GraphHash)
+		}
+	}
+	resp, err := s.hitPayload(rs, hit)
+	return resp, status, err
+}
+
+// hitPayload converts a cache hit into the /v1/solve response shape. A hit
+// on a shorter-than-cached prefix carries no per-item coverage; it is
+// recomputed with the cover engine — linear in the graph, no solver work.
+func (s *Server) hitPayload(rs *refSolve, h *solvecache.Hit) (solveResponse, error) {
+	g := rs.entry.Graph
+	coverage := h.Coverage
+	if coverage == nil {
+		var err error
+		coverage, err = prefcover.PerItemCoverage(g, rs.variant, h.Order)
+		if err != nil {
+			return solveResponse{}, err
+		}
+	}
+	order := make([]string, len(h.Order))
+	for i, v := range h.Order {
+		order[i] = g.Label(v)
+	}
+	return solveResponse{
+		Variant:  rs.variant.String(),
+		K:        len(h.Order),
+		Cover:    h.Cover,
+		Reached:  h.Reached,
+		Order:    order,
+		Gains:    h.Gains,
+		Coverage: coverage,
+	}, nil
+}
+
+// solveByRef is the /v1/solve handler tail for reference bodies.
+func (s *Server) solveByRef(w http.ResponseWriter, r *http.Request, name string, variant prefcover.Variant, opts prefcover.Options, pinLabels []string) {
+	rs, status, err := s.newRefSolve(name, variant, opts, pinLabels)
+	if err != nil {
+		s.writeError(w, r, status, err)
+		return
+	}
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
+	resp, cstat, err := s.solveRef(ctx, rs)
+	if err != nil {
+		s.writeWorkError(w, r, "/v1/solve", err)
+		return
+	}
+	w.Header().Set("X-Prefcover-Cache", cstat.String())
+	writeJSON(w, resp)
+}

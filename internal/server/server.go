@@ -17,6 +17,23 @@
 //	                                      -> {order, cover, coverage, gains}
 //	POST /v1/pipeline?k=K[...]            body: JSONL clickstream
 //	                                      -> adapt + recommend + solve
+//	GET  /v1/graphs                       registry listing
+//	PUT  /v1/graphs/{name}                upload a graph (JSON/TSV/binary
+//	                                      by Content-Type); ETag = content
+//	GET  /v1/graphs/{name}                download (format by Accept, 304
+//	                                      on If-None-Match)
+//	DEL  /v1/graphs/{name}                remove + invalidate cached solves
+//	POST /v1/jobs                         async solve by graph_ref -> 202
+//	GET  /v1/jobs[/{id}]                  queue listing / job status
+//	DEL  /v1/jobs/{id}                    cancel or forget a job
+//
+// /v1/solve additionally accepts {"graph_ref": "name"} in place of an
+// inline graph: the solve then runs against the registered graph through
+// the prefix-aware result cache (internal/solvecache) — a warm cache
+// serves any budget up to the cached prefix length, and threshold queries
+// by binary search over the cached cover curve, with zero solver work.
+// Repeated ?pin=LABEL parameters force-retain items ahead of the greedy
+// fill on both the inline and reference paths.
 //
 // Observability and robustness: every endpoint is instrumented (request
 // counts by status, latency histograms, an in-flight gauge, solver work
@@ -40,6 +57,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log/slog"
 	"net/http"
 	"strconv"
@@ -49,7 +67,10 @@ import (
 	"prefcover"
 	"prefcover/adapt"
 	"prefcover/clickstream"
+	"prefcover/internal/jobs"
 	"prefcover/internal/metrics"
+	"prefcover/internal/solvecache"
+	"prefcover/internal/store"
 	"prefcover/internal/trace"
 	"prefcover/internal/version"
 )
@@ -78,6 +99,12 @@ type Server struct {
 	met    *serverMetrics
 	// sem is the concurrency limiter; nil when MaxConcurrent == 0.
 	sem chan struct{}
+	// store is the named graph registry backing solve-by-reference.
+	store *store.Registry
+	// cache holds ordered greedy prefixes keyed by graph content hash.
+	cache *solvecache.Cache
+	// jobs is the async solve queue; its workers share sem.
+	jobs *jobs.Manager
 	// tracer is the flight recorder; traceEvery selects every Nth /v1/*
 	// request for recording (0 = off).
 	tracer     *trace.Tracer
@@ -91,14 +118,47 @@ type Server struct {
 	testHookStart func(endpoint string)
 }
 
-// New returns a Server with the given limits; a nil logger discards logs.
+// Config is the full constructor input: request limits plus the bounds of
+// the three serving subsystems. The zero value of each subsystem section
+// gets that subsystem's defaults, so Config{Limits: l, Logger: lg} is
+// equivalent to New(l, lg).
+type Config struct {
+	Limits Limits
+	Logger *slog.Logger
+	// Store bounds the graph registry (Dir enables disk persistence). The
+	// Logger and OnInvalidate fields are managed by the server.
+	Store store.Options
+	// Cache bounds the solve-result cache. OnEvict is managed by the
+	// server.
+	Cache solvecache.Options
+	// Jobs sizes the async queue and worker pool. Gate and OnFinish are
+	// managed by the server (workers share the request limiter).
+	Jobs jobs.Options
+}
+
+// New returns a Server with the given limits and default subsystem bounds;
+// a nil logger discards logs.
 func New(limits Limits, logger *slog.Logger) *Server {
+	s, err := NewWithConfig(Config{Limits: limits, Logger: logger})
+	if err != nil {
+		// Unreachable: construction only fails when Store.Dir cannot be
+		// created, and this path passes no Dir.
+		panic(err)
+	}
+	return s
+}
+
+// NewWithConfig returns a Server wired per cfg. It can fail only when
+// Store.Dir is set and unusable (the registry reloads persisted graphs at
+// startup). Call Close when done to drain the job workers.
+func NewWithConfig(cfg Config) (*Server, error) {
+	limits := cfg.Limits
 	if limits.MaxBodyBytes <= 0 {
 		limits.MaxBodyBytes = 64 << 20
 	}
 	s := &Server{
 		limits:  limits,
-		logger:  logger,
+		logger:  cfg.Logger,
 		met:     newServerMetrics(),
 		tracer:  trace.New(trace.DefaultCapacity),
 		started: time.Now(),
@@ -106,8 +166,41 @@ func New(limits Limits, logger *slog.Logger) *Server {
 	if limits.MaxConcurrent > 0 {
 		s.sem = make(chan struct{}, limits.MaxConcurrent)
 	}
-	return s
+
+	cacheOpts := cfg.Cache
+	cacheOpts.OnEvict = func(solvecache.Key) { s.met.cacheEvictions.With().Inc() }
+	s.cache = solvecache.New(cacheOpts)
+
+	storeOpts := cfg.Store
+	storeOpts.Logger = cfg.Logger
+	storeOpts.OnInvalidate = func(name, hash string) {
+		// The registry dropped this content (replace, delete or eviction);
+		// every cached result derived from it is now unreachable garbage.
+		n := s.cache.InvalidateGraph(hash)
+		s.met.cacheInvalidations.With().Add(int64(n))
+	}
+	reg, err := store.New(storeOpts)
+	if err != nil {
+		return nil, err
+	}
+	s.store = reg
+
+	jobOpts := cfg.Jobs
+	jobOpts.Gate = s.sem
+	jobOpts.OnFinish = func(state jobs.State) { s.met.jobsTotal.With(string(state)).Inc() }
+	s.jobs = jobs.New(jobOpts)
+	return s, nil
 }
+
+// Close drains the async job workers (cancelling queued and running jobs).
+// The HTTP handlers stay usable; only job submission starts failing.
+func (s *Server) Close() { s.jobs.Close() }
+
+// Store exposes the graph registry (tests, embedders).
+func (s *Server) Store() *store.Registry { return s.store }
+
+// Cache exposes the solve-result cache (tests, embedders).
+func (s *Server) Cache() *solvecache.Cache { return s.cache }
 
 // EnableTracing turns the flight recorder on: every sample-th /v1/*
 // request records a span tree into a ring of the given capacity
@@ -135,6 +228,18 @@ type serverMetrics struct {
 	solverEvals      *metrics.CounterVec // prefcover_solver_gain_evaluations_total{strategy}
 	solverReevals    *metrics.CounterVec // prefcover_solver_heap_reevaluations_total{strategy}
 	solves           *metrics.CounterVec // prefcover_solver_solves_total{strategy,outcome}
+
+	// Serving-layer subsystems (registry, solve cache, job queue).
+	cacheOps           *metrics.CounterVec // prefcover_solvecache_requests_total{status}
+	cacheEvictions     *metrics.CounterVec // prefcover_solvecache_evictions_total
+	cacheInvalidations *metrics.CounterVec // prefcover_solvecache_invalidated_total
+	cacheEntries       *metrics.GaugeVec   // prefcover_solvecache_entries
+	storeGraphs        *metrics.GaugeVec   // prefcover_store_graphs
+	storeBytes         *metrics.GaugeVec   // prefcover_store_bytes
+	graphSolves        *metrics.GaugeVec   // prefcover_store_graph_solves{graph}
+	jobsTotal          *metrics.CounterVec // prefcover_jobs_total{outcome}
+	jobsQueueDepth     *metrics.GaugeVec   // prefcover_jobs_queue_depth
+	jobsRunning        *metrics.GaugeVec   // prefcover_jobs_running
 
 	// Runtime telemetry, refreshed per scrape (updateRuntime).
 	goroutines *metrics.GaugeVec      // prefcover_runtime_goroutines
@@ -165,6 +270,26 @@ func newServerMetrics() *serverMetrics {
 			"Lazy-heap stale-bound recomputations, by strategy.", "strategy"),
 		solves: r.NewCounter("prefcover_solver_solves_total",
 			"Solver runs, by strategy and outcome (ok/canceled/error).", "strategy", "outcome"),
+		cacheOps: r.NewCounter("prefcover_solvecache_requests_total",
+			"Reference-solve cache outcomes (hit/miss/coalesced).", "status"),
+		cacheEvictions: r.NewCounter("prefcover_solvecache_evictions_total",
+			"Cached solve results evicted by the LRU bound."),
+		cacheInvalidations: r.NewCounter("prefcover_solvecache_invalidated_total",
+			"Cached solve results dropped because their graph content was replaced or deleted."),
+		cacheEntries: r.NewGauge("prefcover_solvecache_entries",
+			"Cached solve results at scrape time."),
+		storeGraphs: r.NewGauge("prefcover_store_graphs",
+			"Graphs registered at scrape time."),
+		storeBytes: r.NewGauge("prefcover_store_bytes",
+			"Approximate bytes of registered graph content."),
+		graphSolves: r.NewGauge("prefcover_store_graph_solves",
+			"Solver runs recorded against each registered graph.", "graph"),
+		jobsTotal: r.NewCounter("prefcover_jobs_total",
+			"Async jobs reaching a terminal state, by outcome.", "outcome"),
+		jobsQueueDepth: r.NewGauge("prefcover_jobs_queue_depth",
+			"Async jobs queued but not yet running."),
+		jobsRunning: r.NewGauge("prefcover_jobs_running",
+			"Async jobs executing at scrape time."),
 		goroutines: r.NewGauge("prefcover_runtime_goroutines",
 			"Goroutines at scrape time."),
 		heapAlloc: r.NewGauge("prefcover_runtime_heap_alloc_bytes",
@@ -191,6 +316,13 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/solve", s.instrument("/v1/solve", true, s.handleSolve))
 	mux.HandleFunc("/v1/pipeline", s.instrument("/v1/pipeline", true, s.handlePipeline))
 	mux.HandleFunc("/v1/stats", s.instrument("/v1/stats", true, s.handleStats))
+	mux.HandleFunc("/v1/graphs", s.instrument("/v1/graphs", false, s.handleGraphList))
+	mux.HandleFunc("/v1/graphs/", s.instrument("/v1/graphs/{name}", true, s.handleGraph))
+	// Job endpoints bypass the request limiter: submission only enqueues
+	// (the solve itself acquires a slot from the worker side) and status
+	// polling must stay available while every slot is busy solving.
+	mux.HandleFunc("/v1/jobs", s.instrument("/v1/jobs", false, s.handleJobs))
+	mux.HandleFunc("/v1/jobs/", s.instrument("/v1/jobs/{id}", false, s.handleJob))
 	return mux
 }
 
@@ -231,9 +363,15 @@ func (s *Server) solve(ctx context.Context, g *prefcover.Graph, opts prefcover.O
 	defer span.End()
 	recordIteration := trace.IterationRecorder(span)
 	var reevals int64
+	// Chain rather than replace any caller-supplied Progress hook (async
+	// jobs feed their status endpoint through it).
+	prev := opts.Progress
 	opts.Progress = func(ev prefcover.ProgressEvent) {
 		reevals += ev.Reevaluated
 		recordIteration(ev)
+		if prev != nil {
+			prev(ev)
+		}
 	}
 	sol, err := prefcover.SolveContext(ctx, g, opts)
 	if sol != nil {
@@ -315,12 +453,7 @@ type adaptResponse struct {
 }
 
 func (s *Server) requirePost(w http.ResponseWriter, r *http.Request) bool {
-	if r.Method != http.MethodPost {
-		s.writeError(w, r, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
-		return false
-	}
-	r.Body = http.MaxBytesReader(w, r.Body, s.limits.MaxBodyBytes)
-	return true
+	return s.allowMethods(w, r, http.MethodPost)
 }
 
 // readSessions buffers the request clickstream (the trace's "parse"
@@ -480,24 +613,34 @@ func solutionPayload(g *prefcover.Graph, variant prefcover.Variant, sol *prefcov
 	}
 }
 
-// readGraphBody parses the request graph (the trace's "parse" phase):
-// application/octet-stream means the compact binary codec, anything else
-// the JSON document.
+// readGraphBody parses the request graph (the trace's "parse" phase) in
+// the format the Content-Type negotiates: JSON by default, the binary or
+// TSV codec on request, 415 for anything unrecognized.
 func readGraphBody(r *http.Request) (*prefcover.Graph, error) {
+	format, err := graphFormatFromContentType(r.Header.Get("Content-Type"))
+	if err != nil {
+		return nil, err
+	}
 	_, span := trace.StartSpan(r.Context(), "parse")
 	defer span.End()
-	var g *prefcover.Graph
-	var err error
-	if r.Header.Get("Content-Type") == "application/octet-stream" {
-		if g, err = prefcover.ReadGraphBinary(r.Body); err != nil {
-			return nil, fmt.Errorf("parsing binary graph: %w", err)
-		}
-	} else if g, err = prefcover.ReadGraphJSON(r.Body, prefcover.BuildOptions{}); err != nil {
-		return nil, fmt.Errorf("parsing graph JSON: %w", err)
+	g, err := decodeGraph(r.Body, format)
+	if err != nil {
+		return nil, err
 	}
 	span.SetAttr("nodes", g.NumNodes())
 	span.SetAttr("edges", g.NumEdges())
 	return g, nil
+}
+
+// writeGraphBodyError maps graph-parse failures to their status: an
+// unrecognized media type is 415, everything else a plain 400.
+func (s *Server) writeGraphBodyError(w http.ResponseWriter, r *http.Request, err error) {
+	var um *errUnsupportedMedia
+	if errors.As(err, &um) {
+		s.writeError(w, r, http.StatusUnsupportedMediaType, err)
+		return
+	}
+	s.writeError(w, r, http.StatusBadRequest, err)
 }
 
 func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
@@ -515,11 +658,43 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	opts.Variant = variant
+	pinLabels := r.URL.Query()["pin"]
+
+	// A JSON body may be a reference ({"graph_ref": "name"}) instead of an
+	// inline graph; binary and TSV bodies are always inline.
+	format, err := graphFormatFromContentType(r.Header.Get("Content-Type"))
+	if err != nil {
+		s.writeError(w, r, http.StatusUnsupportedMediaType, err)
+		return
+	}
+	if format == formatJSON {
+		body, err := io.ReadAll(r.Body)
+		if err != nil {
+			s.writeError(w, r, http.StatusBadRequest, err)
+			return
+		}
+		var probe struct {
+			GraphRef string `json:"graph_ref"`
+		}
+		// An inline graph document ({"nodes": ..., "edges": ...}) decodes
+		// into the probe with an empty ref, so this cannot misfire.
+		if json.Unmarshal(body, &probe) == nil && probe.GraphRef != "" {
+			s.solveByRef(w, r, probe.GraphRef, variant, opts, pinLabels)
+			return
+		}
+		r.Body = io.NopCloser(bytes.NewReader(body))
+	}
 	g, err := readGraphBody(r)
+	if err != nil {
+		s.writeGraphBodyError(w, r, err)
+		return
+	}
+	pinned, err := prefcover.LookupAll(g, pinLabels)
 	if err != nil {
 		s.writeError(w, r, http.StatusBadRequest, err)
 		return
 	}
+	opts.Pinned = pinned
 	ctx, cancel := s.requestCtx(r)
 	defer cancel()
 	sol, err := s.solve(ctx, g, opts)
@@ -538,7 +713,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	g, err := readGraphBody(r)
 	if err != nil {
-		s.writeError(w, r, http.StatusBadRequest, err)
+		s.writeGraphBodyError(w, r, err)
 		return
 	}
 	writeJSON(w, prefcover.ComputeStats(g))

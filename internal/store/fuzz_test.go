@@ -1,0 +1,48 @@
+package store
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+	"unicode/utf8"
+)
+
+// FuzzValidateName asserts the safety contract behind using registry names
+// verbatim as URL path segments, metric label values, and filenames: any
+// name ValidateName accepts must survive all three contexts unmangled.
+func FuzzValidateName(f *testing.F) {
+	for _, seed := range []string{"", "a", "catalog-v2", ".hidden", "-k", "a/b", "a\\b",
+		"a b", "über", "..", "a\x00", strings.Repeat("n", MaxNameLen+1)} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, name string) {
+		if err := ValidateName(name); err != nil {
+			return
+		}
+		// Accepted names are bounded and printable ASCII.
+		if len(name) == 0 || len(name) > MaxNameLen {
+			t.Fatalf("accepted name with bad length %d", len(name))
+		}
+		if !utf8.ValidString(name) {
+			t.Fatalf("accepted non-UTF8 name %q", name)
+		}
+		for i := 0; i < len(name); i++ {
+			if name[i] <= ' ' || name[i] > '~' {
+				t.Fatalf("accepted name with byte %#x", name[i])
+			}
+		}
+		// Filename safety: the name is exactly one path element, cleans to
+		// itself, and cannot escape the persistence dir or hide as a
+		// dotfile.
+		if filepath.Base(name) != name || filepath.Clean(name) != name {
+			t.Fatalf("accepted path-unsafe name %q", name)
+		}
+		if strings.ContainsAny(name, `/\`) || name[0] == '.' || name[0] == '-' {
+			t.Fatalf("accepted unsafe name %q", name)
+		}
+		// Metric/JSON safety: no quotes, backslashes or control bytes.
+		if strings.ContainsAny(name, "\"\\\n\r\t") {
+			t.Fatalf("accepted label-unsafe name %q", name)
+		}
+	})
+}
