@@ -1,6 +1,16 @@
 GO ?= go
 FUZZTIME ?= 10s
 
+# Seeds for the chaos suite (internal/server's TestChaos*). Three distinct
+# seeds so CI exercises three different fault schedules; override with
+# CHAOS_SEEDS=... to replay a specific failing schedule.
+CHAOS_SEEDS ?= 1,7,1337
+
+# Packages whose test coverage is floored (the resilience layer: silent
+# coverage rot here would hollow out the chaos suite's guarantees).
+COVER_PKGS := ./internal/retry ./internal/faults
+COVER_FLOOR := 70
+
 # Every fuzz target in the repo, as package:Func pairs. go test allows only
 # one -fuzz pattern per invocation, so fuzz-short loops over them.
 FUZZ_TARGETS := \
@@ -11,9 +21,10 @@ FUZZ_TARGETS := \
 	./internal/clickstream:FuzzClickstreamParse \
 	./internal/store:FuzzValidateName \
 	./internal/jobs:FuzzJobRequestJSON \
+	./internal/faults:FuzzFaultSpec \
 	./cmd/prefcover:FuzzGraphImport
 
-.PHONY: all build test test-race fuzz-short bench bench-json vet fmt-check ci
+.PHONY: all build test test-race chaos cover fuzz-short bench bench-json vet fmt-check ci
 
 all: build test
 
@@ -28,6 +39,22 @@ test:
 
 test-race:
 	$(GO) test -race ./...
+	$(MAKE) chaos
+
+# chaos runs the end-to-end resilience suite under the race detector across
+# $(CHAOS_SEEDS); each seed is a fully reproducible fault schedule.
+chaos:
+	CHAOS_SEEDS=$(CHAOS_SEEDS) $(GO) test -race -count=1 -run '^TestChaos' ./internal/server
+
+# cover enforces a coverage floor on the resilience packages.
+cover:
+	@set -e; for pkg in $(COVER_PKGS); do \
+		pct=$$($(GO) test -cover $$pkg | awk '{for (i=1;i<=NF;i++) if ($$i ~ /%$$/) {sub("%","",$$i); print $$i}}'); \
+		echo "coverage $$pkg: $$pct%"; \
+		ok=$$(awk -v p="$$pct" -v f="$(COVER_FLOOR)" 'BEGIN{print (p+0 >= f) ? 1 : 0}'); \
+		if [ "$$ok" != "1" ]; then \
+			echo "coverage for $$pkg is $$pct%, below the $(COVER_FLOOR)% floor"; exit 1; fi; \
+	done
 
 fuzz-short:
 	@set -e; for t in $(FUZZ_TARGETS); do \
@@ -49,9 +76,11 @@ fmt-check:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 # ci is the pre-merge gate: static checks, full build and tests (including
-# the race detector — the jobs/cache/store subsystems are concurrency-heavy),
-# plus a smoke run of the benchmark harness (tiny benchtime; result discarded).
-ci: vet fmt-check build test test-race
+# the race detector — the jobs/cache/store subsystems are concurrency-heavy —
+# and the multi-seed chaos suite via test-race), coverage floors on the
+# resilience packages, plus a smoke run of the benchmark harness (tiny
+# benchtime; result discarded).
+ci: vet fmt-check build test test-race cover
 	$(GO) run ./cmd/benchjson -quiet -benchtime 1x \
 		-bench '^(BenchmarkGainKernels|BenchmarkFig4aGreedySmall|BenchmarkPublicSolve)$$' \
 		-out $(or $(TMPDIR),/tmp)/prefcover-bench-smoke.json

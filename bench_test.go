@@ -7,8 +7,13 @@
 package prefcover_test
 
 import (
+	"bytes"
+	"context"
 	"fmt"
+	"io"
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
 	"strings"
 	"testing"
 
@@ -22,6 +27,8 @@ import (
 	"prefcover/internal/experiments"
 	igraph "prefcover/internal/graph"
 	igreedy "prefcover/internal/greedy"
+	"prefcover/internal/retry"
+	iserver "prefcover/internal/server"
 	isimilarity "prefcover/internal/similarity"
 	"prefcover/internal/solvecache"
 	isparsify "prefcover/internal/sparsify"
@@ -578,6 +585,83 @@ func BenchmarkSolveCacheHitVsMiss(b *testing.B) {
 			hit, ok := c.Lookup(cacheKey, solvecache.Query{K: 1 + i%kMax})
 			if !ok || len(hit.Order) == 0 {
 				b.Fatal("warm lookup missed")
+			}
+		}
+	})
+}
+
+// BenchmarkRemoteSolveWithRetries measures the remote solve path end to
+// end over HTTP — prefcoverd answering a warm cached reference solve —
+// and what the retry wrapper costs when nothing fails: "bare" issues the
+// request with a plain client, "retrying" sends the identical request
+// through the jittered-backoff policy `prefcover remote` uses. Fault-free,
+// the two must stay within a few percent of each other: the resilience
+// layer is supposed to be free until something actually breaks.
+func BenchmarkRemoteSolveWithRetries(b *testing.B) {
+	srv, err := iserver.NewWithConfig(iserver.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	g := peBenchGraph(b, 2000, igraph.Independent)
+	var buf bytes.Buffer
+	if err := prefcover.WriteGraphJSON(&buf, g); err != nil {
+		b.Fatal(err)
+	}
+	put, err := http.NewRequest(http.MethodPut, ts.URL+"/v1/graphs/bench", bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		b.Fatal(err)
+	}
+	put.Header.Set("Content-Type", "application/json")
+	if resp, err := http.DefaultClient.Do(put); err != nil || resp.StatusCode != http.StatusCreated {
+		b.Fatalf("upload: %v (%+v)", err, resp)
+	} else {
+		resp.Body.Close()
+	}
+
+	solveURL := ts.URL + "/v1/solve?variant=independent&k=50"
+	payload := []byte(`{"graph_ref":"bench"}`)
+	client := &http.Client{}
+	call := func(ctx context.Context) error {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, solveURL, bytes.NewReader(payload))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := client.Do(req)
+		if err != nil {
+			return retry.TransportError(err)
+		}
+		defer resp.Body.Close()
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			return retry.TransportError(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			return retry.HTTPStatusError(resp.StatusCode, resp.Header, fmt.Errorf("solve: %s", resp.Status))
+		}
+		return nil
+	}
+	// Warm the solve cache so both variants measure the serving path, not
+	// one cold greedy run.
+	if err := call(context.Background()); err != nil {
+		b.Fatal(err)
+	}
+
+	b.Run("bare", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if err := call(context.Background()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("retrying", func(b *testing.B) {
+		policy := retry.Policy{Jitter: 0.5}
+		for i := 0; i < b.N; i++ {
+			if err := policy.Do(context.Background(), call); err != nil {
+				b.Fatal(err)
 			}
 		}
 	})

@@ -8,6 +8,15 @@ package main
 // graph uploaded once serves any number of budget queries with zero
 // re-parsing and (warm cache) zero solver work.
 //
+// Transient failures — connection errors, 429/503 load shedding (the
+// server prefers rejecting to queueing), 5xx — are retried with jittered
+// exponential backoff on every idempotent call: pushes (PUT is a full
+// replace), reference solves and job polling (reads), and job submission,
+// which carries a generated Idempotency-Key so a resent POST lands on the
+// already-enqueued job instead of creating a second one. Cancellation is
+// deliberately not retried: a lost DELETE response is indistinguishable
+// from a successful one, and re-sending would just 404.
+//
 //	prefcover remote push  -server URL -name yc [-in graph.json] [-format json]
 //	prefcover remote solve -server URL -graph yc -variant i -k 100
 //	prefcover remote job   -server URL -graph yc -variant i -k 100 [-wait]
@@ -16,6 +25,8 @@ package main
 import (
 	"bytes"
 	"context"
+	crand "crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -24,6 +35,8 @@ import (
 	"os"
 	"strings"
 	"time"
+
+	"prefcover/internal/retry"
 )
 
 func runRemote(ctx context.Context, args []string) error {
@@ -43,39 +56,121 @@ func runRemote(ctx context.Context, args []string) error {
 	}
 }
 
-// remoteDo issues one API request and decodes the JSON reply (or surfaces
-// the server's JSON error envelope as an error).
-func remoteDo(ctx context.Context, method, url string, contentType string, body io.Reader, out any) error {
-	req, err := http.NewRequestWithContext(ctx, method, url, body)
-	if err != nil {
-		return err
+// retryFlags registers the shared retry knobs on fs and returns the
+// resulting policy builder (flag values are only valid after Parse).
+func retryFlags(fs *flag.FlagSet) func() retry.Policy {
+	retries := fs.Int("retries", retry.DefaultMaxAttempts-1,
+		"how many times to retry transient failures (connection errors, 429/503/5xx) on idempotent calls; 0 disables")
+	base := fs.Duration("retry-base", retry.DefaultBaseDelay,
+		"initial backoff before the first retry (doubles each retry, jittered, Retry-After honored)")
+	return func() retry.Policy {
+		return retry.Policy{MaxAttempts: *retries + 1, BaseDelay: *base, Jitter: 0.5}
 	}
-	if contentType != "" {
-		req.Header.Set("Content-Type", contentType)
-	}
-	resp, err := http.DefaultClient.Do(req)
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	data, err := io.ReadAll(io.LimitReader(resp.Body, 256<<20))
-	if err != nil {
-		return err
-	}
-	if resp.StatusCode >= 400 {
-		var apiErr struct {
-			Error     string `json:"error"`
-			RequestID string `json:"requestId"`
+}
+
+// remoteClient issues API requests with the configured retry discipline.
+type remoteClient struct {
+	policy retry.Policy
+}
+
+// do issues one API call and decodes the JSON reply (or surfaces the
+// server's JSON error envelope). body is buffered so every retry attempt
+// re-sends identical bytes; extra headers (e.g. Idempotency-Key) ride on
+// every attempt. Only calls marked idempotent are retried.
+func (c *remoteClient) do(ctx context.Context, method, url, contentType string, body []byte, extra http.Header, idempotent bool, out any) error {
+	op := func(ctx context.Context) error {
+		var rd io.Reader
+		if body != nil {
+			rd = bytes.NewReader(body)
 		}
-		if json.Unmarshal(data, &apiErr) == nil && apiErr.Error != "" {
-			return fmt.Errorf("%s %s: %s (%s, request %s)", method, url, apiErr.Error, resp.Status, apiErr.RequestID)
+		req, err := http.NewRequestWithContext(ctx, method, url, rd)
+		if err != nil {
+			return err // malformed request: retrying cannot help
 		}
-		return fmt.Errorf("%s %s: %s", method, url, resp.Status)
-	}
-	if out == nil || len(bytes.TrimSpace(data)) == 0 {
+		if contentType != "" {
+			req.Header.Set("Content-Type", contentType)
+		}
+		for k, vs := range extra {
+			req.Header[k] = vs
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			if idempotent {
+				return retry.TransportError(err)
+			}
+			return err
+		}
+		defer resp.Body.Close()
+		data, err := io.ReadAll(io.LimitReader(resp.Body, 256<<20))
+		if err != nil {
+			// The response died mid-body (reset, truncation); for an
+			// idempotent call a clean re-read is always safe.
+			err = fmt.Errorf("%s %s: reading response: %w", method, url, err)
+			if idempotent {
+				return retry.TransportError(err)
+			}
+			return err
+		}
+		if resp.StatusCode >= 400 {
+			err := responseError(method, url, resp, data)
+			if idempotent {
+				return retry.HTTPStatusError(resp.StatusCode, resp.Header, err)
+			}
+			return err
+		}
+		if out == nil || len(bytes.TrimSpace(data)) == 0 {
+			return nil
+		}
+		if err := json.Unmarshal(data, out); err != nil {
+			return fmt.Errorf("%s %s: decoding response: %w", method, url, err)
+		}
 		return nil
 	}
-	return json.Unmarshal(data, out)
+	return c.policy.Do(ctx, op)
+}
+
+// responseError renders an error response for the terminal: the server's
+// JSON error body when it has one (with its request ID, so the exact
+// server-side log lines are quotable), falling back to the X-Request-ID
+// header and a body snippet when the body is not the JSON envelope.
+func responseError(method, url string, resp *http.Response, data []byte) error {
+	reqID := resp.Header.Get("X-Request-ID")
+	var apiErr struct {
+		Error     string `json:"error"`
+		RequestID string `json:"requestId"`
+	}
+	if json.Unmarshal(data, &apiErr) == nil && apiErr.Error != "" {
+		if apiErr.RequestID != "" {
+			reqID = apiErr.RequestID
+		}
+		if reqID != "" {
+			return fmt.Errorf("%s %s: %s (%s, request %s)", method, url, apiErr.Error, resp.Status, reqID)
+		}
+		return fmt.Errorf("%s %s: %s (%s)", method, url, apiErr.Error, resp.Status)
+	}
+	msg := fmt.Sprintf("%s %s: %s", method, url, resp.Status)
+	if snippet := strings.TrimSpace(string(data)); snippet != "" {
+		const maxSnippet = 200
+		if len(snippet) > maxSnippet {
+			snippet = snippet[:maxSnippet] + "..."
+		}
+		msg += ": " + snippet
+	}
+	if reqID != "" {
+		msg += " (request " + reqID + ")"
+	}
+	return fmt.Errorf("%s", msg)
+}
+
+// newIdempotencyKey returns a fresh random key; generated once per logical
+// submission and reused across its retries, it is what lets the server
+// deduplicate a resent POST /v1/jobs.
+func newIdempotencyKey() string {
+	var b [16]byte
+	if _, err := crand.Read(b[:]); err != nil {
+		return "" // no key: the submission is still valid, just not dedupable
+	}
+	return hex.EncodeToString(b[:])
 }
 
 // printJSON writes v to stdout, indented for humans.
@@ -93,6 +188,7 @@ func runRemotePush(ctx context.Context, args []string) error {
 		in     = fs.String("in", "-", "graph file (default stdin)")
 		format = fs.String("format", "json", "wire format of the input: json, binary or tsv")
 	)
+	policy := retryFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -115,9 +211,17 @@ func runRemotePush(ctx context.Context, args []string) error {
 		return err
 	}
 	defer closeIn()
+	// Buffer the graph so a retried PUT re-sends identical bytes (stdin
+	// cannot be re-read).
+	data, err := io.ReadAll(f)
+	if err != nil {
+		return fmt.Errorf("remote push: reading %s: %w", *in, err)
+	}
+	c := &remoteClient{policy: policy()}
 	var info map[string]any
 	url := strings.TrimRight(*server, "/") + "/v1/graphs/" + *name
-	if err := remoteDo(ctx, http.MethodPut, url, contentType, f, &info); err != nil {
+	// PUT replaces the full content, so it is idempotent and safe to retry.
+	if err := c.do(ctx, http.MethodPut, url, contentType, data, nil, true, &info); err != nil {
 		return err
 	}
 	return printJSON(info)
@@ -172,6 +276,7 @@ func runRemoteSolve(ctx context.Context, args []string) error {
 		workers   = fs.Int("workers", 1, "parallel scan workers")
 		pins      = fs.String("pins", "", "comma-separated must-stock labels, retained before the greedy fill")
 	)
+	policy := retryFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -181,8 +286,10 @@ func runRemoteSolve(ctx context.Context, args []string) error {
 	body, _ := json.Marshal(map[string]string{"graph_ref": *graphRef})
 	url := strings.TrimRight(*server, "/") + "/v1/solve" +
 		solveQuery(*variant, *k, *threshold, *lazy, *workers, splitPins(*pins))
+	c := &remoteClient{policy: policy()}
 	var out map[string]any
-	if err := remoteDo(ctx, http.MethodPost, url, "application/json", bytes.NewReader(body), &out); err != nil {
+	// A reference solve is a pure read (POST in verb only) — retry freely.
+	if err := c.do(ctx, http.MethodPost, url, "application/json", body, nil, true, &out); err != nil {
 		return err
 	}
 	return printJSON(out)
@@ -204,20 +311,24 @@ func runRemoteJob(ctx context.Context, args []string) error {
 		status    = fs.String("status", "", "print the state of this job id and exit")
 		cancel    = fs.String("cancel", "", "cancel this job id and exit")
 	)
+	policy := retryFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	base := strings.TrimRight(*server, "/")
+	c := &remoteClient{policy: policy()}
 	switch {
 	case *status != "":
 		var out map[string]any
-		if err := remoteDo(ctx, http.MethodGet, base+"/v1/jobs/"+*status, "", nil, &out); err != nil {
+		if err := c.do(ctx, http.MethodGet, base+"/v1/jobs/"+*status, "", nil, nil, true, &out); err != nil {
 			return err
 		}
 		return printJSON(out)
 	case *cancel != "":
 		var out map[string]any
-		if err := remoteDo(ctx, http.MethodDelete, base+"/v1/jobs/"+*cancel, "", nil, &out); err != nil {
+		// Not retried: a lost DELETE response is indistinguishable from a
+		// successful cancel, and re-sending would 404 on its own success.
+		if err := c.do(ctx, http.MethodDelete, base+"/v1/jobs/"+*cancel, "", nil, nil, false, &out); err != nil {
 			return err
 		}
 		return printJSON(out)
@@ -242,8 +353,14 @@ func runRemoteJob(ctx context.Context, args []string) error {
 		payload["pins"] = ps
 	}
 	body, _ := json.Marshal(payload)
+	// One key per logical submission, constant across its retries: the
+	// server deduplicates, so POST /v1/jobs becomes effectively idempotent.
+	var extra http.Header
+	if key := newIdempotencyKey(); key != "" {
+		extra = http.Header{"Idempotency-Key": {key}}
+	}
 	var submitted map[string]any
-	if err := remoteDo(ctx, http.MethodPost, base+"/v1/jobs", "application/json", bytes.NewReader(body), &submitted); err != nil {
+	if err := c.do(ctx, http.MethodPost, base+"/v1/jobs", "application/json", body, extra, true, &submitted); err != nil {
 		return err
 	}
 	id, _ := submitted["id"].(string)
@@ -252,7 +369,7 @@ func runRemoteJob(ctx context.Context, args []string) error {
 	}
 	for {
 		var snap map[string]any
-		if err := remoteDo(ctx, http.MethodGet, base+"/v1/jobs/"+id, "", nil, &snap); err != nil {
+		if err := c.do(ctx, http.MethodGet, base+"/v1/jobs/"+id, "", nil, nil, true, &snap); err != nil {
 			return err
 		}
 		switch snap["state"] {

@@ -1,0 +1,195 @@
+package main
+
+// Error-path tests for the remote subcommand: what the user sees when the
+// server is down, rejects the request outright, or sheds load — and that
+// the retry discipline distinguishes those cases (4xx config errors fail
+// fast; 429s are retried, honoring Retry-After when advertised).
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// deadServerURL reserves a port and releases it, yielding an address with
+// nothing listening.
+func deadServerURL(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	url := "http://" + l.Addr().String()
+	l.Close()
+	return url
+}
+
+func TestRemoteSolveConnectionRefused(t *testing.T) {
+	err := runRemoteSolve(context.Background(), []string{
+		"-server", deadServerURL(t), "-graph", "g", "-k", "3",
+		"-retries", "2", "-retry-base", "1ms",
+	})
+	if err == nil {
+		t.Fatal("solve against a dead server should fail")
+	}
+	if !strings.Contains(err.Error(), "connection refused") {
+		t.Errorf("error should surface the transport cause, got: %v", err)
+	}
+	// The transport error is transient: the configured retries must have
+	// been spent before giving up.
+	if !strings.Contains(err.Error(), "giving up after 3 attempts") {
+		t.Errorf("error should report the exhausted attempts, got: %v", err)
+	}
+}
+
+func TestRemotePushUnsupportedMediaTypeFailsFast(t *testing.T) {
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.Header().Set("X-Request-ID", "req-415")
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusUnsupportedMediaType)
+		json.NewEncoder(w).Encode(map[string]string{
+			"error":     `unsupported content type "text/csv"`,
+			"requestId": "req-415",
+		})
+	}))
+	defer ts.Close()
+
+	err := runRemotePush(context.Background(), []string{
+		"-server", ts.URL, "-name", "g",
+		"-in", writeTemp(t, "g.json", `{"nodes":[{"label":"a","weight":1}]}`),
+		"-retries", "3", "-retry-base", "1ms",
+	})
+	if err == nil {
+		t.Fatal("415 should be an error")
+	}
+	// The terminal message must quote the server's own diagnosis and the
+	// request ID, so the exact server-side log lines are findable.
+	for _, want := range []string{`unsupported content type "text/csv"`, "req-415", "415"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q should contain %q", err, want)
+		}
+	}
+	// A 4xx config error is not transient: exactly one attempt, despite
+	// retries being enabled.
+	if n := hits.Load(); n != 1 {
+		t.Errorf("server saw %d attempts, want 1 (415 must not be retried)", n)
+	}
+}
+
+// throttleServer sheds the first fail requests with a 429 (optionally
+// advertising Retry-After), then serves a solve response.
+func throttleServer(t *testing.T, fail int, retryAfter string) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := hits.Add(1)
+		w.Header().Set("X-Request-ID", "req-429")
+		w.Header().Set("Content-Type", "application/json")
+		if n <= int64(fail) {
+			if retryAfter != "" {
+				w.Header().Set("Retry-After", retryAfter)
+			}
+			w.WriteHeader(http.StatusTooManyRequests)
+			json.NewEncoder(w).Encode(map[string]string{"error": "solver saturated", "requestId": "req-429"})
+			return
+		}
+		json.NewEncoder(w).Encode(map[string]any{"variant": "independent", "k": 3, "cover": 0.5, "order": []string{"a"}})
+	}))
+	t.Cleanup(ts.Close)
+	return ts, &hits
+}
+
+func TestRemoteSolveRetriesThrottleWithRetryAfter(t *testing.T) {
+	ts, hits := throttleServer(t, 2, "0")
+	err := runRemoteSolve(context.Background(), []string{
+		"-server", ts.URL, "-graph", "g", "-k", "3",
+		"-retries", "3", "-retry-base", "1ms",
+	})
+	if err != nil {
+		t.Fatalf("solve should succeed after shed requests: %v", err)
+	}
+	if n := hits.Load(); n != 3 {
+		t.Errorf("server saw %d attempts, want 3 (two 429s, then success)", n)
+	}
+}
+
+func TestRemoteSolveRetriesThrottleWithoutRetryAfter(t *testing.T) {
+	// No Retry-After header: pure exponential backoff still retries 429.
+	ts, hits := throttleServer(t, 1, "")
+	err := runRemoteSolve(context.Background(), []string{
+		"-server", ts.URL, "-graph", "g", "-k", "3",
+		"-retries", "2", "-retry-base", "1ms",
+	})
+	if err != nil {
+		t.Fatalf("solve should succeed after one shed request: %v", err)
+	}
+	if n := hits.Load(); n != 2 {
+		t.Errorf("server saw %d attempts, want 2", n)
+	}
+}
+
+func TestRemoteSolveGivesUpOnPersistentThrottle(t *testing.T) {
+	ts, hits := throttleServer(t, 1<<30, "0")
+	err := runRemoteSolve(context.Background(), []string{
+		"-server", ts.URL, "-graph", "g", "-k", "3",
+		"-retries", "2", "-retry-base", "1ms",
+	})
+	if err == nil {
+		t.Fatal("persistent 429 should eventually fail")
+	}
+	for _, want := range []string{"giving up after 3 attempts", "solver saturated", "req-429"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q should contain %q", err, want)
+		}
+	}
+	if n := hits.Load(); n != 3 {
+		t.Errorf("server saw %d attempts, want 3", n)
+	}
+}
+
+func TestRemoteJobWaitCancelMidPoll(t *testing.T) {
+	// A job that never finishes: submission is accepted, every poll says
+	// "running". Canceling the context must end the wait loop promptly with
+	// the context's error, not hang or mask it.
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if r.Method == http.MethodPost {
+			w.WriteHeader(http.StatusAccepted)
+			json.NewEncoder(w).Encode(map[string]any{"id": "j1", "state": "queued"})
+			return
+		}
+		json.NewEncoder(w).Encode(map[string]any{
+			"id": "j1", "state": "running",
+			"progress": map[string]any{"step": 1, "cover": 0.1},
+		})
+	}))
+	defer ts.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		done <- runRemoteJob(ctx, []string{
+			"-server", ts.URL, "-graph", "g", "-k", "3", "-wait",
+			"-interval", "5ms", "-retries", "0",
+		})
+	}()
+	time.Sleep(30 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("canceled wait returned %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("canceled -wait did not return")
+	}
+}

@@ -27,6 +27,7 @@ import (
 	"syscall"
 	"time"
 
+	"prefcover/internal/faults"
 	"prefcover/internal/jobs"
 	"prefcover/internal/server"
 	"prefcover/internal/store"
@@ -57,6 +58,10 @@ func run() int {
 		storeMaxBytes  = flag.Int64("store-max-bytes-mb", 0, "maximum MiB of registered graph content before LRU eviction (0 = default)")
 		jobWorkers     = flag.Int("job-workers", 1, "async solve workers; they share -max-concurrent slots with synchronous requests")
 		jobQueue       = flag.Int("job-queue", 0, "maximum queued async jobs before submissions get 429 (0 = default)")
+
+		faultSpec     = flag.String("fault-spec", "", "inject faults into /v1/* requests, e.g. \"seed=7,error=0.05,throttle=0.02,latency=5ms@0.3\" (chaos testing; empty = off)")
+		faultSpecDisk = flag.String("fault-spec-disk", "", "inject faults into -store-dir snapshot writes, same grammar as -fault-spec (empty = off)")
+		faultControl  = flag.Bool("fault-control", false, "mount /debug/faults so the HTTP fault injector can be inspected and replaced at runtime (test builds only)")
 	)
 	flag.Parse()
 	if *showVersion {
@@ -73,6 +78,15 @@ func run() int {
 	}
 	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 
+	httpFaults, err := parseFaultFlag("fault-spec", *faultSpec, logger)
+	if err != nil {
+		return 1
+	}
+	diskFaults, err := parseFaultFlag("fault-spec-disk", *faultSpecDisk, logger)
+	if err != nil {
+		return 1
+	}
+
 	srv, err := server.NewWithConfig(server.Config{
 		Limits: server.Limits{
 			MaxBodyBytes:  *maxBody << 20,
@@ -85,11 +99,14 @@ func run() int {
 			Dir:       *storeDir,
 			MaxGraphs: *storeMaxGraphs,
 			MaxBytes:  *storeMaxBytes << 20,
+			Faults:    diskFaults,
 		},
 		Jobs: jobs.Options{
 			Workers:    *jobWorkers,
 			QueueDepth: *jobQueue,
 		},
+		Faults:       httpFaults,
+		FaultControl: *faultControl,
 	})
 	if err != nil {
 		logger.Error("server construction failed", "error", err)
@@ -146,6 +163,23 @@ func run() int {
 	}
 	logger.Info("prefcoverd stopped")
 	return 0
+}
+
+// parseFaultFlag builds an injector from a -fault-spec style flag; an
+// empty or inject-nothing spec yields nil (faults fully disabled). The
+// activation is logged loudly — a daemon quietly injecting failures would
+// be a debugging nightmare.
+func parseFaultFlag(name, text string, logger *slog.Logger) (*faults.Injector, error) {
+	spec, err := faults.ParseSpec(text)
+	if err != nil {
+		logger.Error("bad -"+name, "error", err)
+		return nil, err
+	}
+	if !spec.Enabled() {
+		return nil, nil
+	}
+	logger.Warn("fault injection enabled", "flag", name, "spec", spec.String())
+	return faults.New(spec), nil
 }
 
 // pprofMux routes the net/http/pprof handlers on a dedicated mux, so the

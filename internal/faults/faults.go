@@ -1,0 +1,387 @@
+// Package faults is a deterministic, seedable fault injector for the
+// serving stack: it decides, per operation, whether to inject an error,
+// a throttle (429 + Retry-After), an unavailability (503 + Retry-After),
+// a connection reset, a partial (truncated) write, or extra latency —
+// each with an independent configured probability, all drawn from one
+// seeded stream so a failing chaos run reproduces exactly from its seed.
+//
+// The injector is wired in two places: internal/server mounts it as
+// opt-in middleware over the /v1/* endpoints (prefcoverd -fault-spec,
+// swappable at runtime through /debug/faults when fault control is
+// enabled), and internal/store threads it through the disk persistence
+// path so snapshot writes can fail or truncate on command. Both sides
+// count every injected fault by kind; the chaos harness closes the loop
+// by asserting the client-side retry counters account for exactly the
+// faults injected.
+//
+// Spec grammar (comma-separated key=value tokens, all optional):
+//
+//	seed=42          stream seed (default 1)
+//	error=0.1        P(injected internal error)         -> HTTP 500 / disk write error
+//	throttle=0.05    P(injected throttle)               -> HTTP 429 + Retry-After
+//	unavail=0.05     P(injected unavailability)         -> HTTP 503 + Retry-After
+//	reset=0.02       P(connection reset mid-response)
+//	partial=0.02     P(truncated response/write)
+//	latency=5ms      injected delay (all ops unless @p given)
+//	latency=5ms@0.3  injected delay on 30% of ops
+//	retryafter=1s    Retry-After advertised by throttle/unavail (default 1s)
+//
+// The five fault probabilities must sum to at most 1: at most one fault
+// is injected per operation, which is what makes "injected == observed"
+// accounting exact.
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// ErrInjected is the sentinel wrapped by every injected error, so layers
+// above can tell deliberate chaos from organic failure (the server maps
+// injected store errors to 500, not 400).
+var ErrInjected = errors.New("injected fault")
+
+// Kind enumerates the injectable faults.
+type Kind string
+
+const (
+	KindNone     Kind = "none"
+	KindError    Kind = "error"
+	KindThrottle Kind = "throttle"
+	KindUnavail  Kind = "unavail"
+	KindReset    Kind = "reset"
+	KindPartial  Kind = "partial"
+	// KindLatency is counted separately: latency composes with a fault
+	// decision rather than replacing it.
+	KindLatency Kind = "latency"
+)
+
+// Spec is a parsed fault specification. The zero Spec injects nothing.
+type Spec struct {
+	Seed       int64
+	Error      float64
+	Throttle   float64
+	Unavail    float64
+	Reset      float64
+	Partial    float64
+	Latency    time.Duration
+	LatencyP   float64 // probability of the latency applying; 0 with Latency>0 means always
+	RetryAfter time.Duration
+}
+
+// DefaultRetryAfter is advertised on injected 429/503 when the spec does
+// not set one.
+const DefaultRetryAfter = time.Second
+
+// Enabled reports whether the spec injects anything at all.
+func (s Spec) Enabled() bool {
+	return s.Error > 0 || s.Throttle > 0 || s.Unavail > 0 || s.Reset > 0 ||
+		s.Partial > 0 || s.Latency > 0
+}
+
+// faultSum is the total fault probability (excluding latency).
+func (s Spec) faultSum() float64 {
+	return s.Error + s.Throttle + s.Unavail + s.Reset + s.Partial
+}
+
+// ParseSpec parses the grammar documented on the package. An empty or
+// all-whitespace string is the zero (inject-nothing) spec.
+func ParseSpec(text string) (Spec, error) {
+	var s Spec
+	text = strings.TrimSpace(text)
+	if text == "" {
+		return s, nil
+	}
+	for _, tok := range strings.Split(text, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(tok, "=")
+		if !ok {
+			return Spec{}, fmt.Errorf("faults: token %q is not key=value", tok)
+		}
+		key, val = strings.TrimSpace(key), strings.TrimSpace(val)
+		switch key {
+		case "seed":
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return Spec{}, fmt.Errorf("faults: bad seed %q", val)
+			}
+			s.Seed = n
+		case "error", "throttle", "unavail", "reset", "partial":
+			p, err := parseProb(val)
+			if err != nil {
+				return Spec{}, fmt.Errorf("faults: bad %s probability %q", key, val)
+			}
+			switch key {
+			case "error":
+				s.Error = p
+			case "throttle":
+				s.Throttle = p
+			case "unavail":
+				s.Unavail = p
+			case "reset":
+				s.Reset = p
+			case "partial":
+				s.Partial = p
+			}
+		case "latency":
+			durText, probText, hasProb := strings.Cut(val, "@")
+			d, err := time.ParseDuration(durText)
+			if err != nil || d < 0 {
+				return Spec{}, fmt.Errorf("faults: bad latency %q", val)
+			}
+			s.Latency = d
+			s.LatencyP = 0
+			if hasProb {
+				p, err := parseProb(probText)
+				if err != nil {
+					return Spec{}, fmt.Errorf("faults: bad latency probability %q", probText)
+				}
+				s.LatencyP = p
+				// An explicit @0 means "never": drop the latency outright so
+				// the spec normalizes (String round-trips exactly).
+				if p == 0 {
+					s.Latency = 0
+				}
+			}
+			// A zero duration injects nothing regardless of probability.
+			if s.Latency == 0 {
+				s.LatencyP = 0
+			}
+		case "retryafter":
+			d, err := time.ParseDuration(val)
+			if err != nil || d < 0 {
+				return Spec{}, fmt.Errorf("faults: bad retryafter %q", val)
+			}
+			s.RetryAfter = d
+		default:
+			return Spec{}, fmt.Errorf("faults: unknown key %q (want seed, error, throttle, unavail, reset, partial, latency, retryafter)", key)
+		}
+	}
+	if sum := s.faultSum(); sum > 1 {
+		return Spec{}, fmt.Errorf("faults: fault probabilities sum to %g > 1", sum)
+	}
+	return s, nil
+}
+
+func parseProb(val string) (float64, error) {
+	p, err := strconv.ParseFloat(val, 64)
+	if err != nil || math.IsNaN(p) || p < 0 || p > 1 {
+		return 0, fmt.Errorf("probability %q outside [0,1]", val)
+	}
+	return p, nil
+}
+
+// String renders the spec in the grammar ParseSpec accepts, with tokens in
+// a fixed order and zero-valued knobs elided — ParseSpec(s.String())
+// reproduces s exactly (the fuzz target's round-trip invariant).
+func (s Spec) String() string {
+	var parts []string
+	if s.Seed != 0 {
+		parts = append(parts, fmt.Sprintf("seed=%d", s.Seed))
+	}
+	prob := func(key string, p float64) {
+		if p > 0 {
+			parts = append(parts, key+"="+strconv.FormatFloat(p, 'g', -1, 64))
+		}
+	}
+	prob("error", s.Error)
+	prob("throttle", s.Throttle)
+	prob("unavail", s.Unavail)
+	prob("reset", s.Reset)
+	prob("partial", s.Partial)
+	if s.Latency > 0 {
+		tok := "latency=" + s.Latency.String()
+		if s.LatencyP > 0 {
+			tok += "@" + strconv.FormatFloat(s.LatencyP, 'g', -1, 64)
+		}
+		parts = append(parts, tok)
+	}
+	if s.RetryAfter > 0 {
+		parts = append(parts, "retryafter="+s.RetryAfter.String())
+	}
+	return strings.Join(parts, ",")
+}
+
+// Injector draws fault decisions from one seeded stream. Safe for
+// concurrent use; with concurrent callers the per-call interleaving is
+// scheduling-dependent but the decision *multiset* for N calls is fixed
+// by the seed, and single-threaded drivers replay exactly.
+type Injector struct {
+	mu     sync.Mutex
+	rng    *rand.Rand
+	spec   Spec
+	counts map[Kind]int64
+}
+
+// New returns an Injector for spec. Seed 0 is normalized to 1 so the
+// zero-valued spec still has a defined stream.
+func New(spec Spec) *Injector {
+	seed := spec.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	return &Injector{
+		rng:    rand.New(rand.NewSource(seed)),
+		spec:   spec,
+		counts: make(map[Kind]int64),
+	}
+}
+
+// Spec returns the injector's configuration.
+func (in *Injector) Spec() Spec {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.spec
+}
+
+// RetryAfter is the delay injected throttle/unavail responses advertise.
+func (in *Injector) RetryAfter() time.Duration {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.spec.RetryAfter > 0 {
+		return in.spec.RetryAfter
+	}
+	return DefaultRetryAfter
+}
+
+// NextOp draws the decision for one operation: the fault to inject (or
+// KindNone) and any latency to add first. Every non-none fault and every
+// latency hit is counted.
+func (in *Injector) NextOp() (Kind, time.Duration) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	var delay time.Duration
+	if in.spec.Latency > 0 {
+		if in.spec.LatencyP <= 0 || in.rng.Float64() < in.spec.LatencyP {
+			delay = in.spec.Latency
+			in.counts[KindLatency]++
+		}
+	}
+	kind := KindNone
+	if sum := in.spec.faultSum(); sum > 0 {
+		// One draw partitioned across the cumulative fault probabilities,
+		// so at most one fault fires per op.
+		x := in.rng.Float64()
+		switch {
+		case x < in.spec.Error:
+			kind = KindError
+		case x < in.spec.Error+in.spec.Throttle:
+			kind = KindThrottle
+		case x < in.spec.Error+in.spec.Throttle+in.spec.Unavail:
+			kind = KindUnavail
+		case x < in.spec.Error+in.spec.Throttle+in.spec.Unavail+in.spec.Reset:
+			kind = KindReset
+		case x < sum:
+			kind = KindPartial
+		}
+	}
+	if kind != KindNone {
+		in.counts[kind]++
+	}
+	return kind, delay
+}
+
+// Counts snapshots the injected-fault tally by kind.
+func (in *Injector) Counts() map[Kind]int64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	out := make(map[Kind]int64, len(in.counts))
+	for k, v := range in.counts {
+		out[k] = v
+	}
+	return out
+}
+
+// TotalFaults is the number of injected faults (latency excluded).
+func (in *Injector) TotalFaults() int64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	var sum int64
+	for k, v := range in.counts {
+		if k != KindLatency {
+			sum += v
+		}
+	}
+	return sum
+}
+
+// CountsString renders the tally deterministically for logs and
+// /debug/faults.
+func (in *Injector) CountsString() string {
+	counts := in.Counts()
+	keys := make([]string, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, string(k))
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = fmt.Sprintf("%s=%d", k, counts[Kind(k)])
+	}
+	return strings.Join(parts, ",")
+}
+
+// PartialLimit draws the byte allowance for one partial-write fault from
+// the seeded stream: the point at which a truncated response or torn disk
+// write cuts off.
+func (in *Injector) PartialLimit() int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return 1 + in.rng.Intn(4096)
+}
+
+// DiskOp draws the decision for one disk write: a nil error and possibly
+// wrapped writer on success paths, or an injected error. Partial faults
+// return a writer that fails after a seed-determined number of bytes —
+// the moral equivalent of a torn write — and the HTTP-only kinds
+// (throttle, unavail, reset) degrade to plain errors, since a disk has no
+// Retry-After to send. Latency sleeps inline.
+func (in *Injector) DiskOp(w io.Writer) (io.Writer, error) {
+	kind, delay := in.NextOp()
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	switch kind {
+	case KindNone:
+		return w, nil
+	case KindPartial:
+		return &truncWriter{w: w, remaining: in.PartialLimit()}, nil
+	default:
+		return nil, fmt.Errorf("disk %s: %w", kind, ErrInjected)
+	}
+}
+
+// truncWriter forwards writes until its byte allowance runs out, then
+// fails — simulating a write cut short by a full disk or a crash.
+type truncWriter struct {
+	w         io.Writer
+	remaining int
+}
+
+func (t *truncWriter) Write(p []byte) (int, error) {
+	if t.remaining <= 0 {
+		return 0, fmt.Errorf("partial write: %w", ErrInjected)
+	}
+	if len(p) <= t.remaining {
+		n, err := t.w.Write(p)
+		t.remaining -= n
+		return n, err
+	}
+	n, err := t.w.Write(p[:t.remaining])
+	t.remaining -= n
+	if err != nil {
+		return n, err
+	}
+	return n, fmt.Errorf("partial write: %w", ErrInjected)
+}

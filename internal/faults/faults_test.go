@@ -1,0 +1,209 @@
+package faults
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseSpec(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Spec
+	}{
+		{"", Spec{}},
+		{"   ", Spec{}},
+		{"seed=42", Spec{Seed: 42}},
+		{"error=0.25", Spec{Error: 0.25}},
+		{"seed=7,error=0.1,throttle=0.05,unavail=0.05,reset=0.02,partial=0.03",
+			Spec{Seed: 7, Error: 0.1, Throttle: 0.05, Unavail: 0.05, Reset: 0.02, Partial: 0.03}},
+		{"latency=5ms", Spec{Latency: 5 * time.Millisecond}},
+		{"latency=5ms@0.3", Spec{Latency: 5 * time.Millisecond, LatencyP: 0.3}},
+		{"latency=5ms@0", Spec{}}, // explicit never normalizes away
+		{"latency=0s@0.5", Spec{}},
+		{"retryafter=250ms", Spec{RetryAfter: 250 * time.Millisecond}},
+		{" error=0.1 , seed=3 ", Spec{Seed: 3, Error: 0.1}},
+		{"error=0.1,,seed=3", Spec{Seed: 3, Error: 0.1}},
+	}
+	for _, tc := range cases {
+		got, err := ParseSpec(tc.in)
+		if err != nil {
+			t.Errorf("ParseSpec(%q): %v", tc.in, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("ParseSpec(%q) = %+v, want %+v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestParseSpecRejects(t *testing.T) {
+	bad := []string{
+		"nonsense",
+		"error",
+		"error=1.5",
+		"error=-0.1",
+		"error=x",
+		"seed=notanumber",
+		"latency=xyz",
+		"latency=-5ms",
+		"latency=5ms@2",
+		"retryafter=-1s",
+		"retryafter=zzz",
+		"unknownkey=1",
+		"error=0.6,throttle=0.6", // sums past 1
+	}
+	for _, in := range bad {
+		if _, err := ParseSpec(in); err == nil {
+			t.Errorf("ParseSpec(%q) should fail", in)
+		}
+	}
+}
+
+func TestSpecStringRoundTrip(t *testing.T) {
+	specs := []string{
+		"",
+		"seed=42",
+		"seed=7,error=0.1,throttle=0.05,unavail=0.05,reset=0.02,partial=0.03,latency=5ms@0.3,retryafter=1s",
+		"error=0.5,latency=1ms",
+		"retryafter=750ms",
+	}
+	for _, in := range specs {
+		s, err := ParseSpec(in)
+		if err != nil {
+			t.Fatalf("ParseSpec(%q): %v", in, err)
+		}
+		back, err := ParseSpec(s.String())
+		if err != nil {
+			t.Errorf("reparse of %q (from %q): %v", s.String(), in, err)
+			continue
+		}
+		if back != s {
+			t.Errorf("round trip %q -> %q -> %+v != %+v", in, s.String(), back, s)
+		}
+	}
+}
+
+func TestInjectorDeterministicFromSeed(t *testing.T) {
+	spec := Spec{Seed: 99, Error: 0.2, Throttle: 0.1, Reset: 0.1, Latency: time.Nanosecond, LatencyP: 0.5}
+	draw := func() []Kind {
+		in := New(spec)
+		out := make([]Kind, 200)
+		for i := range out {
+			out[i], _ = in.NextOp()
+		}
+		return out
+	}
+	a, b := draw(), draw()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d diverged: %s vs %s (same seed must replay)", i, a[i], b[i])
+		}
+	}
+}
+
+func TestInjectorCountsMatchDraws(t *testing.T) {
+	in := New(Spec{Seed: 5, Error: 0.3, Partial: 0.2})
+	var drawn int64
+	for i := 0; i < 500; i++ {
+		kind, _ := in.NextOp()
+		if kind != KindNone {
+			drawn++
+		}
+	}
+	if got := in.TotalFaults(); got != drawn {
+		t.Fatalf("TotalFaults = %d, observed %d", got, drawn)
+	}
+	counts := in.Counts()
+	if counts[KindError] == 0 || counts[KindPartial] == 0 {
+		t.Fatalf("expected both kinds to fire over 500 draws: %v", counts)
+	}
+	if counts[KindError]+counts[KindPartial] != drawn {
+		t.Fatalf("counts %v do not sum to %d", counts, drawn)
+	}
+	// Loose rate sanity: 30% ± 15 points over 500 draws.
+	rate := float64(counts[KindError]) / 500
+	if rate < 0.15 || rate > 0.45 {
+		t.Errorf("error rate %.2f wildly off the configured 0.3", rate)
+	}
+	if s := in.CountsString(); !strings.Contains(s, "error=") || !strings.Contains(s, "partial=") {
+		t.Errorf("CountsString = %q missing kinds", s)
+	}
+}
+
+func TestInjectorZeroSpecInjectsNothing(t *testing.T) {
+	in := New(Spec{})
+	for i := 0; i < 100; i++ {
+		kind, delay := in.NextOp()
+		if kind != KindNone || delay != 0 {
+			t.Fatalf("zero spec injected %s/%v", kind, delay)
+		}
+	}
+	if in.TotalFaults() != 0 {
+		t.Fatal("zero spec counted faults")
+	}
+}
+
+func TestRetryAfterDefault(t *testing.T) {
+	if got := New(Spec{}).RetryAfter(); got != DefaultRetryAfter {
+		t.Errorf("default RetryAfter = %v, want %v", got, DefaultRetryAfter)
+	}
+	if got := New(Spec{RetryAfter: 3 * time.Second}).RetryAfter(); got != 3*time.Second {
+		t.Errorf("RetryAfter = %v, want 3s", got)
+	}
+}
+
+func TestDiskOpErrorAndPartial(t *testing.T) {
+	// error=1 always fails with the sentinel.
+	in := New(Spec{Seed: 1, Error: 1})
+	if _, err := in.DiskOp(&bytes.Buffer{}); !errors.Is(err, ErrInjected) {
+		t.Fatalf("DiskOp with error=1 = %v, want ErrInjected", err)
+	}
+	// partial=1 returns a writer that fails partway through a big write.
+	in = New(Spec{Seed: 1, Partial: 1})
+	var buf bytes.Buffer
+	w, err := in.DiskOp(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := make([]byte, 1<<20)
+	n, werr := w.Write(big)
+	if !errors.Is(werr, ErrInjected) {
+		t.Fatalf("partial write err = %v, want ErrInjected", werr)
+	}
+	if n <= 0 || n >= len(big) {
+		t.Fatalf("partial write wrote %d of %d, want a strict prefix", n, len(big))
+	}
+	if buf.Len() != n {
+		t.Fatalf("underlying writer saw %d bytes, reported %d", buf.Len(), n)
+	}
+	// Subsequent writes keep failing.
+	if _, werr := w.Write([]byte("x")); !errors.Is(werr, ErrInjected) {
+		t.Fatalf("write after truncation = %v, want ErrInjected", werr)
+	}
+	// A clean injector passes the writer through untouched.
+	in = New(Spec{})
+	w, err = in.DiskOp(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := w.(*bytes.Buffer); !ok {
+		t.Fatal("no-fault DiskOp should return the writer unwrapped")
+	}
+}
+
+func TestSpecEnabled(t *testing.T) {
+	if (Spec{}).Enabled() {
+		t.Error("zero spec reports enabled")
+	}
+	for _, s := range []Spec{
+		{Error: 0.1}, {Throttle: 0.1}, {Unavail: 0.1},
+		{Reset: 0.1}, {Partial: 0.1}, {Latency: time.Millisecond},
+	} {
+		if !s.Enabled() {
+			t.Errorf("%+v should report enabled", s)
+		}
+	}
+}

@@ -1,0 +1,52 @@
+package faults
+
+import "testing"
+
+// FuzzFaultSpec feeds arbitrary text through the spec grammar: parsing
+// must never panic, an accepted spec must respect the documented
+// invariants (probabilities in range, non-negative durations), and its
+// canonical String form must reparse to the identical spec — the
+// round-trip property that keeps /debug/faults' echo authoritative.
+func FuzzFaultSpec(f *testing.F) {
+	f.Add("")
+	f.Add("seed=42")
+	f.Add("seed=7,error=0.1,throttle=0.05,unavail=0.05,reset=0.02,partial=0.03")
+	f.Add("latency=5ms@0.3,retryafter=1s")
+	f.Add("error=1.5")
+	f.Add("latency=5ms@0")
+	f.Add("error=0.6,throttle=0.6")
+	f.Add("seed=-9223372036854775808")
+	f.Fuzz(func(t *testing.T, text string) {
+		spec, err := ParseSpec(text)
+		if err != nil {
+			return
+		}
+		for name, p := range map[string]float64{
+			"error": spec.Error, "throttle": spec.Throttle, "unavail": spec.Unavail,
+			"reset": spec.Reset, "partial": spec.Partial, "latencyP": spec.LatencyP,
+		} {
+			if p < 0 || p > 1 {
+				t.Fatalf("%q: accepted %s=%g outside [0,1]", text, name, p)
+			}
+		}
+		if spec.faultSum() > 1 {
+			t.Fatalf("%q: accepted fault sum %g > 1", text, spec.faultSum())
+		}
+		if spec.Latency < 0 || spec.RetryAfter < 0 {
+			t.Fatalf("%q: accepted negative duration %+v", text, spec)
+		}
+		canon := spec.String()
+		back, err := ParseSpec(canon)
+		if err != nil {
+			t.Fatalf("%q: canonical form %q does not reparse: %v", text, canon, err)
+		}
+		if back != spec {
+			t.Fatalf("%q: round trip %q -> %+v != %+v", text, canon, back, spec)
+		}
+		// Drawing from an accepted spec must not panic either.
+		in := New(spec)
+		for i := 0; i < 8; i++ {
+			in.NextOp()
+		}
+	})
+}

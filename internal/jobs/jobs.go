@@ -106,7 +106,10 @@ const (
 // job is the internal mutable record; all fields are guarded by
 // Manager.mu.
 type job struct {
-	id       string
+	id string
+	// key is the idempotency key the job was submitted under ("" = none);
+	// kept so forgetting the job also clears its dedup mapping.
+	key      string
 	state    State
 	progress Progress
 	result   any
@@ -126,9 +129,13 @@ type Manager struct {
 	mu       sync.Mutex
 	jobs     map[string]*job
 	doneFIFO []string // terminal job ids, oldest first, for bounded retention
-	queued   int
-	running  int
-	closed   bool
+	// byKey maps idempotency keys to job ids, so a retried submission
+	// (client resent after a transport failure or injected fault) lands on
+	// the already-enqueued job instead of double-enqueueing.
+	byKey   map[string]string
+	queued  int
+	running int
+	closed  bool
 
 	queue chan *job
 	wg    sync.WaitGroup
@@ -152,6 +159,7 @@ func New(opts Options) *Manager {
 	m := &Manager{
 		opts:     opts,
 		jobs:     make(map[string]*job),
+		byKey:    make(map[string]string),
 		queue:    make(chan *job, opts.QueueDepth),
 		base:     base,
 		baseStop: stop,
@@ -166,9 +174,20 @@ func New(opts Options) *Manager {
 // Submit enqueues a task and returns its queued snapshot, or ErrQueueFull
 // / ErrClosed without side effects.
 func (m *Manager) Submit(task Task) (Snapshot, error) {
+	snap, _, err := m.SubmitIdempotent("", task)
+	return snap, err
+}
+
+// SubmitIdempotent enqueues a task under an idempotency key. When the key
+// has been seen before and its job is still retained, the existing job's
+// snapshot is returned with replayed=true and no new job is created — a
+// client that resends POST /v1/jobs after a transport failure cannot
+// double-enqueue. An empty key disables deduplication.
+func (m *Manager) SubmitIdempotent(key string, task Task) (snap Snapshot, replayed bool, err error) {
 	ctx, cancel := context.WithCancel(m.base)
 	j := &job{
 		id:      newID(),
+		key:     key,
 		state:   StateQueued,
 		created: time.Now(),
 		task:    task,
@@ -179,20 +198,36 @@ func (m *Manager) Submit(task Task) (Snapshot, error) {
 	if m.closed {
 		m.mu.Unlock()
 		cancel()
-		return Snapshot{}, ErrClosed
+		return Snapshot{}, false, ErrClosed
+	}
+	if key != "" {
+		if id, ok := m.byKey[key]; ok {
+			if prev, live := m.jobs[id]; live {
+				snap := prev.snapshotLocked()
+				m.mu.Unlock()
+				cancel()
+				return snap, true, nil
+			}
+			// The job was forgotten (retention trim or Remove); the key is
+			// free again and this submission counts as new work.
+			delete(m.byKey, key)
+		}
 	}
 	select {
 	case m.queue <- j:
 	default:
 		m.mu.Unlock()
 		cancel()
-		return Snapshot{}, ErrQueueFull
+		return Snapshot{}, false, ErrQueueFull
 	}
 	m.jobs[j.id] = j
+	if key != "" {
+		m.byKey[key] = j.id
+	}
 	m.queued++
-	snap := j.snapshotLocked()
+	snap = j.snapshotLocked()
 	m.mu.Unlock()
-	return snap, nil
+	return snap, false, nil
 }
 
 // Get returns a snapshot of the job.
@@ -263,7 +298,17 @@ func (m *Manager) Remove(id string) bool {
 		return false
 	}
 	delete(m.jobs, id)
+	m.forgetKeyLocked(j)
 	return true
+}
+
+// forgetKeyLocked clears j's idempotency mapping, but only while it still
+// points at j — a later submission may have legitimately reused the key.
+// Callers hold m.mu.
+func (m *Manager) forgetKeyLocked(j *job) {
+	if j.key != "" && m.byKey[j.key] == j.id {
+		delete(m.byKey, j.key)
+	}
 }
 
 // Depth returns how many jobs are queued but not yet running.
@@ -375,6 +420,7 @@ func (m *Manager) finishLocked(j *job, state State, result any, err error) {
 		// Remove may already have forgotten it; delete is idempotent.
 		if old, ok := m.jobs[oldest]; ok && old.state.Terminal() {
 			delete(m.jobs, oldest)
+			m.forgetKeyLocked(old)
 		}
 	}
 	if m.opts.OnFinish != nil {

@@ -1,0 +1,57 @@
+package retry
+
+// Counters is the metrics-backed Observer: four counter families in the
+// shared internal/metrics registry, so a process embedding a retrying
+// client (or the chaos harness asserting exact fault accounting) can
+// scrape its retry behaviour next to everything else.
+
+import (
+	"time"
+
+	"prefcover/internal/metrics"
+)
+
+// Counters implements Observer over prefcover_retry_* counter families.
+type Counters struct {
+	attempts *metrics.CounterVec // prefcover_retry_attempts_total
+	retries  *metrics.CounterVec // prefcover_retry_retries_total
+	giveUps  *metrics.CounterVec // prefcover_retry_giveups_total
+	honored  *metrics.CounterVec // prefcover_retry_retry_after_honored_total
+}
+
+// NewCounters registers the retry counter families in r.
+func NewCounters(r *metrics.Registry) *Counters {
+	return &Counters{
+		attempts: r.NewCounter("prefcover_retry_attempts_total",
+			"Request attempts issued by the retry loop, including first tries."),
+		retries: r.NewCounter("prefcover_retry_retries_total",
+			"Transient failures that were retried."),
+		giveUps: r.NewCounter("prefcover_retry_giveups_total",
+			"Transient failures abandoned at the attempt cap or sleep budget."),
+		honored: r.NewCounter("prefcover_retry_retry_after_honored_total",
+			"Retries whose delay honored a server-sent Retry-After."),
+	}
+}
+
+func (c *Counters) Attempt() { c.attempts.With().Inc() }
+
+func (c *Counters) Retry(_ time.Duration, honoredRetryAfter bool, _ error) {
+	c.retries.With().Inc()
+	if honoredRetryAfter {
+		c.honored.With().Inc()
+	}
+}
+
+func (c *Counters) GiveUp(error) { c.giveUps.With().Inc() }
+
+// Attempts returns the attempt count (tests, accounting).
+func (c *Counters) Attempts() int64 { return c.attempts.With().Value() }
+
+// Retries returns the retried-failure count.
+func (c *Counters) Retries() int64 { return c.retries.With().Value() }
+
+// GiveUps returns the abandoned-failure count.
+func (c *Counters) GiveUps() int64 { return c.giveUps.With().Value() }
+
+// Honored returns how many retries honored a Retry-After.
+func (c *Counters) Honored() int64 { return c.honored.With().Value() }

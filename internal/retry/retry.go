@@ -1,0 +1,288 @@
+// Package retry is the client-side half of the resilience story: a
+// stdlib-only exponential-backoff loop with full jitter, a hard attempt
+// cap, an optional wall-clock sleep budget, and first-class awareness of
+// the server's own load-shedding vocabulary — 429/503 responses and the
+// Retry-After header they carry. The serving layer deliberately sheds
+// load instead of queueing (see internal/server's limiter and the job
+// queue's 429), so a well-behaved client must turn those rejections into
+// spaced re-attempts rather than a tight hammer loop; this package is
+// that client discipline, shared by `prefcover remote` and the chaos
+// test harness.
+//
+// Only errors explicitly marked transient are retried: the caller
+// classifies each failure with Transient / TransientAfter (or the HTTP
+// helpers TransportError and HTTPStatusError) and everything else —
+// parse errors, 4xx rejections, context cancellation — returns
+// immediately. The greedy solver's ordered-prefix semantics make this
+// safe to apply broadly: a retried read is idempotent by construction,
+// and job submission carries idempotency keys so even a retried POST
+// cannot double-enqueue.
+package retry
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Policy shapes the retry loop. The zero value is usable: it gets
+// DefaultPolicy's attempt cap and delays.
+type Policy struct {
+	// MaxAttempts is the total number of tries including the first
+	// (0 = DefaultMaxAttempts). 1 means "never retry".
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry
+	// (0 = DefaultBaseDelay).
+	BaseDelay time.Duration
+	// MaxDelay caps the exponential growth (0 = DefaultMaxDelay).
+	MaxDelay time.Duration
+	// Multiplier is the backoff growth factor (0 = 2).
+	Multiplier float64
+	// Jitter is the random fraction of each delay, in [0,1]: the sleep is
+	// drawn uniformly from [delay*(1-Jitter), delay]. 0 means no jitter —
+	// deliberate only in tests; synchronized clients re-collide without it.
+	Jitter float64
+	// Budget caps the total time spent sleeping between attempts
+	// (0 = unlimited). A retry whose wait would exceed the remaining
+	// budget gives up instead, so a caller-facing deadline stays honest.
+	Budget time.Duration
+	// Rand supplies jitter randomness; nil uses a process-global seeded
+	// source. Tests inject a fixed seed for reproducible schedules.
+	Rand *rand.Rand
+	// Observer, when non-nil, receives one callback per attempt, retry
+	// and give-up — the hook the retry metrics counters hang off.
+	Observer Observer
+}
+
+// Defaults for the zero Policy: four tries over roughly half a second of
+// backoff, gentle enough for interactive CLI use, persistent enough to
+// ride out a limiter blip.
+const (
+	DefaultMaxAttempts = 4
+	DefaultBaseDelay   = 100 * time.Millisecond
+	DefaultMaxDelay    = 5 * time.Second
+)
+
+// Observer receives the loop's lifecycle events. Implementations must be
+// safe for concurrent use when the policy is shared across goroutines.
+type Observer interface {
+	// Attempt fires before every try, including the first.
+	Attempt()
+	// Retry fires when a transient failure will be retried after delay;
+	// honoredRetryAfter reports whether a server-mandated Retry-After
+	// participated in the delay.
+	Retry(delay time.Duration, honoredRetryAfter bool, err error)
+	// GiveUp fires when a transient failure will NOT be retried (attempt
+	// cap or budget exhausted). Non-transient failures never reach it.
+	GiveUp(err error)
+}
+
+// transientError marks an error as retryable, optionally carrying the
+// server-mandated minimum delay before the next attempt. demanded
+// distinguishes "the server sent Retry-After: 0" (honor it, retry on our
+// own curve) from "no Retry-After at all".
+type transientError struct {
+	err        error
+	retryAfter time.Duration
+	demanded   bool
+}
+
+func (t *transientError) Error() string { return t.err.Error() }
+func (t *transientError) Unwrap() error { return t.err }
+
+// Transient marks err as retryable. A nil err returns nil.
+func Transient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &transientError{err: err}
+}
+
+// TransientAfter marks err retryable with a server-mandated minimum wait
+// (a parsed Retry-After). A non-positive delay is equivalent to Transient.
+func TransientAfter(err error, after time.Duration) error {
+	if err == nil {
+		return nil
+	}
+	if after < 0 {
+		after = 0
+	}
+	return &transientError{err: err, retryAfter: after, demanded: true}
+}
+
+// AsTransient reports whether err is marked retryable and, if so, the
+// server-mandated minimum delay (0 when none was given).
+func AsTransient(err error) (retryAfter time.Duration, ok bool) {
+	var t *transientError
+	if errors.As(err, &t) {
+		return t.retryAfter, true
+	}
+	return 0, false
+}
+
+// globalRand backs jitter when Policy.Rand is nil; seeded once, mutex
+// guarded because Policy.Do may run concurrently.
+var (
+	globalMu   sync.Mutex
+	globalRand = rand.New(rand.NewSource(time.Now().UnixNano()))
+)
+
+func (p *Policy) jitterFloat() float64 {
+	if p.Rand != nil {
+		return p.Rand.Float64()
+	}
+	globalMu.Lock()
+	defer globalMu.Unlock()
+	return globalRand.Float64()
+}
+
+// withDefaults resolves the zero-value knobs.
+func (p Policy) withDefaults() Policy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = DefaultMaxAttempts
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = DefaultBaseDelay
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = DefaultMaxDelay
+	}
+	if p.Multiplier <= 1 {
+		p.Multiplier = 2
+	}
+	if p.Jitter < 0 {
+		p.Jitter = 0
+	}
+	if p.Jitter > 1 {
+		p.Jitter = 1
+	}
+	return p
+}
+
+// Do runs op until it succeeds, fails non-transiently, exhausts the
+// attempt cap or sleep budget, or ctx is done. The returned error is
+// op's own for non-transient failures and ctx.Err() for cancellation;
+// exhaustion wraps the last transient error (errors.Is/As reach it).
+func (p Policy) Do(ctx context.Context, op func(context.Context) error) error {
+	p = p.withDefaults()
+	delay := p.BaseDelay
+	var slept time.Duration
+	for attempt := 1; ; attempt++ {
+		if p.Observer != nil {
+			p.Observer.Attempt()
+		}
+		err := op(ctx)
+		if err == nil {
+			return nil
+		}
+		var t *transientError
+		if !errors.As(err, &t) {
+			return err
+		}
+		retryAfter, demanded := t.retryAfter, t.demanded
+		// The op may have failed because the context died mid-flight;
+		// retrying a dead context would misreport cancellation as
+		// exhaustion.
+		if ctx.Err() != nil {
+			return err
+		}
+		if attempt >= p.MaxAttempts {
+			if p.Observer != nil {
+				p.Observer.GiveUp(err)
+			}
+			return fmt.Errorf("retry: giving up after %d attempts: %w", attempt, err)
+		}
+		// Full-jitter backoff, floored by any server-mandated Retry-After:
+		// the server knows its own recovery horizon better than our curve.
+		wait := delay
+		if p.Jitter > 0 {
+			wait = delay - time.Duration(p.jitterFloat()*p.Jitter*float64(delay))
+		}
+		honored := demanded
+		if retryAfter > wait {
+			wait = retryAfter
+		}
+		if p.Budget > 0 && slept+wait > p.Budget {
+			if p.Observer != nil {
+				p.Observer.GiveUp(err)
+			}
+			return fmt.Errorf("retry: sleep budget %v exhausted after %d attempts: %w", p.Budget, attempt, err)
+		}
+		if p.Observer != nil {
+			p.Observer.Retry(wait, honored, err)
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(wait):
+		}
+		slept += wait
+		delay = time.Duration(float64(delay) * p.Multiplier)
+		if delay > p.MaxDelay {
+			delay = p.MaxDelay
+		}
+	}
+}
+
+// TransportError classifies a transport-level failure (dial refused,
+// connection reset, truncated body) as transient: the request may never
+// have reached the server, or died on the wire — for idempotent calls a
+// re-send is always safe.
+func TransportError(err error) error { return Transient(err) }
+
+// StatusTransient reports whether an HTTP status is worth retrying for an
+// idempotent request: explicit load shedding (429, 503), gateway froth
+// (502, 504), and generic server faults (500). Every 4xx except 429 is
+// the client's own fault and retrying it would only repeat the mistake.
+func StatusTransient(status int) bool {
+	switch status {
+	case http.StatusTooManyRequests,
+		http.StatusInternalServerError,
+		http.StatusBadGateway,
+		http.StatusServiceUnavailable,
+		http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+// HTTPStatusError classifies err by its response status: transient
+// statuses are marked retryable with any Retry-After the header carries;
+// everything else passes through untouched.
+func HTTPStatusError(status int, header http.Header, err error) error {
+	if err == nil || !StatusTransient(status) {
+		return err
+	}
+	if after, ok := RetryAfterHeader(header); ok {
+		return TransientAfter(err, after)
+	}
+	return Transient(err)
+}
+
+// RetryAfterHeader parses a Retry-After header: delay-seconds or an
+// HTTP-date per RFC 9110 §10.2.3. Absent or malformed values report false.
+func RetryAfterHeader(h http.Header) (time.Duration, bool) {
+	v := h.Get("Retry-After")
+	if v == "" {
+		return 0, false
+	}
+	if secs, err := strconv.Atoi(v); err == nil {
+		if secs < 0 {
+			return 0, false
+		}
+		return time.Duration(secs) * time.Second, true
+	}
+	if t, err := http.ParseTime(v); err == nil {
+		d := time.Until(t)
+		if d < 0 {
+			d = 0
+		}
+		return d, true
+	}
+	return 0, false
+}

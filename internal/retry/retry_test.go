@@ -1,0 +1,329 @@
+package retry
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"testing"
+	"time"
+
+	"prefcover/internal/metrics"
+)
+
+// fastPolicy keeps test wall-clock negligible while exercising the real
+// loop.
+func fastPolicy() Policy {
+	return Policy{
+		MaxAttempts: 4,
+		BaseDelay:   time.Microsecond,
+		MaxDelay:    10 * time.Microsecond,
+		Rand:        rand.New(rand.NewSource(1)),
+	}
+}
+
+func TestDoSucceedsAfterTransientFailures(t *testing.T) {
+	calls := 0
+	err := fastPolicy().Do(context.Background(), func(context.Context) error {
+		calls++
+		if calls < 3 {
+			return Transient(fmt.Errorf("flaky %d", calls))
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Do = %v, want success", err)
+	}
+	if calls != 3 {
+		t.Fatalf("calls = %d, want 3", calls)
+	}
+}
+
+func TestDoStopsOnNonTransient(t *testing.T) {
+	calls := 0
+	base := errors.New("bad request")
+	err := fastPolicy().Do(context.Background(), func(context.Context) error {
+		calls++
+		return base
+	})
+	if !errors.Is(err, base) {
+		t.Fatalf("Do = %v, want %v", err, base)
+	}
+	if calls != 1 {
+		t.Fatalf("calls = %d, want 1 (non-transient must not retry)", calls)
+	}
+}
+
+func TestDoGivesUpAtAttemptCap(t *testing.T) {
+	calls := 0
+	base := errors.New("always down")
+	err := fastPolicy().Do(context.Background(), func(context.Context) error {
+		calls++
+		return Transient(base)
+	})
+	if calls != 4 {
+		t.Fatalf("calls = %d, want MaxAttempts=4", calls)
+	}
+	if !errors.Is(err, base) {
+		t.Fatalf("give-up error %v should wrap the last failure", err)
+	}
+}
+
+func TestDoHonorsBudget(t *testing.T) {
+	p := fastPolicy()
+	p.MaxAttempts = 100
+	p.BaseDelay = 10 * time.Millisecond
+	p.MaxDelay = 10 * time.Millisecond
+	p.Budget = 15 * time.Millisecond
+	calls := 0
+	start := time.Now()
+	err := p.Do(context.Background(), func(context.Context) error {
+		calls++
+		return Transient(errors.New("down"))
+	})
+	if err == nil {
+		t.Fatal("Do should fail once the budget is exhausted")
+	}
+	// First retry sleeps ~10ms; the second would push past 15ms and must
+	// give up instead, so at most 2 attempts ran.
+	if calls > 2 {
+		t.Fatalf("calls = %d, want <= 2 under a 15ms budget", calls)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("budget did not bound the loop (elapsed %v)", elapsed)
+	}
+}
+
+func TestDoContextCancelDuringSleep(t *testing.T) {
+	p := fastPolicy()
+	p.BaseDelay = time.Hour // the cancel must cut the sleep short
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		cancel()
+	}()
+	err := p.Do(ctx, func(context.Context) error {
+		return Transient(errors.New("down"))
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Do = %v, want context.Canceled", err)
+	}
+}
+
+func TestDoReturnsOpErrorWhenContextAlreadyDead(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	base := errors.New("request aborted")
+	calls := 0
+	err := fastPolicy().Do(ctx, func(context.Context) error {
+		calls++
+		return Transient(base)
+	})
+	if calls != 1 {
+		t.Fatalf("calls = %d, want 1 (dead context must not retry)", calls)
+	}
+	if !errors.Is(err, base) {
+		t.Fatalf("Do = %v, want the op's own error", err)
+	}
+}
+
+func TestRetryAfterFloorsBackoff(t *testing.T) {
+	p := fastPolicy()
+	p.MaxAttempts = 2
+	reg := metrics.NewRegistry()
+	c := NewCounters(reg)
+	p.Observer = c
+	start := time.Now()
+	_ = p.Do(context.Background(), func(context.Context) error {
+		return TransientAfter(errors.New("throttled"), 20*time.Millisecond)
+	})
+	if elapsed := time.Since(start); elapsed < 20*time.Millisecond {
+		t.Fatalf("elapsed %v, want >= the 20ms Retry-After floor", elapsed)
+	}
+	if c.Honored() != 1 {
+		t.Fatalf("honored = %d, want 1", c.Honored())
+	}
+}
+
+func TestCountersAccounting(t *testing.T) {
+	reg := metrics.NewRegistry()
+	c := NewCounters(reg)
+	p := fastPolicy()
+	p.Observer = c
+	calls := 0
+	err := p.Do(context.Background(), func(context.Context) error {
+		calls++
+		if calls < 3 {
+			return Transient(errors.New("flaky"))
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = p.Do(context.Background(), func(context.Context) error {
+		return Transient(errors.New("always down"))
+	})
+	if got, want := c.Attempts(), int64(3+4); got != want {
+		t.Errorf("attempts = %d, want %d", got, want)
+	}
+	if got, want := c.Retries(), int64(2+3); got != want {
+		t.Errorf("retries = %d, want %d", got, want)
+	}
+	if got, want := c.GiveUps(), int64(1); got != want {
+		t.Errorf("giveups = %d, want %d", got, want)
+	}
+	// Observed transients == retries + giveups: the identity the chaos
+	// harness asserts against the fault injector's own counts.
+	if got, want := c.Retries()+c.GiveUps(), int64(2+4); got != want {
+		t.Errorf("transients observed = %d, want %d", got, want)
+	}
+}
+
+func TestJitterStaysWithinBand(t *testing.T) {
+	p := Policy{
+		MaxAttempts: 2,
+		BaseDelay:   50 * time.Millisecond,
+		Jitter:      0.5,
+		Rand:        rand.New(rand.NewSource(7)),
+	}
+	var seen time.Duration
+	p.Observer = observerFunc{onRetry: func(d time.Duration, _ bool, _ error) { seen = d }}
+	_ = p.Do(context.Background(), func(context.Context) error {
+		return Transient(errors.New("down"))
+	})
+	if seen < 25*time.Millisecond || seen > 50*time.Millisecond {
+		t.Fatalf("jittered delay %v outside [25ms, 50ms]", seen)
+	}
+}
+
+func TestBackoffGrowthCapped(t *testing.T) {
+	p := Policy{
+		MaxAttempts: 6,
+		BaseDelay:   time.Microsecond,
+		MaxDelay:    4 * time.Microsecond,
+		Multiplier:  2,
+	}
+	var delays []time.Duration
+	p.Observer = observerFunc{onRetry: func(d time.Duration, _ bool, _ error) { delays = append(delays, d) }}
+	_ = p.Do(context.Background(), func(context.Context) error {
+		return Transient(errors.New("down"))
+	})
+	want := []time.Duration{1, 2, 4, 4, 4} // microseconds, capped at MaxDelay
+	if len(delays) != len(want) {
+		t.Fatalf("got %d retries, want %d", len(delays), len(want))
+	}
+	for i, d := range delays {
+		if d != want[i]*time.Microsecond {
+			t.Errorf("delay[%d] = %v, want %v", i, d, want[i]*time.Microsecond)
+		}
+	}
+}
+
+// observerFunc adapts closures to Observer for tests.
+type observerFunc struct {
+	onRetry func(time.Duration, bool, error)
+}
+
+func (observerFunc) Attempt() {}
+func (o observerFunc) Retry(d time.Duration, h bool, err error) {
+	if o.onRetry != nil {
+		o.onRetry(d, h, err)
+	}
+}
+func (observerFunc) GiveUp(error) {}
+
+func TestAsTransient(t *testing.T) {
+	if _, ok := AsTransient(errors.New("plain")); ok {
+		t.Error("plain error classified transient")
+	}
+	if _, ok := AsTransient(nil); ok {
+		t.Error("nil classified transient")
+	}
+	if after, ok := AsTransient(TransientAfter(errors.New("x"), time.Second)); !ok || after != time.Second {
+		t.Errorf("TransientAfter round trip = (%v, %v)", after, ok)
+	}
+	// Wrapping preserves the classification.
+	wrapped := fmt.Errorf("context: %w", Transient(errors.New("x")))
+	if _, ok := AsTransient(wrapped); !ok {
+		t.Error("wrapped transient lost its classification")
+	}
+	if Transient(nil) != nil || TransientAfter(nil, time.Second) != nil {
+		t.Error("marking nil should stay nil")
+	}
+	if after, ok := AsTransient(TransientAfter(errors.New("x"), -time.Second)); !ok || after != 0 {
+		t.Errorf("negative after = (%v, %v), want (0, true)", after, ok)
+	}
+}
+
+func TestStatusTransient(t *testing.T) {
+	for _, status := range []int{429, 500, 502, 503, 504} {
+		if !StatusTransient(status) {
+			t.Errorf("status %d should be transient", status)
+		}
+	}
+	for _, status := range []int{200, 201, 304, 400, 404, 405, 415, 422} {
+		if StatusTransient(status) {
+			t.Errorf("status %d should not be transient", status)
+		}
+	}
+}
+
+func TestHTTPStatusError(t *testing.T) {
+	base := errors.New("server said no")
+	h := http.Header{}
+	if err := HTTPStatusError(400, h, base); err != base {
+		t.Errorf("400 should pass through untouched, got %v", err)
+	}
+	if _, ok := AsTransient(HTTPStatusError(503, h, base)); !ok {
+		t.Error("503 should be transient")
+	}
+	h.Set("Retry-After", "2")
+	if after, ok := AsTransient(HTTPStatusError(429, h, base)); !ok || after != 2*time.Second {
+		t.Errorf("429 with Retry-After: 2 = (%v, %v), want (2s, true)", after, ok)
+	}
+	if err := HTTPStatusError(200, h, nil); err != nil {
+		t.Errorf("nil error should stay nil, got %v", err)
+	}
+}
+
+func TestRetryAfterHeader(t *testing.T) {
+	cases := []struct {
+		value string
+		want  time.Duration
+		ok    bool
+	}{
+		{"", 0, false},
+		{"3", 3 * time.Second, true},
+		{"0", 0, true},
+		{"-1", 0, false},
+		{"garbage", 0, false},
+		{time.Now().Add(time.Minute).UTC().Format(http.TimeFormat), 0, true}, // date form parses
+		{time.Now().Add(-time.Minute).UTC().Format(http.TimeFormat), 0, true},
+	}
+	for _, tc := range cases {
+		h := http.Header{}
+		if tc.value != "" {
+			h.Set("Retry-After", tc.value)
+		}
+		got, ok := RetryAfterHeader(h)
+		if ok != tc.ok {
+			t.Errorf("RetryAfterHeader(%q) ok = %v, want %v", tc.value, ok, tc.ok)
+			continue
+		}
+		// For the date forms only sanity-check the sign.
+		if tc.value != "" && tc.ok && tc.want > 0 && got != tc.want {
+			t.Errorf("RetryAfterHeader(%q) = %v, want %v", tc.value, got, tc.want)
+		}
+		if got < 0 {
+			t.Errorf("RetryAfterHeader(%q) = %v, negative", tc.value, got)
+		}
+	}
+}
+
+func TestTransportError(t *testing.T) {
+	if _, ok := AsTransient(TransportError(errors.New("connection refused"))); !ok {
+		t.Error("transport errors must be transient")
+	}
+}

@@ -109,7 +109,12 @@ func (s *Server) submitJob(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, r, status, err)
 		return
 	}
-	snap, err := s.jobs.Submit(s.jobTask(req.GraphRef, variant, opts, req.Pins))
+	// An Idempotency-Key header makes retried submissions safe: the same
+	// key lands on the already-enqueued job instead of creating a second
+	// one. The sanitizer mirrors X-Request-ID's (header values must stay
+	// log- and JSON-safe).
+	idemKey := sanitizeRequestID(r.Header.Get("Idempotency-Key"))
+	snap, replayed, err := s.jobs.SubmitIdempotent(idemKey, s.jobTask(req.GraphRef, variant, opts, req.Pins))
 	switch {
 	case errors.Is(err, jobs.ErrQueueFull):
 		s.met.rejected.With("/v1/jobs", "queue_full").Inc()
@@ -120,6 +125,13 @@ func (s *Server) submitJob(w http.ResponseWriter, r *http.Request) {
 		return
 	case err != nil:
 		s.writeError(w, r, http.StatusInternalServerError, err)
+		return
+	}
+	if replayed {
+		// 200, not 202: nothing new was accepted; the body is the live
+		// state of the original submission.
+		w.Header().Set("Idempotency-Replayed", "true")
+		writeJSON(w, jobJSON(snap))
 		return
 	}
 	w.WriteHeader(http.StatusAccepted)

@@ -1,0 +1,248 @@
+package server
+
+// Deterministic tests for the fault-injection layer and the job
+// idempotency keys — the pieces the chaos harness later exercises under
+// randomized load. Here every spec uses probability 1, so each behavior
+// is provoked on demand.
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"testing"
+
+	"prefcover/internal/faults"
+	"prefcover/internal/store"
+)
+
+func mustSpec(t *testing.T, text string) faults.Spec {
+	t.Helper()
+	spec, err := faults.ParseSpec(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec
+}
+
+func TestFaultMiddlewareInjectedError(t *testing.T) {
+	_, ts := newServingServer(t, Config{Faults: faults.New(mustSpec(t, "error=1"))})
+	resp, body := doReq(t, http.MethodGet, ts.URL+"/v1/graphs", nil, nil)
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status = %d, want 500", resp.StatusCode)
+	}
+	var apiErr struct {
+		Error     string `json:"error"`
+		RequestID string `json:"requestId"`
+	}
+	if err := json.Unmarshal(body, &apiErr); err != nil {
+		t.Fatalf("injected error body is not the JSON envelope: %v (%q)", err, body)
+	}
+	if !strings.Contains(apiErr.Error, "injected fault") || apiErr.RequestID == "" {
+		t.Fatalf("envelope = %+v, want injected-fault message with a request id", apiErr)
+	}
+	// Non-/v1 endpoints are exempt: health stays green under full chaos.
+	resp, _ = doReq(t, http.MethodGet, ts.URL+"/healthz", nil, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz under faults = %d, want 200", resp.StatusCode)
+	}
+}
+
+func TestFaultMiddlewareThrottleAndUnavailAdvertiseRetryAfter(t *testing.T) {
+	cases := []struct {
+		spec string
+		want int
+	}{
+		{"throttle=1,retryafter=2s", http.StatusTooManyRequests},
+		{"unavail=1,retryafter=2s", http.StatusServiceUnavailable},
+	}
+	for _, tc := range cases {
+		_, ts := newServingServer(t, Config{Faults: faults.New(mustSpec(t, tc.spec))})
+		resp, _ := doReq(t, http.MethodGet, ts.URL+"/v1/graphs", nil, nil)
+		if resp.StatusCode != tc.want {
+			t.Fatalf("%s: status = %d, want %d", tc.spec, resp.StatusCode, tc.want)
+		}
+		if got := resp.Header.Get("Retry-After"); got != "2" {
+			t.Fatalf("%s: Retry-After = %q, want \"2\"", tc.spec, got)
+		}
+	}
+}
+
+func TestFaultMiddlewareResetDropsConnection(t *testing.T) {
+	_, ts := newServingServer(t, Config{Faults: faults.New(mustSpec(t, "reset=1"))})
+	_, err := http.Get(ts.URL + "/v1/graphs")
+	if err == nil {
+		t.Fatal("reset fault should surface as a transport error, got a response")
+	}
+}
+
+func TestFaultMiddlewarePartialTruncatesResponse(t *testing.T) {
+	srv, ts := newServingServer(t, Config{Faults: faults.New(mustSpec(t, "partial=1"))})
+	// Upload without faults so there is a real response to truncate, then
+	// re-enable for the read.
+	srv.SetFaults(nil)
+	g := servingGraph(t, 60)
+	resp, _ := doReq(t, http.MethodPut, ts.URL+"/v1/graphs/g",
+		http.Header{"Content-Type": {"application/json"}}, graphJSON(t, g))
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("setup PUT = %d", resp.StatusCode)
+	}
+	srv.SetFaults(faults.New(mustSpec(t, "partial=1")))
+	r, err := http.Get(ts.URL + "/v1/graphs/g")
+	if err == nil {
+		_, err = io.ReadAll(r.Body)
+		r.Body.Close()
+	}
+	if err == nil {
+		t.Fatal("partial fault should truncate the response mid-body")
+	}
+}
+
+func TestDiskFaultsFailPut(t *testing.T) {
+	_, ts := newServingServer(t, Config{
+		Store: store.Options{
+			Dir:    t.TempDir(),
+			Faults: faults.New(mustSpec(t, "error=1")),
+		},
+	})
+	g := servingGraph(t, 40)
+	resp, body := doReq(t, http.MethodPut, ts.URL+"/v1/graphs/g",
+		http.Header{"Content-Type": {"application/json"}}, graphJSON(t, g))
+	// An injected persistence failure is a server fault (500), never a 400.
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status = %d, want 500 (body %q)", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "injected fault") {
+		t.Fatalf("body %q should name the injected fault", body)
+	}
+	// The failed put must leave nothing behind — not in memory, not on disk.
+	resp, _ = doReq(t, http.MethodGet, ts.URL+"/v1/graphs/g", nil, nil)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("graph visible after failed persist: %d", resp.StatusCode)
+	}
+}
+
+func TestDiskFaultsPartialWrite(t *testing.T) {
+	dir := t.TempDir()
+	_, ts := newServingServer(t, Config{
+		Store: store.Options{
+			Dir:    dir,
+			Faults: faults.New(mustSpec(t, "partial=1")),
+		},
+	})
+	// Big enough that its encoding exceeds any drawn truncation point
+	// (limit <= 4096 bytes).
+	g := servingGraph(t, 2000)
+	resp, _ := doReq(t, http.MethodPut, ts.URL+"/v1/graphs/g",
+		http.Header{"Content-Type": {"application/json"}}, graphJSON(t, g))
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status = %d, want 500 on torn write", resp.StatusCode)
+	}
+	// The torn temp file must have been cleaned up.
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		t.Errorf("leftover file after torn write: %s", e.Name())
+	}
+}
+
+func TestDebugFaultsEndpoint(t *testing.T) {
+	srv, ts := newServingServer(t, Config{FaultControl: true})
+	// Starts disabled.
+	resp, body := doReq(t, http.MethodGet, ts.URL+"/debug/faults", nil, nil)
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), `"enabled":false`) {
+		t.Fatalf("initial state = %d %q", resp.StatusCode, body)
+	}
+	// Install a spec; the echo is the canonical form.
+	resp, body = doReq(t, http.MethodPut, ts.URL+"/debug/faults", nil, []byte("seed=3,error=1"))
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "seed=3,error=1") {
+		t.Fatalf("install = %d %q", resp.StatusCode, body)
+	}
+	if srv.Faults() == nil {
+		t.Fatal("injector not installed")
+	}
+	// The installed spec takes effect immediately.
+	resp, _ = doReq(t, http.MethodGet, ts.URL+"/v1/graphs", nil, nil)
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("after install: /v1/graphs = %d, want 500", resp.StatusCode)
+	}
+	// Counts are visible.
+	_, body = doReq(t, http.MethodGet, ts.URL+"/debug/faults", nil, nil)
+	if !strings.Contains(string(body), `"total":1`) {
+		t.Fatalf("counts not reflected: %q", body)
+	}
+	// Bad specs are rejected without replacing the injector.
+	resp, _ = doReq(t, http.MethodPut, ts.URL+"/debug/faults", nil, []byte("error=9"))
+	if resp.StatusCode != http.StatusBadRequest || srv.Faults() == nil {
+		t.Fatalf("bad spec: status %d, injector %v", resp.StatusCode, srv.Faults())
+	}
+	// DELETE removes it.
+	resp, _ = doReq(t, http.MethodDelete, ts.URL+"/debug/faults", nil, nil)
+	if resp.StatusCode != http.StatusNoContent || srv.Faults() != nil {
+		t.Fatalf("delete: status %d, injector %v", resp.StatusCode, srv.Faults())
+	}
+	resp, _ = doReq(t, http.MethodGet, ts.URL+"/v1/graphs", nil, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("after delete: /v1/graphs = %d, want 200", resp.StatusCode)
+	}
+}
+
+func TestDebugFaultsAbsentWithoutFaultControl(t *testing.T) {
+	_, ts := newServingServer(t, Config{})
+	resp, _ := doReq(t, http.MethodGet, ts.URL+"/debug/faults", nil, nil)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("/debug/faults without FaultControl = %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestJobSubmitIdempotencyKey(t *testing.T) {
+	_, ts := newServingServer(t, Config{})
+	g := servingGraph(t, 60)
+	resp, _ := doReq(t, http.MethodPut, ts.URL+"/v1/graphs/g",
+		http.Header{"Content-Type": {"application/json"}}, graphJSON(t, g))
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("PUT = %d", resp.StatusCode)
+	}
+	payload := []byte(`{"graph_ref":"g","variant":"independent","k":5}`)
+	hdr := http.Header{
+		"Content-Type":    {"application/json"},
+		"Idempotency-Key": {"chaos-key-1"},
+	}
+	resp, body := doReq(t, http.MethodPost, ts.URL+"/v1/jobs", hdr, payload)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first submit = %d %q", resp.StatusCode, body)
+	}
+	var first struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(body, &first); err != nil || first.ID == "" {
+		t.Fatalf("first submit body %q: %v", body, err)
+	}
+	// Resending the identical request (the client retrying after a lost
+	// response) must land on the same job.
+	resp, body = doReq(t, http.MethodPost, ts.URL+"/v1/jobs", hdr, payload)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("replayed submit = %d, want 200", resp.StatusCode)
+	}
+	if resp.Header.Get("Idempotency-Replayed") != "true" {
+		t.Fatal("replayed submit missing Idempotency-Replayed header")
+	}
+	var second struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(body, &second); err != nil {
+		t.Fatal(err)
+	}
+	if second.ID != first.ID {
+		t.Fatalf("replay created a new job: %s != %s", second.ID, first.ID)
+	}
+	// A different key is new work.
+	hdr.Set("Idempotency-Key", "chaos-key-2")
+	resp, body = doReq(t, http.MethodPost, ts.URL+"/v1/jobs", hdr, payload)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("fresh-key submit = %d %q", resp.StatusCode, body)
+	}
+}

@@ -12,10 +12,12 @@ package server
 //	DELETE /v1/graphs/{name}   -> 204; drops cached results for its content
 
 import (
+	"errors"
 	"fmt"
 	"net/http"
 	"strings"
 
+	"prefcover/internal/faults"
 	"prefcover/internal/store"
 )
 
@@ -76,7 +78,13 @@ func (s *Server) putGraph(w http.ResponseWriter, r *http.Request, name string) {
 	}
 	entry, replaced, err := s.store.Put(name, g)
 	if err != nil {
-		s.writeError(w, r, http.StatusBadRequest, err)
+		// An injected persistence failure is the server's fault, not the
+		// client's: 500 so a retrying client knows to try again.
+		status := http.StatusBadRequest
+		if errors.Is(err, faults.ErrInjected) {
+			status = http.StatusInternalServerError
+		}
+		s.writeError(w, r, status, err)
 		return
 	}
 	w.Header().Set("ETag", etagFor(entry.Hash))

@@ -67,6 +67,7 @@ import (
 	"prefcover"
 	"prefcover/adapt"
 	"prefcover/clickstream"
+	"prefcover/internal/faults"
 	"prefcover/internal/jobs"
 	"prefcover/internal/metrics"
 	"prefcover/internal/solvecache"
@@ -110,6 +111,11 @@ type Server struct {
 	tracer     *trace.Tracer
 	traceEvery int
 	traceSeq   atomic.Int64
+	// faultInj, when non-nil, injects faults into every /v1/* request
+	// (see internal/faults); swappable at runtime through SetFaults and,
+	// with faultControl, the /debug/faults endpoint.
+	faultInj     atomic.Pointer[faults.Injector]
+	faultControl bool
 	// started anchors the uptime gauge.
 	started time.Time
 	// testHookStart, when set (tests only), runs inside the instrumented
@@ -134,6 +140,13 @@ type Config struct {
 	// Jobs sizes the async queue and worker pool. Gate and OnFinish are
 	// managed by the server (workers share the request limiter).
 	Jobs jobs.Options
+	// Faults, when non-nil, injects failures into every /v1/* request —
+	// the -fault-spec flag. Store.Faults separately covers disk writes.
+	Faults *faults.Injector
+	// FaultControl mounts /debug/faults so the injector can be inspected
+	// and swapped at runtime. Meant for test and chaos builds only: the
+	// endpoint is unauthenticated load-breaking power.
+	FaultControl bool
 }
 
 // New returns a Server with the given limits and default subsystem bounds;
@@ -189,6 +202,11 @@ func NewWithConfig(cfg Config) (*Server, error) {
 	jobOpts.Gate = s.sem
 	jobOpts.OnFinish = func(state jobs.State) { s.met.jobsTotal.With(string(state)).Inc() }
 	s.jobs = jobs.New(jobOpts)
+
+	s.faultControl = cfg.FaultControl
+	if cfg.Faults != nil {
+		s.faultInj.Store(cfg.Faults)
+	}
 	return s, nil
 }
 
@@ -312,17 +330,23 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/version", s.instrument("/version", false, s.handleVersion))
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/debug/traces", s.handleTraces)
-	mux.HandleFunc("/v1/adapt", s.instrument("/v1/adapt", true, s.handleAdapt))
-	mux.HandleFunc("/v1/solve", s.instrument("/v1/solve", true, s.handleSolve))
-	mux.HandleFunc("/v1/pipeline", s.instrument("/v1/pipeline", true, s.handlePipeline))
-	mux.HandleFunc("/v1/stats", s.instrument("/v1/stats", true, s.handleStats))
-	mux.HandleFunc("/v1/graphs", s.instrument("/v1/graphs", false, s.handleGraphList))
-	mux.HandleFunc("/v1/graphs/", s.instrument("/v1/graphs/{name}", true, s.handleGraph))
+	// withFaults sits inside instrument so injected failures are metered
+	// and logged like organic ones; it is a no-op until an injector is
+	// installed (-fault-spec or /debug/faults).
+	mux.HandleFunc("/v1/adapt", s.instrument("/v1/adapt", true, s.withFaults(s.handleAdapt)))
+	mux.HandleFunc("/v1/solve", s.instrument("/v1/solve", true, s.withFaults(s.handleSolve)))
+	mux.HandleFunc("/v1/pipeline", s.instrument("/v1/pipeline", true, s.withFaults(s.handlePipeline)))
+	mux.HandleFunc("/v1/stats", s.instrument("/v1/stats", true, s.withFaults(s.handleStats)))
+	mux.HandleFunc("/v1/graphs", s.instrument("/v1/graphs", false, s.withFaults(s.handleGraphList)))
+	mux.HandleFunc("/v1/graphs/", s.instrument("/v1/graphs/{name}", true, s.withFaults(s.handleGraph)))
 	// Job endpoints bypass the request limiter: submission only enqueues
 	// (the solve itself acquires a slot from the worker side) and status
 	// polling must stay available while every slot is busy solving.
-	mux.HandleFunc("/v1/jobs", s.instrument("/v1/jobs", false, s.handleJobs))
-	mux.HandleFunc("/v1/jobs/", s.instrument("/v1/jobs/{id}", false, s.handleJob))
+	mux.HandleFunc("/v1/jobs", s.instrument("/v1/jobs", false, s.withFaults(s.handleJobs)))
+	mux.HandleFunc("/v1/jobs/", s.instrument("/v1/jobs/{id}", false, s.withFaults(s.handleJob)))
+	if s.faultControl {
+		mux.HandleFunc("/debug/faults", s.instrument("/debug/faults", false, s.handleFaults))
+	}
 	return mux
 }
 

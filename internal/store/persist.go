@@ -8,6 +8,7 @@ package store
 
 import (
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -33,7 +34,20 @@ func (r *Registry) persist(name string, g *graph.Graph) (hash string, size int64
 	if err != nil {
 		return "", 0, fmt.Errorf("store: creating snapshot: %w", err)
 	}
-	hash, size, err = encode(g, f)
+	// With a fault injector configured, the snapshot sink may error
+	// outright or truncate partway — either way the write below fails, the
+	// tmp file is removed, and no entry is installed, exactly as if the
+	// disk itself had misbehaved.
+	var sink io.Writer = f
+	if r.opts.Faults != nil {
+		sink, err = r.opts.Faults.DiskOp(f)
+		if err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return "", 0, fmt.Errorf("store: persisting graph %q: %w", name, err)
+		}
+	}
+	hash, size, err = encode(g, sink)
 	if err == nil {
 		err = f.Sync()
 	}

@@ -29,6 +29,7 @@ import (
 	"sync"
 	"time"
 
+	"prefcover/internal/faults"
 	"prefcover/internal/graph"
 )
 
@@ -77,6 +78,10 @@ type Options struct {
 	// an existing name with different content. The solve cache hangs its
 	// invalidation here.
 	OnInvalidate func(name, hash string)
+	// Faults, when non-nil, injects failures into the disk persistence
+	// path (prefcoverd -fault-spec-disk): snapshot writes can error or
+	// truncate on a seeded schedule. No-op unless Dir is set.
+	Faults *faults.Injector
 }
 
 // Default bounds: generous for a serving box, small enough that a runaway
