@@ -22,9 +22,10 @@ FUZZ_TARGETS := \
 	./internal/store:FuzzValidateName \
 	./internal/jobs:FuzzJobRequestJSON \
 	./internal/faults:FuzzFaultSpec \
+	./internal/trace:FuzzTraceparent \
 	./cmd/prefcover:FuzzGraphImport
 
-.PHONY: all build test test-race chaos cover fuzz-short bench bench-json vet fmt-check ci
+.PHONY: all build test test-race chaos cover fuzz-short smoke bench bench-json vet fmt-check ci
 
 all: build test
 
@@ -63,6 +64,12 @@ fuzz-short:
 		$(GO) test -run=NONE -fuzz="^$$fn$$" -fuzztime=$(FUZZTIME) $$pkg; \
 	done
 
+# smoke boots the real prefcoverd binary on an ephemeral port, scrapes
+# /metrics and /debug/statusz, validates the Prometheus text format and
+# the expected metric families, and checks SIGTERM drains cleanly.
+smoke:
+	$(GO) test -count=1 -run '^TestStatuszMetricsSmoke$$' ./cmd/prefcoverd
+
 bench:
 	$(GO) test -bench=. -benchmem -run=NONE .
 
@@ -78,9 +85,9 @@ fmt-check:
 # ci is the pre-merge gate: static checks, full build and tests (including
 # the race detector — the jobs/cache/store subsystems are concurrency-heavy —
 # and the multi-seed chaos suite via test-race), coverage floors on the
-# resilience packages, plus a smoke run of the benchmark harness (tiny
-# benchtime; result discarded).
-ci: vet fmt-check build test test-race cover
+# resilience packages, the statusz/metrics daemon smoke test, plus a
+# smoke run of the benchmark harness (tiny benchtime; result discarded).
+ci: vet fmt-check build test test-race cover smoke
 	$(GO) run ./cmd/benchjson -quiet -benchtime 1x \
 		-bench '^(BenchmarkGainKernels|BenchmarkFig4aGreedySmall|BenchmarkPublicSolve)$$' \
 		-out $(or $(TMPDIR),/tmp)/prefcover-bench-smoke.json

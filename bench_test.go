@@ -33,6 +33,7 @@ import (
 	"prefcover/internal/solvecache"
 	isparsify "prefcover/internal/sparsify"
 	isynth "prefcover/internal/synth"
+	itrace "prefcover/internal/trace"
 	iyoochoose "prefcover/internal/yoochoose"
 )
 
@@ -663,6 +664,54 @@ func BenchmarkRemoteSolveWithRetries(b *testing.B) {
 			if err := policy.Do(context.Background(), call); err != nil {
 				b.Fatal(err)
 			}
+		}
+	})
+}
+
+// BenchmarkTracePropagationOverhead isolates what distributed tracing
+// costs per request on the wire path: "inject" renders a span's W3C
+// traceparent and sets it on a header (the client side of every attempt),
+// "extract" parses the header back and opens the continuing request root
+// span (the middleware side), and "roundtrip" is both plus ending the
+// span into the flight-recorder ring. These are nanosecond-scale
+// operations; the snapshot keeps them honest so the header codec never
+// silently grows allocations.
+func BenchmarkTracePropagationOverhead(b *testing.B) {
+	tracer := itrace.New(64)
+	origin := itrace.NewSpanContext()
+	span := tracer.RootContext("client", origin)
+	header := span.Context().Traceparent()
+	if header == "" {
+		b.Fatal("no traceparent to propagate")
+	}
+
+	b.Run("inject", func(b *testing.B) {
+		b.ReportAllocs()
+		h := make(http.Header, 4)
+		for i := 0; i < b.N; i++ {
+			h.Set(itrace.TraceparentHeader, span.Context().Traceparent())
+		}
+	})
+	b.Run("extract", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sc, err := itrace.ParseTraceparent(header)
+			if err != nil || !sc.Sampled {
+				b.Fatalf("parse: %v (%+v)", err, sc)
+			}
+		}
+	})
+	b.Run("roundtrip", func(b *testing.B) {
+		b.ReportAllocs()
+		h := make(http.Header, 4)
+		for i := 0; i < b.N; i++ {
+			h.Set(itrace.TraceparentHeader, span.Context().Traceparent())
+			sc, err := itrace.ParseTraceparent(h.Get(itrace.TraceparentHeader))
+			if err != nil {
+				b.Fatal(err)
+			}
+			req := tracer.RootContext("request", sc)
+			req.End()
 		}
 	})
 }

@@ -37,6 +37,7 @@ import (
 	"time"
 
 	"prefcover/internal/retry"
+	"prefcover/internal/trace"
 )
 
 func runRemote(ctx context.Context, args []string) error {
@@ -69,8 +70,12 @@ func retryFlags(fs *flag.FlagSet) func() retry.Policy {
 }
 
 // remoteClient issues API requests with the configured retry discipline.
+// With tr set, every call records a span tree — one "call" span per do(),
+// one child per attempt — and injects a W3C traceparent header on each
+// attempt so server-side spans join the same trace.
 type remoteClient struct {
 	policy retry.Policy
+	tr     *clientTrace
 }
 
 // do issues one API call and decodes the JSON reply (or surfaces the
@@ -78,7 +83,27 @@ type remoteClient struct {
 // re-sends identical bytes; extra headers (e.g. Idempotency-Key) ride on
 // every attempt. Only calls marked idempotent are retried.
 func (c *remoteClient) do(ctx context.Context, method, url, contentType string, body []byte, extra http.Header, idempotent bool, out any) error {
+	call := c.tr.startCall(method, url)
+	policy := c.policy
+	var backoff *backoffObserver
+	if call != nil {
+		// Observe retry decisions so each attempt span can report the
+		// backoff that preceded it.
+		backoff = &backoffObserver{next: policy.Observer}
+		policy.Observer = backoff
+	}
+	attempt := 0
 	op := func(ctx context.Context) error {
+		attempt++
+		var asp *trace.Span
+		if call != nil {
+			asp = call.Child(fmt.Sprintf("attempt %d", attempt))
+			asp.SetAttr("attempt", attempt)
+			if attempt > 1 && backoff != nil {
+				asp.SetAttr("backoffSeconds", backoff.lastDelay.Seconds())
+			}
+			defer asp.End()
+		}
 		var rd io.Reader
 		if body != nil {
 			rd = bytes.NewReader(body)
@@ -93,19 +118,27 @@ func (c *remoteClient) do(ctx context.Context, method, url, contentType string, 
 		for k, vs := range extra {
 			req.Header[k] = vs
 		}
+		// The attempt span is the server's parent, so each retry shows up
+		// as its own server-side request under the attempt that caused it.
+		if tp := asp.Context().Traceparent(); tp != "" {
+			req.Header.Set(trace.TraceparentHeader, tp)
+		}
 		resp, err := http.DefaultClient.Do(req)
 		if err != nil {
+			asp.SetAttr("error", err.Error())
 			if idempotent {
 				return retry.TransportError(err)
 			}
 			return err
 		}
 		defer resp.Body.Close()
+		asp.SetAttr("status", resp.StatusCode)
 		data, err := io.ReadAll(io.LimitReader(resp.Body, 256<<20))
 		if err != nil {
 			// The response died mid-body (reset, truncation); for an
 			// idempotent call a clean re-read is always safe.
 			err = fmt.Errorf("%s %s: reading response: %w", method, url, err)
+			asp.SetAttr("error", err.Error())
 			if idempotent {
 				return retry.TransportError(err)
 			}
@@ -126,7 +159,41 @@ func (c *remoteClient) do(ctx context.Context, method, url, contentType string, 
 		}
 		return nil
 	}
-	return c.policy.Do(ctx, op)
+	err := policy.Do(ctx, op)
+	if call != nil {
+		call.SetAttr("attempts", attempt)
+		if err != nil {
+			call.SetAttr("error", err.Error())
+		}
+		call.End()
+	}
+	return err
+}
+
+// backoffObserver captures the delay the retry loop chose before each
+// re-attempt, chaining to any observer the policy already had.
+type backoffObserver struct {
+	next      retry.Observer
+	lastDelay time.Duration
+}
+
+func (o *backoffObserver) Attempt() {
+	if o.next != nil {
+		o.next.Attempt()
+	}
+}
+
+func (o *backoffObserver) Retry(delay time.Duration, honored bool, err error) {
+	o.lastDelay = delay
+	if o.next != nil {
+		o.next.Retry(delay, honored, err)
+	}
+}
+
+func (o *backoffObserver) GiveUp(err error) {
+	if o.next != nil {
+		o.next.GiveUp(err)
+	}
 }
 
 // responseError renders an error response for the terminal: the server's
@@ -275,6 +342,7 @@ func runRemoteSolve(ctx context.Context, args []string) error {
 		lazy      = fs.Bool("lazy", true, "use lazy (CELF) evaluation")
 		workers   = fs.Int("workers", 1, "parallel scan workers")
 		pins      = fs.String("pins", "", "comma-separated must-stock labels, retained before the greedy fill")
+		traceOut  = fs.String("trace", "", "write a merged client+server Chrome trace-event file here")
 	)
 	policy := retryFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -287,9 +355,16 @@ func runRemoteSolve(ctx context.Context, args []string) error {
 	url := strings.TrimRight(*server, "/") + "/v1/solve" +
 		solveQuery(*variant, *k, *threshold, *lazy, *workers, splitPins(*pins))
 	c := &remoteClient{policy: policy()}
+	if *traceOut != "" {
+		c.tr = newClientTrace(*traceOut, "solve", *server)
+	}
 	var out map[string]any
 	// A reference solve is a pure read (POST in verb only) — retry freely.
-	if err := c.do(ctx, http.MethodPost, url, "application/json", body, nil, true, &out); err != nil {
+	err := c.do(ctx, http.MethodPost, url, "application/json", body, nil, true, &out)
+	if terr := c.tr.finish(ctx, c.policy); err == nil {
+		err = terr
+	}
+	if err != nil {
 		return err
 	}
 	return printJSON(out)
@@ -310,6 +385,7 @@ func runRemoteJob(ctx context.Context, args []string) error {
 		interval  = fs.Duration("interval", 500*time.Millisecond, "polling interval for -wait")
 		status    = fs.String("status", "", "print the state of this job id and exit")
 		cancel    = fs.String("cancel", "", "cancel this job id and exit")
+		traceOut  = fs.String("trace", "", "write a merged client+server Chrome trace-event file here (submission path)")
 	)
 	policy := retryFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -335,6 +411,9 @@ func runRemoteJob(ctx context.Context, args []string) error {
 	case *graphRef == "":
 		return fmt.Errorf("remote job: need -graph (submit), -status ID or -cancel ID")
 	}
+	if *traceOut != "" {
+		c.tr = newClientTrace(*traceOut, "job", *server)
+	}
 
 	payload := map[string]any{"graph_ref": *graphRef, "variant": *variant}
 	if *k > 0 {
@@ -359,22 +438,37 @@ func runRemoteJob(ctx context.Context, args []string) error {
 	if key := newIdempotencyKey(); key != "" {
 		extra = http.Header{"Idempotency-Key": {key}}
 	}
-	var submitted map[string]any
-	if err := c.do(ctx, http.MethodPost, base+"/v1/jobs", "application/json", body, extra, true, &submitted); err != nil {
+	final, err := submitAndWait(ctx, c, base, body, extra, *wait, *interval)
+	// The merged trace is written whether the job succeeded or not; a
+	// failed round-trip is exactly when the trace is most interesting.
+	if terr := c.tr.finish(ctx, c.policy); err == nil {
+		err = terr
+	}
+	if err != nil {
 		return err
 	}
+	return printJSON(final)
+}
+
+// submitAndWait posts the job and (with wait) polls it to a terminal
+// state, returning the last job payload seen.
+func submitAndWait(ctx context.Context, c *remoteClient, base string, body []byte, extra http.Header, wait bool, interval time.Duration) (map[string]any, error) {
+	var submitted map[string]any
+	if err := c.do(ctx, http.MethodPost, base+"/v1/jobs", "application/json", body, extra, true, &submitted); err != nil {
+		return nil, err
+	}
 	id, _ := submitted["id"].(string)
-	if !*wait || id == "" {
-		return printJSON(submitted)
+	if !wait || id == "" {
+		return submitted, nil
 	}
 	for {
 		var snap map[string]any
 		if err := c.do(ctx, http.MethodGet, base+"/v1/jobs/"+id, "", nil, nil, true, &snap); err != nil {
-			return err
+			return nil, err
 		}
 		switch snap["state"] {
 		case "done", "failed", "canceled":
-			return printJSON(snap)
+			return snap, nil
 		}
 		if state, ok := snap["state"].(string); ok {
 			if prog, ok := snap["progress"].(map[string]any); ok {
@@ -383,8 +477,8 @@ func runRemoteJob(ctx context.Context, args []string) error {
 		}
 		select {
 		case <-ctx.Done():
-			return ctx.Err()
-		case <-time.After(*interval):
+			return nil, ctx.Err()
+		case <-time.After(interval):
 		}
 	}
 }

@@ -1,0 +1,133 @@
+package main
+
+// Client-side distributed tracing for `prefcover remote`. With -trace
+// out.json, the CLI originates a W3C trace context, records its own span
+// tree (one span per API call, one child per retry attempt), injects
+// traceparent on every attempt, and — after the command completes —
+// fetches the server-side spans for the same trace ID from
+// /debug/traces?trace=<id>&epoch=unix and merges both processes into one
+// Chrome trace-event file: client spans on pid 1, server spans on pid 2,
+// all on one timeline.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/url"
+	"os"
+	"strings"
+	"time"
+
+	"prefcover/internal/retry"
+	"prefcover/internal/trace"
+)
+
+// clientTrace owns the CLI-side flight recorder for one remote command.
+type clientTrace struct {
+	tracer *trace.Tracer
+	sc     trace.SpanContext
+	root   *trace.Span
+	out    string // output file path
+	server string // prefcoverd base URL, for fetching the server half
+}
+
+// newClientTrace originates a trace for one remote verb. A nil receiver
+// (no -trace flag) disables all of this at zero cost.
+func newClientTrace(out, verb, server string) *clientTrace {
+	tracer := trace.New(trace.DefaultCapacity)
+	sc := trace.NewSpanContext()
+	root := tracer.RootContext("remote "+verb, sc)
+	return &clientTrace{tracer: tracer, sc: sc, root: root, out: out, server: strings.TrimRight(server, "/")}
+}
+
+// startCall opens the span covering one API call (all its attempts).
+func (ct *clientTrace) startCall(method, rawURL string) *trace.Span {
+	if ct == nil {
+		return nil
+	}
+	path := rawURL
+	if u, err := url.Parse(rawURL); err == nil && u.Path != "" {
+		path = u.Path
+	}
+	return ct.root.Child("call " + method + " " + path)
+}
+
+// finish ends the root span, merges in the server-side spans, and writes
+// the combined Chrome trace-event file. Fetch failures degrade to a
+// client-only trace with a warning — the command itself already succeeded
+// or failed on its own terms.
+func (ct *clientTrace) finish(ctx context.Context, policy retry.Policy) error {
+	if ct == nil {
+		return nil
+	}
+	ct.root.End()
+	// time.Unix(0, 0) switches both sides to absolute Unix-epoch
+	// microseconds, making the two processes' timestamps directly
+	// comparable (same host; NTP-level skew across hosts).
+	events := trace.ChromeEvents(ct.tracer.Snapshot(), time.Unix(0, 0))
+	serverEvents, err := ct.fetchServerEvents(ctx, policy)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "trace: could not fetch server-side spans (%v); writing client-only trace\n", err)
+	}
+	for i := range serverEvents {
+		serverEvents[i].PID = 2
+	}
+	events = append(events, serverEvents...)
+	// Rebase the merged set so the file starts at t=0 like every other
+	// trace dump this repo produces.
+	min := events[0].TS
+	for _, ev := range events {
+		if ev.TS < min {
+			min = ev.TS
+		}
+	}
+	for i := range events {
+		events[i].TS -= min
+	}
+	f, err := os.Create(ct.out)
+	if err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	defer f.Close()
+	if err := trace.WriteChromeEvents(f, events); err != nil {
+		return fmt.Errorf("trace: writing %s: %w", ct.out, err)
+	}
+	fmt.Fprintf(os.Stderr, "trace %s: wrote %d events (%d server-side) to %s\n",
+		ct.sc.TraceID, len(events), len(serverEvents), ct.out)
+	return nil
+}
+
+// fetchServerEvents pulls the server's spans for this trace ID. The
+// server records a request's root span only after writing its response,
+// so the very call that finished the command may not be in the ring yet —
+// poll briefly until the event count is non-zero and stable.
+func (ct *clientTrace) fetchServerEvents(ctx context.Context, policy retry.Policy) ([]trace.ChromeEvent, error) {
+	// A bare client: the fetch itself must not add spans to the trace.
+	c := &remoteClient{policy: policy}
+	u := ct.server + "/debug/traces?trace=" + url.QueryEscape(ct.sc.TraceID) + "&epoch=unix"
+	var (
+		events []trace.ChromeEvent
+		prev   = -1
+	)
+	for i := 0; i < 10; i++ {
+		var got json.RawMessage
+		if err := c.do(ctx, "GET", u, "", nil, nil, true, &got); err != nil {
+			return nil, err
+		}
+		var parsed []trace.ChromeEvent
+		if err := json.Unmarshal(got, &parsed); err != nil {
+			return nil, fmt.Errorf("decoding %s: %w", u, err)
+		}
+		if len(parsed) > 0 && len(parsed) == prev {
+			return parsed, nil
+		}
+		prev = len(parsed)
+		events = parsed
+		select {
+		case <-ctx.Done():
+			return events, ctx.Err()
+		case <-time.After(100 * time.Millisecond):
+		}
+	}
+	return events, nil
+}

@@ -1,0 +1,194 @@
+package main
+
+// Tests for the client half of distributed tracing: the span tree
+// remoteClient.do records around retried calls, the traceparent each
+// attempt injects, and the merged client+server Chrome trace file that
+// -trace writes.
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"prefcover/internal/retry"
+	"prefcover/internal/trace"
+)
+
+// TestRetryAttemptSpansAreSiblings forces one 503-then-200 retry and
+// checks the recorded shape: a single call span with one child span per
+// attempt — siblings, distinct span IDs, each injected on the wire as its
+// own traceparent so every server-side request parents to the attempt
+// that caused it.
+func TestRetryAttemptSpansAreSiblings(t *testing.T) {
+	var (
+		mu      sync.Mutex
+		parents []string
+	)
+	calls := 0
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		calls++
+		n := calls
+		parents = append(parents, r.Header.Get(trace.TraceparentHeader))
+		mu.Unlock()
+		if n == 1 {
+			http.Error(w, `{"error":"shed"}`, http.StatusServiceUnavailable)
+			return
+		}
+		w.Write([]byte(`{"ok":true}`))
+	}))
+	defer ts.Close()
+
+	out := filepath.Join(t.TempDir(), "unused.json")
+	c := &remoteClient{policy: retry.Policy{MaxAttempts: 3, BaseDelay: time.Millisecond}}
+	c.tr = newClientTrace(out, "solve", ts.URL)
+	var reply map[string]any
+	if err := c.do(context.Background(), http.MethodPost, ts.URL+"/v1/solve", "application/json", []byte("{}"), nil, true, &reply); err != nil {
+		t.Fatalf("do: %v", err)
+	}
+	c.tr.root.End()
+
+	calls = len(parents)
+	if calls != 2 {
+		t.Fatalf("server saw %d attempts, want 2", calls)
+	}
+	var call *trace.Span
+	for _, sp := range c.tr.root.Children() {
+		if sp.Name() == "call POST /v1/solve" {
+			call = sp
+		}
+	}
+	if call == nil {
+		t.Fatalf("no call span; children = %v", c.tr.root.Children())
+	}
+	if got := call.Attr("attempts"); got != int64(2) {
+		t.Errorf("call attempts attr = %v, want 2", got)
+	}
+	attempts := call.Children()
+	if len(attempts) != 2 {
+		t.Fatalf("call span has %d children, want 2 attempt spans", len(attempts))
+	}
+	for i, asp := range attempts {
+		if want := "attempt " + string(rune('1'+i)); asp.Name() != want {
+			t.Errorf("attempt %d span named %q, want %q", i, asp.Name(), want)
+		}
+		// Siblings: both parented to the call span, never to each other.
+		if asp.ParentSpanID() != call.SpanID() {
+			t.Errorf("attempt %d parent = %q, want call span %q", i, asp.ParentSpanID(), call.SpanID())
+		}
+		if asp.TraceID() != c.tr.sc.TraceID {
+			t.Errorf("attempt %d trace ID = %q, want %q", i, asp.TraceID(), c.tr.sc.TraceID)
+		}
+		// The wire header carried exactly this attempt's identity.
+		sc, err := trace.ParseTraceparent(parents[i])
+		if err != nil {
+			t.Fatalf("attempt %d traceparent %q: %v", i, parents[i], err)
+		}
+		if sc.TraceID != c.tr.sc.TraceID || sc.SpanID != asp.SpanID() {
+			t.Errorf("attempt %d injected %+v, want span %q of trace %q",
+				i, sc, asp.SpanID(), c.tr.sc.TraceID)
+		}
+	}
+	if attempts[0].SpanID() == attempts[1].SpanID() {
+		t.Error("attempt spans share a span ID")
+	}
+	if attempts[0].Attr("status") != int64(503) || attempts[1].Attr("status") != int64(200) {
+		t.Errorf("attempt statuses = %v, %v; want 503 then 200",
+			attempts[0].Attr("status"), attempts[1].Attr("status"))
+	}
+	if _, ok := attempts[1].Attr("backoffSeconds").(float64); !ok {
+		t.Errorf("retried attempt has no backoffSeconds attr; attrs = %v", attempts[1].Attrs())
+	}
+}
+
+// TestClientTraceFinishMergesServerSpans runs finish() against a fake
+// prefcoverd serving one span on /debug/traces and checks the written
+// Chrome file: client events on pid 1, server events on pid 2, one
+// rebased timeline starting at ts=0.
+func TestClientTraceFinishMergesServerSpans(t *testing.T) {
+	serverEvent := trace.ChromeEvent{
+		Name: "request /v1/solve", Ph: "X",
+		TS: float64(time.Now().UnixMicro()), Dur: 1500, PID: 1, TID: 1,
+		Args: map[string]interface{}{"traceID": "ignored-here"},
+	}
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/debug/traces" {
+			t.Errorf("unexpected fetch path %q", r.URL.Path)
+			http.NotFound(w, r)
+			return
+		}
+		if r.URL.Query().Get("epoch") != "unix" {
+			t.Errorf("fetch missing epoch=unix: %s", r.URL.RawQuery)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode([]trace.ChromeEvent{serverEvent})
+	}))
+	defer ts.Close()
+
+	out := filepath.Join(t.TempDir(), "merged.json")
+	ct := newClientTrace(out, "solve", ts.URL)
+	ct.startCall(http.MethodPost, ts.URL+"/v1/solve").End()
+	if err := ct.finish(context.Background(), retry.Policy{MaxAttempts: 1}); err != nil {
+		t.Fatalf("finish: %v", err)
+	}
+
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []trace.ChromeEvent
+	if err := json.Unmarshal(data, &events); err != nil {
+		t.Fatalf("merged trace is not Chrome JSON: %v\n%s", err, data)
+	}
+	pids := map[int]int{}
+	minTS := events[0].TS
+	sawServer := false
+	for _, ev := range events {
+		pids[ev.PID]++
+		if ev.TS < minTS {
+			minTS = ev.TS
+		}
+		if ev.Name == serverEvent.Name {
+			sawServer = true
+			if ev.PID != 2 {
+				t.Errorf("server event pid = %d, want 2", ev.PID)
+			}
+		}
+	}
+	if !sawServer {
+		t.Error("merged file lacks the server-side event")
+	}
+	if pids[1] == 0 {
+		t.Error("merged file lacks client-side events on pid 1")
+	}
+	if minTS != 0 {
+		t.Errorf("merged timeline starts at %v, want rebased 0", minTS)
+	}
+	names := map[string]bool{}
+	for _, ev := range events {
+		names[ev.Name] = true
+	}
+	for _, want := range []string{"remote solve", "call POST /v1/solve"} {
+		if !names[want] {
+			t.Errorf("merged file missing client span %q", want)
+		}
+	}
+}
+
+// TestClientTraceNilSafety: without -trace every hook is a nil receiver
+// and must cost nothing and do nothing.
+func TestClientTraceNilSafety(t *testing.T) {
+	var ct *clientTrace
+	if sp := ct.startCall(http.MethodGet, "http://x/y"); sp != nil {
+		t.Errorf("nil clientTrace startCall = %v", sp)
+	}
+	if err := ct.finish(context.Background(), retry.Policy{}); err != nil {
+		t.Errorf("nil clientTrace finish: %v", err)
+	}
+}

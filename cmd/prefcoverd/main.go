@@ -4,7 +4,9 @@
 // expose the two stages separately. GET /metrics exposes Prometheus
 // telemetry (request latencies, solver work counters, runtime health);
 // GET /version reports the build; GET /debug/traces dumps the
-// flight-recorder ring populated by -trace-sample.
+// flight-recorder ring populated by -trace-sample and by inbound W3C
+// traceparent headers (distributed traces are always recorded); GET
+// /debug/statusz is the one-page HTML operator dashboard.
 //
 // The daemon is production-shaped: per-request solve deadlines
 // (-solve-timeout), bounded concurrency with load shedding
@@ -20,6 +22,7 @@ import (
 	"flag"
 	"fmt"
 	"log/slog"
+	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -46,6 +49,7 @@ func run() int {
 		maxK          = flag.Int("max-k", 0, "maximum solvable budget (0 = unlimited)")
 		solveTimeout  = flag.Duration("solve-timeout", 0, "per-request deadline for /v1/* work; expired requests get 503 (0 = none)")
 		maxConcurrent = flag.Int("max-concurrent", 0, "maximum concurrently executing /v1/* requests; excess get 429 (0 = unlimited)")
+		slowThreshold = flag.Duration("slow-request-threshold", 0, "log one structured warning for every request at least this slow, with request and trace IDs (0 = off)")
 		shutdownGrace = flag.Duration("shutdown-grace", 30*time.Second, "how long to drain in-flight requests on SIGINT/SIGTERM")
 		quiet         = flag.Bool("quiet", false, "log warnings and errors only (suppresses access logs and lifecycle messages)")
 		traceSample   = flag.Int("trace-sample", 0, "record a flight-recorder trace for every Nth /v1/* request, dumped at /debug/traces (0 = off)")
@@ -89,10 +93,11 @@ func run() int {
 
 	srv, err := server.NewWithConfig(server.Config{
 		Limits: server.Limits{
-			MaxBodyBytes:  *maxBody << 20,
-			MaxSolveK:     *maxK,
-			SolveTimeout:  *solveTimeout,
-			MaxConcurrent: *maxConcurrent,
+			MaxBodyBytes:         *maxBody << 20,
+			MaxSolveK:            *maxK,
+			SolveTimeout:         *solveTimeout,
+			MaxConcurrent:        *maxConcurrent,
+			SlowRequestThreshold: *slowThreshold,
 		},
 		Logger: logger,
 		Store: store.Options{
@@ -135,14 +140,23 @@ func run() int {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	// Listen explicitly (rather than ListenAndServe) so the log line
+	// carries the resolved address: with -addr 127.0.0.1:0 the kernel
+	// picks the port, and scripts (the CI statusz smoke test) read it
+	// from the "prefcoverd listening" line.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		logger.Error("listener failed", "error", err)
+		return 1
+	}
 	errc := make(chan error, 1)
-	go func() { errc <- httpServer.ListenAndServe() }()
-	logger.Info("prefcoverd listening", "addr", *addr, "version", version.Get().String())
+	go func() { errc <- httpServer.Serve(ln) }()
+	logger.Info("prefcoverd listening", "addr", ln.Addr().String(), "version", version.Get().String())
 
 	select {
 	case err := <-errc:
-		// Listener failed before any shutdown was requested (port in use,
-		// bad address); ErrServerClosed cannot happen on this path.
+		// Serve failed before any shutdown was requested; ErrServerClosed
+		// cannot happen on this path.
 		logger.Error("listener failed", "error", err)
 		return 1
 	case <-ctx.Done():

@@ -1,0 +1,197 @@
+package main
+
+// The statusz/metrics smoke test `make ci` (and `make smoke`) runs: build
+// the real binary, boot it on an ephemeral port, send it one pipeline
+// request, then scrape /metrics (validating the Prometheus 0.0.4 text
+// format and the expected metric families) and /debug/statusz (validating
+// the HTML renders those families and the RED table), and finally check
+// SIGTERM drains to a clean exit. It exercises exactly the surface an
+// operator's first five minutes with the daemon would.
+
+import (
+	"bufio"
+	"io"
+	"net/http"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+const smokeClickstream = `{"id":"s1","purchase":"silver","clicks":["gold"]}
+{"id":"s2","purchase":"silver","clicks":["spacegray"]}
+{"id":"s3","purchase":"spacegray"}
+{"id":"s4","purchase":"spacegray","clicks":["silver"]}
+{"id":"s5","purchase":"gold","clicks":["spacegray"]}
+`
+
+// promSampleLine matches one Prometheus text-format sample:
+// name{labels} value — the value being any float rendering.
+var promSampleLine = regexp.MustCompile(
+	`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? (NaN|[+-]?Inf|[-+0-9.eE]+)$`)
+
+func TestStatuszMetricsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping daemon smoke test in -short mode")
+	}
+	bin := filepath.Join(t.TempDir(), "prefcoverd")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-slow-request-threshold", "1h")
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	// The daemon logs its resolved listen address (the kernel picked the
+	// port); read it off the "prefcoverd listening" line.
+	addrCh := make(chan string, 1)
+	logDone := make(chan string, 1)
+	go func() {
+		var all strings.Builder
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			all.WriteString(line + "\n")
+			if strings.Contains(line, "prefcoverd listening") {
+				for _, tok := range strings.Fields(line) {
+					if v, ok := strings.CutPrefix(tok, "addr="); ok {
+						select {
+						case addrCh <- v:
+						default:
+						}
+					}
+				}
+			}
+		}
+		logDone <- all.String()
+	}()
+	var base string
+	select {
+	case addr := <-addrCh:
+		base = "http://" + addr
+	case <-time.After(15 * time.Second):
+		cmd.Process.Kill()
+		t.Fatalf("daemon never logged its listen address; log so far:\n%s", <-logDone)
+	}
+
+	// Generate one real request so the RED stats and latency histograms
+	// have something to show.
+	resp, err := http.Post(base+"/v1/pipeline?k=2", "application/json",
+		strings.NewReader(smokeClickstream))
+	if err != nil {
+		t.Fatalf("pipeline request: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pipeline status = %d", resp.StatusCode)
+	}
+
+	// /metrics: the 0.0.4 text format, well-formed line by line, carrying
+	// the families the dashboards are built on.
+	metricsBody := get(t, base+"/metrics", "text/plain")
+	validatePromText(t, metricsBody)
+	for _, family := range []string{
+		"prefcover_http_requests_total",
+		"prefcover_http_request_duration_seconds",
+		"prefcover_solve_stage_seconds",
+		"prefcover_runtime_goroutines",
+		"prefcover_process_uptime_seconds",
+		"prefcover_store_graphs",
+		"prefcover_jobs_queue_depth",
+	} {
+		if !strings.Contains(metricsBody, "# TYPE "+family+" ") {
+			t.Errorf("/metrics missing family %s", family)
+		}
+	}
+	if !strings.Contains(metricsBody, `prefcover_http_requests_total{endpoint="/v1/pipeline",code="200"} 1`) {
+		t.Error("/metrics does not count the pipeline request")
+	}
+
+	// /debug/statusz: 200 HTML rendering the same families plus the RED
+	// table row for the endpoint we just hit.
+	statuszBody := get(t, base+"/debug/statusz", "text/html")
+	for _, want := range []string{
+		"<h1>prefcoverd</h1>",
+		"prefcover_runtime_goroutines",
+		"prefcover_store_graphs",
+		"prefcover_jobs_queue_depth",
+		"/v1/pipeline",
+		"Slowest traces",
+	} {
+		if !strings.Contains(statuszBody, want) {
+			t.Errorf("/debug/statusz missing %q", want)
+		}
+	}
+
+	// SIGTERM must drain and exit 0 — the smoke test doubles as the
+	// graceful-shutdown check. Drain the log to EOF before Wait: Wait
+	// closes the stderr pipe, and calling it with reads outstanding would
+	// race away the final shutdown lines.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	var log string
+	select {
+	case log = <-logDone:
+	case <-time.After(15 * time.Second):
+		cmd.Process.Kill()
+		t.Fatal("daemon did not exit after SIGTERM")
+	}
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("daemon exit: %v\nlog:\n%s", err, log)
+	}
+	if !strings.Contains(log, "prefcoverd stopped") {
+		t.Errorf("shutdown log incomplete:\n%s", log)
+	}
+}
+
+func get(t *testing.T, url, wantCT string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: reading body: %v", url, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, wantCT) {
+		t.Fatalf("GET %s: content type %q, want %s", url, ct, wantCT)
+	}
+	return string(body)
+}
+
+// validatePromText checks every line of a scrape is either a HELP/TYPE
+// comment or a syntactically valid sample.
+func validatePromText(t *testing.T, body string) {
+	t.Helper()
+	samples := 0
+	for i, line := range strings.Split(body, "\n") {
+		if line == "" || strings.HasPrefix(line, "# HELP ") || strings.HasPrefix(line, "# TYPE ") {
+			continue
+		}
+		if !promSampleLine.MatchString(line) {
+			t.Errorf("scrape line %d is not valid Prometheus text: %q", i+1, line)
+			continue
+		}
+		samples++
+	}
+	if samples == 0 {
+		t.Error("scrape contains no samples")
+	}
+}

@@ -31,6 +31,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"prefcover/internal/cover"
 	"prefcover/internal/graph"
@@ -224,6 +225,12 @@ func Solve(g *graph.Graph, opts Options) (*Solution, error) {
 		if lazyHeapEvals != nil {
 			reevalsBefore = lazyHeapEvals()
 		}
+		// Stage clocks run only when someone is listening: without a
+		// Progress hook the loop takes no time.Now readings at all.
+		var pickStart time.Time
+		if opts.Progress != nil {
+			pickStart = time.Now()
+		}
 		v, gain, ok, err := pick()
 		if err != nil {
 			// Canceled mid-pick: the in-flight round is discarded, so the
@@ -233,7 +240,15 @@ func Solve(g *graph.Graph, opts Options) (*Solution, error) {
 		if !ok {
 			break // all nodes retained
 		}
-		eng.Add(v)
+		var evalTime, commitTime time.Duration
+		if opts.Progress != nil {
+			picked := time.Now()
+			evalTime = picked.Sub(pickStart)
+			eng.Add(v)
+			commitTime = time.Since(picked)
+		} else {
+			eng.Add(v)
+		}
 		sol.Order = append(sol.Order, v)
 		sol.Gains = append(sol.Gains, gain)
 		ev := ProgressEvent{
@@ -241,6 +256,8 @@ func Solve(g *graph.Graph, opts Options) (*Solution, error) {
 			Strategy:   strategy,
 			Evaluated:  sol.GainEvals - evalsBefore,
 			TotalEvals: sol.GainEvals,
+			EvalTime:   evalTime,
+			CommitTime: commitTime,
 		}
 		if lazyHeapEvals != nil {
 			ev.Reevaluated = lazyHeapEvals() - reevalsBefore

@@ -1,5 +1,7 @@
 package greedy
 
+import "time"
+
 // Strategy names reported in ProgressEvent and used as metric labels by
 // the serving layer.
 const (
@@ -36,6 +38,14 @@ type ProgressEvent struct {
 	Reevaluated int64
 	// TotalEvals is Solution.GainEvals so far, cumulative over the run.
 	TotalEvals int64
+	// EvalTime and CommitTime split the iteration's wall time into the
+	// gain-evaluation stage (the pick: argmax search, heap pops, sampling)
+	// and the node-commit stage (Engine.Add updating coverage state). Both
+	// are measured only when Options.Progress is set — the hot path takes
+	// no clock readings otherwise — and are zero for pinned selections,
+	// which skip the pick entirely.
+	EvalTime   time.Duration
+	CommitTime time.Duration
 }
 
 // strategy names the execution strategy the options select.

@@ -22,6 +22,8 @@ import (
 	"errors"
 	"sync"
 	"time"
+
+	"prefcover/internal/trace"
 )
 
 // State is a job's lifecycle position.
@@ -68,6 +70,9 @@ type Snapshot struct {
 	Created  time.Time
 	Started  time.Time
 	Finished time.Time
+	// Trace is the submitter's distributed trace position, persisted across
+	// the queue boundary; the zero value means the submission carried none.
+	Trace trace.SpanContext
 }
 
 // Errors returned by Submit.
@@ -120,6 +125,8 @@ type job struct {
 	task     Task
 	cancel   context.CancelFunc
 	ctx      context.Context
+	// tc is the submitter's trace position; see Snapshot.Trace.
+	tc trace.SpanContext
 }
 
 // Manager owns the queue, the worker pool, and the job table.
@@ -174,7 +181,7 @@ func New(opts Options) *Manager {
 // Submit enqueues a task and returns its queued snapshot, or ErrQueueFull
 // / ErrClosed without side effects.
 func (m *Manager) Submit(task Task) (Snapshot, error) {
-	snap, _, err := m.SubmitIdempotent("", task)
+	snap, _, err := m.SubmitIdempotent("", trace.SpanContext{}, task)
 	return snap, err
 }
 
@@ -182,8 +189,11 @@ func (m *Manager) Submit(task Task) (Snapshot, error) {
 // has been seen before and its job is still retained, the existing job's
 // snapshot is returned with replayed=true and no new job is created — a
 // client that resends POST /v1/jobs after a transport failure cannot
-// double-enqueue. An empty key disables deduplication.
-func (m *Manager) SubmitIdempotent(key string, task Task) (snap Snapshot, replayed bool, err error) {
+// double-enqueue. An empty key disables deduplication. A valid tc is
+// persisted with the job (visible in snapshots) and installed in the
+// task's context, so worker-side spans join the submitter's trace across
+// the queue boundary; the zero value disables propagation.
+func (m *Manager) SubmitIdempotent(key string, tc trace.SpanContext, task Task) (snap Snapshot, replayed bool, err error) {
 	ctx, cancel := context.WithCancel(m.base)
 	j := &job{
 		id:      newID(),
@@ -193,6 +203,7 @@ func (m *Manager) SubmitIdempotent(key string, task Task) (snap Snapshot, replay
 		task:    task,
 		ctx:     ctx,
 		cancel:  cancel,
+		tc:      tc,
 	}
 	m.mu.Lock()
 	if m.closed {
@@ -390,7 +401,13 @@ func (m *Manager) runOne(j *job) {
 		j.progress = p
 		m.mu.Unlock()
 	}
-	result, err := j.task(j.ctx, update)
+	// The task context carries the job's identity and, when the submission
+	// was part of a distributed trace, the submitter's span context.
+	tctx := withID(j.ctx, j.id)
+	if j.tc.Valid() {
+		tctx = trace.ContextWithSpanContext(tctx, j.tc)
+	}
+	result, err := j.task(tctx, update)
 
 	m.mu.Lock()
 	m.running--
@@ -440,7 +457,21 @@ func (j *job) snapshotLocked() Snapshot {
 		Created:  j.created,
 		Started:  j.started,
 		Finished: j.finished,
+		Trace:    j.tc,
 	}
+}
+
+// idKey carries a job's id in its task context.
+type idKey struct{}
+
+func withID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, idKey{}, id)
+}
+
+// IDFrom returns the id of the job whose task owns ctx ("" outside a job).
+func IDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(idKey{}).(string)
+	return id
 }
 
 // newID returns a 16-hex-digit random job id.

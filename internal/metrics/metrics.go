@@ -110,6 +110,15 @@ func newFamily(name, help, typ string, labels []string) *family {
 // and keeps the key unambiguous.
 func seriesKey(values []string) string { return strings.Join(values, "\x1f") }
 
+// splitSeriesKey inverts seriesKey; the unlabeled family's single series
+// has the empty key and zero label values.
+func splitSeriesKey(key string) []string {
+	if key == "" {
+		return nil
+	}
+	return strings.Split(key, "\x1f")
+}
+
 // lookup returns the series for the label values, creating it with make
 // on first use.
 func (f *family) lookup(values []string, make func() interface{}) interface{} {
@@ -209,6 +218,14 @@ func (r *Registry) NewCounter(name, help string, labels ...string) *CounterVec {
 // With returns the series for the label values, creating it on first use.
 func (cv *CounterVec) With(labelValues ...string) *Counter {
 	return cv.f.lookup(labelValues, func() interface{} { return new(Counter) }).(*Counter)
+}
+
+// Each calls fn for every existing series with its label values, in the
+// deterministic rendering order.
+func (cv *CounterVec) Each(fn func(labelValues []string, c *Counter)) {
+	for _, e := range cv.f.snapshot() {
+		fn(splitSeriesKey(e.key), e.s.(*Counter))
+	}
 }
 
 func (cv *CounterVec) render(w io.Writer) error {
@@ -352,6 +369,46 @@ func (h *Histogram) Count() int64 { return h.count.Load() }
 // Sum returns the total of all observations.
 func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
 
+// Quantile estimates the q-quantile (0 <= q <= 1) from the bucket counts
+// with the same linear interpolation Prometheus's histogram_quantile
+// applies: the target rank is located in its bucket and interpolated
+// between the bucket bounds. Observations in the +Inf overflow bucket clamp
+// to the highest finite bound; an empty histogram returns NaN. Estimates,
+// like histogram_quantile's, are only as fine as the bucket layout.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 || math.IsNaN(q) {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	cum := int64(0)
+	for i, ub := range h.upper {
+		n := h.counts[i].Load()
+		if n == 0 {
+			cum += n
+			continue
+		}
+		if float64(cum+n) >= rank {
+			lower := 0.0
+			if i > 0 {
+				lower = h.upper[i-1]
+			}
+			frac := (rank - float64(cum)) / float64(n)
+			return lower + (ub-lower)*frac
+		}
+		cum += n
+	}
+	if len(h.upper) == 0 {
+		return math.NaN()
+	}
+	return h.upper[len(h.upper)-1]
+}
+
 // HistogramVec is a histogram family partitioned by labels.
 type HistogramVec struct {
 	f     *family
@@ -378,6 +435,16 @@ func (r *Registry) NewHistogram(name, help string, buckets []float64, labels ...
 // With returns the series for the label values, creating it on first use.
 func (hv *HistogramVec) With(labelValues ...string) *Histogram {
 	return hv.f.lookup(labelValues, func() interface{} { return newHistogram(hv.upper) }).(*Histogram)
+}
+
+// Each calls fn for every existing series with its label values, in the
+// deterministic rendering order. Used by read-side consumers (the statusz
+// page) that need the populated label combinations without knowing them
+// up front.
+func (hv *HistogramVec) Each(fn func(labelValues []string, h *Histogram)) {
+	for _, e := range hv.f.snapshot() {
+		fn(splitSeriesKey(e.key), e.s.(*Histogram))
+	}
 }
 
 func (hv *HistogramVec) render(w io.Writer) error {

@@ -22,6 +22,7 @@ import (
 
 	"prefcover"
 	"prefcover/internal/jobs"
+	"prefcover/internal/trace"
 )
 
 // jobPayload is the job JSON shape; zero timestamps and absent results are
@@ -35,6 +36,9 @@ type jobPayload struct {
 	Created  time.Time     `json:"created"`
 	Started  *time.Time    `json:"started,omitempty"`
 	Finished *time.Time    `json:"finished,omitempty"`
+	// TraceID is the distributed trace the submission belonged to, so a
+	// client polling job status can fetch /debug/traces?trace=<id>.
+	TraceID string `json:"traceId,omitempty"`
 }
 
 func jobJSON(snap jobs.Snapshot) jobPayload {
@@ -44,6 +48,7 @@ func jobJSON(snap jobs.Snapshot) jobPayload {
 		Progress: snap.Progress,
 		Result:   snap.Result,
 		Created:  snap.Created,
+		TraceID:  snap.Trace.TraceID,
 	}
 	if snap.Err != nil {
 		p.Error = snap.Err.Error()
@@ -114,7 +119,12 @@ func (s *Server) submitJob(w http.ResponseWriter, r *http.Request) {
 	// one. The sanitizer mirrors X-Request-ID's (header values must stay
 	// log- and JSON-safe).
 	idemKey := sanitizeRequestID(r.Header.Get("Idempotency-Key"))
-	snap, replayed, err := s.jobs.SubmitIdempotent(idemKey, s.jobTask(req.GraphRef, variant, opts, req.Pins))
+	// The submitter's trace position (extracted from traceparent by the
+	// middleware) crosses the queue boundary with the job, so worker-side
+	// solve spans join the same trace as this POST.
+	sc := trace.SpanContextFromContext(r.Context())
+	snap, replayed, err := s.jobs.SubmitIdempotent(idemKey, sc,
+		s.jobTask(sc, time.Now(), req.GraphRef, variant, opts, req.Pins))
 	switch {
 	case errors.Is(err, jobs.ErrQueueFull):
 		s.met.rejected.With("/v1/jobs", "queue_full").Inc()
@@ -140,9 +150,22 @@ func (s *Server) submitJob(w http.ResponseWriter, r *http.Request) {
 
 // jobTask builds the queued work: resolve the reference fresh, solve
 // through the cache with progress streaming, return the same payload the
-// synchronous endpoint would.
-func (s *Server) jobTask(name string, variant prefcover.Variant, opts prefcover.Options, pinLabels []string) jobs.Task {
+// synchronous endpoint would. When the submission carried a trace context,
+// the worker opens a "job solve" root span continuing it — with a "queued"
+// child covering the time spent waiting for a worker — so solver iteration
+// spans land in the submitter's trace.
+func (s *Server) jobTask(sc trace.SpanContext, submitted time.Time, name string, variant prefcover.Variant, opts prefcover.Options, pinLabels []string) jobs.Task {
 	return func(ctx context.Context, update func(jobs.Progress)) (any, error) {
+		if sc.Valid() && s.tracer != nil {
+			span := s.tracer.RootContext("job solve", sc)
+			span.SetAttr("graph", name)
+			if id := jobs.IDFrom(ctx); id != "" {
+				span.SetAttr("jobID", id)
+			}
+			span.ChildAt("queued", submitted).End()
+			defer span.End()
+			ctx = trace.NewContext(ctx, span)
+		}
 		rs, _, err := s.newRefSolve(name, variant, opts, pinLabels)
 		if err != nil {
 			return nil, err

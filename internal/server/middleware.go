@@ -8,10 +8,13 @@ import (
 	"context"
 	crand "crypto/rand"
 	"encoding/hex"
+	"fmt"
 	"log/slog"
+	"mime"
 	"net/http"
 	"runtime"
 	"strconv"
+	"strings"
 	"time"
 
 	"prefcover/internal/trace"
@@ -89,14 +92,29 @@ func (s *Server) sampleTrace() bool {
 // ID, root span, metrics, access log — and (for limited endpoints) the
 // admission control layer.
 func (s *Server) instrument(endpoint string, limited bool, h http.HandlerFunc) http.HandlerFunc {
+	distributed := strings.HasPrefix(endpoint, "/v1/")
 	return func(w http.ResponseWriter, r *http.Request) {
 		reqID := ensureRequestID(r)
 		w.Header().Set("X-Request-ID", reqID)
 		sr := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
 		ctx := context.WithValue(r.Context(), reqIDKey{}, reqID)
 		var root *trace.Span
-		if limited && s.sampleTrace() {
+		traceID := ""
+		if distributed {
+			// A sampled inbound traceparent continues the caller's
+			// distributed trace: it is always recorded (the caller already
+			// made the sampling decision) and parented to the caller's span.
+			if sc, err := trace.ParseTraceparent(r.Header.Get(trace.TraceparentHeader)); err == nil && sc.Sampled {
+				root = s.tracer.RootContext("request "+endpoint, sc)
+				traceID = sc.TraceID
+				root.SetAttr("requestID", reqID)
+			}
+		}
+		if root == nil && limited && s.sampleTrace() {
 			root = s.tracer.Root("request "+endpoint, reqID)
+			traceID = reqID
+		}
+		if root != nil {
 			root.SetAttr("method", r.Method)
 			ctx = trace.NewContext(ctx, root)
 		}
@@ -110,7 +128,17 @@ func (s *Server) instrument(endpoint string, limited bool, h http.HandlerFunc) h
 				root.SetAttr("status", sr.code)
 				root.End()
 			}
-			s.accessLog(r, reqID, sr, dur)
+			s.accessLog(r, reqID, traceID, sr, dur)
+			if t := s.limits.SlowRequestThreshold; t > 0 && dur >= t && s.logger != nil {
+				s.logger.LogAttrs(r.Context(), slog.LevelWarn, "slow request",
+					slog.String("endpoint", endpoint),
+					slog.Int("status", sr.code),
+					slog.Duration("duration", dur),
+					slog.Duration("threshold", t),
+					slog.String("request_id", reqID),
+					slog.String("trace_id", traceID),
+				)
+			}
 		}()
 		if limited && s.sem != nil {
 			select {
@@ -134,18 +162,22 @@ func (s *Server) instrument(endpoint string, limited bool, h http.HandlerFunc) h
 
 // accessLog emits the one structured line per request the daemon's
 // operators grep by request_id.
-func (s *Server) accessLog(r *http.Request, reqID string, sr *statusRecorder, dur time.Duration) {
+func (s *Server) accessLog(r *http.Request, reqID, traceID string, sr *statusRecorder, dur time.Duration) {
 	if s.logger == nil {
 		return
 	}
-	s.logger.LogAttrs(r.Context(), slog.LevelInfo, "request",
+	attrs := []slog.Attr{
 		slog.String("method", r.Method),
 		slog.String("path", r.URL.Path),
 		slog.Int("status", sr.code),
 		slog.Int64("bytes", sr.bytes),
 		slog.Duration("duration", dur),
 		slog.String("request_id", reqID),
-	)
+	}
+	if traceID != "" && traceID != reqID {
+		attrs = append(attrs, slog.String("trace_id", traceID))
+	}
+	s.logger.LogAttrs(r.Context(), slog.LevelInfo, "request", attrs...)
 }
 
 // handleMetrics refreshes the runtime and serving gauges and serves the
@@ -184,14 +216,80 @@ func (m *serverMetrics) updateRuntime(started time.Time) {
 }
 
 // handleTraces dumps the flight-recorder ring: Chrome trace-event JSON by
-// default (load in chrome://tracing or Perfetto), ?format=tree for the
-// human-readable summary.
+// default (load in chrome://tracing or Perfetto), the human-readable tree
+// for Accept: text/plain (or the legacy ?format=tree knob).
+//
+//	?trace=<id>  only roots with that trace ID (request ID or W3C trace ID)
+//	?limit=N     newest N traces
+//	?epoch=unix  absolute Unix-epoch microseconds instead of
+//	             earliest-root-relative — what lets a client merge these
+//	             events with its own on one timeline
 func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
-	if r.URL.Query().Get("format") == "tree" {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		_ = s.tracer.WriteTree(w)
+	if !s.allowMethods(w, r, http.MethodGet) {
 		return
 	}
+	q := r.URL.Query()
+	roots := s.tracer.Snapshot()
+	if id := q.Get("trace"); id != "" {
+		kept := roots[:0]
+		for _, root := range roots {
+			if root.TraceID() == id {
+				kept = append(kept, root)
+			}
+		}
+		roots = kept
+	}
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			s.writeError(w, r, http.StatusBadRequest, fmt.Errorf("bad limit %q", v))
+			return
+		}
+		if n < len(roots) {
+			roots = roots[len(roots)-n:] // ring is oldest-first; keep the newest N
+		}
+	}
+	tree := q.Get("format") == "tree"
+	if !tree {
+		var err error
+		if tree, err = treeFromAccept(r.Header.Get("Accept")); err != nil {
+			s.writeError(w, r, http.StatusNotAcceptable, err)
+			return
+		}
+	}
+	if tree {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		for _, root := range roots {
+			_ = trace.WriteTreeSpan(w, root)
+		}
+		return
+	}
+	var epoch time.Time
+	if q.Get("epoch") == "unix" {
+		epoch = time.Unix(0, 0)
+	}
 	w.Header().Set("Content-Type", "application/json")
-	_ = s.tracer.WriteChrome(w)
+	_ = trace.WriteChromeEvents(w, trace.ChromeEvents(roots, epoch))
+}
+
+// treeFromAccept resolves the /debug/traces representation: JSON (the
+// default, also */*) or the text tree. An Accept that matches neither is a
+// 406.
+func treeFromAccept(header string) (bool, error) {
+	if strings.TrimSpace(header) == "" {
+		return false, nil
+	}
+	for _, part := range strings.Split(header, ",") {
+		mt, _, err := mime.ParseMediaType(part)
+		if err != nil {
+			continue
+		}
+		switch mt {
+		case "application/json", "application/*", "*/*":
+			return false, nil
+		case "text/plain", "text/*":
+			return true, nil
+		}
+	}
+	return false, fmt.Errorf("not acceptable %q (use application/json or text/plain)", header)
 }

@@ -64,10 +64,10 @@ func (s *Server) newRefSolve(name string, variant prefcover.Variant, opts prefco
 // solveRef answers rs through the cache, running the solver only on a
 // miss. The "cache" span records which way it went.
 func (s *Server) solveRef(ctx context.Context, rs *refSolve) (solveResponse, solvecache.Status, error) {
-	_, span := trace.StartSpan(ctx, "cache")
+	cctx, span := trace.StartSpan(ctx, "cache")
 	span.SetAttr("graph", rs.name)
 	defer span.End()
-	hit, status, err := s.cache.Do(rs.key, rs.query, func() (*solvecache.Result, error) {
+	hit, status, err := s.cache.Do(cctx, rs.key, rs.query, func() (*solvecache.Result, error) {
 		sol, serr := s.solve(ctx, rs.entry.Graph, rs.opts)
 		if serr != nil {
 			return nil, serr

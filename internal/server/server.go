@@ -9,7 +9,13 @@
 //	GET  /healthz                         liveness probe
 //	GET  /metrics                         Prometheus text exposition
 //	GET  /version                         build identity (module, VCS revision, Go)
-//	GET  /debug/traces[?format=tree]      flight-recorder dump (Chrome trace JSON)
+//	GET  /debug/traces                    flight-recorder dump: Chrome trace
+//	                                      JSON, or a text tree via Accept:
+//	                                      text/plain (legacy ?format=tree);
+//	                                      ?trace=<id>, ?limit=N, ?epoch=unix
+//	GET  /debug/statusz                   one-page HTML operator dashboard
+//	                                      (build, runtime, RED stats,
+//	                                      occupancy, faults, slowest traces)
 //	POST /v1/adapt?variant=auto|i|n       body: JSONL clickstream
 //	                                      -> {graph, report, variant}
 //	POST /v1/solve?variant=i|n&k=K        body: graph JSON
@@ -44,7 +50,12 @@
 // ID follows a request through every signal. With EnableTracing, every
 // Nth /v1/* request additionally records a flight-recorder span tree
 // (parse → adapt → recommend → solve, with one span per greedy
-// iteration), dumped at /debug/traces. The /v1/* endpoints respect
+// iteration), dumped at /debug/traces. A /v1/* request arriving with a
+// sampled W3C traceparent header is always recorded, continuing the
+// caller's distributed trace: the request root span parents to the
+// caller's span, and a job submission carries the context across the
+// queue so worker-side solver spans join the same trace (see
+// internal/trace/propagate.go). The /v1/* endpoints respect
 // Limits.SolveTimeout (503 on expiry) and Limits.MaxConcurrent (immediate
 // 429 when saturated), and the handler cooperates with
 // http.Server.Shutdown: in-flight requests run to completion because
@@ -91,6 +102,11 @@ type Limits struct {
 	// overload sheds load instead of building an invisible backlog.
 	// /healthz and /metrics are exempt. 0 disables.
 	MaxConcurrent int
+	// SlowRequestThreshold, when positive, emits one structured warning log
+	// line (request ID, trace ID, endpoint, status, duration) for every
+	// request that takes at least this long — the grep-first signal when
+	// latency histograms say something is slow but not which requests.
+	SlowRequestThreshold time.Duration
 }
 
 // Server is the HTTP handler set.
@@ -242,10 +258,11 @@ type serverMetrics struct {
 	inFlight *metrics.GaugeVec     // prefcover_http_in_flight_requests
 	rejected *metrics.CounterVec   // prefcover_http_rejected_total{endpoint,reason}
 
-	solverIterations *metrics.CounterVec // prefcover_solver_iterations_total{strategy}
-	solverEvals      *metrics.CounterVec // prefcover_solver_gain_evaluations_total{strategy}
-	solverReevals    *metrics.CounterVec // prefcover_solver_heap_reevaluations_total{strategy}
-	solves           *metrics.CounterVec // prefcover_solver_solves_total{strategy,outcome}
+	solverIterations *metrics.CounterVec   // prefcover_solver_iterations_total{strategy}
+	solverEvals      *metrics.CounterVec   // prefcover_solver_gain_evaluations_total{strategy}
+	solverReevals    *metrics.CounterVec   // prefcover_solver_heap_reevaluations_total{strategy}
+	solves           *metrics.CounterVec   // prefcover_solver_solves_total{strategy,outcome}
+	solveStage       *metrics.HistogramVec // prefcover_solve_stage_seconds{stage}
 
 	// Serving-layer subsystems (registry, solve cache, job queue).
 	cacheOps           *metrics.CounterVec // prefcover_solvecache_requests_total{status}
@@ -288,6 +305,13 @@ func newServerMetrics() *serverMetrics {
 			"Lazy-heap stale-bound recomputations, by strategy.", "strategy"),
 		solves: r.NewCounter("prefcover_solver_solves_total",
 			"Solver runs, by strategy and outcome (ok/canceled/error).", "strategy", "outcome"),
+		// Per-iteration stages run from sub-microsecond (cache-warm commits)
+		// to ~1s (scan picks on large graphs), so the buckets run finer than
+		// the request-latency defaults.
+		solveStage: r.NewHistogram("prefcover_solve_stage_seconds",
+			"Per-iteration solver stage durations (gain_eval, node_commit, progress_callback).",
+			[]float64{1e-7, 1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1},
+			"stage"),
 		cacheOps: r.NewCounter("prefcover_solvecache_requests_total",
 			"Reference-solve cache outcomes (hit/miss/coalesced).", "status"),
 		cacheEvictions: r.NewCounter("prefcover_solvecache_evictions_total",
@@ -330,6 +354,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/version", s.instrument("/version", false, s.handleVersion))
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/debug/traces", s.handleTraces)
+	mux.HandleFunc("/debug/statusz", s.handleStatusz)
 	// withFaults sits inside instrument so injected failures are metered
 	// and logged like organic ones; it is a no-op until an injector is
 	// installed (-fault-spec or /debug/faults).
@@ -385,7 +410,9 @@ func (s *Server) solve(ctx context.Context, g *prefcover.Graph, opts prefcover.O
 	_, span := trace.StartSpan(ctx, "solve")
 	span.SetAttr("strategy", strategy)
 	defer span.End()
-	recordIteration := trace.IterationRecorder(span)
+	recordIteration := trace.IterationRecorderStages(span, func(stage string, seconds float64) {
+		s.met.solveStage.With(stage).Observe(seconds)
+	})
 	var reevals int64
 	// Chain rather than replace any caller-supplied Progress hook (async
 	// jobs feed their status endpoint through it).

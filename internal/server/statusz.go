@@ -1,0 +1,205 @@
+package server
+
+// GET /debug/statusz: the one-glance operator page. Everything on it is
+// read from state the server already keeps — the metrics registry, the
+// flight recorder, the subsystem occupancy counters, the fault injector —
+// rendered as a single self-contained HTML document with no scripts,
+// stylesheets or external fetches, so it works over the crudest tunnel.
+
+import (
+	"fmt"
+	"html"
+	"net/http"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+
+	"prefcover/internal/metrics"
+	"prefcover/internal/trace"
+	"prefcover/internal/version"
+)
+
+// endpointRED is one row of the per-endpoint RED table: rate, errors,
+// duration quantiles, derived from the request counters and latency
+// histograms at render time.
+type endpointRED struct {
+	Endpoint string
+	Requests int64
+	Errors   int64 // 5xx responses
+	P50      float64
+	P90      float64
+	P99      float64
+}
+
+// redStats joins prefcover_http_requests_total (for counts and error
+// rates) with prefcover_http_request_duration_seconds (for quantiles),
+// one row per endpoint, sorted by request volume.
+func (s *Server) redStats() []endpointRED {
+	byEndpoint := make(map[string]*endpointRED)
+	row := func(endpoint string) *endpointRED {
+		r, ok := byEndpoint[endpoint]
+		if !ok {
+			r = &endpointRED{Endpoint: endpoint}
+			byEndpoint[endpoint] = r
+		}
+		return r
+	}
+	s.met.requests.Each(func(labels []string, c *metrics.Counter) {
+		if len(labels) != 2 {
+			return
+		}
+		r := row(labels[0])
+		n := c.Value()
+		r.Requests += n
+		if strings.HasPrefix(labels[1], "5") {
+			r.Errors += n
+		}
+	})
+	s.met.latency.Each(func(labels []string, h *metrics.Histogram) {
+		if len(labels) != 1 {
+			return
+		}
+		r := row(labels[0])
+		r.P50 = h.Quantile(0.50)
+		r.P90 = h.Quantile(0.90)
+		r.P99 = h.Quantile(0.99)
+	})
+	rows := make([]endpointRED, 0, len(byEndpoint))
+	for _, r := range byEndpoint {
+		rows = append(rows, *r)
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Requests != rows[j].Requests {
+			return rows[i].Requests > rows[j].Requests
+		}
+		return rows[i].Endpoint < rows[j].Endpoint
+	})
+	return rows
+}
+
+// slowTrace is one entry of the slowest-recent-traces table.
+type slowTrace struct {
+	Name     string
+	TraceID  string
+	Start    time.Time
+	Duration time.Duration
+	Spans    int
+}
+
+// slowestTraces returns the n slowest completed traces in the flight
+// recorder, slowest first.
+func (s *Server) slowestTraces(n int) []slowTrace {
+	var out []slowTrace
+	for _, root := range s.tracer.Snapshot() {
+		out = append(out, slowTrace{
+			Name:     root.Name(),
+			TraceID:  root.TraceID(),
+			Start:    root.Start(),
+			Duration: root.Duration(),
+			Spans:    root.NumSpans(),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Duration > out[j].Duration })
+	if len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// statuszSlowTraces caps the slowest-traces table.
+const statuszSlowTraces = 10
+
+func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
+	if !s.allowMethods(w, r, http.MethodGet) {
+		return
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	v := version.Get()
+
+	var b strings.Builder
+	b.WriteString("<!DOCTYPE html>\n<html><head><title>prefcoverd statusz</title></head><body>\n")
+	b.WriteString("<h1>prefcoverd</h1>\n")
+
+	// Build identity and process vitals.
+	fmt.Fprintf(&b, "<h2>Build</h2>\n<table border=\"1\" cellpadding=\"4\">\n")
+	fmt.Fprintf(&b, "<tr><td>module</td><td>%s</td></tr>\n", html.EscapeString(v.Module))
+	fmt.Fprintf(&b, "<tr><td>version</td><td>%s</td></tr>\n", html.EscapeString(v.Version))
+	fmt.Fprintf(&b, "<tr><td>revision</td><td>%s</td></tr>\n", html.EscapeString(v.Revision))
+	fmt.Fprintf(&b, "<tr><td>go</td><td>%s</td></tr>\n", html.EscapeString(v.GoVersion))
+	fmt.Fprintf(&b, "<tr><td>uptime</td><td>%s</td></tr>\n", time.Since(s.started).Round(time.Second))
+	b.WriteString("</table>\n")
+
+	fmt.Fprintf(&b, "<h2>Runtime</h2>\n<table border=\"1\" cellpadding=\"4\">\n")
+	fmt.Fprintf(&b, "<tr><td>prefcover_runtime_goroutines</td><td>%d</td></tr>\n", runtime.NumGoroutine())
+	fmt.Fprintf(&b, "<tr><td>prefcover_runtime_heap_alloc_bytes</td><td>%d</td></tr>\n", ms.HeapAlloc)
+	fmt.Fprintf(&b, "<tr><td>prefcover_runtime_heap_sys_bytes</td><td>%d</td></tr>\n", ms.HeapSys)
+	fmt.Fprintf(&b, "<tr><td>prefcover_runtime_gc_cycles_total</td><td>%d</td></tr>\n", ms.NumGC)
+	fmt.Fprintf(&b, "<tr><td>prefcover_runtime_gc_pause_seconds_total</td><td>%.6f</td></tr>\n", float64(ms.PauseTotalNs)/1e9)
+	b.WriteString("</table>\n")
+
+	// Per-endpoint RED: rate (requests and req/s over uptime), errors, and
+	// duration quantiles interpolated from the live histograms.
+	b.WriteString("<h2>Endpoints (RED)</h2>\n")
+	b.WriteString("<table border=\"1\" cellpadding=\"4\">\n<tr><th>endpoint</th><th>requests</th><th>rate/s</th><th>errors</th><th>error %</th><th>p50</th><th>p90</th><th>p99</th></tr>\n")
+	uptime := time.Since(s.started).Seconds()
+	for _, row := range s.redStats() {
+		errPct := 0.0
+		if row.Requests > 0 {
+			errPct = 100 * float64(row.Errors) / float64(row.Requests)
+		}
+		rate := 0.0
+		if uptime > 0 {
+			rate = float64(row.Requests) / uptime
+		}
+		fmt.Fprintf(&b, "<tr><td>%s</td><td>%d</td><td>%.3f</td><td>%d</td><td>%.1f%%</td><td>%s</td><td>%s</td><td>%s</td></tr>\n",
+			html.EscapeString(row.Endpoint), row.Requests, rate, row.Errors, errPct,
+			quantileCell(row.P50), quantileCell(row.P90), quantileCell(row.P99))
+	}
+	b.WriteString("</table>\n")
+
+	// Subsystem occupancy, same numbers the /metrics gauges report.
+	b.WriteString("<h2>Serving</h2>\n<table border=\"1\" cellpadding=\"4\">\n")
+	fmt.Fprintf(&b, "<tr><td>prefcover_store_graphs</td><td>%d</td></tr>\n", s.store.Len())
+	fmt.Fprintf(&b, "<tr><td>prefcover_store_bytes</td><td>%d</td></tr>\n", s.store.TotalBytes())
+	fmt.Fprintf(&b, "<tr><td>prefcover_solvecache_entries</td><td>%d</td></tr>\n", s.cache.Len())
+	fmt.Fprintf(&b, "<tr><td>prefcover_solvecache_bytes</td><td>%d</td></tr>\n", s.cache.Bytes())
+	fmt.Fprintf(&b, "<tr><td>prefcover_jobs_queue_depth</td><td>%d</td></tr>\n", s.jobs.Depth())
+	fmt.Fprintf(&b, "<tr><td>prefcover_jobs_running</td><td>%d</td></tr>\n", s.jobs.Running())
+	b.WriteString("</table>\n")
+
+	// Fault injection: loud when armed, one quiet line when not.
+	b.WriteString("<h2>Faults</h2>\n")
+	if inj := s.Faults(); inj != nil {
+		fmt.Fprintf(&b, "<p><b>active:</b> <code>%s</code> (injected so far: %s)</p>\n",
+			html.EscapeString(inj.Spec().String()), html.EscapeString(inj.CountsString()))
+	} else {
+		b.WriteString("<p>none</p>\n")
+	}
+
+	// The slowest recent traces, each linked to its filtered dump.
+	fmt.Fprintf(&b, "<h2>Slowest traces (last %d recorded, worst %d)</h2>\n", trace.DefaultCapacity, statuszSlowTraces)
+	b.WriteString("<table border=\"1\" cellpadding=\"4\">\n<tr><th>trace</th><th>name</th><th>duration</th><th>spans</th><th>started</th></tr>\n")
+	for _, st := range s.slowestTraces(statuszSlowTraces) {
+		id := html.EscapeString(st.TraceID)
+		fmt.Fprintf(&b, "<tr><td><a href=\"/debug/traces?trace=%s\">%s</a></td><td>%s</td><td>%s</td><td>%d</td><td>%s</td></tr>\n",
+			id, id, html.EscapeString(st.Name), st.Duration.Round(time.Microsecond), st.Spans,
+			st.Start.Format(time.RFC3339))
+	}
+	b.WriteString("</table>\n")
+	b.WriteString("<p><a href=\"/metrics\">/metrics</a> · <a href=\"/debug/traces\">/debug/traces</a> · <a href=\"/version\">/version</a></p>\n")
+	b.WriteString("</body></html>\n")
+
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	_, _ = w.Write([]byte(b.String()))
+}
+
+// quantileCell renders a latency quantile, "-" when the histogram is empty
+// (Quantile returns NaN).
+func quantileCell(v float64) string {
+	if v != v { // NaN
+		return "-"
+	}
+	return fmt.Sprintf("%.4fs", v)
+}

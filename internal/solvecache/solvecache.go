@@ -23,6 +23,7 @@
 package solvecache
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strconv"
@@ -31,6 +32,7 @@ import (
 
 	"prefcover/internal/graph"
 	"prefcover/internal/greedy"
+	"prefcover/internal/trace"
 )
 
 // Key identifies one cached solve lineage.
@@ -340,8 +342,10 @@ func (c *Cache) InvalidateGraph(hash string) int {
 // Do answers q for key: from cache if possible, otherwise by running
 // compute — coalescing with any identical solve already in flight. On a
 // miss the computed result is stored (and shared with coalesced waiters)
-// before the hit is carved from it.
-func (c *Cache) Do(key Key, q Query, compute func() (*Result, error)) (*Hit, Status, error) {
+// before the hit is carved from it. A cache hit or a coalesced wait is
+// annotated as an event on the span in ctx (if any), so traces show why a
+// request skipped the solver.
+func (c *Cache) Do(ctx context.Context, key Key, q Query, compute func() (*Result, error)) (*Hit, Status, error) {
 	fk := flightKey{key: key, q: q}
 	// Cache check and flight join under one lock acquisition, and (below)
 	// the result is stored before its flight is released: at no instant is
@@ -352,11 +356,13 @@ func (c *Cache) Do(key Key, q Query, compute func() (*Result, error)) (*Hit, Sta
 		c.touch(key)
 		if h, answered := r.answer(q); answered {
 			c.mu.Unlock()
+			trace.FromContext(ctx).AddEvent("solvecache hit")
 			return h, StatusHit, nil
 		}
 	}
 	if fl, ok := c.inflight[fk]; ok {
 		c.mu.Unlock()
+		trace.FromContext(ctx).AddEvent("solvecache coalesced")
 		<-fl.done
 		if fl.err != nil {
 			return nil, StatusCoalesced, fl.err

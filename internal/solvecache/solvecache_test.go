@@ -1,6 +1,7 @@
 package solvecache
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -303,7 +304,7 @@ func TestSingleflightCoalescing(t *testing.T) {
 			defer done.Done()
 			started.Done()
 			started.Wait() // maximize overlap
-			hit, st, err := c.Do(key, Query{K: 8}, compute)
+			hit, st, err := c.Do(context.Background(), key, Query{K: 8}, compute)
 			statuses[i], errs[i] = st, err
 			if err == nil && len(hit.Order) != 8 {
 				errs[i] = fmt.Errorf("hit length %d", len(hit.Order))
@@ -342,7 +343,7 @@ func TestSingleflightCoalescing(t *testing.T) {
 		t.Fatalf("misses = %d (hits=%d coalesced=%d), want exactly 1 leader", misses, hits, coalesced)
 	}
 	// And afterwards it is a plain hit.
-	_, st, err := c.Do(key, Query{K: 3}, compute)
+	_, st, err := c.Do(context.Background(), key, Query{K: 3}, compute)
 	if err != nil || st != StatusHit {
 		t.Fatalf("warm Do = %v/%v, want hit", st, err)
 	}
@@ -352,7 +353,7 @@ func TestDoPropagatesComputeError(t *testing.T) {
 	c := New(Options{})
 	key := Key{GraphHash: "e", Variant: graph.Independent, Strategy: greedy.StrategyLazy}
 	wantErr := fmt.Errorf("boom")
-	_, st, err := c.Do(key, Query{K: 2}, func() (*Result, error) { return nil, wantErr })
+	_, st, err := c.Do(context.Background(), key, Query{K: 2}, func() (*Result, error) { return nil, wantErr })
 	if err != wantErr || st != StatusMiss {
 		t.Fatalf("Do = %v/%v", st, err)
 	}
@@ -362,7 +363,7 @@ func TestDoPropagatesComputeError(t *testing.T) {
 	// The flight is gone; a retry recomputes.
 	rng := rand.New(rand.NewSource(8))
 	g := graphtest.Random(rng, 20, 3, graph.Independent)
-	_, st, err = c.Do(key, Query{K: 2}, func() (*Result, error) {
+	_, st, err = c.Do(context.Background(), key, Query{K: 2}, func() (*Result, error) {
 		sol, err := greedy.Solve(g, greedy.Options{Variant: graph.Independent, K: 2})
 		if err != nil {
 			return nil, err

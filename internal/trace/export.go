@@ -8,18 +8,22 @@ import (
 	"time"
 )
 
-// chromeEvent is one Chrome trace-event ("ph":"X" complete event). Times
-// are microseconds relative to the earliest root span, which is what the
-// chrome://tracing and Perfetto loaders expect.
-type chromeEvent struct {
-	Name string                 `json:"name"`
-	Cat  string                 `json:"cat"`
-	Ph   string                 `json:"ph"`
-	TS   float64                `json:"ts"`
-	Dur  float64                `json:"dur"`
-	PID  int                    `json:"pid"`
-	TID  int                    `json:"tid"`
-	Args map[string]interface{} `json:"args,omitempty"`
+// ChromeEvent is one Chrome trace-event: "ph":"X" complete events for
+// spans, "ph":"i" instant events for span annotations. Times are
+// microseconds relative to an epoch — by default the earliest root span,
+// which is what the chrome://tracing and Perfetto loaders expect; the
+// distributed-trace merge path uses an explicit epoch so events from two
+// processes land on one timeline.
+type ChromeEvent struct {
+	Name  string                 `json:"name"`
+	Cat   string                 `json:"cat"`
+	Ph    string                 `json:"ph"`
+	TS    float64                `json:"ts"`
+	Dur   float64                `json:"dur,omitempty"`
+	PID   int                    `json:"pid"`
+	TID   int                    `json:"tid"`
+	Scope string                 `json:"s,omitempty"`
+	Args  map[string]interface{} `json:"args,omitempty"`
 }
 
 // WriteChrome renders the completed traces in Chrome trace-event JSON
@@ -27,28 +31,40 @@ type chromeEvent struct {
 // or https://ui.perfetto.dev. Each root trace gets its own tid so
 // concurrent requests render as separate tracks.
 func (t *Tracer) WriteChrome(w io.Writer) error {
-	return writeChromeSpans(w, t.Snapshot())
+	return writeChromeSpans(w, t.Snapshot(), time.Time{})
 }
 
 // WriteChromeSpan renders a single trace tree (CLI one-shot dumps).
 func WriteChromeSpan(w io.Writer, root *Span) error {
 	if root == nil {
-		return writeChromeSpans(w, nil)
+		return writeChromeSpans(w, nil, time.Time{})
 	}
-	return writeChromeSpans(w, []*Span{root})
+	return writeChromeSpans(w, []*Span{root}, time.Time{})
 }
 
-func writeChromeSpans(w io.Writer, roots []*Span) error {
-	var epoch time.Time
-	for _, r := range roots {
-		if epoch.IsZero() || r.Start().Before(epoch) {
-			epoch = r.Start()
+// ChromeEvents flattens the trace trees into events with timestamps
+// relative to epoch. A zero epoch means the earliest root start (the
+// WriteChrome default); time.Unix(0, 0) yields absolute Unix-epoch
+// microseconds, which is what lets a client rebase server-side events
+// onto its own timeline.
+func ChromeEvents(roots []*Span, epoch time.Time) []ChromeEvent {
+	if epoch.IsZero() {
+		for _, r := range roots {
+			if epoch.IsZero() || r.Start().Before(epoch) {
+				epoch = r.Start()
+			}
 		}
 	}
-	var events []chromeEvent
+	var events []ChromeEvent
 	for i, r := range roots {
 		events = appendChrome(events, r, epoch, i+1)
 	}
+	return events
+}
+
+// WriteChromeEvents renders pre-built events as the array-form JSON
+// document, one event per line.
+func WriteChromeEvents(w io.Writer, events []ChromeEvent) error {
 	if _, err := io.WriteString(w, "["); err != nil {
 		return err
 	}
@@ -69,6 +85,10 @@ func writeChromeSpans(w io.Writer, roots []*Span) error {
 	return err
 }
 
+func writeChromeSpans(w io.Writer, roots []*Span, epoch time.Time) error {
+	return WriteChromeEvents(w, ChromeEvents(roots, epoch))
+}
+
 // effectiveEnd returns the span end, falling back to the latest child end
 // (then the start) for spans still open at export time.
 func (s *Span) effectiveEnd() time.Time {
@@ -87,10 +107,18 @@ func (s *Span) effectiveEnd() time.Time {
 	return end
 }
 
-func appendChrome(events []chromeEvent, s *Span, epoch time.Time, tid int) []chromeEvent {
+func appendChrome(events []ChromeEvent, s *Span, epoch time.Time, tid int) []ChromeEvent {
 	args := make(map[string]interface{})
 	if id := s.TraceID(); id != "" {
 		args["traceID"] = id
+	}
+	// Distributed-trace lineage rides along only when present, so purely
+	// local traces export byte-identically to the pre-propagation format.
+	if id := s.SpanID(); id != "" {
+		args["spanId"] = id
+	}
+	if id := s.ParentSpanID(); id != "" {
+		args["parentSpanId"] = id
 	}
 	for _, a := range s.Attrs() {
 		args[a.Key] = a.Value
@@ -101,7 +129,7 @@ func appendChrome(events []chromeEvent, s *Span, epoch time.Time, tid int) []chr
 	if len(args) == 0 {
 		args = nil
 	}
-	events = append(events, chromeEvent{
+	events = append(events, ChromeEvent{
 		Name: s.Name(),
 		Cat:  "prefcover",
 		Ph:   "X",
@@ -111,6 +139,17 @@ func appendChrome(events []chromeEvent, s *Span, epoch time.Time, tid int) []chr
 		TID:  tid,
 		Args: args,
 	})
+	for _, ev := range s.Events() {
+		events = append(events, ChromeEvent{
+			Name:  ev.Name,
+			Cat:   "prefcover",
+			Ph:    "i",
+			TS:    micros(ev.Time.Sub(epoch)),
+			PID:   1,
+			TID:   tid,
+			Scope: "t",
+		})
+	}
 	for _, c := range s.Children() {
 		events = appendChrome(events, c, epoch, tid)
 	}

@@ -18,22 +18,58 @@ import (
 // the Options.Progress contract (the solver notifies synchronously from
 // its own goroutine). A nil solveSpan yields a no-op hook.
 func IterationRecorder(solveSpan *Span) func(greedy.ProgressEvent) {
-	if solveSpan == nil {
+	return IterationRecorderStages(solveSpan, nil)
+}
+
+// SolveStage* name the per-iteration solver stages observed by
+// IterationRecorderStages — the label values of the server's
+// prefcover_solve_stage_seconds histogram.
+const (
+	SolveStageGainEval         = "gain_eval"
+	SolveStageNodeCommit       = "node_commit"
+	SolveStageProgressCallback = "progress_callback"
+)
+
+// IterationRecorderStages is IterationRecorder with a per-stage duration
+// observer: observe (when non-nil) receives the gain-evaluation and
+// node-commit wall time reported by the solver for each iteration, plus
+// the time this hook itself spends recording (the progress-callback
+// overhead) — so metrics can show where solver wall time goes without
+// parsing traces. A nil solveSpan with a non-nil observe still observes
+// stage durations; both nil yields a no-op hook.
+func IterationRecorderStages(solveSpan *Span, observe func(stage string, seconds float64)) func(greedy.ProgressEvent) {
+	if solveSpan == nil && observe == nil {
 		return func(greedy.ProgressEvent) {}
 	}
 	last := solveSpan.Start()
 	return func(ev greedy.ProgressEvent) {
 		now := time.Now()
-		sp := solveSpan.ChildAt(fmt.Sprintf("iteration %d", ev.Step), last)
-		sp.SetAttr("step", ev.Step)
-		sp.SetAttr("node", int64(ev.Node))
-		sp.SetAttr("strategy", ev.Strategy)
-		sp.SetAttr("gain", ev.Gain)
-		sp.SetAttr("cover", ev.Cover)
-		sp.SetAttr("evaluated", ev.Evaluated)
-		sp.SetAttr("reevaluated", ev.Reevaluated)
-		sp.SetAttr("totalEvals", ev.TotalEvals)
-		sp.EndAt(now)
-		last = now
+		if solveSpan != nil {
+			if last.IsZero() {
+				last = now
+			}
+			sp := solveSpan.ChildAt(fmt.Sprintf("iteration %d", ev.Step), last)
+			sp.SetAttr("step", ev.Step)
+			sp.SetAttr("node", int64(ev.Node))
+			sp.SetAttr("strategy", ev.Strategy)
+			sp.SetAttr("gain", ev.Gain)
+			sp.SetAttr("cover", ev.Cover)
+			sp.SetAttr("evaluated", ev.Evaluated)
+			sp.SetAttr("reevaluated", ev.Reevaluated)
+			sp.SetAttr("totalEvals", ev.TotalEvals)
+			if ev.EvalTime > 0 {
+				sp.SetAttr("evalSeconds", ev.EvalTime.Seconds())
+			}
+			if ev.CommitTime > 0 {
+				sp.SetAttr("commitSeconds", ev.CommitTime.Seconds())
+			}
+			sp.EndAt(now)
+			last = now
+		}
+		if observe != nil {
+			observe(SolveStageGainEval, ev.EvalTime.Seconds())
+			observe(SolveStageNodeCommit, ev.CommitTime.Seconds())
+			observe(SolveStageProgressCallback, time.Since(now).Seconds())
+		}
 	}
 }

@@ -1,0 +1,191 @@
+package trace
+
+// Cross-process trace propagation in the W3C Trace Context format
+// (https://www.w3.org/TR/trace-context/). A SpanContext is the portable
+// identity of a position in a trace — 16-byte trace ID, 8-byte span ID,
+// sampled flag — rendered as the `traceparent` HTTP header:
+//
+//	traceparent: 00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01
+//	             └┬┘ └──────────┬───────────────┘ └──────┬───────┘ └┬┘
+//	           version       trace-id                parent-id    flags
+//
+// `prefcover remote` originates a context and injects it on every HTTP
+// attempt; prefcoverd's middleware extracts it into the request's root
+// span; the async job queue persists it across the queue boundary so
+// worker-side solver spans join the submitter's trace. Everything stays
+// stdlib-only: parsing is strict on the fields we consume and
+// version-tolerant per the spec (a future version with trailing fields
+// still yields the four we understand).
+
+import (
+	"context"
+	crand "crypto/rand"
+	"encoding/hex"
+	"fmt"
+	mrand "math/rand/v2"
+)
+
+// SpanContext is the portable identity of a span: who the trace is
+// (TraceID), who the caller was (SpanID), and whether the trace is being
+// recorded (Sampled). The zero value is invalid and propagates nothing.
+type SpanContext struct {
+	// TraceID is 32 lowercase hex digits, non-zero.
+	TraceID string
+	// SpanID is 16 lowercase hex digits, non-zero: the span the next hop
+	// should parent to.
+	SpanID string
+	// Sampled mirrors the trace-flags sampled bit: the originator is
+	// recording this trace and downstream hops should too.
+	Sampled bool
+}
+
+// Valid reports whether sc carries a well-formed, non-zero trace and span
+// ID — the precondition for injecting it anywhere.
+func (sc SpanContext) Valid() bool {
+	return isLowerHex(sc.TraceID, 32) && !allZero(sc.TraceID) &&
+		isLowerHex(sc.SpanID, 16) && !allZero(sc.SpanID)
+}
+
+// Traceparent renders sc as the traceparent header value (version 00).
+// Invalid contexts render "" so callers can Set the result unconditionally.
+func (sc SpanContext) Traceparent() string {
+	if !sc.Valid() {
+		return ""
+	}
+	flags := "00"
+	if sc.Sampled {
+		flags = "01"
+	}
+	return "00-" + sc.TraceID + "-" + sc.SpanID + "-" + flags
+}
+
+// TraceparentHeader is the canonical header name (lowercase per W3C; Go's
+// http.Header canonicalizes on Set/Get either way).
+const TraceparentHeader = "traceparent"
+
+// ParseTraceparent parses a traceparent header value. It accepts any
+// version except the reserved ff, requires the four version-00 fields,
+// and tolerates additional future-version fields after the flags. The
+// returned context is always Valid when err is nil.
+func ParseTraceparent(s string) (SpanContext, error) {
+	// version(2) '-' traceid(32) '-' spanid(16) '-' flags(2) [ '-' ... ]
+	const minLen = 2 + 1 + 32 + 1 + 16 + 1 + 2
+	if len(s) < minLen {
+		return SpanContext{}, fmt.Errorf("traceparent: too short (%d bytes)", len(s))
+	}
+	version := s[0:2]
+	if !isLowerHex(version, 2) {
+		return SpanContext{}, fmt.Errorf("traceparent: bad version %q", version)
+	}
+	if version == "ff" {
+		return SpanContext{}, fmt.Errorf("traceparent: reserved version ff")
+	}
+	if s[2] != '-' || s[35] != '-' || s[52] != '-' {
+		return SpanContext{}, fmt.Errorf("traceparent: bad field separators")
+	}
+	if len(s) > minLen {
+		// Version 00 defines exactly four fields; later versions may append
+		// more, but only after another separator.
+		if version == "00" {
+			return SpanContext{}, fmt.Errorf("traceparent: trailing data after flags")
+		}
+		if s[minLen] != '-' {
+			return SpanContext{}, fmt.Errorf("traceparent: bad field separators")
+		}
+	}
+	sc := SpanContext{TraceID: s[3:35], SpanID: s[36:52]}
+	if !isLowerHex(sc.TraceID, 32) || allZero(sc.TraceID) {
+		return SpanContext{}, fmt.Errorf("traceparent: bad trace-id %q", sc.TraceID)
+	}
+	if !isLowerHex(sc.SpanID, 16) || allZero(sc.SpanID) {
+		return SpanContext{}, fmt.Errorf("traceparent: bad parent-id %q", sc.SpanID)
+	}
+	flags := s[53:55]
+	if !isLowerHex(flags, 2) {
+		return SpanContext{}, fmt.Errorf("traceparent: bad flags %q", flags)
+	}
+	sc.Sampled = (hexVal(flags[1]) & 0x1) != 0
+	return sc, nil
+}
+
+// NewSpanContext originates a trace: fresh random trace ID, no parent
+// span yet (the first span minted under it becomes the parent of the next
+// hop), sampled on.
+func NewSpanContext() SpanContext {
+	var b [16]byte
+	if _, err := crand.Read(b[:]); err != nil {
+		// Degrade to the non-cryptographic source; trace IDs need
+		// uniqueness, not unpredictability.
+		for i := range b {
+			b[i] = byte(mrand.Uint32())
+		}
+	}
+	return SpanContext{TraceID: hex.EncodeToString(b[:]), Sampled: true}
+}
+
+// newSpanID mints a span ID. Uniqueness only matters within one trace, so
+// the fast non-cryptographic source is fine even on hot solver paths.
+func newSpanID() string {
+	for {
+		v := mrand.Uint64()
+		if v != 0 {
+			var b [8]byte
+			for i := 0; i < 8; i++ {
+				b[i] = byte(v >> (56 - 8*i))
+			}
+			return hex.EncodeToString(b[:])
+		}
+	}
+}
+
+func isLowerHex(s string, n int) bool {
+	if len(s) != n {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if !('0' <= c && c <= '9' || 'a' <= c && c <= 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+func allZero(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] != '0' {
+			return false
+		}
+	}
+	return true
+}
+
+func hexVal(c byte) byte {
+	if c >= 'a' {
+		return c - 'a' + 10
+	}
+	return c - '0'
+}
+
+// scKey is the context key carrying an extracted SpanContext when no
+// local span exists yet (the middleware installs the span itself, so this
+// is mainly for tests and embedders).
+type scKey struct{}
+
+// ContextWithSpanContext returns ctx carrying sc.
+func ContextWithSpanContext(ctx context.Context, sc SpanContext) context.Context {
+	return context.WithValue(ctx, scKey{}, sc)
+}
+
+// SpanContextFromContext returns the propagated SpanContext: the current
+// span's own context when a distributed span is installed, otherwise any
+// raw SpanContext stored by ContextWithSpanContext.
+func SpanContextFromContext(ctx context.Context) SpanContext {
+	if s := FromContext(ctx); s != nil {
+		if sc := s.Context(); sc.Valid() {
+			return sc
+		}
+	}
+	sc, _ := ctx.Value(scKey{}).(SpanContext)
+	return sc
+}

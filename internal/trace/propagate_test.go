@@ -1,0 +1,192 @@
+package trace
+
+// Tests for the W3C traceparent codec and the span-lineage plumbing the
+// distributed tracing layer is built on: strict parsing, render/parse
+// round trips, RootContext parent links, and context propagation.
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	sc := NewSpanContext()
+	if sc.TraceID == "" || !sc.Sampled {
+		t.Fatalf("NewSpanContext() = %+v", sc)
+	}
+	if sc.Valid() {
+		t.Fatalf("originating context has no span ID yet, must not be Valid: %+v", sc)
+	}
+	// The first span minted under the context supplies the span ID that
+	// makes it injectable.
+	tr := New(4)
+	root := tr.RootContext("origin", sc)
+	osc := root.Context()
+	if !osc.Valid() {
+		t.Fatalf("span context invalid: %+v", osc)
+	}
+	if osc.TraceID != sc.TraceID {
+		t.Errorf("span trace ID %q, want originator's %q", osc.TraceID, sc.TraceID)
+	}
+	header := osc.Traceparent()
+	parsed, err := ParseTraceparent(header)
+	if err != nil {
+		t.Fatalf("ParseTraceparent(%q): %v", header, err)
+	}
+	if parsed != osc {
+		t.Errorf("round trip %+v, want %+v", parsed, osc)
+	}
+}
+
+func TestParseTraceparentValid(t *testing.T) {
+	const trID = "4bf92f3577b34da6a3ce929d0e0e4736"
+	const spID = "00f067aa0ba902b7"
+	cases := []struct {
+		name    string
+		header  string
+		sampled bool
+	}{
+		{"spec example", "00-" + trID + "-" + spID + "-01", true},
+		{"not sampled", "00-" + trID + "-" + spID + "-00", false},
+		{"other flag bits", "00-" + trID + "-" + spID + "-03", true},
+		{"future version", "cc-" + trID + "-" + spID + "-01", true},
+		{"future version, extra fields", "cc-" + trID + "-" + spID + "-01-extra-stuff", true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sc, err := ParseTraceparent(tc.header)
+			if err != nil {
+				t.Fatalf("ParseTraceparent(%q): %v", tc.header, err)
+			}
+			if !sc.Valid() {
+				t.Errorf("parsed context invalid: %+v", sc)
+			}
+			if sc.TraceID != trID || sc.SpanID != spID || sc.Sampled != tc.sampled {
+				t.Errorf("parsed %+v, want {%s %s %v}", sc, trID, spID, tc.sampled)
+			}
+		})
+	}
+}
+
+func TestParseTraceparentInvalid(t *testing.T) {
+	const trID = "4bf92f3577b34da6a3ce929d0e0e4736"
+	const spID = "00f067aa0ba902b7"
+	cases := []struct {
+		name   string
+		header string
+	}{
+		{"empty", ""},
+		{"too short", "00-" + trID + "-" + spID + "-0"},
+		{"reserved version ff", "ff-" + trID + "-" + spID + "-01"},
+		{"uppercase version", "0A-" + trID + "-" + spID + "-01"},
+		{"uppercase trace id", "00-" + strings.ToUpper(trID) + "-" + spID + "-01"},
+		{"zero trace id", "00-" + strings.Repeat("0", 32) + "-" + spID + "-01"},
+		{"zero span id", "00-" + trID + "-" + strings.Repeat("0", 16) + "-01"},
+		{"bad separators", "00_" + trID + "_" + spID + "_01"},
+		{"non-hex flags", "00-" + trID + "-" + spID + "-zz"},
+		{"v00 trailing data", "00-" + trID + "-" + spID + "-01-extra"},
+		{"future version, no separator before extra", "cc-" + trID + "-" + spID + "-01extra"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if sc, err := ParseTraceparent(tc.header); err == nil {
+				t.Errorf("ParseTraceparent(%q) = %+v, want error", tc.header, sc)
+			}
+		})
+	}
+}
+
+// TestRootContextLineage checks the parent links a remote hop depends on:
+// a RootContext span is parented to the caller's span ID, and its children
+// inherit the trace with fresh span IDs.
+func TestRootContextLineage(t *testing.T) {
+	caller := SpanContext{TraceID: strings.Repeat("ab", 16), SpanID: strings.Repeat("cd", 8), Sampled: true}
+	tr := New(4)
+	root := tr.RootContext("request", caller)
+	if root.TraceID() != caller.TraceID {
+		t.Errorf("root trace ID %q, want %q", root.TraceID(), caller.TraceID)
+	}
+	if root.ParentSpanID() != caller.SpanID {
+		t.Errorf("root parent span ID %q, want caller's %q", root.ParentSpanID(), caller.SpanID)
+	}
+	if root.SpanID() == "" || root.SpanID() == caller.SpanID {
+		t.Errorf("root span ID %q must be fresh", root.SpanID())
+	}
+	child := root.Child("inner")
+	if child.ParentSpanID() != root.SpanID() {
+		t.Errorf("child parent %q, want root's span ID %q", child.ParentSpanID(), root.SpanID())
+	}
+	if child.Context().TraceID != caller.TraceID {
+		t.Errorf("child trace ID %q, want %q", child.Context().TraceID, caller.TraceID)
+	}
+	if child.SpanID() == root.SpanID() {
+		t.Error("child span ID equals parent's")
+	}
+}
+
+func TestSpanContextFromContext(t *testing.T) {
+	if sc := SpanContextFromContext(context.Background()); sc.Valid() {
+		t.Errorf("empty context yielded %+v", sc)
+	}
+	// A raw SpanContext stored on the context is returned as-is.
+	raw := SpanContext{TraceID: strings.Repeat("12", 16), SpanID: strings.Repeat("34", 8), Sampled: true}
+	ctx := ContextWithSpanContext(context.Background(), raw)
+	if got := SpanContextFromContext(ctx); got != raw {
+		t.Errorf("raw context %+v, want %+v", got, raw)
+	}
+	// An installed distributed span wins: the next hop should parent to the
+	// innermost live span, not the original extraction.
+	tr := New(4)
+	span := tr.RootContext("request", raw)
+	ctx = NewContext(ctx, span)
+	got := SpanContextFromContext(ctx)
+	if got.SpanID != span.SpanID() || got.TraceID != raw.TraceID {
+		t.Errorf("installed span context %+v, want span ID %q", got, span.SpanID())
+	}
+	// Spans without distributed identity (plain Root) fall back to the raw
+	// stored context rather than yielding an invalid one.
+	legacy := tr.Root("request", "req-1")
+	ctx = NewContext(ContextWithSpanContext(context.Background(), raw), legacy)
+	if got := SpanContextFromContext(ctx); got != raw {
+		t.Errorf("legacy span context %+v, want raw %+v", got, raw)
+	}
+}
+
+// FuzzTraceparent hammers the header parser: it must never panic, every
+// accepted header must yield a Valid context, and rendering that context
+// must re-parse to the same identity (flags normalize to version 00 with
+// only the sampled bit, so only the consumed fields are compared).
+func FuzzTraceparent(f *testing.F) {
+	f.Add("00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01")
+	f.Add("00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-00")
+	f.Add("cc-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-future")
+	f.Add("ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01")
+	f.Add("00-00000000000000000000000000000000-00f067aa0ba902b7-01")
+	f.Add("00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01")
+	f.Add("")
+	f.Add("hello")
+	f.Fuzz(func(t *testing.T, header string) {
+		sc, err := ParseTraceparent(header)
+		if err != nil {
+			if sc != (SpanContext{}) {
+				t.Fatalf("error with non-zero context %+v", sc)
+			}
+			return
+		}
+		if !sc.Valid() {
+			t.Fatalf("accepted header %q yields invalid context %+v", header, sc)
+		}
+		rendered := sc.Traceparent()
+		if rendered == "" {
+			t.Fatalf("valid context %+v renders empty", sc)
+		}
+		again, err := ParseTraceparent(rendered)
+		if err != nil {
+			t.Fatalf("re-parsing rendered %q: %v", rendered, err)
+		}
+		if again != sc {
+			t.Fatalf("round trip %+v, want %+v (header %q)", again, sc, header)
+		}
+	})
+}

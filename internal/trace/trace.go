@@ -58,6 +58,24 @@ func (t *Tracer) RootAt(name, traceID string, start time.Time) *Span {
 	return &Span{tracer: t, id: t.ids.Add(1), name: name, traceID: traceID, start: start}
 }
 
+// RootContext starts a root span that continues a distributed trace: the
+// span is tagged with sc.TraceID, parented (across the process or queue
+// boundary) to sc.SpanID when one is set, and minted its own span ID so
+// the trace can be propagated onward. Use NewSpanContext() to originate a
+// fresh trace. The trace is recorded into the ring when End is called.
+func (t *Tracer) RootContext(name string, sc SpanContext) *Span {
+	return t.RootContextAt(name, sc, time.Now())
+}
+
+// RootContextAt is RootContext with an explicit start time.
+func (t *Tracer) RootContextAt(name string, sc SpanContext, start time.Time) *Span {
+	return &Span{
+		tracer: t, id: t.ids.Add(1), name: name,
+		traceID: sc.TraceID, spanID: newSpanID(), parentSpanID: sc.SpanID,
+		start: start,
+	}
+}
+
 // record admits a completed root trace, evicting the oldest beyond
 // capacity.
 func (t *Tracer) record(root *Span) {
@@ -114,13 +132,27 @@ type Span struct {
 	id      int64
 	name    string
 	traceID string
-	start   time.Time
-	parent  *Span
+	// spanID and parentSpanID are W3C-format identifiers, set only on
+	// spans belonging to a distributed trace (RootContext and its
+	// descendants); purely local traces leave them empty and export
+	// exactly as before.
+	spanID       string
+	parentSpanID string
+	start        time.Time
+	parent       *Span
 
 	mu       sync.Mutex
 	end      time.Time
 	attrs    []Attr
+	events   []Event
 	children []*Span
+}
+
+// Event is a timestamped point annotation on a span — cache hits,
+// coalesced waits, retry give-ups — exported as Chrome instant events.
+type Event struct {
+	Name string
+	Time time.Time
 }
 
 // Child starts a sub-span beginning now.
@@ -136,6 +168,12 @@ func (s *Span) ChildAt(name string, start time.Time) *Span {
 		return nil
 	}
 	c := &Span{tracer: s.tracer, name: name, traceID: s.traceID, start: start, parent: s}
+	if s.spanID != "" {
+		// Distributed trace: every span carries its own ID and a parent
+		// link, so cross-process merges can reconstruct the tree.
+		c.spanID = newSpanID()
+		c.parentSpanID = s.spanID
+	}
 	if s.tracer != nil {
 		c.id = s.tracer.ids.Add(1)
 	}
@@ -185,6 +223,57 @@ func (s *Span) EndAt(t time.Time) {
 	if s.parent == nil && s.tracer != nil {
 		s.tracer.record(s)
 	}
+}
+
+// AddEvent attaches a timestamped point annotation.
+func (s *Span) AddEvent(name string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.events = append(s.events, Event{Name: name, Time: time.Now()})
+	s.mu.Unlock()
+}
+
+// Events returns a copy of the point annotations in insertion order.
+func (s *Span) Events() []Event {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Event, len(s.events))
+	copy(out, s.events)
+	return out
+}
+
+// Context returns the span's propagation identity: its trace ID and its
+// own span ID, sampled. Only spans of a distributed trace (RootContext
+// lineage) have one; everything else returns the invalid zero value,
+// which injects nothing.
+func (s *Span) Context() SpanContext {
+	if s == nil || s.spanID == "" {
+		return SpanContext{}
+	}
+	return SpanContext{TraceID: s.traceID, SpanID: s.spanID, Sampled: true}
+}
+
+// SpanID returns the span's W3C span ID ("" for purely local spans).
+func (s *Span) SpanID() string {
+	if s == nil {
+		return ""
+	}
+	return s.spanID
+}
+
+// ParentSpanID returns the W3C span ID this span is parented to — for a
+// RootContext span that is the remote caller's span, for descendants the
+// in-process parent ("" for purely local spans and originating roots).
+func (s *Span) ParentSpanID() string {
+	if s == nil {
+		return ""
+	}
+	return s.parentSpanID
 }
 
 // Name returns the span name.
