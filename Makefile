@@ -25,7 +25,7 @@ FUZZ_TARGETS := \
 	./internal/trace:FuzzTraceparent \
 	./cmd/prefcover:FuzzGraphImport
 
-.PHONY: all build test test-race chaos cover fuzz-short smoke bench bench-json vet fmt-check ci
+.PHONY: all build test test-race chaos cover fuzz-short smoke loadgen loadgen-smoke bench bench-json vet fmt-check ci
 
 all: build test
 
@@ -70,6 +70,20 @@ fuzz-short:
 smoke:
 	$(GO) test -count=1 -run '^TestStatuszMetricsSmoke$$' ./cmd/prefcoverd
 
+# loadgen-smoke boots the real prefcoverd and prefcover binaries, fires a
+# one-second open-loop burst at the daemon, verifies the recorded
+# BENCH_serving.json entry (quantiles, error budget, cache ratio), and
+# checks that the request schedule is byte-reproducible per seed.
+loadgen-smoke:
+	$(GO) test -count=1 -run '^TestLoadgenSmoke$$' ./cmd/prefcover
+
+# loadgen snapshots serving latency into BENCH_serving.json: a 5 s
+# open-loop run at 200 rps against an in-process prefcoverd — the serving
+# trajectory future PRs diff against (compare BENCH_solver.json).
+loadgen:
+	$(GO) run ./cmd/prefcover loadgen -preset yc -rps 200 -duration 5s -seed 1 \
+		-out BENCH_serving.json
+
 bench:
 	$(GO) test -bench=. -benchmem -run=NONE .
 
@@ -85,9 +99,10 @@ fmt-check:
 # ci is the pre-merge gate: static checks, full build and tests (including
 # the race detector — the jobs/cache/store subsystems are concurrency-heavy —
 # and the multi-seed chaos suite via test-race), coverage floors on the
-# resilience packages, the statusz/metrics daemon smoke test, plus a
+# resilience packages, the statusz/metrics daemon smoke test, the loadgen
+# smoke test (real binaries, real traffic, schedule reproducibility), plus a
 # smoke run of the benchmark harness (tiny benchtime; result discarded).
-ci: vet fmt-check build test test-race cover smoke
+ci: vet fmt-check build test test-race cover smoke loadgen-smoke
 	$(GO) run ./cmd/benchjson -quiet -benchtime 1x \
 		-bench '^(BenchmarkGainKernels|BenchmarkFig4aGreedySmall|BenchmarkPublicSolve)$$' \
 		-out $(or $(TMPDIR),/tmp)/prefcover-bench-smoke.json

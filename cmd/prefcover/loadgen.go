@@ -1,0 +1,438 @@
+package main
+
+// The loadgen subcommand drives a prefcoverd with the open-loop load
+// generator (internal/loadgen) and records the outcome in
+// BENCH_serving.json — the serving-side counterpart of cmd/benchjson.
+//
+//	prefcover loadgen -preset yc -rps 200 -duration 5s -seed 1
+//	prefcover loadgen -server http://host:8080 -rps 500 -duration 30s
+//	prefcover loadgen -capacity -start-rps 25 -slo-p99 250ms
+//	prefcover loadgen -print-schedule -seed 1 -rps 200 -duration 5s
+//
+// With no -server, a full in-process prefcoverd (registry, cache, async
+// jobs, fault injector) is booted on a loopback port and torn down after
+// the run, so a capacity number needs nothing but the binary. With
+// -fault-spec against a remote server, the spec is installed through
+// /debug/faults (the server must run with -fault-control).
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"runtime"
+	"runtime/debug"
+	"strings"
+	"time"
+
+	"prefcover/internal/apiclient"
+	"prefcover/internal/faults"
+	"prefcover/internal/graph"
+	"prefcover/internal/jobs"
+	"prefcover/internal/loadgen"
+	"prefcover/internal/replay"
+	"prefcover/internal/server"
+	"prefcover/internal/synth"
+)
+
+func runLoadgen(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("loadgen", flag.ExitOnError)
+	var (
+		serverURL = fs.String("server", "", "target prefcoverd base URL; empty boots an in-process daemon on loopback")
+		preset    = fs.String("preset", "yc", "workload graph preset: pe, pf, pm or yc (case-insensitive)")
+		scale     = fs.Float64("scale", 0.002, "preset scale factor in (0,1] for the workload graph")
+		seed      = fs.Int64("seed", 1, "master seed: request schedule, workload graph and replay all derive from it")
+		rps       = fs.Float64("rps", 200, "offered request rate (open-loop Poisson arrivals)")
+		duration  = fs.Duration("duration", 5*time.Second, "how long to generate load")
+		mixText   = fs.String("mix", "", `traffic mix, e.g. "solve=0.65,get=0.15,put=0.05,job=0.15" (empty = default)`)
+		kMax      = fs.Int("kmax", loadgen.DefaultKMax, "solve/job budgets are drawn uniformly from [1,kmax]")
+		variant   = fs.String("variant", "independent", "solve variant: independent or normalized")
+
+		retries   = fs.Int("retries", 0, "retries per request on transient failures; 0 keeps the open-loop honest")
+		retryBase = fs.Duration("retry-base", 25*time.Millisecond, "initial backoff before the first retry")
+		timeout   = fs.Duration("timeout", 10*time.Second, "per-request deadline, all attempts included")
+		pollEvery = fs.Duration("poll-interval", 50*time.Millisecond, "async job poll spacing")
+
+		faultSpec = fs.String("fault-spec", "", "fault-injector spec for latency-under-chaos runs (see internal/faults); installed in-process or via /debug/faults")
+
+		capacity  = fs.Bool("capacity", false, "capacity mode: step -start-rps by -rps-factor until the SLO or error budget breaks, report the knee")
+		startRPS  = fs.Float64("start-rps", 25, "capacity mode: first step's rate")
+		maxRPS    = fs.Float64("max-rps", 0, "capacity mode: stop stepping past this rate (0 = 100x start)")
+		factor    = fs.Float64("rps-factor", 2, "capacity mode: rate multiplier between steps")
+		stepDur   = fs.Duration("step-duration", 3*time.Second, "capacity mode: how long each rate is held")
+		sloP99    = fs.Duration("slo-p99", 250*time.Millisecond, "capacity mode: p99 objective (worst endpoint)")
+		errBudget = fs.Float64("error-budget", 0.01, "capacity mode: tolerated (errors+timeouts)/sent ratio")
+
+		replayN = fs.Int("replay", 2000, "Monte Carlo requests validating the solved cover against the graph; 0 disables")
+
+		out           = fs.String("out", "BENCH_serving.json", "append the run to this benchmark file; empty skips recording")
+		printSchedule = fs.Bool("print-schedule", false, "print the deterministic request schedule and exit (no server needed)")
+		quiet         = fs.Bool("quiet", false, "suppress progress output on stderr")
+
+		maxConcurrent = fs.Int("max-concurrent", 0, "in-process daemon: cap concurrently executing /v1/* requests (0 = unlimited)")
+		jobWorkers    = fs.Int("job-workers", 2, "in-process daemon: async job worker pool width")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	mix, err := loadgen.ParseMix(*mixText)
+	if err != nil {
+		return err
+	}
+	progress := func(format string, args ...any) {
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "loadgen: "+format+"\n", args...)
+		}
+	}
+
+	if *printSchedule {
+		sched, err := loadgen.BuildSchedule(loadgen.ScheduleSpec{
+			Seed: *seed, RPS: *rps, Duration: *duration, Mix: mix, KMax: *kMax,
+		})
+		if err != nil {
+			return err
+		}
+		return sched.Encode(os.Stdout)
+	}
+
+	// The workload graph: deterministic from (preset, scale, seed), the
+	// same synthesis path the paper experiments use.
+	p, err := synth.ParsePreset(*preset)
+	if err != nil {
+		return err
+	}
+	gspec, err := synth.PresetGraphSpec(p, *scale, *seed)
+	if err != nil {
+		return err
+	}
+	g, err := synth.GenerateGraph(gspec)
+	if err != nil {
+		return err
+	}
+	var graphBuf bytes.Buffer
+	if err := graph.WriteJSON(&graphBuf, g); err != nil {
+		return err
+	}
+	progress("workload graph: preset %s scale %g -> %d nodes", p, *scale, g.NumNodes())
+
+	budgetCeil := *kMax
+	if budgetCeil > g.NumNodes() {
+		budgetCeil = g.NumNodes()
+	}
+
+	client := apiclient.New(apiclient.Options{Timeout: *timeout})
+	base := strings.TrimRight(*serverURL, "/")
+	var inproc *inprocDaemon
+	if base == "" {
+		inproc, err = startInprocDaemon(*maxConcurrent, *jobWorkers)
+		if err != nil {
+			return err
+		}
+		defer inproc.close()
+		base = inproc.baseURL
+		progress("in-process prefcoverd on %s (max-concurrent=%d, job-workers=%d)", base, *maxConcurrent, *jobWorkers)
+	}
+
+	target := loadgen.Target{
+		BaseURL:   base,
+		MainGraph: "loadgen-main",
+		PutGraph:  "loadgen-put",
+		GraphJSON: graphBuf.Bytes(),
+		Variant:   *variant,
+	}
+	if err := loadgen.SetupGraphs(ctx, client, target); err != nil {
+		return err
+	}
+
+	// Arm the injector after setup so the uploads don't consume fault
+	// draws the report will be reconciled against.
+	var injector *faults.Injector
+	if *faultSpec != "" {
+		spec, err := faults.ParseSpec(*faultSpec)
+		if err != nil {
+			return err
+		}
+		if inproc != nil {
+			injector = faults.New(spec)
+			inproc.srv.SetFaults(injector)
+		} else if err := installRemoteFaults(ctx, client, base, *faultSpec); err != nil {
+			return fmt.Errorf("installing -fault-spec on %s: %w (is the server running with -fault-control?)", base, err)
+		}
+	}
+
+	opts := loadgen.RunOptions{
+		Client:       client,
+		Timeout:      *timeout,
+		MaxAttempts:  *retries + 1,
+		RetryBase:    *retryBase,
+		PollInterval: *pollEvery,
+		FaultSpec:    *faultSpec,
+	}
+
+	entry := loadgen.BenchEntry{
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		GitSHA:    loadgenGitSHA(),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		CPUs:      runtime.NumCPU(),
+	}
+
+	if *capacity {
+		result, err := loadgen.RunCapacity(ctx, loadgen.CapacitySpec{
+			StartRPS:     *startRPS,
+			MaxRPS:       *maxRPS,
+			Factor:       *factor,
+			StepDuration: *stepDur,
+			SLOP99:       *sloP99,
+			ErrorBudget:  *errBudget,
+			Mix:          mix,
+			KMax:         budgetCeil,
+			Seed:         *seed,
+		}, target, opts, func(s loadgen.CapacityStep) {
+			progress("capacity step %g rps: p99=%.1fms errors=%.3f passed=%v %s",
+				s.RPS, s.P99*1000, s.ErrorRatio, s.Passed, s.Violation)
+		})
+		if err != nil {
+			return err
+		}
+		progress("knee: %g rps (saturated=%v)", result.KneeRPS, result.Saturated)
+		entry.Kind = loadgen.BenchKindCapacity
+		entry.Capacity = result
+		if err := recordBench(*out, entry, progress); err != nil {
+			return err
+		}
+		return printJSON(result)
+	}
+
+	sched, err := loadgen.BuildSchedule(loadgen.ScheduleSpec{
+		Seed: *seed, RPS: *rps, Duration: *duration, Mix: mix, KMax: budgetCeil,
+	})
+	if err != nil {
+		return err
+	}
+	progress("schedule: %d requests over %s at %g rps (seed %d, mix %s)",
+		len(sched.Requests), *duration, *rps, *seed, mix)
+	report, err := loadgen.Run(ctx, sched, target, opts)
+	if err != nil {
+		return err
+	}
+	report.Preset = string(p)
+	if err := report.Validate(); err != nil {
+		return fmt.Errorf("report failed its own invariants (collector bug): %w", err)
+	}
+
+	// Server-side injector tally, when reachable: in-process directly,
+	// remote through /debug/faults.
+	if report.Faults != nil {
+		if injector != nil {
+			report.Faults.ServerCounts = kindCounts(injector.Counts())
+		} else if *faultSpec != "" {
+			if counts, err := fetchRemoteFaultCounts(ctx, client, base); err == nil {
+				report.Faults.ServerCounts = counts
+			}
+		}
+	}
+
+	// Tie the serving run back to the paper's semantics: replay the solved
+	// assortment against the same graph and compare with the analytic
+	// cover the server reported.
+	if *replayN > 0 {
+		if rs, err := replayValidate(ctx, client, g, target, budgetCeil, *replayN, *seed); err != nil {
+			progress("replay validation skipped: %v", err)
+		} else {
+			report.Replay = rs
+			progress("replay: simulated %.4f (stderr %.4f) vs predicted %.4f",
+				rs.Rate, rs.StdErr, rs.Predicted)
+		}
+	}
+
+	entry.Kind = loadgen.BenchKindRun
+	entry.Report = report
+	if err := recordBench(*out, entry, progress); err != nil {
+		return err
+	}
+	return printJSON(report)
+}
+
+// inprocDaemon is the loopback prefcoverd the CLI boots when no -server is
+// given.
+type inprocDaemon struct {
+	srv     *server.Server
+	httpSrv *http.Server
+	ln      net.Listener
+	baseURL string
+}
+
+func startInprocDaemon(maxConcurrent, jobWorkers int) (*inprocDaemon, error) {
+	srv, err := server.NewWithConfig(server.Config{
+		Limits: server.Limits{MaxConcurrent: maxConcurrent},
+		Jobs:   jobs.Options{Workers: jobWorkers, QueueDepth: 4096},
+	})
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		srv.Close()
+		return nil, err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	return &inprocDaemon{
+		srv:     srv,
+		httpSrv: hs,
+		ln:      ln,
+		baseURL: "http://" + ln.Addr().String(),
+	}, nil
+}
+
+func (d *inprocDaemon) close() {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	d.httpSrv.Shutdown(ctx)
+	d.srv.Close()
+}
+
+// installRemoteFaults PUTs the spec to /debug/faults, which also resets
+// the injector's counts so the run starts a fresh experiment.
+func installRemoteFaults(ctx context.Context, client *http.Client, base, spec string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPut, base+"/debug/faults", strings.NewReader(spec))
+	if err != nil {
+		return err
+	}
+	apiclient.Decorate(req, apiclient.NewRequestID(), apiclient.NewTraceparent(false))
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		return fmt.Errorf("PUT /debug/faults: status %d: %s", resp.StatusCode, bytes.TrimSpace(body))
+	}
+	return nil
+}
+
+// fetchRemoteFaultCounts reads the injector tally from /debug/faults.
+func fetchRemoteFaultCounts(ctx context.Context, client *http.Client, base string) (map[string]int64, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/debug/faults", nil)
+	if err != nil {
+		return nil, err
+	}
+	apiclient.Decorate(req, apiclient.NewRequestID(), apiclient.NewTraceparent(false))
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		return nil, fmt.Errorf("GET /debug/faults: status %d", resp.StatusCode)
+	}
+	var state struct {
+		Counts map[string]int64 `json:"counts"`
+	}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&state); err != nil {
+		return nil, err
+	}
+	return state.Counts, nil
+}
+
+func kindCounts(in map[faults.Kind]int64) map[string]int64 {
+	out := make(map[string]int64, len(in))
+	for k, v := range in {
+		out[string(k)] = v
+	}
+	return out
+}
+
+// replayValidate solves once at the budget ceiling through the server,
+// then Monte Carlo-replays the returned assortment against the local copy
+// of the graph.
+func replayValidate(ctx context.Context, client *http.Client, g *graph.Graph, target loadgen.Target, k, requests int, seed int64) (*loadgen.ReplayStats, error) {
+	body, _ := json.Marshal(map[string]string{"graph_ref": target.MainGraph})
+	url := fmt.Sprintf("%s/v1/solve?variant=%s&k=%d", strings.TrimRight(target.BaseURL, "/"), target.Variant, k)
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	apiclient.Decorate(req, apiclient.NewRequestID(), apiclient.NewTraceparent(false))
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		return nil, fmt.Errorf("solve for replay: status %d", resp.StatusCode)
+	}
+	var sol struct {
+		Cover float64  `json:"cover"`
+		Order []string `json:"order"`
+	}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 256<<20)).Decode(&sol); err != nil {
+		return nil, err
+	}
+	set := make([]int32, 0, len(sol.Order))
+	for _, label := range sol.Order {
+		v, ok := g.Lookup(label)
+		if !ok {
+			// Unlabeled graphs round-trip as synthesized "#<index>" labels.
+			var idx int32
+			if _, err := fmt.Sscanf(label, "#%d", &idx); err != nil || idx < 0 || int(idx) >= g.NumNodes() {
+				return nil, fmt.Errorf("solved label %q not in local graph", label)
+			}
+			v = idx
+		}
+		set = append(set, v)
+	}
+	variant := graph.Independent
+	if target.Variant == "normalized" {
+		variant = graph.Normalized
+	}
+	est, err := replay.RunSet(g, set, replay.Spec{Variant: variant, Requests: requests, Seed: seed + 1}, sol.Cover)
+	if err != nil {
+		return nil, err
+	}
+	return &loadgen.ReplayStats{
+		Requests:  est.Requests,
+		Rate:      est.Rate,
+		StdErr:    est.StdErr,
+		Predicted: est.Predicted,
+	}, nil
+}
+
+func recordBench(path string, entry loadgen.BenchEntry, progress func(string, ...any)) error {
+	if path == "" {
+		return nil
+	}
+	if err := loadgen.AppendBench(path, entry); err != nil {
+		return err
+	}
+	progress("recorded %s entry in %s (git %s)", entry.Kind, path, entry.GitSHA)
+	return nil
+}
+
+// loadgenGitSHA mirrors cmd/benchjson's revision stamp: git rev-parse in
+// a checkout, the linker's VCS setting as fallback, "unknown" otherwise.
+func loadgenGitSHA() string {
+	if out, err := exec.Command("git", "rev-parse", "HEAD").Output(); err == nil {
+		if sha := strings.TrimSpace(string(out)); sha != "" {
+			return sha
+		}
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" {
+				return s.Value
+			}
+		}
+	}
+	return "unknown"
+}

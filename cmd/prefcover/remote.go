@@ -36,6 +36,7 @@ import (
 	"strings"
 	"time"
 
+	"prefcover/internal/apiclient"
 	"prefcover/internal/retry"
 	"prefcover/internal/trace"
 )
@@ -58,14 +59,17 @@ func runRemote(ctx context.Context, args []string) error {
 }
 
 // retryFlags registers the shared retry knobs on fs and returns the
-// resulting policy builder (flag values are only valid after Parse).
+// resulting policy builder (flag values are only valid after Parse). The
+// policy shape itself comes from internal/apiclient, the same constructor
+// the load generator uses, so `prefcover remote` and `prefcover loadgen`
+// cannot drift apart.
 func retryFlags(fs *flag.FlagSet) func() retry.Policy {
 	retries := fs.Int("retries", retry.DefaultMaxAttempts-1,
 		"how many times to retry transient failures (connection errors, 429/503/5xx) on idempotent calls; 0 disables")
 	base := fs.Duration("retry-base", retry.DefaultBaseDelay,
 		"initial backoff before the first retry (doubles each retry, jittered, Retry-After honored)")
 	return func() retry.Policy {
-		return retry.Policy{MaxAttempts: *retries + 1, BaseDelay: *base, Jitter: 0.5}
+		return apiclient.NewPolicy(*retries+1, *base, nil)
 	}
 }
 
@@ -76,6 +80,15 @@ func retryFlags(fs *flag.FlagSet) func() retry.Policy {
 type remoteClient struct {
 	policy retry.Policy
 	tr     *clientTrace
+	// httpc is the shared tuned client from internal/apiclient; nil falls
+	// back to a default-constructed one on first use.
+	httpc *http.Client
+}
+
+// newRemoteClient builds the client every remote verb uses: the shared
+// apiclient transport plus the parsed retry policy.
+func newRemoteClient(policy retry.Policy) *remoteClient {
+	return &remoteClient{policy: policy, httpc: apiclient.New(apiclient.Options{})}
 }
 
 // do issues one API call and decodes the JSON reply (or surfaces the
@@ -84,6 +97,12 @@ type remoteClient struct {
 // every attempt. Only calls marked idempotent are retried.
 func (c *remoteClient) do(ctx context.Context, method, url, contentType string, body []byte, extra http.Header, idempotent bool, out any) error {
 	call := c.tr.startCall(method, url)
+	if c.httpc == nil {
+		c.httpc = apiclient.New(apiclient.Options{})
+	}
+	// One request ID per logical call, constant across its attempts, so
+	// every server-side log line of every retry joins on a single ID.
+	reqID := apiclient.NewRequestID()
 	policy := c.policy
 	var backoff *backoffObserver
 	if call != nil {
@@ -120,10 +139,14 @@ func (c *remoteClient) do(ctx context.Context, method, url, contentType string, 
 		}
 		// The attempt span is the server's parent, so each retry shows up
 		// as its own server-side request under the attempt that caused it.
-		if tp := asp.Context().Traceparent(); tp != "" {
-			req.Header.Set(trace.TraceparentHeader, tp)
+		// Without a client trace, a fresh unsampled traceparent still rides
+		// on the attempt so the propagation path is always exercised.
+		tp := asp.Context().Traceparent()
+		if tp == "" {
+			tp = apiclient.NewTraceparent(false)
 		}
-		resp, err := http.DefaultClient.Do(req)
+		apiclient.Decorate(req, reqID, tp)
+		resp, err := c.httpc.Do(req)
 		if err != nil {
 			asp.SetAttr("error", err.Error())
 			if idempotent {
@@ -284,7 +307,7 @@ func runRemotePush(ctx context.Context, args []string) error {
 	if err != nil {
 		return fmt.Errorf("remote push: reading %s: %w", *in, err)
 	}
-	c := &remoteClient{policy: policy()}
+	c := newRemoteClient(policy())
 	var info map[string]any
 	url := strings.TrimRight(*server, "/") + "/v1/graphs/" + *name
 	// PUT replaces the full content, so it is idempotent and safe to retry.
@@ -354,7 +377,7 @@ func runRemoteSolve(ctx context.Context, args []string) error {
 	body, _ := json.Marshal(map[string]string{"graph_ref": *graphRef})
 	url := strings.TrimRight(*server, "/") + "/v1/solve" +
 		solveQuery(*variant, *k, *threshold, *lazy, *workers, splitPins(*pins))
-	c := &remoteClient{policy: policy()}
+	c := newRemoteClient(policy())
 	if *traceOut != "" {
 		c.tr = newClientTrace(*traceOut, "solve", *server)
 	}
@@ -392,7 +415,7 @@ func runRemoteJob(ctx context.Context, args []string) error {
 		return err
 	}
 	base := strings.TrimRight(*server, "/")
-	c := &remoteClient{policy: policy()}
+	c := newRemoteClient(policy())
 	switch {
 	case *status != "":
 		var out map[string]any

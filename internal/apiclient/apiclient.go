@@ -1,0 +1,129 @@
+// Package apiclient is the one place prefcoverd's HTTP clients are
+// constructed. `prefcover remote` and the load generator
+// (internal/loadgen) used to each assemble their own http.Client, retry
+// policy and identification headers; drift between the two meant the
+// traffic the capacity model measured was not the traffic the CLI sent.
+// Everything shared now lives here:
+//
+//   - New builds the tuned *http.Client (transport pooling, optional
+//     per-request timeout, optional keep-alive kill switch for harnesses
+//     that must observe every connection-level fault exactly once).
+//   - Decorate stamps the headers every outbound prefcover request
+//     carries: an X-Request-ID (one per logical call, constant across its
+//     retry attempts, so client and server logs join on a single ID) and
+//     the W3C traceparent when the caller has a trace position.
+//   - NewPolicy builds the retry discipline with the shared jitter shape
+//     and the caller's Observer (span recorder, metrics counters).
+package apiclient
+
+import (
+	crand "crypto/rand"
+	"encoding/hex"
+	mrand "math/rand/v2"
+	"net/http"
+	"time"
+
+	"prefcover/internal/retry"
+)
+
+// Options shapes New. The zero value is the `prefcover remote` client:
+// pooled keep-alive connections and no client-side timeout (reference
+// solves can legitimately run for minutes; the server owns the deadline).
+type Options struct {
+	// Timeout bounds each attempt end to end (dial, headers, full body).
+	// 0 means no client-side limit.
+	Timeout time.Duration
+	// DisableKeepAlives forces a fresh connection per request. The chaos
+	// and loadgen harnesses set this when they need injected connection
+	// resets to surface as exactly one observation (net/http transparently
+	// replays idempotent requests on dead *reused* connections, which
+	// would swallow the fault before the retry layer could count it).
+	DisableKeepAlives bool
+	// MaxIdleConnsPerHost sizes the keep-alive pool; the load generator
+	// raises it so open-loop bursts do not serialize on two pooled
+	// connections (net/http's default). 0 keeps the loadgen-friendly
+	// default of 64.
+	MaxIdleConnsPerHost int
+}
+
+// New returns the shared tuned client.
+func New(opts Options) *http.Client {
+	perHost := opts.MaxIdleConnsPerHost
+	if perHost <= 0 {
+		perHost = 64
+	}
+	return &http.Client{
+		Timeout: opts.Timeout,
+		Transport: &http.Transport{
+			DisableKeepAlives:   opts.DisableKeepAlives,
+			MaxIdleConns:        4 * perHost,
+			MaxIdleConnsPerHost: perHost,
+			IdleConnTimeout:     90 * time.Second,
+		},
+	}
+}
+
+// NewRequestID mints a request ID in the same shape the server generates
+// (16 hex digits): set it once per logical call and reuse it across retry
+// attempts so every server-side log line of every attempt carries it.
+func NewRequestID() string {
+	var b [8]byte
+	if _, err := crand.Read(b[:]); err != nil {
+		// Uniqueness is all an ID needs; fall back to the fast source.
+		for i := range b {
+			b[i] = byte(mrand.Uint32())
+		}
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// NewTraceparent mints a fresh W3C traceparent value (version 00, random
+// trace and span IDs). The load generator sends one per request with
+// sampled=false: the header exercises the full propagation path without
+// flooding the server's flight recorder, which only records sampled
+// inbound traces.
+func NewTraceparent(sampled bool) string {
+	var b [24]byte
+	if _, err := crand.Read(b[:]); err != nil {
+		for i := range b {
+			b[i] = byte(mrand.Uint32())
+		}
+	}
+	// An all-zero trace or span ID is invalid per the spec; force one bit.
+	b[0] |= 1
+	b[16] |= 1
+	flags := "-00"
+	if sampled {
+		flags = "-01"
+	}
+	return "00-" + hex.EncodeToString(b[:16]) + "-" + hex.EncodeToString(b[16:]) + flags
+}
+
+// Decorate stamps the shared identification headers on one attempt:
+// requestID into X-Request-ID (when non-empty) and traceparent (when
+// non-empty). Both are set unconditionally — the caller owns reuse
+// semantics (same request ID across retries, fresh traceparent per
+// attempt or per call as its trace model demands).
+func Decorate(req *http.Request, requestID, traceparent string) {
+	if requestID != "" {
+		req.Header.Set("X-Request-ID", requestID)
+	}
+	if traceparent != "" {
+		req.Header.Set("traceparent", traceparent)
+	}
+}
+
+// NewPolicy is the shared retry-policy shape: maxAttempts total tries,
+// base backoff doubling with 50% jitter, Retry-After honored by the
+// retry package itself, every lifecycle event reported to obs (nil for
+// none). retries==0 (maxAttempts==1) still reports GiveUp events, which
+// is what lets a non-retrying load generator account for every transient
+// failure it chose not to retry.
+func NewPolicy(maxAttempts int, base time.Duration, obs retry.Observer) retry.Policy {
+	return retry.Policy{
+		MaxAttempts: maxAttempts,
+		BaseDelay:   base,
+		Jitter:      0.5,
+		Observer:    obs,
+	}
+}

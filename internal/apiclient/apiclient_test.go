@@ -1,0 +1,85 @@
+package apiclient
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"testing"
+	"time"
+
+	"prefcover/internal/trace"
+)
+
+func TestNewRequestIDShape(t *testing.T) {
+	hex16 := regexp.MustCompile(`^[0-9a-f]{16}$`)
+	seen := make(map[string]bool)
+	for i := 0; i < 64; i++ {
+		id := NewRequestID()
+		if !hex16.MatchString(id) {
+			t.Fatalf("request ID %q is not 16 hex digits", id)
+		}
+		if seen[id] {
+			t.Fatalf("request ID %q repeated", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestNewTraceparentParses(t *testing.T) {
+	for _, sampled := range []bool{false, true} {
+		tp := NewTraceparent(sampled)
+		sc, err := trace.ParseTraceparent(tp)
+		if err != nil {
+			t.Fatalf("NewTraceparent(%v) = %q: %v", sampled, tp, err)
+		}
+		if sc.Sampled != sampled {
+			t.Fatalf("NewTraceparent(%v) parsed with sampled=%v: %q", sampled, sc.Sampled, tp)
+		}
+		// The parsed context must round-trip — proof the IDs are non-zero
+		// and well-formed, not just 55 bytes of plausible hex.
+		if sc.Traceparent() != tp {
+			t.Fatalf("traceparent did not round-trip: %q -> %q", tp, sc.Traceparent())
+		}
+	}
+}
+
+func TestDecorate(t *testing.T) {
+	req := httptest.NewRequest(http.MethodGet, "http://example/", nil)
+	Decorate(req, "abcd", "00-1234-5678-01")
+	if got := req.Header.Get("X-Request-ID"); got != "abcd" {
+		t.Fatalf("X-Request-ID = %q", got)
+	}
+	if got := req.Header.Get(trace.TraceparentHeader); got != "00-1234-5678-01" {
+		t.Fatalf("traceparent = %q", got)
+	}
+	// Empty values must not clobber or create headers.
+	req2 := httptest.NewRequest(http.MethodGet, "http://example/", nil)
+	Decorate(req2, "", "")
+	if len(req2.Header.Values("X-Request-ID")) != 0 || len(req2.Header.Values(trace.TraceparentHeader)) != 0 {
+		t.Fatalf("empty decoration created headers: %v", req2.Header)
+	}
+}
+
+func TestNewClientTransport(t *testing.T) {
+	c := New(Options{Timeout: 3 * time.Second, DisableKeepAlives: true, MaxIdleConnsPerHost: 7})
+	if c.Timeout != 3*time.Second {
+		t.Fatalf("timeout = %v", c.Timeout)
+	}
+	tr, ok := c.Transport.(*http.Transport)
+	if !ok {
+		t.Fatalf("transport is %T", c.Transport)
+	}
+	if !tr.DisableKeepAlives || tr.MaxIdleConnsPerHost != 7 {
+		t.Fatalf("transport not tuned: %+v", tr)
+	}
+	if def := New(Options{}); def.Transport.(*http.Transport).MaxIdleConnsPerHost != 64 {
+		t.Fatal("default per-host pool should be 64")
+	}
+}
+
+func TestNewPolicyShape(t *testing.T) {
+	p := NewPolicy(4, 10*time.Millisecond, nil)
+	if p.MaxAttempts != 4 || p.BaseDelay != 10*time.Millisecond || p.Jitter != 0.5 {
+		t.Fatalf("policy shape drifted: %+v", p)
+	}
+}

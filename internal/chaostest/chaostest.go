@@ -6,7 +6,9 @@
 // server-side fault injector's counts must exactly equal the client-side
 // transient observations (retries + give-ups) — so the client here retries
 // *every* call: an unretried request that swallows an injected fault would
-// break the accounting identity.
+// break the accounting identity. The goroutine-leak check is also reused
+// by internal/loadgen's end-to-end and chaos tests, which hold their
+// fire-and-forget request goroutines to the same zero-leak standard.
 package chaostest
 
 import (

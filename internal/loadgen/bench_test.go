@@ -1,0 +1,140 @@
+package loadgen
+
+// BENCH_serving.json writer tests: append round-trips, schema drift is
+// refused (unknown fields, version mismatch), and invalid reports never
+// reach disk.
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func validEntry() BenchEntry {
+	return BenchEntry{
+		Generated: "2026-08-08T12:00:00Z",
+		GitSHA:    "deadbeef",
+		GoVersion: "go1.24.0",
+		GOOS:      "linux",
+		GOARCH:    "amd64",
+		CPUs:      8,
+		Kind:      BenchKindRun,
+		Report: &Report{
+			Seed: 1, Mix: "solve=1", RPS: 100, Duration: "1s", KMax: 10,
+			Scheduled: 100, Sent: 100,
+			Endpoints: map[string]*EndpointStats{
+				endpointSolve: {Sent: 100, OK: 100, P50: 0.001, P90: 0.002, P99: 0.003, Max: 0.004},
+			},
+			Cache: CacheStats{Hits: 90, Misses: 10, HitRatio: 0.9},
+			Retry: RetryStats{Attempts: 100},
+		},
+	}
+}
+
+func TestAppendBenchRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_serving.json")
+	if err := AppendBench(path, validEntry()); err != nil {
+		t.Fatal(err)
+	}
+	second := validEntry()
+	second.GitSHA = "cafef00d"
+	if err := AppendBench(path, second); err != nil {
+		t.Fatal(err)
+	}
+	f, err := ReadBench(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.SchemaVersion != BenchSchemaVersion {
+		t.Fatalf("schema version %d, want %d", f.SchemaVersion, BenchSchemaVersion)
+	}
+	if len(f.Entries) != 2 {
+		t.Fatalf("got %d entries, want 2", len(f.Entries))
+	}
+	if f.Entries[1].GitSHA != "cafef00d" {
+		t.Fatalf("second entry SHA %q", f.Entries[1].GitSHA)
+	}
+	if f.Entries[0].Report == nil || f.Entries[0].Report.Endpoints[endpointSolve].Sent != 100 {
+		t.Fatalf("first entry report did not round-trip: %+v", f.Entries[0])
+	}
+}
+
+func TestAppendBenchRefusesSchemaDrift(t *testing.T) {
+	dir := t.TempDir()
+
+	// Version drift: a future (or past) writer's file must not be amended.
+	versioned := filepath.Join(dir, "versioned.json")
+	if err := os.WriteFile(versioned, []byte(`{"schemaVersion": 99, "entries": []}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := AppendBench(versioned, validEntry()); err == nil {
+		t.Fatal("appended to a schemaVersion 99 file")
+	}
+
+	// Field drift: an entry shape this binary doesn't know.
+	drifted := filepath.Join(dir, "drifted.json")
+	blob := `{"schemaVersion": 1, "entries": [], "futureField": true}`
+	if err := os.WriteFile(drifted, []byte(blob), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := AppendBench(drifted, validEntry()); err == nil {
+		t.Fatal("appended despite an unknown top-level field")
+	}
+
+	// Corruption.
+	corrupt := filepath.Join(dir, "corrupt.json")
+	if err := os.WriteFile(corrupt, []byte(`{"schemaVersion": 1,`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := AppendBench(corrupt, validEntry()); err == nil {
+		t.Fatal("appended to a truncated file")
+	}
+}
+
+func TestAppendBenchRefusesInvalidEntries(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_serving.json")
+
+	e := validEntry()
+	e.Report.Endpoints[endpointSolve].OK = 1 // sent != ok+errors+timeouts
+	if err := AppendBench(path, e); err == nil {
+		t.Fatal("recorded a report violating sent == ok+errors+timeouts")
+	}
+
+	e = validEntry()
+	e.Kind = "frobnicate"
+	if err := AppendBench(path, e); err == nil {
+		t.Fatal("recorded an unknown entry kind")
+	}
+
+	e = validEntry()
+	e.Kind = BenchKindCapacity // no Capacity payload
+	if err := AppendBench(path, e); err == nil {
+		t.Fatal("recorded a capacity entry without a capacity result")
+	}
+
+	e = validEntry()
+	e.Generated = "yesterday-ish"
+	if err := AppendBench(path, e); err == nil {
+		t.Fatal("recorded a non-RFC3339 timestamp")
+	}
+
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("invalid entries must not create the file: %v", err)
+	}
+}
+
+func TestBenchEntryJSONShape(t *testing.T) {
+	// The on-disk field names are the schema; renaming one is drift and
+	// must be deliberate (bump BenchSchemaVersion).
+	data, err := json.Marshal(validEntry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"generated"`, `"gitSHA"`, `"goVersion"`, `"kind"`, `"report"`} {
+		if !strings.Contains(string(data), key) {
+			t.Fatalf("marshalled entry missing %s: %s", key, data)
+		}
+	}
+}

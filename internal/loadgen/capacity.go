@@ -1,0 +1,159 @@
+package loadgen
+
+// The capacity model: step the offered rate upward until the server
+// violates its p99 SLO or error budget, and report the knee — the last
+// rate that still met both. The knee is the number operators size
+// -max-concurrent and -job-workers against, and the regression gate the
+// sharding/kernel/streaming tiers are measured by: a PR that moves the
+// knee down moved real capacity.
+
+import (
+	"context"
+	"fmt"
+	"time"
+)
+
+// CapacitySpec configures RunCapacity.
+type CapacitySpec struct {
+	// StartRPS is the first step's offered rate (must be positive).
+	StartRPS float64
+	// MaxRPS caps the search (0 = 100x StartRPS).
+	MaxRPS float64
+	// Factor multiplies the rate between steps (<=1 defaults to 2).
+	Factor float64
+	// StepDuration is how long each rate is held (0 = 3s).
+	StepDuration time.Duration
+	// SLOP99 is the p99 latency objective each step must meet
+	// (0 = 250ms). Held against the worst per-endpoint p99.
+	SLOP99 time.Duration
+	// ErrorBudget is the tolerated (errors+timeouts)/sent ratio
+	// (0 = 0.01).
+	ErrorBudget float64
+	// Mix and KMax shape each step's workload like ScheduleSpec.
+	Mix  Mix
+	KMax int
+	// Seed derives each step's schedule seed (seed + step index), so a
+	// capacity run is as reproducible as a single run.
+	Seed int64
+}
+
+func (s *CapacitySpec) normalize() error {
+	if s.StartRPS <= 0 {
+		return fmt.Errorf("loadgen: capacity StartRPS must be positive, got %g", s.StartRPS)
+	}
+	if s.MaxRPS <= 0 {
+		s.MaxRPS = 100 * s.StartRPS
+	}
+	if s.Factor <= 1 {
+		s.Factor = 2
+	}
+	if s.StepDuration <= 0 {
+		s.StepDuration = 3 * time.Second
+	}
+	if s.SLOP99 <= 0 {
+		s.SLOP99 = 250 * time.Millisecond
+	}
+	if s.ErrorBudget <= 0 {
+		s.ErrorBudget = 0.01
+	}
+	if err := s.Mix.validate(); err != nil {
+		return err
+	}
+	if s.KMax <= 0 {
+		s.KMax = DefaultKMax
+	}
+	return nil
+}
+
+// CapacityStep is one held rate and its verdict.
+type CapacityStep struct {
+	RPS    float64 `json:"rps"`
+	Seed   int64   `json:"seed"`
+	Report *Report `json:"report"`
+	// P99 is the worst per-endpoint p99 in seconds, the value held
+	// against the SLO.
+	P99        float64 `json:"p99"`
+	ErrorRatio float64 `json:"errorRatio"`
+	// Passed reports whether this step met both the SLO and the budget.
+	Passed bool `json:"passed"`
+	// Violation names what failed ("p99" or "errors"), empty when passed.
+	Violation string `json:"violation,omitempty"`
+}
+
+// CapacityResult is a full capacity search.
+type CapacityResult struct {
+	SLOP99      string         `json:"sloP99"`
+	ErrorBudget float64        `json:"errorBudget"`
+	Steps       []CapacityStep `json:"steps"`
+	// KneeRPS is the highest offered rate that met both objectives; 0
+	// when even the first step violated them.
+	KneeRPS float64 `json:"kneeRPS"`
+	// Saturated reports whether the search ended by violation (true) or
+	// by running out of rate headroom at MaxRPS (false) — a false here
+	// means the knee is a lower bound, not a measurement.
+	Saturated bool `json:"saturated"`
+}
+
+// RunCapacity steps the offered rate by spec.Factor from StartRPS until a
+// step violates the p99 SLO or error budget (or MaxRPS is reached), and
+// returns every step plus the knee. Each step replays a fresh schedule
+// seeded by spec.Seed + its index against the same target.
+func RunCapacity(ctx context.Context, spec CapacitySpec, target Target, opts RunOptions, progress func(CapacityStep)) (*CapacityResult, error) {
+	if err := spec.normalize(); err != nil {
+		return nil, err
+	}
+	result := &CapacityResult{
+		SLOP99:      spec.SLOP99.String(),
+		ErrorBudget: spec.ErrorBudget,
+	}
+	rps := spec.StartRPS
+	for step := 0; ; step++ {
+		if err := ctx.Err(); err != nil {
+			return result, err
+		}
+		seed := spec.Seed + int64(step)
+		sched, err := BuildSchedule(ScheduleSpec{
+			Seed:     seed,
+			RPS:      rps,
+			Duration: spec.StepDuration,
+			Mix:      spec.Mix,
+			KMax:     spec.KMax,
+		})
+		if err != nil {
+			return result, err
+		}
+		report, err := Run(ctx, sched, target, opts)
+		if err != nil {
+			return result, err
+		}
+		cs := CapacityStep{
+			RPS:        rps,
+			Seed:       seed,
+			Report:     report,
+			P99:        report.OverallP99().Seconds(),
+			ErrorRatio: report.ErrorRatio,
+			Passed:     true,
+		}
+		if cs.P99 > spec.SLOP99.Seconds() {
+			cs.Passed = false
+			cs.Violation = "p99"
+		} else if cs.ErrorRatio > spec.ErrorBudget {
+			cs.Passed = false
+			cs.Violation = "errors"
+		}
+		result.Steps = append(result.Steps, cs)
+		if progress != nil {
+			progress(cs)
+		}
+		if !cs.Passed {
+			result.Saturated = true
+			return result, nil
+		}
+		result.KneeRPS = rps
+		next := rps * spec.Factor
+		if next > spec.MaxRPS {
+			return result, nil
+		}
+		rps = next
+	}
+}

@@ -1,0 +1,136 @@
+package loadgen
+
+// Latency under chaos: a small loadgen burst against a server with a
+// seeded fault injector (throttle + unavail + latency). The assertions
+// are the exact-accounting discipline of internal/chaostest applied to
+// the load generator:
+//
+//   - injected 429/503s are reported separately from organic errors, and
+//     the client's attempt-level tally reconciles with the injector's own
+//     counts by kind;
+//   - every injected transient failure is accounted by internal/retry as
+//     exactly one retry or one give-up;
+//   - every retry honored the injected Retry-After (the server stamps one
+//     on each injected 429/503).
+//
+// The spec deliberately avoids reset/partial faults: net/http can
+// transparently replay an idempotent request on a dead *reused*
+// connection, which would consume an injected reset before the retry
+// layer could observe it and break the accounting. The connection-level
+// kinds are covered by the chaos suite; this test owns the HTTP-status
+// kinds.
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"prefcover/internal/chaostest"
+	"prefcover/internal/faults"
+	"prefcover/internal/jobs"
+	"prefcover/internal/server"
+)
+
+func TestRunUnderChaosReconciles(t *testing.T) {
+	baseline := chaostest.GoroutineBaseline()
+	// Deferred first, so the leak check runs after server and listener
+	// teardown, like the chaos suite does.
+	defer chaostest.CheckGoroutines(t, baseline)
+	// No concurrency limiter, no solve timeout, deep job queue: any
+	// transient failure in this run is injected, never organic, so the
+	// reconciliation below can demand exact equality.
+	srv, err := server.NewWithConfig(server.Config{
+		Jobs: jobs.Options{Workers: 4, QueueDepth: 4096},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	target := newTestTarget(ts.URL, testGraphJSON(t))
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	// Arm the injector only after setup, so the uploads don't consume
+	// draws from the fault stream the run is accounted against.
+	if err := SetupGraphs(ctx, nil, target); err != nil {
+		t.Fatal(err)
+	}
+	const specText = "seed=7,throttle=0.2,unavail=0.1,latency=2ms@0.3,retryafter=1ms"
+	spec, err := faults.ParseSpec(specText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.SetFaults(faults.New(spec))
+
+	sched, err := BuildSchedule(ScheduleSpec{
+		Seed: 7, RPS: 250, Duration: 600 * time.Millisecond, Mix: DefaultMix(), KMax: 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := Run(ctx, sched, target, RunOptions{
+		Timeout:      20 * time.Second,
+		MaxAttempts:  3,
+		RetryBase:    2 * time.Millisecond,
+		PollInterval: 10 * time.Millisecond,
+		FaultSpec:    specText,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := report.Validate(); err != nil {
+		t.Fatalf("report invariants: %v", err)
+	}
+	if report.Faults == nil {
+		t.Fatal("chaos run produced no fault section")
+	}
+	if report.Faults.Spec != specText {
+		t.Fatalf("fault spec not recorded: %q", report.Faults.Spec)
+	}
+
+	// Client-side attempt-level tallies must match the injector's own
+	// counts exactly: every injected status was observed once.
+	counts := srv.Faults().Counts()
+	if got, want := report.Faults.Injected429, counts[faults.KindThrottle]; got != want {
+		t.Fatalf("client saw %d injected 429s, injector produced %d", got, want)
+	}
+	if got, want := report.Faults.Injected503, counts[faults.KindUnavail]; got != want {
+		t.Fatalf("client saw %d injected 503s, injector produced %d", got, want)
+	}
+	if report.Faults.InjectedOther != 0 {
+		t.Fatalf("spec injects only 429/503, client counted %d other", report.Faults.InjectedOther)
+	}
+	injected := report.Faults.Injected429 + report.Faults.Injected503
+	if injected == 0 {
+		t.Fatal("20%+10% fault rates injected nothing across the burst; seed or accounting is broken")
+	}
+
+	// Retry-layer reconciliation: with no organic transients, every
+	// injected failure is exactly one retry or one give-up, and every
+	// retry honored the injected Retry-After.
+	if got := report.Retry.Retries + report.Retry.GiveUps; got != injected {
+		t.Fatalf("retries %d + giveups %d = %d, want injected count %d",
+			report.Retry.Retries, report.Retry.GiveUps, got, injected)
+	}
+	if report.Retry.RetryAfterHonored != report.Retry.Retries {
+		t.Fatalf("honored %d of %d retries; every injected 429/503 carries Retry-After",
+			report.Retry.RetryAfterHonored, report.Retry.Retries)
+	}
+
+	// Outcome separation: a request only counts as a final error when its
+	// retries were exhausted by injected failures — organic errors would
+	// show up as error counts exceeding injected give-ups.
+	var finalErrors int64
+	for _, ep := range report.Endpoints {
+		finalErrors += ep.Errors
+		if ep.Timeouts != 0 {
+			t.Fatalf("status-kind faults cannot produce timeouts, got %d: %+v", ep.Timeouts, ep)
+		}
+	}
+	if finalErrors != report.Retry.GiveUps {
+		t.Fatalf("final errors %d != give-ups %d: some failures were organic", finalErrors, report.Retry.GiveUps)
+	}
+}

@@ -1,0 +1,472 @@
+// Package loadgen is the built-in load generator and capacity model for
+// prefcoverd (ROADMAP item 5): it replays a seeded, deterministic mix of
+// reference solves, graph reads/uploads and async jobs against a live
+// daemon with open-loop arrivals, and reports per-endpoint latency
+// quantiles, error budgets, cache behaviour, retry accounting and the
+// injected-vs-organic failure split. The schedule half (schedule.go) is
+// pure and reproducible; this file is the wall-clock half that fires the
+// plan and measures what comes back.
+//
+// The runner is deliberately open-loop: every request departs at its
+// pre-computed offset whether or not earlier requests have returned, and
+// latency is measured from the scheduled departure — so a server that
+// stalls accumulates outstanding requests and honest tail latency instead
+// of quietly slowing the generator down (coordinated omission).
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"prefcover/internal/apiclient"
+	"prefcover/internal/metrics"
+	"prefcover/internal/retry"
+)
+
+// Logical endpoint names used in reports.
+const (
+	endpointSolve     = "solve"
+	endpointGraphGet  = "graph_get"
+	endpointGraphPut  = "graph_put"
+	endpointJobSubmit = "job_submit"
+	endpointJobPoll   = "job_poll"
+)
+
+// injectedMarker is how an injected fault identifies itself: every error
+// the injector produces wraps faults.ErrInjected, whose message lands
+// verbatim in the server's JSON error envelope.
+const injectedMarker = "injected fault"
+
+// Target names the server under load and the graphs the workload uses.
+type Target struct {
+	// BaseURL is the daemon root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// MainGraph is the registered graph reference solves and reads hit.
+	MainGraph string
+	// PutGraph is the name re-uploaded by OpGraphPut traffic; kept
+	// distinct from MainGraph so uploads do not invalidate the warm solve
+	// cache mid-run.
+	PutGraph string
+	// GraphJSON is the serialized graph body for OpGraphPut uploads.
+	GraphJSON []byte
+	// Variant is the solve variant query value ("independent" or
+	// "normalized").
+	Variant string
+}
+
+// RunOptions tunes the runner.
+type RunOptions struct {
+	// Client issues the HTTP traffic; nil builds the shared apiclient
+	// with Timeout below.
+	Client *http.Client
+	// Timeout bounds each logical request (all retry attempts included).
+	// 0 = DefaultTimeout.
+	Timeout time.Duration
+	// MaxAttempts is the retry cap per logical request (1 = never retry,
+	// the honest open-loop default; 0 = 1).
+	MaxAttempts int
+	// RetryBase is the backoff before the first retry (0 = 25ms).
+	RetryBase time.Duration
+	// PollInterval spaces async-job status polls (0 = 50ms).
+	PollInterval time.Duration
+	// MaxPolls caps polls per submitted job (0 = 200).
+	MaxPolls int
+	// FaultSpec, when non-empty, is recorded in the report's fault
+	// section (the injector itself is armed by the caller).
+	FaultSpec string
+}
+
+// DefaultTimeout bounds one logical request end to end.
+const DefaultTimeout = 10 * time.Second
+
+func (o *RunOptions) normalize() {
+	if o.Timeout <= 0 {
+		o.Timeout = DefaultTimeout
+	}
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = 1
+	}
+	if o.RetryBase <= 0 {
+		o.RetryBase = 25 * time.Millisecond
+	}
+	if o.PollInterval <= 0 {
+		o.PollInterval = 50 * time.Millisecond
+	}
+	if o.MaxPolls <= 0 {
+		o.MaxPolls = 200
+	}
+}
+
+// runner carries the per-run state shared by request goroutines.
+type runner struct {
+	target   Target
+	client   *http.Client
+	policy   retry.Policy
+	counters *retry.Counters
+	opts     RunOptions
+
+	mu     sync.Mutex
+	eps    map[string]*epCollector
+	hits   int64
+	misses int64
+}
+
+// epCollector accumulates one endpoint's outcomes.
+type epCollector struct {
+	lat           []float64
+	ok            int64
+	errors        int64
+	timeouts      int64
+	status        map[int]int64
+	injected429   int64
+	injected503   int64
+	injectedOther int64
+}
+
+// Run fires the schedule against the target and returns the measured
+// report. Cancelling ctx stops dispatching new requests; everything
+// already in flight is drained before the (partial) report is built.
+func Run(ctx context.Context, sched *Schedule, target Target, opts RunOptions) (*Report, error) {
+	opts.normalize()
+	if target.BaseURL == "" {
+		return nil, fmt.Errorf("loadgen: target BaseURL is empty")
+	}
+	if target.Variant == "" {
+		target.Variant = "independent"
+	}
+	client := opts.Client
+	if client == nil {
+		client = apiclient.New(apiclient.Options{Timeout: opts.Timeout})
+	}
+	counters := retry.NewCounters(metrics.NewRegistry())
+	r := &runner{
+		target:   target,
+		client:   client,
+		policy:   apiclient.NewPolicy(opts.MaxAttempts, opts.RetryBase, counters),
+		counters: counters,
+		opts:     opts,
+		eps:      make(map[string]*epCollector),
+	}
+	start := time.Now()
+	var wg sync.WaitGroup
+	sent := int64(0)
+dispatch:
+	for _, req := range sched.Requests {
+		if wait := time.Until(start.Add(req.At)); wait > 0 {
+			select {
+			case <-ctx.Done():
+				break dispatch
+			case <-time.After(wait):
+			}
+		} else if ctx.Err() != nil {
+			break dispatch
+		}
+		sent++
+		wg.Add(1)
+		go func(req Request) {
+			defer wg.Done()
+			r.issue(ctx, req, start.Add(req.At))
+		}(req)
+	}
+	wg.Wait()
+	return r.report(sched, sent), nil
+}
+
+// issue runs one scheduled request (and, for job submissions, the poll
+// loop it fans into).
+func (r *runner) issue(ctx context.Context, req Request, schedAt time.Time) {
+	base := strings.TrimRight(r.target.BaseURL, "/")
+	switch req.Op {
+	case OpSolve:
+		body, _ := json.Marshal(map[string]string{"graph_ref": r.target.MainGraph})
+		url := fmt.Sprintf("%s/v1/solve?variant=%s&k=%d", base, r.target.Variant, req.K)
+		r.call(ctx, endpointSolve, http.MethodPost, url, "application/json", body, schedAt)
+	case OpGraphGet:
+		r.call(ctx, endpointGraphGet, http.MethodGet, base+"/v1/graphs/"+r.target.MainGraph, "", nil, schedAt)
+	case OpGraphPut:
+		r.call(ctx, endpointGraphPut, http.MethodPut, base+"/v1/graphs/"+r.target.PutGraph,
+			"application/json", r.target.GraphJSON, schedAt)
+	case OpJob:
+		payload := map[string]any{"graph_ref": r.target.MainGraph, "variant": r.target.Variant, "k": req.K}
+		body, _ := json.Marshal(payload)
+		res := r.call(ctx, endpointJobSubmit, http.MethodPost, base+"/v1/jobs", "application/json", body, schedAt)
+		if res == nil || res.status >= 400 {
+			return
+		}
+		var submitted struct {
+			ID    string `json:"id"`
+			State string `json:"state"`
+		}
+		if json.Unmarshal(res.body, &submitted) != nil || submitted.ID == "" {
+			return
+		}
+		r.pollJob(ctx, base, submitted.ID)
+	}
+}
+
+// pollJob drives one submitted job to a terminal state, each poll counted
+// as its own job_poll request.
+func (r *runner) pollJob(ctx context.Context, base, id string) {
+	for i := 0; i < r.opts.MaxPolls; i++ {
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(r.opts.PollInterval):
+		}
+		res := r.call(ctx, endpointJobPoll, http.MethodGet, base+"/v1/jobs/"+id, "", nil, time.Now())
+		if res == nil || res.status >= 400 {
+			return
+		}
+		var snap struct {
+			State string `json:"state"`
+		}
+		if json.Unmarshal(res.body, &snap) != nil {
+			return
+		}
+		switch snap.State {
+		case "done", "failed", "canceled":
+			return
+		}
+	}
+}
+
+// callResult is the final HTTP response of one logical request, nil when
+// every attempt died in transport.
+type callResult struct {
+	status int
+	body   []byte
+}
+
+// call issues one logical request through the retry policy, classifying
+// the final outcome and recording latency from schedAt. One X-Request-ID
+// is minted per call and reused across attempts (client and server logs
+// join on it); a fresh unsampled traceparent rides on every attempt so
+// the propagation path is exercised without flooding the flight recorder.
+func (r *runner) call(ctx context.Context, endpoint, method, url, contentType string, body []byte, schedAt time.Time) *callResult {
+	ctx, cancel := context.WithTimeout(ctx, r.opts.Timeout)
+	defer cancel()
+	reqID := apiclient.NewRequestID()
+	var last *callResult
+	err := r.policy.Do(ctx, func(ctx context.Context) error {
+		var rd io.Reader
+		if body != nil {
+			rd = bytes.NewReader(body)
+		}
+		req, err := http.NewRequestWithContext(ctx, method, url, rd)
+		if err != nil {
+			return err
+		}
+		if contentType != "" {
+			req.Header.Set("Content-Type", contentType)
+		}
+		apiclient.Decorate(req, reqID, apiclient.NewTraceparent(false))
+		last = nil // a fresh attempt invalidates any earlier response
+		resp, err := r.client.Do(req)
+		if err != nil {
+			return retry.TransportError(err)
+		}
+		data, err := io.ReadAll(io.LimitReader(resp.Body, 256<<20))
+		resp.Body.Close()
+		if err != nil {
+			return retry.TransportError(fmt.Errorf("%s %s: reading body: %w", method, url, err))
+		}
+		last = &callResult{status: resp.StatusCode, body: data}
+		if h := resp.Header.Get("X-Prefcover-Cache"); h != "" {
+			r.recordCache(h)
+		}
+		if resp.StatusCode >= 400 {
+			// Attempt-level injected-fault accounting: a retried injected
+			// throttle still counts once per injection, which is what lets
+			// the chaos test reconcile against the injector's own tally.
+			if bytes.Contains(data, []byte(injectedMarker)) {
+				r.recordInjected(endpoint, resp.StatusCode)
+			}
+			err := fmt.Errorf("%s %s: status %d", method, url, resp.StatusCode)
+			return retry.HTTPStatusError(resp.StatusCode, resp.Header, err)
+		}
+		return nil
+	})
+	lat := time.Since(schedAt).Seconds()
+	switch {
+	case err == nil:
+		r.record(endpoint, lat, last.status, outcomeOK)
+	case last != nil && last.status >= 400:
+		// The retry loop gave up on (or declined to retry) an HTTP error;
+		// the response is still the request's final outcome.
+		r.record(endpoint, lat, last.status, outcomeError)
+	default:
+		r.record(endpoint, lat, 0, outcomeTimeout)
+		return nil
+	}
+	return last
+}
+
+type outcome int
+
+const (
+	outcomeOK outcome = iota
+	outcomeError
+	outcomeTimeout
+)
+
+func (r *runner) ep(endpoint string) *epCollector {
+	ep := r.eps[endpoint]
+	if ep == nil {
+		ep = &epCollector{status: make(map[int]int64)}
+		r.eps[endpoint] = ep
+	}
+	return ep
+}
+
+func (r *runner) record(endpoint string, lat float64, status int, oc outcome) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ep := r.ep(endpoint)
+	ep.lat = append(ep.lat, lat)
+	switch oc {
+	case outcomeOK:
+		ep.ok++
+	case outcomeError:
+		ep.errors++
+	case outcomeTimeout:
+		ep.timeouts++
+	}
+	if status > 0 {
+		ep.status[status]++
+	}
+}
+
+func (r *runner) recordInjected(endpoint string, status int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ep := r.ep(endpoint)
+	switch status {
+	case http.StatusTooManyRequests:
+		ep.injected429++
+	case http.StatusServiceUnavailable:
+		ep.injected503++
+	default:
+		ep.injectedOther++
+	}
+}
+
+func (r *runner) recordCache(h string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	// "hit" and "coalesced" both did zero solver work.
+	if h == "miss" {
+		r.misses++
+	} else {
+		r.hits++
+	}
+}
+
+// report freezes the collectors into the wire-format Report.
+func (r *runner) report(sched *Schedule, dispatched int64) *Report {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rep := &Report{
+		Seed:      sched.Spec.Seed,
+		Mix:       sched.Spec.Mix.String(),
+		RPS:       sched.Spec.RPS,
+		Duration:  sched.Spec.Duration.String(),
+		KMax:      sched.Spec.KMax,
+		Scheduled: int64(len(sched.Requests)),
+		Endpoints: make(map[string]*EndpointStats, len(r.eps)),
+	}
+	var sent, errs, timeouts int64
+	var inj429, inj503, injOther int64
+	for name, ep := range r.eps {
+		sorted := sortedCopy(ep.lat)
+		st := &EndpointStats{
+			Sent:          int64(len(ep.lat)),
+			OK:            ep.ok,
+			Errors:        ep.errors,
+			Timeouts:      ep.timeouts,
+			Injected429:   ep.injected429,
+			Injected503:   ep.injected503,
+			InjectedOther: ep.injectedOther,
+			P50:           quantile(sorted, 0.50),
+			P90:           quantile(sorted, 0.90),
+			P99:           quantile(sorted, 0.99),
+		}
+		if n := len(sorted); n > 0 {
+			st.Max = sorted[n-1]
+			st.ErrorRatio = float64(ep.errors+ep.timeouts) / float64(n)
+		}
+		if len(ep.status) > 0 {
+			st.Status = make(map[string]int64, len(ep.status))
+			for code, n := range ep.status {
+				st.Status[strconv.Itoa(code)] = n
+			}
+		}
+		rep.Endpoints[name] = st
+		sent += st.Sent
+		errs += ep.errors
+		timeouts += ep.timeouts
+		inj429 += ep.injected429
+		inj503 += ep.injected503
+		injOther += ep.injectedOther
+	}
+	rep.Sent = sent
+	if sent > 0 {
+		rep.ErrorRatio = float64(errs+timeouts) / float64(sent)
+	}
+	if total := r.hits + r.misses; total > 0 {
+		rep.Cache = CacheStats{Hits: r.hits, Misses: r.misses, HitRatio: float64(r.hits) / float64(total)}
+	}
+	rep.Retry = RetryStats{
+		Attempts:          r.counters.Attempts(),
+		Retries:           r.counters.Retries(),
+		GiveUps:           r.counters.GiveUps(),
+		RetryAfterHonored: r.counters.Honored(),
+	}
+	if r.opts.FaultSpec != "" || inj429+inj503+injOther > 0 {
+		rep.Faults = &FaultStats{
+			Spec:          r.opts.FaultSpec,
+			Injected429:   inj429,
+			Injected503:   inj503,
+			InjectedOther: injOther,
+		}
+	}
+	return rep
+}
+
+// SetupGraphs uploads the workload's two graphs (main + put target) so a
+// run starts from a valid registry state. Shared by the CLI and tests.
+func SetupGraphs(ctx context.Context, client *http.Client, target Target) error {
+	if client == nil {
+		client = apiclient.New(apiclient.Options{Timeout: 30 * time.Second})
+	}
+	base := strings.TrimRight(target.BaseURL, "/")
+	for _, name := range []string{target.MainGraph, target.PutGraph} {
+		if name == "" {
+			continue
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodPut,
+			base+"/v1/graphs/"+name, bytes.NewReader(target.GraphJSON))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		apiclient.Decorate(req, apiclient.NewRequestID(), apiclient.NewTraceparent(false))
+		resp, err := client.Do(req)
+		if err != nil {
+			return fmt.Errorf("loadgen: uploading graph %s: %w", name, err)
+		}
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		resp.Body.Close()
+		if resp.StatusCode >= 400 {
+			return fmt.Errorf("loadgen: uploading graph %s: status %d: %s", name, resp.StatusCode, bytes.TrimSpace(body))
+		}
+	}
+	return nil
+}

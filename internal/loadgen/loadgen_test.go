@@ -1,0 +1,261 @@
+package loadgen
+
+// End-to-end runner tests against a real in-process prefcoverd handler
+// (full middleware stack: request IDs, limits, cache, async jobs), meant
+// to run under -race. The report invariants are asserted through
+// Report.Validate — the same check the BENCH writer enforces — plus the
+// identification-header regression: every request the generator emits
+// must carry an X-Request-ID and a well-formed W3C traceparent.
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"prefcover/internal/chaostest"
+	"prefcover/internal/graph"
+	"prefcover/internal/jobs"
+	"prefcover/internal/server"
+	"prefcover/internal/synth"
+	"prefcover/internal/trace"
+)
+
+// testGraphJSON generates a small deterministic preference graph and
+// serializes it the way the CLI would.
+func testGraphJSON(t testing.TB) []byte {
+	t.Helper()
+	g, err := synth.GenerateGraph(synth.GraphSpec{Nodes: 250, AvgOutDegree: 4, ZipfS: 1.05, Seed: 42})
+	if err != nil {
+		t.Fatalf("GenerateGraph: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := graph.WriteJSON(&buf, g); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// headerRecorder wraps the server handler and checks every inbound
+// request's identification headers, tallying violations for the
+// regression assertion.
+type headerRecorder struct {
+	inner http.Handler
+
+	mu             sync.Mutex
+	total          int
+	missingReqID   int
+	badTraceparent []string
+}
+
+func (h *headerRecorder) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	h.mu.Lock()
+	h.total++
+	if r.Header.Get("X-Request-ID") == "" {
+		h.missingReqID++
+	}
+	tp := r.Header.Get(trace.TraceparentHeader)
+	if sc, err := trace.ParseTraceparent(tp); err != nil || sc.Sampled {
+		// The generator must send a parseable traceparent with
+		// sampled=false (so load tests don't flood the flight recorder).
+		h.badTraceparent = append(h.badTraceparent, tp)
+	}
+	h.mu.Unlock()
+	h.inner.ServeHTTP(w, r)
+}
+
+func newTestTarget(baseURL string, graphJSON []byte) Target {
+	return Target{
+		BaseURL:   baseURL,
+		MainGraph: "loadgen-main",
+		PutGraph:  "loadgen-put",
+		GraphJSON: graphJSON,
+		Variant:   "independent",
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	baseline := chaostest.GoroutineBaseline()
+	// Deferred first so it runs after the server and test listener close:
+	// the leak check must see the settled state, not in-flight teardown.
+	defer chaostest.CheckGoroutines(t, baseline)
+	srv, err := server.NewWithConfig(server.Config{
+		Jobs: jobs.Options{Workers: 4, QueueDepth: 1024},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	rec := &headerRecorder{inner: srv.Handler()}
+	ts := httptest.NewServer(rec)
+	defer ts.Close()
+
+	target := newTestTarget(ts.URL, testGraphJSON(t))
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := SetupGraphs(ctx, nil, target); err != nil {
+		t.Fatal(err)
+	}
+
+	sched, err := BuildSchedule(ScheduleSpec{
+		Seed: 1, RPS: 300, Duration: 600 * time.Millisecond, Mix: DefaultMix(), KMax: 25,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := Run(ctx, sched, target, RunOptions{
+		Timeout: 10 * time.Second, PollInterval: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := report.Validate(); err != nil {
+		t.Fatalf("report invariants: %v\nreport: %+v", err, report)
+	}
+	if report.Sent < report.Scheduled {
+		t.Fatalf("run was cut short: sent %d of %d scheduled", report.Sent, report.Scheduled)
+	}
+	if report.ErrorRatio != 0 {
+		t.Fatalf("fault-free run reported error ratio %g: %+v", report.ErrorRatio, report.Endpoints)
+	}
+	for _, ep := range []string{endpointSolve, endpointGraphGet, endpointGraphPut, endpointJobSubmit, endpointJobPoll} {
+		st := report.Endpoints[ep]
+		if st == nil || st.Sent == 0 {
+			t.Fatalf("endpoint %s saw no traffic: %+v", ep, report.Endpoints)
+		}
+	}
+	// Varied-k solves against one graph: after the first largest-k miss the
+	// prefix cache must be serving hits.
+	if report.Cache.Hits == 0 {
+		t.Fatalf("no cache hits recorded: %+v", report.Cache)
+	}
+	if report.Cache.HitRatio < 0 || report.Cache.HitRatio > 1 {
+		t.Fatalf("cache hit ratio %g outside [0,1]", report.Cache.HitRatio)
+	}
+
+	rec.mu.Lock()
+	total, missing, bad := rec.total, rec.missingReqID, rec.badTraceparent
+	rec.mu.Unlock()
+	if total == 0 {
+		t.Fatal("recorder saw no requests")
+	}
+	if missing != 0 {
+		t.Fatalf("%d of %d requests missing X-Request-ID", missing, total)
+	}
+	if len(bad) != 0 {
+		t.Fatalf("%d of %d requests carried a bad or sampled traceparent, e.g. %q", len(bad), total, bad[0])
+	}
+}
+
+func TestRunHonorsCancellation(t *testing.T) {
+	srv, err := server.NewWithConfig(server.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	target := newTestTarget(ts.URL, testGraphJSON(t))
+	if err := SetupGraphs(context.Background(), nil, target); err != nil {
+		t.Fatal(err)
+	}
+	sched, err := BuildSchedule(ScheduleSpec{
+		Seed: 3, RPS: 50, Duration: 30 * time.Second, Mix: Mix{Solve: 1}, KMax: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	report, err := Run(ctx, sched, target, RunOptions{Timeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("cancelled run took %v", elapsed)
+	}
+	if report.Sent >= report.Scheduled {
+		t.Fatalf("cancellation did not cut the run short: sent %d of %d", report.Sent, report.Scheduled)
+	}
+	// A truncated run must still produce a coherent report.
+	if err := report.Validate(); err != nil {
+		t.Fatalf("partial report invariants: %v", err)
+	}
+}
+
+func TestCapacityFindsKnee(t *testing.T) {
+	srv, err := server.NewWithConfig(server.Config{
+		Jobs: jobs.Options{Workers: 2, QueueDepth: 1024},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	target := newTestTarget(ts.URL, testGraphJSON(t))
+	ctx := context.Background()
+	if err := SetupGraphs(ctx, nil, target); err != nil {
+		t.Fatal(err)
+	}
+	// An absurdly tight SLO forces a violation within a couple of steps, so
+	// the test exercises knee detection rather than the server's true limit.
+	spec := CapacitySpec{
+		StartRPS:     40,
+		MaxRPS:       160,
+		Factor:       2,
+		StepDuration: 300 * time.Millisecond,
+		SLOP99:       1 * time.Nanosecond,
+		ErrorBudget:  0.5,
+		Mix:          Mix{Solve: 1},
+		KMax:         10,
+		Seed:         9,
+	}
+	var steps []CapacityStep
+	result, err := RunCapacity(ctx, spec, target, RunOptions{Timeout: 5 * time.Second},
+		func(s CapacityStep) { steps = append(steps, s) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(result.Steps) == 0 {
+		t.Fatal("capacity run recorded no steps")
+	}
+	if len(steps) != len(result.Steps) {
+		t.Fatalf("progress callback saw %d steps, result has %d", len(steps), len(result.Steps))
+	}
+	if !result.Saturated {
+		t.Fatalf("1ns SLO was never violated: %+v", result)
+	}
+	last := result.Steps[len(result.Steps)-1]
+	if last.Passed || last.Violation != "p99" {
+		t.Fatalf("final step should violate p99: %+v", last)
+	}
+	if result.KneeRPS != 0 {
+		t.Fatalf("first step cannot meet a 1ns SLO, knee should be 0, got %g", result.KneeRPS)
+	}
+	for _, s := range result.Steps {
+		if err := s.Report.Validate(); err != nil {
+			t.Fatalf("step %g rps report: %v", s.RPS, err)
+		}
+	}
+	// A generous SLO ends the search at MaxRPS with the knee at the top.
+	spec.SLOP99 = time.Hour
+	spec.Seed = 10
+	result, err = RunCapacity(ctx, spec, target, RunOptions{Timeout: 5 * time.Second}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if result.Saturated {
+		t.Fatalf("1h SLO should never be violated: %+v", result)
+	}
+	if result.KneeRPS != 160 {
+		t.Fatalf("knee should sit at MaxRPS 160, got %g", result.KneeRPS)
+	}
+	if len(result.Steps) != 3 {
+		t.Fatalf("40->80->160 should be 3 steps, got %d", len(result.Steps))
+	}
+}

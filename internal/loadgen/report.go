@@ -1,0 +1,199 @@
+package loadgen
+
+// The loadgen report: per-endpoint latency quantiles and outcome counts,
+// cache behaviour, retry accounting, and the injected-vs-organic failure
+// split. Validate is the single source of truth for the report's
+// invariants — the end-to-end test asserts them against a live server and
+// the BENCH_serving.json writer refuses to record a report that violates
+// them, so a broken collector cannot quietly poison the perf trajectory.
+
+import (
+	"fmt"
+	"time"
+)
+
+// EndpointStats is the per-endpoint slice of the report. Latencies are
+// measured from each request's *scheduled* departure time, not its actual
+// send time, so queueing delay inside the generator counts against the
+// server — the open-loop, coordinated-omission-free definition.
+type EndpointStats struct {
+	// Sent is every request issued; Sent == OK + Errors + Timeouts.
+	Sent int64 `json:"sent"`
+	// OK counts final 2xx/3xx responses (possibly after retries).
+	OK int64 `json:"ok"`
+	// Errors counts requests whose final outcome was an HTTP >= 400.
+	Errors int64 `json:"errors"`
+	// Timeouts counts requests that never produced a usable HTTP
+	// response: transport failures, client-side deadlines, cancellation.
+	Timeouts int64 `json:"timeouts"`
+	// Status tallies final HTTP status codes (keyed by decimal string so
+	// the JSON stays schema-stable).
+	Status map[string]int64 `json:"status,omitempty"`
+	// Injected429/Injected503/InjectedOther count fault-injector responses
+	// observed at the attempt level (the body carries the injected-fault
+	// marker), separated from organic failures so a chaos run can tell
+	// deliberate throttling from real breakage.
+	Injected429   int64 `json:"injected429,omitempty"`
+	Injected503   int64 `json:"injected503,omitempty"`
+	InjectedOther int64 `json:"injectedOther,omitempty"`
+	// ErrorRatio is (Errors+Timeouts)/Sent.
+	ErrorRatio float64 `json:"errorRatio"`
+	// Latency quantiles in seconds, nearest-rank over final outcomes.
+	P50 float64 `json:"p50"`
+	P90 float64 `json:"p90"`
+	P99 float64 `json:"p99"`
+	Max float64 `json:"max"`
+}
+
+// CacheStats summarizes the X-Prefcover-Cache headers seen on reference
+// solves. Coalesced responses count as hits: they did zero solver work.
+type CacheStats struct {
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
+	// HitRatio is Hits/(Hits+Misses), 0 when no header was seen.
+	HitRatio float64 `json:"hitRatio"`
+}
+
+// RetryStats mirrors internal/retry's counters for the run, so the
+// report's failure budget reconciles against the retry layer: every
+// transient failure is exactly one Retry or one GiveUp.
+type RetryStats struct {
+	Attempts          int64 `json:"attempts"`
+	Retries           int64 `json:"retries"`
+	GiveUps           int64 `json:"giveUps"`
+	RetryAfterHonored int64 `json:"retryAfterHonored"`
+}
+
+// FaultStats records the chaos context of a run: the active spec and the
+// injected failures observed client-side, totalled across endpoints.
+type FaultStats struct {
+	// Spec is the injector grammar in force during the run.
+	Spec string `json:"spec"`
+	// Injected429/503/Other total the per-endpoint attempt-level counts.
+	Injected429   int64 `json:"injected429"`
+	Injected503   int64 `json:"injected503"`
+	InjectedOther int64 `json:"injectedOther"`
+	// ServerCounts is the injector's own tally by kind when the target
+	// exposes it (in-process runs, or /debug/faults under -fault-control);
+	// nil when unavailable.
+	ServerCounts map[string]int64 `json:"serverCounts,omitempty"`
+}
+
+// ReplayStats ties the serving run back to the paper's semantics: a
+// Monte Carlo replay (internal/replay) of the solved assortment against
+// the same preference graph, compared with the analytic cover the server
+// returned.
+type ReplayStats struct {
+	Requests  int     `json:"requests"`
+	Rate      float64 `json:"rate"`
+	StdErr    float64 `json:"stdErr"`
+	Predicted float64 `json:"predicted"`
+}
+
+// Report is one load-generation run.
+type Report struct {
+	// Workload identity: everything needed to regenerate the exact
+	// request schedule.
+	Preset   string  `json:"preset,omitempty"`
+	Seed     int64   `json:"seed"`
+	Mix      string  `json:"mix"`
+	RPS      float64 `json:"rps"`
+	Duration string  `json:"duration"`
+	KMax     int     `json:"kmax"`
+
+	// Scheduled is the planned request count; Sent is how many were
+	// actually issued (less than Scheduled only when the run is cut short
+	// by cancellation).
+	Scheduled int64 `json:"scheduled"`
+	Sent      int64 `json:"sent"`
+	// Endpoints is keyed by logical endpoint (solve, graph_get,
+	// graph_put, job_submit, job_poll).
+	Endpoints map[string]*EndpointStats `json:"endpoints"`
+	// ErrorRatio is (errors+timeouts)/sent across all endpoints.
+	ErrorRatio float64      `json:"errorRatio"`
+	Cache      CacheStats   `json:"cache"`
+	Retry      RetryStats   `json:"retry"`
+	Faults     *FaultStats  `json:"faults,omitempty"`
+	Replay     *ReplayStats `json:"replay,omitempty"`
+}
+
+// Validate enforces the report invariants:
+//
+//   - per endpoint, sent == ok + errors + timeouts
+//   - quantiles are monotone: p50 <= p90 <= p99 <= max
+//   - cache hit ratio lies in [0,1] and matches its numerator/denominator
+//   - totals reconcile: Sent equals the endpoint sum, attempts cover
+//     every sent request, and every transient failure is accounted as
+//     exactly one retry or give-up
+func (r *Report) Validate() error {
+	var sent, errs, timeouts int64
+	for name, ep := range r.Endpoints {
+		if ep.Sent != ep.OK+ep.Errors+ep.Timeouts {
+			return fmt.Errorf("loadgen: endpoint %s: sent %d != ok %d + errors %d + timeouts %d",
+				name, ep.Sent, ep.OK, ep.Errors, ep.Timeouts)
+		}
+		if !(ep.P50 <= ep.P90 && ep.P90 <= ep.P99 && ep.P99 <= ep.Max) {
+			return fmt.Errorf("loadgen: endpoint %s: quantiles not monotone: p50=%g p90=%g p99=%g max=%g",
+				name, ep.P50, ep.P90, ep.P99, ep.Max)
+		}
+		if ep.P50 < 0 {
+			return fmt.Errorf("loadgen: endpoint %s: negative latency p50=%g", name, ep.P50)
+		}
+		sent += ep.Sent
+		errs += ep.Errors
+		timeouts += ep.Timeouts
+	}
+	if sent != r.Sent {
+		return fmt.Errorf("loadgen: endpoint sent sum %d != report sent %d", sent, r.Sent)
+	}
+	if r.Sent > r.Scheduled+r.pollCount() {
+		// Polls are issued beyond the schedule (one submit fans into many
+		// polls); everything else must come from the plan.
+		return fmt.Errorf("loadgen: sent %d exceeds scheduled %d + polls %d",
+			r.Sent, r.Scheduled, r.pollCount())
+	}
+	if r.Cache.HitRatio < 0 || r.Cache.HitRatio > 1 {
+		return fmt.Errorf("loadgen: cache hit ratio %g outside [0,1]", r.Cache.HitRatio)
+	}
+	if total := r.Cache.Hits + r.Cache.Misses; total > 0 {
+		want := float64(r.Cache.Hits) / float64(total)
+		if diff := r.Cache.HitRatio - want; diff > 1e-9 || diff < -1e-9 {
+			return fmt.Errorf("loadgen: cache hit ratio %g != hits/(hits+misses) %g", r.Cache.HitRatio, want)
+		}
+	} else if r.Cache.HitRatio != 0 {
+		return fmt.Errorf("loadgen: cache hit ratio %g with no cache-tagged responses", r.Cache.HitRatio)
+	}
+	if r.Retry.Attempts < r.Sent {
+		return fmt.Errorf("loadgen: retry attempts %d < sent %d (every request is at least one attempt)",
+			r.Retry.Attempts, r.Sent)
+	}
+	if r.Retry.RetryAfterHonored > r.Retry.Retries {
+		return fmt.Errorf("loadgen: honored Retry-After count %d exceeds retries %d",
+			r.Retry.RetryAfterHonored, r.Retry.Retries)
+	}
+	return nil
+}
+
+// pollCount sums the job_poll endpoint's sent count (polls are the one
+// request class not present in the schedule).
+func (r *Report) pollCount() int64 {
+	if ep, ok := r.Endpoints[endpointJobPoll]; ok {
+		return ep.Sent
+	}
+	return 0
+}
+
+// OverallP99 is the p99 across every recorded latency in the run — the
+// number the capacity model holds against the SLO.
+func (r *Report) OverallP99() time.Duration {
+	worst := 0.0
+	// The true overall p99 needs the raw samples; the runner records it
+	// directly. This accessor is the conservative fallback for reports
+	// rebuilt from JSON: the worst per-endpoint p99.
+	for _, ep := range r.Endpoints {
+		if ep.P99 > worst {
+			worst = ep.P99
+		}
+	}
+	return time.Duration(worst * float64(time.Second))
+}

@@ -1,0 +1,276 @@
+package loadgen
+
+// The deterministic half of the load generator: turning (seed, mix, rps,
+// duration) into a fixed open-loop request schedule before a single byte
+// hits the wire. Open-loop means the arrival times are decided up front
+// and never react to response latency — a slow server cannot slow the
+// arrival process down, so tail latency is measured honestly instead of
+// being hidden by coordinated omission (the classic closed-loop mistake
+// where the generator politely waits for the victim to recover).
+//
+// Everything is drawn from one seeded math/rand stream in generation
+// order, with no wall-clock reads and no map iteration, so the same
+// (seed, mix, rps, duration, kmax) reproduces a byte-identical schedule —
+// the same discipline the chaos suite applies to fault schedules.
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Op is one kind of API traffic in the mix.
+type Op string
+
+const (
+	// OpSolve is a synchronous reference solve: POST /v1/solve with a
+	// {"graph_ref"} body and a varied k, the cache-facing hot path.
+	OpSolve Op = "solve"
+	// OpGraphGet downloads the main graph: GET /v1/graphs/{name}.
+	OpGraphGet Op = "graph_get"
+	// OpGraphPut re-uploads a secondary graph: PUT /v1/graphs/{name}. It
+	// targets its own name so registry churn does not invalidate the main
+	// graph's warm solve cache mid-run.
+	OpGraphPut Op = "graph_put"
+	// OpJob submits an async solve (POST /v1/jobs) and polls it to a
+	// terminal state; the polls are reported as their own endpoint.
+	OpJob Op = "job_submit"
+)
+
+// mixOrder fixes the draw order of the cumulative distribution; iterating
+// a map here would leak map-order nondeterminism into the schedule.
+var mixOrder = []Op{OpSolve, OpGraphGet, OpGraphPut, OpJob}
+
+// Mix is the relative weight of each op. Weights need not sum to 1; they
+// are normalized at draw time. The zero Mix is invalid (nothing to send).
+type Mix struct {
+	Solve    float64 `json:"solve"`
+	GraphGet float64 `json:"graphGet"`
+	GraphPut float64 `json:"graphPut"`
+	Job      float64 `json:"job"`
+}
+
+// DefaultMix is a serving-shaped blend: solve-dominated with a background
+// of reads, occasional uploads, and a slice of async jobs.
+func DefaultMix() Mix {
+	return Mix{Solve: 0.65, GraphGet: 0.15, GraphPut: 0.05, Job: 0.15}
+}
+
+func (m Mix) weight(op Op) float64 {
+	switch op {
+	case OpSolve:
+		return m.Solve
+	case OpGraphGet:
+		return m.GraphGet
+	case OpGraphPut:
+		return m.GraphPut
+	case OpJob:
+		return m.Job
+	}
+	return 0
+}
+
+func (m Mix) total() float64 {
+	var sum float64
+	for _, op := range mixOrder {
+		sum += m.weight(op)
+	}
+	return sum
+}
+
+func (m Mix) validate() error {
+	for _, w := range []float64{m.Solve, m.GraphGet, m.GraphPut, m.Job} {
+		if w < 0 {
+			return fmt.Errorf("loadgen: negative mix weight %g", w)
+		}
+	}
+	if m.total() <= 0 {
+		return fmt.Errorf("loadgen: mix has no positive weight")
+	}
+	return nil
+}
+
+// String renders the mix in the grammar ParseMix accepts, tokens in fixed
+// order with zero weights elided — the canonical form recorded in reports
+// so a benchmark entry names its exact workload.
+func (m Mix) String() string {
+	var parts []string
+	names := map[Op]string{OpSolve: "solve", OpGraphGet: "get", OpGraphPut: "put", OpJob: "job"}
+	for _, op := range mixOrder {
+		if w := m.weight(op); w > 0 {
+			parts = append(parts, fmt.Sprintf("%s=%g", names[op], w))
+		}
+	}
+	return strings.Join(parts, ",")
+}
+
+// ParseMix parses "solve=0.65,get=0.15,put=0.05,job=0.15". Empty text is
+// the default mix; unknown keys are errors.
+func ParseMix(text string) (Mix, error) {
+	text = strings.TrimSpace(text)
+	if text == "" {
+		return DefaultMix(), nil
+	}
+	var m Mix
+	for _, tok := range strings.Split(text, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(tok, "=")
+		if !ok {
+			return Mix{}, fmt.Errorf("loadgen: mix token %q is not key=value", tok)
+		}
+		var w float64
+		if _, err := fmt.Sscanf(strings.TrimSpace(val), "%g", &w); err != nil || w < 0 {
+			return Mix{}, fmt.Errorf("loadgen: bad mix weight %q", val)
+		}
+		switch strings.TrimSpace(key) {
+		case "solve":
+			m.Solve = w
+		case "get":
+			m.GraphGet = w
+		case "put":
+			m.GraphPut = w
+		case "job":
+			m.Job = w
+		default:
+			return Mix{}, fmt.Errorf("loadgen: unknown mix key %q (want solve, get, put, job)", key)
+		}
+	}
+	if err := m.validate(); err != nil {
+		return Mix{}, err
+	}
+	return m, nil
+}
+
+// Request is one planned request: when it leaves (offset from run start),
+// what it is, and its solve budget when the op takes one.
+type Request struct {
+	At time.Duration
+	Op Op
+	// K is the solve/job budget, drawn uniformly from [1, KMax]. Varied
+	// budgets are what make the prefix cache meaningful: one solve at the
+	// largest k warms every smaller budget.
+	K int
+}
+
+// ScheduleSpec configures BuildSchedule.
+type ScheduleSpec struct {
+	Seed     int64
+	RPS      float64
+	Duration time.Duration
+	Mix      Mix
+	// KMax bounds the drawn budgets (0 = DefaultKMax).
+	KMax int
+}
+
+// DefaultKMax is the default budget ceiling for drawn solves.
+const DefaultKMax = 50
+
+// Schedule is the full fixed request plan plus the inputs that produced
+// it, so a report can quote exactly how to reproduce its traffic.
+type Schedule struct {
+	Spec     ScheduleSpec
+	Requests []Request
+}
+
+// BuildSchedule derives the open-loop plan: Poisson arrivals at the
+// target rate (exponential inter-arrival gaps), op kinds drawn from the
+// normalized mix, budgets drawn uniformly — all from one rand stream
+// seeded by Spec.Seed.
+func BuildSchedule(spec ScheduleSpec) (*Schedule, error) {
+	if spec.RPS <= 0 {
+		return nil, fmt.Errorf("loadgen: RPS must be positive, got %g", spec.RPS)
+	}
+	if spec.Duration <= 0 {
+		return nil, fmt.Errorf("loadgen: duration must be positive, got %v", spec.Duration)
+	}
+	if err := spec.Mix.validate(); err != nil {
+		return nil, err
+	}
+	if spec.KMax <= 0 {
+		spec.KMax = DefaultKMax
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	total := spec.Mix.total()
+	var reqs []Request
+	at := time.Duration(0)
+	for {
+		// Exponential gap: open-loop Poisson arrivals at the target rate.
+		gap := time.Duration(rng.ExpFloat64() / spec.RPS * float64(time.Second))
+		at += gap
+		if at >= spec.Duration {
+			break
+		}
+		x := rng.Float64() * total
+		op := mixOrder[len(mixOrder)-1]
+		for _, cand := range mixOrder {
+			if w := spec.Mix.weight(cand); x < w {
+				op = cand
+				break
+			} else {
+				x -= w
+			}
+		}
+		req := Request{At: at, Op: op}
+		if op == OpSolve || op == OpJob {
+			req.K = 1 + rng.Intn(spec.KMax)
+		}
+		reqs = append(reqs, req)
+	}
+	return &Schedule{Spec: spec, Requests: reqs}, nil
+}
+
+// Encode writes the schedule as deterministic text — a header naming the
+// inputs, then one "<offset-ns>\t<op>\t<k>" line per request. Two
+// schedules built from identical specs encode to identical bytes; the
+// determinism test and the CLI's -print-schedule mode both rely on this.
+func (s *Schedule) Encode(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "# loadgen schedule seed=%d rps=%g duration=%s mix=%s kmax=%d requests=%d\n",
+		s.Spec.Seed, s.Spec.RPS, s.Spec.Duration, s.Spec.Mix.String(), s.Spec.KMax, len(s.Requests)); err != nil {
+		return err
+	}
+	for _, r := range s.Requests {
+		if _, err := fmt.Fprintf(w, "%d\t%s\t%d\n", r.At.Nanoseconds(), r.Op, r.K); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CountByOp tallies the planned requests per op, in fixed op order.
+func (s *Schedule) CountByOp() map[Op]int {
+	counts := make(map[Op]int, len(mixOrder))
+	for _, r := range s.Requests {
+		counts[r.Op]++
+	}
+	return counts
+}
+
+// quantile returns the q-quantile of sorted by the nearest-rank method,
+// which guarantees monotonicity across quantiles and p_q <= max for any
+// q — the invariant the report validator enforces.
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(q*float64(len(sorted))+0.5) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}
+
+// sortedCopy returns a sorted copy of xs.
+func sortedCopy(xs []float64) []float64 {
+	out := append([]float64(nil), xs...)
+	sort.Float64s(out)
+	return out
+}

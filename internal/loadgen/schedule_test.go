@@ -1,0 +1,166 @@
+package loadgen
+
+// The determinism contract: the schedule is a pure function of its spec.
+// Byte-identical encoding is the strongest observable form of that — any
+// wall-clock read, map iteration, or extra rand draw sneaking into
+// BuildSchedule changes the bytes and fails here, mirroring the chaos
+// suite's seeding discipline.
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func encodeSchedule(t *testing.T, spec ScheduleSpec) []byte {
+	t.Helper()
+	s, err := BuildSchedule(spec)
+	if err != nil {
+		t.Fatalf("BuildSchedule: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := s.Encode(&buf); err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func TestScheduleDeterministic(t *testing.T) {
+	spec := ScheduleSpec{Seed: 1, RPS: 200, Duration: 5 * time.Second, Mix: DefaultMix()}
+	first := encodeSchedule(t, spec)
+	for i := 0; i < 3; i++ {
+		if got := encodeSchedule(t, spec); !bytes.Equal(got, first) {
+			t.Fatalf("rebuild %d: schedule bytes differ from first build", i)
+		}
+	}
+	if len(first) == 0 || !bytes.HasPrefix(first, []byte("# loadgen schedule seed=1 ")) {
+		t.Fatalf("unexpected encoding header: %.80s", first)
+	}
+}
+
+func TestScheduleSeedSensitivity(t *testing.T) {
+	base := ScheduleSpec{Seed: 1, RPS: 100, Duration: 2 * time.Second, Mix: DefaultMix()}
+	other := base
+	other.Seed = 2
+	if bytes.Equal(encodeSchedule(t, base), encodeSchedule(t, other)) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+	reordered := base
+	reordered.Mix = Mix{Solve: 0.15, GraphGet: 0.65, GraphPut: 0.15, Job: 0.05}
+	if bytes.Equal(encodeSchedule(t, base), encodeSchedule(t, reordered)) {
+		t.Fatal("different mixes produced identical schedules")
+	}
+}
+
+func TestScheduleShape(t *testing.T) {
+	spec := ScheduleSpec{Seed: 7, RPS: 500, Duration: 4 * time.Second, Mix: DefaultMix()}
+	s, err := BuildSchedule(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := spec.RPS * spec.Duration.Seconds()
+	if n := float64(len(s.Requests)); math.Abs(n-want) > 0.2*want {
+		t.Fatalf("got %d requests, want ~%g (Poisson at %g rps for %v)", len(s.Requests), want, spec.RPS, spec.Duration)
+	}
+	last := time.Duration(-1)
+	for i, r := range s.Requests {
+		if r.At < last {
+			t.Fatalf("request %d: arrival %v before predecessor %v", i, r.At, last)
+		}
+		last = r.At
+		if r.At >= spec.Duration {
+			t.Fatalf("request %d: arrival %v outside duration %v", i, r.At, spec.Duration)
+		}
+		switch r.Op {
+		case OpSolve, OpJob:
+			if r.K < 1 || r.K > DefaultKMax {
+				t.Fatalf("request %d: k=%d outside [1,%d]", i, r.K, DefaultKMax)
+			}
+		case OpGraphGet, OpGraphPut:
+			if r.K != 0 {
+				t.Fatalf("request %d: %s carries k=%d", i, r.Op, r.K)
+			}
+		default:
+			t.Fatalf("request %d: unknown op %q", i, r.Op)
+		}
+	}
+	counts := s.CountByOp()
+	if counts[OpSolve] <= counts[OpGraphPut] {
+		t.Fatalf("solve-dominated mix drew solve=%d <= put=%d", counts[OpSolve], counts[OpGraphPut])
+	}
+}
+
+func TestParseMixRoundTrip(t *testing.T) {
+	m, err := ParseMix("solve=0.5,get=0.2,put=0.1,job=0.2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseMix(m.String())
+	if err != nil {
+		t.Fatalf("re-parsing %q: %v", m.String(), err)
+	}
+	if back != m {
+		t.Fatalf("round trip changed mix: %+v -> %+v", m, back)
+	}
+	if _, err := ParseMix(""); err != nil {
+		t.Fatalf("empty mix should be the default: %v", err)
+	}
+	for _, bad := range []string{"solve", "solve=-1", "frob=0.5", "solve=0,get=0,put=0,job=0"} {
+		if _, err := ParseMix(bad); err == nil {
+			t.Fatalf("ParseMix(%q) accepted invalid input", bad)
+		}
+	}
+}
+
+func TestBuildScheduleRejectsBadSpecs(t *testing.T) {
+	cases := []ScheduleSpec{
+		{Seed: 1, RPS: 0, Duration: time.Second, Mix: DefaultMix()},
+		{Seed: 1, RPS: 10, Duration: 0, Mix: DefaultMix()},
+		{Seed: 1, RPS: 10, Duration: time.Second, Mix: Mix{}},
+	}
+	for i, spec := range cases {
+		if _, err := BuildSchedule(spec); err == nil {
+			t.Fatalf("case %d: invalid spec accepted", i)
+		}
+	}
+}
+
+func TestQuantileNearestRank(t *testing.T) {
+	sorted := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if got := quantile(sorted, 0.5); got != 5 {
+		t.Fatalf("p50 of 1..10 = %g, want 5", got)
+	}
+	if got := quantile(sorted, 0.99); got != 10 {
+		t.Fatalf("p99 of 1..10 = %g, want 10", got)
+	}
+	if got := quantile(nil, 0.5); got != 0 {
+		t.Fatalf("quantile of empty = %g, want 0", got)
+	}
+	// Monotone across q for an arbitrary sample, the report invariant.
+	sample := []float64{0.4, 0.1, 2.5, 0.1, 0.9, 1.7, 0.3}
+	s := sortedCopy(sample)
+	prev := math.Inf(-1)
+	for _, q := range []float64{0.5, 0.9, 0.99, 1.0} {
+		v := quantile(s, q)
+		if v < prev {
+			t.Fatalf("quantile not monotone at q=%g: %g < %g", q, v, prev)
+		}
+		prev = v
+	}
+	if got, max := quantile(s, 0.99), s[len(s)-1]; got > max {
+		t.Fatalf("p99 %g exceeds max %g", got, max)
+	}
+}
+
+func TestMixStringCanonical(t *testing.T) {
+	m := Mix{Solve: 1, Job: 0.5}
+	s := m.String()
+	if strings.Contains(s, "get") || strings.Contains(s, "put") {
+		t.Fatalf("zero weights not elided: %q", s)
+	}
+	if s != "solve=1,job=0.5" {
+		t.Fatalf("canonical form changed: %q", s)
+	}
+}
