@@ -25,7 +25,7 @@ FUZZ_TARGETS := \
 	./internal/trace:FuzzTraceparent \
 	./cmd/prefcover:FuzzGraphImport
 
-.PHONY: all build test test-race chaos cover fuzz-short smoke loadgen loadgen-smoke bench bench-json vet fmt-check ci
+.PHONY: all build test test-race chaos cover fuzz-short smoke loadgen loadgen-smoke bench bench-json profile vet fmt-check ci
 
 all: build test
 
@@ -91,6 +91,14 @@ bench:
 # (ns/op, allocs/op, git SHA) — the perf trajectory future PRs diff against.
 bench-json:
 	$(GO) run ./cmd/benchjson -out BENCH_solver.json
+
+# profile boots the real daemon, drives labeled solves under a
+# server-side CPU capture armed through /debug/profilez, and asserts the
+# decoded profile carries the solver's pprof labels
+# (graph/strategy/endpoint/k_bucket) — the end-to-end check that
+# continuous profiling attributes samples to workloads.
+profile:
+	$(GO) test -count=1 -run '^TestProfileCaptureE2E$$' -v ./cmd/prefcoverd
 
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \

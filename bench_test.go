@@ -27,6 +27,7 @@ import (
 	"prefcover/internal/experiments"
 	igraph "prefcover/internal/graph"
 	igreedy "prefcover/internal/greedy"
+	iprofilez "prefcover/internal/profilez"
 	"prefcover/internal/retry"
 	iserver "prefcover/internal/server"
 	isimilarity "prefcover/internal/similarity"
@@ -712,6 +713,64 @@ func BenchmarkTracePropagationOverhead(b *testing.B) {
 			}
 			req := tracer.RootContext("request", sc)
 			req.End()
+		}
+	})
+}
+
+// BenchmarkProfileLabelOverhead prices what per-solve profiling
+// attribution costs when no profiler is capturing — the always-on
+// configuration. "bare" is the plain solver call; "labeled" wraps it in
+// profilez.Do exactly as the server's solve path does (label set built,
+// goroutine labels installed and inherited); "accounted" adds the
+// TakeSample/Since resource bracket. With capture off the label write is
+// a pointer swap on the goroutine, so all three must sit within noise of
+// each other — this snapshot is the regression gate for that claim.
+func BenchmarkProfileLabelOverhead(b *testing.B) {
+	g := peBenchGraph(b, 2000, igraph.Independent)
+	opts := igreedy.Options{Variant: igraph.Independent, K: 16, Lazy: true}
+	labels := iprofilez.SolveLabels{
+		Graph:    "bench-graph",
+		Strategy: "lazy",
+		Endpoint: "/v1/solve",
+		K:        opts.K,
+	}
+	ctx := context.Background()
+
+	b.Run("bare", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := igreedy.Solve(g, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("labeled", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			var err error
+			iprofilez.Do(ctx, labels, func(context.Context) {
+				_, err = igreedy.Solve(g, opts)
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("accounted", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			before := iprofilez.TakeSample()
+			var err error
+			iprofilez.Do(ctx, labels, func(context.Context) {
+				_, err = igreedy.Solve(g, opts)
+			})
+			usage := iprofilez.Since(before)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if usage.WallNanos <= 0 {
+				b.Fatal("no wall time measured")
+			}
 		}
 	})
 }

@@ -36,6 +36,7 @@ import (
 	"prefcover/internal/graph"
 	"prefcover/internal/jobs"
 	"prefcover/internal/loadgen"
+	"prefcover/internal/profilez"
 	"prefcover/internal/replay"
 	"prefcover/internal/server"
 	"prefcover/internal/synth"
@@ -71,6 +72,7 @@ func runLoadgen(ctx context.Context, args []string) error {
 
 		replayN = fs.Int("replay", 2000, "Monte Carlo requests validating the solved cover against the graph; 0 disables")
 
+		profileOut    = fs.String("profile", "", "arm a server-side CPU capture via /debug/profilez spanning the run and save the gzipped pprof protobuf to this file (single runs only, not -capacity)")
 		out           = fs.String("out", "BENCH_serving.json", "append the run to this benchmark file; empty skips recording")
 		printSchedule = fs.Bool("print-schedule", false, "print the deterministic request schedule and exit (no server needed)")
 		quiet         = fs.Bool("quiet", false, "suppress progress output on stderr")
@@ -84,6 +86,14 @@ func runLoadgen(ctx context.Context, args []string) error {
 	mix, err := loadgen.ParseMix(*mixText)
 	if err != nil {
 		return err
+	}
+	if *profileOut != "" && *capacity {
+		// A capacity search holds many rate steps of unknown total length;
+		// one fixed CPU window cannot span it meaningfully.
+		return fmt.Errorf("-profile only applies to single runs, not -capacity")
+	}
+	if *profileOut != "" && *printSchedule {
+		return fmt.Errorf("-profile needs a live run, not -print-schedule")
 	}
 	progress := func(format string, args ...any) {
 		if !*quiet {
@@ -219,9 +229,27 @@ func runLoadgen(ctx context.Context, args []string) error {
 	}
 	progress("schedule: %d requests over %s at %g rps (seed %d, mix %s)",
 		len(sched.Requests), *duration, *rps, *seed, mix)
+	var profC <-chan profileCapture
+	if *profileOut != "" {
+		seconds := int(*duration/time.Second) + 1
+		if seconds > 120 {
+			seconds = 120 // the /debug/profilez on-demand cap
+		}
+		profC = armProfileCapture(ctx, base, *profileOut, seconds)
+		progress("armed %ds server-side CPU capture via /debug/profilez -> %s", seconds, *profileOut)
+	}
 	report, err := loadgen.Run(ctx, sched, target, opts)
 	if err != nil {
 		return err
+	}
+	if profC != nil {
+		prof := <-profC
+		if prof.err != nil {
+			return fmt.Errorf("-profile capture: %w", prof.err)
+		}
+		entry.Profile = prof.artifact
+		progress("profile: %s (%d bytes, %d samples, capture %s)",
+			prof.artifact.Path, prof.artifact.Bytes, prof.artifact.Samples, prof.artifact.CaptureID)
 	}
 	report.Preset = string(p)
 	if err := report.Validate(); err != nil {
@@ -298,6 +326,86 @@ func (d *inprocDaemon) close() {
 	defer cancel()
 	d.httpSrv.Shutdown(ctx)
 	d.srv.Close()
+}
+
+// profileCapture is the result of the server-side CPU capture a -profile
+// run arms alongside its traffic.
+type profileCapture struct {
+	artifact *loadgen.ProfileArtifact
+	err      error
+}
+
+// armProfileCapture starts a /debug/profilez CPU capture spanning the run
+// window in the background: the POST blocks server-side for the whole
+// window, so it runs concurrently with the load and the result — the
+// downloaded profile written to path, decoded for its sample count — is
+// delivered on the returned channel once both have finished.
+func armProfileCapture(ctx context.Context, base, path string, seconds int) <-chan profileCapture {
+	ch := make(chan profileCapture, 1)
+	go func() {
+		ch <- captureServerProfile(ctx, base, path, seconds)
+	}()
+	return ch
+}
+
+func captureServerProfile(ctx context.Context, base, path string, seconds int) profileCapture {
+	fail := func(err error) profileCapture { return profileCapture{err: err} }
+	// The capture POST intentionally blocks for the full window; use a
+	// client without the per-request deadline the load traffic runs under.
+	client := &http.Client{}
+	url := fmt.Sprintf("%s/debug/profilez?capture=cpu&seconds=%d", base, seconds)
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, nil)
+	if err != nil {
+		return fail(err)
+	}
+	apiclient.Decorate(req, apiclient.NewRequestID(), apiclient.NewTraceparent(false))
+	resp, err := client.Do(req)
+	if err != nil {
+		return fail(err)
+	}
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fail(fmt.Errorf("POST %s: status %d: %s", url, resp.StatusCode, bytes.TrimSpace(body)))
+	}
+	var entry struct {
+		ID      string `json:"id"`
+		Seconds int    `json:"seconds"`
+	}
+	if err := json.Unmarshal(body, &entry); err != nil || entry.ID == "" {
+		return fail(fmt.Errorf("capture reply not a profilez entry: %s", body))
+	}
+
+	dreq, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/debug/profilez?download="+entry.ID, nil)
+	if err != nil {
+		return fail(err)
+	}
+	dresp, err := client.Do(dreq)
+	if err != nil {
+		return fail(err)
+	}
+	data, err := io.ReadAll(io.LimitReader(dresp.Body, 256<<20))
+	dresp.Body.Close()
+	if err != nil {
+		return fail(err)
+	}
+	if dresp.StatusCode != http.StatusOK {
+		return fail(fmt.Errorf("downloading capture %s: status %d", entry.ID, dresp.StatusCode))
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fail(err)
+	}
+	info, err := profilez.ReadProfile(bytes.NewReader(data))
+	if err != nil {
+		return fail(fmt.Errorf("decoding capture %s: %w", entry.ID, err))
+	}
+	return profileCapture{artifact: &loadgen.ProfileArtifact{
+		Path:      path,
+		CaptureID: entry.ID,
+		Seconds:   seconds,
+		Bytes:     int64(len(data)),
+		Samples:   info.Samples,
+	}}
 }
 
 // installRemoteFaults PUTs the spec to /debug/faults, which also resets

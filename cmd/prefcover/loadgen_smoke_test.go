@@ -11,6 +11,7 @@ package main
 import (
 	"bufio"
 	"bytes"
+	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
@@ -18,6 +19,7 @@ import (
 	"time"
 
 	"prefcover/internal/loadgen"
+	"prefcover/internal/profilez"
 )
 
 func TestLoadgenSmoke(t *testing.T) {
@@ -75,9 +77,11 @@ func TestLoadgenSmoke(t *testing.T) {
 	// One short real burst against the live daemon, recorded to a scratch
 	// BENCH_serving.json.
 	benchPath := filepath.Join(dir, "BENCH_serving.json")
+	profilePath := filepath.Join(dir, "cpu.pb.gz")
 	run := exec.Command(cli, "loadgen",
 		"-server", base, "-preset", "yc", "-seed", "1",
 		"-rps", "50", "-duration", "1s", "-replay", "500",
+		"-profile", profilePath,
 		"-out", benchPath, "-quiet")
 	if out, err := run.CombinedOutput(); err != nil {
 		t.Fatalf("prefcover loadgen: %v\n%s", err, out)
@@ -119,6 +123,30 @@ func TestLoadgenSmoke(t *testing.T) {
 	}
 	if rep.Replay == nil || rep.Replay.Requests != 500 {
 		t.Fatalf("replay validation missing: %+v", rep.Replay)
+	}
+
+	// -profile: the server-side CPU capture spanning the burst must be on
+	// disk as a decodable gzipped pprof protobuf, and the bench entry must
+	// carry the artifact's identity.
+	if e.Profile == nil {
+		t.Fatal("bench entry has no profile artifact despite -profile")
+	}
+	if e.Profile.Path != profilePath || e.Profile.CaptureID == "" || e.Profile.Seconds <= 0 {
+		t.Fatalf("profile artifact metadata incomplete: %+v", e.Profile)
+	}
+	data, err := os.ReadFile(profilePath)
+	if err != nil {
+		t.Fatalf("profile artifact not written: %v", err)
+	}
+	if int64(len(data)) != e.Profile.Bytes {
+		t.Fatalf("artifact is %d bytes, entry says %d", len(data), e.Profile.Bytes)
+	}
+	info, err := profilez.ReadProfile(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("artifact does not decode as a pprof profile: %v", err)
+	}
+	if info.Samples != e.Profile.Samples {
+		t.Fatalf("artifact has %d samples, entry says %d", info.Samples, e.Profile.Samples)
 	}
 
 	// Reproducibility at the CLI surface: the printed schedule is

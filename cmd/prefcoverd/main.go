@@ -6,7 +6,9 @@
 // GET /version reports the build; GET /debug/traces dumps the
 // flight-recorder ring populated by -trace-sample and by inbound W3C
 // traceparent headers (distributed traces are always recorded); GET
-// /debug/statusz is the one-page HTML operator dashboard.
+// /debug/statusz is the one-page HTML operator dashboard; GET
+// /debug/profilez indexes the continuous-profiling capture ring
+// (periodic and trigger-fired pprof snapshots, with on-demand capture).
 //
 // The daemon is production-shaped: per-request solve deadlines
 // (-solve-timeout), bounded concurrency with load shedding
@@ -24,7 +26,6 @@ import (
 	"log/slog"
 	"net"
 	"net/http"
-	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -32,6 +33,7 @@ import (
 
 	"prefcover/internal/faults"
 	"prefcover/internal/jobs"
+	"prefcover/internal/profilez"
 	"prefcover/internal/server"
 	"prefcover/internal/store"
 	"prefcover/internal/version"
@@ -54,8 +56,13 @@ func run() int {
 		quiet         = flag.Bool("quiet", false, "log warnings and errors only (suppresses access logs and lifecycle messages)")
 		traceSample   = flag.Int("trace-sample", 0, "record a flight-recorder trace for every Nth /v1/* request, dumped at /debug/traces (0 = off)")
 		traceCap      = flag.Int("trace-capacity", 256, "how many request traces the flight recorder retains")
-		pprofAddr     = flag.String("pprof", "", "serve net/http/pprof on this extra address (e.g. localhost:6060); empty = disabled")
+		enablePprof   = flag.Bool("pprof", false, "mount the interactive net/http/pprof handlers under /debug/pprof/ beside the other /debug/* pages; /debug/profilez (always on) serves retained captures regardless")
 		showVersion   = flag.Bool("version", false, "print the build identity and exit")
+
+		profileDir      = flag.String("profile-dir", "", "retain /debug/profilez captures in this directory (empty = a private temp dir removed on exit)")
+		profileInterval = flag.Duration("profile-interval", 0, "capture heap+goroutine profiles into the /debug/profilez ring this often (0 = trigger/on-demand only)")
+		profileFiles    = flag.Int("profile-max-files", 0, "maximum retained profile captures before oldest-first eviction (0 = default)")
+		profileBytes    = flag.Int64("profile-max-bytes-mb", 0, "maximum MiB of retained profile captures before oldest-first eviction (0 = default)")
 
 		storeDir       = flag.String("store-dir", "", "persist registered graphs to this directory and reload them at startup (empty = in-memory only)")
 		storeMaxGraphs = flag.Int("store-max-graphs", 0, "maximum registered graphs before LRU eviction (0 = default)")
@@ -112,6 +119,13 @@ func run() int {
 		},
 		Faults:       httpFaults,
 		FaultControl: *faultControl,
+		EnablePprof:  *enablePprof,
+		Profilez: profilez.Options{
+			Dir:      *profileDir,
+			Interval: *profileInterval,
+			MaxFiles: *profileFiles,
+			MaxBytes: *profileBytes << 20,
+		},
 	})
 	if err != nil {
 		logger.Error("server construction failed", "error", err)
@@ -125,17 +139,6 @@ func run() int {
 		Addr:              *addr,
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
-	}
-
-	if *pprofAddr != "" {
-		pprofServer := &http.Server{Addr: *pprofAddr, Handler: pprofMux(), ReadHeaderTimeout: 10 * time.Second}
-		go func() {
-			logger.Info("pprof listening", "addr", *pprofAddr)
-			if err := pprofServer.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
-				logger.Error("pprof listener failed", "error", err)
-			}
-		}()
-		defer pprofServer.Close()
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -194,17 +197,4 @@ func parseFaultFlag(name, text string, logger *slog.Logger) (*faults.Injector, e
 	}
 	logger.Warn("fault injection enabled", "flag", name, "spec", spec.String())
 	return faults.New(spec), nil
-}
-
-// pprofMux routes the net/http/pprof handlers on a dedicated mux, so the
-// profiling surface only exists on the opt-in -pprof listener and never
-// leaks onto the public address.
-func pprofMux() *http.ServeMux {
-	mux := http.NewServeMux()
-	mux.HandleFunc("/debug/pprof/", pprof.Index)
-	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	return mux
 }

@@ -10,6 +10,7 @@ package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"io"
 	"net/http"
 	"os/exec"
@@ -132,6 +133,39 @@ func TestStatuszMetricsSmoke(t *testing.T) {
 		if !strings.Contains(statuszBody, want) {
 			t.Errorf("/debug/statusz missing %q", want)
 		}
+	}
+
+	// /debug/profilez: the capture index renders, and one on-demand
+	// goroutine capture round-trips — POST to capture, then download the
+	// gzipped protobuf it reports.
+	profilezBody := get(t, base+"/debug/profilez", "text/html")
+	for _, want := range []string{"profilez", "capture"} {
+		if !strings.Contains(profilezBody, want) {
+			t.Errorf("/debug/profilez missing %q", want)
+		}
+	}
+	resp, err = http.Post(base+"/debug/profilez?capture=goroutine", "", nil)
+	if err != nil {
+		t.Fatalf("profilez capture: %v", err)
+	}
+	capBody, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("profilez capture status = %d: %s", resp.StatusCode, capBody)
+	}
+	var entry struct {
+		ID    string `json:"id"`
+		Bytes int64  `json:"bytes"`
+	}
+	if err := json.Unmarshal(capBody, &entry); err != nil || entry.ID == "" {
+		t.Fatalf("profilez capture reply not an entry: %s", capBody)
+	}
+	download := get(t, base+"/debug/profilez?download="+entry.ID, "application/octet-stream")
+	if len(download) < 2 || download[0] != 0x1f || download[1] != 0x8b {
+		t.Errorf("downloaded capture %s is not gzip (%d bytes)", entry.ID, len(download))
+	}
+	if !strings.Contains(get(t, base+"/debug/profilez", "text/html"), entry.ID) {
+		t.Errorf("capture %s not listed in the index", entry.ID)
 	}
 
 	// SIGTERM must drain and exit 0 — the smoke test doubles as the

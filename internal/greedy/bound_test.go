@@ -1,0 +1,122 @@
+package greedy
+
+import (
+	"math/rand"
+	"testing"
+
+	"prefcover/internal/graph"
+	"prefcover/internal/graphtest"
+)
+
+// collectBounds solves g and returns the per-iteration events.
+func collectBounds(t *testing.T, g *graph.Graph, opts Options) []ProgressEvent {
+	t.Helper()
+	var events []ProgressEvent
+	opts.Progress = func(ev ProgressEvent) { events = append(events, ev) }
+	if _, err := Solve(g, opts); err != nil {
+		t.Fatal(err)
+	}
+	return events
+}
+
+// TestMaxRemainingGainBoundsNextGain verifies the defining property of
+// the certificate for every deterministic strategy: the bound reported at
+// iteration i is >= the gain actually realized at iteration i+1 (the next
+// pick is itself a "remaining candidate" when the bound was issued).
+func TestMaxRemainingGainBoundsNextGain(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := graphtest.Random(rng, 300, 5, graph.Independent)
+	const k = 25
+	for name, opts := range map[string]Options{
+		"scan":     {Variant: graph.Independent, K: k},
+		"parallel": {Variant: graph.Independent, K: k, Workers: 4},
+		"lazy":     {Variant: graph.Independent, K: k, Lazy: true},
+	} {
+		t.Run(name, func(t *testing.T) {
+			events := collectBounds(t, g, opts)
+			if len(events) != k {
+				t.Fatalf("got %d events, want %d", len(events), k)
+			}
+			const eps = 1e-12
+			for i, ev := range events {
+				if ev.MaxRemainingGain < 0 {
+					t.Fatalf("step %d: bound unavailable for %s", ev.Step, name)
+				}
+				if i+1 < len(events) {
+					next := events[i+1].Gain
+					if ev.MaxRemainingGain+eps < next {
+						t.Errorf("step %d: bound %g < next gain %g", ev.Step, ev.MaxRemainingGain, next)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestMaxRemainingGainAgreesAcrossDeterministicStrategies: the scan bound
+// (exact runner-up) and the parallel bound must be identical; lazy's may
+// be looser (stale) but never tighter than the true runner-up.
+func TestMaxRemainingGainAgreesAcrossDeterministicStrategies(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g := graphtest.Random(rng, 200, 4, graph.Normalized)
+	const k = 15
+	scan := collectBounds(t, g, Options{Variant: graph.Normalized, K: k})
+	par := collectBounds(t, g, Options{Variant: graph.Normalized, K: k, Workers: 3})
+	lazy := collectBounds(t, g, Options{Variant: graph.Normalized, K: k, Lazy: true})
+	const eps = 1e-12
+	for i := range scan {
+		if d := scan[i].MaxRemainingGain - par[i].MaxRemainingGain; d > eps || d < -eps {
+			t.Errorf("step %d: scan bound %g != parallel bound %g",
+				scan[i].Step, scan[i].MaxRemainingGain, par[i].MaxRemainingGain)
+		}
+		if lazy[i].MaxRemainingGain+eps < scan[i].MaxRemainingGain {
+			t.Errorf("step %d: lazy bound %g tighter than true runner-up %g",
+				lazy[i].Step, lazy[i].MaxRemainingGain, scan[i].MaxRemainingGain)
+		}
+	}
+}
+
+// TestBoundSentinels: pinned selections and stochastic picks report
+// BoundUnavailable, never a fabricated bound.
+func TestBoundSentinels(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := graphtest.Random(rng, 100, 4, graph.Independent)
+
+	events := collectBounds(t, g, Options{
+		Variant: graph.Independent, K: 6, Lazy: true, Pinned: []int32{5, 17},
+	})
+	for _, ev := range events {
+		if ev.Strategy == StrategyPinned && ev.MaxRemainingGain != BoundUnavailable {
+			t.Errorf("pinned step %d: bound %g, want BoundUnavailable", ev.Step, ev.MaxRemainingGain)
+		}
+		if ev.Strategy == StrategyLazy && ev.MaxRemainingGain < 0 {
+			t.Errorf("lazy step %d: bound unavailable", ev.Step)
+		}
+	}
+
+	for _, ev := range collectBounds(t, g, Options{
+		Variant: graph.Independent, K: 6, StochasticEpsilon: 0.2, Seed: 1,
+	}) {
+		if ev.MaxRemainingGain != BoundUnavailable {
+			t.Errorf("stochastic step %d: bound %g, want BoundUnavailable", ev.Step, ev.MaxRemainingGain)
+		}
+	}
+}
+
+// TestBoundZeroWhenExhausted: selecting every node leaves no candidates,
+// and the final bound must be exactly 0 — the certificate then proves the
+// solution is optimal (nothing left has positive gain).
+func TestBoundZeroWhenExhausted(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := graphtest.Random(rng, 30, 3, graph.Independent)
+	for name, opts := range map[string]Options{
+		"scan": {Variant: graph.Independent, K: 30},
+		"lazy": {Variant: graph.Independent, K: 30, Lazy: true},
+	} {
+		events := collectBounds(t, g, opts)
+		last := events[len(events)-1]
+		if last.MaxRemainingGain != 0 {
+			t.Errorf("%s: final bound %g, want 0 with all nodes retained", name, last.MaxRemainingGain)
+		}
+	}
+}

@@ -193,12 +193,20 @@ func Solve(g *graph.Graph, opts Options) (*Solution, error) {
 		opts.notify(ProgressEvent{
 			Step: len(sol.Order), Node: v, Gain: gain, Cover: eng.Cover(),
 			Strategy: StrategyPinned, TotalEvals: sol.GainEvals,
+			// Pins skip the pick, so no remaining-gain bound exists yet.
+			MaxRemainingGain: BoundUnavailable,
 		})
 	}
 	reachedEarly := opts.Threshold > 0 && eng.Cover() >= opts.Threshold-graph.Eps
 
 	strategy := opts.strategy()
-	var pick func() (int32, float64, bool, error)
+	// Each pick also reports bound: an upper bound on the marginal gain of
+	// any candidate still outside S after this selection (valid by
+	// submodularity — gains only shrink), or BoundUnavailable when the
+	// strategy cannot produce one cheaply. Solve forwards it as
+	// ProgressEvent.MaxRemainingGain, which observers turn into the
+	// f(OPT_k) <= C(S_i) + k·bound approximation certificate.
+	var pick func() (v int32, gain, bound float64, ok bool, err error)
 	var lazyHeapEvals func() int64 // nil unless lazy
 	switch strategy {
 	case StrategyStochastic:
@@ -213,7 +221,7 @@ func Solve(g *graph.Graph, opts Options) (*Solution, error) {
 		defer pp.close()
 		pick = pp.pick
 	default:
-		pick = func() (int32, float64, bool, error) { return scanPick(ctx, eng, sol) }
+		pick = func() (int32, float64, float64, bool, error) { return scanPick(ctx, eng, sol) }
 	}
 
 	for step := len(sol.Order) + 1; step <= maxPicks && !reachedEarly; step++ {
@@ -231,7 +239,7 @@ func Solve(g *graph.Graph, opts Options) (*Solution, error) {
 		if opts.Progress != nil {
 			pickStart = time.Now()
 		}
-		v, gain, ok, err := pick()
+		v, gain, bound, ok, err := pick()
 		if err != nil {
 			// Canceled mid-pick: the in-flight round is discarded, so the
 			// selections made so far are exactly the deterministic prefix.
@@ -253,11 +261,12 @@ func Solve(g *graph.Graph, opts Options) (*Solution, error) {
 		sol.Gains = append(sol.Gains, gain)
 		ev := ProgressEvent{
 			Step: step, Node: v, Gain: gain, Cover: eng.Cover(),
-			Strategy:   strategy,
-			Evaluated:  sol.GainEvals - evalsBefore,
-			TotalEvals: sol.GainEvals,
-			EvalTime:   evalTime,
-			CommitTime: commitTime,
+			Strategy:         strategy,
+			Evaluated:        sol.GainEvals - evalsBefore,
+			TotalEvals:       sol.GainEvals,
+			EvalTime:         evalTime,
+			CommitTime:       commitTime,
+			MaxRemainingGain: bound,
 		}
 		if lazyHeapEvals != nil {
 			ev.Reevaluated = lazyHeapEvals() - reevalsBefore
@@ -316,14 +325,18 @@ func ctxErr(ctx context.Context) error {
 const cancelCheckStride = 2048
 
 // scanPick is the literal Algorithm 1 inner loop: evaluate every candidate.
-func scanPick(ctx context.Context, eng *cover.Engine, sol *Solution) (int32, float64, bool, error) {
+// It tracks the top two gains; the runner-up is the remaining-gain bound —
+// every candidate left outside S has current gain <= second-best, and by
+// submodularity its future gain can only shrink further.
+func scanPick(ctx context.Context, eng *cover.Engine, sol *Solution) (int32, float64, float64, bool, error) {
 	n := int32(eng.Graph().NumNodes())
 	best := int32(-1)
 	bestGain := -1.0
+	secondGain := 0.0 // gains are non-negative, so 0 bounds an empty rest
 	for v := int32(0); v < n; v++ {
 		if v%cancelCheckStride == 0 {
 			if err := ctxErr(ctx); err != nil {
-				return 0, 0, false, err
+				return 0, 0, 0, false, err
 			}
 		}
 		if eng.Retained(v) {
@@ -332,13 +345,18 @@ func scanPick(ctx context.Context, eng *cover.Engine, sol *Solution) (int32, flo
 		g := eng.Gain(v)
 		sol.GainEvals++
 		if g > bestGain {
+			if bestGain > secondGain {
+				secondGain = bestGain
+			}
 			best, bestGain = v, g
+		} else if g > secondGain {
+			secondGain = g
 		}
 	}
 	if best < 0 {
-		return 0, 0, false, nil
+		return 0, 0, 0, false, nil
 	}
-	return best, bestGain, true, nil
+	return best, bestGain, secondGain, true, nil
 }
 
 // parallelPicker keeps a pool of workers that each scan a fixed stripe of
@@ -357,8 +375,11 @@ type parallelPicker struct {
 }
 
 type localBest struct {
-	v     int32
-	gain  float64
+	v    int32
+	gain float64
+	// gain2 is the stripe's runner-up gain; merging stripe top-twos yields
+	// the global second-best, the remaining-gain bound after the pick.
+	gain2 float64
 	evals int64
 	// canceled marks a stripe abandoned because the context fired; the
 	// whole round is then discarded so the selection stays deterministic.
@@ -416,14 +437,19 @@ func (pp *parallelPicker) worker(lo, hi int32, start <-chan struct{}) {
 			g := pp.eng.Gain(v)
 			best.evals++
 			if g > best.gain {
+				if best.gain > best.gain2 {
+					best.gain2 = best.gain
+				}
 				best.v, best.gain = v, g
+			} else if g > best.gain2 {
+				best.gain2 = g
 			}
 		}
 		pp.results <- best
 	}
 }
 
-func (pp *parallelPicker) pick() (int32, float64, bool, error) {
+func (pp *parallelPicker) pick() (int32, float64, float64, bool, error) {
 	for _, c := range pp.start {
 		c <- struct{}{}
 	}
@@ -438,21 +464,31 @@ func (pp *parallelPicker) pick() (int32, float64, bool, error) {
 		}
 		// Max gain, ties toward the smaller id: workers own disjoint
 		// ascending stripes, so receiving order does not matter as long as
-		// strictly-greater replaces and equal keeps the smaller id.
+		// strictly-greater replaces and equal keeps the smaller id. The
+		// global runner-up is the max of the losing stripe's best and the
+		// winning stripe's own runner-up.
 		if lb.gain > overall.gain || (lb.gain == overall.gain && overall.v >= 0 && lb.v < overall.v) {
-			overall = localBest{v: lb.v, gain: lb.gain}
+			g2 := lb.gain2
+			if overall.gain > g2 {
+				g2 = overall.gain
+			}
+			overall = localBest{v: lb.v, gain: lb.gain, gain2: g2}
+		} else {
+			if lb.gain > overall.gain2 {
+				overall.gain2 = lb.gain
+			}
 		}
 	}
 	if canceled {
 		// At least one stripe was cut short, so the merged argmax is not
 		// trustworthy; every worker has still sent its round result, so the
 		// pool is quiescent and safe to close.
-		return 0, 0, false, pp.ctx.Err()
+		return 0, 0, 0, false, pp.ctx.Err()
 	}
 	if overall.v < 0 {
-		return 0, 0, false, nil
+		return 0, 0, 0, false, nil
 	}
-	return overall.v, overall.gain, true, nil
+	return overall.v, overall.gain, overall.gain2, true, nil
 }
 
 func (pp *parallelPicker) close() {

@@ -61,9 +61,9 @@ func newLazyPicker(ctx context.Context, eng *cover.Engine, sol *Solution) *lazyP
 	return lp
 }
 
-func (lp *lazyPicker) pick() (int32, float64, bool, error) {
+func (lp *lazyPicker) pick() (int32, float64, float64, bool, error) {
 	if lp.buildErr != nil {
-		return 0, 0, false, lp.buildErr
+		return 0, 0, 0, false, lp.buildErr
 	}
 	round := lp.eng.Size()
 	for steps := 0; lp.h.Len() > 0; steps++ {
@@ -72,13 +72,21 @@ func (lp *lazyPicker) pick() (int32, float64, bool, error) {
 				// Abandon the pick: recomputed bounds already sifted into the
 				// heap stay valid (gain recomputation is idempotent), so a
 				// hypothetical resume would still select deterministically.
-				return 0, 0, false, err
+				return 0, 0, 0, false, err
 			}
 		}
 		top := lp.h[0]
 		if top.round == round {
 			heap.Pop(&lp.h)
-			return top.v, top.gain, true, nil
+			// The new heap top's (possibly stale) gain is a valid upper
+			// bound on every remaining candidate — stale entries only
+			// overestimate, never underestimate, under submodularity. This
+			// is the CELF bound the approximation certificate is built on.
+			bound := 0.0
+			if lp.h.Len() > 0 {
+				bound = lp.h[0].gain
+			}
+			return top.v, top.gain, bound, true, nil
 		}
 		// Stale: recompute in place and sift.
 		lp.h[0].gain = lp.eng.Gain(top.v)
@@ -87,7 +95,7 @@ func (lp *lazyPicker) pick() (int32, float64, bool, error) {
 		lp.reevals++
 		heap.Fix(&lp.h, 0)
 	}
-	return 0, 0, false, nil
+	return 0, 0, 0, false, nil
 }
 
 // lazyHeap is a max-heap on (gain, then smaller id).

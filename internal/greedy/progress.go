@@ -46,7 +46,25 @@ type ProgressEvent struct {
 	// which skip the pick entirely.
 	EvalTime   time.Duration
 	CommitTime time.Duration
+	// MaxRemainingGain is an upper bound on the marginal gain of any
+	// candidate still outside S after this selection, free as a byproduct
+	// of the pick: the runner-up gain for the scan strategies, the heap
+	// top's (stale-is-still-an-upper-bound) gain for lazy CELF. It is
+	// BoundUnavailable (-1) for pinned selections and the stochastic
+	// strategy. Because C is monotone submodular, after iteration i any
+	// size-k solution satisfies
+	//
+	//	f(OPT_k) <= C(S_i) + k * MaxRemainingGain_i
+	//
+	// so min over iterations of that expression (capped at 1) is a
+	// per-solve certificate of how far the greedy answer can possibly be
+	// from optimal — the approximation gap the serving layer reports.
+	MaxRemainingGain float64
 }
+
+// BoundUnavailable is the MaxRemainingGain sentinel for selections that
+// cannot produce a sound remaining-gain bound.
+const BoundUnavailable = -1.0
 
 // strategy names the execution strategy the options select.
 func (o *Options) strategy() string {

@@ -53,7 +53,7 @@ func newStochasticPicker(eng *cover.Engine, sol *Solution, k int, epsilon float6
 	}
 }
 
-func (sp *stochasticPicker) pick() (int32, float64, bool, error) {
+func (sp *stochasticPicker) pick() (int32, float64, float64, bool, error) {
 	// Partial Fisher-Yates over the candidate pool; retained nodes found
 	// along the way are compacted out so the pool shrinks to V \ S.
 	best := int32(-1)
@@ -79,7 +79,9 @@ func (sp *stochasticPicker) pick() (int32, float64, bool, error) {
 		i++
 	}
 	if best < 0 {
-		return 0, 0, false, nil
+		return 0, 0, 0, false, nil
 	}
-	return best, bestGain, true, nil
+	// The sample says nothing about unsampled candidates' gains, so no
+	// sound remaining-gain bound exists for the stochastic strategy.
+	return best, bestGain, BoundUnavailable, true, nil
 }

@@ -344,6 +344,16 @@ type Histogram struct {
 	counts  []atomic.Int64 // len(upper)+1; last is the +Inf overflow
 	count   atomic.Int64
 	sumBits atomic.Uint64
+	// exemplar remembers the largest observation that carried a trace ID;
+	// the statusz p99 cell links it to /debug/traces. Nil until the first
+	// ObserveExemplar with a non-empty ID.
+	exemplar atomic.Pointer[exemplar]
+}
+
+// exemplar pairs one observation with the trace that produced it.
+type exemplar struct {
+	value   float64
+	traceID string
 }
 
 func newHistogram(upper []float64) *Histogram {
@@ -361,6 +371,36 @@ func (h *Histogram) Observe(v float64) {
 			return
 		}
 	}
+}
+
+// ObserveExemplar records one value and, when traceID is non-empty and v
+// is the largest such observation so far, remembers (v, traceID) as the
+// series' exemplar — the concrete trace behind the latency tail. With an
+// empty traceID it is exactly Observe.
+func (h *Histogram) ObserveExemplar(v float64, traceID string) {
+	h.Observe(v)
+	if traceID == "" {
+		return
+	}
+	next := &exemplar{value: v, traceID: traceID}
+	for {
+		old := h.exemplar.Load()
+		if old != nil && old.value >= v {
+			return
+		}
+		if h.exemplar.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Exemplar returns the largest trace-carrying observation, if any.
+func (h *Histogram) Exemplar() (value float64, traceID string, ok bool) {
+	e := h.exemplar.Load()
+	if e == nil {
+		return 0, "", false
+	}
+	return e.value, e.traceID, true
 }
 
 // Count returns the number of observations.

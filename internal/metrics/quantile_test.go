@@ -1,0 +1,176 @@
+package metrics
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+// Quantile / Each / exemplar edge cases (ISSUE 7 satellite): the statusz
+// and profilez read paths lean on exactly these corners.
+
+func TestQuantileEmptyHistogramIsNaN(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("t_q_empty", "h", []float64{1, 2}).With()
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); !math.IsNaN(got) {
+			t.Errorf("Quantile(%g) on empty histogram = %g, want NaN", q, got)
+		}
+	}
+}
+
+func TestQuantileNaNInput(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("t_q_nan", "h", []float64{1}).With()
+	h.Observe(0.5)
+	if got := h.Quantile(math.NaN()); !math.IsNaN(got) {
+		t.Errorf("Quantile(NaN) = %g, want NaN", got)
+	}
+}
+
+func TestQuantileSingleBucket(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("t_q_single", "h", []float64{10}).With()
+	for i := 0; i < 4; i++ {
+		h.Observe(5)
+	}
+	// All mass sits in [0,10]; interpolation is linear across the bucket.
+	if got := h.Quantile(0.5); got != 5 {
+		t.Errorf("p50 = %g, want 5", got)
+	}
+	if got := h.Quantile(1); got != 10 {
+		t.Errorf("p100 = %g, want upper bound 10", got)
+	}
+	if got := h.Quantile(0); got != 0 {
+		t.Errorf("p0 = %g, want lower bound 0", got)
+	}
+}
+
+func TestQuantileClampsOutOfRangeQ(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("t_q_clamp", "h", []float64{1, 2}).With()
+	h.Observe(0.5)
+	if got, want := h.Quantile(-3), h.Quantile(0); got != want {
+		t.Errorf("Quantile(-3) = %g, want %g (clamped to 0)", got, want)
+	}
+	if got, want := h.Quantile(7), h.Quantile(1); got != want {
+		t.Errorf("Quantile(7) = %g, want %g (clamped to 1)", got, want)
+	}
+}
+
+func TestQuantileP100AndOverflowClamp(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("t_q_overflow", "h", []float64{1, 2}).With()
+	h.Observe(0.5)
+	h.Observe(1.5)
+	h.Observe(99) // lands in +Inf overflow
+	// Any rank falling in the overflow bucket clamps to the highest
+	// finite bound rather than reporting +Inf.
+	if got := h.Quantile(1); got != 2 {
+		t.Errorf("p100 with overflow = %g, want clamp to 2", got)
+	}
+	if got := h.Quantile(0.99); got != 2 {
+		t.Errorf("p99 with overflow = %g, want clamp to 2", got)
+	}
+}
+
+func TestEachEmptyAndOrdering(t *testing.T) {
+	r := NewRegistry()
+	hv := r.NewHistogram("t_each", "h", []float64{1}, "endpoint")
+
+	// No series yet: Each must not call fn at all.
+	calls := 0
+	hv.Each(func([]string, *Histogram) { calls++ })
+	if calls != 0 {
+		t.Fatalf("Each on empty vec made %d calls", calls)
+	}
+
+	hv.With("/b").Observe(1)
+	hv.With("/a").Observe(2)
+	hv.With("/c").Observe(3)
+	var seen []string
+	hv.Each(func(lv []string, h *Histogram) {
+		if len(lv) != 1 {
+			t.Fatalf("label values = %v", lv)
+		}
+		seen = append(seen, lv[0])
+		if h.Count() != 1 {
+			t.Errorf("series %s count = %d", lv[0], h.Count())
+		}
+	})
+	want := []string{"/a", "/b", "/c"}
+	for i := range want {
+		if seen[i] != want[i] {
+			t.Fatalf("Each order = %v, want %v (deterministic, sorted)", seen, want)
+		}
+	}
+}
+
+func TestCounterVecEachUnlabeled(t *testing.T) {
+	r := NewRegistry()
+	cv := r.NewCounter("t_each_counter", "c")
+	cv.With().Add(3)
+	calls := 0
+	cv.Each(func(lv []string, c *Counter) {
+		calls++
+		if len(lv) != 0 {
+			t.Errorf("unlabeled series has label values %v", lv)
+		}
+		if c.Value() != 3 {
+			t.Errorf("value = %d", c.Value())
+		}
+	})
+	if calls != 1 {
+		t.Fatalf("Each made %d calls, want 1", calls)
+	}
+}
+
+func TestExemplarTracksMax(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("t_exemplar", "h", []float64{1}).With()
+
+	if _, _, ok := h.Exemplar(); ok {
+		t.Fatal("fresh histogram reports an exemplar")
+	}
+	h.Observe(100) // plain Observe never sets an exemplar
+	if _, _, ok := h.Exemplar(); ok {
+		t.Fatal("Observe set an exemplar")
+	}
+	h.ObserveExemplar(0.2, "") // empty trace ID: counted, no exemplar
+	if _, _, ok := h.Exemplar(); ok {
+		t.Fatal("empty trace ID set an exemplar")
+	}
+	h.ObserveExemplar(0.5, "trace-a")
+	h.ObserveExemplar(0.3, "trace-b") // smaller: must not replace
+	if v, id, ok := h.Exemplar(); !ok || id != "trace-a" || v != 0.5 {
+		t.Fatalf("exemplar = (%g, %q, %v), want (0.5, trace-a, true)", v, id, ok)
+	}
+	h.ObserveExemplar(0.9, "trace-c") // larger: replaces
+	if v, id, ok := h.Exemplar(); !ok || id != "trace-c" || v != 0.9 {
+		t.Fatalf("exemplar = (%g, %q, %v), want (0.9, trace-c, true)", v, id, ok)
+	}
+	// Exemplar observations still count toward the histogram.
+	if h.Count() != 5 {
+		t.Fatalf("Count = %d, want 5", h.Count())
+	}
+}
+
+func TestExemplarConcurrent(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("t_exemplar_race", "h", []float64{1}).With()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				h.ObserveExemplar(float64(i*200+j), "t")
+			}
+		}(i)
+	}
+	wg.Wait()
+	v, _, ok := h.Exemplar()
+	if !ok || v != 8*200-1 {
+		t.Fatalf("exemplar after concurrent max race = (%g, %v), want %d", v, ok, 8*200-1)
+	}
+}

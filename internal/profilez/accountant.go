@@ -1,0 +1,109 @@
+package profilez
+
+import (
+	"sort"
+	"sync"
+)
+
+// maxAccountKeys bounds the accountant's memory: beyond this many
+// distinct (graph, strategy) pairs, new keys fold into the "other" row
+// so a graph-name churn workload cannot grow the map without bound.
+const maxAccountKeys = 256
+
+// overflowKey collects usage for keys beyond the cardinality bound.
+var overflowKey = ConsumerKey{Graph: "other", Strategy: "other"}
+
+// ConsumerKey identifies one resource-consumer aggregate.
+type ConsumerKey struct {
+	Graph    string `json:"graph"`
+	Strategy string `json:"strategy"`
+}
+
+// ConsumerTotals is the cumulative resource usage attributed to one key.
+type ConsumerTotals struct {
+	Solves       int64 `json:"solves"`
+	WallNanos    int64 `json:"wallNs"`
+	CPUNanos     int64 `json:"cpuNs"`
+	AllocBytes   int64 `json:"allocBytes"`
+	AllocObjects int64 `json:"allocObjects"`
+	GCPauseNanos int64 `json:"gcPauseNs"`
+}
+
+// Consumer is one row of the top-consumers report.
+type Consumer struct {
+	ConsumerKey
+	ConsumerTotals
+}
+
+// Accountant aggregates per-solve Usage by (graph, strategy) for the
+// /debug/statusz "top resource consumers" panel. Safe for concurrent use.
+type Accountant struct {
+	mu     sync.Mutex
+	totals map[ConsumerKey]*ConsumerTotals
+}
+
+// NewAccountant returns an empty accountant.
+func NewAccountant() *Accountant {
+	return &Accountant{totals: map[ConsumerKey]*ConsumerTotals{}}
+}
+
+// Record attributes one solve's usage to (graph, strategy). An empty
+// graph (inline request bodies) is recorded as "(inline)".
+func (a *Accountant) Record(graph, strategy string, u Usage) {
+	if graph == "" {
+		graph = "(inline)"
+	}
+	key := ConsumerKey{Graph: graph, Strategy: strategy}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	t := a.totals[key]
+	if t == nil {
+		// One slot is reserved for the overflow row so the map never
+		// exceeds maxAccountKeys even when "other" is itself new.
+		if len(a.totals) >= maxAccountKeys-1 && key != overflowKey {
+			key = overflowKey
+			t = a.totals[key]
+		}
+		if t == nil {
+			t = &ConsumerTotals{}
+			a.totals[key] = t
+		}
+	}
+	t.Solves++
+	t.WallNanos += u.WallNanos
+	t.CPUNanos += u.CPUNanos
+	t.AllocBytes += u.AllocBytes
+	t.AllocObjects += u.AllocObjects
+	t.GCPauseNanos += u.GCPauseNanos
+}
+
+// Top returns up to n consumers ordered by CPU time, breaking ties by
+// wall time then alloc bytes (CPU is the scarce resource the ROADMAP's
+// perf tier optimizes; wall covers I/O-bound outliers).
+func (a *Accountant) Top(n int) []Consumer {
+	a.mu.Lock()
+	out := make([]Consumer, 0, len(a.totals))
+	for k, t := range a.totals {
+		out = append(out, Consumer{ConsumerKey: k, ConsumerTotals: *t})
+	}
+	a.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].CPUNanos != out[j].CPUNanos {
+			return out[i].CPUNanos > out[j].CPUNanos
+		}
+		if out[i].WallNanos != out[j].WallNanos {
+			return out[i].WallNanos > out[j].WallNanos
+		}
+		if out[i].AllocBytes != out[j].AllocBytes {
+			return out[i].AllocBytes > out[j].AllocBytes
+		}
+		if out[i].Graph != out[j].Graph {
+			return out[i].Graph < out[j].Graph
+		}
+		return out[i].Strategy < out[j].Strategy
+	})
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}

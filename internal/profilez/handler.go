@@ -1,0 +1,186 @@
+package profilez
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"html/template"
+	"io"
+	"net/http"
+	"runtime"
+	"strconv"
+	"time"
+
+	"prefcover/internal/version"
+)
+
+// maxCaptureSeconds caps on-demand CPU windows so a typo'd request can't
+// pin the (process-exclusive) CPU profiler for an hour.
+const maxCaptureSeconds = 120
+
+// indexPayload is the JSON shape of GET /debug/profilez?format=json.
+type indexPayload struct {
+	GitSHA        string  `json:"gitSHA"`
+	GoVersion     string  `json:"goVersion"`
+	UptimeSeconds float64 `json:"uptimeSeconds"`
+	Files         int     `json:"files"`
+	Bytes         int64   `json:"bytes"`
+	MaxFiles      int     `json:"maxFiles"`
+	MaxBytes      int64   `json:"maxBytes"`
+	Captures      []Entry `json:"captures"`
+}
+
+// Handler serves the /debug/profilez index:
+//
+//	GET  /debug/profilez                  HTML index (or JSON via
+//	                                      ?format=json / Accept: application/json)
+//	GET  /debug/profilez?download=<id>    one retained capture, gzipped pprof
+//	POST /debug/profilez?capture=<kind>[&seconds=N]
+//	                                      on-demand capture; blocks for the
+//	                                      window on cpu, returns the Entry JSON
+func (c *Capturer) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.Method {
+		case http.MethodGet:
+			if id := r.URL.Query().Get("download"); id != "" {
+				c.serveDownload(w, r, id)
+				return
+			}
+			c.serveIndex(w, r)
+		case http.MethodPost:
+			c.serveCapture(w, r)
+		default:
+			w.Header().Set("Allow", "GET, POST")
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		}
+	})
+}
+
+func (c *Capturer) serveDownload(w http.ResponseWriter, r *http.Request, id string) {
+	rc, e, err := c.Open(id)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	defer rc.Close()
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Disposition", `attachment; filename="`+e.ID+`"`)
+	w.Header().Set("Content-Length", strconv.FormatInt(e.Bytes, 10))
+	io.Copy(w, rc)
+}
+
+func (c *Capturer) serveCapture(w http.ResponseWriter, r *http.Request) {
+	kind := Kind(r.URL.Query().Get("capture"))
+	if kind == "" {
+		http.Error(w, "missing ?capture=<kind>", http.StatusBadRequest)
+		return
+	}
+	if !ValidKind(kind) {
+		http.Error(w, fmt.Sprintf("unknown profile kind %q", kind), http.StatusBadRequest)
+		return
+	}
+	var seconds float64
+	if s := r.URL.Query().Get("seconds"); s != "" {
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil || v <= 0 || v > maxCaptureSeconds {
+			http.Error(w, fmt.Sprintf("seconds must be in (0, %d]", maxCaptureSeconds), http.StatusBadRequest)
+			return
+		}
+		seconds = v
+	}
+	e, err := c.Capture(r.Context(), kind, "manual", seconds)
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, ErrCPUBusy) {
+			status = http.StatusConflict
+		}
+		http.Error(w, err.Error(), status)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(e)
+}
+
+func (c *Capturer) indexPayload() indexPayload {
+	files, bytes := c.Stats()
+	return indexPayload{
+		GitSHA:        version.Get().Revision,
+		GoVersion:     runtime.Version(),
+		UptimeSeconds: c.Uptime().Seconds(),
+		Files:         files,
+		Bytes:         bytes,
+		MaxFiles:      c.opts.MaxFiles,
+		MaxBytes:      c.opts.MaxBytes,
+		Captures:      c.List(),
+	}
+}
+
+func (c *Capturer) serveIndex(w http.ResponseWriter, r *http.Request) {
+	p := c.indexPayload()
+	if r.URL.Query().Get("format") == "json" || acceptsJSON(r) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(p)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	indexTmpl.Execute(w, indexView{
+		indexPayload: p,
+		Uptime:       c.Uptime().Round(time.Second).String(),
+	})
+}
+
+func acceptsJSON(r *http.Request) bool {
+	accept := r.Header.Get("Accept")
+	// Cheap negotiation: prefer JSON only when asked for explicitly and
+	// HTML is not; browsers send both with text/html ranked.
+	return accept == "application/json"
+}
+
+type indexView struct {
+	indexPayload
+	Uptime string
+}
+
+var indexFuncs = template.FuncMap{
+	"bytes": fmtBytes,
+	"ts":    func(t time.Time) string { return t.UTC().Format("2006-01-02 15:04:05Z") },
+	"secs": func(v float64) string {
+		if v <= 0 {
+			return "–"
+		}
+		return strconv.FormatFloat(v, 'f', -1, 64) + "s"
+	},
+}
+
+var indexTmpl = template.Must(template.New("profilez").Funcs(indexFuncs).Parse(`<!doctype html>
+<html><head><title>prefcoverd profilez</title><style>
+body{font-family:system-ui,sans-serif;margin:1.5rem;color:#111}
+table{border-collapse:collapse;margin:0.75rem 0}
+th,td{border:1px solid #ccc;padding:0.3rem 0.6rem;text-align:left;font-size:0.9rem}
+th{background:#f3f3f3}
+code{background:#f5f5f5;padding:0 0.2rem}
+.meta{color:#555;font-size:0.9rem}
+form{display:inline}
+</style></head><body>
+<h1>/debug/profilez</h1>
+<p class="meta">git <code>{{.GitSHA}}</code> · {{.GoVersion}} · up {{.Uptime}} ·
+ring {{.Files}}/{{.MaxFiles}} files, {{bytes .Bytes}} of {{bytes .MaxBytes}}</p>
+<p>On-demand capture:
+{{range $k := .Kinds}}<form method="POST" action="?capture={{$k}}"><button>{{$k}}</button></form> {{end}}
+(cpu blocks for its sampling window; add <code>&amp;seconds=N</code>)</p>
+<table>
+<tr><th>time (UTC)</th><th>kind</th><th>trigger</th><th>window</th><th>size</th><th></th></tr>
+{{range .Captures}}<tr>
+<td>{{ts .Time}}</td><td>{{.Kind}}</td><td>{{.Trigger}}</td>
+<td>{{secs .Seconds}}</td><td>{{bytes .Bytes}}</td>
+<td><a href="?download={{.ID}}">download</a></td>
+</tr>{{else}}<tr><td colspan="6"><em>no captures yet</em></td></tr>{{end}}
+</table>
+<p class="meta">Profiles are gzipped pprof protobufs: <code>go tool pprof &lt;file&gt;</code>.
+CPU samples carry <code>graph</code>/<code>strategy</code>/<code>endpoint</code>/<code>k_bucket</code>/<code>job</code>
+labels — filter with <code>-tagfocus graph=...</code>. JSON index at <code>?format=json</code>.</p>
+</body></html>
+`))
+
+// Kinds is exposed to the template for the capture buttons.
+func (indexView) Kinds() []Kind { return Kinds() }

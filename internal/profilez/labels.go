@@ -1,0 +1,69 @@
+package profilez
+
+import (
+	"context"
+	"math/bits"
+	"runtime/pprof"
+	"strconv"
+)
+
+// Label keys attached to solver goroutines. Kept as constants so tests,
+// the /debug/profilez index and `go tool pprof -tagfocus` invocations in
+// the README all agree on spelling.
+const (
+	LabelGraph    = "graph"
+	LabelStrategy = "strategy"
+	LabelEndpoint = "endpoint"
+	LabelKBucket  = "k_bucket"
+	LabelJob      = "job"
+)
+
+// SolveLabels describes one solve for profile attribution. Empty fields
+// are omitted from the label set rather than recorded as "".
+type SolveLabels struct {
+	Graph    string // registry name, or "" for inline request bodies
+	Strategy string // greedy strategy actually used
+	Endpoint string // HTTP route that initiated the solve
+	K        int    // requested k; bucketed via KBucket (0 => threshold mode)
+	Job      string // async job ID when solved by a jobs worker
+}
+
+// Do runs f with the solve's pprof labels applied to the current
+// goroutine (and inherited by any goroutines it starts, which is what
+// attributes the parallel strategy's stripe workers). When no CPU profile
+// is being collected this costs one context allocation and a label-set
+// swap — BenchmarkProfileLabelOverhead holds it within noise of a bare
+// solve.
+func Do(ctx context.Context, l SolveLabels, f func(ctx context.Context)) {
+	kv := make([]string, 0, 10)
+	if l.Graph != "" {
+		kv = append(kv, LabelGraph, l.Graph)
+	}
+	if l.Strategy != "" {
+		kv = append(kv, LabelStrategy, l.Strategy)
+	}
+	if l.Endpoint != "" {
+		kv = append(kv, LabelEndpoint, l.Endpoint)
+	}
+	kv = append(kv, LabelKBucket, KBucket(l.K))
+	if l.Job != "" {
+		kv = append(kv, LabelJob, l.Job)
+	}
+	pprof.Do(ctx, pprof.Labels(kv...), f)
+}
+
+// KBucket maps a requested k onto a coarse power-of-two bucket label
+// ("1-16", "17-32", "33-64", ...) so the label cardinality stays bounded
+// no matter what k values traffic carries. k <= 0 means the solve was
+// threshold-driven rather than k-driven.
+func KBucket(k int) string {
+	if k <= 0 {
+		return "threshold"
+	}
+	if k <= 16 {
+		return "1-16"
+	}
+	// Next power of two at or above k.
+	hi := 1 << bits.Len(uint(k-1))
+	return strconv.Itoa(hi/2+1) + "-" + strconv.Itoa(hi)
+}

@@ -1,0 +1,103 @@
+package profilez
+
+import (
+	"bytes"
+	"context"
+	"runtime/pprof"
+	"testing"
+	"time"
+)
+
+// spin burns CPU until d elapses so the profiler has samples to attribute.
+func spin(d time.Duration) float64 {
+	deadline := time.Now().Add(d)
+	x := 1.0
+	for time.Now().Before(deadline) {
+		for i := 0; i < 1e4; i++ {
+			x = x*1.0000001 + float64(i%3)
+		}
+	}
+	return x
+}
+
+// TestProfileLabelsRoundTrip captures a CPU profile around labeled work
+// and asserts the decoded profile carries every label pair — the parser
+// and the Do wrapper tested against the real runtime encoder.
+func TestProfileLabelsRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CPU sampling window too long for -short")
+	}
+	var buf bytes.Buffer
+	if err := pprof.StartCPUProfile(&buf); err != nil {
+		t.Fatal(err)
+	}
+	Do(context.Background(), SolveLabels{
+		Graph:    "yc-test",
+		Strategy: "lazy",
+		Endpoint: "/v1/solve",
+		K:        40,
+		Job:      "job-123",
+	}, func(ctx context.Context) {
+		// Labels must also reach child goroutines (the parallel
+		// strategy's stripe workers inherit them this way).
+		done := make(chan struct{})
+		go func() {
+			spin(300 * time.Millisecond)
+			close(done)
+		}()
+		spin(300 * time.Millisecond)
+		<-done
+	})
+	pprof.StopCPUProfile()
+
+	info, err := ReadProfile(&buf)
+	if err != nil {
+		t.Fatalf("parse profile: %v", err)
+	}
+	if info.Samples == 0 {
+		t.Fatal("no CPU samples collected")
+	}
+	for key, want := range map[string]string{
+		LabelGraph:    "yc-test",
+		LabelStrategy: "lazy",
+		LabelEndpoint: "/v1/solve",
+		LabelKBucket:  "33-64",
+		LabelJob:      "job-123",
+	} {
+		if !info.HasLabel(key, want) {
+			t.Errorf("no sample carries %s=%s; labels seen: %v", key, want, info.Labels)
+		}
+	}
+}
+
+// TestDoOmitsEmptyLabels checks "" fields don't become empty label pairs.
+func TestDoOmitsEmptyLabels(t *testing.T) {
+	Do(context.Background(), SolveLabels{Strategy: "scan"}, func(ctx context.Context) {
+		m := map[string]string{}
+		pprof.ForLabels(ctx, func(k, v string) bool {
+			m[k] = v
+			return true
+		})
+		if _, ok := m[LabelGraph]; ok {
+			t.Errorf("empty graph recorded as label: %v", m)
+		}
+		if _, ok := m[LabelJob]; ok {
+			t.Errorf("empty job recorded as label: %v", m)
+		}
+		if m[LabelStrategy] != "scan" || m[LabelKBucket] != "threshold" {
+			t.Errorf("labels = %v", m)
+		}
+	})
+}
+
+// TestReadProfileRejectsGarbage ensures the parser fails loudly rather
+// than returning empty results for corrupt input.
+func TestReadProfileRejectsGarbage(t *testing.T) {
+	if _, err := ReadProfile(bytes.NewReader([]byte{0x1f, 0x8b, 0x00})); err == nil {
+		t.Error("truncated gzip accepted")
+	}
+	// Wire-type-7 tag (invalid) in an uncompressed body.
+	if _, err := ReadProfile(bytes.NewReader([]byte{0x0f, 0x01, 0x02})); err == nil {
+		t.Error("invalid wire type accepted")
+	}
+}

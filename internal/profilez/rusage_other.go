@@ -1,0 +1,7 @@
+//go:build !unix
+
+package profilez
+
+// processCPUNanos has no portable fallback off unix; CPUNanos reads as 0
+// there and the rest of the Usage fields still work.
+func processCPUNanos() int64 { return 0 }

@@ -1,0 +1,20 @@
+//go:build unix
+
+package profilez
+
+import "syscall"
+
+// processCPUNanos returns cumulative process CPU time (user + system)
+// from getrusage. Per-process rather than per-goroutine, so per-solve
+// deltas are exact only when solves are serialized; see Usage.
+func processCPUNanos() int64 {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	return tvNanos(ru.Utime) + tvNanos(ru.Stime)
+}
+
+func tvNanos(tv syscall.Timeval) int64 {
+	return int64(tv.Sec)*1e9 + int64(tv.Usec)*1e3
+}

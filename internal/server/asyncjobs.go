@@ -128,6 +128,10 @@ func (s *Server) submitJob(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case errors.Is(err, jobs.ErrQueueFull):
 		s.met.rejected.With("/v1/jobs", "queue_full").Inc()
+		// A saturated queue is exactly when an operator wants to know what
+		// the workers are doing: snapshot heap+goroutine profiles (cooldown
+		// keeps a rejection storm from flooding the ring).
+		s.capturer.Trigger("job_queue_saturated")
 		s.writeError(w, r, http.StatusTooManyRequests, err)
 		return
 	case errors.Is(err, jobs.ErrClosed):
@@ -156,6 +160,9 @@ func (s *Server) submitJob(w http.ResponseWriter, r *http.Request) {
 // spans land in the submitter's trace.
 func (s *Server) jobTask(sc trace.SpanContext, submitted time.Time, name string, variant prefcover.Variant, opts prefcover.Options, pinLabels []string) jobs.Task {
 	return func(ctx context.Context, update func(jobs.Progress)) (any, error) {
+		// Worker-side solves profile under the submission endpoint; the job
+		// ID itself arrives via jobs.IDFrom in the solver path.
+		ctx = withEndpoint(ctx, "/v1/jobs")
 		if sc.Valid() && s.tracer != nil {
 			span := s.tracer.RootContext("job solve", sc)
 			span.SetAttr("graph", name)

@@ -29,6 +29,34 @@ func requestIDFrom(ctx context.Context) string {
 	return id
 }
 
+// endpointKey carries the instrumented endpoint pattern ("/v1/solve") so
+// the solver path can label its pprof samples with the route that asked.
+type endpointKey struct{}
+
+func withEndpoint(ctx context.Context, endpoint string) context.Context {
+	return context.WithValue(ctx, endpointKey{}, endpoint)
+}
+
+// endpointFrom returns the endpoint installed by instrument, or "".
+func endpointFrom(ctx context.Context) string {
+	ep, _ := ctx.Value(endpointKey{}).(string)
+	return ep
+}
+
+// graphNameKey carries the registry name of the graph being solved —
+// inline bodies have no name and profile as "(inline)".
+type graphNameKey struct{}
+
+func withGraphName(ctx context.Context, name string) context.Context {
+	return context.WithValue(ctx, graphNameKey{}, name)
+}
+
+// graphNameFrom returns the graph name installed by solveRef, or "".
+func graphNameFrom(ctx context.Context) string {
+	name, _ := ctx.Value(graphNameKey{}).(string)
+	return name
+}
+
 // ensureRequestID returns the inbound X-Request-ID when usable, otherwise
 // a fresh random ID. Inbound IDs pass through verbatim so callers can
 // correlate their own identifiers across header, logs and error bodies.
@@ -98,6 +126,7 @@ func (s *Server) instrument(endpoint string, limited bool, h http.HandlerFunc) h
 		w.Header().Set("X-Request-ID", reqID)
 		sr := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
 		ctx := context.WithValue(r.Context(), reqIDKey{}, reqID)
+		ctx = withEndpoint(ctx, endpoint)
 		var root *trace.Span
 		traceID := ""
 		if distributed {
@@ -122,22 +151,31 @@ func (s *Server) instrument(endpoint string, limited bool, h http.HandlerFunc) h
 		start := time.Now()
 		defer func() {
 			dur := time.Since(start)
-			s.met.latency.With(endpoint).Observe(dur.Seconds())
+			// The latency observation carries the trace ID as an exemplar:
+			// the histogram remembers which trace produced its slowest
+			// sample, and statusz links the p99 cell to that trace.
+			s.met.latency.With(endpoint).ObserveExemplar(dur.Seconds(), traceID)
 			s.met.requests.With(endpoint, strconv.Itoa(sr.code)).Inc()
 			if root != nil {
 				root.SetAttr("status", sr.code)
 				root.End()
 			}
 			s.accessLog(r, reqID, traceID, sr, dur)
-			if t := s.limits.SlowRequestThreshold; t > 0 && dur >= t && s.logger != nil {
-				s.logger.LogAttrs(r.Context(), slog.LevelWarn, "slow request",
-					slog.String("endpoint", endpoint),
-					slog.Int("status", sr.code),
-					slog.Duration("duration", dur),
-					slog.Duration("threshold", t),
-					slog.String("request_id", reqID),
-					slog.String("trace_id", traceID),
-				)
+			if t := s.limits.SlowRequestThreshold; t > 0 && dur >= t {
+				if s.logger != nil {
+					s.logger.LogAttrs(r.Context(), slog.LevelWarn, "slow request",
+						slog.String("endpoint", endpoint),
+						slog.Int("status", sr.code),
+						slog.Duration("duration", dur),
+						slog.Duration("threshold", t),
+						slog.String("request_id", reqID),
+						slog.String("trace_id", traceID),
+					)
+				}
+				// A breached threshold snapshots heap+goroutine profiles so
+				// the state that made this request slow is retained even if
+				// nobody is watching; the capturer's cooldown rate-limits it.
+				s.capturer.Trigger("slow_request")
 			}
 		}()
 		if limited && s.sem != nil {
@@ -199,6 +237,9 @@ func (s *Server) updateServing() {
 	s.met.cacheEntries.With().Set(int64(s.cache.Len()))
 	s.met.jobsQueueDepth.With().Set(int64(s.jobs.Depth()))
 	s.met.jobsRunning.With().Set(int64(s.jobs.Running()))
+	files, bytes := s.capturer.Stats()
+	s.met.profilezFiles.With().Set(int64(files))
+	s.met.profilezBytes.With().Set(bytes)
 }
 
 // updateRuntime snapshots process health into the runtime gauge set; it

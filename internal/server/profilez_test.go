@@ -1,0 +1,386 @@
+package server
+
+// End-to-end tests for ISSUE 7's profiling and resource-attribution
+// wiring: pprof labels on the solver hot path (the acceptance criterion —
+// a decoded CPU profile from a labeled solve carries the graph/strategy/
+// endpoint pairs), per-solve resource accounting surfaced in responses,
+// job results and trace spans, trigger-based captures, and the statusz
+// panels built from all of it.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime/pprof"
+	"strings"
+	"testing"
+	"time"
+
+	"prefcover/internal/jobs"
+	"prefcover/internal/profilez"
+	"prefcover/internal/trace"
+)
+
+// TestSolveProfileLabels is the acceptance test: solve a registered graph
+// over HTTP while the CPU profiler runs, decode the resulting profile,
+// and find solver samples labeled with the graph, strategy and endpoint
+// that asked for them. The cache is invalidated between solves so every
+// request actually runs the solver (a warm prefix cache answers with
+// zero solver work, which would leave nothing to sample).
+func TestSolveProfileLabels(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CPU-profile based; skipped under -short")
+	}
+	s, ts := newServingServer(t, Config{})
+	g := servingGraph(t, 4000)
+	resp, data := doReq(t, http.MethodPut, ts.URL+"/v1/graphs/labeled-demo",
+		http.Header{"Content-Type": []string{"application/json"}}, graphJSON(t, g))
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("PUT status = %d: %s", resp.StatusCode, data)
+	}
+	entry, ok := s.Store().Get("labeled-demo")
+	if !ok {
+		t.Fatal("registered graph not in store")
+	}
+
+	var buf bytes.Buffer
+	if err := pprof.StartCPUProfile(&buf); err != nil {
+		t.Skipf("cannot start CPU profile: %v", err)
+	}
+	// Solve until ~400ms of solver wall time has accumulated: at the
+	// default 100 Hz sampling that is ~40 samples, nearly all inside the
+	// labeled scan loop.
+	start := time.Now()
+	body, _ := json.Marshal(map[string]string{"graph_ref": "labeled-demo"})
+	for solves := 0; time.Since(start) < 400*time.Millisecond && solves < 100; solves++ {
+		s.Cache().InvalidateGraph(entry.Hash)
+		resp, data := doReq(t, http.MethodPost, ts.URL+"/v1/solve?variant=i&k=150&lazy=0",
+			http.Header{"Content-Type": []string{"application/json"}}, body)
+		if resp.StatusCode != http.StatusOK {
+			pprof.StopCPUProfile()
+			t.Fatalf("solve status = %d: %s", resp.StatusCode, data)
+		}
+	}
+	pprof.StopCPUProfile()
+
+	info, err := profilez.ReadProfile(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Samples == 0 {
+		t.Skip("CPU profiler returned no samples (heavily loaded or throttled environment)")
+	}
+	for _, want := range [][2]string{
+		{profilez.LabelGraph, "labeled-demo"},
+		{profilez.LabelStrategy, "scan"},
+		{profilez.LabelEndpoint, "/v1/solve"},
+		{profilez.LabelKBucket, profilez.KBucket(150)},
+	} {
+		if !info.HasLabel(want[0], want[1]) {
+			t.Errorf("decoded profile (%d samples) has no sample labeled %s=%q; labels seen: %v",
+				info.Samples, want[0], want[1], info.Labels)
+		}
+	}
+}
+
+// findSpan walks a span tree for the first span with the given name.
+func findSpan(sp *trace.Span, name string) *trace.Span {
+	if sp.Name() == name {
+		return sp
+	}
+	for _, c := range sp.Children() {
+		if found := findSpan(c, name); found != nil {
+			return found
+		}
+	}
+	return nil
+}
+
+// TestJobResourcesCrossCheckSpan submits a traced async job and checks
+// the same per-solve resource accounting lands in both places the issue
+// requires: the job's result JSON (resources.cpuNs/allocBytes/gcPauseNs)
+// and the worker-side "solve" span attributes — and that the two agree
+// exactly, because they are one measurement.
+func TestJobResourcesCrossCheckSpan(t *testing.T) {
+	s, ts := newServingServer(t, Config{Jobs: jobs.Options{Workers: 1}})
+	doReq(t, http.MethodPut, ts.URL+"/v1/graphs/demo",
+		http.Header{"Content-Type": []string{"application/json"}}, graphJSON(t, servingGraph(t, 400)))
+
+	// A sampled traceparent makes the worker open a "job solve" root span
+	// whose solve child carries the resource attributes. The header must
+	// carry a parent span ID, so mint a client span like a real caller.
+	client := trace.New(2).RootContext("client", trace.NewSpanContext())
+	reqBody, _ := json.Marshal(map[string]any{"graph_ref": "demo", "variant": "independent", "k": 12})
+	resp, data := doReq(t, http.MethodPost, ts.URL+"/v1/jobs", http.Header{
+		"Content-Type":          []string{"application/json"},
+		trace.TraceparentHeader: []string{client.Context().Traceparent()},
+	}, reqBody)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status = %d: %s", resp.StatusCode, data)
+	}
+	var submitted jobPayload
+	if err := json.Unmarshal(data, &submitted); err != nil {
+		t.Fatal(err)
+	}
+	final := pollJob(t, ts.URL, submitted.ID)
+	if final.State != "done" {
+		t.Fatalf("job state = %q (%s)", final.State, final.Error)
+	}
+
+	result, ok := final.Result.(map[string]any)
+	if !ok {
+		t.Fatalf("job result is %T, want object", final.Result)
+	}
+	res, ok := result["resources"].(map[string]any)
+	if !ok {
+		t.Fatalf("job result has no resources object: %v", result["resources"])
+	}
+	for _, field := range []string{"wallNs", "cpuNs", "allocBytes", "allocObjects", "gcPauseNs"} {
+		if _, ok := res[field].(float64); !ok {
+			t.Errorf("resources.%s missing or not a number: %v", field, res[field])
+		}
+	}
+	if wall, _ := res["wallNs"].(float64); wall <= 0 {
+		t.Errorf("resources.wallNs = %v, want > 0", res["wallNs"])
+	}
+
+	// The worker's root span lands in the flight recorder just after the
+	// job result is visible; poll briefly like the distributed-trace tests.
+	var solveSpan *trace.Span
+	deadline := time.Now().Add(5 * time.Second)
+	for solveSpan == nil && time.Now().Before(deadline) {
+		for _, root := range s.Tracer().Snapshot() {
+			if root.Name() == "job solve" {
+				solveSpan = findSpan(root, "solve")
+			}
+		}
+		if solveSpan == nil {
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+	if solveSpan == nil {
+		t.Fatal("no worker-side solve span recorded")
+	}
+	for attr, field := range map[string]string{
+		"wallNs": "wallNs", "cpuNs": "cpuNs",
+		"allocBytes": "allocBytes", "gcPauseNs": "gcPauseNs",
+	} {
+		got, ok := solveSpan.Attr(attr).(int64)
+		if !ok {
+			t.Errorf("solve span attr %s missing or not int64: %v", attr, solveSpan.Attr(attr))
+			continue
+		}
+		if want := int64(res[field].(float64)); got != want {
+			t.Errorf("solve span %s = %d, job result resources.%s = %d; want identical", attr, got, field, want)
+		}
+	}
+	// The certificate rides the same span: a deterministic full solve must
+	// have a finite upper bound and a gap in [0,1].
+	gap, ok := solveSpan.Attr("approxGap").(float64)
+	if !ok {
+		t.Fatalf("solve span approxGap missing: %v", solveSpan.Attr("approxGap"))
+	}
+	if gap < 0 || gap > 1 {
+		t.Errorf("approxGap = %g, want within [0,1]", gap)
+	}
+	if _, ok := solveSpan.Attr("optUpperBound").(float64); !ok {
+		t.Error("solve span optUpperBound missing")
+	}
+}
+
+// TestSolveResourcesPresentOnMissAbsentOnHit: the response resources
+// field reports this request's solver work — present when the solver ran
+// (cache miss), absent when the prefix cache answered.
+func TestSolveResourcesPresentOnMissAbsentOnHit(t *testing.T) {
+	_, ts := newServingServer(t, Config{})
+	doReq(t, http.MethodPut, ts.URL+"/v1/graphs/demo",
+		http.Header{"Content-Type": []string{"application/json"}}, graphJSON(t, servingGraph(t, 200)))
+
+	resp, cold := solveRefHTTP(t, ts.URL, "demo", "?variant=i&k=10")
+	if got := resp.Header.Get("X-Prefcover-Cache"); got != "miss" {
+		t.Fatalf("cold cache header = %q", got)
+	}
+	if cold.Resources == nil {
+		t.Fatal("cache-miss response has no resources")
+	}
+	if cold.Resources.WallNanos <= 0 {
+		t.Errorf("miss resources wallNs = %d, want > 0", cold.Resources.WallNanos)
+	}
+
+	resp, warm := solveRefHTTP(t, ts.URL, "demo", "?variant=i&k=10")
+	if got := resp.Header.Get("X-Prefcover-Cache"); got != "hit" {
+		t.Fatalf("warm cache header = %q", got)
+	}
+	if warm.Resources != nil {
+		t.Errorf("cache-hit response carries resources %+v, want absent (no solver work)", warm.Resources)
+	}
+
+	// Inline bodies always run the solver and always carry resources.
+	resp2, data := doReq(t, http.MethodPost, ts.URL+"/v1/solve?variant=i&k=5",
+		http.Header{"Content-Type": []string{"application/json"}}, graphJSON(t, servingGraph(t, 100)))
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("inline solve status = %d: %s", resp2.StatusCode, data)
+	}
+	var inline solveResponse
+	if err := json.Unmarshal(data, &inline); err != nil {
+		t.Fatal(err)
+	}
+	if inline.Resources == nil {
+		t.Error("inline solve response has no resources")
+	}
+}
+
+// TestSlowRequestTriggersCapture: a request breaching the slow-request
+// threshold must snapshot heap+goroutine profiles into the ring, tagged
+// with the trigger that fired.
+func TestSlowRequestTriggersCapture(t *testing.T) {
+	_, ts := newServingServer(t, Config{
+		Limits: Limits{SlowRequestThreshold: time.Nanosecond}, // every request is "slow"
+	})
+	doReq(t, http.MethodPut, ts.URL+"/v1/graphs/demo",
+		http.Header{"Content-Type": []string{"application/json"}}, graphJSON(t, servingGraph(t, 100)))
+	s2, _ := solveRefHTTP(t, ts.URL, "demo", "?variant=i&k=5")
+	_ = s2
+
+	// Trigger captures run async; poll the index until they land.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, data := doReq(t, http.MethodGet, ts.URL+"/debug/profilez?format=json", nil, nil)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("profilez index status = %d", resp.StatusCode)
+		}
+		var idx struct {
+			Captures []profilez.Entry `json:"captures"`
+		}
+		if err := json.Unmarshal(data, &idx); err != nil {
+			t.Fatal(err)
+		}
+		kinds := map[profilez.Kind]bool{}
+		for _, e := range idx.Captures {
+			if e.Trigger == "slow_request" {
+				kinds[e.Kind] = true
+			}
+		}
+		if kinds[profilez.KindHeap] && kinds[profilez.KindGoroutine] {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("slow_request captures never appeared; index: %s", data)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestStatuszConsumersAndExemplar: after a traced solve, statusz shows the
+// top-resource-consumers row for the graph, links the p99 cell to the
+// slowest trace, reports the profile ring, and links /debug/profilez in
+// the footer.
+func TestStatuszConsumersAndExemplar(t *testing.T) {
+	_, ts := newServingServer(t, Config{})
+	doReq(t, http.MethodPut, ts.URL+"/v1/graphs/hotgraph",
+		http.Header{"Content-Type": []string{"application/json"}}, graphJSON(t, servingGraph(t, 200)))
+
+	client := trace.New(2).RootContext("client", trace.NewSpanContext())
+	traceID := client.TraceID()
+	body, _ := json.Marshal(map[string]string{"graph_ref": "hotgraph"})
+	resp, data := doReq(t, http.MethodPost, ts.URL+"/v1/solve?variant=i&k=8", http.Header{
+		"Content-Type":          []string{"application/json"},
+		trace.TraceparentHeader: []string{client.Context().Traceparent()},
+	}, body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("solve status = %d: %s", resp.StatusCode, data)
+	}
+
+	// The latency observation (and its exemplar) happens in the middleware
+	// defer, which can run just after the client sees the response body —
+	// poll until the exemplar link shows up.
+	var html string
+	wanted := []string{
+		"Top resource consumers",
+		"<td>hotgraph</td>",
+		"/debug/profilez",
+		fmt.Sprintf("/debug/traces?trace=%s", traceID), // p99 exemplar link
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, page := doReq(t, http.MethodGet, ts.URL+"/debug/statusz", nil, nil)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("statusz status = %d", resp.StatusCode)
+		}
+		html = string(page)
+		missing := false
+		for _, want := range wanted {
+			if !strings.Contains(html, want) {
+				missing = true
+			}
+		}
+		if !missing || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	for _, want := range wanted {
+		if !strings.Contains(html, want) {
+			t.Errorf("statusz page missing %q", want)
+		}
+	}
+	// /debug/pprof is not linked unless enabled.
+	if strings.Contains(html, "/debug/pprof") {
+		t.Error("statusz links /debug/pprof with EnablePprof off")
+	}
+}
+
+// TestPprofMuxGating: /debug/pprof/ serves only when Config.EnablePprof
+// is set, and /debug/profilez is always mounted.
+func TestPprofMuxGating(t *testing.T) {
+	_, off := newServingServer(t, Config{})
+	resp, _ := doReq(t, http.MethodGet, off.URL+"/debug/pprof/", nil, nil)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("pprof with EnablePprof off: status = %d, want 404", resp.StatusCode)
+	}
+	resp, _ = doReq(t, http.MethodGet, off.URL+"/debug/profilez", nil, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("profilez index: status = %d, want 200", resp.StatusCode)
+	}
+
+	_, on := newServingServer(t, Config{EnablePprof: true})
+	resp, _ = doReq(t, http.MethodGet, on.URL+"/debug/pprof/", nil, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("pprof with EnablePprof on: status = %d, want 200", resp.StatusCode)
+	}
+	resp, page := doReq(t, http.MethodGet, on.URL+"/debug/statusz", nil, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("statusz status = %d", resp.StatusCode)
+	}
+	if !strings.Contains(string(page), "/debug/pprof/") {
+		t.Error("statusz footer missing /debug/pprof link with EnablePprof on")
+	}
+}
+
+// TestMetricsCarryResourceFamilies: one solve populates the new resource
+// and profilez metric families on /metrics.
+func TestMetricsCarryResourceFamilies(t *testing.T) {
+	_, ts := newServingServer(t, Config{})
+	doReq(t, http.MethodPut, ts.URL+"/v1/graphs/demo",
+		http.Header{"Content-Type": []string{"application/json"}}, graphJSON(t, servingGraph(t, 150)))
+	solveRefHTTP(t, ts.URL, "demo", "?variant=i&k=6")
+
+	resp, data := doReq(t, http.MethodGet, ts.URL+"/metrics", nil, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics status = %d", resp.StatusCode)
+	}
+	scrape := string(data)
+	for _, family := range []string{
+		"prefcover_solve_resource_cpu_seconds_total",
+		"prefcover_solve_resource_alloc_bytes_total",
+		"prefcover_solve_resource_gc_pause_seconds_total",
+		"prefcover_solve_approx_gap",
+		"prefcover_profilez_ring_files",
+		"prefcover_profilez_ring_bytes",
+	} {
+		if !strings.Contains(scrape, family) {
+			t.Errorf("/metrics missing family %s", family)
+		}
+	}
+}

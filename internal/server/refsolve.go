@@ -13,6 +13,7 @@ import (
 	"net/http"
 
 	"prefcover"
+	"prefcover/internal/profilez"
 	"prefcover/internal/solvecache"
 	"prefcover/internal/store"
 	"prefcover/internal/trace"
@@ -67,11 +68,13 @@ func (s *Server) solveRef(ctx context.Context, rs *refSolve) (solveResponse, sol
 	cctx, span := trace.StartSpan(ctx, "cache")
 	span.SetAttr("graph", rs.name)
 	defer span.End()
+	var usage *profilez.Usage
 	hit, status, err := s.cache.Do(cctx, rs.key, rs.query, func() (*solvecache.Result, error) {
-		sol, serr := s.solve(ctx, rs.entry.Graph, rs.opts)
+		sol, u, serr := s.solve(withGraphName(ctx, rs.name), rs.entry.Graph, rs.opts)
 		if serr != nil {
 			return nil, serr
 		}
+		usage = u
 		s.store.RecordSolve(rs.name)
 		return solvecache.NewResult(sol, rs.entry.Graph.NumNodes(), len(rs.opts.Pinned)), nil
 	})
@@ -89,6 +92,11 @@ func (s *Server) solveRef(ctx context.Context, rs *refSolve) (solveResponse, sol
 		}
 	}
 	resp, err := s.hitPayload(rs, hit)
+	if err == nil && usage != nil {
+		// Resources only when this caller ran the solver: a hit (or a fill
+		// coalesced onto another in-flight request) did no solver work here.
+		resp.Resources = usage
+	}
 	return resp, status, err
 }
 

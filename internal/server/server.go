@@ -70,7 +70,9 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
+	"math"
 	"net/http"
+	netpprof "net/http/pprof"
 	"strconv"
 	"sync/atomic"
 	"time"
@@ -81,6 +83,7 @@ import (
 	"prefcover/internal/faults"
 	"prefcover/internal/jobs"
 	"prefcover/internal/metrics"
+	"prefcover/internal/profilez"
 	"prefcover/internal/solvecache"
 	"prefcover/internal/store"
 	"prefcover/internal/trace"
@@ -132,6 +135,15 @@ type Server struct {
 	// with faultControl, the /debug/faults endpoint.
 	faultInj     atomic.Pointer[faults.Injector]
 	faultControl bool
+	// capturer owns the /debug/profilez ring: periodic and trigger-based
+	// profile snapshots (slow requests, job-queue saturation).
+	capturer *profilez.Capturer
+	// accountant aggregates per-solve resource usage by (graph, strategy)
+	// for the statusz top-consumers panel.
+	accountant *profilez.Accountant
+	// enablePprof mounts net/http/pprof under /debug/pprof/ on the main
+	// mux, next to the other /debug/* handlers.
+	enablePprof bool
 	// started anchors the uptime gauge.
 	started time.Time
 	// testHookStart, when set (tests only), runs inside the instrumented
@@ -163,6 +175,17 @@ type Config struct {
 	// and swapped at runtime. Meant for test and chaos builds only: the
 	// endpoint is unauthenticated load-breaking power.
 	FaultControl bool
+	// Profilez configures the continuous-profiling capturer behind
+	// /debug/profilez (capture directory, retention bounds, periodic
+	// interval, trigger cooldown). The zero value works: on-demand and
+	// trigger captures into an owned temp directory, no periodic loop.
+	// The Logger and OnCapture fields are managed by the server.
+	Profilez profilez.Options
+	// EnablePprof mounts the standard net/http/pprof handlers under
+	// /debug/pprof/ on the same mux as the other /debug/* pages — the
+	// -pprof flag. /debug/profilez exists independently of it: profilez
+	// snapshots and retains, /debug/pprof serves live one-shot pulls.
+	EnablePprof bool
 }
 
 // New returns a Server with the given limits and default subsystem bounds;
@@ -223,12 +246,26 @@ func NewWithConfig(cfg Config) (*Server, error) {
 	if cfg.Faults != nil {
 		s.faultInj.Store(cfg.Faults)
 	}
+
+	s.accountant = profilez.NewAccountant()
+	profOpts := cfg.Profilez
+	profOpts.Logger = cfg.Logger
+	profOpts.OnCapture = func(e profilez.Entry) {
+		s.met.profilezCaptures.With(string(e.Kind), e.Trigger).Inc()
+	}
+	s.capturer = profilez.New(profOpts)
+	s.capturer.Start()
+	s.enablePprof = cfg.EnablePprof
 	return s, nil
 }
 
-// Close drains the async job workers (cancelling queued and running jobs).
-// The HTTP handlers stay usable; only job submission starts failing.
-func (s *Server) Close() { s.jobs.Close() }
+// Close drains the async job workers (cancelling queued and running jobs)
+// and stops the profile capturer. The HTTP handlers stay usable; only job
+// submission starts failing.
+func (s *Server) Close() {
+	s.jobs.Close()
+	s.capturer.Close()
+}
 
 // Store exposes the graph registry (tests, embedders).
 func (s *Server) Store() *store.Registry { return s.store }
@@ -249,6 +286,9 @@ func (s *Server) EnableTracing(sample, capacity int) {
 // Tracer exposes the flight recorder (tests, embedders).
 func (s *Server) Tracer() *trace.Tracer { return s.tracer }
 
+// Profilez exposes the profile capturer (tests, embedders).
+func (s *Server) Profilez() *profilez.Capturer { return s.capturer }
+
 // serverMetrics is the instrument set, one per Server so tests and
 // multi-tenant embeddings do not share state.
 type serverMetrics struct {
@@ -263,6 +303,16 @@ type serverMetrics struct {
 	solverReevals    *metrics.CounterVec   // prefcover_solver_heap_reevaluations_total{strategy}
 	solves           *metrics.CounterVec   // prefcover_solver_solves_total{strategy,outcome}
 	solveStage       *metrics.HistogramVec // prefcover_solve_stage_seconds{stage}
+
+	// Per-solve resource attribution and the approximation-gap
+	// certificate (internal/profilez).
+	solveCPUSeconds  *metrics.FloatGaugeVec // prefcover_solve_resource_cpu_seconds_total{strategy}
+	solveAllocBytes  *metrics.CounterVec    // prefcover_solve_resource_alloc_bytes_total{strategy}
+	solveGCPause     *metrics.FloatGaugeVec // prefcover_solve_resource_gc_pause_seconds_total{strategy}
+	approxGap        *metrics.HistogramVec  // prefcover_solve_approx_gap{strategy}
+	profilezCaptures *metrics.CounterVec    // prefcover_profilez_captures_total{kind,trigger}
+	profilezFiles    *metrics.GaugeVec      // prefcover_profilez_ring_files
+	profilezBytes    *metrics.GaugeVec      // prefcover_profilez_ring_bytes
 
 	// Serving-layer subsystems (registry, solve cache, job queue).
 	cacheOps           *metrics.CounterVec // prefcover_solvecache_requests_total{status}
@@ -312,6 +362,24 @@ func newServerMetrics() *serverMetrics {
 			"Per-iteration solver stage durations (gain_eval, node_commit, progress_callback).",
 			[]float64{1e-7, 1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1},
 			"stage"),
+		solveCPUSeconds: r.NewFloatGauge("prefcover_solve_resource_cpu_seconds_total",
+			"Cumulative process CPU seconds attributed to solver runs, by strategy.", "strategy"),
+		solveAllocBytes: r.NewCounter("prefcover_solve_resource_alloc_bytes_total",
+			"Cumulative heap bytes allocated during solver runs, by strategy.", "strategy"),
+		solveGCPause: r.NewFloatGauge("prefcover_solve_resource_gc_pause_seconds_total",
+			"Cumulative GC stop-the-world pause seconds elapsed during solver runs, by strategy.", "strategy"),
+		// The gap certificate lives in [0,1]; most solves certify within a
+		// few percent, so the buckets concentrate near zero.
+		approxGap: r.NewHistogram("prefcover_solve_approx_gap",
+			"Certified upper bound on how far the greedy cover can be below the optimal size-k cover (min over iterations of C(S_i)+k*maxRemainingGain_i, capped at 1, minus the final cover).",
+			[]float64{0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1},
+			"strategy"),
+		profilezCaptures: r.NewCounter("prefcover_profilez_captures_total",
+			"Profiles captured into the /debug/profilez ring, by kind and trigger.", "kind", "trigger"),
+		profilezFiles: r.NewGauge("prefcover_profilez_ring_files",
+			"Profile captures currently retained on disk."),
+		profilezBytes: r.NewGauge("prefcover_profilez_ring_bytes",
+			"Bytes of profile captures currently retained on disk."),
 		cacheOps: r.NewCounter("prefcover_solvecache_requests_total",
 			"Reference-solve cache outcomes (hit/miss/coalesced).", "status"),
 		cacheEvictions: r.NewCounter("prefcover_solvecache_evictions_total",
@@ -355,6 +423,17 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/debug/traces", s.handleTraces)
 	mux.HandleFunc("/debug/statusz", s.handleStatusz)
+	mux.Handle("/debug/profilez", s.capturer.Handler())
+	if s.enablePprof {
+		// The stock pprof handlers, on the same mux as every other
+		// /debug/* page (no second listener): live one-shot pulls for
+		// `go tool pprof http://...`, alongside profilez's retained ring.
+		mux.HandleFunc("/debug/pprof/", netpprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", netpprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", netpprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", netpprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", netpprof.Trace)
+	}
 	// withFaults sits inside instrument so injected failures are metered
 	// and logged like organic ones; it is a no-op until an injector is
 	// installed (-fault-spec or /debug/faults).
@@ -401,11 +480,17 @@ func (s *Server) writeWorkError(w http.ResponseWriter, r *http.Request, endpoint
 	s.writeError(w, r, http.StatusBadRequest, err)
 }
 
-// solve runs the solver with metrics, tracing and cancellation attached:
-// when the request is being recorded, a "solve" span wraps the run and
-// the ProgressEvent stream is folded into one child span per greedy
-// iteration (no extra solver plumbing).
-func (s *Server) solve(ctx context.Context, g *prefcover.Graph, opts prefcover.Options) (*prefcover.Solution, error) {
+// solve runs the solver with metrics, tracing, profiling attribution and
+// cancellation attached: when the request is being recorded, a "solve"
+// span wraps the run and the ProgressEvent stream is folded into one
+// child span per greedy iteration (no extra solver plumbing). The solver
+// goroutine carries pprof labels (graph/strategy/endpoint/k_bucket/job)
+// so CPU samples are attributable per workload, per-solve resource usage
+// (CPU, allocations, GC pause) is measured around the run, and the
+// iteration stream's MaxRemainingGain bounds are folded into the
+// approximation-gap certificate. The returned Usage is nil only when the
+// solver never ran.
+func (s *Server) solve(ctx context.Context, g *prefcover.Graph, opts prefcover.Options) (*prefcover.Solution, *profilez.Usage, error) {
 	strategy := solveStrategy(opts)
 	_, span := trace.StartSpan(ctx, "solve")
 	span.SetAttr("strategy", strategy)
@@ -414,17 +499,62 @@ func (s *Server) solve(ctx context.Context, g *prefcover.Graph, opts prefcover.O
 		s.met.solveStage.With(stage).Observe(seconds)
 	})
 	var reevals int64
+	// The certificate: after iteration i any size-k solution satisfies
+	// f(OPT_k) <= C(S_i) + k*bound_i (monotone submodularity), so the min
+	// over iterations — capped at 1, cover can't exceed it — upper-bounds
+	// the optimum, and minUB - finalCover bounds the approximation gap.
+	minUB := math.Inf(1)
+	budgetK := float64(opts.K)
 	// Chain rather than replace any caller-supplied Progress hook (async
 	// jobs feed their status endpoint through it).
 	prev := opts.Progress
 	opts.Progress = func(ev prefcover.ProgressEvent) {
 		reevals += ev.Reevaluated
+		if budgetK > 0 && ev.MaxRemainingGain >= 0 {
+			ub := ev.Cover + budgetK*ev.MaxRemainingGain
+			if ub > 1 {
+				ub = 1
+			}
+			if ub < minUB {
+				minUB = ub
+			}
+		}
 		recordIteration(ev)
 		if prev != nil {
 			prev(ev)
 		}
 	}
-	sol, err := prefcover.SolveContext(ctx, g, opts)
+
+	// Inline bodies have no registry name; label them "inline" so every
+	// CPU sample is attributable by graph, not just registered traffic.
+	graphName := graphNameFrom(ctx)
+	if graphName == "" {
+		graphName = "inline"
+	}
+	labels := profilez.SolveLabels{
+		Graph:    graphName,
+		Strategy: strategy,
+		Endpoint: endpointFrom(ctx),
+		K:        opts.K,
+		Job:      jobs.IDFrom(ctx),
+	}
+	var sol *prefcover.Solution
+	var err error
+	before := profilez.TakeSample()
+	profilez.Do(ctx, labels, func(ctx context.Context) {
+		sol, err = prefcover.SolveContext(ctx, g, opts)
+	})
+	usage := profilez.Since(before)
+
+	s.met.solveCPUSeconds.With(strategy).Add(float64(usage.CPUNanos) / 1e9)
+	s.met.solveAllocBytes.With(strategy).Add(usage.AllocBytes)
+	s.met.solveGCPause.With(strategy).Add(float64(usage.GCPauseNanos) / 1e9)
+	s.accountant.Record(labels.Graph, strategy, usage)
+	span.SetAttr("wallNs", usage.WallNanos)
+	span.SetAttr("cpuNs", usage.CPUNanos)
+	span.SetAttr("allocBytes", usage.AllocBytes)
+	span.SetAttr("gcPauseNs", usage.GCPauseNanos)
+
 	if sol != nil {
 		s.met.solverIterations.With(strategy).Add(int64(len(sol.Order)))
 		s.met.solverEvals.With(strategy).Add(sol.GainEvals)
@@ -432,6 +562,15 @@ func (s *Server) solve(ctx context.Context, g *prefcover.Graph, opts prefcover.O
 		span.SetAttr("iterations", len(sol.Order))
 		span.SetAttr("gainEvals", sol.GainEvals)
 		span.SetAttr("cover", sol.Cover)
+		if err == nil && !math.IsInf(minUB, 1) {
+			gap := minUB - sol.Cover
+			if gap < 0 {
+				gap = 0 // float slack; the bound can't be beaten for real
+			}
+			span.SetAttr("optUpperBound", minUB)
+			span.SetAttr("approxGap", gap)
+			s.met.approxGap.With(strategy).Observe(gap)
+		}
 	}
 	outcome := "ok"
 	switch {
@@ -442,7 +581,7 @@ func (s *Server) solve(ctx context.Context, g *prefcover.Graph, opts prefcover.O
 	}
 	span.SetAttr("outcome", outcome)
 	s.met.solves.With(strategy, outcome).Inc()
-	return sol, err
+	return sol, &usage, err
 }
 
 // solveStrategy mirrors the solver's strategy selection for metric labels.
@@ -608,6 +747,10 @@ type solveResponse struct {
 	Order    []string  `json:"order"`
 	Gains    []float64 `json:"gains"`
 	Coverage []float64 `json:"coverage"`
+	// Resources is the per-solve resource accounting when the solver
+	// actually ran for this response; absent on cache hits, which cost no
+	// solver work by construction.
+	Resources *profilez.Usage `json:"resources,omitempty"`
 }
 
 // solveParams parses solver query parameters shared by /v1/solve and
@@ -748,12 +891,14 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	opts.Pinned = pinned
 	ctx, cancel := s.requestCtx(r)
 	defer cancel()
-	sol, err := s.solve(ctx, g, opts)
+	sol, usage, err := s.solve(ctx, g, opts)
 	if err != nil {
 		s.writeWorkError(w, r, "/v1/solve", err)
 		return
 	}
-	writeJSON(w, solutionPayload(g, variant, sol))
+	resp := solutionPayload(g, variant, sol)
+	resp.Resources = usage
+	writeJSON(w, resp)
 }
 
 // handleStats summarizes an uploaded graph (Table 2-style columns plus
@@ -798,7 +943,7 @@ func (s *Server) handlePipeline(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	opts.Variant = variant
-	sol, err := s.solve(ctx, g, opts)
+	sol, usage, err := s.solve(ctx, g, opts)
 	if err != nil {
 		s.writeWorkError(w, r, "/v1/pipeline", err)
 		return
@@ -808,6 +953,8 @@ func (s *Server) handlePipeline(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, r, http.StatusInternalServerError, err)
 		return
 	}
+	solveResp := solutionPayload(g, variant, sol)
+	solveResp.Resources = usage
 	writeJSON(w, pipelineResponse{
 		Adapt: adaptResponse{
 			Variant:          variant.String(),
@@ -815,6 +962,6 @@ func (s *Server) handlePipeline(w http.ResponseWriter, r *http.Request) {
 			Report:           rep,
 			Graph:            json.RawMessage(bytes.TrimSpace(buf.Bytes())),
 		},
-		Solve: solutionPayload(g, variant, sol),
+		Solve: solveResp,
 	})
 }

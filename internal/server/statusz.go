@@ -30,6 +30,11 @@ type endpointRED struct {
 	P50      float64
 	P90      float64
 	P99      float64
+	// ExemplarTrace is the trace ID of the slowest observation this
+	// histogram has seen (when that request was traced): the p99 cell
+	// links to it, turning a suspicious tail number into the exact
+	// request that produced it.
+	ExemplarTrace string
 }
 
 // redStats joins prefcover_http_requests_total (for counts and error
@@ -64,6 +69,9 @@ func (s *Server) redStats() []endpointRED {
 		r.P50 = h.Quantile(0.50)
 		r.P90 = h.Quantile(0.90)
 		r.P99 = h.Quantile(0.99)
+		if _, id, ok := h.Exemplar(); ok {
+			r.ExemplarTrace = id
+		}
 	})
 	rows := make([]endpointRED, 0, len(byEndpoint))
 	for _, r := range byEndpoint {
@@ -110,6 +118,9 @@ func (s *Server) slowestTraces(n int) []slowTrace {
 // statuszSlowTraces caps the slowest-traces table.
 const statuszSlowTraces = 10
 
+// statuszTopConsumers caps the top-resource-consumers table.
+const statuszTopConsumers = 10
+
 func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
 	if !s.allowMethods(w, r, http.MethodGet) {
 		return
@@ -153,9 +164,14 @@ func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
 		if uptime > 0 {
 			rate = float64(row.Requests) / uptime
 		}
+		p99 := quantileCell(row.P99)
+		if row.ExemplarTrace != "" {
+			id := html.EscapeString(row.ExemplarTrace)
+			p99 = fmt.Sprintf("<a href=\"/debug/traces?trace=%s\" title=\"slowest observed request\">%s</a>", id, p99)
+		}
 		fmt.Fprintf(&b, "<tr><td>%s</td><td>%d</td><td>%.3f</td><td>%d</td><td>%.1f%%</td><td>%s</td><td>%s</td><td>%s</td></tr>\n",
 			html.EscapeString(row.Endpoint), row.Requests, rate, row.Errors, errPct,
-			quantileCell(row.P50), quantileCell(row.P90), quantileCell(row.P99))
+			quantileCell(row.P50), quantileCell(row.P90), p99)
 	}
 	b.WriteString("</table>\n")
 
@@ -168,6 +184,27 @@ func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(&b, "<tr><td>prefcover_jobs_queue_depth</td><td>%d</td></tr>\n", s.jobs.Depth())
 	fmt.Fprintf(&b, "<tr><td>prefcover_jobs_running</td><td>%d</td></tr>\n", s.jobs.Running())
 	b.WriteString("</table>\n")
+
+	// Top resource consumers: cumulative per-solve accounting by
+	// (graph, strategy), CPU-heaviest first — the "where does the solver
+	// budget go" panel. Cache hits cost no solver work and are absent.
+	b.WriteString("<h2>Top resource consumers (solves)</h2>\n")
+	if top := s.accountant.Top(statuszTopConsumers); len(top) == 0 {
+		b.WriteString("<p>no solves yet</p>\n")
+	} else {
+		b.WriteString("<table border=\"1\" cellpadding=\"4\">\n<tr><th>graph</th><th>strategy</th><th>solves</th><th>cpu</th><th>wall</th><th>alloc</th><th>objects</th><th>gc pause</th></tr>\n")
+		for _, c := range top {
+			fmt.Fprintf(&b, "<tr><td>%s</td><td>%s</td><td>%d</td><td>%.3fs</td><td>%.3fs</td><td>%d</td><td>%d</td><td>%.6fs</td></tr>\n",
+				html.EscapeString(c.Graph), html.EscapeString(c.Strategy), c.Solves,
+				float64(c.CPUNanos)/1e9, float64(c.WallNanos)/1e9,
+				c.AllocBytes, c.AllocObjects, float64(c.GCPauseNanos)/1e9)
+		}
+		b.WriteString("</table>\n")
+	}
+
+	// Profile ring occupancy, linked to the index for downloads.
+	files, bytes := s.capturer.Stats()
+	fmt.Fprintf(&b, "<h2>Profiles</h2>\n<p><a href=\"/debug/profilez\">/debug/profilez</a>: %d captures retained, %d bytes</p>\n", files, bytes)
 
 	// Fault injection: loud when armed, one quiet line when not.
 	b.WriteString("<h2>Faults</h2>\n")
@@ -188,7 +225,11 @@ func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
 			st.Start.Format(time.RFC3339))
 	}
 	b.WriteString("</table>\n")
-	b.WriteString("<p><a href=\"/metrics\">/metrics</a> · <a href=\"/debug/traces\">/debug/traces</a> · <a href=\"/version\">/version</a></p>\n")
+	b.WriteString("<p><a href=\"/metrics\">/metrics</a> · <a href=\"/debug/traces\">/debug/traces</a> · <a href=\"/debug/profilez\">/debug/profilez</a>")
+	if s.enablePprof {
+		b.WriteString(" · <a href=\"/debug/pprof/\">/debug/pprof</a>")
+	}
+	b.WriteString(" · <a href=\"/version\">/version</a></p>\n")
 	b.WriteString("</body></html>\n")
 
 	w.Header().Set("Content-Type", "text/html; charset=utf-8")

@@ -63,6 +63,9 @@ func IterationRecorderStages(solveSpan *Span, observe func(stage string, seconds
 			if ev.CommitTime > 0 {
 				sp.SetAttr("commitSeconds", ev.CommitTime.Seconds())
 			}
+			if ev.MaxRemainingGain >= 0 {
+				sp.SetAttr("maxRemainingGain", ev.MaxRemainingGain)
+			}
 			sp.EndAt(now)
 			last = now
 		}
