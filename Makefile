@@ -25,7 +25,7 @@ FUZZ_TARGETS := \
 	./internal/trace:FuzzTraceparent \
 	./cmd/prefcover:FuzzGraphImport
 
-.PHONY: all build test test-race chaos cover fuzz-short smoke loadgen loadgen-smoke bench bench-json profile vet fmt-check ci
+.PHONY: all build test test-race chaos cover fuzz-short smoke cluster-smoke loadgen loadgen-smoke bench bench-json profile vet fmt-check ci
 
 all: build test
 
@@ -42,10 +42,14 @@ test-race:
 	$(GO) test -race ./...
 	$(MAKE) chaos
 
-# chaos runs the end-to-end resilience suite under the race detector across
-# $(CHAOS_SEEDS); each seed is a fully reproducible fault schedule.
+# chaos runs the end-to-end resilience suites under the race detector across
+# $(CHAOS_SEEDS); each seed is a fully reproducible fault schedule. Covers
+# the single-node suite (internal/server) and the 3-node gateway cluster
+# suite (internal/cluster: replication, failover accounting, the
+# cluster-level differential oracle).
 chaos:
-	CHAOS_SEEDS=$(CHAOS_SEEDS) $(GO) test -race -count=1 -run '^TestChaos' ./internal/server
+	CHAOS_SEEDS=$(CHAOS_SEEDS) $(GO) test -race -count=1 -run '^TestChaos' \
+		./internal/server ./internal/cluster
 
 # cover enforces a coverage floor on the resilience packages.
 cover:
@@ -69,6 +73,13 @@ fuzz-short:
 # the expected metric families, and checks SIGTERM drains cleanly.
 smoke:
 	$(GO) test -count=1 -run '^TestStatuszMetricsSmoke$$' ./cmd/prefcoverd
+
+# cluster-smoke boots three real prefcoverd nodes plus a -gateway process,
+# pushes a graph through the gateway (R=2 replication), kills the node
+# that served a solve, and checks failover keeps answering with the
+# identical ordered prefix while the ring rebalances onto the survivors.
+cluster-smoke:
+	$(GO) test -count=1 -run '^TestClusterSmoke$$' ./cmd/prefcoverd
 
 # loadgen-smoke boots the real prefcoverd and prefcover binaries, fires a
 # one-second open-loop burst at the daemon, verifies the recorded
@@ -106,11 +117,12 @@ fmt-check:
 
 # ci is the pre-merge gate: static checks, full build and tests (including
 # the race detector — the jobs/cache/store subsystems are concurrency-heavy —
-# and the multi-seed chaos suite via test-race), coverage floors on the
-# resilience packages, the statusz/metrics daemon smoke test, the loadgen
+# and the multi-seed chaos suites via test-race), coverage floors on the
+# resilience packages, the statusz/metrics daemon smoke test, the cluster
+# smoke test (real nodes + gateway, kill-one-node failover), the loadgen
 # smoke test (real binaries, real traffic, schedule reproducibility), plus a
 # smoke run of the benchmark harness (tiny benchtime; result discarded).
-ci: vet fmt-check build test test-race cover smoke loadgen-smoke
+ci: vet fmt-check build test test-race cover smoke cluster-smoke loadgen-smoke
 	$(GO) run ./cmd/benchjson -quiet -benchtime 1x \
 		-bench '^(BenchmarkGainKernels|BenchmarkFig4aGreedySmall|BenchmarkPublicSolve)$$' \
 		-out $(or $(TMPDIR),/tmp)/prefcover-bench-smoke.json

@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"prefcover/internal/apiclient"
+	"prefcover/internal/cluster"
 	"prefcover/internal/faults"
 	"prefcover/internal/graph"
 	"prefcover/internal/jobs"
@@ -79,6 +80,9 @@ func runLoadgen(ctx context.Context, args []string) error {
 
 		maxConcurrent = fs.Int("max-concurrent", 0, "in-process daemon: cap concurrently executing /v1/* requests (0 = unlimited)")
 		jobWorkers    = fs.Int("job-workers", 2, "in-process daemon: async job worker pool width")
+
+		clusterK = fs.Int("cluster", 0, "boot this many in-process nodes behind a routing gateway and load the gateway instead of a single daemon (0 = single node; incompatible with -server)")
+		clusterR = fs.Int("cluster-replicas", 0, "replication factor for the -cluster gateway (0 = 2)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -94,6 +98,12 @@ func runLoadgen(ctx context.Context, args []string) error {
 	}
 	if *profileOut != "" && *printSchedule {
 		return fmt.Errorf("-profile needs a live run, not -print-schedule")
+	}
+	if *clusterK > 0 && *serverURL != "" {
+		return fmt.Errorf("-cluster boots its own gateway; it cannot be combined with -server")
+	}
+	if *clusterK > 0 && *profileOut != "" {
+		return fmt.Errorf("-profile captures through a node's /debug/profilez; the gateway does not expose one")
 	}
 	progress := func(format string, args ...any) {
 		if !*quiet {
@@ -139,7 +149,19 @@ func runLoadgen(ctx context.Context, args []string) error {
 	client := apiclient.New(apiclient.Options{Timeout: *timeout})
 	base := strings.TrimRight(*serverURL, "/")
 	var inproc *inprocDaemon
-	if base == "" {
+	var inprocCl *inprocCluster
+	switch {
+	case base != "":
+	case *clusterK > 0:
+		inprocCl, err = startInprocCluster(*clusterK, *clusterR, *maxConcurrent, *jobWorkers)
+		if err != nil {
+			return err
+		}
+		defer inprocCl.close()
+		base = inprocCl.baseURL
+		progress("in-process cluster %s, gateway on %s (max-concurrent=%d, job-workers=%d)",
+			inprocCl.topology, base, *maxConcurrent, *jobWorkers)
+	default:
 		inproc, err = startInprocDaemon(*maxConcurrent, *jobWorkers)
 		if err != nil {
 			return err
@@ -171,6 +193,11 @@ func runLoadgen(ctx context.Context, args []string) error {
 		if inproc != nil {
 			injector = faults.New(spec)
 			inproc.srv.SetFaults(injector)
+		} else if inprocCl != nil {
+			// Mirror the chaos suites: one faulted node, the gateway's
+			// failover absorbing its failures.
+			injector = faults.New(spec)
+			inprocCl.nodes[0].srv.SetFaults(injector)
 		} else if err := installRemoteFaults(ctx, client, base, *faultSpec); err != nil {
 			return fmt.Errorf("installing -fault-spec on %s: %w (is the server running with -fault-control?)", base, err)
 		}
@@ -252,6 +279,9 @@ func runLoadgen(ctx context.Context, args []string) error {
 			prof.artifact.Path, prof.artifact.Bytes, prof.artifact.Samples, prof.artifact.CaptureID)
 	}
 	report.Preset = string(p)
+	if inprocCl != nil {
+		report.Cluster = inprocCl.topology
+	}
 	if err := report.Validate(); err != nil {
 		return fmt.Errorf("report failed its own invariants (collector bug): %w", err)
 	}
@@ -326,6 +356,62 @@ func (d *inprocDaemon) close() {
 	defer cancel()
 	d.httpSrv.Shutdown(ctx)
 	d.srv.Close()
+}
+
+// inprocCluster is the -cluster target: K loopback prefcoverd nodes
+// behind a routing gateway, all in this process, so a cluster serving
+// number needs nothing but the binary.
+type inprocCluster struct {
+	nodes    []*inprocDaemon
+	gw       *cluster.Gateway
+	gwSrv    *http.Server
+	baseURL  string
+	topology string // e.g. "gateway+3nodes,r=2", recorded in the report
+}
+
+func startInprocCluster(k, replicas, maxConcurrent, jobWorkers int) (*inprocCluster, error) {
+	c := &inprocCluster{}
+	fail := func(err error) (*inprocCluster, error) { c.close(); return nil, err }
+	urls := make([]string, 0, k)
+	for i := 0; i < k; i++ {
+		node, err := startInprocDaemon(maxConcurrent, jobWorkers)
+		if err != nil {
+			return fail(err)
+		}
+		c.nodes = append(c.nodes, node)
+		urls = append(urls, node.baseURL)
+	}
+	gw, err := cluster.New(cluster.Options{Nodes: urls, Replicas: replicas})
+	if err != nil {
+		return fail(err)
+	}
+	c.gw = gw
+	if replicas <= 0 {
+		replicas = cluster.DefaultReplicas
+	}
+	c.topology = fmt.Sprintf("gateway+%dnodes,r=%d", k, replicas)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return fail(err)
+	}
+	c.gwSrv = &http.Server{Handler: gw.Handler()}
+	go c.gwSrv.Serve(ln)
+	c.baseURL = "http://" + ln.Addr().String()
+	return c, nil
+}
+
+func (c *inprocCluster) close() {
+	if c.gwSrv != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		c.gwSrv.Shutdown(ctx)
+		cancel()
+	}
+	if c.gw != nil {
+		c.gw.Close()
+	}
+	for _, n := range c.nodes {
+		n.close()
+	}
 }
 
 // profileCapture is the result of the server-side CPU capture a -profile

@@ -1,0 +1,292 @@
+package main
+
+// The cluster smoke test `make ci` (and `make cluster-smoke`) runs: build
+// the real binary once, boot three prefcoverd nodes plus a -gateway
+// process on ephemeral ports, push a graph through the gateway (checking
+// it replicates), solve through the gateway, then kill the node that
+// served the solve and check (a) the next solve still succeeds with the
+// identical ordered prefix — the gateway failed over to the surviving
+// replica — (b) the prober marks the corpse unhealthy, and (c) draining
+// it rebalances the ring to the two survivors while solves keep working.
+// Finally every process must drain to a clean exit on SIGTERM. This is
+// the real-binary counterpart of internal/cluster's in-process chaos
+// suite: same claims, actual processes and TCP.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"math/rand"
+	"net/http"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"prefcover"
+	"prefcover/internal/graphtest"
+)
+
+// smokeDaemon is one real prefcoverd process: the command, the resolved
+// listen address parsed off its "prefcoverd listening" log line, and a
+// channel that yields the full log once stderr hits EOF.
+type smokeDaemon struct {
+	cmd     *exec.Cmd
+	base    string // http://host:port
+	logDone chan string
+}
+
+func startSmokeDaemon(t *testing.T, bin string, args ...string) *smokeDaemon {
+	t.Helper()
+	cmd := exec.Command(bin, append([]string{"-addr", "127.0.0.1:0"}, args...)...)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cmd.Process.Kill() })
+
+	d := &smokeDaemon{cmd: cmd, logDone: make(chan string, 1)}
+	addrCh := make(chan string, 1)
+	go func() {
+		var all strings.Builder
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			all.WriteString(line + "\n")
+			if strings.Contains(line, "prefcoverd listening") {
+				for _, tok := range strings.Fields(line) {
+					if v, ok := strings.CutPrefix(tok, "addr="); ok {
+						select {
+						case addrCh <- v:
+						default:
+						}
+					}
+				}
+			}
+		}
+		d.logDone <- all.String()
+	}()
+	select {
+	case addr := <-addrCh:
+		d.base = "http://" + addr
+	case <-time.After(15 * time.Second):
+		cmd.Process.Kill()
+		t.Fatalf("daemon (%v) never logged its listen address; log so far:\n%s",
+			args, <-d.logDone)
+	}
+	return d
+}
+
+// stop SIGTERMs the daemon and requires a clean drain (exit 0).
+func (d *smokeDaemon) stop(t *testing.T) {
+	t.Helper()
+	if err := d.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	var log string
+	select {
+	case log = <-d.logDone:
+	case <-time.After(15 * time.Second):
+		d.cmd.Process.Kill()
+		t.Fatalf("daemon %s did not exit after SIGTERM", d.base)
+	}
+	if err := d.cmd.Wait(); err != nil {
+		t.Fatalf("daemon %s exit: %v\nlog:\n%s", d.base, err, log)
+	}
+}
+
+func TestClusterSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping cluster smoke test in -short mode")
+	}
+	bin := filepath.Join(t.TempDir(), "prefcoverd")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	// Three nodes, then the gateway fronting them. Fast probes so the
+	// kill below is noticed within the test's patience.
+	nodes := make(map[string]*smokeDaemon, 3)
+	var nodeURLs []string
+	for i := 0; i < 3; i++ {
+		d := startSmokeDaemon(t, bin)
+		nodes[d.base] = d
+		nodeURLs = append(nodeURLs, d.base)
+	}
+	gw := startSmokeDaemon(t, bin, "-gateway",
+		"-nodes", strings.Join(nodeURLs, ","),
+		"-probe-interval", "100ms", "-probe-timeout", "2s", "-max-attempts", "4")
+
+	if body := get(t, gw.base+"/readyz", "application/json"); !strings.Contains(body, `"ready"`) {
+		t.Fatalf("gateway /readyz body: %s", body)
+	}
+
+	// Push one graph through the gateway; it must land on R=2 replicas.
+	g := graphtest.Random(rand.New(rand.NewSource(42)), 300, 6, prefcover.Independent)
+	var buf bytes.Buffer
+	if err := prefcover.WriteGraphJSON(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPut, gw.base+"/v1/graphs/smoke", bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated && resp.StatusCode != http.StatusOK {
+		t.Fatalf("PUT graph through gateway = %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-Prefcover-Replicas"); got != "2" {
+		t.Fatalf("X-Prefcover-Replicas = %q, want 2", got)
+	}
+
+	// Solve through the gateway; the X-Prefcover-Node header names the
+	// replica that answered — that's the one we kill.
+	order, victim := smokeSolve(t, gw.base)
+	if len(order) == 0 || victim == "" {
+		t.Fatalf("solve: order=%v node=%q", order, victim)
+	}
+	dead, ok := nodes[victim]
+	if !ok {
+		t.Fatalf("X-Prefcover-Node %q is not one of the booted nodes %v", victim, nodeURLs)
+	}
+	dead.cmd.Process.Kill()
+	<-dead.logDone
+	dead.cmd.Wait()
+	delete(nodes, victim)
+
+	// Failover: the same solve must still succeed (served by the other
+	// replica) and return the identical ordered prefix.
+	order2, node2 := smokeSolve(t, gw.base)
+	if node2 == victim {
+		t.Fatalf("solve after kill still attributed to dead node %s", victim)
+	}
+	if strings.Join(order, "\x00") != strings.Join(order2, "\x00") {
+		t.Fatalf("failover changed the answer: %v vs %v", order, order2)
+	}
+
+	// The prober must mark the corpse unhealthy.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st := clusterSmokeState(t, gw.base)
+		unhealthy := false
+		for _, ns := range st.Nodes {
+			if ns.URL == victim && !ns.Healthy {
+				unhealthy = true
+			}
+		}
+		if unhealthy {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("gateway never marked the killed node unhealthy")
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	// Drain the corpse: the ring must rebalance onto the two survivors
+	// and solves must keep working against the rebalanced ring.
+	resp, err = http.Post(gw.base+"/debug/cluster?action=drain&node="+victim, "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("drain dead node = %d", resp.StatusCode)
+	}
+	st := clusterSmokeState(t, gw.base)
+	if len(st.RingNodes) != 2 {
+		t.Fatalf("ring has %d nodes after drain, want 2: %v", len(st.RingNodes), st.RingNodes)
+	}
+	for _, u := range st.RingNodes {
+		if u == victim {
+			t.Fatalf("dead node %s still on the ring after drain", victim)
+		}
+	}
+	order3, _ := smokeSolve(t, gw.base)
+	if strings.Join(order, "\x00") != strings.Join(order3, "\x00") {
+		t.Fatalf("post-drain solve changed the answer: %v vs %v", order, order3)
+	}
+
+	// The failover must be visible on /metrics.
+	metricsBody := get(t, gw.base+"/metrics", "text/plain")
+	validatePromText(t, metricsBody)
+	for _, family := range []string{
+		"prefcover_gateway_requests_total",
+		"prefcover_gateway_ring_nodes",
+		"prefcover_gateway_failovers_total",
+	} {
+		if !strings.Contains(metricsBody, "# TYPE "+family+" ") {
+			t.Errorf("/metrics missing family %s", family)
+		}
+	}
+
+	// Everything still alive must drain cleanly: gateway first (it stops
+	// probing the nodes), then the surviving nodes.
+	gw.stop(t)
+	for _, d := range nodes {
+		d.stop(t)
+	}
+}
+
+// smokeSolve runs one reference solve through the gateway and returns the
+// ordered prefix plus the node that served it.
+func smokeSolve(t *testing.T, gwBase string) (order []string, node string) {
+	t.Helper()
+	resp, err := http.Post(gwBase+"/v1/solve?variant=independent&k=3",
+		"application/json", strings.NewReader(`{"graph_ref":"smoke"}`))
+	if err != nil {
+		t.Fatalf("solve: %v", err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("solve = %d (%s)", resp.StatusCode, body)
+	}
+	var out struct {
+		Order []string `json:"order"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatalf("solve body not JSON: %v (%s)", err, body)
+	}
+	return out.Order, resp.Header.Get("X-Prefcover-Node")
+}
+
+// clusterSmokeState fetches and decodes GET /debug/cluster.
+func clusterSmokeState(t *testing.T, gwBase string) (st struct {
+	RingNodes []string `json:"ringNodes"`
+	Nodes     []struct {
+		URL     string `json:"url"`
+		Healthy bool   `json:"healthy"`
+	} `json:"nodes"`
+}) {
+	t.Helper()
+	resp, err := http.Get(gwBase + "/debug/cluster")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /debug/cluster = %d, %v", resp.StatusCode, err)
+	}
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatalf("cluster state not JSON: %v (%s)", err, body)
+	}
+	return st
+}

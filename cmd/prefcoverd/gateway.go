@@ -1,0 +1,112 @@
+package main
+
+// The -gateway mode: the same binary, serving the cluster routing
+// gateway (internal/cluster) instead of a single node. One binary keeps
+// deploys simple — `prefcoverd -gateway -nodes host1:8080,host2:8080`
+// fronts any set of plain prefcoverd processes; the gateway carries the
+// same operational surface (/healthz, /readyz, /metrics,
+// /debug/statusz, /debug/cluster) and the same graceful-drain shutdown
+// discipline as a node.
+
+import (
+	"context"
+	"errors"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"prefcover/internal/cluster"
+	"prefcover/internal/version"
+)
+
+// gatewayFlags is the -gateway flag group, registered by run.
+type gatewayFlags struct {
+	nodes          string
+	replicas       int
+	vnodes         int
+	probeInterval  time.Duration
+	probeTimeout   time.Duration
+	requestTimeout time.Duration
+	maxAttempts    int
+}
+
+// runGateway is run()'s -gateway branch: build the gateway, serve it,
+// drain on SIGINT/SIGTERM. It mirrors the node path's lifecycle exactly
+// so scripts that parse "prefcoverd listening" work against both roles.
+func runGateway(addr string, gf gatewayFlags, maxBodyMB int64, shutdownGrace time.Duration, logger *slog.Logger) int {
+	nodes := splitNodes(gf.nodes)
+	if len(nodes) == 0 {
+		logger.Error("-gateway requires -nodes host1:port,host2:port,...")
+		return 1
+	}
+	gw, err := cluster.New(cluster.Options{
+		Nodes:          nodes,
+		Replicas:       gf.replicas,
+		VNodes:         gf.vnodes,
+		Logger:         logger,
+		ProbeInterval:  gf.probeInterval,
+		ProbeTimeout:   gf.probeTimeout,
+		RequestTimeout: gf.requestTimeout,
+		MaxAttempts:    gf.maxAttempts,
+		MaxBodyBytes:   maxBodyMB << 20,
+	})
+	if err != nil {
+		logger.Error("gateway construction failed", "error", err)
+		return 1
+	}
+	defer gw.Close()
+
+	httpServer := &http.Server{
+		Addr:              addr,
+		Handler:           gw.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		logger.Error("listener failed", "error", err)
+		return 1
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- httpServer.Serve(ln) }()
+	logger.Info("prefcoverd listening", "addr", ln.Addr().String(),
+		"role", "gateway", "nodes", len(nodes), "version", version.Get().String())
+
+	select {
+	case err := <-errc:
+		logger.Error("listener failed", "error", err)
+		return 1
+	case <-ctx.Done():
+	}
+	stop()
+	logger.Info("prefcoverd shutting down", "drain_grace", shutdownGrace)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), shutdownGrace)
+	defer cancel()
+	if err := httpServer.Shutdown(shutdownCtx); err != nil {
+		logger.Error("shutdown incomplete", "error", err)
+		return 1
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		logger.Error("serve failed", "error", err)
+		return 1
+	}
+	logger.Info("prefcoverd stopped")
+	return 0
+}
+
+// splitNodes parses the -nodes list: comma-separated, blanks ignored.
+func splitNodes(raw string) []string {
+	var out []string
+	for _, tok := range strings.Split(raw, ",") {
+		if tok = strings.TrimSpace(tok); tok != "" {
+			out = append(out, tok)
+		}
+	}
+	return out
+}

@@ -73,7 +73,17 @@ func run() int {
 		faultSpec     = flag.String("fault-spec", "", "inject faults into /v1/* requests, e.g. \"seed=7,error=0.05,throttle=0.02,latency=5ms@0.3\" (chaos testing; empty = off)")
 		faultSpecDisk = flag.String("fault-spec-disk", "", "inject faults into -store-dir snapshot writes, same grammar as -fault-spec (empty = off)")
 		faultControl  = flag.Bool("fault-control", false, "mount /debug/faults so the HTTP fault injector can be inspected and replaced at runtime (test builds only)")
+
+		gateway = flag.Bool("gateway", false, "serve as a cluster routing gateway over the -nodes backends instead of a single node")
+		gf      gatewayFlags
 	)
+	flag.StringVar(&gf.nodes, "nodes", "", "comma-separated backend prefcoverd base URLs for -gateway (host:port or http://host:port)")
+	flag.IntVar(&gf.replicas, "replicas", 0, "graphs are replicated to this many nodes in -gateway mode (0 = 2)")
+	flag.IntVar(&gf.vnodes, "vnodes", 0, "virtual nodes per backend on the -gateway hash ring (0 = 128)")
+	flag.DurationVar(&gf.probeInterval, "probe-interval", 0, "-gateway readiness-probe period (0 = 2s)")
+	flag.DurationVar(&gf.probeTimeout, "probe-timeout", 0, "-gateway readiness-probe timeout (0 = 1s)")
+	flag.DurationVar(&gf.requestTimeout, "request-timeout", 0, "-gateway per-attempt deadline for forwarded requests (0 = none)")
+	flag.IntVar(&gf.maxAttempts, "max-attempts", 0, "-gateway failover budget per call, including the first attempt (0 = 3)")
 	flag.Parse()
 	if *showVersion {
 		fmt.Println(version.Get())
@@ -88,6 +98,10 @@ func run() int {
 		level = slog.LevelWarn
 	}
 	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+
+	if *gateway {
+		return runGateway(*addr, gf, *maxBody, *shutdownGrace, logger)
+	}
 
 	httpFaults, err := parseFaultFlag("fault-spec", *faultSpec, logger)
 	if err != nil {

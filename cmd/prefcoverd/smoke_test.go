@@ -30,9 +30,11 @@ const smokeClickstream = `{"id":"s1","purchase":"silver","clicks":["gold"]}
 `
 
 // promSampleLine matches one Prometheus text-format sample:
-// name{labels} value — the value being any float rendering.
+// name{labels} value — label values are full quoted strings (they may
+// contain braces, e.g. the "/v1/graphs/{name}" endpoint label), the
+// value any float rendering.
 var promSampleLine = regexp.MustCompile(
-	`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? (NaN|[+-]?Inf|[-+0-9.eE]+)$`)
+	`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"(,[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*")*\})? (NaN|[+-]?Inf|[-+0-9.eE]+)$`)
 
 func TestStatuszMetricsSmoke(t *testing.T) {
 	if testing.Short() {

@@ -17,6 +17,7 @@
 package apiclient
 
 import (
+	"context"
 	crand "crypto/rand"
 	"encoding/hex"
 	mrand "math/rand/v2"
@@ -44,6 +45,12 @@ type Options struct {
 	// connections (net/http's default). 0 keeps the loadgen-friendly
 	// default of 64.
 	MaxIdleConnsPerHost int
+	// Hosts is how many distinct backends this client fans out to (the
+	// cluster gateway talks to every node). It scales the transport-wide
+	// idle-connection cap so a multi-node fan-out is not silently capped at
+	// one host's pool size — without it, replicating to N nodes evicts and
+	// redials warm connections on every round. 0 means a single host.
+	Hosts int
 }
 
 // New returns the shared tuned client.
@@ -52,15 +59,34 @@ func New(opts Options) *http.Client {
 	if perHost <= 0 {
 		perHost = 64
 	}
+	hosts := opts.Hosts
+	if hosts <= 0 {
+		hosts = 1
+	}
 	return &http.Client{
 		Timeout: opts.Timeout,
 		Transport: &http.Transport{
 			DisableKeepAlives:   opts.DisableKeepAlives,
-			MaxIdleConns:        4 * perHost,
+			MaxIdleConns:        4 * perHost * hosts,
 			MaxIdleConnsPerHost: perHost,
 			IdleConnTimeout:     90 * time.Second,
 		},
 	}
+}
+
+// WithTimeout bounds a single request independently of the client-wide
+// Options.Timeout by attaching a deadline context to req. Use it for
+// fan-out calls that need a tight per-request budget (gateway health
+// probes, replication writes) on a client whose other requests (long
+// reference solves) must stay unbounded. The returned cancel must be
+// called once the response body is consumed. d <= 0 returns req
+// unchanged with a no-op cancel.
+func WithTimeout(req *http.Request, d time.Duration) (*http.Request, context.CancelFunc) {
+	if d <= 0 {
+		return req, func() {}
+	}
+	ctx, cancel := context.WithTimeout(req.Context(), d)
+	return req.WithContext(ctx), cancel
 }
 
 // NewRequestID mints a request ID in the same shape the server generates

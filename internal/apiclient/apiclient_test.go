@@ -75,6 +75,45 @@ func TestNewClientTransport(t *testing.T) {
 	if def := New(Options{}); def.Transport.(*http.Transport).MaxIdleConnsPerHost != 64 {
 		t.Fatal("default per-host pool should be 64")
 	}
+	// Fan-out sizing: the transport-wide idle cap must scale with the
+	// number of backends, or an N-node gateway would thrash one host's
+	// worth of pooled connections across all N.
+	fan := New(Options{MaxIdleConnsPerHost: 8, Hosts: 5}).Transport.(*http.Transport)
+	if fan.MaxIdleConns != 4*8*5 {
+		t.Fatalf("fan-out MaxIdleConns = %d, want %d", fan.MaxIdleConns, 4*8*5)
+	}
+}
+
+func TestWithTimeout(t *testing.T) {
+	release := make(chan struct{})
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-release:
+		case <-r.Context().Done():
+		}
+	}))
+	defer srv.Close()
+	defer close(release)
+
+	c := New(Options{}) // no client-wide timeout
+	req, _ := http.NewRequest(http.MethodGet, srv.URL, nil)
+	req, cancel := WithTimeout(req, 30*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	if _, err := c.Do(req); err == nil {
+		t.Fatal("request against a stalled handler should time out")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("timeout took %v, per-request deadline not applied", elapsed)
+	}
+
+	// d <= 0 must be a no-op returning the same request.
+	plain, _ := http.NewRequest(http.MethodGet, srv.URL, nil)
+	same, noop := WithTimeout(plain, 0)
+	noop()
+	if same != plain {
+		t.Fatal("WithTimeout(req, 0) should return req unchanged")
+	}
 }
 
 func TestNewPolicyShape(t *testing.T) {

@@ -1,0 +1,86 @@
+package chaostest
+
+// Cluster harness: boot K in-process HTTP nodes behind a gateway and
+// address them by index. The harness is deliberately generic — it takes
+// handler factories, not server or gateway types — because this package
+// is imported by internal/server's own in-package chaos test; importing
+// internal/server (or internal/cluster, which imports it) back from here
+// would be an import cycle. The cluster chaos test in internal/cluster
+// supplies the concrete prefcoverd handlers and gateway.
+
+import (
+	"net/http/httptest"
+)
+
+// ClusterNode is one booted backend: its test server and base URL.
+type ClusterNode struct {
+	Server *httptest.Server
+	URL    string
+}
+
+// ClusterHarness is K in-process nodes plus, once installed, a gateway in
+// front of them. Close tears everything down gateway-first (so no new
+// traffic reaches nodes mid-shutdown).
+type ClusterHarness struct {
+	Nodes   []ClusterNode
+	Gateway *httptest.Server
+}
+
+// NewClusterHarness boots K nodes, each serving the handler built by
+// factory(i). Handlers typically wrap a fully-configured prefcoverd
+// server; the factory index lets the caller arm a fault injector on a
+// chosen node.
+func NewClusterHarness(k int, factory func(i int) ClusterNode) *ClusterHarness {
+	h := &ClusterHarness{Nodes: make([]ClusterNode, k)}
+	for i := 0; i < k; i++ {
+		h.Nodes[i] = factory(i)
+	}
+	return h
+}
+
+// NodeURLs lists the backend base URLs in boot order (the gateway's
+// -nodes argument).
+func (h *ClusterHarness) NodeURLs() []string {
+	urls := make([]string, len(h.Nodes))
+	for i, n := range h.Nodes {
+		urls[i] = n.URL
+	}
+	return urls
+}
+
+// SetGateway installs the gateway's test server in front of the nodes.
+func (h *ClusterHarness) SetGateway(gw *httptest.Server) {
+	h.Gateway = gw
+}
+
+// GatewayURL returns the gateway's base URL ("" before SetGateway).
+func (h *ClusterHarness) GatewayURL() string {
+	if h.Gateway == nil {
+		return ""
+	}
+	return h.Gateway.URL
+}
+
+// KillNode abruptly stops node i (connection-refused territory, a hard
+// partition from the gateway's point of view). Safe to call once.
+func (h *ClusterHarness) KillNode(i int) {
+	if i >= 0 && i < len(h.Nodes) && h.Nodes[i].Server != nil {
+		h.Nodes[i].Server.CloseClientConnections()
+		h.Nodes[i].Server.Close()
+		h.Nodes[i].Server = nil
+	}
+}
+
+// Close shuts the gateway down first, then every surviving node.
+func (h *ClusterHarness) Close() {
+	if h.Gateway != nil {
+		h.Gateway.Close()
+		h.Gateway = nil
+	}
+	for i := range h.Nodes {
+		if h.Nodes[i].Server != nil {
+			h.Nodes[i].Server.Close()
+			h.Nodes[i].Server = nil
+		}
+	}
+}

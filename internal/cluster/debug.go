@@ -1,0 +1,244 @@
+package cluster
+
+import (
+	"fmt"
+	"html"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+
+	"prefcover/internal/metrics"
+)
+
+// clusterState is the /debug/cluster GET body: ring membership, per-node
+// health/load, placement balance, and the gateway's routing maps' sizes.
+type clusterState struct {
+	Replicas   int                `json:"replicas"`
+	VNodes     int                `json:"vnodes"`
+	RingNodes  []string           `json:"ringNodes"`
+	Nodes      []nodeSnapshot     `json:"nodes"`
+	LoadShares map[string]float64 `json:"loadShares"`
+	StickyKeys int                `json:"stickyKeys"`
+	TrackedJbs int                `json:"trackedJobs"`
+}
+
+func (g *Gateway) currentState() clusterState {
+	g.mu.Lock()
+	sticky := len(g.sticky)
+	jobs := len(g.jobOwner)
+	g.mu.Unlock()
+	return clusterState{
+		Replicas:   g.opts.Replicas,
+		VNodes:     g.ring.VNodes(),
+		RingNodes:  g.ring.Nodes(),
+		Nodes:      g.snapshots(),
+		LoadShares: g.ring.LoadShares(0),
+		StickyKeys: sticky,
+		TrackedJbs: jobs,
+	}
+}
+
+// handleCluster is the runtime membership control plane:
+//
+//	GET  /debug/cluster                    -> cluster state JSON
+//	POST /debug/cluster?action=drain&node=URL    remove from ring, keep probing
+//	POST /debug/cluster?action=undrain&node=URL  restore a drained node
+//	POST /debug/cluster?action=join&node=URL     add a brand-new node
+//	POST /debug/cluster?action=probe             force an immediate probe round
+//
+// Draining removes the node from placement and routing but keeps its
+// state and probes alive, so an operator can watch it recover (or
+// restart it) and undrain without re-describing it. Join both registers
+// and ring-adds in one step. Graphs already replicated to a drained
+// node stay there; new placements simply skip it.
+func (g *Gateway) handleCluster(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		writeJSON(w, g.currentState())
+	case http.MethodPost:
+		g.handleClusterAction(w, r)
+	default:
+		g.methodNotAllowed(w, r, http.MethodGet, http.MethodPost)
+	}
+}
+
+func (g *Gateway) handleClusterAction(w http.ResponseWriter, r *http.Request) {
+	action := r.URL.Query().Get("action")
+	if action == "probe" {
+		g.probeAll()
+		writeJSON(w, g.currentState())
+		return
+	}
+	node, err := normalizeNodeURL(r.URL.Query().Get("node"))
+	if err != nil {
+		g.writeGatewayError(w, r.Header.Get("X-Request-ID"), http.StatusBadRequest, err)
+		return
+	}
+	switch action {
+	case "drain":
+		if g.state(node) == nil {
+			g.writeGatewayError(w, r.Header.Get("X-Request-ID"), http.StatusNotFound,
+				fmt.Errorf("unknown node %s", node))
+			return
+		}
+		if !g.ring.Remove(node) {
+			g.writeGatewayError(w, r.Header.Get("X-Request-ID"), http.StatusConflict,
+				fmt.Errorf("node %s is already drained", node))
+			return
+		}
+		g.setDraining(node, true)
+		g.dropStickyTo(node)
+	case "undrain":
+		ns := g.state(node)
+		if ns == nil {
+			g.writeGatewayError(w, r.Header.Get("X-Request-ID"), http.StatusNotFound,
+				fmt.Errorf("unknown node %s", node))
+			return
+		}
+		if !g.ring.Add(node) {
+			g.writeGatewayError(w, r.Header.Get("X-Request-ID"), http.StatusConflict,
+				fmt.Errorf("node %s is not drained", node))
+			return
+		}
+		g.setDraining(node, false)
+	case "join":
+		g.mu.Lock()
+		if g.nodes[node] == nil {
+			g.nodes[node] = &nodeState{healthy: false}
+		}
+		g.mu.Unlock()
+		if !g.ring.Add(node) {
+			g.writeGatewayError(w, r.Header.Get("X-Request-ID"), http.StatusConflict,
+				fmt.Errorf("node %s is already a member", node))
+			return
+		}
+		// Joining shifts ~1/N of placements onto the new node; cached
+		// routes for moved graphs would dodge it forever, so reset them.
+		g.mu.Lock()
+		g.sticky = make(map[string]string)
+		g.mu.Unlock()
+		g.probeNode(node)
+	default:
+		g.writeGatewayError(w, r.Header.Get("X-Request-ID"), http.StatusBadRequest,
+			fmt.Errorf("unknown action %q (want drain|undrain|join|probe)", action))
+		return
+	}
+	g.updateRingGauges()
+	if g.logger != nil {
+		g.logger.Info("cluster membership changed", "action", action, "node", node,
+			"ring_nodes", g.ring.Len())
+	}
+	writeJSON(w, g.currentState())
+}
+
+func (g *Gateway) setDraining(node string, draining bool) {
+	if ns := g.state(node); ns != nil {
+		ns.mu.Lock()
+		ns.draining = draining
+		ns.mu.Unlock()
+	}
+}
+
+// dropStickyTo forgets sticky routes pointing at a node leaving the
+// ring. Job ownership is kept: a drained node still answers status polls
+// for jobs it accepted.
+func (g *Gateway) dropStickyTo(node string) {
+	g.mu.Lock()
+	for k, n := range g.sticky {
+		if n == node {
+			delete(g.sticky, k)
+		}
+	}
+	g.mu.Unlock()
+}
+
+// handleTraces dumps the gateway's flight recorder: Chrome trace JSON by
+// default, a text tree under Accept: text/plain.
+func (g *Gateway) handleTraces(w http.ResponseWriter, r *http.Request) {
+	if strings.Contains(r.Header.Get("Accept"), "text/plain") {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_ = g.tracer.WriteTree(w)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = g.tracer.WriteChrome(w)
+}
+
+// handleStatusz renders the one-page cluster dashboard: membership and
+// health, per-node RED stats from the gateway's own metric families, and
+// the failover/replication counters.
+func (g *Gateway) handleStatusz(w http.ResponseWriter, r *http.Request) {
+	st := g.currentState()
+	var b strings.Builder
+	b.WriteString(`<!DOCTYPE html><html><head><title>prefcover gateway statusz</title>
+<style>
+body{font-family:sans-serif;margin:2em;color:#222}
+table{border-collapse:collapse;margin:1em 0}
+td,th{border:1px solid #ccc;padding:4px 10px;text-align:left;font-size:14px}
+th{background:#f3f3f3}
+h1{font-size:22px}h2{font-size:17px;margin-top:1.6em}
+.ok{color:#070}.bad{color:#b00}.drain{color:#a60}
+small{color:#777}
+</style></head><body>
+`)
+	fmt.Fprintf(&b, "<h1>prefcover cluster gateway</h1>\n")
+	fmt.Fprintf(&b, "<p>uptime %s · ring %d nodes · R=%d · %d vnodes/node · %d sticky routes · %d tracked jobs</p>\n",
+		time.Since(g.start).Round(time.Second), len(st.RingNodes), st.Replicas, st.VNodes,
+		st.StickyKeys, st.TrackedJbs)
+
+	b.WriteString("<h2>Nodes</h2>\n<table><tr><th>node</th><th>state</th><th>ring share</th><th>graphs</th><th>queue</th><th>running</th><th>in-flight</th><th>last probe</th><th>last error</th></tr>\n")
+	for _, ns := range st.Nodes {
+		state, class := "healthy", "ok"
+		switch {
+		case ns.Draining:
+			state, class = "draining", "drain"
+		case !ns.Healthy:
+			state, class = "unhealthy", "bad"
+		}
+		share := "-"
+		if s, ok := st.LoadShares[ns.URL]; ok {
+			share = fmt.Sprintf("%.1f%%", s*100)
+		}
+		seen := "-"
+		if !ns.LastSeen.IsZero() {
+			seen = time.Since(ns.LastSeen).Round(time.Millisecond).String() + " ago"
+		}
+		fmt.Fprintf(&b, "<tr><td>%s</td><td class=%q>%s</td><td>%s</td><td>%d</td><td>%d/%d</td><td>%d</td><td>%d</td><td>%s</td><td><small>%s</small></td></tr>\n",
+			html.EscapeString(ns.URL), class, state, share, ns.Graphs,
+			ns.QueueDepth, ns.QueueCap, ns.Running, ns.InFlight, seen,
+			html.EscapeString(ns.LastErr))
+	}
+	b.WriteString("</table>\n")
+
+	b.WriteString("<h2>Forwarded traffic (RED)</h2>\n<table><tr><th>node</th><th>endpoint</th><th>requests</th><th>p50</th><th>p99</th></tr>\n")
+	type redRow struct {
+		node, endpoint string
+		count          int64
+		p50, p99       float64
+	}
+	var rows []redRow
+	g.met.latency.Each(func(labels []string, h *metrics.Histogram) {
+		rows = append(rows, redRow{
+			node: labels[0], endpoint: labels[1],
+			count: h.Count(), p50: h.Quantile(0.5), p99: h.Quantile(0.99),
+		})
+	})
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].node != rows[j].node {
+			return rows[i].node < rows[j].node
+		}
+		return rows[i].endpoint < rows[j].endpoint
+	})
+	for _, row := range rows {
+		fmt.Fprintf(&b, "<tr><td>%s</td><td>%s</td><td>%d</td><td>%.1fms</td><td>%.1fms</td></tr>\n",
+			html.EscapeString(row.node), html.EscapeString(row.endpoint),
+			row.count, row.p50*1000, row.p99*1000)
+	}
+	b.WriteString("</table>\n")
+
+	b.WriteString(`<p><a href="/metrics">/metrics</a> · <a href="/debug/cluster">/debug/cluster</a> · <a href="/debug/traces">/debug/traces</a></p>`)
+	b.WriteString("</body></html>\n")
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	_, _ = w.Write([]byte(b.String()))
+}

@@ -1,0 +1,159 @@
+package cluster
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestNormalizeNodeURL(t *testing.T) {
+	cases := []struct {
+		in, want string
+		ok       bool
+	}{
+		{"http://a:7070", "http://a:7070", true},
+		{"https://a:7070/", "https://a:7070", true},
+		{"a:7070", "http://a:7070", true},
+		{" 10.0.0.1:7070 ", "http://10.0.0.1:7070", true},
+		{"", "", false},
+		{"ftp://a:7070", "", false},
+		{"http://a:7070/path", "", false},
+	}
+	for _, c := range cases {
+		got, err := normalizeNodeURL(c.in)
+		if c.ok && (err != nil || got != c.want) {
+			t.Errorf("normalizeNodeURL(%q) = %q, %v; want %q", c.in, got, err, c.want)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("normalizeNodeURL(%q) accepted, want error", c.in)
+		}
+	}
+}
+
+func TestNewRejectsEmptyAndDuplicateNodes(t *testing.T) {
+	if _, err := New(Options{}); err == nil {
+		t.Error("New with no nodes should fail")
+	}
+	if _, err := New(Options{Nodes: []string{"http://a:1", "a:1"}}); err == nil {
+		t.Error("New with duplicate nodes should fail")
+	}
+}
+
+// The control-plane surface, against a live 3-node cluster: state JSON,
+// drain/undrain/join validation, gateway readiness, and the metrics and
+// statusz pages carrying the cluster families.
+func TestGatewayControlPlane(t *testing.T) {
+	fx := bootCluster(t, 3)
+	defer fx.close()
+	gwURL := fx.harness.GatewayURL()
+	client := http.DefaultClient
+
+	resp, body := doGW(t, client, http.MethodGet, gwURL+"/readyz", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("gateway /readyz = %d (%s)", resp.StatusCode, body)
+	}
+
+	resp, body = doGW(t, client, http.MethodGet, gwURL+"/debug/cluster", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/cluster = %d", resp.StatusCode)
+	}
+	var st clusterState
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if len(st.RingNodes) != 3 || st.Replicas != 2 || len(st.Nodes) != 3 {
+		t.Fatalf("cluster state: ring=%d replicas=%d nodes=%d", len(st.RingNodes), st.Replicas, len(st.Nodes))
+	}
+	for _, ns := range st.Nodes {
+		if !ns.Healthy {
+			t.Errorf("node %s unhealthy in a fresh cluster: %s", ns.URL, ns.LastErr)
+		}
+	}
+
+	// Action validation.
+	for _, bad := range []string{
+		"?action=drain&node=http://unknown:1",
+		"?action=nonsense&node=" + st.RingNodes[0],
+		"?action=drain&node=ftp://x",
+	} {
+		resp, _ := doGW(t, client, http.MethodPost, gwURL+"/debug/cluster"+bad, nil)
+		if resp.StatusCode < 400 {
+			t.Errorf("POST /debug/cluster%s = %d, want an error", bad, resp.StatusCode)
+		}
+	}
+
+	// Drain is idempotence-checked, undrain restores.
+	victim := st.RingNodes[0]
+	resp, _ = doGW(t, client, http.MethodPost, gwURL+"/debug/cluster?action=drain&node="+victim, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("drain = %d", resp.StatusCode)
+	}
+	if fx.gw.Ring().Contains(victim) {
+		t.Fatal("drained node still on the ring")
+	}
+	resp, _ = doGW(t, client, http.MethodPost, gwURL+"/debug/cluster?action=drain&node="+victim, nil)
+	if resp.StatusCode != http.StatusConflict {
+		t.Errorf("double drain = %d, want 409", resp.StatusCode)
+	}
+	resp, _ = doGW(t, client, http.MethodPost, gwURL+"/debug/cluster?action=undrain&node="+victim, nil)
+	if resp.StatusCode != http.StatusOK || !fx.gw.Ring().Contains(victim) {
+		t.Fatalf("undrain = %d, on ring: %v", resp.StatusCode, fx.gw.Ring().Contains(victim))
+	}
+
+	// The metric families the dashboards scrape must be exposed.
+	resp, body = doGW(t, client, http.MethodGet, gwURL+"/metrics", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics = %d", resp.StatusCode)
+	}
+	for _, family := range []string{
+		"prefcover_gateway_ring_nodes",
+		"prefcover_gateway_node_healthy",
+		"prefcover_gateway_probes_total",
+	} {
+		if !strings.Contains(string(body), family) {
+			t.Errorf("/metrics missing family %s", family)
+		}
+	}
+
+	resp, body = doGW(t, client, http.MethodGet, gwURL+"/debug/statusz", nil)
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "prefcover cluster gateway") {
+		t.Fatalf("/debug/statusz = %d", resp.StatusCode)
+	}
+	for _, ns := range st.Nodes {
+		if !strings.Contains(string(body), ns.URL) {
+			t.Errorf("statusz does not list node %s", ns.URL)
+		}
+	}
+}
+
+// A node joined at runtime starts taking placements: after join the ring
+// has K+1 members and ~1/(K+1) of fresh placements land on it.
+func TestGatewayJoin(t *testing.T) {
+	fx := bootCluster(t, 3)
+	defer fx.close()
+	gwURL := fx.harness.GatewayURL()
+
+	// Boot a 4th node out-of-band and join it through the gateway.
+	extraFx := bootCluster(t, 1)
+	defer extraFx.close()
+	extra := extraFx.harness.NodeURLs()[0]
+
+	resp, body := doGW(t, http.DefaultClient, http.MethodPost,
+		gwURL+"/debug/cluster?action=join&node="+extra, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("join = %d (%s)", resp.StatusCode, body)
+	}
+	if fx.gw.Ring().Len() != 4 {
+		t.Fatalf("ring has %d nodes after join, want 4", fx.gw.Ring().Len())
+	}
+	shares := fx.gw.Ring().LoadShares(4096)
+	if s := shares[extra]; s < 0.10 || s > 0.45 {
+		t.Errorf("joined node holds %.3f of placements, want ~0.25", s)
+	}
+	resp, _ = doGW(t, http.DefaultClient, http.MethodPost,
+		gwURL+"/debug/cluster?action=join&node="+extra, nil)
+	if resp.StatusCode != http.StatusConflict {
+		t.Errorf("double join = %d, want 409", resp.StatusCode)
+	}
+}

@@ -1,0 +1,243 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"prefcover/internal/apiclient"
+)
+
+// nodeState is the gateway's view of one backend, refreshed by the
+// readiness prober and degraded immediately by forward failures (a node
+// that just dropped a connection should not wait a probe interval to
+// stop receiving traffic).
+type nodeState struct {
+	mu sync.Mutex
+
+	healthy  bool
+	draining bool
+	lastErr  string
+	lastSeen time.Time
+
+	// Load signals from /readyz, the least-loaded tiebreak inputs.
+	graphs     int
+	queueDepth int
+	queueCap   int
+	running    int
+	inFlight   int
+}
+
+// nodeSnapshot is the lock-free copy handed to routing and debug pages.
+type nodeSnapshot struct {
+	URL        string    `json:"url"`
+	Healthy    bool      `json:"healthy"`
+	Draining   bool      `json:"draining"`
+	LastErr    string    `json:"lastError,omitempty"`
+	LastSeen   time.Time `json:"lastSeen,omitempty"`
+	Graphs     int       `json:"graphs"`
+	QueueDepth int       `json:"queueDepth"`
+	QueueCap   int       `json:"queueCap"`
+	Running    int       `json:"running"`
+	InFlight   int       `json:"inFlight"`
+}
+
+// load is the least-loaded routing score: work the node is already
+// committed to. Lower routes sooner.
+func (n nodeSnapshot) load() int { return n.QueueDepth + n.Running + n.InFlight }
+
+func (ns *nodeState) snapshot(url string) nodeSnapshot {
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	return nodeSnapshot{
+		URL:        url,
+		Healthy:    ns.healthy,
+		Draining:   ns.draining,
+		LastErr:    ns.lastErr,
+		LastSeen:   ns.lastSeen,
+		Graphs:     ns.graphs,
+		QueueDepth: ns.queueDepth,
+		QueueCap:   ns.queueCap,
+		Running:    ns.running,
+		InFlight:   ns.inFlight,
+	}
+}
+
+// readyBody mirrors the server's /readyz response shape.
+type readyBody struct {
+	Status     string `json:"status"`
+	Graphs     int    `json:"graphs"`
+	QueueDepth int    `json:"queueDepth"`
+	QueueCap   int    `json:"queueCap"`
+	Running    int    `json:"running"`
+	InFlight   int    `json:"inFlight"`
+}
+
+// probeLoop drives readiness probes for every known node (drained ones
+// included, so an operator can watch a drained node recover before
+// undraining it) until stop is closed.
+func (g *Gateway) probeLoop() {
+	defer close(g.probeDone)
+	ticker := time.NewTicker(g.opts.ProbeInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-g.probeStop:
+			return
+		case <-ticker.C:
+			g.probeAll()
+		}
+	}
+}
+
+// probeAll probes every known node once, concurrently.
+func (g *Gateway) probeAll() {
+	g.mu.Lock()
+	urls := make([]string, 0, len(g.nodes))
+	for u := range g.nodes {
+		urls = append(urls, u)
+	}
+	g.mu.Unlock()
+	sort.Strings(urls)
+
+	var wg sync.WaitGroup
+	for _, u := range urls {
+		wg.Add(1)
+		go func(u string) {
+			defer wg.Done()
+			g.probeNode(u)
+		}(u)
+	}
+	wg.Wait()
+	g.updateRingGauges()
+}
+
+// probeNode performs one readiness probe and folds the result into the
+// node's state.
+func (g *Gateway) probeNode(url string) {
+	ns := g.state(url)
+	if ns == nil {
+		return
+	}
+	req, err := http.NewRequest(http.MethodGet, url+"/readyz", nil)
+	if err != nil {
+		g.setProbeResult(url, ns, false, "bad probe url: "+err.Error(), nil)
+		g.met.probes.With(url, "error").Inc()
+		return
+	}
+	req, cancel := apiclient.WithTimeout(req, g.opts.ProbeTimeout)
+	defer cancel()
+	resp, err := g.client.Do(req)
+	if err != nil {
+		g.setProbeResult(url, ns, false, err.Error(), nil)
+		g.met.probes.With(url, "error").Inc()
+		return
+	}
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	resp.Body.Close()
+	var rb readyBody
+	// The body decodes on both 200 and 503 (saturated nodes still report
+	// their load); a decode failure leaves the previous load numbers.
+	decoded := json.Unmarshal(body, &rb) == nil
+	switch {
+	case resp.StatusCode == http.StatusOK:
+		if decoded {
+			g.setProbeResult(url, ns, true, "", &rb)
+		} else {
+			g.setProbeResult(url, ns, true, "", nil)
+		}
+		g.met.probes.With(url, "ready").Inc()
+	default:
+		msg := "readiness probe: " + resp.Status
+		if decoded {
+			g.setProbeResult(url, ns, false, msg, &rb)
+		} else {
+			g.setProbeResult(url, ns, false, msg, nil)
+		}
+		g.met.probes.With(url, "unready").Inc()
+	}
+}
+
+func (g *Gateway) setProbeResult(url string, ns *nodeState, healthy bool, errMsg string, rb *readyBody) {
+	ns.mu.Lock()
+	wasHealthy := ns.healthy
+	ns.healthy = healthy
+	ns.lastErr = errMsg
+	ns.lastSeen = time.Now()
+	if rb != nil {
+		ns.graphs = rb.Graphs
+		ns.queueDepth = rb.QueueDepth
+		ns.queueCap = rb.QueueCap
+		ns.running = rb.Running
+		ns.inFlight = rb.InFlight
+	}
+	ns.mu.Unlock()
+	if healthy {
+		g.met.nodeHealthy.With(url).Set(1)
+	} else {
+		g.met.nodeHealthy.With(url).Set(0)
+	}
+	if wasHealthy != healthy && g.logger != nil {
+		lvl := slog.LevelWarn
+		verdict := "unhealthy"
+		if healthy {
+			lvl = slog.LevelInfo
+			verdict = "healthy"
+		}
+		g.logger.LogAttrs(context.Background(), lvl, "node health changed",
+			slog.String("node", url),
+			slog.String("state", verdict),
+			slog.String("error", errMsg),
+		)
+	}
+}
+
+// markFailure degrades a node immediately after a failed forward attempt:
+// routing prefers other replicas until the next successful probe restores
+// it. kind is "transport" or "status".
+func (g *Gateway) markFailure(url, kind string, err error) {
+	g.met.nodeFailures.With(url, kind).Inc()
+	ns := g.state(url)
+	if ns == nil {
+		return
+	}
+	ns.mu.Lock()
+	ns.healthy = false
+	if err != nil {
+		ns.lastErr = err.Error()
+	}
+	ns.mu.Unlock()
+	g.met.nodeHealthy.With(url).Set(0)
+}
+
+// state returns the tracked state for url, or nil for unknown nodes.
+func (g *Gateway) state(url string) *nodeState {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.nodes[url]
+}
+
+// snapshots returns the state of every known node, sorted by URL.
+func (g *Gateway) snapshots() []nodeSnapshot {
+	g.mu.Lock()
+	states := make(map[string]*nodeState, len(g.nodes))
+	for u, ns := range g.nodes {
+		states[u] = ns
+	}
+	g.mu.Unlock()
+	out := make([]nodeSnapshot, 0, len(states))
+	for u, ns := range states {
+		out = append(out, ns.snapshot(u))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].URL < out[j].URL })
+	return out
+}
+
+func (g *Gateway) updateRingGauges() {
+	g.met.ringNodes.With().Set(int64(g.ring.Len()))
+}

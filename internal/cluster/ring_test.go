@@ -1,0 +1,191 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func ringNodes(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("http://10.0.0.%d:7070", i+1)
+	}
+	return out
+}
+
+func ringKeys(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("graph-%04d", i)
+	}
+	return out
+}
+
+// Removing one of N nodes must remap only the keys that node owned
+// (~1/N of them); every key whose primary survives must keep it. This is
+// the property that makes node drain cheap: no cluster-wide reshuffle.
+func TestRingRemoveRemapsOnlyOwnedKeys(t *testing.T) {
+	for _, n := range []int{3, 5, 8} {
+		r := NewRing(0)
+		nodes := ringNodes(n)
+		for _, nd := range nodes {
+			r.Add(nd)
+		}
+		keys := ringKeys(4000)
+		before := make(map[string]string, len(keys))
+		for _, k := range keys {
+			before[k] = r.Primary(k)
+		}
+		victim := nodes[n/2]
+		r.Remove(victim)
+
+		moved := 0
+		for _, k := range keys {
+			after := r.Primary(k)
+			if before[k] == victim {
+				if after == victim {
+					t.Fatalf("n=%d: key %q still maps to removed node", n, k)
+				}
+				moved++
+				continue
+			}
+			if after != before[k] {
+				t.Fatalf("n=%d: key %q remapped %s -> %s though its primary survived",
+					n, k, before[k], after)
+			}
+		}
+		share := float64(moved) / float64(len(keys))
+		want := 1.0 / float64(n)
+		// With 128 vnodes the victim's share is 1/N within a loose factor.
+		if share < want*0.5 || share > want*1.7 {
+			t.Fatalf("n=%d: removed node owned %.3f of keys, want ~%.3f", n, share, want)
+		}
+	}
+}
+
+// Placement must be identical for the same node set regardless of the
+// order nodes joined or of prior membership churn — the proxy for
+// "deterministic across processes": two gateways that each compute the
+// ring from the same -nodes list agree on every placement.
+func TestRingPlacementDeterministic(t *testing.T) {
+	nodes := ringNodes(5)
+	keys := ringKeys(500)
+
+	a := NewRing(64)
+	for _, nd := range nodes {
+		a.Add(nd)
+	}
+	// b: reversed insertion order plus churn of an unrelated node.
+	b := NewRing(64)
+	b.Add("http://transient:1")
+	for i := len(nodes) - 1; i >= 0; i-- {
+		b.Add(nodes[i])
+	}
+	b.Remove("http://transient:1")
+
+	for _, k := range keys {
+		pa, pb := a.Lookup(k, 2), b.Lookup(k, 2)
+		if len(pa) != len(pb) {
+			t.Fatalf("key %q: replica counts differ: %v vs %v", k, pa, pb)
+		}
+		for i := range pa {
+			if pa[i] != pb[i] {
+				t.Fatalf("key %q: placement differs at rank %d: %v vs %v", k, i, pa, pb)
+			}
+		}
+	}
+}
+
+// A golden placement table pins the hash function itself: if keyHash or
+// pointHash ever changes (different digest, different byte order), every
+// deployed gateway would disagree with a new one about where graphs
+// live. Update these values only with a deliberate migration plan.
+func TestRingGoldenPlacements(t *testing.T) {
+	r := NewRing(128)
+	for _, nd := range []string{"http://a:1", "http://b:1", "http://c:1"} {
+		r.Add(nd)
+	}
+	golden := map[string][2]string{
+		"loadgen-main": {"http://b:1", "http://c:1"},
+		"graph-0001":   {"http://a:1", "http://b:1"},
+		"graph-0002":   {"http://a:1", "http://c:1"},
+		"yoochoose":    {"http://b:1", "http://c:1"},
+	}
+	for key, want := range golden {
+		got := r.Lookup(key, 2)
+		if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+			t.Errorf("golden placement for %q changed: got %v, want %v (hash function drift?)",
+				key, got, want)
+		}
+	}
+}
+
+// R-replication must never place two replicas on the same node, for any
+// R up to and beyond the member count.
+func TestRingReplicasDistinct(t *testing.T) {
+	r := NewRing(0)
+	nodes := ringNodes(5)
+	for _, nd := range nodes {
+		r.Add(nd)
+	}
+	for _, k := range ringKeys(1000) {
+		for _, rep := range []int{2, 3, 5, 9} {
+			got := r.Lookup(k, rep)
+			wantLen := rep
+			if wantLen > len(nodes) {
+				wantLen = len(nodes)
+			}
+			if len(got) != wantLen {
+				t.Fatalf("key %q R=%d: got %d replicas, want %d", k, rep, len(got), wantLen)
+			}
+			seen := make(map[string]bool, len(got))
+			for _, nd := range got {
+				if seen[nd] {
+					t.Fatalf("key %q R=%d: duplicate replica %s in %v", k, rep, nd, got)
+				}
+				seen[nd] = true
+			}
+		}
+	}
+}
+
+func TestRingEdgeCases(t *testing.T) {
+	r := NewRing(16)
+	if got := r.Lookup("k", 2); got != nil {
+		t.Fatalf("empty ring Lookup = %v, want nil", got)
+	}
+	if r.Primary("k") != "" {
+		t.Fatal("empty ring Primary should be empty")
+	}
+	if !r.Add("http://a:1") || r.Add("http://a:1") {
+		t.Fatal("Add should report first insertion only")
+	}
+	if got := r.Lookup("k", 3); len(got) != 1 || got[0] != "http://a:1" {
+		t.Fatalf("single-node ring Lookup = %v", got)
+	}
+	if got := r.Lookup("k", 0); got != nil {
+		t.Fatalf("Lookup n=0 = %v, want nil", got)
+	}
+	if !r.Remove("http://a:1") || r.Remove("http://a:1") {
+		t.Fatal("Remove should report membership")
+	}
+	if r.Len() != 0 {
+		t.Fatalf("Len = %d after removal", r.Len())
+	}
+}
+
+func TestRingLoadSharesBalanced(t *testing.T) {
+	r := NewRing(0)
+	for _, nd := range ringNodes(4) {
+		r.Add(nd)
+	}
+	shares := r.LoadShares(4096)
+	if len(shares) != 4 {
+		t.Fatalf("LoadShares covered %d nodes, want 4", len(shares))
+	}
+	for nd, s := range shares {
+		if s < 0.10 || s > 0.45 {
+			t.Errorf("node %s holds %.3f of the ring, outside [0.10, 0.45]", nd, s)
+		}
+	}
+}

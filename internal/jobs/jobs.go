@@ -336,6 +336,12 @@ func (m *Manager) Running() int {
 	return m.running
 }
 
+// Cap returns the configured queue depth bound — the denominator for
+// readiness checks (Depth()/Cap() is queue saturation).
+func (m *Manager) Cap() int {
+	return m.opts.QueueDepth
+}
+
 // Close stops intake, cancels every queued and running job, and waits for
 // the workers to drain.
 func (m *Manager) Close() {

@@ -94,6 +94,12 @@ type ReplayStats struct {
 type Report struct {
 	// Workload identity: everything needed to regenerate the exact
 	// request schedule.
+	//
+	// Cluster records the serving topology when the target was a routing
+	// gateway rather than a single daemon (e.g. "gateway+3nodes,r=2");
+	// empty for single-node runs. Entries with different topologies are
+	// not comparable latency-wise — the gateway adds a proxy hop.
+	Cluster  string  `json:"cluster,omitempty"`
 	Preset   string  `json:"preset,omitempty"`
 	Seed     int64   `json:"seed"`
 	Mix      string  `json:"mix"`

@@ -7,6 +7,9 @@
 // Endpoints:
 //
 //	GET  /healthz                         liveness probe
+//	GET  /readyz                          readiness probe: 503 once the job
+//	                                      queue saturates; body carries load
+//	                                      signals for gateway routing
 //	GET  /metrics                         Prometheus text exposition
 //	GET  /version                         build identity (module, VCS revision, Go)
 //	GET  /debug/traces                    flight-recorder dump: Chrome trace
@@ -419,6 +422,7 @@ func newServerMetrics() *serverMetrics {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", s.instrument("/healthz", false, s.handleHealth))
+	mux.HandleFunc("/readyz", s.instrument("/readyz", false, s.handleReady))
 	mux.HandleFunc("/version", s.instrument("/version", false, s.handleVersion))
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/debug/traces", s.handleTraces)
@@ -626,6 +630,42 @@ func writeJSON(w http.ResponseWriter, v interface{}) {
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, map[string]string{"status": "ok"})
+}
+
+// readyResponse is the /readyz body. Beyond the ready bit it carries the
+// load signals a routing gateway uses for its least-loaded tiebreak:
+// queued and running async jobs plus occupied solver slots, all cheap
+// snapshots (no /metrics scrape needed on the probe path).
+type readyResponse struct {
+	Status     string `json:"status"` // "ready" | "unavailable"
+	Graphs     int    `json:"graphs"`
+	QueueDepth int    `json:"queueDepth"`
+	QueueCap   int    `json:"queueCap"`
+	Running    int    `json:"running"`
+	InFlight   int    `json:"inFlight"` // occupied solver slots (0 when unlimited)
+}
+
+// handleReady is the readiness probe: 200 while the server can take new
+// work, 503 once the async job queue is saturated (a submit would be
+// rejected with ErrQueueFull). Liveness stays on /healthz; gateways and
+// orchestrators should probe this endpoint instead.
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	resp := readyResponse{
+		Status:     "ready",
+		Graphs:     s.store.Len(),
+		QueueDepth: s.jobs.Depth(),
+		QueueCap:   s.jobs.Cap(),
+		Running:    s.jobs.Running(),
+		InFlight:   len(s.sem),
+	}
+	if resp.QueueDepth >= resp.QueueCap {
+		resp.Status = "unavailable"
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_ = json.NewEncoder(w).Encode(resp)
+		return
+	}
+	writeJSON(w, resp)
 }
 
 // handleVersion reports the build identity, so traces and benchmark
