@@ -27,6 +27,7 @@ import (
 	"prefcover/internal/experiments"
 	igraph "prefcover/internal/graph"
 	igreedy "prefcover/internal/greedy"
+	ikernel "prefcover/internal/kernel"
 	iprofilez "prefcover/internal/profilez"
 	"prefcover/internal/retry"
 	iserver "prefcover/internal/server"
@@ -322,23 +323,61 @@ func BenchmarkAblationIncremental(b *testing.B) {
 }
 
 // BenchmarkGainKernels measures the per-variant marginal-gain kernels, the
-// innermost loop of everything above.
+// innermost loop of everything above — the pointer-chasing reference engine
+// next to the flat kernel state — plus the solve-level strategies built on
+// them (lazy on the reference engine; flat-lazy and sketch on the kernel).
 func BenchmarkGainKernels(b *testing.B) {
 	for _, variant := range []igraph.Variant{igraph.Independent, igraph.Normalized} {
 		g := peBenchGraph(b, 20_000, variant)
 		eng := cover.NewEngine(g, variant)
+		st := ikernel.NewState(g, variant)
+		n := int32(g.NumNodes())
 		for v := int32(0); v < 500; v++ {
-			eng.Add(v * 37 % int32(g.NumNodes()))
+			eng.Add(v * 37 % n)
+			st.Add(v * 37 % n)
 		}
 		b.Run(variant.String(), func(b *testing.B) {
-			n := int32(g.NumNodes())
 			for i := 0; i < b.N; i++ {
 				if eng.Gain(int32(i)%n) < 0 {
 					b.Fatal("negative gain")
 				}
 			}
 		})
+		b.Run(variant.String()+"-flat", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if st.Gain(int32(i)%n) < 0 {
+					b.Fatal("negative gain")
+				}
+			}
+		})
+		st.Release()
 	}
+
+	// Solve-level: the same ablation instance as BenchmarkAblationLazyVsScan
+	// (20k nodes, K=500) so lazy / flat-lazy / sketch are directly
+	// comparable in BENCH_solver.json.
+	g := peBenchGraph(b, 20_000, igraph.Independent)
+	for _, strat := range []string{igreedy.StrategyLazy, igreedy.StrategyLazyFlat, igreedy.StrategySketch} {
+		b.Run(strat+"-solve", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := igreedy.Solve(g, igreedy.Options{Variant: igraph.Independent, K: 500, Strategy: strat}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+
+	// sketch-xlarge: 10x the ablation instance (200k nodes). The scan
+	// strategy cannot finish a K=500 solve here in bench time; the sketch's
+	// certified bounds keep the candidate pool almost entirely unevaluated.
+	xg := peBenchGraph(b, 200_000, igraph.Independent)
+	b.Run("sketch-xlarge", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := igreedy.Solve(xg, igreedy.Options{Variant: igraph.Independent, K: 500, Strategy: igreedy.StrategySketch}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkAdaptGraphConstruction measures the Data Adaptation Engine on a

@@ -1,0 +1,111 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// readBaseline loads a committed BENCH_*.json snapshot.
+func readBaseline(path string) (*File, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc File
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if doc.SchemaVersion != 1 {
+		return nil, fmt.Errorf("%s: unsupported schemaVersion %d", path, doc.SchemaVersion)
+	}
+	return &doc, nil
+}
+
+// minEntries collapses a -count>1 run to per-name minima. The minimum over
+// repetitions is the standard noise estimator for gating: transient
+// scheduler hiccups only ever push a measurement up, so the minimum is the
+// closest observation to the true cost. First-seen order is preserved.
+func minEntries(entries []Entry) []Entry {
+	idx := make(map[string]int, len(entries))
+	var out []Entry
+	for _, e := range entries {
+		i, ok := idx[e.Name]
+		if !ok {
+			idx[e.Name] = len(out)
+			out = append(out, e)
+			continue
+		}
+		if e.NsPerOp < out[i].NsPerOp {
+			out[i].NsPerOp = e.NsPerOp
+		}
+		if e.BytesPerOp >= 0 && (out[i].BytesPerOp < 0 || e.BytesPerOp < out[i].BytesPerOp) {
+			out[i].BytesPerOp = e.BytesPerOp
+		}
+		if e.AllocsPerOp >= 0 && (out[i].AllocsPerOp < 0 || e.AllocsPerOp < out[i].AllocsPerOp) {
+			out[i].AllocsPerOp = e.AllocsPerOp
+		}
+	}
+	return out
+}
+
+// gateViolations compares a fresh run against the baseline entries: ns/op
+// may drift up by at most tol (fractional), allocs/op may not grow at all.
+// Benchmarks present only on one side are not violations — new benchmarks
+// gate from their first committed snapshot — but a run where nothing
+// matched the baseline is (the gate would otherwise pass vacuously).
+func gateViolations(fresh, base []Entry, tol float64) []string {
+	baseline := make(map[string]Entry, len(base))
+	for _, e := range base {
+		baseline[e.Name] = e
+	}
+	var out []string
+	matched := 0
+	for _, f := range fresh {
+		b, ok := baseline[f.Name]
+		if !ok {
+			continue
+		}
+		matched++
+		if b.NsPerOp > 0 && f.NsPerOp > b.NsPerOp*(1+tol) {
+			out = append(out, fmt.Sprintf("%s: ns/op %.1f is %.0f%% over baseline %.1f (tolerance %.0f%%)",
+				f.Name, f.NsPerOp, (f.NsPerOp/b.NsPerOp-1)*100, b.NsPerOp, tol*100))
+		}
+		if b.AllocsPerOp >= 0 && f.AllocsPerOp > b.AllocsPerOp {
+			out = append(out, fmt.Sprintf("%s: allocs/op regressed %d -> %d (no growth allowed)",
+				f.Name, b.AllocsPerOp, f.AllocsPerOp))
+		}
+	}
+	if matched == 0 {
+		out = append(out, "no fresh benchmark matched the baseline — bench pattern mismatch?")
+	}
+	return out
+}
+
+// runGate runs the benchmarks and fails on regression against the baseline
+// snapshot instead of writing a new one. benchtime == "" inherits the
+// benchtime the baseline was recorded with, keeping the two measurements
+// comparable (cold-start amortization in particular).
+func runGate(baselinePath, bench, benchtime, pkg string, count int, quiet bool, tol float64) error {
+	base, err := readBaseline(baselinePath)
+	if err != nil {
+		return err
+	}
+	if benchtime == "" {
+		benchtime = base.Benchtime
+	}
+	fresh, err := runBenchmarks(bench, benchtime, pkg, count, quiet)
+	if err != nil {
+		return err
+	}
+	fresh = minEntries(fresh)
+	if viol := gateViolations(fresh, base.Benchmarks, tol); len(viol) > 0 {
+		for _, v := range viol {
+			fmt.Fprintf(os.Stderr, "benchjson: gate: %s\n", v)
+		}
+		return fmt.Errorf("%d regression(s) against %s (git %s)", len(viol), baselinePath, base.GitSHA)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: gate passed: %d benchmarks within %.0f%% ns/op and flat allocs vs %s\n",
+		len(fresh), tol*100, baselinePath)
+	return nil
+}

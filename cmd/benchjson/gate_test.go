@@ -1,0 +1,122 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestGateViolations(t *testing.T) {
+	base := []Entry{
+		{Name: "BenchmarkA", NsPerOp: 1000, AllocsPerOp: 5},
+		{Name: "BenchmarkB/sub", NsPerOp: 100, AllocsPerOp: 0},
+		{Name: "BenchmarkRetired", NsPerOp: 50, AllocsPerOp: 0},
+		{Name: "BenchmarkNoMem", NsPerOp: 10, BytesPerOp: -1, AllocsPerOp: -1},
+	}
+	for _, tc := range []struct {
+		name  string
+		fresh []Entry
+		want  []string // substrings, one per expected violation
+	}{
+		{
+			name: "clean",
+			fresh: []Entry{
+				{Name: "BenchmarkA", NsPerOp: 1200, AllocsPerOp: 5},   // +20%: within 25%
+				{Name: "BenchmarkB/sub", NsPerOp: 80, AllocsPerOp: 0}, // faster
+				{Name: "BenchmarkNew", NsPerOp: 9e9, AllocsPerOp: 99}, // no baseline: not gated
+			},
+		},
+		{
+			name: "ns regression",
+			fresh: []Entry{
+				{Name: "BenchmarkA", NsPerOp: 1300, AllocsPerOp: 5}, // +30%
+				{Name: "BenchmarkB/sub", NsPerOp: 100, AllocsPerOp: 0},
+			},
+			want: []string{"BenchmarkA: ns/op"},
+		},
+		{
+			name: "alloc regression is zero-tolerance",
+			fresh: []Entry{
+				{Name: "BenchmarkA", NsPerOp: 900, AllocsPerOp: 6}, // faster but +1 alloc
+				{Name: "BenchmarkB/sub", NsPerOp: 100, AllocsPerOp: 0},
+			},
+			want: []string{"BenchmarkA: allocs/op regressed 5 -> 6"},
+		},
+		{
+			name: "missing allocs in baseline not gated",
+			fresh: []Entry{
+				{Name: "BenchmarkNoMem", NsPerOp: 11, AllocsPerOp: 7},
+			},
+		},
+		{
+			name: "both dimensions at once",
+			fresh: []Entry{
+				{Name: "BenchmarkB/sub", NsPerOp: 200, AllocsPerOp: 2},
+			},
+			want: []string{"BenchmarkB/sub: ns/op", "BenchmarkB/sub: allocs/op"},
+		},
+		{
+			name:  "nothing matched",
+			fresh: []Entry{{Name: "BenchmarkUnknown", NsPerOp: 1}},
+			want:  []string{"no fresh benchmark matched"},
+		},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			got := gateViolations(tc.fresh, base, 0.25)
+			if len(got) != len(tc.want) {
+				t.Fatalf("violations = %v, want %d", got, len(tc.want))
+			}
+			for i, sub := range tc.want {
+				if !strings.Contains(got[i], sub) {
+					t.Errorf("violation %d = %q, want substring %q", i, got[i], sub)
+				}
+			}
+		})
+	}
+}
+
+func TestMinEntries(t *testing.T) {
+	got := minEntries([]Entry{
+		{Name: "BenchmarkA", NsPerOp: 1200, BytesPerOp: 64, AllocsPerOp: 3},
+		{Name: "BenchmarkB", NsPerOp: 10, BytesPerOp: -1, AllocsPerOp: -1},
+		{Name: "BenchmarkA", NsPerOp: 1000, BytesPerOp: 80, AllocsPerOp: 2},
+		{Name: "BenchmarkA", NsPerOp: 1100, BytesPerOp: 64, AllocsPerOp: 3},
+	})
+	if len(got) != 2 {
+		t.Fatalf("collapsed to %d entries, want 2: %+v", len(got), got)
+	}
+	if got[0].Name != "BenchmarkA" || got[1].Name != "BenchmarkB" {
+		t.Fatalf("order not preserved: %+v", got)
+	}
+	a := got[0]
+	if a.NsPerOp != 1000 || a.BytesPerOp != 64 || a.AllocsPerOp != 2 {
+		t.Errorf("per-field minima wrong: %+v", a)
+	}
+}
+
+// TestReadBaselineRejectsGarbage: the gate must fail loudly on a missing or
+// malformed baseline rather than passing vacuously.
+func TestReadBaselineRejectsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := readBaseline(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing baseline accepted")
+	}
+	bad := filepath.Join(dir, "bad.json")
+	writeFile(t, bad, "{not json")
+	if _, err := readBaseline(bad); err == nil {
+		t.Error("malformed baseline accepted")
+	}
+	wrongVersion := filepath.Join(dir, "v9.json")
+	writeFile(t, wrongVersion, `{"schemaVersion": 9, "benchmarks": []}`)
+	if _, err := readBaseline(wrongVersion); err == nil {
+		t.Error("unknown schemaVersion accepted")
+	}
+}
+
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -39,6 +39,7 @@ type File struct {
 	CPUs          int    `json:"cpus"`
 	Bench         string `json:"bench"`     // -bench pattern used
 	Benchtime     string `json:"benchtime"` // -benchtime used
+	Count         int    `json:"count,omitempty"`
 	Package       string `json:"package"`
 
 	Benchmarks []Entry `json:"benchmarks"`
@@ -48,19 +49,32 @@ func main() {
 	var (
 		out       = flag.String("out", "BENCH_solver.json", "output JSON file")
 		bench     = flag.String("bench", defaultBench, "benchmark pattern passed to go test -bench")
-		benchtime = flag.String("benchtime", "20x", "value passed to go test -benchtime")
+		benchtime = flag.String("benchtime", "", "value passed to go test -benchtime (default 20x; in -gate mode, the baseline's recorded benchtime)")
 		pkg       = flag.String("pkg", ".", "package holding the benchmarks")
-		count     = flag.Int("count", 1, "value passed to go test -count")
+		count     = flag.Int("count", 1, "value passed to go test -count (in -gate mode the per-name minimum over repetitions is compared)")
 		quiet     = flag.Bool("quiet", false, "suppress the go test output relay on stderr")
+		gate      = flag.String("gate", "", "baseline BENCH_*.json: run the benchmarks and fail on regression instead of writing a snapshot")
+		tolerance = flag.Float64("tolerance", 0.25, "allowed fractional ns/op regression in -gate mode (allocs/op may never grow)")
 	)
 	flag.Parse()
-	if err := run(*out, *bench, *benchtime, *pkg, *count, *quiet); err != nil {
+	var err error
+	if *gate != "" {
+		err = runGate(*gate, *bench, *benchtime, *pkg, *count, *quiet, *tolerance)
+	} else {
+		if *benchtime == "" {
+			*benchtime = "20x"
+		}
+		err = run(*out, *bench, *benchtime, *pkg, *count, *quiet)
+	}
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(out, bench, benchtime, pkg string, count int, quiet bool) error {
+// runBenchmarks executes `go test -bench` and returns the parsed result
+// lines — the shared front half of the snapshot and gate modes.
+func runBenchmarks(bench, benchtime, pkg string, count int, quiet bool) ([]Entry, error) {
 	args := []string{"test", "-run=NONE", "-bench=" + bench, "-benchmem",
 		fmt.Sprintf("-benchtime=%s", benchtime), fmt.Sprintf("-count=%d", count), pkg}
 	cmd := exec.Command("go", args...)
@@ -74,15 +88,27 @@ func run(out, bench, benchtime, pkg string, count int, quiet bool) error {
 	}
 	cmd.Stderr = os.Stderr
 	if err := cmd.Run(); err != nil {
-		return fmt.Errorf("go %s: %w", strings.Join(args, " "), err)
+		return nil, fmt.Errorf("go %s: %w", strings.Join(args, " "), err)
 	}
 	entries, err := parseBench(&buf)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	if len(entries) == 0 {
-		return fmt.Errorf("no benchmark results matched %q", bench)
+		return nil, fmt.Errorf("no benchmark results matched %q", bench)
 	}
+	return entries, nil
+}
+
+func run(out, bench, benchtime, pkg string, count int, quiet bool) error {
+	entries, err := runBenchmarks(bench, benchtime, pkg, count, quiet)
+	if err != nil {
+		return err
+	}
+	// With -count > 1 the snapshot records per-benchmark minima — the same
+	// estimator the gate uses, so the two sides stay comparable and a lucky
+	// (or unlucky) single repetition cannot skew the committed trajectory.
+	entries = minEntries(entries)
 	doc := File{
 		SchemaVersion: 1,
 		Generated:     time.Now().UTC().Format(time.RFC3339),
@@ -93,6 +119,7 @@ func run(out, bench, benchtime, pkg string, count int, quiet bool) error {
 		CPUs:          runtime.NumCPU(),
 		Bench:         bench,
 		Benchtime:     benchtime,
+		Count:         count,
 		Package:       pkg,
 		Benchmarks:    entries,
 	}

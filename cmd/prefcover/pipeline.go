@@ -179,6 +179,7 @@ func runSolve(ctx context.Context, args []string) error {
 		threshold  = fs.Float64("threshold", 0, "target cover in (0,1] (minimization mode)")
 		workers    = fs.Int("workers", 1, "parallel scan workers")
 		lazy       = fs.Bool("lazy", true, "use lazy (CELF) evaluation")
+		strategy   = fs.String("strategy", "", "explicit strategy: scan, parallel, lazy, lazyflat or sketch; overrides -lazy/-workers")
 		stochastic = fs.Float64("stochastic", 0, "stochastic-greedy epsilon in (0,1); randomized, overrides -lazy")
 		seed       = fs.Int64("seed", 1, "seed for -stochastic")
 		pruneMinW  = fs.Float64("prune-min-weight", 0, "drop alternative edges below this weight before solving")
@@ -233,6 +234,9 @@ func runSolve(ctx context.Context, args []string) error {
 	}
 	opts := prefcover.Options{
 		Variant: v, K: *k, Threshold: *threshold, Workers: *workers, Lazy: *lazy,
+	}
+	if opts.Strategy, err = prefcover.ParseStrategy(*strategy); err != nil {
+		return err
 	}
 	if *pinFile != "" {
 		data, err := os.ReadFile(*pinFile)

@@ -74,9 +74,22 @@ func (e *Engine) ItemCoverage(v int32) float64 {
 	if w == 0 {
 		return 1
 	}
-	cov := e.covered[v] / w
-	if cov > 1 {
-		cov = 1 // float noise
+	return ClampCoverage(e.covered[v] / w)
+}
+
+// ClampCoverage snaps a coverage ratio into [0,1]. Incremental float noise
+// can push I[v] a hair past W(v) (clamped to 1), and near-zero or poisoned
+// weights can make the ratio Inf, negative, or NaN — a NaN ratio carries no
+// coverage evidence, so it clamps to 0 rather than leaking into reports
+// where it would poison C(S) aggregates.
+func ClampCoverage(cov float64) float64 {
+	switch {
+	case math.IsNaN(cov):
+		return 0
+	case cov > 1: // includes +Inf
+		return 1
+	case cov < 0: // includes -Inf
+		return 0
 	}
 	return cov
 }

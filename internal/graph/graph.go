@@ -131,6 +131,15 @@ func (g *Graph) InEdges(v int32) ([]int32, []float64) {
 	return g.inSrc[lo:hi], g.inW[lo:hi]
 }
 
+// InCSR exposes the raw reverse-adjacency CSR arrays: the edges entering v
+// are (src[i], w[i]) for i in [start[v], start[v+1]). Data-oriented kernels
+// use this to iterate edge ranges without the per-node slice headers
+// InEdges materializes. The returned slices alias the graph's storage and
+// must be treated as read-only.
+func (g *Graph) InCSR() (start []int64, src []int32, w []float64) {
+	return g.inStart, g.inSrc, g.inW
+}
+
 // EdgeWeight returns W(v,u) and whether the edge (v,u) exists. Edges within
 // a node's adjacency are sorted by destination, so this is a binary search.
 func (g *Graph) EdgeWeight(v, u int32) (float64, bool) {

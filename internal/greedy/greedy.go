@@ -35,6 +35,7 @@ import (
 
 	"prefcover/internal/cover"
 	"prefcover/internal/graph"
+	"prefcover/internal/kernel"
 )
 
 // Options configures Solve.
@@ -50,10 +51,17 @@ type Options struct {
 	Threshold float64
 	// Workers sets the parallel-scan width; <= 1 means sequential. Ignored
 	// when Lazy is set (lazy evaluation is inherently sequential but
-	// usually evaluates far fewer gains).
+	// usually evaluates far fewer gains). For the kernel strategies it
+	// sizes the chunk-parallel heap build instead (<= 0 means GOMAXPROCS).
 	Workers int
 	// Lazy enables CELF lazy evaluation.
 	Lazy bool
+	// Strategy, when non-empty, selects the execution strategy explicitly
+	// (one of the Strategy* constants accepted by ParseStrategy),
+	// superseding the Lazy and Workers selection rules. The data-oriented
+	// kernels — StrategyLazyFlat and StrategySketch — are only reachable
+	// this way. Mutually exclusive with StochasticEpsilon.
+	Strategy string
 	// StochasticEpsilon, when > 0, selects stochastic greedy ("lazier than
 	// lazy"): each iteration samples ceil((n/K)·ln(1/ε)) candidates and
 	// takes the best, achieving (1 - 1/e - ε) in expectation with O(n
@@ -143,6 +151,12 @@ func (o *Options) Validate(n int) error {
 	if o.StochasticEpsilon > 0 && o.Lazy {
 		return errors.New("greedy: Lazy and StochasticEpsilon are mutually exclusive")
 	}
+	if _, err := ParseStrategy(o.Strategy); err != nil {
+		return err
+	}
+	if o.Strategy != "" && o.StochasticEpsilon > 0 {
+		return errors.New("greedy: Strategy and StochasticEpsilon are mutually exclusive")
+	}
 	if n == 0 {
 		return errors.New("greedy: empty graph")
 	}
@@ -174,7 +188,22 @@ func Solve(g *graph.Graph, opts Options) (*Solution, error) {
 	if maxPicks <= 0 || maxPicks > n {
 		maxPicks = n
 	}
-	eng := cover.NewEngine(g, opts.Variant)
+	strategy := opts.strategy()
+	// The kernel strategies run on the flat pooled state; everything else
+	// on the reference engine. Both satisfy the engine interface the solve
+	// loop drives, and both compute bit-identical covers.
+	var eng engine
+	var ceng *cover.Engine
+	var kst *kernel.State
+	switch strategy {
+	case StrategyLazyFlat, StrategySketch:
+		kst = kernel.NewState(g, opts.Variant)
+		defer kst.Release()
+		eng = kst
+	default:
+		ceng = cover.NewEngine(g, opts.Variant)
+		eng = ceng
+	}
 	sol := &Solution{
 		Order: make([]int32, 0, maxPicks),
 		Gains: make([]float64, 0, maxPicks),
@@ -199,7 +228,6 @@ func Solve(g *graph.Graph, opts Options) (*Solution, error) {
 	}
 	reachedEarly := opts.Threshold > 0 && eng.Cover() >= opts.Threshold-graph.Eps
 
-	strategy := opts.strategy()
 	// Each pick also reports bound: an upper bound on the marginal gain of
 	// any candidate still outside S after this selection (valid by
 	// submodularity — gains only shrink), or BoundUnavailable when the
@@ -207,21 +235,43 @@ func Solve(g *graph.Graph, opts Options) (*Solution, error) {
 	// ProgressEvent.MaxRemainingGain, which observers turn into the
 	// f(OPT_k) <= C(S_i) + k·bound approximation certificate.
 	var pick func() (v int32, gain, bound float64, ok bool, err error)
-	var lazyHeapEvals func() int64 // nil unless lazy
+	var lazyHeapEvals func() int64 // nil unless a lazy variant
 	switch strategy {
 	case StrategyStochastic:
-		sp := newStochasticPicker(eng, sol, opts.K, opts.StochasticEpsilon, opts.Seed)
+		sp := newStochasticPicker(ceng, sol, opts.K, opts.StochasticEpsilon, opts.Seed)
 		pick = sp.pick
 	case StrategyLazy:
-		lz := newLazyPicker(ctx, eng, sol)
+		lz := newLazyPicker(ctx, ceng, sol)
 		pick = lz.pick
 		lazyHeapEvals = func() int64 { return lz.reevals }
+	case StrategyLazyFlat, StrategySketch:
+		var sk *kernel.Sketch
+		if strategy == StrategySketch {
+			var err error
+			if sk, err = kernel.SketchFor(ctx, g, opts.Variant); err != nil {
+				return finalize(sol, eng, n), err
+			}
+		}
+		kp := kernel.NewPicker(ctx, kst, opts.Workers, sk)
+		// The picker tracks exact-gain evaluations itself (the heap build
+		// may be satisfied from the memoized base gains with zero evals);
+		// sync its cumulative counter into the solution around every pick.
+		last := kp.Evals()
+		sol.GainEvals += last
+		pick = func() (int32, float64, float64, bool, error) {
+			v, gain, bound, ok, err := kp.Pick()
+			now := kp.Evals()
+			sol.GainEvals += now - last
+			last = now
+			return v, gain, bound, ok, err
+		}
+		lazyHeapEvals = kp.Reevals
 	case StrategyParallel:
-		pp := newParallelPicker(ctx, eng, sol, opts.Workers)
+		pp := newParallelPicker(ctx, ceng, sol, opts.Workers)
 		defer pp.close()
 		pick = pp.pick
 	default:
-		pick = func() (int32, float64, float64, bool, error) { return scanPick(ctx, eng, sol) }
+		pick = func() (int32, float64, float64, bool, error) { return scanPick(ctx, ceng, sol) }
 	}
 
 	for step := len(sol.Order) + 1; step <= maxPicks && !reachedEarly; step++ {
@@ -293,10 +343,20 @@ func (o *Options) notify(ev ProgressEvent) {
 	}
 }
 
+// engine abstracts the incremental cover state the solve loop drives. Both
+// the reference cover.Engine and the flat kernel.State satisfy it, and both
+// produce bit-identical covers — the kernel differential suite holds them
+// to that.
+type engine interface {
+	Add(v int32) float64
+	Cover() float64
+	ItemCoverage(v int32) float64
+}
+
 // finalize fills the solution fields derivable from engine state so that
 // both complete and cancellation-truncated solutions report Cover and
 // per-item Coverage for the prefix actually selected.
-func finalize(sol *Solution, eng *cover.Engine, n int) *Solution {
+func finalize(sol *Solution, eng engine, n int) *Solution {
 	sol.Cover = eng.Cover()
 	sol.Coverage = make([]float64, n)
 	for v := int32(0); v < int32(n); v++ {
@@ -388,6 +448,15 @@ type localBest struct {
 
 func newParallelPicker(ctx context.Context, eng *cover.Engine, sol *Solution, workers int) *parallelPicker {
 	n := eng.Graph().NumNodes()
+	if workers < 2 {
+		// Reachable via an explicit Strategy without a Workers setting; a
+		// single stripe is just the sequential scan with extra steps, but
+		// stays correct.
+		workers = runtime.GOMAXPROCS(0)
+		if workers < 1 {
+			workers = 1
+		}
+	}
 	if workers > n {
 		workers = n
 	}

@@ -77,7 +77,16 @@ func (lp *lazyPicker) pick() (int32, float64, float64, bool, error) {
 		}
 		top := lp.h[0]
 		if top.round == round {
-			heap.Pop(&lp.h)
+			// Pop by hand: heap.Pop returns the element through an
+			// interface{}, boxing one lazyEntry per selection (~one alloc per
+			// pick). Swapping the root with the last element, truncating, and
+			// re-sifting the new root is the same O(log n) and allocation-free.
+			last := len(lp.h) - 1
+			lp.h.Swap(0, last)
+			lp.h = lp.h[:last]
+			if last > 0 {
+				heap.Fix(&lp.h, 0)
+			}
 			// The new heap top's (possibly stale) gain is a valid upper
 			// bound on every remaining candidate — stale entries only
 			// overestimate, never underestimate, under submodularity. This
@@ -108,7 +117,11 @@ func (h lazyHeap) Less(i, j int) bool {
 	}
 	return h[i].v < h[j].v
 }
-func (h lazyHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h lazyHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+// Push and Pop exist only to satisfy heap.Interface for Init/Fix; the hot
+// path never calls them — Pop's interface{} return would box a lazyEntry
+// (one heap allocation) per selection.
 func (h *lazyHeap) Push(x interface{}) { *h = append(*h, x.(lazyEntry)) }
 func (h *lazyHeap) Pop() interface{} {
 	old := *h

@@ -47,12 +47,32 @@ func TestStrategiesAgreeOnRandomGraphs(t *testing.T) {
 				if err != nil {
 					t.Fatalf("trial %d: lazy: %v", trial, err)
 				}
+				flatOpts := base
+				flatOpts.Strategy = StrategyLazyFlat
+				flat, err := Solve(g, flatOpts)
+				if err != nil {
+					t.Fatalf("trial %d: lazyflat: %v", trial, err)
+				}
+				skOpts := base
+				skOpts.Strategy = StrategySketch
+				sketch, err := Solve(g, skOpts)
+				if err != nil {
+					t.Fatalf("trial %d: sketch: %v", trial, err)
+				}
 
 				assertSameOrder(t, trial, "parallel", scan.Order, par.Order)
 				assertSameOrder(t, trial, "lazy", scan.Order, lazy.Order)
+				assertSameOrder(t, trial, "lazyflat", scan.Order, flat.Order)
+				assertSameOrder(t, trial, "sketch", scan.Order, sketch.Order)
 				if math.Abs(scan.Cover-lazy.Cover) > 1e-9 || math.Abs(scan.Cover-par.Cover) > 1e-9 {
 					t.Fatalf("trial %d: covers diverge: scan %g parallel %g lazy %g",
 						trial, scan.Cover, par.Cover, lazy.Cover)
+				}
+				// The kernel strategies promise byte-identical covers, not
+				// merely within-tolerance: same expressions, same order.
+				if scan.Cover != flat.Cover || scan.Cover != sketch.Cover {
+					t.Fatalf("trial %d: kernel covers not bit-identical: scan %v lazyflat %v sketch %v",
+						trial, scan.Cover, flat.Cover, sketch.Cover)
 				}
 				if lazy.GainEvals > scan.GainEvals {
 					t.Errorf("trial %d: lazy did more work than scan (%d > %d evals)",
@@ -101,6 +121,8 @@ func TestCancellationReturnsPrefix(t *testing.T) {
 				{"scan", func(o *Options) {}},
 				{"parallel", func(o *Options) { o.Workers = 4 }},
 				{"lazy", func(o *Options) { o.Lazy = true }},
+				{"lazyflat", func(o *Options) { o.Strategy = StrategyLazyFlat }},
+				{"sketch", func(o *Options) { o.Strategy = StrategySketch }},
 			} {
 				ctx, cancel := context.WithCancel(context.Background())
 				opts := Options{Variant: variant, K: k, Ctx: ctx}

@@ -1,6 +1,9 @@
 package greedy
 
-import "time"
+import (
+	"fmt"
+	"time"
+)
 
 // Strategy names reported in ProgressEvent and used as metric labels by
 // the serving layer.
@@ -9,10 +12,32 @@ const (
 	StrategyParallel   = "parallel"
 	StrategyLazy       = "lazy"
 	StrategyStochastic = "stochastic"
+	// StrategyLazyFlat is CELF on the data-oriented kernel: flat coverage
+	// state, a pooled allocation-free heap, chunk-parallel heap builds, and
+	// memoized base gains (internal/kernel). Selections are byte-identical
+	// to every deterministic strategy.
+	StrategyLazyFlat = "lazyflat"
+	// StrategySketch is StrategyLazyFlat plus succinct coverage sketches:
+	// stale heap entries refresh with an O(sketch) certified upper bound and
+	// pay the exact O(degree) gain only when the bound cannot separate the
+	// top candidates. Selections remain byte-identical.
+	StrategySketch = "sketch"
 	// StrategyPinned marks selections forced by Options.Pinned; they are
 	// reported before the greedy fill begins.
 	StrategyPinned = "pinned"
 )
+
+// ParseStrategy validates an explicit Options.Strategy value. The empty
+// string (derive the strategy from the Lazy/Workers knobs) is allowed;
+// StrategyStochastic is not an explicit choice — it is selected by setting
+// StochasticEpsilon.
+func ParseStrategy(s string) (string, error) {
+	switch s {
+	case "", StrategyScan, StrategyParallel, StrategyLazy, StrategyLazyFlat, StrategySketch:
+		return s, nil
+	}
+	return "", fmt.Errorf("greedy: unknown strategy %q (want scan, parallel, lazy, lazyflat or sketch)", s)
+}
 
 // ProgressEvent describes one completed solver iteration. It is the
 // observability counterpart of the paper's Performance Analysis section:
@@ -66,9 +91,12 @@ type ProgressEvent struct {
 // cannot produce a sound remaining-gain bound.
 const BoundUnavailable = -1.0
 
-// strategy names the execution strategy the options select.
+// strategy names the execution strategy the options select. An explicit
+// Strategy wins; otherwise the legacy Lazy/Workers knobs decide.
 func (o *Options) strategy() string {
 	switch {
+	case o.Strategy != "":
+		return o.Strategy
 	case o.StochasticEpsilon > 0:
 		return StrategyStochastic
 	case o.Lazy:
@@ -79,3 +107,8 @@ func (o *Options) strategy() string {
 		return StrategyScan
 	}
 }
+
+// StrategyName exposes the resolved strategy for observability labels
+// (metrics, pprof labels, cache keys) without re-implementing the
+// selection rules in the serving layer.
+func (o *Options) StrategyName() string { return o.strategy() }

@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"prefcover/internal/graph"
+	"prefcover/internal/greedy"
 )
 
 // Request describes one async solve.
@@ -30,6 +31,10 @@ type Request struct {
 	Lazy *bool `json:"lazy,omitempty"`
 	// Workers selects the parallel scan when > 1.
 	Workers int `json:"workers,omitempty"`
+	// Strategy, when non-empty, selects the execution strategy explicitly
+	// (scan, parallel, lazy, lazyflat, sketch), superseding Lazy/Workers —
+	// exactly as greedy.Options.Strategy.
+	Strategy string `json:"strategy,omitempty"`
 	// Pins lists must-stock item labels retained before the greedy fill.
 	Pins []string `json:"pins,omitempty"`
 }
@@ -85,6 +90,9 @@ func (r *Request) Validate() error {
 	}
 	if r.Workers < 0 {
 		return fmt.Errorf("jobs: negative workers %d", r.Workers)
+	}
+	if _, err := greedy.ParseStrategy(r.Strategy); err != nil {
+		return err
 	}
 	if r.K > 0 && len(r.Pins) > r.K {
 		return fmt.Errorf("jobs: %d pins exceed k=%d", len(r.Pins), r.K)

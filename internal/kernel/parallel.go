@@ -1,0 +1,88 @@
+package kernel
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// cancelCheckStride mirrors the greedy package's poll cadence: one context
+// poll per this many candidates bounds cancellation latency without
+// measurable overhead in the scan loops.
+const cancelCheckStride = 2048
+
+// ctxErr is a non-blocking poll of an optional context.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	default:
+		return nil
+	}
+}
+
+// parallelGains fills gains[v] = st.Gain(v) for every node, chunking the
+// node space into contiguous stripes across workers (the parallelPicker
+// stripe design, applied to the flat state). workers <= 1 or a single-core
+// GOMAXPROCS runs inline with no goroutines. Gain is read-only on the
+// state, and each worker writes a disjoint stripe of gains, so the only
+// synchronization is the final WaitGroup join.
+//
+// On cancellation the partially filled gains are meaningless and an error
+// is returned; deterministic values otherwise (each entry depends only on
+// the immutable graph and current state, not on scheduling).
+func parallelGains(ctx context.Context, st *State, gains []float64, workers int) error {
+	n := len(gains)
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for v := 0; v < n; v++ {
+			if v%cancelCheckStride == 0 {
+				if err := ctxErr(ctx); err != nil {
+					return err
+				}
+			}
+			gains[v] = st.Gain(int32(v))
+		}
+		return nil
+	}
+	var canceled atomic.Bool
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for v := lo; v < hi; v++ {
+				if (v-lo)%cancelCheckStride == 0 {
+					if ctxErr(ctx) != nil || canceled.Load() {
+						canceled.Store(true)
+						return
+					}
+				}
+				gains[v] = st.Gain(int32(v))
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	if canceled.Load() {
+		return ctx.Err()
+	}
+	return nil
+}

@@ -1,0 +1,318 @@
+package kernel
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+
+	"prefcover/internal/graph"
+)
+
+// DefaultSketchTop is the per-node top-contributor list length used by the
+// cached sketches. 12 entries keep a sketch lookup within two cache lines
+// per node while covering the heavy head of real degree distributions.
+const DefaultSketchTop = 12
+
+// boundSlack is the defensive relative inflation applied by Sketch.Bound.
+// In real arithmetic the sketch bound dominates the exact gain by
+// construction, but the two are summed in different orders (top list +
+// residual vs CSR edge order), so their floating-point roundings can differ
+// by a few ulps; inflating by ~4000 ulps guarantees the computed bound also
+// dominates the computed exact gain for any realistic degree, at a
+// tightness cost far below the quantization slack already present.
+const boundSlack = 1e-9
+
+// sumSlack inflates the residual/error accumulators so they dominate the
+// true (real-arithmetic) sums despite summation rounding.
+const sumSlack = 1e-12
+
+// Sketch is a succinct per-node coverage-contribution summary: for each
+// node, the top contributing in-edges quantized to float32 (rounded up) and
+// a residual upper-bounding everything dropped. Bound(v) evaluates an
+// admissible upper bound on Gain(v) in O(top) instead of O(degree), with a
+// certified per-node overestimate cap ErrBound(v). Sketches depend only on
+// the immutable graph and variant, are built once and cached, and are safe
+// for concurrent readers.
+type Sketch struct {
+	variant graph.Variant
+	top     int
+
+	// Top-contributor CSR: the kept in-edges of v are
+	// (src[i], qw[i]) for i in [start[v], start[v+1]), in ascending source
+	// order; qw >= the true edge weight (float32 rounded up).
+	start []int32
+	src   []int32
+	qw    []float32
+
+	// residual[v] upper-bounds the total contribution of v's dropped
+	// in-edges at any retained set: sum over dropped edges of W(u,v)*W(u).
+	residual []float64
+	// errBound[v] is the certified cap on Bound(v) - Gain(v) in real
+	// arithmetic: residual plus the quantization slack of the kept entries.
+	// Bound's defensive float inflation adds at most |bound|*boundSlack on
+	// top of this.
+	errBound []float64
+}
+
+// sketchCache memoizes one sketch per (graph, variant).
+var sketchCache = newGraphCache(4)
+
+// SketchFor returns the cached sketch for (g, variant), building it with
+// DefaultSketchTop on first use. The build is O(E log D) and polls ctx.
+func SketchFor(ctx context.Context, g *graph.Graph, variant graph.Variant) (*Sketch, error) {
+	k := baseKey{g, variant}
+	if v, ok := sketchCache.get(k); ok {
+		return v.(*Sketch), nil
+	}
+	sk, err := BuildSketch(ctx, g, variant, DefaultSketchTop)
+	if err != nil {
+		return nil, err
+	}
+	sketchCache.put(k, sk)
+	return sk, nil
+}
+
+// BuildSketch constructs a sketch keeping at most top in-edges per node.
+// Self-loops are excluded: the exact gain's own-weight term already
+// accounts for them, so keeping them would only loosen the bound.
+func BuildSketch(ctx context.Context, g *graph.Graph, variant graph.Variant, top int) (*Sketch, error) {
+	if top < 1 {
+		return nil, fmt.Errorf("kernel: sketch top %d < 1", top)
+	}
+	n := g.NumNodes()
+	sk := &Sketch{
+		variant:  variant,
+		top:      top,
+		start:    make([]int32, n+1),
+		residual: make([]float64, n),
+		errBound: make([]float64, n),
+	}
+	// A loose upper bound on kept entries to size the arrays once.
+	keep := g.NumEdges()
+	if limit := n * top; keep > limit {
+		keep = limit
+	}
+	sk.src = make([]int32, 0, keep)
+	sk.qw = make([]float32, 0, keep)
+
+	type cand struct {
+		idx int // position within the node's in-edge list, for stable order
+		src int32
+		w   float64
+		c   float64 // static contribution bound W(u,v)*W(u)
+	}
+	var cands []cand
+	for v := int32(0); v < int32(n); v++ {
+		if v%1024 == 0 {
+			if err := ctxErr(ctx); err != nil {
+				return nil, err
+			}
+		}
+		srcs, ws := g.InEdges(v)
+		cands = cands[:0]
+		for i, u := range srcs {
+			if u == v {
+				continue
+			}
+			cands = append(cands, cand{idx: i, src: u, w: ws[i], c: ws[i] * g.NodeWeight(u)})
+		}
+		if len(cands) > top {
+			sort.Slice(cands, func(i, j int) bool {
+				if cands[i].c != cands[j].c {
+					return cands[i].c > cands[j].c
+				}
+				return cands[i].idx < cands[j].idx
+			})
+			var dropped float64
+			for _, cd := range cands[top:] {
+				dropped += cd.c
+			}
+			sk.residual[v] = dropped * (1 + sumSlack)
+			cands = cands[:top]
+			// Restore edge order for the kept entries: deterministic layout
+			// and sequential source access in Bound.
+			sort.Slice(cands, func(i, j int) bool { return cands[i].idx < cands[j].idx })
+		}
+		var qslack float64
+		for _, cd := range cands {
+			q := roundUp32(cd.w)
+			sk.src = append(sk.src, cd.src)
+			sk.qw = append(sk.qw, q)
+			qslack += (float64(q) - cd.w) * g.NodeWeight(cd.src)
+		}
+		sk.errBound[v] = (sk.residual[v] + qslack) * (1 + sumSlack)
+		sk.start[v+1] = int32(len(sk.src))
+	}
+	return sk, nil
+}
+
+// roundUp32 converts w to the smallest float32 whose float64 value is >= w.
+func roundUp32(w float64) float32 {
+	f := float32(w)
+	if float64(f) < w {
+		f = math.Nextafter32(f, float32(math.Inf(1)))
+	}
+	return f
+}
+
+// Top returns the per-node list-length cap the sketch was built with.
+func (sk *Sketch) Top() int { return sk.top }
+
+// Variant returns the variant the sketch was built for.
+func (sk *Sketch) Variant() graph.Variant { return sk.variant }
+
+// NumNodes returns the number of nodes the sketch covers.
+func (sk *Sketch) NumNodes() int { return len(sk.residual) }
+
+// Bound returns an admissible upper bound on st.Gain(v) in O(top): the
+// own-weight term plus the kept quantized contributions against the live
+// coverage state, plus the residual for everything dropped.
+func (sk *Sketch) Bound(st *State, v int32) float64 {
+	lo, hi := sk.start[v], sk.start[v+1]
+	b := st.nodeW[v] - st.covered[v]
+	if sk.variant == graph.Normalized {
+		liveW := st.liveW
+		for i := lo; i < hi; i++ {
+			b += float64(sk.qw[i]) * liveW[sk.src[i]]
+		}
+	} else {
+		nodeW, covered := st.nodeW, st.covered
+		for i := lo; i < hi; i++ {
+			u := sk.src[i]
+			b += float64(sk.qw[i]) * (nodeW[u] - covered[u])
+		}
+	}
+	b += sk.residual[v]
+	// Defensive inflation away from zero in either sign, so summation-order
+	// rounding can never push the computed bound below the computed gain.
+	return b + math.Abs(b)*boundSlack
+}
+
+// ErrBound returns the certified cap on the real-arithmetic overestimate
+// Bound(v) - Gain(v): the residual plus quantization slack. The float-level
+// defensive inflation adds at most |Bound(v)|*1e-9 on top.
+func (sk *Sketch) ErrBound(v int32) float64 { return sk.errBound[v] }
+
+// sketchMagic identifies the serialized sketch format.
+var sketchMagic = [4]byte{'P', 'C', 'S', 'K'}
+
+const sketchVersion = 1
+
+// Encode serializes the sketch to a self-describing little-endian binary
+// form. Float values round-trip bit-exactly through Decode.
+func (sk *Sketch) Encode() []byte {
+	n := len(sk.residual)
+	m := len(sk.src)
+	size := 4 + 1 + 1 + 8 + 8 + 8 + 4*(n+1) + 4*m + 4*m + 8*n + 8*n
+	buf := make([]byte, 0, size)
+	buf = append(buf, sketchMagic[:]...)
+	buf = append(buf, sketchVersion, byte(sk.variant))
+	var u64 [8]byte
+	put64 := func(x uint64) {
+		binary.LittleEndian.PutUint64(u64[:], x)
+		buf = append(buf, u64[:]...)
+	}
+	put32 := func(x uint32) {
+		binary.LittleEndian.PutUint32(u64[:4], x)
+		buf = append(buf, u64[:4]...)
+	}
+	put64(uint64(sk.top))
+	put64(uint64(n))
+	put64(uint64(m))
+	for _, x := range sk.start {
+		put32(uint32(x))
+	}
+	for _, x := range sk.src {
+		put32(uint32(x))
+	}
+	for _, x := range sk.qw {
+		put32(math.Float32bits(x))
+	}
+	for _, x := range sk.residual {
+		put64(math.Float64bits(x))
+	}
+	for _, x := range sk.errBound {
+		put64(math.Float64bits(x))
+	}
+	return buf
+}
+
+// DecodeSketch parses an Encode result, validating structure so corrupt or
+// truncated inputs fail cleanly rather than producing an unsound sketch.
+func DecodeSketch(data []byte) (*Sketch, error) {
+	if len(data) < 4+1+1+24 {
+		return nil, fmt.Errorf("kernel: sketch blob truncated at %d bytes", len(data))
+	}
+	if [4]byte(data[:4]) != sketchMagic {
+		return nil, fmt.Errorf("kernel: bad sketch magic %q", data[:4])
+	}
+	if data[4] != sketchVersion {
+		return nil, fmt.Errorf("kernel: unsupported sketch version %d", data[4])
+	}
+	variant := graph.Variant(data[5])
+	if variant != graph.Independent && variant != graph.Normalized {
+		return nil, fmt.Errorf("kernel: unknown sketch variant %d", data[5])
+	}
+	p := data[6:]
+	get64 := func() uint64 {
+		x := binary.LittleEndian.Uint64(p)
+		p = p[8:]
+		return x
+	}
+	top := get64()
+	n := get64()
+	m := get64()
+	const maxDim = 1 << 31
+	if top < 1 || top > maxDim || n > maxDim || m > maxDim {
+		return nil, fmt.Errorf("kernel: sketch dims out of range (top=%d n=%d m=%d)", top, n, m)
+	}
+	need := 4*(int(n)+1) + 4*int(m) + 4*int(m) + 8*int(n) + 8*int(n)
+	if len(p) != need {
+		return nil, fmt.Errorf("kernel: sketch payload is %d bytes, want %d", len(p), need)
+	}
+	sk := &Sketch{
+		variant:  variant,
+		top:      int(top),
+		start:    make([]int32, n+1),
+		src:      make([]int32, m),
+		qw:       make([]float32, m),
+		residual: make([]float64, n),
+		errBound: make([]float64, n),
+	}
+	get32 := func() uint32 {
+		x := binary.LittleEndian.Uint32(p)
+		p = p[4:]
+		return x
+	}
+	for i := range sk.start {
+		sk.start[i] = int32(get32())
+	}
+	for i := range sk.src {
+		sk.src[i] = int32(get32())
+	}
+	for i := range sk.qw {
+		sk.qw[i] = math.Float32frombits(get32())
+	}
+	for i := range sk.residual {
+		sk.residual[i] = math.Float64frombits(get64())
+	}
+	for i := range sk.errBound {
+		sk.errBound[i] = math.Float64frombits(get64())
+	}
+	if sk.start[0] != 0 || int(sk.start[n]) != int(m) {
+		return nil, fmt.Errorf("kernel: sketch offsets do not span the entry array")
+	}
+	for v := 0; v < int(n); v++ {
+		if sk.start[v+1] < sk.start[v] || int(sk.start[v+1]-sk.start[v]) > sk.top {
+			return nil, fmt.Errorf("kernel: node %d has invalid sketch extent", v)
+		}
+	}
+	for i, s := range sk.src {
+		if s < 0 || uint64(s) >= n {
+			return nil, fmt.Errorf("kernel: sketch entry %d references node %d outside [0,%d)", i, s, n)
+		}
+	}
+	return sk, nil
+}

@@ -1,0 +1,197 @@
+package kernel_test
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"prefcover/internal/cover"
+	"prefcover/internal/graph"
+	"prefcover/internal/graphtest"
+	"prefcover/internal/kernel"
+)
+
+// TestSketchBoundAdmissible is the sketch's load-bearing property: at every
+// retained-set state, Bound(v) dominates the exact gain, and the
+// overestimate stays within the certified ErrBound (plus the documented
+// defensive float inflation).
+func TestSketchBoundAdmissible(t *testing.T) {
+	for _, variant := range []graph.Variant{graph.Independent, graph.Normalized} {
+		rng := rand.New(rand.NewSource(0x5ce ^ int64(variant)))
+		for trial := 0; trial < 25; trial++ {
+			n := 10 + rng.Intn(120)
+			g := graphtest.Random(rng, n, 1+rng.Intn(10), variant)
+			top := 1 + rng.Intn(6)
+			sk, err := kernel.BuildSketch(nil, g, variant, top)
+			if err != nil {
+				t.Fatal(err)
+			}
+			st := kernel.NewState(g, variant)
+			adds := graphtest.RandomSet(rng, g, 1+rng.Intn(n))
+			for step := 0; step <= len(adds); step++ {
+				if step > 0 {
+					st.Add(adds[step-1])
+				}
+				for v := int32(0); v < int32(n); v++ {
+					exact := st.Gain(v)
+					bound := sk.Bound(st, v)
+					if bound < exact-1e-15 {
+						t.Fatalf("%v trial %d step %d: bound(%d)=%v below exact gain %v",
+							variant, trial, step, v, bound, exact)
+					}
+					if !st.Retained(v) {
+						slack := sk.ErrBound(v) + 2e-9*bound + 1e-12
+						if bound-exact > slack {
+							t.Fatalf("%v trial %d step %d: bound(%d)=%v overestimates exact %v beyond certified %v",
+								variant, trial, step, v, bound, exact, slack)
+						}
+					}
+				}
+			}
+			st.Release()
+		}
+	}
+}
+
+// TestSketchEncodeDecodeRoundTrip: the binary form reproduces the sketch
+// bit-exactly, and a decoded sketch produces identical bounds.
+func TestSketchEncodeDecodeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(0xe0c))
+	g := graphtest.Random(rng, 80, 7, graph.Independent)
+	sk, err := kernel.BuildSketch(nil, g, graph.Independent, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob := sk.Encode()
+	back, err := kernel.DecodeSketch(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sk, back) {
+		t.Fatal("decoded sketch differs from original")
+	}
+	if !bytes.Equal(blob, back.Encode()) {
+		t.Fatal("re-encoding the decoded sketch changed the bytes")
+	}
+	st := kernel.NewState(g, graph.Independent)
+	defer st.Release()
+	st.Add(3)
+	st.Add(17)
+	for v := int32(0); v < int32(g.NumNodes()); v++ {
+		if sk.Bound(st, v) != back.Bound(st, v) {
+			t.Fatalf("bound(%d) differs after round trip", v)
+		}
+	}
+}
+
+// TestDecodeSketchRejectsGarbage: structural validation fails cleanly on
+// malformed inputs instead of yielding an unsound sketch.
+func TestDecodeSketchRejectsGarbage(t *testing.T) {
+	rng := rand.New(rand.NewSource(0xbad))
+	g := graphtest.Random(rng, 20, 4, graph.Normalized)
+	sk, err := kernel.BuildSketch(nil, g, graph.Normalized, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := sk.Encode()
+	cases := map[string][]byte{
+		"empty":       nil,
+		"truncated":   good[:len(good)/2],
+		"bad-magic":   append([]byte("XXXX"), good[4:]...),
+		"bad-version": append(append([]byte{}, good[:4]...), append([]byte{99}, good[5:]...)...),
+		"bad-variant": append(append([]byte{}, good[:5]...), append([]byte{7}, good[6:]...)...),
+		"trailing":    append(append([]byte{}, good...), 0),
+	}
+	for name, blob := range cases {
+		if _, err := kernel.DecodeSketch(blob); err == nil {
+			t.Errorf("%s: decode accepted malformed input", name)
+		}
+	}
+}
+
+// TestSketchForCaches: the per-graph sketch is built once and shared.
+func TestSketchForCaches(t *testing.T) {
+	rng := rand.New(rand.NewSource(0xcac))
+	g := graphtest.Random(rng, 30, 4, graph.Independent)
+	a, err := kernel.SketchFor(nil, g, graph.Independent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := kernel.SketchFor(nil, g, graph.Independent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("SketchFor rebuilt a cached sketch")
+	}
+	c, err := kernel.SketchFor(nil, g, graph.Normalized)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c == a {
+		t.Fatal("SketchFor shared a sketch across variants")
+	}
+}
+
+// FuzzSketchRoundTrip fuzzes the full sketch pipeline: generate a graph,
+// build, encode, decode, then check the decoded sketch's bound against the
+// exact gain (admissible, and within the certified error) across a replayed
+// retained-set trajectory. The exact side is cover.Engine.Gain — the
+// reference implementation — with the kernel state co-driven to keep the
+// two in lockstep.
+func FuzzSketchRoundTrip(f *testing.F) {
+	f.Add(int64(1), uint8(20), uint8(4), uint8(2), false, uint8(3))
+	f.Add(int64(7), uint8(100), uint8(9), uint8(1), true, uint8(40))
+	f.Add(int64(42), uint8(250), uint8(12), uint8(7), false, uint8(0))
+	f.Fuzz(func(t *testing.T, seed int64, nRaw, degRaw, topRaw uint8, normalized bool, addsRaw uint8) {
+		n := 2 + int(nRaw)
+		maxDeg := int(degRaw) % 12
+		top := 1 + int(topRaw)%8
+		variant := graph.Independent
+		if normalized {
+			variant = graph.Normalized
+		}
+		rng := rand.New(rand.NewSource(seed))
+		g := graphtest.Random(rng, n, maxDeg, variant)
+
+		sk, err := kernel.BuildSketch(nil, g, variant, top)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := kernel.DecodeSketch(sk.Encode())
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if !reflect.DeepEqual(sk, back) {
+			t.Fatal("decoded sketch differs from original")
+		}
+
+		eng := cover.NewEngine(g, variant)
+		st := kernel.NewState(g, variant)
+		defer st.Release()
+		adds := graphtest.RandomSet(rng, g, int(addsRaw)%n)
+		for step := 0; step <= len(adds); step++ {
+			if step > 0 {
+				eng.Add(adds[step-1])
+				st.Add(adds[step-1])
+			}
+			for v := int32(0); v < int32(n); v++ {
+				exact := eng.Gain(v)
+				if kexact := st.Gain(v); kexact != exact {
+					t.Fatalf("step %d: kernel gain(%d)=%v != engine %v", step, v, kexact, exact)
+				}
+				bound := back.Bound(st, v)
+				if bound < exact-1e-15 {
+					t.Fatalf("step %d: bound(%d)=%v below exact gain %v", step, v, bound, exact)
+				}
+				if !st.Retained(v) {
+					if slack := back.ErrBound(v) + 2e-9*bound + 1e-12; bound-exact > slack {
+						t.Fatalf("step %d: bound(%d)=%v overestimates exact %v beyond certified %v",
+							step, v, bound, exact, slack)
+					}
+				}
+			}
+		}
+	})
+}

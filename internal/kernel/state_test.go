@@ -1,0 +1,159 @@
+package kernel_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"prefcover/internal/cover"
+	"prefcover/internal/graph"
+	"prefcover/internal/graphtest"
+	"prefcover/internal/kernel"
+)
+
+// TestStateMatchesEngineBitwise co-drives a kernel.State and the reference
+// cover.Engine through identical random add sequences and demands bitwise
+// equality of every observable at every step — the arithmetic contract the
+// differential solver suites build on.
+func TestStateMatchesEngineBitwise(t *testing.T) {
+	for _, variant := range []graph.Variant{graph.Independent, graph.Normalized} {
+		rng := rand.New(rand.NewSource(0x57a7e ^ int64(variant)))
+		for trial := 0; trial < 30; trial++ {
+			n := 8 + rng.Intn(120)
+			g := graphtest.Random(rng, n, 1+rng.Intn(9), variant)
+			eng := cover.NewEngine(g, variant)
+			st := kernel.NewState(g, variant)
+			adds := graphtest.RandomSet(rng, g, 1+rng.Intn(n))
+			for step := -1; step < len(adds); step++ {
+				if step >= 0 {
+					v := adds[step]
+					de := eng.Add(v)
+					dk := st.Add(v)
+					if de != dk {
+						t.Fatalf("%v trial %d step %d: Add delta %v != %v", variant, trial, step, dk, de)
+					}
+					// Re-adding must be a no-op in both.
+					if eng.Add(v) != 0 || st.Add(v) != 0 {
+						t.Fatalf("%v trial %d step %d: re-add not a no-op", variant, trial, step)
+					}
+				}
+				if eng.Cover() != st.Cover() || eng.Size() != st.Size() {
+					t.Fatalf("%v trial %d step %d: cover/size diverge: (%v,%d) != (%v,%d)",
+						variant, trial, step, st.Cover(), st.Size(), eng.Cover(), eng.Size())
+				}
+				for v := int32(0); v < int32(n); v++ {
+					if eng.Retained(v) != st.Retained(v) {
+						t.Fatalf("%v trial %d step %d: retained[%d] diverges", variant, trial, step, v)
+					}
+					if eng.Gain(v) != st.Gain(v) {
+						t.Fatalf("%v trial %d step %d: gain[%d] %v != %v",
+							variant, trial, step, v, st.Gain(v), eng.Gain(v))
+					}
+					if eng.CoveredWeight(v) != st.CoveredWeight(v) {
+						t.Fatalf("%v trial %d step %d: I[%d] %v != %v",
+							variant, trial, step, v, st.CoveredWeight(v), eng.CoveredWeight(v))
+					}
+					if eng.ItemCoverage(v) != st.ItemCoverage(v) {
+						t.Fatalf("%v trial %d step %d: coverage[%d] %v != %v",
+							variant, trial, step, v, st.ItemCoverage(v), eng.ItemCoverage(v))
+					}
+				}
+			}
+			st.Release()
+		}
+	}
+}
+
+// TestStatePoolReuse checks that pooled storage comes back clean: a state
+// acquired after a released, dirtied one starts from S = {}.
+func TestStatePoolReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	g := graphtest.Random(rng, 64, 4, graph.Independent)
+	st := kernel.NewState(g, graph.Independent)
+	for _, v := range graphtest.RandomSet(rng, g, 20) {
+		st.Add(v)
+	}
+	st.Release()
+
+	st2 := kernel.NewState(g, graph.Normalized) // different variant, same size class
+	defer st2.Release()
+	if st2.Size() != 0 || st2.Cover() != 0 {
+		t.Fatalf("reused state not clean: size %d cover %v", st2.Size(), st2.Cover())
+	}
+	for v := int32(0); v < int32(g.NumNodes()); v++ {
+		if st2.Retained(v) {
+			t.Fatalf("reused state retains node %d", v)
+		}
+		if st2.CoveredWeight(v) != 0 {
+			t.Fatalf("reused state has I[%d] = %v", v, st2.CoveredWeight(v))
+		}
+	}
+	eng := cover.NewEngine(g, graph.Normalized)
+	for v := int32(0); v < int32(g.NumNodes()); v++ {
+		if eng.Gain(v) != st2.Gain(v) {
+			t.Fatalf("reused state gain[%d] %v != engine %v", v, st2.Gain(v), eng.Gain(v))
+		}
+	}
+}
+
+// TestItemCoverageGuards is the boundary table for the NaN/Inf coverage
+// clamp, run against both the reference engine and the flat state (they
+// share the clamp helper, and both must agree).
+func TestItemCoverageGuards(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		cov  float64
+		want float64
+	}{
+		{"in-range", 0.75, 0.75},
+		{"exact-one", 1.0, 1.0},
+		{"exact-zero", 0.0, 0.0},
+		{"float-noise-above-one", 1.0000000001, 1},
+		{"plus-inf", math.Inf(1), 1},
+		{"negative-noise", -1e-18, 0},
+		{"minus-inf", math.Inf(-1), 0},
+		{"nan", math.NaN(), 0},
+	} {
+		if got := cover.ClampCoverage(tc.cov); got != tc.want {
+			t.Errorf("ClampCoverage(%s = %v) = %v, want %v", tc.name, tc.cov, got, tc.want)
+		}
+	}
+}
+
+// TestItemCoverageBoundaryBothVariants builds graphs whose weights push the
+// coverage ratio to the clamp boundaries — a denormal-weight node whose
+// ratio overflows to +Inf, and a NaN-weight node that poisons I — and
+// checks both variants of both engines report clamped values, never NaN or
+// a value outside [0,1].
+func TestItemCoverageBoundaryBothVariants(t *testing.T) {
+	for _, variant := range []graph.Variant{graph.Independent, graph.Normalized} {
+		// Node 0: denormal weight, fully coverable by node 1 — covered/weight
+		// can overflow. Node 2: NaN weight propagates NaN into I[2] when
+		// node 1 is added. Node 1: the retained coverer.
+		b := graph.NewBuilder(3, 2)
+		b.AddNode(5e-324)
+		b.AddNode(0.5)
+		b.AddNode(math.NaN())
+		b.AddEdge(0, 1, 1.0)
+		b.AddEdge(2, 1, 1.0)
+		g, err := b.Build(graph.BuildOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng := cover.NewEngine(g, variant)
+		st := kernel.NewState(g, variant)
+		eng.Add(1)
+		st.Add(1)
+		for v := int32(0); v < 3; v++ {
+			ce := eng.ItemCoverage(v)
+			ck := st.ItemCoverage(v)
+			if math.IsNaN(ce) || ce < 0 || ce > 1 {
+				t.Errorf("%v: engine ItemCoverage(%d) = %v escaped the clamp", variant, v, ce)
+			}
+			if ce != ck && !(math.IsNaN(ce) && math.IsNaN(ck)) {
+				t.Errorf("%v: ItemCoverage(%d) engine %v != kernel %v", variant, v, ce, ck)
+			}
+		}
+		st.Release()
+	}
+}

@@ -106,6 +106,7 @@ func (s *Server) submitJob(w http.ResponseWriter, r *http.Request) {
 		Threshold: req.Threshold,
 		Lazy:      req.LazyEnabled(),
 		Workers:   req.Workers,
+		Strategy:  req.Strategy,
 	}
 	// Validate the reference and pins now so a bad submission fails at POST
 	// time, not minutes later inside the queue; the task re-resolves at run

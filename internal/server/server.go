@@ -588,18 +588,9 @@ func (s *Server) solve(ctx context.Context, g *prefcover.Graph, opts prefcover.O
 	return sol, &usage, err
 }
 
-// solveStrategy mirrors the solver's strategy selection for metric labels.
+// solveStrategy names the solver's resolved strategy for metric labels.
 func solveStrategy(opts prefcover.Options) string {
-	switch {
-	case opts.StochasticEpsilon > 0:
-		return prefcover.StrategyStochastic
-	case opts.Lazy:
-		return prefcover.StrategyLazy
-	case opts.Workers > 1:
-		return prefcover.StrategyParallel
-	default:
-		return prefcover.StrategyScan
-	}
+	return opts.StrategyName()
 }
 
 // apiError is the JSON error envelope; RequestID lets a client quote the
@@ -800,6 +791,15 @@ func (s *Server) solveParams(r *http.Request) (prefcover.Options, error) {
 	opts := prefcover.Options{Lazy: true}
 	if v := q.Get("lazy"); v == "0" || v == "false" {
 		opts.Lazy = false
+	}
+	if v := q.Get("strategy"); v != "" {
+		// An explicit strategy supersedes the lazy/workers knobs (this is
+		// how the lazyflat and sketch kernels are selected over HTTP).
+		strat, err := prefcover.ParseStrategy(v)
+		if err != nil {
+			return opts, fmt.Errorf("bad strategy %q", v)
+		}
+		opts.Strategy = strat
 	}
 	if v := q.Get("workers"); v != "" {
 		n, err := strconv.Atoi(v)

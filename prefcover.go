@@ -121,14 +121,23 @@ type Solution = greedy.Solution
 // via Options.Progress.
 type ProgressEvent = greedy.ProgressEvent
 
-// Strategy names reported in ProgressEvent.Strategy.
+// Strategy names reported in ProgressEvent.Strategy. The first five are
+// also valid explicit Options.Strategy values (see ParseStrategy);
+// StrategyLazyFlat and StrategySketch select the data-oriented gain
+// kernels of internal/kernel and are only reachable that way.
 const (
 	StrategyScan       = greedy.StrategyScan
 	StrategyParallel   = greedy.StrategyParallel
 	StrategyLazy       = greedy.StrategyLazy
+	StrategyLazyFlat   = greedy.StrategyLazyFlat
+	StrategySketch     = greedy.StrategySketch
 	StrategyStochastic = greedy.StrategyStochastic
 	StrategyPinned     = greedy.StrategyPinned
 )
+
+// ParseStrategy validates an explicit Options.Strategy value ("" selects
+// the strategy from the Lazy/Workers knobs).
+func ParseStrategy(s string) (string, error) { return greedy.ParseStrategy(s) }
 
 // Solve runs the greedy Preference Cover algorithm (paper Algorithm 1).
 func Solve(g *Graph, opts Options) (*Solution, error) { return greedy.Solve(g, opts) }
