@@ -23,6 +23,8 @@ FUZZ_TARGETS := \
 	./internal/jobs:FuzzJobRequestJSON \
 	./internal/faults:FuzzFaultSpec \
 	./internal/trace:FuzzTraceparent \
+	./internal/promtext:FuzzPromText \
+	./internal/slo:FuzzSLOSpec \
 	./internal/kernel:FuzzSketchRoundTrip \
 	./cmd/prefcover:FuzzGraphImport
 
@@ -71,9 +73,12 @@ fuzz-short:
 
 # smoke boots the real prefcoverd binary on an ephemeral port, scrapes
 # /metrics and /debug/statusz, validates the Prometheus text format and
-# the expected metric families, and checks SIGTERM drains cleanly.
+# the expected metric families, and checks SIGTERM drains cleanly. The
+# SLO half boots a second daemon with a tight availability SLO plus a
+# fault injector and watches the ALERTS lifecycle fire and resolve
+# through /metrics, /debug/slo, and /debug/faults.
 smoke:
-	$(GO) test -count=1 -run '^TestStatuszMetricsSmoke$$' ./cmd/prefcoverd
+	$(GO) test -count=1 -run '^(TestStatuszMetricsSmoke|TestSLOAlertSmoke)$$' ./cmd/prefcoverd
 
 # cluster-smoke boots three real prefcoverd nodes plus a -gateway process,
 # pushes a graph through the gateway (R=2 replication), kills the node

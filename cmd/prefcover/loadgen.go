@@ -40,6 +40,7 @@ import (
 	"prefcover/internal/profilez"
 	"prefcover/internal/replay"
 	"prefcover/internal/server"
+	"prefcover/internal/slo"
 	"prefcover/internal/synth"
 )
 
@@ -73,6 +74,8 @@ func runLoadgen(ctx context.Context, args []string) error {
 
 		replayN = fs.Int("replay", 2000, "Monte Carlo requests validating the solved cover against the graph; 0 disables")
 
+		sloSpecText = fs.String("slo-spec", "", `grade the run against these objectives over the logical endpoints and record the verdicts, e.g. "avail:solve:99.9,p99:solve:0.25" (single runs only)`)
+
 		profileOut    = fs.String("profile", "", "arm a server-side CPU capture via /debug/profilez spanning the run and save the gzipped pprof protobuf to this file (single runs only, not -capacity)")
 		out           = fs.String("out", "BENCH_serving.json", "append the run to this benchmark file; empty skips recording")
 		printSchedule = fs.Bool("print-schedule", false, "print the deterministic request schedule and exit (no server needed)")
@@ -90,6 +93,15 @@ func runLoadgen(ctx context.Context, args []string) error {
 	mix, err := loadgen.ParseMix(*mixText)
 	if err != nil {
 		return err
+	}
+	sloSpec, err := slo.ParseSpec(*sloSpecText)
+	if err != nil {
+		return err
+	}
+	if sloSpec.Enabled() && *capacity {
+		// Capacity mode already carries its own -slo-p99/-error-budget knee
+		// criteria; per-run verdicts only apply to single runs.
+		return fmt.Errorf("-slo-spec only applies to single runs, not -capacity")
 	}
 	if *profileOut != "" && *capacity {
 		// A capacity search holds many rate steps of unknown total length;
@@ -308,6 +320,14 @@ func runLoadgen(ctx context.Context, args []string) error {
 			report.Replay = rs
 			progress("replay: simulated %.4f (stderr %.4f) vs predicted %.4f",
 				rs.Rate, rs.StdErr, rs.Predicted)
+		}
+	}
+
+	if sloSpec.Enabled() {
+		report.SLOSpec = sloSpec.String()
+		report.SLO = loadgen.EvaluateSLO(sloSpec, report)
+		for _, v := range report.SLO {
+			progress("slo %s", v)
 		}
 	}
 

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"prefcover/internal/cluster"
+	"prefcover/internal/slo"
 	"prefcover/internal/version"
 )
 
@@ -35,10 +36,22 @@ type gatewayFlags struct {
 	maxAttempts    int
 }
 
+// sloFlags is the parsed observability flag group (-slo-spec,
+// -scrape-interval, -alert-webhook, windows), shared by both roles: a
+// node self-scrapes its own registry, the gateway federates its members'.
+type sloFlags struct {
+	spec           slo.Spec
+	scrapeInterval time.Duration
+	fastWindow     time.Duration
+	slowWindow     time.Duration
+	forDuration    time.Duration
+	webhook        string
+}
+
 // runGateway is run()'s -gateway branch: build the gateway, serve it,
 // drain on SIGINT/SIGTERM. It mirrors the node path's lifecycle exactly
 // so scripts that parse "prefcoverd listening" work against both roles.
-func runGateway(addr string, gf gatewayFlags, maxBodyMB int64, shutdownGrace time.Duration, logger *slog.Logger) int {
+func runGateway(addr string, gf gatewayFlags, sf sloFlags, maxBodyMB int64, shutdownGrace time.Duration, logger *slog.Logger) int {
 	nodes := splitNodes(gf.nodes)
 	if len(nodes) == 0 {
 		logger.Error("-gateway requires -nodes host1:port,host2:port,...")
@@ -54,6 +67,12 @@ func runGateway(addr string, gf gatewayFlags, maxBodyMB int64, shutdownGrace tim
 		RequestTimeout: gf.requestTimeout,
 		MaxAttempts:    gf.maxAttempts,
 		MaxBodyBytes:   maxBodyMB << 20,
+		ScrapeInterval: sf.scrapeInterval,
+		SLO:            sf.spec,
+		SLOFastWindow:  sf.fastWindow,
+		SLOSlowWindow:  sf.slowWindow,
+		SLOForDuration: sf.forDuration,
+		AlertWebhook:   sf.webhook,
 	})
 	if err != nil {
 		logger.Error("gateway construction failed", "error", err)

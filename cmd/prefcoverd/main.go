@@ -35,6 +35,7 @@ import (
 	"prefcover/internal/jobs"
 	"prefcover/internal/profilez"
 	"prefcover/internal/server"
+	"prefcover/internal/slo"
 	"prefcover/internal/store"
 	"prefcover/internal/version"
 )
@@ -70,6 +71,13 @@ func run() int {
 		jobWorkers     = flag.Int("job-workers", 1, "async solve workers; they share -max-concurrent slots with synchronous requests")
 		jobQueue       = flag.Int("job-queue", 0, "maximum queued async jobs before submissions get 429 (0 = default)")
 
+		sloSpecText    = flag.String("slo-spec", "", "comma-separated SLO objectives for the burn-rate monitor, e.g. \"avail:/v1/solve:99.9,p99:/v1/solve:0.05\"; surfaced at /debug/slo and as ALERTS series on /metrics (empty = off)")
+		scrapeInterval = flag.Duration("scrape-interval", 0, "metrics snapshot cadence for the SLO monitor; in -gateway mode this also enables node /metrics federation even without -slo-spec (0 = 10s when SLOs are on)")
+		alertWebhook   = flag.String("alert-webhook", "", "POST SLO alert firing/resolved transitions to this URL as JSON, with retries (empty = off)")
+		sloFastWindow  = flag.Duration("slo-fast-window", 0, "fast burn-rate evaluation window (0 = 5m)")
+		sloSlowWindow  = flag.Duration("slo-slow-window", 0, "slow burn-rate evaluation window (0 = 1h)")
+		sloFor         = flag.Duration("slo-for", 0, "how long a breach (or recovery) must persist before an alert fires (or resolves) (0 = 30s)")
+
 		faultSpec     = flag.String("fault-spec", "", "inject faults into /v1/* requests, e.g. \"seed=7,error=0.05,throttle=0.02,latency=5ms@0.3\" (chaos testing; empty = off)")
 		faultSpecDisk = flag.String("fault-spec-disk", "", "inject faults into -store-dir snapshot writes, same grammar as -fault-spec (empty = off)")
 		faultControl  = flag.Bool("fault-control", false, "mount /debug/faults so the HTTP fault injector can be inspected and replaced at runtime (test builds only)")
@@ -99,8 +107,22 @@ func run() int {
 	}
 	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 
+	sloSpec, err := slo.ParseSpec(*sloSpecText)
+	if err != nil {
+		logger.Error("bad -slo-spec", "error", err)
+		return 1
+	}
+	sf := sloFlags{
+		spec:           sloSpec,
+		scrapeInterval: *scrapeInterval,
+		fastWindow:     *sloFastWindow,
+		slowWindow:     *sloSlowWindow,
+		forDuration:    *sloFor,
+		webhook:        *alertWebhook,
+	}
+
 	if *gateway {
-		return runGateway(*addr, gf, *maxBody, *shutdownGrace, logger)
+		return runGateway(*addr, gf, sf, *maxBody, *shutdownGrace, logger)
 	}
 
 	httpFaults, err := parseFaultFlag("fault-spec", *faultSpec, logger)
@@ -134,6 +156,14 @@ func run() int {
 		Faults:       httpFaults,
 		FaultControl: *faultControl,
 		EnablePprof:  *enablePprof,
+		SLO: server.SLOConfig{
+			Spec:           sf.spec,
+			ScrapeInterval: sf.scrapeInterval,
+			FastWindow:     sf.fastWindow,
+			SlowWindow:     sf.slowWindow,
+			ForDuration:    sf.forDuration,
+			WebhookURL:     sf.webhook,
+		},
 		Profilez: profilez.Options{
 			Dir:      *profileDir,
 			Interval: *profileInterval,

@@ -1,0 +1,118 @@
+package main
+
+// The SLO alerting smoke test `make ci` (and `make smoke`) runs: build
+// the real binary, boot it with a tight availability SLO and a 90%
+// error-rate fault injector, drive /v1/solve traffic, and watch the full
+// alert lifecycle through the operator surface — ALERTS reaches firing
+// on /metrics and /debug/slo reports it; then disarm the injector over
+// /debug/faults and watch the alert resolve as clean traffic rolls the
+// burn windows over. This is the real-binary counterpart of
+// internal/server's fake-clock lifecycle tests: same state machine,
+// actual process, wall clock, and self-scrape loop.
+
+import (
+	"io"
+	"net/http"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+const (
+	// Firing pins the severity: a 90% error rate against a 99% target is
+	// a ~90x burn, far past the critical threshold. The resolved check is
+	// severity-agnostic — during recovery the decaying windows may pass
+	// through the warning band, and the alert resolves with whatever
+	// severity its last breaching tick observed.
+	alertFiringLine   = `ALERTS{alertname="avail_burn",endpoint="/v1/solve",severity="critical",state="firing"} 1`
+	alertResolvedLine = `state="resolved"} 1`
+)
+
+func TestSLOAlertSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping daemon smoke test in -short mode")
+	}
+	bin := filepath.Join(t.TempDir(), "prefcoverd")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	d := startSmokeDaemon(t, bin,
+		"-fault-control",
+		"-fault-spec", "seed=1,error=0.9",
+		"-slo-spec", "avail:/v1/solve:99",
+		"-scrape-interval", "100ms",
+		"-slo-fast-window", "2s",
+		"-slo-slow-window", "4s",
+		"-slo-for", "100ms",
+	)
+
+	// Phase 1: with 90% of solves injected as 500s against a 99% target,
+	// the burn rate is ~90x budget — the alert must reach firing. Keep
+	// sending traffic while polling so every scrape window has samples.
+	if !pollAlert(t, d.base, alertFiringLine, 30*time.Second) {
+		t.Fatalf("alert never fired; /metrics:\n%s", get(t, d.base+"/metrics", "text/plain"))
+	}
+
+	// The debug page must agree with the metric the moment it fires.
+	sloPage := get(t, d.base+"/debug/slo", "text/html")
+	if !strings.Contains(sloPage, "firing") || !strings.Contains(sloPage, "/v1/solve") {
+		t.Errorf("/debug/slo does not show the firing alert:\n%s", sloPage)
+	}
+
+	// Phase 2: disarm the injector at runtime (empty spec removes it) and
+	// keep driving clean traffic until the burn windows roll over and the
+	// alert resolves.
+	req, err := http.NewRequest(http.MethodPut, d.base+"/debug/faults", strings.NewReader(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("disarm faults: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("disarm faults: status %d", resp.StatusCode)
+	}
+
+	if !pollAlert(t, d.base, alertResolvedLine, 30*time.Second) {
+		t.Fatalf("alert never resolved after faults disarmed; /metrics:\n%s",
+			get(t, d.base+"/metrics", "text/plain"))
+	}
+	metricsBody := get(t, d.base+"/metrics", "text/plain")
+	validatePromText(t, metricsBody)
+	if strings.Contains(metricsBody, `state="firing"} 1`) {
+		t.Error("a firing series is still 1 after resolution")
+	}
+
+	d.stop(t)
+}
+
+// pollAlert drives /v1/solve traffic and scrapes /metrics until the
+// wanted ALERTS line appears or the deadline passes. The request bodies
+// are deliberately invalid: the passthrough responses are 400s, which
+// never count against the availability SLO, so only injected 500s move
+// the burn rate.
+func pollAlert(t *testing.T, base, want string, deadline time.Duration) bool {
+	t.Helper()
+	until := time.Now().Add(deadline)
+	for time.Now().Before(until) {
+		for i := 0; i < 10; i++ {
+			resp, err := http.Post(base+"/v1/solve", "application/json", strings.NewReader("{}"))
+			if err != nil {
+				continue // injected connection resets are expected
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+		if strings.Contains(get(t, base+"/metrics", "text/plain"), want) {
+			return true
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	return false
+}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"prefcover/internal/metrics"
+	"prefcover/internal/tsdb"
 )
 
 // clusterState is the /debug/cluster GET body: ring membership, per-node
@@ -187,7 +188,18 @@ small{color:#777}
 		time.Since(g.start).Round(time.Second), len(st.RingNodes), st.Replicas, st.VNodes,
 		st.StickyKeys, st.TrackedJbs)
 
-	b.WriteString("<h2>Nodes</h2>\n<table><tr><th>node</th><th>state</th><th>ring share</th><th>graphs</th><th>queue</th><th>running</th><th>in-flight</th><th>last probe</th><th>last error</th></tr>\n")
+	// With federation on, the Nodes panel carries live rate columns
+	// derived from the tsdb snapshot ring: request rate over the fast SLO
+	// window plus a sparkline of per-interval rates over the slow window.
+	var db *tsdb.DB
+	var fastWin, slowWin time.Duration
+	if g.monitor != nil {
+		db = g.monitor.DB()
+		fastWin, slowWin, _ = g.monitor.Windows()
+	}
+	scrapeErrs := g.scrapeErrors()
+
+	b.WriteString("<h2>Nodes</h2>\n<table><tr><th>node</th><th>state</th><th>ring share</th><th>graphs</th><th>queue</th><th>running</th><th>in-flight</th><th>req/s</th><th>trend</th><th>last probe</th><th>last error</th></tr>\n")
 	for _, ns := range st.Nodes {
 		state, class := "healthy", "ok"
 		switch {
@@ -204,10 +216,32 @@ small{color:#777}
 		if !ns.LastSeen.IsZero() {
 			seen = time.Since(ns.LastSeen).Round(time.Millisecond).String() + " ago"
 		}
-		fmt.Fprintf(&b, "<tr><td>%s</td><td class=%q>%s</td><td>%s</td><td>%d</td><td>%d/%d</td><td>%d</td><td>%d</td><td>%s</td><td><small>%s</small></td></tr>\n",
+		rate, spark := "-", "-"
+		if db != nil {
+			match := map[string]string{"node": ns.URL}
+			if r, ok := db.RateSum("prefcover_node_http_requests_total", match, fastWin); ok {
+				rate = fmt.Sprintf("%.1f/s", r)
+			}
+			pts := db.RatePoints("prefcover_node_http_requests_total", match, slowWin)
+			if len(pts) > 0 {
+				vals := make([]float64, len(pts))
+				for i, p := range pts {
+					vals[i] = p.Value
+				}
+				spark = tsdb.Spark(vals)
+			}
+		}
+		lastErr := ns.LastErr
+		if e := scrapeErrs[ns.URL]; e != "" {
+			if lastErr != "" {
+				lastErr += "; "
+			}
+			lastErr += "scrape: " + e
+		}
+		fmt.Fprintf(&b, "<tr><td>%s</td><td class=%q>%s</td><td>%s</td><td>%d</td><td>%d/%d</td><td>%d</td><td>%d</td><td>%s</td><td>%s</td><td>%s</td><td><small>%s</small></td></tr>\n",
 			html.EscapeString(ns.URL), class, state, share, ns.Graphs,
-			ns.QueueDepth, ns.QueueCap, ns.Running, ns.InFlight, seen,
-			html.EscapeString(ns.LastErr))
+			ns.QueueDepth, ns.QueueCap, ns.Running, ns.InFlight,
+			rate, spark, seen, html.EscapeString(lastErr))
 	}
 	b.WriteString("</table>\n")
 
@@ -237,7 +271,7 @@ small{color:#777}
 	}
 	b.WriteString("</table>\n")
 
-	b.WriteString(`<p><a href="/metrics">/metrics</a> · <a href="/debug/cluster">/debug/cluster</a> · <a href="/debug/traces">/debug/traces</a></p>`)
+	b.WriteString(`<p><a href="/metrics">/metrics</a> · <a href="/debug/cluster">/debug/cluster</a> · <a href="/debug/slo">/debug/slo</a> · <a href="/debug/traces">/debug/traces</a></p>`)
 	b.WriteString("</body></html>\n")
 	w.Header().Set("Content-Type", "text/html; charset=utf-8")
 	_, _ = w.Write([]byte(b.String()))

@@ -11,6 +11,7 @@ import (
 
 	"prefcover/internal/apiclient"
 	"prefcover/internal/metrics"
+	"prefcover/internal/slo"
 	"prefcover/internal/trace"
 	"prefcover/internal/version"
 )
@@ -23,6 +24,7 @@ const (
 	DefaultMaxAttempts   = 3
 	DefaultRetryBase     = 50 * time.Millisecond
 	DefaultMaxBodyBytes  = 256 << 20
+	DefaultScrapeTimeout = 5 * time.Second
 )
 
 // Options shapes a Gateway.
@@ -64,6 +66,27 @@ type Options struct {
 	// TraceCapacity sizes the gateway's flight-recorder ring (0 = trace
 	// package default).
 	TraceCapacity int
+
+	// ScrapeInterval turns on metrics federation: every interval the
+	// gateway pulls each node's /metrics, re-exports the families as
+	// prefcover_node_*{node=...} plus prefcover_cluster_* sums on its own
+	// /metrics, and feeds the snapshot ring behind statusz and the SLO
+	// evaluator. 0 disables federation unless SLO asks for it (then the
+	// slo package's default cadence applies).
+	ScrapeInterval time.Duration
+	// ScrapeTimeout bounds one node /metrics pull (0 = 5s).
+	ScrapeTimeout time.Duration
+	// SLO lists cluster-level objectives evaluated against the
+	// prefcover_cluster_* aggregates (see internal/slo's grammar).
+	SLO slo.Spec
+	// SLOFastWindow/SLOSlowWindow/SLOForDuration tune the burn-rate
+	// evaluator; zero values use the slo defaults (5m/1h/30s).
+	SLOFastWindow  time.Duration
+	SLOSlowWindow  time.Duration
+	SLOForDuration time.Duration
+	// AlertWebhook, when set, receives firing/resolved transitions as
+	// JSON POSTs with retry.
+	AlertWebhook string
 }
 
 func (o Options) withDefaults() Options {
@@ -91,6 +114,9 @@ func (o Options) withDefaults() Options {
 	if o.TraceCapacity <= 0 {
 		o.TraceCapacity = trace.DefaultCapacity
 	}
+	if o.ScrapeTimeout <= 0 {
+		o.ScrapeTimeout = DefaultScrapeTimeout
+	}
 	return o
 }
 
@@ -108,6 +134,12 @@ type Gateway struct {
 	tracer *trace.Tracer
 	logger *slog.Logger
 	start  time.Time
+
+	// Federation state: the cluster SLO monitor owns the scrape loop and
+	// the tsdb ring; fed holds the latest parsed snapshot per node. Both
+	// are nil/empty when Options left federation off.
+	monitor *slo.Monitor
+	fed     federation
 
 	mu     sync.Mutex
 	nodes  map[string]*nodeState // every known node, drained included
@@ -167,6 +199,10 @@ func New(opts Options) (*Gateway, error) {
 		g.ring.Add(url)
 	}
 	g.probeAll()
+	if opts.federationEnabled() {
+		g.monitor = g.newMonitor()
+		g.monitor.Start()
+	}
 	go g.probeLoop()
 	return g, nil
 }
@@ -191,8 +227,12 @@ func normalizeNodeURL(raw string) (string, error) {
 	return u, nil
 }
 
-// Close stops the prober and releases pooled connections.
+// Close stops the prober and the federation scrape loop, then releases
+// pooled connections.
 func (g *Gateway) Close() {
+	if g.monitor != nil {
+		g.monitor.Close()
+	}
 	close(g.probeStop)
 	<-g.probeDone
 	g.client.CloseIdleConnections()
@@ -216,10 +256,15 @@ func (g *Gateway) Handler() http.Handler {
 	mux.HandleFunc("/version", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, version.Get())
 	})
-	mux.Handle("/metrics", g.reg.Handler())
+	mux.HandleFunc("/metrics", g.handleMetrics)
 	mux.HandleFunc("/debug/cluster", g.handleCluster)
 	mux.HandleFunc("/debug/statusz", g.handleStatusz)
 	mux.HandleFunc("/debug/traces", g.handleTraces)
+	if g.monitor != nil {
+		mux.Handle("/debug/slo", g.monitor.DebugHandler())
+	} else {
+		mux.Handle("/debug/slo", slo.DisabledHandler())
+	}
 
 	mux.HandleFunc("/v1/graphs", g.handleGraphList)
 	mux.HandleFunc("/v1/graphs/", g.handleGraph)

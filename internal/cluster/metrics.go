@@ -34,6 +34,11 @@ type gwMetrics struct {
 
 	// Routing decisions: how solves picked their node.
 	routed *metrics.CounterVec // prefcover_gateway_routed_total{strategy}
+
+	// Federation: node /metrics scrape outcomes and the cluster-level
+	// SLO alert lifecycle (see internal/slo).
+	scrapes *metrics.CounterVec // prefcover_gateway_scrapes_total{node,outcome}
+	alerts  *metrics.GaugeVec   // ALERTS{alertname,endpoint,severity,state}
 }
 
 func newGwMetrics(r *metrics.Registry) *gwMetrics {
@@ -66,5 +71,11 @@ func newGwMetrics(r *metrics.Registry) *gwMetrics {
 		routed: r.NewCounter("prefcover_gateway_routed_total",
 			"Solve routing decisions by strategy (sticky/primary/least_loaded).",
 			"strategy"),
+		scrapes: r.NewCounter("prefcover_gateway_scrapes_total",
+			"Node /metrics federation scrapes by node and outcome (ok/error).",
+			"node", "outcome"),
+		alerts: r.NewGauge("ALERTS",
+			"Cluster SLO burn-rate alerts: 1 on the series matching each alert's current state.",
+			"alertname", "endpoint", "severity", "state"),
 	}
 }

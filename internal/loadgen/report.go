@@ -10,6 +10,8 @@ package loadgen
 import (
 	"fmt"
 	"time"
+
+	"prefcover/internal/slo"
 )
 
 // EndpointStats is the per-endpoint slice of the report. Latencies are
@@ -121,6 +123,12 @@ type Report struct {
 	Retry      RetryStats   `json:"retry"`
 	Faults     *FaultStats  `json:"faults,omitempty"`
 	Replay     *ReplayStats `json:"replay,omitempty"`
+
+	// SLOSpec and SLO record the run graded against `-slo-spec`
+	// objectives (internal/slo grammar over the logical endpoint names);
+	// both empty when no spec was given, keeping old entries readable.
+	SLOSpec string       `json:"sloSpec,omitempty"`
+	SLO     []SLOVerdict `json:"slo,omitempty"`
 }
 
 // Validate enforces the report invariants:
@@ -176,6 +184,34 @@ func (r *Report) Validate() error {
 	if r.Retry.RetryAfterHonored > r.Retry.Retries {
 		return fmt.Errorf("loadgen: honored Retry-After count %d exceeds retries %d",
 			r.Retry.RetryAfterHonored, r.Retry.Retries)
+	}
+	if err := r.validateSLO(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// validateSLO keeps the recorded verdicts honest: the spec must parse
+// and carry exactly one verdict per objective, in spec order.
+func (r *Report) validateSLO() error {
+	if r.SLOSpec == "" {
+		if len(r.SLO) != 0 {
+			return fmt.Errorf("loadgen: %d SLO verdicts recorded without a spec", len(r.SLO))
+		}
+		return nil
+	}
+	spec, err := slo.ParseSpec(r.SLOSpec)
+	if err != nil {
+		return fmt.Errorf("loadgen: recorded SLO spec: %w", err)
+	}
+	if len(r.SLO) != len(spec.Objectives) {
+		return fmt.Errorf("loadgen: %d SLO verdicts for %d objectives", len(r.SLO), len(spec.Objectives))
+	}
+	for i, o := range spec.Objectives {
+		if r.SLO[i].Objective != o.String() {
+			return fmt.Errorf("loadgen: SLO verdict %d is %q, spec objective is %q",
+				i, r.SLO[i].Objective, o.String())
+		}
 	}
 	return nil
 }

@@ -1,0 +1,77 @@
+package loadgen
+
+// SLO verdicts: a finished run graded against the same objective grammar
+// the serving stack's burn-rate monitor consumes (internal/slo). Where
+// the monitor watches windows of live traffic, loadgen has the complete
+// run — so each objective becomes one exact pass/fail verdict over the
+// report's per-endpoint stats, recorded next to the latency numbers in
+// BENCH_serving.json. Objectives name the report's logical endpoints
+// (solve, graph_get, graph_put, job_submit, job_poll), e.g.
+// "avail:solve:99.9,p99:solve:0.25".
+
+import (
+	"fmt"
+
+	"prefcover/internal/slo"
+)
+
+// SLOVerdict is one objective's outcome for a run.
+type SLOVerdict struct {
+	// Objective is the canonical spec string (kind:endpoint:target).
+	Objective string `json:"objective"`
+	// Endpoint is the logical endpoint the objective names.
+	Endpoint string `json:"endpoint"`
+	// Observed is in the target's own unit: availability percent for
+	// avail objectives, seconds for latency quantiles. Zero when NoData.
+	Observed float64 `json:"observed"`
+	Target   float64 `json:"target"`
+	// Pass is the verdict; an objective naming an endpoint the run never
+	// exercised fails with NoData set (a gate that silently skips an
+	// untested objective is no gate at all).
+	Pass   bool `json:"pass"`
+	NoData bool `json:"noData,omitempty"`
+}
+
+func (v SLOVerdict) String() string {
+	if v.NoData {
+		return fmt.Sprintf("%s: FAIL (no traffic)", v.Objective)
+	}
+	verdict := "PASS"
+	if !v.Pass {
+		verdict = "FAIL"
+	}
+	return fmt.Sprintf("%s: %s (observed %g, target %g)", v.Objective, verdict, v.Observed, v.Target)
+}
+
+// EvaluateSLO grades the report against every objective in spec. The
+// verdict order follows the spec.
+func EvaluateSLO(spec slo.Spec, r *Report) []SLOVerdict {
+	out := make([]SLOVerdict, 0, len(spec.Objectives))
+	for _, o := range spec.Objectives {
+		v := SLOVerdict{Objective: o.String(), Endpoint: o.Endpoint, Target: o.Target}
+		ep := r.Endpoints[o.Endpoint]
+		if ep == nil || ep.Sent == 0 {
+			v.NoData = true
+			out = append(out, v)
+			continue
+		}
+		switch {
+		case o.Kind.Latency():
+			switch o.Kind {
+			case slo.KindP50:
+				v.Observed = ep.P50
+			case slo.KindP90:
+				v.Observed = ep.P90
+			default:
+				v.Observed = ep.P99
+			}
+			v.Pass = v.Observed <= o.Target
+		default: // availability
+			ratio := float64(ep.Errors+ep.Timeouts) / float64(ep.Sent)
+			v.Observed = (1 - ratio) * 100
+			v.Pass = v.Observed >= o.Target
+		}
+		out = append(out, v)
+	}
+	return out
+}

@@ -1,0 +1,145 @@
+package loadgen
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"prefcover/internal/slo"
+)
+
+// sloReport builds a minimally valid report with one solve endpoint and
+// one untouched endpoint, for verdict grading.
+func sloReport() *Report {
+	return &Report{
+		Seed: 1, Mix: "solve=1", RPS: 100, Duration: "1s",
+		Scheduled: 100, Sent: 100,
+		Endpoints: map[string]*EndpointStats{
+			"solve": {
+				Sent: 100, OK: 98, Errors: 1, Timeouts: 1,
+				ErrorRatio: 0.02,
+				P50:        0.010, P90: 0.050, P99: 0.200, Max: 0.300,
+			},
+		},
+		ErrorRatio: 0.02,
+		Retry:      RetryStats{Attempts: 100},
+	}
+}
+
+func parseSpec(t *testing.T, text string) slo.Spec {
+	t.Helper()
+	s, err := slo.ParseSpec(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestEvaluateSLOVerdicts(t *testing.T) {
+	r := sloReport()
+	spec := parseSpec(t, "avail:solve:97,avail:solve:99,p99:solve:0.25,p99:solve:0.1,p50:solve:0.02,avail:graph_get:99")
+	got := EvaluateSLO(spec, r)
+	if len(got) != 6 {
+		t.Fatalf("got %d verdicts, want 6", len(got))
+	}
+	want := []struct {
+		pass   bool
+		noData bool
+		obs    float64
+	}{
+		{true, false, 98},     // avail 98% >= 97
+		{false, false, 98},    // avail 98% < 99
+		{true, false, 0.200},  // p99 200ms <= 250ms
+		{false, false, 0.200}, // p99 200ms > 100ms
+		{true, false, 0.010},  // p50 10ms <= 20ms
+		{false, true, 0},      // graph_get never exercised
+	}
+	for i, w := range want {
+		v := got[i]
+		if v.Pass != w.pass || v.NoData != w.noData || v.Observed != w.obs {
+			t.Errorf("verdict %d (%s): pass=%v noData=%v observed=%v, want %+v",
+				i, v.Objective, v.Pass, v.NoData, v.Observed, w)
+		}
+		if v.Objective != spec.Objectives[i].String() {
+			t.Errorf("verdict %d objective %q != spec %q", i, v.Objective, spec.Objectives[i].String())
+		}
+	}
+	if s := got[5].String(); !strings.Contains(s, "no traffic") {
+		t.Errorf("NoData verdict string = %q", s)
+	}
+	if s := got[0].String(); !strings.Contains(s, "PASS") {
+		t.Errorf("pass verdict string = %q", s)
+	}
+}
+
+// TestReportValidateSLO covers the recorded-verdict invariants: spec and
+// verdicts must agree, and verdicts without a spec are rejected.
+func TestReportValidateSLO(t *testing.T) {
+	r := sloReport()
+	spec := parseSpec(t, "avail:solve:99.9")
+	r.SLOSpec = spec.String()
+	r.SLO = EvaluateSLO(spec, r)
+	if err := r.Validate(); err != nil {
+		t.Fatalf("valid SLO report rejected: %v", err)
+	}
+
+	bad := sloReport()
+	bad.SLO = []SLOVerdict{{Objective: "avail:solve:99.9"}}
+	if err := bad.Validate(); err == nil {
+		t.Error("verdicts without a spec should fail validation")
+	}
+
+	bad = sloReport()
+	bad.SLOSpec = "avail:solve:99.9"
+	if err := bad.Validate(); err == nil {
+		t.Error("spec without verdicts should fail validation")
+	}
+
+	bad = sloReport()
+	bad.SLOSpec = "avail:solve:99.9"
+	bad.SLO = []SLOVerdict{{Objective: "p99:solve:0.1"}}
+	if err := bad.Validate(); err == nil {
+		t.Error("mismatched verdict objective should fail validation")
+	}
+
+	bad = sloReport()
+	bad.SLOSpec = "not a spec"
+	bad.SLO = []SLOVerdict{{}}
+	if err := bad.Validate(); err == nil {
+		t.Error("unparseable recorded spec should fail validation")
+	}
+}
+
+// TestBenchRoundTripWithSLO appends an entry carrying verdicts and reads
+// it back through the schema-drift-refusing decoder.
+func TestBenchRoundTripWithSLO(t *testing.T) {
+	r := sloReport()
+	spec := parseSpec(t, "avail:solve:97,p99:solve:0.25")
+	r.SLOSpec = spec.String()
+	r.SLO = EvaluateSLO(spec, r)
+	path := filepath.Join(t.TempDir(), "BENCH_serving.json")
+	entry := BenchEntry{
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		GitSHA:    "test", GoVersion: "gotest", GOOS: "linux", GOARCH: "amd64", CPUs: 1,
+		Kind:   BenchKindRun,
+		Report: r,
+	}
+	if err := AppendBench(path, entry); err != nil {
+		t.Fatal(err)
+	}
+	f, err := ReadBench(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Entries) != 1 {
+		t.Fatalf("entries = %d", len(f.Entries))
+	}
+	back := f.Entries[0].Report
+	if back.SLOSpec != r.SLOSpec || len(back.SLO) != 2 {
+		t.Fatalf("round-trip lost SLO fields: %+v", back)
+	}
+	if !back.SLO[0].Pass || !back.SLO[1].Pass {
+		t.Errorf("round-trip verdicts = %+v", back.SLO)
+	}
+}

@@ -1,0 +1,52 @@
+package promtext
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzPromText holds the canonicalization property: any input that Parse
+// accepts must survive Write∘Parse unchanged — Parse is idempotent on its
+// own canonical form. This is the guarantee the federation path leans on:
+// a node scrape re-rendered by the gateway parses back to the same data.
+func FuzzPromText(f *testing.F) {
+	seeds := []string{
+		"# HELP a b\n# TYPE a counter\na 1\n",
+		"# TYPE h histogram\nh_bucket{le=\"0.1\"} 1\nh_bucket{le=\"+Inf\"} 2\nh_sum 0.25\nh_count 2\n",
+		"x{a=\"v\\\"q\",b=\"w\\\\\"} 2.5\n",
+		"g NaN\ng2 +Inf\ng3 -Inf\n",
+		"bare 3 1700000000000\n",
+		"# TYPE s summary\ns_sum 1\ns_count 2\n",
+		"m{z=\"1\",a=\"2\"} 3\n",
+		"# HELP late note\nlate 1\n# HELP late2 before\n# TYPE late2 gauge\nlate2 0\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, in string) {
+		m1, err := Parse(strings.NewReader(in))
+		if err != nil {
+			return // malformed input: rejection is fine, crashing is not
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, m1); err != nil {
+			t.Fatalf("Write failed on parsed metrics: %v", err)
+		}
+		m2, err := Parse(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("canonical output failed to reparse: %v\noutput:\n%s", err, buf.String())
+		}
+		if !famsEqual(m1.Families, m2.Families) {
+			t.Fatalf("round-trip changed structure\ninput:\n%q\ncanonical:\n%q", in, buf.String())
+		}
+		// Write must be a fixed point: rendering m2 yields identical bytes.
+		var buf2 bytes.Buffer
+		if err := Write(&buf2, m2); err != nil {
+			t.Fatalf("second Write: %v", err)
+		}
+		if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+			t.Fatalf("Write is not a fixed point\nfirst:\n%q\nsecond:\n%q", buf.String(), buf2.String())
+		}
+	})
+}

@@ -1,0 +1,218 @@
+package promtext
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"prefcover/internal/metrics"
+)
+
+// famsEqual is a NaN-aware deep equality over parsed families (the fuzz
+// property cannot use reflect.DeepEqual: NaN != NaN).
+func famsEqual(a, b []Family) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		fa, fb := a[i], b[i]
+		if fa.Name != fb.Name || fa.Help != fb.Help || fa.Type != fb.Type || len(fa.Samples) != len(fb.Samples) {
+			return false
+		}
+		for j := range fa.Samples {
+			sa, sb := fa.Samples[j], fb.Samples[j]
+			if sa.Name != sb.Name || len(sa.Labels) != len(sb.Labels) {
+				return false
+			}
+			for k := range sa.Labels {
+				if sa.Labels[k] != sb.Labels[k] {
+					return false
+				}
+			}
+			if sa.Value != sb.Value && !(math.IsNaN(sa.Value) && math.IsNaN(sb.Value)) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestParseLiveRegistry round-trips a scrape of a real metrics.Registry
+// carrying every family type, labels with escapes, and non-finite values.
+func TestParseLiveRegistry(t *testing.T) {
+	reg := metrics.NewRegistry()
+	reqs := reg.NewCounter("prefcover_http_requests_total", "Requests served.", "endpoint", "code")
+	reqs.With("/v1/solve", "200").Add(41)
+	reqs.With("/v1/solve", "500").Add(3)
+	reqs.With(`/v1/graphs/{name}`, "200").Inc()
+	g := reg.NewGauge("prefcover_inflight", "In-flight requests.")
+	g.With().Set(7)
+	fg := reg.NewFloatGauge("prefcover_uptime_seconds", "Uptime.")
+	fg.With().Set(12.5)
+	weird := reg.NewFloatGauge("prefcover_weird", "Escapes and non-finite values.", "path")
+	weird.With("a\\b\"c\nd").Set(math.Inf(1))
+	weird.With("plain").Set(math.NaN())
+	hist := reg.NewHistogram("prefcover_http_request_duration_seconds", "Latency.", []float64{0.01, 0.1, 1}, "endpoint")
+	for _, v := range []float64{0.005, 0.02, 0.05, 0.5, 2} {
+		hist.With("/v1/solve").Observe(v)
+	}
+
+	var raw bytes.Buffer
+	if err := reg.WritePrometheus(&raw); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	m, err := Parse(bytes.NewReader(raw.Bytes()))
+	if err != nil {
+		t.Fatalf("Parse of live registry output: %v\ninput:\n%s", err, raw.String())
+	}
+
+	// Spot-check structure against the registry.
+	f := m.Family("prefcover_http_requests_total")
+	if f == nil || f.Type != "counter" || f.Help != "Requests served." {
+		t.Fatalf("counter family missing or wrong: %+v", f)
+	}
+	if len(f.Samples) != 3 {
+		t.Fatalf("counter samples = %d, want 3", len(f.Samples))
+	}
+	found := false
+	for _, s := range m.Samples("prefcover_http_requests_total") {
+		if s.Labels.Matches(map[string]string{"endpoint": "/v1/solve", "code": "500"}) {
+			found = true
+			if s.Value != 3 {
+				t.Fatalf("500 counter = %g, want 3", s.Value)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("500-code counter series not found")
+	}
+	hf := m.Family("prefcover_http_request_duration_seconds")
+	if hf == nil || hf.Type != "histogram" {
+		t.Fatalf("histogram family missing: %+v", hf)
+	}
+	// 3 finite buckets + +Inf + sum + count = 6 samples under one family.
+	if len(hf.Samples) != 6 {
+		t.Fatalf("histogram samples = %d, want 6", len(hf.Samples))
+	}
+	var infBucket, count float64
+	for _, s := range m.Samples("prefcover_http_request_duration_seconds_bucket") {
+		if le, _ := s.Labels.Get("le"); le == "+Inf" {
+			infBucket = s.Value
+		}
+	}
+	for _, s := range m.Samples("prefcover_http_request_duration_seconds_count") {
+		count = s.Value
+	}
+	if infBucket != 5 || count != 5 {
+		t.Fatalf("histogram +Inf bucket/count = %g/%g, want 5/5", infBucket, count)
+	}
+	// The escaped label value must come back exactly.
+	gotEscaped := false
+	for _, s := range m.Samples("prefcover_weird") {
+		if v, ok := s.Labels.Get("path"); ok && v == "a\\b\"c\nd" {
+			gotEscaped = true
+			if !math.IsInf(s.Value, 1) {
+				t.Fatalf("escaped series value = %g, want +Inf", s.Value)
+			}
+		}
+	}
+	if !gotEscaped {
+		t.Fatal("escaped label value did not round-trip")
+	}
+
+	// Write renders the canonical form (labels sorted by name; the
+	// registry emits declaration order) — a reparse must be structurally
+	// identical to the first parse.
+	var rendered bytes.Buffer
+	if err := Write(&rendered, m); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	m2, err := Parse(bytes.NewReader(rendered.Bytes()))
+	if err != nil {
+		t.Fatalf("reparse: %v", err)
+	}
+	if !famsEqual(m.Families, m2.Families) {
+		t.Fatal("round-trip changed the parsed structure")
+	}
+}
+
+func TestParseSyntheticForms(t *testing.T) {
+	in := strings.Join([]string{
+		"# a stray comment",
+		"",
+		"# HELP hinted Has help but type comes later.",
+		"# TYPE hinted gauge",
+		"hinted 4",
+		"bare_sample{x=\"1\"} 2.5 1700000000000",
+		"# TYPE dur histogram",
+		`dur_bucket{le="0.1"} 1`,
+		`dur_bucket{le="+Inf"} 2`,
+		"dur_sum 0.3",
+		"dur_count 2",
+		"after_hist 9",
+	}, "\n") + "\n"
+	m, err := Parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if got := len(m.Families); got != 4 {
+		t.Fatalf("families = %d, want 4", got)
+	}
+	if f := m.Family("hinted"); f == nil || f.Help != "Has help but type comes later." || f.Type != "gauge" {
+		t.Fatalf("hinted family wrong: %+v", f)
+	}
+	if f := m.Family("bare_sample"); f == nil || f.Type != "untyped" {
+		t.Fatalf("bare_sample should synthesize an untyped family: %+v", f)
+	}
+	if s := m.Samples("bare_sample"); len(s) != 1 || s[0].Value != 2.5 {
+		t.Fatalf("bare_sample sample wrong (timestamp must be tolerated): %+v", s)
+	}
+	if f := m.Family("dur"); f == nil || len(f.Samples) != 4 {
+		t.Fatalf("histogram family should absorb _bucket/_sum/_count: %+v", f)
+	}
+	if f := m.Family("after_hist"); f == nil || f.Type != "untyped" {
+		t.Fatalf("sample after histogram should start a fresh family: %+v", f)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"bad name 1",                 // space in name position → bad value
+		"x{a=1} 2",                   // unquoted label value
+		`x{a="1} 2`,                  // unterminated quote
+		`x{a="1"`,                    // unterminated block
+		"x{=\"v\"} 1",                // empty label name
+		"x nope",                     // bad value
+		"x 1 t",                      // bad timestamp
+		"# TYPE x frobnitz",          // unknown type
+		"# TYPE x",                   // missing type
+		"# HELP {bad} h",             // bad help name
+		"x{le=\"0.1\",} }",           // junk after label block
+		strings.Repeat("x", 3) + "{", // unterminated brace
+	}
+	for _, in := range cases {
+		if _, err := Parse(strings.NewReader(in + "\n")); err == nil {
+			t.Errorf("Parse(%q) should fail", in)
+		}
+	}
+}
+
+func TestLabelsHelpers(t *testing.T) {
+	ls := Labels{{"a", "1"}, {"m", "x"}}
+	if got := ls.With("z", "9"); len(got) != 3 || got[2].Name != "z" {
+		t.Fatalf("With append: %+v", got)
+	}
+	if got := ls.With("a", "2"); got[0].Value != "2" || len(got) != 2 {
+		t.Fatalf("With replace: %+v", got)
+	}
+	if got := ls.Without("m"); len(got) != 1 || got[0].Name != "a" {
+		t.Fatalf("Without: %+v", got)
+	}
+	if Labels(nil).Key() != "" || ls.Key() == "" {
+		t.Fatal("Key sanity")
+	}
+	if !ls.Matches(map[string]string{"a": "1"}) || ls.Matches(map[string]string{"a": "2"}) {
+		t.Fatal("Matches sanity")
+	}
+}

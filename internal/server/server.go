@@ -87,6 +87,7 @@ import (
 	"prefcover/internal/jobs"
 	"prefcover/internal/metrics"
 	"prefcover/internal/profilez"
+	"prefcover/internal/slo"
 	"prefcover/internal/solvecache"
 	"prefcover/internal/store"
 	"prefcover/internal/trace"
@@ -147,6 +148,9 @@ type Server struct {
 	// enablePprof mounts net/http/pprof under /debug/pprof/ on the main
 	// mux, next to the other /debug/* handlers.
 	enablePprof bool
+	// monitor is the SLO burn-rate monitor (self-scrape loop, alert state
+	// machine, /debug/slo); nil unless Config.SLO enables it.
+	monitor *slo.Monitor
 	// started anchors the uptime gauge.
 	started time.Time
 	// testHookStart, when set (tests only), runs inside the instrumented
@@ -189,6 +193,10 @@ type Config struct {
 	// -pprof flag. /debug/profilez exists independently of it: profilez
 	// snapshots and retains, /debug/pprof serves live one-shot pulls.
 	EnablePprof bool
+	// SLO enables the burn-rate monitor (-slo-spec, -scrape-interval,
+	// -alert-webhook). The zero value leaves it off: no background loop,
+	// /debug/slo reports disabled.
+	SLO SLOConfig
 }
 
 // New returns a Server with the given limits and default subsystem bounds;
@@ -259,6 +267,10 @@ func NewWithConfig(cfg Config) (*Server, error) {
 	s.capturer = profilez.New(profOpts)
 	s.capturer.Start()
 	s.enablePprof = cfg.EnablePprof
+	if cfg.SLO.enabled() {
+		s.monitor = s.newMonitor(cfg.SLO)
+		s.monitor.Start()
+	}
 	return s, nil
 }
 
@@ -268,6 +280,9 @@ func NewWithConfig(cfg Config) (*Server, error) {
 func (s *Server) Close() {
 	s.jobs.Close()
 	s.capturer.Close()
+	if s.monitor != nil {
+		s.monitor.Close()
+	}
 }
 
 // Store exposes the graph registry (tests, embedders).
@@ -300,6 +315,9 @@ type serverMetrics struct {
 	latency  *metrics.HistogramVec // prefcover_http_request_duration_seconds{endpoint}
 	inFlight *metrics.GaugeVec     // prefcover_http_in_flight_requests
 	rejected *metrics.CounterVec   // prefcover_http_rejected_total{endpoint,reason}
+	// alerts carries the SLO alert lifecycle in the Prometheus ALERTS
+	// convention: the series for an alert's current state is 1.
+	alerts *metrics.GaugeVec // ALERTS{alertname,endpoint,severity,state}
 
 	solverIterations *metrics.CounterVec   // prefcover_solver_iterations_total{strategy}
 	solverEvals      *metrics.CounterVec   // prefcover_solver_gain_evaluations_total{strategy}
@@ -350,6 +368,9 @@ func newServerMetrics() *serverMetrics {
 			"Requests currently executing."),
 		rejected: r.NewCounter("prefcover_http_rejected_total",
 			"Requests rejected before execution, by reason.", "endpoint", "reason"),
+		alerts: r.NewGauge("ALERTS",
+			"SLO burn-rate alerts: 1 on the series matching each alert's current state.",
+			"alertname", "endpoint", "severity", "state"),
 		solverIterations: r.NewCounter("prefcover_solver_iterations_total",
 			"Greedy selections performed, by strategy.", "strategy"),
 		solverEvals: r.NewCounter("prefcover_solver_gain_evaluations_total",
@@ -428,6 +449,11 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/debug/traces", s.handleTraces)
 	mux.HandleFunc("/debug/statusz", s.handleStatusz)
 	mux.Handle("/debug/profilez", s.capturer.Handler())
+	if s.monitor != nil {
+		mux.Handle("/debug/slo", s.monitor.DebugHandler())
+	} else {
+		mux.Handle("/debug/slo", slo.DisabledHandler())
+	}
 	if s.enablePprof {
 		// The stock pprof handlers, on the same mux as every other
 		// /debug/* page (no second listener): live one-shot pulls for

@@ -1,0 +1,76 @@
+package server
+
+import (
+	"bytes"
+	"time"
+
+	"prefcover/internal/promtext"
+	"prefcover/internal/slo"
+)
+
+// SLOConfig wires the burn-rate monitor into a server: the daemon's
+// -slo-spec / -scrape-interval / -alert-webhook flags land here. The
+// monitor self-scrapes — it renders the server's own registry in-process
+// each interval (no HTTP hop, no listener dependency) and feeds the tsdb
+// ring the /debug/slo evaluations read from.
+type SLOConfig struct {
+	// Spec lists the objectives (see internal/slo's grammar). An empty
+	// spec with a positive ScrapeInterval still snapshots history for
+	// windowed queries, but never alerts.
+	Spec slo.Spec
+	// ScrapeInterval is the snapshot cadence (default 10s when the
+	// monitor is enabled at all).
+	ScrapeInterval time.Duration
+	// FastWindow/SlowWindow/ForDuration tune the evaluator; zero values
+	// use the slo defaults (5m/1h/30s).
+	FastWindow  time.Duration
+	SlowWindow  time.Duration
+	ForDuration time.Duration
+	// WebhookURL, when set, receives firing/resolved transitions as JSON
+	// POSTs with retry.
+	WebhookURL string
+}
+
+// enabled reports whether any knob asks for the monitor.
+func (c SLOConfig) enabled() bool {
+	return c.Spec.Enabled() || c.ScrapeInterval > 0
+}
+
+// newMonitor builds the server's self-scraping monitor. Tests reach the
+// same machinery through Config.SLO plus Monitor().
+func (s *Server) newMonitor(cfg SLOConfig) *slo.Monitor {
+	var notifier slo.Notifier
+	if cfg.WebhookURL != "" {
+		notifier = &slo.WebhookNotifier{URL: cfg.WebhookURL}
+	}
+	return slo.NewMonitor(slo.MonitorOptions{
+		Spec:     cfg.Spec,
+		Scrape:   s.selfScrape,
+		Interval: cfg.ScrapeInterval,
+		Eval: slo.EvalConfig{
+			FastWindow: cfg.FastWindow,
+			SlowWindow: cfg.SlowWindow,
+		},
+		ForDuration: cfg.ForDuration,
+		Alerts:      s.met.alerts,
+		Logger:      s.logger,
+		Notifier:    notifier,
+	})
+}
+
+// selfScrape produces one parsed snapshot of the server's registry,
+// refreshing the per-scrape gauges exactly like a /metrics pull so the
+// tsdb sees the same data an external scraper would.
+func (s *Server) selfScrape() (*promtext.Metrics, error) {
+	s.met.updateRuntime(s.started)
+	s.updateServing()
+	var buf bytes.Buffer
+	if err := s.met.registry.WritePrometheus(&buf); err != nil {
+		return nil, err
+	}
+	return promtext.Parse(&buf)
+}
+
+// Monitor exposes the SLO monitor; nil when the server was built without
+// SLOConfig.
+func (s *Server) Monitor() *slo.Monitor { return s.monitor }

@@ -1,0 +1,115 @@
+package slo
+
+import "time"
+
+// State is an alert's position in the lifecycle.
+type State string
+
+const (
+	// StateInactive: the objective has never breached (or reset after a
+	// pending that didn't stick). Not exported as an ALERTS series.
+	StateInactive State = "inactive"
+	// StatePending: breaching, waiting out the for-duration before firing.
+	StatePending State = "pending"
+	// StateFiring: breached for at least the for-duration.
+	StateFiring State = "firing"
+	// StateResolved: previously firing, healthy for at least the
+	// for-duration. Sticky until the next breach so the recovery is
+	// observable on /metrics.
+	StateResolved State = "resolved"
+)
+
+// DefaultForDuration is the hysteresis both ways: a breach must persist
+// this long before firing, and health must persist this long before a
+// firing alert resolves.
+const DefaultForDuration = 30 * time.Second
+
+// Alert is one objective's alert, evolving under observe().
+type Alert struct {
+	Objective Objective `json:"objective"`
+	State     State     `json:"state"`
+	// Severity is the grade of the breach that drove the current
+	// pending/firing state (the latest breach severity while firing;
+	// the last one seen when resolved).
+	Severity Severity `json:"severity,omitempty"`
+	// Since is when the alert entered its current state.
+	Since time.Time `json:"since"`
+	// breachStart / healthyStart anchor the two hysteresis timers.
+	breachStart  time.Time
+	healthyStart time.Time
+	// Eval is the most recent evaluation.
+	Eval Evaluation `json:"eval"`
+}
+
+// Transition records one state change, for logs and the webhook notifier.
+type Transition struct {
+	Alert    string    `json:"alert"` // AlertName: avail_burn, p99_burn, ...
+	Endpoint string    `json:"endpoint"`
+	Severity Severity  `json:"severity,omitempty"`
+	From     State     `json:"from"`
+	To       State     `json:"to"`
+	At       time.Time `json:"at"`
+	FastBurn float64   `json:"fast_burn"`
+	SlowBurn float64   `json:"slow_burn"`
+	// Objective is the spec token, so a webhook receiver can identify
+	// the SLO without parsing the alert name.
+	Objective string `json:"objective"`
+}
+
+// observe advances the alert with a fresh evaluation at time now and
+// returns the transition if the state changed.
+func (a *Alert) observe(ev Evaluation, now time.Time, forDur time.Duration) (Transition, bool) {
+	a.Eval = ev
+	if a.State == "" {
+		a.State = StateInactive
+	}
+	breaching := ev.Severity != SeverityNone
+	prev := a.State
+	if breaching {
+		a.healthyStart = time.Time{}
+		a.Severity = ev.Severity
+		switch a.State {
+		case StateInactive, StateResolved:
+			a.State = StatePending
+			a.breachStart = now
+			a.Since = now
+		case StatePending:
+			if now.Sub(a.breachStart) >= forDur {
+				a.State = StateFiring
+				a.Since = now
+			}
+		case StateFiring:
+			// Stay firing; severity tracks the latest breach grade.
+		}
+	} else {
+		a.breachStart = time.Time{}
+		switch a.State {
+		case StatePending:
+			// The breach didn't stick: back to inactive, no alert.
+			a.State = StateInactive
+			a.Since = now
+		case StateFiring:
+			if a.healthyStart.IsZero() {
+				a.healthyStart = now
+			}
+			if now.Sub(a.healthyStart) >= forDur {
+				a.State = StateResolved
+				a.Since = now
+			}
+		}
+	}
+	if a.State == prev {
+		return Transition{}, false
+	}
+	return Transition{
+		Alert:     a.Objective.AlertName(),
+		Endpoint:  a.Objective.Endpoint,
+		Severity:  a.Severity,
+		From:      prev,
+		To:        a.State,
+		At:        now,
+		FastBurn:  ev.Fast.Burn,
+		SlowBurn:  ev.Slow.Burn,
+		Objective: a.Objective.String(),
+	}, true
+}

@@ -1,0 +1,59 @@
+package slo
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"prefcover/internal/retry"
+)
+
+// WebhookNotifier POSTs alert transitions as JSON to a fixed URL, with
+// the house retry discipline: transport failures and shedding statuses
+// (429/5xx, Retry-After honored) re-send; anything else fails fast. A
+// delivery is one Transition object per request — receivers dedupe on
+// (alert, endpoint, to, at).
+type WebhookNotifier struct {
+	// URL receives the POSTs.
+	URL string
+	// Client issues the requests (default: a client with a 5s timeout).
+	Client *http.Client
+	// Policy shapes the retry loop (zero value: retry defaults).
+	Policy retry.Policy
+}
+
+// Notify delivers one transition.
+func (n *WebhookNotifier) Notify(ctx context.Context, t Transition) error {
+	body, err := json.Marshal(t)
+	if err != nil {
+		return fmt.Errorf("slo: encode transition: %w", err)
+	}
+	client := n.Client
+	if client == nil {
+		client = &http.Client{Timeout: 5 * time.Second}
+	}
+	return n.Policy.Do(ctx, func(ctx context.Context) error {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, n.URL, bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := client.Do(req)
+		if err != nil {
+			return retry.TransportError(err)
+		}
+		defer func() {
+			_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+			_ = resp.Body.Close()
+		}()
+		if resp.StatusCode >= 200 && resp.StatusCode < 300 {
+			return nil
+		}
+		err = fmt.Errorf("slo: webhook %s returned %s", n.URL, resp.Status)
+		return retry.HTTPStatusError(resp.StatusCode, resp.Header, err)
+	})
+}

@@ -1,0 +1,168 @@
+// Package slo turns the raw metrics history in internal/tsdb into
+// continuously-evaluated service-level objectives: a declarative spec
+// grammar, multi-window burn-rate evaluation, and an alert state machine
+// with pending → firing → resolved hysteresis, surfaced as ALERTS gauge
+// series on /metrics, a /debug/slo page, structured log transitions, and
+// an optional webhook notifier.
+//
+// Spec grammar (comma-separated kind:endpoint:target tokens):
+//
+//	avail:/v1/solve:99.9    99.9% of /v1/solve requests answer without a 5xx
+//	p99:/v1/solve:0.05      the windowed p99 of /v1/solve stays under 50ms
+//	p90:/v1/graphs:0.02     (p50/p90/p99 latency objectives, target seconds)
+//
+// Endpoints are the label values the serving layer already reports on
+// prefcover_http_requests_total — route patterns like /v1/solve or
+// /v1/graphs/{name} — and may not contain ':' or ','.
+//
+// Burn rates follow the multi-window convention: an availability burn of
+// B means the error budget (1 − target) is being consumed B× faster than
+// the objective allows; an alert requires the burn to exceed its
+// threshold on BOTH a fast window (default 5m — catches fresh outages)
+// and a slow window (default 1h — suppresses blips). Latency objectives
+// burn at observed/target.
+package slo
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Kind is the objective type: availability or a latency quantile.
+type Kind string
+
+const (
+	KindAvail Kind = "avail"
+	KindP50   Kind = "p50"
+	KindP90   Kind = "p90"
+	KindP99   Kind = "p99"
+)
+
+// Quantile returns the quantile a latency kind tracks (0 for avail).
+func (k Kind) Quantile() float64 {
+	switch k {
+	case KindP50:
+		return 0.50
+	case KindP90:
+		return 0.90
+	case KindP99:
+		return 0.99
+	}
+	return 0
+}
+
+// Latency reports whether the kind is a latency-quantile objective.
+func (k Kind) Latency() bool { return k == KindP50 || k == KindP90 || k == KindP99 }
+
+// Objective is one parsed kind:endpoint:target token.
+type Objective struct {
+	Kind     Kind
+	Endpoint string
+	// Target is a percentage (0 < t < 100) for avail, seconds (> 0) for
+	// latency kinds.
+	Target float64
+}
+
+// String renders the objective in spec-grammar form.
+func (o Objective) String() string {
+	return string(o.Kind) + ":" + o.Endpoint + ":" + strconv.FormatFloat(o.Target, 'g', -1, 64)
+}
+
+// AlertName is the ALERTS{alertname=...} value: the kind plus "_burn",
+// so p50 and p99 objectives on one endpoint stay distinct series.
+func (o Objective) AlertName() string { return string(o.Kind) + "_burn" }
+
+// Budget is the availability error budget as a ratio (e.g. 99.9 → 0.001);
+// 0 for latency objectives.
+func (o Objective) Budget() float64 {
+	if o.Kind != KindAvail {
+		return 0
+	}
+	return 1 - o.Target/100
+}
+
+// validate checks one objective.
+func (o Objective) validate() error {
+	switch o.Kind {
+	case KindAvail:
+		if math.IsNaN(o.Target) || o.Target <= 0 || o.Target >= 100 {
+			return fmt.Errorf("slo: avail target %v must be a percentage in (0, 100)", o.Target)
+		}
+	case KindP50, KindP90, KindP99:
+		if math.IsNaN(o.Target) || math.IsInf(o.Target, 0) || o.Target <= 0 {
+			return fmt.Errorf("slo: latency target %v must be positive seconds", o.Target)
+		}
+	default:
+		return fmt.Errorf("slo: unknown objective kind %q (want avail|p50|p90|p99)", o.Kind)
+	}
+	if o.Endpoint == "" {
+		return fmt.Errorf("slo: objective %s has an empty endpoint", o.Kind)
+	}
+	if strings.ContainsAny(o.Endpoint, ":, \t\n\"") {
+		return fmt.Errorf("slo: endpoint %q may not contain ':', ',', quotes or whitespace", o.Endpoint)
+	}
+	return nil
+}
+
+// Spec is a parsed SLO specification. The zero Spec evaluates nothing.
+type Spec struct {
+	Objectives []Objective
+}
+
+// Enabled reports whether the spec has any objectives.
+func (s Spec) Enabled() bool { return len(s.Objectives) > 0 }
+
+// String renders the spec in the grammar ParseSpec accepts
+// (ParseSpec(s.String()) round-trips).
+func (s Spec) String() string {
+	toks := make([]string, len(s.Objectives))
+	for i, o := range s.Objectives {
+		toks[i] = o.String()
+	}
+	return strings.Join(toks, ",")
+}
+
+// ParseSpec parses the grammar documented on the package. An empty or
+// all-whitespace string is the zero (evaluate-nothing) spec.
+func ParseSpec(text string) (Spec, error) {
+	var s Spec
+	text = strings.TrimSpace(text)
+	if text == "" {
+		return s, nil
+	}
+	seen := make(map[string]bool)
+	for _, tok := range strings.Split(text, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		kindStr, rest, ok := strings.Cut(tok, ":")
+		if !ok {
+			return Spec{}, fmt.Errorf("slo: token %q is not kind:endpoint:target", tok)
+		}
+		// The endpoint may not contain ':', so the last ':' splits
+		// endpoint from target.
+		i := strings.LastIndex(rest, ":")
+		if i < 0 {
+			return Spec{}, fmt.Errorf("slo: token %q is not kind:endpoint:target", tok)
+		}
+		endpoint, targetStr := rest[:i], rest[i+1:]
+		target, err := strconv.ParseFloat(strings.TrimSpace(targetStr), 64)
+		if err != nil {
+			return Spec{}, fmt.Errorf("slo: token %q: bad target %q", tok, targetStr)
+		}
+		o := Objective{Kind: Kind(strings.TrimSpace(kindStr)), Endpoint: strings.TrimSpace(endpoint), Target: target}
+		if err := o.validate(); err != nil {
+			return Spec{}, fmt.Errorf("slo: token %q: %w", tok, err)
+		}
+		key := o.String()
+		if seen[key] {
+			return Spec{}, fmt.Errorf("slo: duplicate objective %q", key)
+		}
+		seen[key] = true
+		s.Objectives = append(s.Objectives, o)
+	}
+	return s, nil
+}

@@ -1,0 +1,125 @@
+package slo
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseSpecRoundTrip(t *testing.T) {
+	cases := []string{
+		"avail:/v1/solve:99.9",
+		"p99:/v1/solve:0.05",
+		"avail:/v1/solve:99.9,p99:/v1/solve:0.05,p50:/v1/graphs/{name}:0.01",
+		"p90:/v1/jobs:1.5",
+		"",
+	}
+	for _, in := range cases {
+		s, err := ParseSpec(in)
+		if err != nil {
+			t.Fatalf("ParseSpec(%q): %v", in, err)
+		}
+		out := s.String()
+		s2, err := ParseSpec(out)
+		if err != nil {
+			t.Fatalf("reparse of %q (from %q): %v", out, in, err)
+		}
+		if len(s.Objectives) != len(s2.Objectives) {
+			t.Fatalf("round trip changed objective count: %q -> %q", in, out)
+		}
+		for i := range s.Objectives {
+			if s.Objectives[i] != s2.Objectives[i] {
+				t.Fatalf("round trip changed objective %d: %+v vs %+v", i, s.Objectives[i], s2.Objectives[i])
+			}
+		}
+	}
+}
+
+func TestParseSpecFields(t *testing.T) {
+	s, err := ParseSpec(" avail:/v1/solve:99.5 , p99:/v1/solve:0.25 ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Objectives) != 2 {
+		t.Fatalf("objectives = %d", len(s.Objectives))
+	}
+	a := s.Objectives[0]
+	if a.Kind != KindAvail || a.Endpoint != "/v1/solve" || a.Target != 99.5 {
+		t.Fatalf("avail objective = %+v", a)
+	}
+	if b := a.Budget(); b < 0.00499 || b > 0.00501 {
+		t.Fatalf("budget = %g, want 0.005", b)
+	}
+	p := s.Objectives[1]
+	if !p.Kind.Latency() || p.Kind.Quantile() != 0.99 || p.Target != 0.25 {
+		t.Fatalf("latency objective = %+v", p)
+	}
+	if a.AlertName() != "avail_burn" || p.AlertName() != "p99_burn" {
+		t.Fatalf("alert names = %q, %q", a.AlertName(), p.AlertName())
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	cases := []string{
+		"avail",                                 // no separator
+		"avail:/v1/solve",                       // no target
+		"avail:/v1/solve:nope",                  // bad target
+		"avail:/v1/solve:0",                     // zero percentage
+		"avail:/v1/solve:100",                   // 100% has no budget
+		"avail:/v1/solve:101",                   // out of range
+		"p99:/v1/solve:0",                       // zero latency
+		"p99:/v1/solve:-1",                      // negative latency
+		"p99:/v1/solve:+Inf",                    // non-finite latency
+		"p75:/v1/solve:0.1",                     // unknown kind
+		"avail::99",                             // empty endpoint
+		"avail:/v1/solve:99,avail:/v1/solve:99", // duplicate
+	}
+	for _, in := range cases {
+		if _, err := ParseSpec(in); err == nil {
+			t.Errorf("ParseSpec(%q) should fail", in)
+		}
+	}
+}
+
+// FuzzSLOSpec holds the grammar round-trip: any accepted input re-renders
+// to a string that parses back to the identical objective list.
+func FuzzSLOSpec(f *testing.F) {
+	f.Add("avail:/v1/solve:99.9")
+	f.Add("p99:/v1/solve:0.05,p50:/x:2")
+	f.Add("avail:/v1/graphs/{name}:90")
+	f.Add(" p90:/a:1e-3 ,, avail:/b:50 ")
+	f.Fuzz(func(t *testing.T, in string) {
+		s, err := ParseSpec(in)
+		if err != nil {
+			return
+		}
+		out := s.String()
+		s2, err := ParseSpec(out)
+		if err != nil {
+			t.Fatalf("String output %q failed to reparse: %v", out, err)
+		}
+		if len(s.Objectives) != len(s2.Objectives) {
+			t.Fatalf("round trip changed count: %q -> %q", in, out)
+		}
+		for i := range s.Objectives {
+			if s.Objectives[i] != s2.Objectives[i] {
+				t.Fatalf("objective %d changed: %+v vs %+v", i, s.Objectives[i], s2.Objectives[i])
+			}
+		}
+		if out2 := s2.String(); out2 != out {
+			t.Fatalf("String not a fixed point: %q vs %q", out, out2)
+		}
+	})
+}
+
+func TestSpecEnabled(t *testing.T) {
+	if (Spec{}).Enabled() {
+		t.Fatal("zero spec should be disabled")
+	}
+	s, _ := ParseSpec("avail:/v1/solve:99")
+	if !s.Enabled() {
+		t.Fatal("parsed spec should be enabled")
+	}
+	if !strings.Contains(s.String(), "avail:/v1/solve:99") {
+		t.Fatalf("String = %q", s.String())
+	}
+}

@@ -1,0 +1,451 @@
+// Package tsdb is a bounded in-memory time-series ring over periodic
+// metrics snapshots. Each Append stores one parsed scrape (a
+// *promtext.Metrics) with its capture time; windowed queries — counter
+// increases and rates, histogram-delta quantiles, gauge last/min/max —
+// are computed on demand by diffing the newest snapshot against the
+// newest snapshot at or before the window start. Nothing is
+// pre-aggregated: the ring holds raw scrapes, so any query the exposition
+// format can answer works retroactively over the retained window.
+//
+// The clock is injectable (Options.Now) so the SLO alert lifecycle tests
+// can drive hours of burn deterministically in microseconds.
+package tsdb
+
+import (
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"prefcover/internal/promtext"
+)
+
+// Options configures a DB.
+type Options struct {
+	// Capacity bounds the snapshot ring; once full the oldest snapshot is
+	// overwritten. 0 means DefaultCapacity.
+	Capacity int
+	// Now supplies the clock for Append and window anchoring; nil means
+	// time.Now.
+	Now func() time.Time
+}
+
+// DefaultCapacity retains ~85 minutes of history at a 10s scrape cadence
+// — comfortably more than the 1h slow burn window the SLO evaluator
+// needs, at a few MB for a typical registry.
+const DefaultCapacity = 512
+
+// snapshot is one retained scrape.
+type snapshot struct {
+	at time.Time
+	m  *promtext.Metrics
+}
+
+// DB is the snapshot ring. All methods are safe for concurrent use.
+type DB struct {
+	now func() time.Time
+
+	mu   sync.RWMutex
+	ring []snapshot
+	head int // next write position
+	size int
+}
+
+// New returns an empty DB.
+func New(opts Options) *DB {
+	cap := opts.Capacity
+	if cap <= 0 {
+		cap = DefaultCapacity
+	}
+	now := opts.Now
+	if now == nil {
+		now = time.Now
+	}
+	return &DB{now: now, ring: make([]snapshot, cap)}
+}
+
+// Append stores a snapshot stamped with the DB clock.
+func (db *DB) Append(m *promtext.Metrics) { db.AppendAt(db.now(), m) }
+
+// AppendAt stores a snapshot with an explicit capture time. Snapshots
+// must be appended in non-decreasing time order; an out-of-order append
+// is dropped (a scrape that raced a clock step is worthless for deltas).
+func (db *DB) AppendAt(at time.Time, m *promtext.Metrics) {
+	if m == nil {
+		return
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.size > 0 {
+		newest := db.ring[(db.head+len(db.ring)-1)%len(db.ring)]
+		if at.Before(newest.at) {
+			return
+		}
+	}
+	db.ring[db.head] = snapshot{at: at, m: m}
+	db.head = (db.head + 1) % len(db.ring)
+	if db.size < len(db.ring) {
+		db.size++
+	}
+}
+
+// Len reports the number of retained snapshots.
+func (db *DB) Len() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.size
+}
+
+// Span reports the capture times of the oldest and newest snapshots.
+func (db *DB) Span() (oldest, newest time.Time, ok bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if db.size == 0 {
+		return time.Time{}, time.Time{}, false
+	}
+	return db.at(0), db.at(db.size - 1), true
+}
+
+// at returns the i-th snapshot's time in oldest-first order; caller holds
+// the lock.
+func (db *DB) at(i int) time.Time { return db.nth(i).at }
+
+// nth returns the i-th snapshot in oldest-first order; caller holds the
+// lock.
+func (db *DB) nth(i int) snapshot {
+	if db.size < len(db.ring) {
+		return db.ring[i]
+	}
+	return db.ring[(db.head+i)%len(db.ring)]
+}
+
+// bounds picks the (older, newer) snapshot pair bracketing a lookback
+// window ending at the newest snapshot: newer is the newest snapshot,
+// older is the newest snapshot at or before newer.at−window (the oldest
+// retained snapshot when history is shorter than the window). Needs at
+// least two snapshots.
+func (db *DB) bounds(window time.Duration) (older, newer snapshot, ok bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if db.size < 2 {
+		return snapshot{}, snapshot{}, false
+	}
+	newer = db.nth(db.size - 1)
+	cutoff := newer.at.Add(-window)
+	older = db.nth(0)
+	// Binary search for the last snapshot with at <= cutoff.
+	lo, hi := 0, db.size-2 // exclude newest
+	for lo <= hi {
+		mid := (lo + hi) / 2
+		if !db.nth(mid).at.After(cutoff) {
+			older = db.nth(mid)
+			lo = mid + 1
+		} else {
+			hi = mid - 1
+		}
+	}
+	return older, newer, true
+}
+
+// SeriesDelta is one series' increase over a window.
+type SeriesDelta struct {
+	Labels   promtext.Labels
+	Increase float64 // counter increase, reset-corrected
+	Last     float64 // value in the newest snapshot
+}
+
+// key returns the comparable identity of a label set.
+func labelsKey(ls promtext.Labels) string { return ls.Key() }
+
+// Increases computes the reset-corrected increase of every series of the
+// named sample (matching the label filter) over the window. A series
+// absent from the older snapshot counts its full newest value (a new
+// series starts from zero by counter contract). elapsed is the actual
+// time between the two snapshots used — shorter than window when history
+// is thin, longer when scrapes are sparse.
+func (db *DB) Increases(name string, match map[string]string, window time.Duration) (deltas []SeriesDelta, elapsed time.Duration, ok bool) {
+	older, newer, ok := db.bounds(window)
+	if !ok {
+		return nil, 0, false
+	}
+	base := make(map[string]float64)
+	for _, s := range older.m.Samples(name) {
+		if s.Labels.Matches(match) {
+			base[labelsKey(s.Labels)] = s.Value
+		}
+	}
+	for _, s := range newer.m.Samples(name) {
+		if !s.Labels.Matches(match) {
+			continue
+		}
+		inc := s.Value
+		if old, had := base[labelsKey(s.Labels)]; had && s.Value >= old {
+			inc = s.Value - old
+		}
+		// A newest value below the baseline means the counter reset
+		// (process restart): the post-reset value is the best lower bound
+		// on the true increase.
+		deltas = append(deltas, SeriesDelta{Labels: s.Labels, Increase: inc, Last: s.Value})
+	}
+	return deltas, newer.at.Sub(older.at), true
+}
+
+// IncreaseSum sums Increases over all matching series.
+func (db *DB) IncreaseSum(name string, match map[string]string, window time.Duration) (sum float64, elapsed time.Duration, ok bool) {
+	deltas, elapsed, ok := db.Increases(name, match, window)
+	if !ok {
+		return 0, 0, false
+	}
+	for _, d := range deltas {
+		sum += d.Increase
+	}
+	return sum, elapsed, true
+}
+
+// RateSum is IncreaseSum per second.
+func (db *DB) RateSum(name string, match map[string]string, window time.Duration) (perSec float64, ok bool) {
+	sum, elapsed, ok := db.IncreaseSum(name, match, window)
+	if !ok || elapsed <= 0 {
+		return 0, false
+	}
+	return sum / elapsed.Seconds(), true
+}
+
+// GaugeLast sums the newest value of every matching series of a gauge.
+func (db *DB) GaugeLast(name string, match map[string]string) (sum float64, ok bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if db.size == 0 {
+		return 0, false
+	}
+	newest := db.nth(db.size - 1)
+	found := false
+	for _, s := range newest.m.Samples(name) {
+		if s.Labels.Matches(match) {
+			sum += s.Value
+			found = true
+		}
+	}
+	return sum, found
+}
+
+// GaugeMinMax scans every retained snapshot inside the window and returns
+// the min and max of the per-snapshot sums of matching series.
+func (db *DB) GaugeMinMax(name string, match map[string]string, window time.Duration) (min, max float64, ok bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if db.size == 0 {
+		return 0, 0, false
+	}
+	cutoff := db.nth(db.size - 1).at.Add(-window)
+	min, max = math.Inf(1), math.Inf(-1)
+	for i := 0; i < db.size; i++ {
+		snap := db.nth(i)
+		if snap.at.Before(cutoff) {
+			continue
+		}
+		sum, found := 0.0, false
+		for _, s := range snap.m.Samples(name) {
+			if s.Labels.Matches(match) {
+				sum += s.Value
+				found = true
+			}
+		}
+		if !found {
+			continue
+		}
+		ok = true
+		if sum < min {
+			min = sum
+		}
+		if sum > max {
+			max = sum
+		}
+	}
+	if !ok {
+		return 0, 0, false
+	}
+	return min, max, true
+}
+
+// Quantile estimates the q-quantile of a histogram's observations inside
+// the window, from per-bucket increases — the same linear interpolation
+// metrics.Histogram.Quantile applies to cumulative counts, here applied
+// to the windowed delta. name is the family name (without _bucket).
+// Matching series are merged (summed per le) before interpolation.
+func (db *DB) Quantile(name string, match map[string]string, q float64, window time.Duration) (float64, bool) {
+	deltas, _, ok := db.Increases(name+"_bucket", match, window)
+	if !ok || math.IsNaN(q) {
+		return 0, false
+	}
+	// Merge all matching series by le bound.
+	type bkt struct {
+		le  float64
+		inc float64
+	}
+	byLE := make(map[float64]float64)
+	for _, d := range deltas {
+		leStr, has := d.Labels.Get("le")
+		if !has {
+			continue
+		}
+		le := math.Inf(1)
+		if leStr != "+Inf" {
+			v, err := parseFloat(leStr)
+			if err != nil {
+				continue
+			}
+			le = v
+		}
+		byLE[le] += d.Increase
+	}
+	if len(byLE) == 0 {
+		return 0, false
+	}
+	buckets := make([]bkt, 0, len(byLE))
+	for le, inc := range byLE {
+		buckets = append(buckets, bkt{le, inc})
+	}
+	sort.Slice(buckets, func(i, j int) bool { return buckets[i].le < buckets[j].le })
+	// Buckets are cumulative in the exposition format, and differences of
+	// cumulative counts stay cumulative — de-cumulate to per-bucket counts.
+	total := buckets[len(buckets)-1].inc
+	if total <= 0 {
+		return 0, false
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := q * total
+	for i, b := range buckets {
+		prevCum := 0.0
+		if i > 0 {
+			prevCum = buckets[i-1].inc
+		}
+		inBucket := b.inc - prevCum
+		if inBucket <= 0 {
+			continue
+		}
+		if b.inc >= rank {
+			if math.IsInf(b.le, 1) {
+				// Overflow bucket: clamp to the highest finite bound.
+				if i > 0 {
+					return buckets[i-1].le, true
+				}
+				return 0, false
+			}
+			lower := 0.0
+			if i > 0 {
+				lower = buckets[i-1].le
+			}
+			frac := (rank - prevCum) / inBucket
+			return lower + (b.le-lower)*frac, true
+		}
+	}
+	// rank beyond every bucket (float fuzz): clamp like the overflow case.
+	last := buckets[len(buckets)-1]
+	if math.IsInf(last.le, 1) && len(buckets) > 1 {
+		return buckets[len(buckets)-2].le, true
+	}
+	return last.le, true
+}
+
+// Point is one (time, value) pair of a series trajectory.
+type Point struct {
+	At    time.Time
+	Value float64
+}
+
+// Points returns the per-snapshot sum of matching series across the
+// window, oldest first — raw gauge trajectories for sparklines.
+func (db *DB) Points(name string, match map[string]string, window time.Duration) []Point {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if db.size == 0 {
+		return nil
+	}
+	cutoff := db.nth(db.size - 1).at.Add(-window)
+	var pts []Point
+	for i := 0; i < db.size; i++ {
+		snap := db.nth(i)
+		if snap.at.Before(cutoff) {
+			continue
+		}
+		sum, found := 0.0, false
+		for _, s := range snap.m.Samples(name) {
+			if s.Labels.Matches(match) {
+				sum += s.Value
+				found = true
+			}
+		}
+		if found {
+			pts = append(pts, Point{At: snap.at, Value: sum})
+		}
+	}
+	return pts
+}
+
+// RatePoints converts a counter trajectory into per-interval rates:
+// one point per adjacent snapshot pair, reset-corrected — the sparkline
+// form of RateSum.
+func (db *DB) RatePoints(name string, match map[string]string, window time.Duration) []Point {
+	pts := db.Points(name, match, window)
+	if len(pts) < 2 {
+		return nil
+	}
+	out := make([]Point, 0, len(pts)-1)
+	for i := 1; i < len(pts); i++ {
+		dt := pts[i].At.Sub(pts[i-1].At).Seconds()
+		if dt <= 0 {
+			continue
+		}
+		inc := pts[i].Value - pts[i-1].Value
+		if inc < 0 {
+			inc = pts[i].Value // counter reset
+		}
+		out = append(out, Point{At: pts[i].At, Value: inc / dt})
+	}
+	return out
+}
+
+// sparkRunes are the eight block glyphs Spark scales values onto.
+var sparkRunes = []rune("▁▂▃▄▅▆▇█")
+
+// Spark renders values as a unicode sparkline, scaled to the series'
+// own min..max (a flat series renders as all-low).
+func Spark(values []float64) string {
+	if len(values) == 0 {
+		return ""
+	}
+	min, max := values[0], values[0]
+	for _, v := range values[1:] {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	var b strings.Builder
+	for _, v := range values {
+		idx := 0
+		if max > min {
+			idx = int((v - min) / (max - min) * float64(len(sparkRunes)-1))
+			if idx < 0 {
+				idx = 0
+			}
+			if idx >= len(sparkRunes) {
+				idx = len(sparkRunes) - 1
+			}
+		}
+		b.WriteRune(sparkRunes[idx])
+	}
+	return b.String()
+}
+
+// parseFloat parses a bucket bound.
+func parseFloat(s string) (float64, error) { return strconv.ParseFloat(s, 64) }
